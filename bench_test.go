@@ -1,0 +1,383 @@
+package repro
+
+// Benchmark harness: one benchmark (or benchmark group) per paper
+// table/figure, measuring the computational kernel that regenerates
+// it. The full row-by-row reproductions are printed by
+// cmd/fallbench -exp <id>; these benches quantify their cost and
+// guard against performance regressions in the hot paths.
+//
+//	E1 (Table III)  Benchmark_Table3_*
+//	E2/E3 (Table IV) Benchmark_Table4_EventAnalysis
+//	E4 (§IV-C)      Benchmark_Edge_*
+//	E5 (Fig. 1)     Benchmark_Fig1_TrialSynthesis
+//	E6 (Fig. 2)     Benchmark_Pipeline_EndToEnd
+//	E7 (§III-A)     Benchmark_Sweep_Segmentation
+//	E8 (Table I)    Benchmark_Table1_ThresholdScore
+//	E9 (ablation)   Benchmark_Ablation_Augment
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/falldet"
+	"repro/internal/augment"
+	"repro/internal/dataset"
+	"repro/internal/dsp"
+	"repro/internal/edge"
+	"repro/internal/eval"
+	"repro/internal/imu"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/synth"
+	"repro/internal/tensor"
+)
+
+// Shared fixtures, built once.
+var (
+	fixOnce sync.Once
+	fixData *dataset.Dataset
+	fixSegs []dataset.Segment
+)
+
+func fixtures(b *testing.B) (*dataset.Dataset, []dataset.Segment) {
+	b.Helper()
+	fixOnce.Do(func() {
+		d, err := falldet.Synthesize(falldet.SynthConfig{
+			WorksiteSubjects: 3, KFallSubjects: 3, LongTaskSeconds: 5, Seed: 9,
+		})
+		if err != nil {
+			panic(err)
+		}
+		segs, err := d.ExtractAll(dataset.SegmentConfig{WindowMS: 400, Overlap: 0.5})
+		if err != nil {
+			panic(err)
+		}
+		fixData, fixSegs = d, segs
+	})
+	return fixData, fixSegs
+}
+
+func randomWindow(T int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(T, imu.NumChannels)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// ---- E5 (Fig. 1): trial synthesis ----
+
+func Benchmark_Fig1_TrialSynthesis(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	subj := synth.NewSubject(1, rng)
+	task, _ := synth.TaskByID(30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := synth.GenerateTrial(subj, task, 0, 6, rng)
+		if len(tr.Samples) == 0 {
+			b.Fatal("empty trial")
+		}
+	}
+}
+
+// ---- Pre-processing kernels (shared by every experiment) ----
+
+func Benchmark_Preprocess_ButterworthFiltFilt(b *testing.B) {
+	f := dsp.MustButterworth(4, 5, 100)
+	x := make([]float64, 3000) // a 30 s channel
+	for i := range x {
+		x[i] = rand.New(rand.NewSource(2)).NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.FiltFilt(x)
+	}
+}
+
+func Benchmark_Preprocess_SensorFusion(b *testing.B) {
+	fus := imu.MustNewFusion(100, 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fus.Update(imu.Vec3{Z: 1}, imu.Vec3{X: 5})
+	}
+}
+
+// ---- E7 (§III-A sweep): segmentation across the design grid ----
+
+func Benchmark_Sweep_Segmentation(b *testing.B) {
+	d, _ := fixtures(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, win := range []int{100, 200, 300, 400} {
+			for _, ov := range []float64{0, 0.25, 0.5, 0.75} {
+				if _, err := d.ExtractAll(dataset.SegmentConfig{WindowMS: win, Overlap: ov}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// ---- E1 (Table III): per-model inference and training ----
+
+func benchInference(b *testing.B, kind model.Kind, windowMS int) {
+	rng := rand.New(rand.NewSource(3))
+	T := windowMS / 10
+	m, err := model.New(kind, model.Config{WindowSamples: T}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randomWindow(T, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score(x)
+	}
+}
+
+func Benchmark_Table3_Inference_MLP_400ms(b *testing.B)  { benchInference(b, model.KindMLP, 400) }
+func Benchmark_Table3_Inference_LSTM_400ms(b *testing.B) { benchInference(b, model.KindLSTM, 400) }
+func Benchmark_Table3_Inference_ConvLSTM_400ms(b *testing.B) {
+	benchInference(b, model.KindConvLSTM, 400)
+}
+func Benchmark_Table3_Inference_CNN_200ms(b *testing.B) { benchInference(b, model.KindCNN, 200) }
+func Benchmark_Table3_Inference_CNN_300ms(b *testing.B) { benchInference(b, model.KindCNN, 300) }
+func Benchmark_Table3_Inference_CNN_400ms(b *testing.B) { benchInference(b, model.KindCNN, 400) }
+
+func Benchmark_Table3_TrainStep_CNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := model.New(model.KindCNN, model.Config{WindowSamples: 40}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loss := nn.NewWeightedBCE(1, 10)
+	x := randomWindow(40, 6)
+	opt := nn.NewAdam(1e-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Net.ZeroGrad()
+		p := m.Net.Forward(x, true).Data()[0]
+		m.Net.Backward(loss.Grad(p, i%2))
+		opt.Step(m.Net.Params(), 1)
+	}
+}
+
+// ---- E2/E3 (Table IV): event-level analysis ----
+
+func Benchmark_Table4_EventAnalysis(b *testing.B) {
+	_, segs := fixtures(b)
+	scored := make([]eval.ScoredSegment, len(segs))
+	rng := rand.New(rand.NewSource(7))
+	for i := range segs {
+		scored[i] = eval.ScoredSegment{Segment: segs[i], Score: rng.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.EventAnalysis(scored, 0.5)
+	}
+}
+
+// ---- E8 (Table I): threshold baselines ----
+
+func Benchmark_Table1_ThresholdScore(b *testing.B) {
+	th, err := model.NewThreshold(model.KindThresholdAcc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randomWindow(40, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Score(x)
+	}
+}
+
+// ---- E4 (§IV-C): edge inference, quantized vs float, streaming ----
+
+func edgeFixtures(b *testing.B) (*model.NetModel, *quant.QNetwork) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	m, err := model.New(model.KindCNN, model.Config{WindowSamples: 40}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal := make([]*tensor.Tensor, 8)
+	for i := range cal {
+		cal[i] = randomWindow(40, int64(10+i))
+	}
+	c, err := quant.Calibrate(m.Net, cal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qn, err := quant.Build(m.Net, c, []int{40, 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, qn
+}
+
+func Benchmark_Edge_FloatInference(b *testing.B) {
+	m, _ := edgeFixtures(b)
+	x := randomWindow(40, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score(x)
+	}
+}
+
+func Benchmark_Edge_QuantizedInference(b *testing.B) {
+	_, qn := edgeFixtures(b)
+	x := randomWindow(40, 21)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qn.Predict(x)
+	}
+}
+
+func Benchmark_Edge_StreamingPush(b *testing.B) {
+	th, _ := model.NewThreshold(model.KindThresholdAcc)
+	det, err := edge.NewDetector(th, edge.DetectorConfig{WindowMS: 400, Overlap: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+	}
+}
+
+func Benchmark_Edge_Quantization(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	m, err := model.New(model.KindCNN, model.Config{WindowSamples: 40}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal := make([]*tensor.Tensor, 16)
+	for i := range cal {
+		cal[i] = randomWindow(40, int64(30+i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := quant.Calibrate(m.Net, cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := quant.Build(m.Net, c, []int{40, 9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E9 (ablation): augmentation throughput ----
+
+func Benchmark_Ablation_Augment(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := randomWindow(40, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		augment.TimeWarp(x, augment.TimeWarpConfig{}, rng)
+		augment.WindowWarp(x, augment.WindowWarpConfig{}, rng)
+	}
+}
+
+// ---- E6 (Fig. 2): end-to-end pipeline ----
+
+func Benchmark_Pipeline_EndToEnd(b *testing.B) {
+	// One full miniature run per iteration: synthesise → align →
+	// filter → segment → train briefly → classify. Expensive by
+	// nature; run with -benchtime=1x for a single sample.
+	for i := 0; i < b.N; i++ {
+		d, err := falldet.Synthesize(falldet.SynthConfig{
+			WorksiteSubjects: 2, KFallSubjects: 2,
+			Tasks: []int{1, 6, 30}, LongTaskSeconds: 4, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := falldet.Config{
+			WindowMS: 200, Overlap: 0.5,
+			Epochs: 2, Patience: 2, ValSubjects: 1, Seed: int64(i),
+		}
+		det, err := falldet.Train(d, falldet.KindCNN, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		segs, err := falldet.ExtractSegments(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		det.Evaluate(segs[:min(100, len(segs))])
+	}
+}
+
+// ---- E11 (PreFallKD extension): distillation step ----
+
+func Benchmark_KD_DistillStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	teacher, err := model.New(model.KindCNN, model.Config{WindowSamples: 20}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	student, err := model.New(model.KindDistilled, model.Config{WindowSamples: 20}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := make([]nn.Example, 16)
+	for i := range train {
+		train[i] = nn.Example{X: randomWindow(20, int64(50+i)), Y: i % 2}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := model.DistillConfig{Train: nn.TrainConfig{Epochs: 1, Patience: 1, BatchSize: 8}}
+		if err := model.Distill(teacher, student, train, nil, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E12 (continuous wear): session synthesis and replay ----
+
+func Benchmark_Session_Generate(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	subj := synth.NewSubject(1, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.GenerateSession(subj, synth.SessionConfig{Minutes: 1}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Session_Replay(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	subj := synth.NewSubject(1, rng)
+	s, err := synth.GenerateSession(subj, synth.SessionConfig{Minutes: 1}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, _ := model.NewThreshold(model.KindThresholdAcc)
+	det, err := edge.NewDetector(th, edge.DetectorConfig{WindowMS: 400, Overlap: 0.75})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bag := edge.NewAirbag(edge.AirbagConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.EvaluateSession(det, bag, s)
+	}
+}
+
+func Benchmark_Table3_Inference_CNNBiGRU_400ms(b *testing.B) {
+	benchInference(b, model.KindCNNBiGRU, 400)
+}

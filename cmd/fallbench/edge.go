@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/falldet"
+	"repro/internal/edge"
+	"repro/internal/nn"
+	"repro/internal/report"
+)
+
+// expEdge reproduces §IV-C: train the CNN at the best configuration,
+// quantize it to int8, and report the deployment footprint and
+// per-segment latency on the STM32F722 device model, verifying that
+// quantization does not change the classification behaviour.
+func expEdge(data *falldet.Dataset, sc scale, seed int64) error {
+	cfg := sc.config(400, 0.5, seed)
+	det, err := falldet.Train(data, falldet.KindCNN, cfg)
+	if err != nil {
+		return err
+	}
+	segs, err := falldet.ExtractSegments(data, cfg)
+	if err != nil {
+		return err
+	}
+	dep, err := det.Quantize(falldet.CalibrationWindows(segs, 200, seed), edge.STM32F722())
+	if err != nil {
+		return err
+	}
+
+	// Float vs quantized behaviour over all segments.
+	var floatC, quantC nn.Confusion
+	agree := 0
+	for i := range segs {
+		pf := det.Score(segs[i].X)
+		pq := dep.Q.Predict(segs[i].X)
+		floatC.Add(pf, segs[i].Y)
+		quantC.Add(pq, segs[i].Y)
+		if (pf >= 0.5) == (pq >= 0.5) {
+			agree++
+		}
+	}
+
+	tb := &report.Table{
+		Title:   "On-edge deployment (STM32F722 @ 216 MHz) — §IV-C",
+		Headers: []string{"Metric", "Measured", "Paper"},
+	}
+	tb.AddRow("Model size (KiB, int8)", fmt.Sprintf("%.2f", dep.FlashKiB), "67.03")
+	tb.AddRow("RAM usage (KiB)", fmt.Sprintf("%.2f", dep.RAMKiB), "16.87")
+	tb.AddRow("Inference time / segment", dep.InferenceTime.String(), "4 ms")
+	tb.AddRow("Sensor fusion / segment", dep.FusionTime.String(), "3 ms")
+	tb.AddRow("Fits 256 KiB flash", fmt.Sprintf("%v", dep.FitsFlash), "yes")
+	tb.AddRow("Fits 256 KiB RAM", fmt.Sprintf("%v", dep.FitsRAM), "yes")
+	tb.AddRow("float F1 (in-sample, %)", report.Pct(floatC.F1()), "unchanged by quantization")
+	tb.AddRow("int8 F1 (in-sample, %)", report.Pct(quantC.F1()), "unchanged by quantization")
+	tb.AddRow("float/int8 agreement", fmt.Sprintf("%d/%d", agree, len(segs)), "-")
+	tb.Fprint(os.Stdout)
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+// expFig1 reproduces Figure 1: the stage decomposition of one fall
+// event — pre-fall activity, falling phase, the final 150 ms before
+// impact, the impact instant, and the post-fall phase — rendered as
+// an annotated acceleration-magnitude timeline.
+func expFig1(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	subj := synth.NewSubject(1, rng)
+	task, err := synth.TaskByID(30) // forward fall while walking, trip
+	if err != nil {
+		return err
+	}
+	tr := synth.GenerateTrial(subj, task, 0, 6, rng)
+	dataset.Standardize(&tr)
+
+	fmt.Printf("Fig. 1 — fall stages for task %d (%s)\n", task.ID, task.Name)
+	fmt.Printf("trial: %d samples @ 100 Hz; onset %d, impact %d (falling %d ms)\n\n",
+		len(tr.Samples), tr.FallOnset, tr.Impact, (tr.Impact-tr.FallOnset)*10)
+
+	truncEnd := tr.TruncatedFallEnd()
+	const cols = 100
+	binOf := func(sample int) int { return sample * cols / len(tr.Samples) }
+
+	// Acceleration-magnitude sparkline, max-pooled per column.
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	maxMag := 0.0
+	bins := make([]float64, cols)
+	for i, s := range tr.Samples {
+		b := binOf(i)
+		if m := s.Acc.Norm(); m > bins[b] {
+			bins[b] = m
+			if m > maxMag {
+				maxMag = m
+			}
+		}
+	}
+	var spark strings.Builder
+	for _, v := range bins {
+		ix := int(v / maxMag * float64(len(levels)-1))
+		spark.WriteRune(levels[ix])
+	}
+
+	// Phase annotation line.
+	phase := make([]rune, cols)
+	for i := range phase {
+		phase[i] = 'P' // pre-fall
+	}
+	mark := func(lo, hi int, r rune) {
+		for b := binOf(lo); b <= binOf(hi-1) && b < cols; b++ {
+			phase[b] = r
+		}
+	}
+	mark(tr.FallOnset, truncEnd, 'F')          // falling (usable)
+	mark(truncEnd, tr.Impact, 'L')             // last 150 ms (airbag inflating)
+	mark(tr.Impact, tr.Impact+12, 'I')         // impact transient
+	mark(tr.Impact+12, len(tr.Samples)-1, 'R') // post-fall rest
+
+	fmt.Printf("|acc| g : %s  (peak %.1f g)\n", spark.String(), maxMag)
+	fmt.Printf("phase   : %s\n\n", string(phase))
+	fmt.Println("legend: P pre-fall activity · F falling (usable for triggering)")
+	fmt.Println("        L last 150 ms before impact (airbag inflation window)")
+	fmt.Println("        I impact · R post-fall")
+	fmt.Printf("\nthe detector must fire inside F: trigger at the end of F still leaves\n")
+	fmt.Printf("%d ms for the airbag to inflate before the body reaches the ground\n",
+		dataset.AirbagInflationMS)
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/falldet"
+	"repro/internal/dataset"
+	"repro/internal/edge"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/report"
+)
+
+// expKD runs the knowledge-distillation extension (the PreFallKD idea
+// the paper cites as related work): a halved student CNN trained (a)
+// directly and (b) by distilling a full CNN teacher, compared against
+// the teacher, with parameter counts and STM32F722 latency. The
+// interesting shape: the distilled student should recover most of the
+// teacher's F1 at roughly half the cost.
+func expKD(data *falldet.Dataset, sc scale, seed int64) error {
+	base := eval.PipelineConfig{
+		Segment:       dataset.SegmentConfig{WindowMS: 400, Overlap: 0.5},
+		K:             sc.folds,
+		NVal:          sc.valSubj,
+		AugmentFactor: 2,
+		MaxTrainNeg:   sc.maxTrainNeg,
+		Train:         nn.TrainConfig{Epochs: sc.epochs, Patience: sc.patience, BatchSize: 32},
+		TuneThreshold: true,
+		Seed:          seed,
+	}
+
+	type row struct {
+		name   string
+		pooled nn.Confusion
+		params int
+		infer  string
+	}
+	var rows []row
+	dev := edge.STM32F722()
+
+	describe := func(name string, res *eval.Result, kind model.Kind) error {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := model.New(kind, model.Config{WindowSamples: 40}, rng)
+		if err != nil {
+			return err
+		}
+		cost, err := edge.ModelCost(m.Net, []int{40, 9})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{
+			name:   name,
+			pooled: res.Pooled,
+			params: m.Net.ParamCount(),
+			infer:  dev.InferenceTime(cost).String(),
+		})
+		return nil
+	}
+
+	// (1) Teacher: the full proposed CNN.
+	teacher, err := eval.RunKFold(data, model.KindCNN, base)
+	if err != nil {
+		return err
+	}
+	if err := describe("teacher CNN", teacher, model.KindCNN); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "kd: teacher done")
+
+	// (2) Student trained directly on hard labels.
+	direct, err := eval.RunKFold(data, model.KindDistilled, base)
+	if err != nil {
+		return err
+	}
+	if err := describe("student, direct", direct, model.KindDistilled); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "kd: direct student done")
+
+	// (3) Student distilled from a per-fold teacher.
+	kdCfg := base
+	kdCfg.Fitter = func(win, pos, total int, train, val []nn.Example, tc nn.TrainConfig, rng *rand.Rand) (model.Classifier, error) {
+		t, err := model.New(model.KindCNN, model.Config{WindowSamples: win, PosCount: pos, TotalCount: total}, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Fit(train, val, tc, rng); err != nil {
+			return nil, err
+		}
+		s, err := model.New(model.KindDistilled, model.Config{WindowSamples: win, PosCount: pos, TotalCount: total}, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := model.Distill(t, s, train, val, model.DistillConfig{Train: tc}, rng); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	distilled, err := eval.RunKFold(data, model.KindDistilled, kdCfg)
+	if err != nil {
+		return err
+	}
+	if err := describe("student, distilled", distilled, model.KindDistilled); err != nil {
+		return err
+	}
+
+	tb := &report.Table{
+		Title:   "Knowledge distillation (PreFallKD-style) — 400 ms / 50 %, %",
+		Headers: []string{"Model", "Params", "Inference", "Accuracy", "Precision", "Recall", "F1"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.name, r.params, r.infer,
+			report.Pct(r.pooled.Accuracy()), report.Pct(r.pooled.Precision()),
+			report.Pct(r.pooled.Recall()), report.Pct(r.pooled.F1()))
+	}
+	tb.Fprint(os.Stdout)
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/falldet"
+	"repro/internal/report"
+)
+
+// expSession is the continuous-wear extension: the trained CNN worn
+// for simulated sessions, with the airbag firing policy swept over
+// debounce settings. Reports false activations per hour — the
+// deployment metric behind the paper's "unnecessary activations make
+// it impractical" argument — alongside detection and lead time.
+func expSession(data *falldet.Dataset, sc scale, seed int64) error {
+	cfg := sc.config(400, 0.75, seed) // dense stride for streaming
+	fmt.Println("training the CNN for continuous-wear simulation...")
+	det, err := falldet.Train(data, falldet.KindCNN, cfg)
+	if err != nil {
+		return err
+	}
+
+	// Several wearers, compressed fall rate so sessions stay short.
+	sessions := make([]*falldet.Session, 0, 4)
+	for i := 0; i < 4; i++ {
+		s, err := falldet.GenerateSession(1000+i, falldet.SessionConfig{
+			Minutes:  6,
+			FallRate: 20,
+		}, seed+int64(i))
+		if err != nil {
+			return err
+		}
+		sessions = append(sessions, s)
+	}
+
+	tb := &report.Table{
+		Title:   "Continuous-wear simulation — CNN, 400 ms / 75 % stride",
+		Headers: []string{"Debounce", "Hours", "Falls", "Detected", "In time", "False/h", "Mean lead (ms)"},
+	}
+	for _, debounce := range []int{1, 2, 3} {
+		var hours, lead float64
+		var falls, detected, inTime, fa, leadN int
+		for _, s := range sessions {
+			out, err := det.EvaluateSession(s, falldet.AirbagConfig{Debounce: debounce})
+			if err != nil {
+				return err
+			}
+			hours += out.Hours
+			falls += out.Falls
+			detected += out.Detected
+			inTime += out.InTime
+			fa += out.FalseAlarms
+			for _, v := range out.LeadTimesMS {
+				lead += v
+				leadN++
+			}
+		}
+		meanLead := 0.0
+		if leadN > 0 {
+			meanLead = lead / float64(leadN)
+		}
+		tb.AddRow(debounce, fmt.Sprintf("%.2f", hours), falls, detected, inTime,
+			fmt.Sprintf("%.1f", float64(fa)/hours), fmt.Sprintf("%.0f", meanLead))
+		fmt.Fprintf(os.Stderr, "session: debounce %d done\n", debounce)
+	}
+	tb.Fprint(os.Stdout)
+	fmt.Println("higher debounce trades detection latency for fewer spurious activations")
+	return nil
+}

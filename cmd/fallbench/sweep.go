@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/falldet"
+	"repro/internal/report"
+)
+
+// expSweep reproduces the §III-A design-space exploration: CNN F1
+// across window sizes 100–400 ms and overlaps 0–75 %. The paper picks
+// 400 ms / 50 % from this sweep.
+func expSweep(data *falldet.Dataset, sc scale, seed int64) error {
+	windows := []int{100, 200, 300, 400}
+	overlaps := []float64{0, 0.25, 0.5, 0.75}
+
+	tb := &report.Table{
+		Title:   "Window × overlap sweep — CNN F1 (%)",
+		Headers: []string{"Window"},
+	}
+	for _, ov := range overlaps {
+		tb.Headers = append(tb.Headers, fmt.Sprintf("%.0f%% ovl", 100*ov))
+	}
+	best, bestF1 := "", -1.0
+	for _, win := range windows {
+		row := []any{fmt.Sprintf("%d ms", win)}
+		for _, ov := range overlaps {
+			res, err := falldet.CrossValidate(data, falldet.KindCNN, sc.config(win, ov, seed))
+			if err != nil {
+				return err
+			}
+			f1 := res.Pooled.F1()
+			row = append(row, report.Pct(f1))
+			if f1 > bestF1 {
+				bestF1, best = f1, fmt.Sprintf("%d ms / %.0f%%", win, 100*ov)
+			}
+			fmt.Fprintf(os.Stderr, "sweep: %d ms %.0f%% done\n", win, 100*ov)
+		}
+		tb.AddRow(row...)
+	}
+	tb.Fprint(os.Stdout)
+	fmt.Printf("best configuration: %s (F1 %.2f%%); paper selects 400 ms / 50%%\n", best, 100*bestF1)
+	return nil
+}

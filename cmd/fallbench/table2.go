@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/synth"
+)
+
+// expTable2 reproduces Table II: the activity registry with fall /
+// ADL colouring and per-source membership, plus the derived counts
+// the paper quotes (23 ADLs + 21 falls worksite; 21 + 15 KFall).
+func expTable2() error {
+	var wsF, wsA, kfF, kfA int
+	for _, task := range synth.AllTasks() {
+		kind := "ADL "
+		if task.IsFall() {
+			kind = "FALL"
+			wsF++
+			if task.InKFall {
+				kfF++
+			}
+		} else {
+			wsA++
+			if task.InKFall {
+				kfA++
+			}
+		}
+		src := "worksite-only"
+		if task.InKFall {
+			src = "both sources"
+		}
+		red := ""
+		if task.Red {
+			red = " [red]"
+		}
+		fmt.Fprintf(os.Stdout, "  %2d  %s  %-60s %s%s\n", task.ID, kind, task.Name, src, red)
+	}
+	fmt.Printf("\nworksite: %d ADLs + %d falls (paper: 23 + 21)\n", wsA, wsF)
+	fmt.Printf("kfall:    %d ADLs + %d falls (paper: 21 + 15)\n", kfA, kfF)
+	return nil
+}

@@ -1,0 +1,126 @@
+// Command falledge demonstrates the real-time on-device pipeline: it
+// trains (or loads) a detector, replays trials through the streaming
+// detector sample by sample, and prints the airbag trigger timeline
+// with inflation-deadline accounting, plus the STM32F722 cost report.
+//
+//	falledge -window 400 -overlap 0.75 -trials 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/falldet"
+	"repro/internal/dataset"
+	"repro/internal/edge"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("falledge: ")
+	window := flag.Int("window", 400, "segment size, ms")
+	overlap := flag.Float64("overlap", 0.75, "streaming overlap (higher = denser evaluation grid)")
+	epochs := flag.Int("epochs", 25, "training epochs")
+	subjects := flag.Int("subjects", 6, "subjects per source")
+	maxTrials := flag.Int("trials", 12, "trials to replay verbosely")
+	seed := flag.Int64("seed", 1, "random seed")
+	load := flag.String("load", "", "load CNN weights instead of training")
+	flag.Parse()
+
+	data, err := falldet.Synthesize(falldet.SynthConfig{
+		WorksiteSubjects: *subjects, KFallSubjects: *subjects, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := falldet.Config{
+		WindowMS: *window, Overlap: *overlap,
+		Epochs: *epochs, Patience: max(3, *epochs/4),
+		MaxTrainNeg: 3000, Seed: *seed,
+	}
+
+	var det *falldet.Detector
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		det, err = falldet.Load(f, falldet.KindCNN, cfg)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded CNN weights from %s\n", *load)
+	} else {
+		fmt.Println("training the CNN (use -load to skip)...")
+		det, err = falldet.Train(data, falldet.KindCNN, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Device cost report.
+	segs, err := falldet.ExtractSegments(data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := det.Quantize(falldet.CalibrationWindows(segs, 100, *seed), edge.STM32F722())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s: %.2f KiB flash, %.2f KiB RAM, %v inference + %v fusion per segment\n\n",
+		dep.Target.Name, dep.FlashKiB, dep.RAMKiB, dep.InferenceTime, dep.FusionTime)
+
+	stream, err := det.Stream()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	shown := 0
+	var falls, inTime, adls, falseAlarms int
+	for i := range data.Trials {
+		tr := &data.Trials[i]
+		sim := stream.Simulate(tr)
+		if tr.IsFall() {
+			falls++
+			if sim.InTime {
+				inTime++
+			}
+		} else {
+			adls++
+			if sim.FalseAlarm {
+				falseAlarms++
+			}
+		}
+		if shown < *maxTrials {
+			shown++
+			describe(tr, sim)
+		}
+	}
+	fmt.Printf("\nsummary: %d/%d falls triggered with ≥%d ms lead; %d/%d ADL false activations\n",
+		inTime, falls, dataset.AirbagInflationMS, falseAlarms, adls)
+}
+
+func describe(tr *dataset.Trial, sim edge.TrialSim) {
+	kind := "ADL "
+	if tr.IsFall() {
+		kind = "FALL"
+	}
+	switch {
+	case tr.IsFall() && sim.InTime:
+		fmt.Printf("  %s task %2d subj %3d: airbag fired at sample %d, %.0f ms before impact ✓\n",
+			kind, tr.Task, tr.Subject, sim.TriggerSample, sim.LeadTimeMS)
+	case tr.IsFall() && sim.Triggered:
+		fmt.Printf("  %s task %2d subj %3d: fired at sample %d but only %.0f ms lead ✗\n",
+			kind, tr.Task, tr.Subject, sim.TriggerSample, sim.LeadTimeMS)
+	case tr.IsFall():
+		fmt.Printf("  %s task %2d subj %3d: fall missed ✗\n", kind, tr.Task, tr.Subject)
+	case sim.FalseAlarm:
+		fmt.Printf("  %s task %2d subj %3d: spurious activation at sample %d ✗\n",
+			kind, tr.Task, tr.Subject, sim.TriggerSample)
+	default:
+		fmt.Printf("  %s task %2d subj %3d: quiet ✓\n", kind, tr.Task, tr.Subject)
+	}
+}

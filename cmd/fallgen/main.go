@@ -1,0 +1,64 @@
+// Command fallgen synthesises the two dataset flavours (worksite and
+// KFall) to CSV files in the flat per-sample interchange format, for
+// inspection or for feeding cmd/falltrain.
+//
+//	fallgen -out data/ -ws 29 -kf 32 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fallgen: ")
+	out := flag.String("out", ".", "output directory")
+	ws := flag.Int("ws", 29, "worksite subjects (paper: 29)")
+	kf := flag.Int("kf", 32, "kfall subjects (paper: 32)")
+	trials := flag.Int("trials", 1, "trials per subject per task")
+	longSec := flag.Float64("long", 8, "duration of the 30-second static tasks")
+	seed := flag.Int64("seed", 1, "random seed")
+	align := flag.Bool("align", false, "standardise units/orientation before writing")
+	flag.Parse()
+
+	opt := synth.Options{TrialsPerTask: *trials, LongTaskSeconds: *longSec}
+	write := func(name string, d *dataset.Dataset) {
+		if *align {
+			d.StandardizeAll()
+		}
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := d.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		st := d.ComputeStats()
+		fmt.Printf("%s: %d trials (%d falls), %d subjects, %d samples\n",
+			path, st.Trials, st.Falls, st.Subjects, st.Samples)
+	}
+
+	if *ws > 0 {
+		d, err := synth.GenerateWorksite(*ws, opt, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write("worksite.csv", d)
+	}
+	if *kf > 0 {
+		d, err := synth.GenerateKFall(*kf, opt, *seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write("kfall.csv", d)
+	}
+}

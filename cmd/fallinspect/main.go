@@ -1,0 +1,147 @@
+// Command fallinspect prints per-task signal statistics of a dataset
+// (CSV from fallgen, or synthesised on the fly): trial counts,
+// durations, fall-phase lengths, acceleration extremes — the sanity
+// view used to validate the biomechanical generator against the
+// paper's descriptions (e.g. falling phases of 150–1100 ms, free-fall
+// dips, impact peaks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/dsp"
+	"repro/internal/imu"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+type taskStats struct {
+	trials     int
+	samples    int
+	fallDurMS  []float64
+	minFallAcc []float64 // min |acc| during falling phase
+	peakAcc    float64
+	peakGyro   float64
+	cadence    []float64 // dominant vertical-axis frequency, Hz
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fallinspect: ")
+	csvPath := flag.String("csv", "", "dataset CSV (omit to synthesise)")
+	subjects := flag.Int("subjects", 4, "subjects when synthesising")
+	seed := flag.Int64("seed", 1, "seed when synthesising")
+	flag.Parse()
+
+	var d *dataset.Dataset
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err = dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var err error
+		d, err = synth.GenerateWorksite(*subjects, synth.Options{}, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	d.StandardizeAll()
+
+	byTask := map[int]*taskStats{}
+	for i := range d.Trials {
+		tr := &d.Trials[i]
+		st := byTask[tr.Task]
+		if st == nil {
+			st = &taskStats{}
+			byTask[tr.Task] = st
+		}
+		st.trials++
+		st.samples += len(tr.Samples)
+		for _, s := range tr.Samples {
+			if m := s.Acc.Norm(); m > st.peakAcc {
+				st.peakAcc = m
+			}
+			if m := s.Gyro.Norm(); m > st.peakGyro {
+				st.peakGyro = m
+			}
+		}
+		if z := tr.Channel(imu.AccZ); len(z) >= 256 {
+			if hz, err := dsp.DominantFrequency(z, dataset.SampleRate, 0.5); err == nil {
+				st.cadence = append(st.cadence, hz)
+			}
+		}
+		if tr.IsFall() {
+			st.fallDurMS = append(st.fallDurMS, float64(tr.Impact-tr.FallOnset)*10)
+			minA := math.Inf(1)
+			for _, s := range tr.Samples[tr.FallOnset:tr.Impact] {
+				if m := s.Acc.Norm(); m < minA {
+					minA = m
+				}
+			}
+			st.minFallAcc = append(st.minFallAcc, minA)
+		}
+	}
+
+	ids := make([]int, 0, len(byTask))
+	for id := range byTask {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	tb := &report.Table{
+		Title: "Per-task signal statistics",
+		Headers: []string{"Task", "Kind", "Trials", "Mean dur (s)", "Cadence (Hz)",
+			"Fall dur (ms)", "Min |a| in fall (g)", "Peak |a| (g)", "Peak |ω| (°/s)"},
+	}
+	for _, id := range ids {
+		st := byTask[id]
+		task, err := synth.TaskByID(id)
+		kind := "?"
+		if err == nil {
+			if task.IsFall() {
+				kind = "fall"
+			} else {
+				kind = "adl"
+			}
+		}
+		fallDur, minAcc, cadence := "-", "-", "-"
+		if len(st.fallDurMS) > 0 {
+			fallDur = fmt.Sprintf("%.0f", mean(st.fallDurMS))
+			minAcc = fmt.Sprintf("%.2f", mean(st.minFallAcc))
+		}
+		if len(st.cadence) > 0 {
+			cadence = fmt.Sprintf("%.1f", mean(st.cadence))
+		}
+		tb.AddRow(id, kind, st.trials,
+			fmt.Sprintf("%.1f", float64(st.samples)/float64(st.trials)/100),
+			cadence, fallDur, minAcc,
+			fmt.Sprintf("%.1f", st.peakAcc),
+			fmt.Sprintf("%.0f", st.peakGyro))
+	}
+	tb.Fprint(os.Stdout)
+
+	stats := d.ComputeStats()
+	fmt.Printf("\n%d trials, %d subjects, %.1f minutes; fall phase %.0f ms mean, %.0f ms shortest\n",
+		stats.Trials, stats.Subjects, float64(stats.Samples)/6000,
+		stats.FallDurationMeanMS, stats.FallDurationShortest)
+}
+
+func mean(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}

@@ -1,0 +1,7 @@
+// Package repro is the root of the reproduction of "A Lightweight CNN
+// for Real-Time Pre-Impact Fall Detection" (DATE 2025). The public
+// API lives in repro/falldet; the substrates live under
+// repro/internal/…; bench_test.go in this package hosts the
+// per-table/figure benchmark harness (see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for measured results).
+package repro

@@ -1,0 +1,68 @@
+// Session: continuous-wear simulation. Trains the CNN, then "wears"
+// it for simulated sessions and reports the deployment numbers the
+// per-trial tables cannot show: false activations per hour of wear
+// and the airbag lead-time distribution, under different firing
+// policies (debounce / refractory).
+//
+//	go run ./examples/session
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/falldet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	data, err := falldet.Synthesize(falldet.SynthConfig{
+		WorksiteSubjects: 6,
+		KFallSubjects:    4,
+		Seed:             21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := falldet.Config{
+		WindowMS:    400,
+		Overlap:     0.75, // dense stride: re-evaluate every 100 ms
+		Epochs:      25,
+		Patience:    8,
+		MaxTrainNeg: 3000,
+		Seed:        21,
+	}
+	fmt.Println("training the CNN...")
+	det, err := falldet.Train(data, falldet.KindCNN, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A worker's (compressed) shift: falls occur at 20/hour so a short
+	// simulation still contains several.
+	session, err := falldet.GenerateSession(500, falldet.SessionConfig{
+		Minutes:  8,
+		FallRate: 20,
+	}, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsession: %.2f h of continuous wear, %d episodes, %d falls\n",
+		session.DurationHours(), len(session.Events), len(session.Falls()))
+
+	for _, debounce := range []int{1, 2} {
+		out, err := det.EvaluateSession(session, falldet.AirbagConfig{Debounce: debounce})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nfiring policy: debounce=%d\n", debounce)
+		fmt.Printf("  falls detected   %d/%d (%d with ≥150 ms inflation lead)\n",
+			out.Detected, out.Falls, out.InTime)
+		fmt.Printf("  mean lead time   %.0f ms\n", out.MeanLeadMS())
+		fmt.Printf("  false alarms     %d (%.1f per hour)\n",
+			out.FalseAlarms, out.FalseAlarmsPerHour)
+	}
+	fmt.Println("\nraising debounce suppresses one-off spurious windows at the cost of")
+	fmt.Println("one extra stride (100 ms here) of detection latency per fall.")
+}

@@ -1,0 +1,242 @@
+package falldet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/edge"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/synth"
+	"repro/internal/tensor"
+)
+
+// Detector is a trained pre-impact fall detector ready for
+// evaluation, quantization or streaming deployment.
+type Detector struct {
+	cfg   Config
+	kind  Kind
+	model model.Trainable
+}
+
+// Train fits a detector of the given family on the whole dataset,
+// holding out ValSubjects subjects for early stopping. Use
+// CrossValidate for unbiased metrics; Train is for producing the
+// deployable artefact.
+func Train(d *Dataset, kind Kind, cfg Config) (*Detector, error) {
+	cfg = cfg.withDefaults()
+	segCfg := dataset.SegmentConfig{WindowMS: cfg.WindowMS, Overlap: cfg.Overlap}
+	if err := segCfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	subjects := d.Subjects()
+	if len(subjects) <= cfg.ValSubjects {
+		return nil, fmt.Errorf("falldet: %d subjects cannot spare %d for validation",
+			len(subjects), cfg.ValSubjects)
+	}
+	rng.Shuffle(len(subjects), func(i, j int) { subjects[i], subjects[j] = subjects[j], subjects[i] })
+	valSet := map[int]bool{}
+	for _, s := range subjects[:cfg.ValSubjects] {
+		valSet[s] = true
+	}
+
+	segs, err := d.ExtractAll(segCfg)
+	if err != nil {
+		return nil, err
+	}
+	var train, val []nn.Example
+	pos := 0
+	for i := range segs {
+		e := nn.Example{X: segs[i].X, Y: segs[i].Y}
+		if valSet[segs[i].Subject] {
+			val = append(val, e)
+		} else {
+			train = append(train, e)
+			pos += e.Y
+		}
+	}
+	if len(train) == 0 {
+		return nil, fmt.Errorf("falldet: no training segments")
+	}
+
+	m, err := buildModel(kind, segCfg.WindowSamples(), pos, len(train), rng)
+	if err != nil {
+		return nil, err
+	}
+	tc := nn.TrainConfig{Epochs: cfg.Epochs, Patience: cfg.Patience, BatchSize: 32, Log: cfg.Log}
+	if err := m.Fit(train, val, tc, rng); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg, kind: kind, model: m}, nil
+}
+
+func buildModel(kind Kind, winSamples, pos, total int, rng *rand.Rand) (model.Trainable, error) {
+	switch kind {
+	case KindThresholdAcc, KindThresholdGyro:
+		return model.NewThreshold(kind)
+	default:
+		return model.New(kind, model.Config{
+			WindowSamples: winSamples,
+			PosCount:      pos,
+			TotalCount:    total,
+		}, rng)
+	}
+}
+
+// Kind returns the detector's model family.
+func (det *Detector) Kind() Kind { return det.kind }
+
+// Score classifies one [T × 9] window.
+func (det *Detector) Score(x *tensor.Tensor) float64 { return det.model.Score(x) }
+
+// Evaluate scores a labelled segment set.
+func (det *Detector) Evaluate(segs []Segment) nn.Confusion {
+	var c nn.Confusion
+	for i := range segs {
+		c.AddThreshold(det.model.Score(segs[i].X), segs[i].Y, det.cfg.Threshold)
+	}
+	return c
+}
+
+// Stream wraps the detector in the real-time on-device pipeline.
+func (det *Detector) Stream() (*StreamDetector, error) {
+	return edge.NewDetector(det.model, edge.DetectorConfig{
+		WindowMS:  det.cfg.WindowMS,
+		Overlap:   det.cfg.Overlap,
+		Threshold: det.cfg.Threshold,
+	})
+}
+
+// Deployment is the §IV-C on-edge report for a quantized detector.
+type Deployment struct {
+	Q *quant.QNetwork
+	// FlashKiB and RAMKiB are the quantized footprints.
+	FlashKiB, RAMKiB float64
+	// InferenceTime and FusionTime are per-segment costs on Target.
+	InferenceTime time.Duration
+	FusionTime    time.Duration
+	// FitsFlash / FitsRAM report against the target's budget.
+	FitsFlash, FitsRAM bool
+	Target             Device
+}
+
+// Quantize converts the detector's network to int8 using the given
+// calibration windows and sizes it against the target device. Only
+// the deployable families (CNN, MLP) are supported, matching the
+// paper's deployment.
+func (det *Detector) Quantize(calibration []*tensor.Tensor, target Device) (*Deployment, error) {
+	nm, ok := det.model.(*model.NetModel)
+	if !ok {
+		return nil, fmt.Errorf("falldet: %s is not a quantizable network model", det.model.Name())
+	}
+	cal, err := quant.Calibrate(nm.Net, calibration)
+	if err != nil {
+		return nil, err
+	}
+	winSamples := det.cfg.WindowMS * dataset.SampleRate / 1000
+	qn, err := quant.Build(nm.Net, cal, []int{winSamples, 9})
+	if err != nil {
+		return nil, err
+	}
+	cost, err := edge.ModelCost(nm.Net, []int{winSamples, 9})
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{
+		Q:             qn,
+		FlashKiB:      float64(qn.FlashBytes()) / 1024,
+		RAMKiB:        float64(qn.RAMBytes()) / 1024,
+		InferenceTime: target.InferenceTime(cost),
+		FusionTime:    target.FusionTime(winSamples),
+		FitsFlash:     target.FitsFlash(qn.FlashBytes()),
+		FitsRAM:       target.FitsRAM(qn.RAMBytes()),
+		Target:        target,
+	}, nil
+}
+
+// Save serialises a network-backed detector's weights.
+func (det *Detector) Save(w io.Writer) error {
+	nm, ok := det.model.(*model.NetModel)
+	if !ok {
+		return fmt.Errorf("falldet: %s has no weights to save", det.model.Name())
+	}
+	return nm.Net.Save(w)
+}
+
+// Load restores weights into a freshly constructed detector of the
+// same kind and configuration.
+func Load(r io.Reader, kind Kind, cfg Config) (*Detector, error) {
+	cfg = cfg.withDefaults()
+	winSamples := cfg.WindowMS * dataset.SampleRate / 1000
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m, err := buildModel(kind, winSamples, 0, 0, rng)
+	if err != nil {
+		return nil, err
+	}
+	nm, ok := m.(*model.NetModel)
+	if !ok {
+		return nil, fmt.Errorf("falldet: %v cannot be loaded from weights", kind)
+	}
+	if err := nm.Net.Load(r); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg, kind: kind, model: m}, nil
+}
+
+// Session re-exports the continuous-wear stream type.
+type Session = synth.Session
+
+// SessionConfig re-exports its configuration.
+type SessionConfig = synth.SessionConfig
+
+// SessionOutcome re-exports the continuous-wear evaluation summary.
+type SessionOutcome = eval.SessionOutcome
+
+// AirbagConfig re-exports the firing-policy configuration.
+type AirbagConfig = edge.AirbagConfig
+
+// GenerateSession synthesises one continuous session for subject id
+// (drawn from the worksite cohort statistics).
+func GenerateSession(subjectID int, cfg SessionConfig, seed int64) (*Session, error) {
+	rng := rand.New(rand.NewSource(seed))
+	subj := synth.NewSubject(subjectID, rng)
+	return synth.GenerateSession(subj, cfg, rng)
+}
+
+// EvaluateSession replays a session through the detector's streaming
+// pipeline under the given airbag firing policy, producing the
+// deployment metrics (false activations per hour, lead times).
+func (det *Detector) EvaluateSession(s *Session, bag AirbagConfig) (SessionOutcome, error) {
+	stream, err := det.Stream()
+	if err != nil {
+		return SessionOutcome{}, err
+	}
+	return eval.EvaluateSession(stream, edge.NewAirbag(bag), s), nil
+}
+
+// ExtractSegments exposes the labelled segmentation used everywhere.
+func ExtractSegments(d *Dataset, cfg Config) ([]Segment, error) {
+	cfg = cfg.withDefaults()
+	return d.ExtractAll(dataset.SegmentConfig{WindowMS: cfg.WindowMS, Overlap: cfg.Overlap})
+}
+
+// CalibrationWindows pulls n segment tensors for quantization
+// calibration, deterministically.
+func CalibrationWindows(segs []Segment, n int, seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	ix := rng.Perm(len(segs))
+	if n > len(ix) {
+		n = len(ix)
+	}
+	out := make([]*tensor.Tensor, 0, n)
+	for _, i := range ix[:n] {
+		out = append(out, segs[i].X)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+// Package augment implements the paper's two data-augmentation
+// techniques for the minority (falling) class: time warping (Um et
+// al. 2017 [16]) which smoothly stretches and compresses the signal,
+// and window warping (Rashid & Louis 2019 [17]) which speeds a random
+// sub-window up or down. Both operate on [T × C] segments and
+// preserve the segment length, simulating variation in fall speed.
+package augment
+
+import (
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TimeWarpConfig parameterises the smooth warp.
+type TimeWarpConfig struct {
+	// Knots is the number of random warp knots (default 4).
+	Knots int
+	// Sigma is the relative speed perturbation at each knot
+	// (default 0.2: local speed varies ±~20 %).
+	Sigma float64
+}
+
+func (c TimeWarpConfig) withDefaults() TimeWarpConfig {
+	if c.Knots <= 0 {
+		c.Knots = 4
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = 0.2
+	}
+	return c
+}
+
+// TimeWarp returns a smoothly time-warped copy of the [T × C] segment.
+// A smooth random speed profile is integrated into a monotone warp
+// path which is then rescaled to preserve the endpoints, so the
+// output has the same length and overall span as the input.
+func TimeWarp(x *tensor.Tensor, cfg TimeWarpConfig, rng *rand.Rand) *tensor.Tensor {
+	cfg = cfg.withDefaults()
+	T, C := x.Dim(0), x.Dim(1)
+	if T < 2 {
+		return x.Clone()
+	}
+	// Random positive speed at each knot, smoothed across T steps.
+	knots := make([]float64, cfg.Knots)
+	for i := range knots {
+		s := 1 + cfg.Sigma*rng.NormFloat64()
+		if s < 0.3 {
+			s = 0.3
+		}
+		knots[i] = s
+	}
+	speed := dsp.SmoothCurve(knots, T)
+	// Integrate speed into a path, then normalise to [0, T-1].
+	path := make(dsp.WarpPath, T)
+	acc := 0.0
+	for i := 1; i < T; i++ {
+		acc += (speed[i-1] + speed[i]) / 2
+		path[i] = acc
+	}
+	scale := float64(T-1) / path[T-1]
+	for i := range path {
+		path[i] *= scale
+	}
+	return warpColumns(x, path, T, C)
+}
+
+// WindowWarpConfig parameterises the window warp.
+type WindowWarpConfig struct {
+	// MinFrac/MaxFrac bound the warped sub-window's fraction of the
+	// segment (defaults 0.2–0.5).
+	MinFrac, MaxFrac float64
+	// SlowFactor is the time dilation applied to the sub-window; the
+	// inverse is used when speeding up (default 2).
+	SlowFactor float64
+}
+
+func (c WindowWarpConfig) withDefaults() WindowWarpConfig {
+	if c.MinFrac <= 0 {
+		c.MinFrac = 0.2
+	}
+	if c.MaxFrac <= 0 {
+		c.MaxFrac = 0.5
+	}
+	if c.SlowFactor <= 1 {
+		c.SlowFactor = 2
+	}
+	return c
+}
+
+// WindowWarp picks a random sub-window and replays it at half or
+// double speed, resampling the result back to the original length.
+func WindowWarp(x *tensor.Tensor, cfg WindowWarpConfig, rng *rand.Rand) *tensor.Tensor {
+	cfg = cfg.withDefaults()
+	T, C := x.Dim(0), x.Dim(1)
+	if T < 4 {
+		return x.Clone()
+	}
+	frac := cfg.MinFrac + (cfg.MaxFrac-cfg.MinFrac)*rng.Float64()
+	w := int(float64(T) * frac)
+	if w < 2 {
+		w = 2
+	}
+	start := rng.Intn(T - w)
+	factor := cfg.SlowFactor
+	if rng.Intn(2) == 0 {
+		factor = 1 / factor
+	}
+	// Build the warp path: identity before the window, speed change
+	// inside, identity after; then renormalise to [0, T-1].
+	path := make(dsp.WarpPath, T)
+	acc := 0.0
+	for i := 1; i < T; i++ {
+		step := 1.0
+		if i > start && i <= start+w {
+			step = 1 / factor // moving slower through source = dilation
+		}
+		acc += step
+		path[i] = acc
+	}
+	scale := float64(T-1) / path[T-1]
+	for i := range path {
+		path[i] *= scale
+	}
+	return warpColumns(x, path, T, C)
+}
+
+func warpColumns(x *tensor.Tensor, path dsp.WarpPath, T, C int) *tensor.Tensor {
+	out := tensor.New(T, C)
+	col := make([]float64, T)
+	for c := 0; c < C; c++ {
+		for t := 0; t < T; t++ {
+			col[t] = x.At(t, c)
+		}
+		warped := dsp.ApplyWarp(col, path)
+		for t := 0; t < T; t++ {
+			out.Set(warped[t], t, c)
+		}
+	}
+	return out
+}
+
+// Positives expands the positive (falling) examples of a training set
+// by factor: each positive spawns factor extra examples, alternating
+// time warping and window warping, as the paper applies both. The
+// original examples are preserved; negatives pass through untouched.
+func Positives(train []nn.Example, factor int, rng *rand.Rand) []nn.Example {
+	if factor <= 0 {
+		return train
+	}
+	out := make([]nn.Example, 0, len(train))
+	out = append(out, train...)
+	for _, e := range train {
+		if e.Y != 1 {
+			continue
+		}
+		for k := 0; k < factor; k++ {
+			var x *tensor.Tensor
+			if k%2 == 0 {
+				x = TimeWarp(e.X, TimeWarpConfig{}, rng)
+			} else {
+				x = WindowWarp(e.X, WindowWarpConfig{}, rng)
+			}
+			out = append(out, nn.Example{X: x, Y: 1})
+		}
+	}
+	return out
+}

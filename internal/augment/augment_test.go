@@ -1,0 +1,183 @@
+package augment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func rampSegment(T, C int) *tensor.Tensor {
+	x := tensor.New(T, C)
+	for t := 0; t < T; t++ {
+		for c := 0; c < C; c++ {
+			x.Set(float64(t)+10*float64(c), t, c)
+		}
+	}
+	return x
+}
+
+func TestTimeWarpPreservesShapeAndEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := rampSegment(40, 9)
+	y := TimeWarp(x, TimeWarpConfig{}, rng)
+	if y.Dim(0) != 40 || y.Dim(1) != 9 {
+		t.Fatalf("shape %v", y.Shape())
+	}
+	for c := 0; c < 9; c++ {
+		if math.Abs(y.At(0, c)-x.At(0, c)) > 1e-9 {
+			t.Fatalf("start of channel %d moved: %g vs %g", c, y.At(0, c), x.At(0, c))
+		}
+		if math.Abs(y.At(39, c)-x.At(39, c)) > 1e-9 {
+			t.Fatalf("end of channel %d moved", c)
+		}
+	}
+}
+
+func TestTimeWarpActuallyWarps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(40, 2)
+	for i := 0; i < 40; i++ {
+		x.Set(math.Sin(float64(i)/3), i, 0)
+		x.Set(math.Cos(float64(i)/4), i, 1)
+	}
+	y := TimeWarp(x, TimeWarpConfig{Sigma: 0.4}, rng)
+	diff := 0.0
+	for i := range x.Data() {
+		diff += math.Abs(x.Data()[i] - y.Data()[i])
+	}
+	if diff < 0.1 {
+		t.Fatalf("time warp changed almost nothing (Δ=%g)", diff)
+	}
+}
+
+func TestTimeWarpBounded(t *testing.T) {
+	// Warping is interpolation: values stay within the channel's hull.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		T := 10 + rng.Intn(40)
+		x := tensor.New(T, 3)
+		for i := range x.Data() {
+			x.Data()[i] = rng.NormFloat64()
+		}
+		y := TimeWarp(x, TimeWarpConfig{}, rng)
+		for c := 0; c < 3; c++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for t := 0; t < T; t++ {
+				lo = math.Min(lo, x.At(t, c))
+				hi = math.Max(hi, x.At(t, c))
+			}
+			for t := 0; t < T; t++ {
+				if y.At(t, c) < lo-1e-9 || y.At(t, c) > hi+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWarpMonotonePath(t *testing.T) {
+	// A strictly increasing channel must stay non-decreasing after a
+	// monotone warp.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := rampSegment(30, 1)
+		y := TimeWarp(x, TimeWarpConfig{Sigma: 0.5}, rng)
+		for tt := 1; tt < 30; tt++ {
+			if y.At(tt, 0) < y.At(tt-1, 0)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWarpDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(1, 2)
+	x.Set(5, 0, 0)
+	y := TimeWarp(x, TimeWarpConfig{}, rng)
+	if y.At(0, 0) != 5 {
+		t.Fatal("degenerate segment altered")
+	}
+}
+
+func TestWindowWarpShapeAndChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(40, 2)
+	for i := 0; i < 40; i++ {
+		x.Set(math.Sin(float64(i)/2), i, 0)
+		x.Set(float64(i%7), i, 1)
+	}
+	y := WindowWarp(x, WindowWarpConfig{}, rng)
+	if y.Dim(0) != 40 || y.Dim(1) != 2 {
+		t.Fatalf("shape %v", y.Shape())
+	}
+	diff := 0.0
+	for i := range x.Data() {
+		diff += math.Abs(x.Data()[i] - y.Data()[i])
+	}
+	if diff < 0.1 {
+		t.Fatal("window warp changed almost nothing")
+	}
+}
+
+func TestWindowWarpDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(3, 1)
+	y := WindowWarp(x, WindowWarpConfig{}, rng)
+	if y.Dim(0) != 3 {
+		t.Fatal("degenerate shape")
+	}
+}
+
+func TestPositivesExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mk := func(y int) nn.Example {
+		x := tensor.New(20, 9)
+		for i := range x.Data() {
+			x.Data()[i] = rng.NormFloat64()
+		}
+		return nn.Example{X: x, Y: y}
+	}
+	train := []nn.Example{mk(0), mk(1), mk(0), mk(1), mk(0)}
+	out := Positives(train, 3, rng)
+	// 5 originals + 2 positives × 3.
+	if len(out) != 11 {
+		t.Fatalf("augmented size %d, want 11", len(out))
+	}
+	pos := 0
+	for _, e := range out {
+		if e.Y == 1 {
+			pos++
+		}
+	}
+	if pos != 8 {
+		t.Fatalf("positive count %d, want 8", pos)
+	}
+	// Originals must be preserved at the front.
+	for i := range train {
+		if out[i].X != train[i].X || out[i].Y != train[i].Y {
+			t.Fatal("originals not preserved")
+		}
+	}
+}
+
+func TestPositivesNoFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	train := []nn.Example{{X: tensor.New(10, 9), Y: 1}}
+	out := Positives(train, 0, rng)
+	if len(out) != 1 {
+		t.Fatal("factor 0 must be a no-op")
+	}
+}

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/imu"
+)
+
+func TestStandardizeKFallRoundTrip(t *testing.T) {
+	// Build a canonical worksite trial, disguise it as KFall raw data
+	// (m/s², rotated frame), then Standardize must recover the
+	// original inertial channels.
+	orig := mkTrial(101, 6, 200, false)
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = 0.1 * math.Sin(float64(i)/10)
+	}
+	orig.SetChannel(imu.AccX, x)
+	orig.SetChannel(imu.GyroZ, x)
+
+	disguised := orig
+	disguised.Samples = append([]imu.Sample(nil), orig.Samples...)
+	rot := KFallFrameRotation()
+	for i := range disguised.Samples {
+		s := disguised.Samples[i]
+		s.Acc = s.Acc.Scale(imu.StandardGravity)
+		disguised.Samples[i] = rot.Rotate(s)
+	}
+	disguised.Source = SourceKFall
+
+	Standardize(&disguised)
+	if disguised.Source != SourceWorksite {
+		t.Fatal("source not normalised")
+	}
+	for i := range orig.Samples {
+		a, b := orig.Samples[i].Acc, disguised.Samples[i].Acc
+		if math.Abs(a.X-b.X) > 1e-9 || math.Abs(a.Y-b.Y) > 1e-9 || math.Abs(a.Z-b.Z) > 1e-9 {
+			t.Fatalf("acc not recovered at %d: %v vs %v", i, a, b)
+		}
+		g, h := orig.Samples[i].Gyro, disguised.Samples[i].Gyro
+		if math.Abs(g.X-h.X) > 1e-9 || math.Abs(g.Y-h.Y) > 1e-9 || math.Abs(g.Z-h.Z) > 1e-9 {
+			t.Fatalf("gyro not recovered at %d", i)
+		}
+	}
+}
+
+func TestStandardizeComputesEuler(t *testing.T) {
+	// A trial lying on the back (gravity on +X): after fusion the
+	// pitch must be strongly negative (≈ −90°) per the fusion
+	// convention pitch = atan2(−ax, √(ay²+az²)).
+	tr := mkTrial(1, 17, 300, false)
+	for i := range tr.Samples {
+		tr.Samples[i].Acc = imu.Vec3{X: 1}
+	}
+	Standardize(&tr)
+	e := tr.Samples[250].Euler
+	if math.Abs(e.X+90) > 3 {
+		t.Fatalf("supine pitch = %g, want ≈ −90", e.X)
+	}
+}
+
+func TestStandardizeAllIdempotentOnWorksite(t *testing.T) {
+	tr := mkTrial(1, 1, 100, false)
+	d := &Dataset{Trials: []Trial{tr}}
+	d.StandardizeAll()
+	first := append([]imu.Sample(nil), d.Trials[0].Samples...)
+	d.StandardizeAll()
+	for i := range first {
+		if first[i] != d.Trials[0].Samples[i] {
+			t.Fatal("StandardizeAll not idempotent on aligned data")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := &Dataset{Trials: []Trial{
+		mkTrial(1, 6, 50, false),
+		mkTrial(2, 30, 120, true),
+	}}
+	d.Trials[0].Samples[3].Gyro = imu.Vec3{X: 1.25, Y: -3.5, Z: 0.001}
+	d.Trials[1].Source = SourceKFall
+
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trials) != 2 {
+		t.Fatalf("read %d trials", len(got.Trials))
+	}
+	for i := range d.Trials {
+		a, b := &d.Trials[i], &got.Trials[i]
+		if a.Subject != b.Subject || a.Task != b.Task || a.Source != b.Source ||
+			a.FallOnset != b.FallOnset || a.Impact != b.Impact {
+			t.Fatalf("trial %d metadata differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.Samples) != len(b.Samples) {
+			t.Fatalf("trial %d sample count differs", i)
+		}
+		for j := range a.Samples {
+			fa, fb := a.Samples[j].Features(), b.Samples[j].Features()
+			for c := range fa {
+				if math.Abs(fa[c]-fb[c]) > 1e-9 {
+					t.Fatalf("trial %d sample %d ch %d differs", i, j, c)
+				}
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                                      // no header
+		"a,b\n",                                 // wrong column count
+		strings.Repeat("x,", 15) + "x\n1,2,3\n", // bad row
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadCSVRejectsBrokenSampleOrder(t *testing.T) {
+	d := &Dataset{Trials: []Trial{mkTrial(1, 6, 3, false)}}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a sample index (2nd data row's "sample" column from 1 to 7).
+	s := buf.String()
+	lines := strings.Split(s, "\n")
+	f := strings.Split(lines[2], ",")
+	f[6] = "7"
+	lines[2] = strings.Join(f, ",")
+	if _, err := ReadCSV(strings.NewReader(strings.Join(lines, "\n"))); err == nil {
+		t.Fatal("broken sample ordering accepted")
+	}
+}

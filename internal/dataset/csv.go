@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/imu"
+)
+
+// csvHeader is the column layout of the interchange format: one row
+// per sample with trial metadata repeated, which keeps the format
+// flat, greppable and loadable without a side-car index.
+var csvHeader = []string{
+	"subject", "task", "trial", "source", "fall_onset", "impact", "sample",
+	"acc_x", "acc_y", "acc_z", "gyro_x", "gyro_y", "gyro_z",
+	"pitch", "roll", "yaw",
+}
+
+// WriteCSV writes the dataset in the flat per-sample CSV format.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for i := range d.Trials {
+		t := &d.Trials[i]
+		row[0] = strconv.Itoa(t.Subject)
+		row[1] = strconv.Itoa(t.Task)
+		row[2] = strconv.Itoa(t.Index)
+		row[3] = strconv.Itoa(int(t.Source))
+		row[4] = strconv.Itoa(t.FallOnset)
+		row[5] = strconv.Itoa(t.Impact)
+		for n, s := range t.Samples {
+			row[6] = strconv.Itoa(n)
+			f := s.Features()
+			for c := 0; c < imu.NumChannels; c++ {
+				row[7+c] = strconv.FormatFloat(f[c], 'g', 9, 64)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV. Rows must
+// be grouped by trial and ordered by sample index, as WriteCSV emits
+// them.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(head) != len(csvHeader) {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, want %d", len(head), len(csvHeader))
+	}
+
+	d := &Dataset{}
+	var cur *Trial
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		line++
+		ints := make([]int, 7)
+		for i := 0; i < 7; i++ {
+			v, err := strconv.Atoi(rec[i])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d col %s: %w", line, csvHeader[i], err)
+			}
+			ints[i] = v
+		}
+		var f [imu.NumChannels]float64
+		for c := 0; c < imu.NumChannels; c++ {
+			v, err := strconv.ParseFloat(rec[7+c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d col %s: %w", line, csvHeader[7+c], err)
+			}
+			f[c] = v
+		}
+		newTrial := cur == nil || cur.Subject != ints[0] || cur.Task != ints[1] ||
+			cur.Index != ints[2] || ints[6] == 0
+		if newTrial {
+			d.Trials = append(d.Trials, Trial{
+				Subject:   ints[0],
+				Task:      ints[1],
+				Index:     ints[2],
+				Source:    Source(ints[3]),
+				FallOnset: ints[4],
+				Impact:    ints[5],
+			})
+			cur = &d.Trials[len(d.Trials)-1]
+		}
+		if ints[6] != len(cur.Samples) {
+			return nil, fmt.Errorf("dataset: CSV line %d: sample index %d, want %d",
+				line, ints[6], len(cur.Samples))
+		}
+		cur.Samples = append(cur.Samples, imu.FromFeatures(f))
+	}
+	for i := range d.Trials {
+		if err := d.Trials[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+	"repro/internal/imu"
+	"repro/internal/tensor"
+)
+
+// Segment is one fixed-length window of 9-channel data, labelled
+// falling (1) or non-falling (0), with provenance for event-level
+// analysis.
+type Segment struct {
+	X *tensor.Tensor // [n × 9]
+	Y int            // 1 = falling, 0 = activity
+
+	Subject int
+	Task    int
+	TrialIx int
+	Start   int // window start sample within the trial
+}
+
+// SegmentConfig controls window extraction and labelling.
+type SegmentConfig struct {
+	// WindowMS is the segment duration in milliseconds (paper: 100–400).
+	WindowMS int
+	// Overlap is the fractional overlap between consecutive windows
+	// (paper: 0, 0.25, 0.5, 0.75).
+	Overlap float64
+	// MinFallMS is the minimum duration of falling-phase data that
+	// must be present at the tail of a window for the positive label.
+	// Zero selects the default of 80 ms.
+	MinFallMS int
+}
+
+// WindowSamples returns the window length in samples at SampleRate.
+func (c SegmentConfig) WindowSamples() int { return c.WindowMS * SampleRate / 1000 }
+
+func (c SegmentConfig) minFallSamples() int {
+	ms := c.MinFallMS
+	if ms <= 0 {
+		ms = 80
+	}
+	return ms * SampleRate / 1000
+}
+
+// Validate checks the configuration.
+func (c SegmentConfig) Validate() error {
+	if c.WindowMS < 10 {
+		return fmt.Errorf("dataset: window %d ms too short", c.WindowMS)
+	}
+	if c.WindowSamples() < 2 {
+		return fmt.Errorf("dataset: window %d ms is under 2 samples at %d Hz", c.WindowMS, SampleRate)
+	}
+	if c.Overlap < 0 || c.Overlap >= 1 {
+		return fmt.Errorf("dataset: overlap %g outside [0,1)", c.Overlap)
+	}
+	return nil
+}
+
+// ExtractSegments segments one trial according to the config.
+//
+// Labelling models the streaming detector: a window whose *end* lies
+// inside the truncated falling phase [FallOnset, TruncatedFallEnd]
+// and which carries at least MinFallMS of falling data at its tail is
+// a positive — that is the moment a real-time detector would need to
+// fire. Windows that contain any of the final AirbagInflationMS of
+// the fall or the impact transient are excluded entirely (the paper
+// removes the last 150 ms: a trigger there is too late, so neither
+// class may learn from those samples). Windows entirely in the
+// pre-fall or post-fall phases are negatives.
+func ExtractSegments(t *Trial, cfg SegmentConfig) ([]Segment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.WindowSamples()
+	wins, err := dsp.SlidingWindows(len(t.Samples), n, cfg.Overlap)
+	if err != nil {
+		return nil, err
+	}
+
+	var segs []Segment
+	for _, w := range wins {
+		label := 0
+		if t.IsFall() {
+			truncEnd := t.TruncatedFallEnd()
+			exclHi := t.Impact + impactExclusionSamples
+			// Windows reaching past the usable falling phase but into
+			// the excluded tail / impact transient are dropped.
+			if w.End() > truncEnd && w.Start < exclHi {
+				continue
+			}
+			fallLen := truncEnd - t.FallOnset
+			if fallLen > 0 && w.End() > t.FallOnset && w.End() <= truncEnd {
+				need := min(cfg.minFallSamples(), fallLen)
+				if overlapLen(w.Start, w.End(), t.FallOnset, truncEnd) >= need {
+					label = 1
+				}
+			}
+		}
+		seg := Segment{
+			X:       windowTensor(t, w.Start, n),
+			Y:       label,
+			Subject: t.Subject,
+			Task:    t.Task,
+			TrialIx: t.Index,
+			Start:   w.Start,
+		}
+		segs = append(segs, seg)
+	}
+	return segs, nil
+}
+
+func overlapLen(aLo, aHi, bLo, bHi int) int {
+	lo, hi := max(aLo, bLo), min(aHi, bHi)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func windowTensor(t *Trial, start, n int) *tensor.Tensor {
+	x := tensor.New(n, imu.NumChannels)
+	d := x.Data()
+	// Yaw is gyro-integrated with no absolute reference, so it drifts
+	// without bound over long wear; the window-relative yaw (rotation
+	// since the window start) is the drift-free feature the detector
+	// actually needs. Pitch/roll are gravity-anchored and stay
+	// absolute.
+	yaw0 := t.Samples[start].Features()[imu.EulerYaw]
+	for i := 0; i < n; i++ {
+		f := t.Samples[start+i].Features()
+		f[imu.EulerYaw] -= yaw0
+		for c := 0; c < imu.NumChannels; c++ {
+			// Fixed per-channel normalisation keeps the g-scale
+			// accelerations and the O(100) deg/s rates commensurate.
+			d[i*imu.NumChannels+c] = f[c] / imu.ChannelScale(c)
+		}
+	}
+	return x
+}
+
+// ExtractAll segments every trial of the dataset.
+func (d *Dataset) ExtractAll(cfg SegmentConfig) ([]Segment, error) {
+	var all []Segment
+	for i := range d.Trials {
+		segs, err := ExtractSegments(&d.Trials[i], cfg)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, segs...)
+	}
+	return all, nil
+}
+
+// CountLabels tallies positives and negatives in a segment set.
+func CountLabels(segs []Segment) (pos, neg int) {
+	for i := range segs {
+		if segs[i].Y == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return pos, neg
+}

@@ -1,0 +1,258 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/imu"
+)
+
+func TestSegmentConfigValidate(t *testing.T) {
+	good := SegmentConfig{WindowMS: 400, Overlap: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.WindowSamples() != 40 {
+		t.Fatalf("400 ms = %d samples", good.WindowSamples())
+	}
+	bad := []SegmentConfig{
+		{WindowMS: 5, Overlap: 0},
+		{WindowMS: 400, Overlap: -0.1},
+		{WindowMS: 400, Overlap: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated", c)
+		}
+	}
+}
+
+func TestExtractSegmentsADLAllNegative(t *testing.T) {
+	tr := mkTrial(1, 6, 500, false)
+	segs, err := ExtractSegments(&tr, SegmentConfig{WindowMS: 400, Overlap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	for _, s := range segs {
+		if s.Y != 0 {
+			t.Fatal("ADL produced a positive segment")
+		}
+		if s.X.Dim(0) != 40 || s.X.Dim(1) != imu.NumChannels {
+			t.Fatalf("segment shape %v", s.X.Shape())
+		}
+		if s.Subject != 1 || s.Task != 6 {
+			t.Fatal("provenance lost")
+		}
+	}
+	// Maximal count: (500-40)/20 + 1 = 24.
+	if len(segs) != 24 {
+		t.Fatalf("got %d segments, want 24", len(segs))
+	}
+}
+
+func TestExtractSegmentsFallLabels(t *testing.T) {
+	// Fall with onset 250, impact 300 → truncated end 285.
+	tr := mkTrial(1, 30, 600, true)
+	tr.FallOnset = 250
+	tr.Impact = 300
+	segs, err := ExtractSegments(&tr, SegmentConfig{WindowMS: 200, Overlap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := CountLabels(segs)
+	if pos == 0 {
+		t.Fatal("no positive segments for a 350 ms usable falling phase")
+	}
+	if neg == 0 {
+		t.Fatal("no negative segments")
+	}
+	for _, s := range segs {
+		end := s.Start + 20
+		// Windows reaching past truncEnd=285 into the impact region
+		// must have been dropped.
+		if end > 285 && s.Start < 330 {
+			t.Fatalf("segment at %d overlaps the excluded pre-impact zone", s.Start)
+		}
+		if s.Y == 1 {
+			// A positive window ends inside the usable falling phase
+			// with at least 80 ms of falling data.
+			if end <= 250 || end > 285 {
+				t.Fatalf("positive segment ends at %d outside (250, 285]", end)
+			}
+			if ov := overlapLen(s.Start, end, 250, 285); ov < 8 {
+				t.Fatalf("positive segment at %d has only %d falling samples", s.Start, ov)
+			}
+		}
+	}
+}
+
+func TestExtractSegmentsShortFall(t *testing.T) {
+	// Falling phase shorter than the window: onset 200, impact 230
+	// (300 ms), truncated end 215 — only 150 ms usable inside 400 ms
+	// windows. With 75 % overlap (step 10) a window ending at 210
+	// carries 100 ms ≥ 80 ms of falling tail and must be positive.
+	tr := mkTrial(1, 21, 600, true)
+	tr.FallOnset = 200
+	tr.Impact = 230
+	segs, err := ExtractSegments(&tr, SegmentConfig{WindowMS: 400, Overlap: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, _ := CountLabels(segs)
+	if pos == 0 {
+		t.Fatal("short fall produced no positive segments")
+	}
+}
+
+func TestExtractSegmentsUltraShortFall(t *testing.T) {
+	// Fall shorter than the inflation window: nothing usable remains;
+	// the trial must still segment (negatives away from the impact).
+	tr := mkTrial(1, 21, 600, true)
+	tr.FallOnset = 300
+	tr.Impact = 310
+	segs, err := ExtractSegments(&tr, SegmentConfig{WindowMS: 200, Overlap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := CountLabels(segs)
+	if pos != 0 {
+		t.Fatal("ultra-short fall produced positives")
+	}
+	if neg == 0 {
+		t.Fatal("no negatives survived")
+	}
+}
+
+func TestExtractSegmentsDataMatchesSource(t *testing.T) {
+	tr := mkTrial(1, 6, 100, false)
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	tr.SetChannel(imu.AccY, x)
+	segs, err := ExtractSegments(&tr, SegmentConfig{WindowMS: 200, Overlap: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := segs[1] // starts at 20
+	if s.Start != 20 {
+		t.Fatalf("second window starts at %d", s.Start)
+	}
+	if got := s.X.At(5, imu.AccY); got != 25 {
+		t.Fatalf("segment datum = %g, want 25", got)
+	}
+}
+
+func TestExtractAllAndLabelStats(t *testing.T) {
+	d := &Dataset{Trials: []Trial{
+		mkTrial(1, 6, 800, false),
+		mkTrial(1, 30, 800, true),
+		mkTrial(2, 6, 800, false),
+	}}
+	segs, err := d.ExtractAll(SegmentConfig{WindowMS: 400, Overlap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := CountLabels(segs)
+	if pos == 0 || neg == 0 {
+		t.Fatalf("labels: %d pos, %d neg", pos, neg)
+	}
+	if pos >= neg {
+		t.Fatal("positives should be the minority class")
+	}
+}
+
+// Property: no surviving segment ever overlaps the exclusion zone, and
+// labels obey the overlap rule, for random annotations.
+func TestExtractSegmentsInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 300 + rng.Intn(500)
+		tr := mkTrial(1, 30, n, false)
+		tr.FallOnset = 50 + rng.Intn(n/2)
+		tr.Impact = tr.FallOnset + 20 + rng.Intn(80)
+		if tr.Impact >= n {
+			return true
+		}
+		winMS := []int{100, 200, 300, 400}[rng.Intn(4)]
+		ov := []float64{0, 0.25, 0.5, 0.75}[rng.Intn(4)]
+		segs, err := ExtractSegments(&tr, SegmentConfig{WindowMS: winMS, Overlap: ov})
+		if err != nil {
+			return false
+		}
+		w := winMS / 10
+		truncEnd := tr.TruncatedFallEnd()
+		exclHi := tr.Impact + impactExclusionSamples
+		for _, s := range segs {
+			end := s.Start + w
+			if end > truncEnd && s.Start < exclHi {
+				return false // survived the exclusion zone
+			}
+			if s.Y == 1 {
+				if end <= tr.FallOnset || end > truncEnd {
+					return false // positive window not ending in the fall
+				}
+				if overlapLen(s.Start, end, tr.FallOnset, truncEnd) == 0 {
+					return false // positive without any fall content
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowTensorNormalisation(t *testing.T) {
+	// Segments must carry the fixed per-channel normalisation: a
+	// 200 deg/s gyro reading becomes 1.0, a 90° Euler angle 1.0,
+	// accelerations pass through.
+	tr := mkTrial(1, 6, 50, false)
+	for i := range tr.Samples {
+		tr.Samples[i] = imu.Sample{
+			Acc:   imu.Vec3{X: 0.5, Z: 1},
+			Gyro:  imu.Vec3{Y: 200},
+			Euler: imu.Vec3{X: 90},
+		}
+	}
+	segs, err := ExtractSegments(&tr, SegmentConfig{WindowMS: 200, Overlap: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := segs[0]
+	if got := s.X.At(3, imu.AccX); got != 0.5 {
+		t.Fatalf("acc scaled: %g", got)
+	}
+	if got := s.X.At(3, imu.GyroY); got != 1.0 {
+		t.Fatalf("gyro not normalised: %g", got)
+	}
+	if got := s.X.At(3, imu.EulerPitch); got != 1.0 {
+		t.Fatalf("euler not normalised: %g", got)
+	}
+}
+
+func TestWindowYawIsRelative(t *testing.T) {
+	// A constant yaw offset (accumulated drift) must vanish from the
+	// extracted window; only within-window rotation remains.
+	tr := mkTrial(1, 6, 50, false)
+	for i := range tr.Samples {
+		tr.Samples[i].Euler = imu.Vec3{Z: 500 + float64(i)} // huge drift + 1°/sample slope
+	}
+	segs, err := ExtractSegments(&tr, SegmentConfig{WindowMS: 200, Overlap: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := segs[1] // starts at sample 20
+	if got := s.X.At(0, imu.EulerYaw); got != 0 {
+		t.Fatalf("window yaw[0] = %g, want 0", got)
+	}
+	// Sample 5 of the window: yaw grew by 5° → 5/90 normalised.
+	if got := s.X.At(5, imu.EulerYaw); got != 5.0/90 {
+		t.Fatalf("relative yaw = %g, want %g", got, 5.0/90)
+	}
+}

@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fold is one split of a subject-independent k-fold cross-validation:
+// disjoint subject sets for training, validation (early stopping) and
+// testing. No subject appears in more than one role (paper §III-C).
+type Fold struct {
+	Train      []int
+	Validation []int
+	Test       []int
+}
+
+// KFoldSubjects partitions the subject ids into k folds. In each
+// round one fold is the test set, nVal subjects drawn from the
+// remaining folds form the validation set, and the rest train. The
+// paper uses k = 5 and nVal = 4 over 61 subjects.
+func KFoldSubjects(subjects []int, k, nVal int, rng *rand.Rand) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("dataset: k-fold needs k ≥ 2, got %d", k)
+	}
+	if len(subjects) < k {
+		return nil, fmt.Errorf("dataset: %d subjects cannot fill %d folds", len(subjects), k)
+	}
+	if nVal < 0 {
+		return nil, fmt.Errorf("dataset: negative validation count %d", nVal)
+	}
+	shuffled := make([]int, len(subjects))
+	copy(shuffled, subjects)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+
+	// Distribute subjects round-robin into k groups.
+	groups := make([][]int, k)
+	for i, s := range shuffled {
+		groups[i%k] = append(groups[i%k], s)
+	}
+
+	folds := make([]Fold, 0, k)
+	for i := 0; i < k; i++ {
+		var rest []int
+		for j := 0; j < k; j++ {
+			if j != i {
+				rest = append(rest, groups[j]...)
+			}
+		}
+		if nVal >= len(rest) {
+			return nil, fmt.Errorf("dataset: validation size %d leaves no training subjects", nVal)
+		}
+		// Draw validation subjects deterministically from the head of
+		// a reshuffle of the remainder.
+		restCopy := make([]int, len(rest))
+		copy(restCopy, rest)
+		rng.Shuffle(len(restCopy), func(a, b int) {
+			restCopy[a], restCopy[b] = restCopy[b], restCopy[a]
+		})
+		fold := Fold{
+			Test:       append([]int(nil), groups[i]...),
+			Validation: append([]int(nil), restCopy[:nVal]...),
+			Train:      append([]int(nil), restCopy[nVal:]...),
+		}
+		folds = append(folds, fold)
+	}
+	return folds, nil
+}
+
+// Disjoint reports whether the fold's three subject sets are pairwise
+// disjoint (the subject-independence guarantee).
+func (f *Fold) Disjoint() bool {
+	seen := map[int]int{}
+	for _, s := range f.Train {
+		seen[s]++
+	}
+	for _, s := range f.Validation {
+		seen[s]++
+	}
+	for _, s := range f.Test {
+		seen[s]++
+	}
+	for _, c := range seen {
+		if c > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitSegments partitions segments by the fold's subject sets.
+// Segments from subjects in none of the sets are dropped.
+func (f *Fold) SplitSegments(segs []Segment) (train, val, test []Segment) {
+	role := map[int]int{}
+	for _, s := range f.Train {
+		role[s] = 1
+	}
+	for _, s := range f.Validation {
+		role[s] = 2
+	}
+	for _, s := range f.Test {
+		role[s] = 3
+	}
+	for i := range segs {
+		switch role[segs[i].Subject] {
+		case 1:
+			train = append(train, segs[i])
+		case 2:
+			val = append(val, segs[i])
+		case 3:
+			test = append(test, segs[i])
+		}
+	}
+	return train, val, test
+}

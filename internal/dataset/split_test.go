@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqSubjects(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i + 1
+	}
+	return s
+}
+
+func TestKFoldPaperConfiguration(t *testing.T) {
+	// 61 subjects, k=5, 4 validation subjects — the paper's setup.
+	rng := rand.New(rand.NewSource(1))
+	folds, err := KFoldSubjects(seqSubjects(61), 5, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	testCount := map[int]int{}
+	for i, f := range folds {
+		if !f.Disjoint() {
+			t.Fatalf("fold %d not subject-disjoint", i)
+		}
+		if len(f.Validation) != 4 {
+			t.Fatalf("fold %d has %d validation subjects", i, len(f.Validation))
+		}
+		if len(f.Test) < 12 || len(f.Test) > 13 {
+			t.Fatalf("fold %d test size %d, want 12–13", i, len(f.Test))
+		}
+		if got := len(f.Train) + len(f.Validation) + len(f.Test); got != 61 {
+			t.Fatalf("fold %d covers %d subjects", i, got)
+		}
+		for _, s := range f.Test {
+			testCount[s]++
+		}
+	}
+	// Every subject is tested exactly once across the 5 folds.
+	for s := 1; s <= 61; s++ {
+		if testCount[s] != 1 {
+			t.Fatalf("subject %d tested %d times", s, testCount[s])
+		}
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KFoldSubjects(seqSubjects(10), 1, 2, rng); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := KFoldSubjects(seqSubjects(3), 5, 0, rng); err == nil {
+		t.Error("3 subjects into 5 folds accepted")
+	}
+	if _, err := KFoldSubjects(seqSubjects(10), 5, -1, rng); err == nil {
+		t.Error("negative nVal accepted")
+	}
+	if _, err := KFoldSubjects(seqSubjects(10), 5, 8, rng); err == nil {
+		t.Error("validation swallowing all training accepted")
+	}
+}
+
+func TestKFoldDeterminism(t *testing.T) {
+	a, _ := KFoldSubjects(seqSubjects(20), 4, 2, rand.New(rand.NewSource(7)))
+	b, _ := KFoldSubjects(seqSubjects(20), 4, 2, rand.New(rand.NewSource(7)))
+	for i := range a {
+		for j := range a[i].Test {
+			if a[i].Test[j] != b[i].Test[j] {
+				t.Fatal("same seed produced different folds")
+			}
+		}
+	}
+}
+
+func TestSplitSegments(t *testing.T) {
+	segs := []Segment{
+		{Subject: 1}, {Subject: 2}, {Subject: 3}, {Subject: 4}, {Subject: 1},
+	}
+	f := Fold{Train: []int{1}, Validation: []int{2}, Test: []int{3}}
+	tr, va, te := f.SplitSegments(segs)
+	if len(tr) != 2 || len(va) != 1 || len(te) != 1 {
+		t.Fatalf("split sizes %d/%d/%d", len(tr), len(va), len(te))
+	}
+	// Subject 4 is in no role and must be dropped.
+	total := len(tr) + len(va) + len(te)
+	if total != 4 {
+		t.Fatalf("total %d, want 4", total)
+	}
+}
+
+// Property: folds partition the subjects — every subject appears in
+// exactly one role per fold and in the test role exactly once overall.
+func TestKFoldPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		k := 2 + rng.Intn(5)
+		nVal := rng.Intn(3)
+		folds, err := KFoldSubjects(seqSubjects(n), k, nVal, rng)
+		if err != nil {
+			return true // invalid combination, fine
+		}
+		tested := map[int]int{}
+		for _, fd := range folds {
+			if !fd.Disjoint() {
+				return false
+			}
+			if len(fd.Train)+len(fd.Validation)+len(fd.Test) != n {
+				return false
+			}
+			for _, s := range fd.Test {
+				tested[s]++
+			}
+		}
+		for s := 1; s <= n; s++ {
+			if tested[s] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

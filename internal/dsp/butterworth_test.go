@@ -1,0 +1,309 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestButterworthDesignErrors(t *testing.T) {
+	cases := []struct {
+		order  int
+		fc, fs float64
+	}{
+		{0, 5, 100},
+		{3, 5, 100},  // odd order
+		{-2, 5, 100}, // negative
+		{4, 0, 100},  // zero cutoff
+		{4, 50, 100}, // at Nyquist
+		{4, 60, 100}, // above Nyquist
+		{4, 5, 0},    // zero fs
+	}
+	for _, c := range cases {
+		if _, err := Butterworth(c.order, c.fc, c.fs); err == nil {
+			t.Errorf("Butterworth(%d, %g, %g): want error", c.order, c.fc, c.fs)
+		}
+	}
+}
+
+func TestMustButterworthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustButterworth(3, 5, 100)
+}
+
+// The paper's filter: 4th order, 5 Hz cutoff at 100 Hz sampling.
+func paperFilter(t *testing.T) *Filter {
+	t.Helper()
+	f, err := Butterworth(4, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestButterworthDCGainIsUnity(t *testing.T) {
+	f := paperFilter(t)
+	if g := f.FrequencyResponse(0, 100); math.Abs(g-1) > 1e-9 {
+		t.Fatalf("DC gain = %g, want 1", g)
+	}
+}
+
+func TestButterworthCutoffIsMinus3dB(t *testing.T) {
+	f := paperFilter(t)
+	g := f.FrequencyResponse(5, 100)
+	want := 1 / math.Sqrt2
+	if math.Abs(g-want) > 1e-6 {
+		t.Fatalf("gain at fc = %g, want %g (-3 dB)", g, want)
+	}
+}
+
+func TestButterworthMonotonicRolloff(t *testing.T) {
+	// A Butterworth magnitude response is maximally flat and strictly
+	// decreasing with frequency.
+	f := paperFilter(t)
+	prev := f.FrequencyResponse(0.1, 100)
+	for fr := 1.0; fr < 50; fr += 1.0 {
+		g := f.FrequencyResponse(fr, 100)
+		if g >= prev+1e-12 {
+			t.Fatalf("response not monotone at %g Hz: %g >= %g", fr, g, prev)
+		}
+		prev = g
+	}
+	// 4th order ⇒ ~ -80 dB/decade; at 50 Hz (one decade above fc) the
+	// gain must be tiny.
+	if g := f.FrequencyResponse(45, 100); g > 1e-3 {
+		t.Fatalf("stopband gain %g too high", g)
+	}
+}
+
+func TestFilterPassesDCSignal(t *testing.T) {
+	f := paperFilter(t)
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = 2.5
+	}
+	y := f.Apply(x)
+	// After the transient the output settles at the input level.
+	if math.Abs(y[len(y)-1]-2.5) > 1e-6 {
+		t.Fatalf("steady state = %g, want 2.5", y[len(y)-1])
+	}
+}
+
+func TestFilterAttenuatesHighFrequency(t *testing.T) {
+	f := paperFilter(t)
+	// 25 Hz tone at fs=100 Hz is far above the 5 Hz cutoff.
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 25 * float64(i) / 100)
+	}
+	y := f.Apply(x)
+	var maxTail float64
+	for _, v := range y[300:] {
+		if a := math.Abs(v); a > maxTail {
+			maxTail = a
+		}
+	}
+	if maxTail > 0.01 {
+		t.Fatalf("25 Hz tone leaked: tail amplitude %g", maxTail)
+	}
+}
+
+func TestFilterPreservesLowFrequency(t *testing.T) {
+	f := paperFilter(t)
+	// 1 Hz tone sits well inside the passband.
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 1 * float64(i) / 100)
+	}
+	y := f.Apply(x)
+	var maxTail float64
+	for _, v := range y[500:] {
+		if a := math.Abs(v); a > maxTail {
+			maxTail = a
+		}
+	}
+	if maxTail < 0.95 || maxTail > 1.05 {
+		t.Fatalf("1 Hz amplitude after filtering = %g, want ≈1", maxTail)
+	}
+}
+
+func TestProcessMatchesApply(t *testing.T) {
+	f := paperFilter(t)
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := f.Apply(x)
+	f.Reset()
+	for i, v := range x {
+		got := f.Process(v)
+		if math.Abs(got-want[i]) > 1e-12 {
+			t.Fatalf("streaming sample %d = %g, batch = %g", i, got, want[i])
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	f := paperFilter(t)
+	for i := 0; i < 50; i++ {
+		f.Process(1)
+	}
+	f.Reset()
+	// After reset the first output must equal the zero-state response.
+	first := f.Process(1)
+	g := MustButterworth(4, 5, 100)
+	if want := g.Process(1); math.Abs(first-want) > 1e-15 {
+		t.Fatalf("post-reset output %g != fresh filter %g", first, want)
+	}
+}
+
+func TestApplyDoesNotDisturbStreamingState(t *testing.T) {
+	f := paperFilter(t)
+	f.Process(1)
+	f.Process(2)
+	s1 := f.Process(3)
+
+	g := paperFilter(t)
+	g.Process(1)
+	g.Process(2)
+	g.Apply([]float64{9, 9, 9, 9}) // must not change g's state
+	s2 := g.Process(3)
+	if math.Abs(s1-s2) > 1e-15 {
+		t.Fatalf("Apply leaked state: %g vs %g", s1, s2)
+	}
+}
+
+func TestFiltFiltZeroPhase(t *testing.T) {
+	f := paperFilter(t)
+	// A slow tone should come through FiltFilt with no delay: the
+	// cross-correlation peak between input and output is at lag 0.
+	n := 600
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 1.0 * float64(i) / 100)
+	}
+	y := f.FiltFilt(x)
+	bestLag, bestC := 0, math.Inf(-1)
+	for lag := -5; lag <= 5; lag++ {
+		c := 0.0
+		for i := 100; i < n-100; i++ {
+			c += x[i] * y[i+lag]
+		}
+		if c > bestC {
+			bestC, bestLag = c, lag
+		}
+	}
+	if bestLag != 0 {
+		t.Fatalf("FiltFilt phase lag = %d samples, want 0", bestLag)
+	}
+}
+
+func TestFiltFiltConstantSignal(t *testing.T) {
+	f := paperFilter(t)
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = -1.75
+	}
+	y := f.FiltFilt(x)
+	for i, v := range y {
+		if math.Abs(v+1.75) > 1e-6 {
+			t.Fatalf("FiltFilt distorted a constant at %d: %g", i, v)
+		}
+	}
+}
+
+func TestFiltFiltEdgeCases(t *testing.T) {
+	f := paperFilter(t)
+	if y := f.FiltFilt(nil); y != nil {
+		t.Fatal("FiltFilt(nil) should be nil")
+	}
+	if y := f.FiltFilt([]float64{3}); len(y) != 1 {
+		t.Fatalf("FiltFilt single sample: len %d", len(y))
+	}
+	// Short signals (shorter than the usual padding) must not panic.
+	y := f.FiltFilt([]float64{1, 2, 3})
+	if len(y) != 3 {
+		t.Fatalf("FiltFilt short: len %d", len(y))
+	}
+}
+
+// Property: the filter is linear — F(a·x + b·y) == a·F(x) + b·F(y).
+func TestFilterLinearityProperty(t *testing.T) {
+	f := paperFilter(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 32 + rng.Intn(64)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		mix := make([]float64, n)
+		for i := range mix {
+			mix[i] = a*x[i] + b*y[i]
+		}
+		fx, fy, fm := f.Apply(x), f.Apply(y), f.Apply(mix)
+		for i := range fm {
+			if math.Abs(fm[i]-(a*fx[i]+b*fy[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: filter output is bounded for bounded input (BIBO stability).
+func TestFilterStabilityProperty(t *testing.T) {
+	f := paperFilter(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 2000)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1 // bounded in [-1, 1]
+		}
+		for _, v := range f.Apply(x) {
+			if math.Abs(v) > 10 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderReported(t *testing.T) {
+	if o := MustButterworth(4, 5, 100).Order(); o != 4 {
+		t.Fatalf("Order = %d, want 4", o)
+	}
+	if o := MustButterworth(6, 5, 100).Order(); o != 6 {
+		t.Fatalf("Order = %d, want 6", o)
+	}
+}
+
+func TestPrimeEliminatesStartupTransient(t *testing.T) {
+	f := paperFilter(t)
+	f.Prime(2.5)
+	for i := 0; i < 200; i++ {
+		if y := f.Process(2.5); math.Abs(y-2.5) > 1e-9 {
+			t.Fatalf("primed filter transient at %d: %g", i, y)
+		}
+	}
+	// Contrast: an unprimed filter starts far from the input level.
+	g := paperFilter(t)
+	if y := g.Process(2.5); math.Abs(y-2.5) < 0.1 {
+		t.Fatal("unprimed filter unexpectedly settled instantly")
+	}
+}

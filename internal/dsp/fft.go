@@ -1,0 +1,136 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 Cooley–Tukey transform of x,
+// whose length must be a power of two. It returns the same slice.
+func FFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		m := n >> 1
+		for m >= 1 && j&m != 0 {
+			j ^= m
+			m >>= 1
+		}
+		j |= m
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= step
+			}
+		}
+	}
+	return x, nil
+}
+
+// nextPow2 returns the smallest power of two ≥ n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// PSD estimates the one-sided power spectral density of x (sampled at
+// fs Hz) by Welch's method: Hann-windowed segments of segLen samples
+// (rounded up to a power of two) with 50 % overlap, averaged. It
+// returns the frequency axis and the density; len = nfft/2+1.
+func PSD(x []float64, fs float64, segLen int) (freqs, psd []float64, err error) {
+	if len(x) == 0 {
+		return nil, nil, fmt.Errorf("dsp: PSD of empty signal")
+	}
+	if fs <= 0 {
+		return nil, nil, fmt.Errorf("dsp: PSD needs positive sample rate")
+	}
+	if segLen <= 1 || segLen > len(x) {
+		segLen = min(len(x), 256)
+	}
+	nfft := nextPow2(segLen)
+	step := segLen / 2
+	if step < 1 {
+		step = 1
+	}
+
+	window := make([]float64, segLen)
+	winPow := 0.0
+	for i := range window {
+		window[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(segLen-1)))
+		winPow += window[i] * window[i]
+	}
+
+	acc := make([]float64, nfft/2+1)
+	segments := 0
+	buf := make([]complex128, nfft)
+	for start := 0; start+segLen <= len(x); start += step {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i := 0; i < segLen; i++ {
+			buf[i] = complex(x[start+i]*window[i], 0)
+		}
+		if _, err := FFT(buf); err != nil {
+			return nil, nil, err
+		}
+		for k := 0; k <= nfft/2; k++ {
+			p := real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k])
+			acc[k] += p
+		}
+		segments++
+	}
+	if segments == 0 {
+		return nil, nil, fmt.Errorf("dsp: signal shorter than one segment")
+	}
+
+	freqs = make([]float64, nfft/2+1)
+	psd = make([]float64, nfft/2+1)
+	norm := 1 / (fs * winPow * float64(segments))
+	for k := range psd {
+		freqs[k] = float64(k) * fs / float64(nfft)
+		psd[k] = acc[k] * norm
+		if k != 0 && k != nfft/2 {
+			psd[k] *= 2 // one-sided
+		}
+	}
+	return freqs, psd, nil
+}
+
+// DominantFrequency returns the frequency of the largest PSD peak of
+// x above minHz — the gait-cadence estimator used to validate the
+// locomotion generator.
+func DominantFrequency(x []float64, fs, minHz float64) (float64, error) {
+	freqs, psd, err := PSD(x, fs, 256)
+	if err != nil {
+		return 0, err
+	}
+	best, bestP := 0.0, -1.0
+	for k := range freqs {
+		if freqs[k] < minHz {
+			continue
+		}
+		if psd[k] > bestP {
+			bestP, best = psd[k], freqs[k]
+		}
+	}
+	return best, nil
+}

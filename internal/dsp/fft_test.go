@@ -1,0 +1,125 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 100} {
+		if _, err := FFT(make([]complex128, n)); err == nil {
+			t.Errorf("length %d accepted", n)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// δ[0] transforms to an all-ones spectrum.
+	x := make([]complex128, 8)
+	x[0] = 1
+	y, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range y {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse bin %d = %v", k, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A unit tone at bin 3 puts n/2 in bins 3 and n−3.
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*3*float64(i)/float64(n)), 0)
+	}
+	y, _ := FFT(x)
+	for k := range y {
+		want := 0.0
+		if k == 3 || k == n-3 {
+			want = float64(n) / 2
+		}
+		if math.Abs(cmplx.Abs(y[k])-want) > 1e-9 {
+			t.Fatalf("bin %d magnitude %g, want %g", k, cmplx.Abs(y[k]), want)
+		}
+	}
+}
+
+// Property: Parseval — Σ|x|² == (1/n)·Σ|X|².
+func TestFFTParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(5))
+		x := make([]complex128, n)
+		tsum := 0.0
+		for i := range x {
+			re, im := rng.NormFloat64(), rng.NormFloat64()
+			x[i] = complex(re, im)
+			tsum += re*re + im*im
+		}
+		y, err := FFT(x)
+		if err != nil {
+			return false
+		}
+		fsum := 0.0
+		for _, v := range y {
+			fsum += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(tsum-fsum/float64(n)) < 1e-6*math.Max(1, tsum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSDFindsTone(t *testing.T) {
+	fs := 100.0
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*7*float64(i)/fs) + 0.1*math.Sin(2*math.Pi*30*float64(i)/fs)
+	}
+	freqs, psd, err := PSD(x, fs, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestP := 0.0, -1.0
+	for k := range freqs {
+		if psd[k] > bestP {
+			bestP, best = psd[k], freqs[k]
+		}
+	}
+	if math.Abs(best-7) > 0.5 {
+		t.Fatalf("dominant frequency %g, want 7", best)
+	}
+}
+
+func TestPSDErrors(t *testing.T) {
+	if _, _, err := PSD(nil, 100, 64); err == nil {
+		t.Error("empty signal accepted")
+	}
+	if _, _, err := PSD(make([]float64, 100), 0, 64); err == nil {
+		t.Error("zero fs accepted")
+	}
+}
+
+func TestDominantFrequencyGait(t *testing.T) {
+	// 1.8 Hz bobbing on a 1 g baseline: the estimator must find the
+	// cadence, not DC.
+	fs := 100.0
+	x := make([]float64, 3000)
+	for i := range x {
+		x[i] = 1 + 0.15*math.Sin(2*math.Pi*1.8*float64(i)/fs)
+	}
+	got, err := DominantFrequency(x, fs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.8) > 0.25 {
+		t.Fatalf("cadence %g, want ≈1.8", got)
+	}
+}

@@ -1,0 +1,128 @@
+package dsp
+
+import "math"
+
+// LinearInterp evaluates a piecewise-linear signal x (sampled at
+// integer instants 0..len(x)-1) at a fractional position t, clamping
+// outside the domain.
+func LinearInterp(x []float64, t float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	if t <= 0 {
+		return x[0]
+	}
+	if t >= float64(n-1) {
+		return x[n-1]
+	}
+	i := int(t)
+	f := t - float64(i)
+	return x[i]*(1-f) + x[i+1]*f
+}
+
+// Resample resamples x to m points by linear interpolation over the
+// whole duration. Resample(x, len(x)) returns a copy of x.
+func Resample(x []float64, m int) []float64 {
+	if m <= 0 {
+		return nil
+	}
+	y := make([]float64, m)
+	if len(x) == 0 {
+		return y
+	}
+	if m == 1 {
+		y[0] = x[0]
+		return y
+	}
+	scale := float64(len(x)-1) / float64(m-1)
+	for i := range y {
+		y[i] = LinearInterp(x, float64(i)*scale)
+	}
+	return y
+}
+
+// WarpPath is a monotonically increasing mapping from output sample
+// index to (fractional) input sample index, used by the time-warping
+// augmentation. Path[i] gives the source position of output sample i.
+type WarpPath []float64
+
+// ApplyWarp resamples x along the warp path.
+func ApplyWarp(x []float64, path WarpPath) []float64 {
+	y := make([]float64, len(path))
+	for i, t := range path {
+		y[i] = LinearInterp(x, t)
+	}
+	return y
+}
+
+// SmoothCurve builds a smooth length-n curve through the given knot
+// values (placed uniformly across [0, n-1]) using cosine interpolation.
+// It is the generator for random warp speed profiles.
+func SmoothCurve(knots []float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	y := make([]float64, n)
+	if len(knots) == 0 {
+		return y
+	}
+	if len(knots) == 1 {
+		for i := range y {
+			y[i] = knots[0]
+		}
+		return y
+	}
+	seg := float64(n-1) / float64(len(knots)-1)
+	for i := range y {
+		t := float64(i) / seg
+		k := int(t)
+		if k >= len(knots)-1 {
+			y[i] = knots[len(knots)-1]
+			continue
+		}
+		f := t - float64(k)
+		// Cosine easing keeps the curve C¹-smooth at the knots.
+		f = (1 - math.Cos(f*math.Pi)) / 2
+		y[i] = knots[k]*(1-f) + knots[k+1]*f
+	}
+	return y
+}
+
+// Magnitude returns the Euclidean norm √(x²+y²+z²) per sample of the
+// three component signals, which must have equal lengths. The signal
+// vector magnitude of the accelerometer is the core quantity of the
+// threshold-based baselines.
+func Magnitude(x, y, z []float64) []float64 {
+	m := make([]float64, len(x))
+	for i := range x {
+		m[i] = math.Sqrt(x[i]*x[i] + y[i]*y[i] + z[i]*z[i])
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation of x.
+func Std(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	mu := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}

@@ -1,0 +1,190 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearInterpExactAtSamples(t *testing.T) {
+	x := []float64{3, -1, 4, 1, 5}
+	for i, v := range x {
+		if got := LinearInterp(x, float64(i)); got != v {
+			t.Fatalf("interp at %d = %g, want %g", i, got, v)
+		}
+	}
+}
+
+func TestLinearInterpMidpoints(t *testing.T) {
+	x := []float64{0, 10}
+	if got := LinearInterp(x, 0.5); got != 5 {
+		t.Fatalf("midpoint = %g, want 5", got)
+	}
+	if got := LinearInterp(x, 0.25); got != 2.5 {
+		t.Fatalf("quarter = %g, want 2.5", got)
+	}
+}
+
+func TestLinearInterpClamps(t *testing.T) {
+	x := []float64{2, 4}
+	if LinearInterp(x, -5) != 2 || LinearInterp(x, 99) != 4 {
+		t.Fatal("out-of-domain not clamped")
+	}
+	if LinearInterp(nil, 0.5) != 0 {
+		t.Fatal("empty signal should interp to 0")
+	}
+}
+
+func TestResampleIdentityLength(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := Resample(x, 5)
+	for i := range x {
+		if math.Abs(y[i]-x[i]) > 1e-12 {
+			t.Fatalf("identity resample differs at %d: %g", i, y[i])
+		}
+	}
+}
+
+func TestResampleEndpointsPreserved(t *testing.T) {
+	x := []float64{7, 1, 2, 9}
+	for _, m := range []int{2, 3, 7, 50} {
+		y := Resample(x, m)
+		if y[0] != 7 || y[len(y)-1] != 9 {
+			t.Fatalf("m=%d: endpoints %g, %g", m, y[0], y[len(y)-1])
+		}
+	}
+}
+
+func TestResampleDegenerate(t *testing.T) {
+	if Resample([]float64{1, 2}, 0) != nil {
+		t.Fatal("m=0 should be nil")
+	}
+	if y := Resample([]float64{4, 8}, 1); len(y) != 1 || y[0] != 4 {
+		t.Fatalf("m=1: %v", y)
+	}
+	if y := Resample(nil, 3); len(y) != 3 {
+		t.Fatal("empty input should still give m zeros")
+	}
+}
+
+// Property: resampling a linear ramp yields a linear ramp (linear
+// interpolation reproduces degree-1 polynomials exactly).
+func TestResampleLinearExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		m := 2 + rng.Intn(100)
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = a + b*float64(i)
+		}
+		y := Resample(x, m)
+		scale := float64(n-1) / float64(m-1)
+		for i := range y {
+			want := a + b*float64(i)*scale
+			if math.Abs(y[i]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interpolated values stay within the convex hull of the
+// input (no overshoot — important so warping cannot invent impact
+// spikes that were not in the signal).
+func TestResampleBoundedness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		x := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			lo = math.Min(lo, x[i])
+			hi = math.Max(hi, x[i])
+		}
+		for _, v := range Resample(x, 3*n) {
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyWarpIdentityPath(t *testing.T) {
+	x := []float64{5, 6, 7, 8}
+	path := WarpPath{0, 1, 2, 3}
+	y := ApplyWarp(x, path)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("identity warp differs at %d", i)
+		}
+	}
+}
+
+func TestSmoothCurveConstant(t *testing.T) {
+	y := SmoothCurve([]float64{2, 2, 2}, 17)
+	for _, v := range y {
+		if math.Abs(v-2) > 1e-12 {
+			t.Fatalf("constant knots gave %g", v)
+		}
+	}
+}
+
+func TestSmoothCurveHitsKnots(t *testing.T) {
+	knots := []float64{0, 1, -1}
+	n := 21
+	y := SmoothCurve(knots, n)
+	if math.Abs(y[0]-0) > 1e-9 || math.Abs(y[10]-1) > 1e-9 || math.Abs(y[20]+1) > 1e-9 {
+		t.Fatalf("knot values not hit: %g %g %g", y[0], y[10], y[20])
+	}
+}
+
+func TestSmoothCurveDegenerate(t *testing.T) {
+	if SmoothCurve([]float64{1}, 0) != nil {
+		t.Fatal("n=0 should be nil")
+	}
+	y := SmoothCurve([]float64{3}, 4)
+	for _, v := range y {
+		if v != 3 {
+			t.Fatal("single knot should be constant")
+		}
+	}
+	y = SmoothCurve(nil, 4)
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("no knots should be zero")
+		}
+	}
+}
+
+func TestMagnitude(t *testing.T) {
+	m := Magnitude([]float64{3, 0}, []float64{4, 0}, []float64{0, 2})
+	if m[0] != 5 || m[1] != 2 {
+		t.Fatalf("Magnitude = %v", m)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if Mean(x) != 2.5 {
+		t.Fatalf("Mean = %g", Mean(x))
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(Std(x)-want) > 1e-12 {
+		t.Fatalf("Std = %g, want %g", Std(x), want)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty stats should be 0")
+	}
+}

@@ -1,0 +1,56 @@
+package dsp
+
+import "fmt"
+
+// Window describes one sliding-window segment by its sample range
+// [Start, Start+Length) in the source signal.
+type Window struct {
+	Start  int
+	Length int
+}
+
+// End returns the exclusive end index of the window.
+func (w Window) End() int { return w.Start + w.Length }
+
+// SlidingWindows computes the windows of the given length over a
+// signal of n samples with the given overlap fraction in [0, 1).
+// The paper segments 100 Hz data into 100–400 ms windows with 0–75 %
+// overlap; a 400 ms window at 50 % overlap is length 40, step 20.
+func SlidingWindows(n, length int, overlap float64) ([]Window, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("dsp: window length must be positive, got %d", length)
+	}
+	if overlap < 0 || overlap >= 1 {
+		return nil, fmt.Errorf("dsp: overlap %g must be in [0, 1)", overlap)
+	}
+	step := length - int(float64(length)*overlap+0.5)
+	if step < 1 {
+		step = 1
+	}
+	var ws []Window
+	for s := 0; s+length <= n; s += step {
+		ws = append(ws, Window{Start: s, Length: length})
+	}
+	return ws, nil
+}
+
+// Step returns the hop size implied by a window length and overlap
+// fraction, matching SlidingWindows.
+func Step(length int, overlap float64) int {
+	step := length - int(float64(length)*overlap+0.5)
+	if step < 1 {
+		step = 1
+	}
+	return step
+}
+
+// Overlaps reports whether the window intersects the sample interval
+// [lo, hi) .
+func (w Window) Overlaps(lo, hi int) bool {
+	return w.Start < hi && w.End() > lo
+}
+
+// Within reports whether the window lies entirely inside [lo, hi).
+func (w Window) Within(lo, hi int) bool {
+	return w.Start >= lo && w.End() <= hi
+}

@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlidingWindowsPaperConfigs(t *testing.T) {
+	// The paper's Table III configurations at 100 Hz.
+	cases := []struct {
+		name     string
+		n, len   int
+		overlap  float64
+		wantStep int
+	}{
+		{"200ms/50%", 1000, 20, 0.5, 10},
+		{"300ms/50%", 1000, 30, 0.5, 15},
+		{"400ms/50%", 1000, 40, 0.5, 20},
+		{"400ms/0%", 1000, 40, 0.0, 40},
+		{"400ms/75%", 1000, 40, 0.75, 10},
+		{"100ms/25%", 1000, 10, 0.25, 7}, // 10 - round(2.5) = 7
+	}
+	for _, c := range cases {
+		ws, err := SlidingWindows(c.n, c.len, c.overlap)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(ws) < 2 {
+			t.Fatalf("%s: too few windows", c.name)
+		}
+		if got := ws[1].Start - ws[0].Start; got != c.wantStep {
+			t.Errorf("%s: step = %d, want %d", c.name, got, c.wantStep)
+		}
+		if got := Step(c.len, c.overlap); got != c.wantStep {
+			t.Errorf("%s: Step() = %d, want %d", c.name, got, c.wantStep)
+		}
+		last := ws[len(ws)-1]
+		if last.End() > c.n {
+			t.Errorf("%s: window overruns signal: end %d > %d", c.name, last.End(), c.n)
+		}
+	}
+}
+
+func TestSlidingWindowsErrors(t *testing.T) {
+	if _, err := SlidingWindows(100, 0, 0.5); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := SlidingWindows(100, 10, -0.1); err == nil {
+		t.Error("negative overlap accepted")
+	}
+	if _, err := SlidingWindows(100, 10, 1.0); err == nil {
+		t.Error("overlap 1.0 accepted")
+	}
+}
+
+func TestSlidingWindowsShortSignal(t *testing.T) {
+	ws, err := SlidingWindows(5, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 0 {
+		t.Fatalf("signal shorter than window should yield no windows, got %d", len(ws))
+	}
+	ws, _ = SlidingWindows(10, 10, 0.5)
+	if len(ws) != 1 {
+		t.Fatalf("exact-length signal should yield 1 window, got %d", len(ws))
+	}
+}
+
+func TestWindowPredicates(t *testing.T) {
+	w := Window{Start: 10, Length: 20} // covers [10, 30)
+	if !w.Overlaps(25, 40) || !w.Overlaps(0, 11) || !w.Overlaps(15, 16) {
+		t.Error("Overlaps false negative")
+	}
+	if w.Overlaps(30, 40) || w.Overlaps(0, 10) {
+		t.Error("Overlaps false positive at boundaries")
+	}
+	if !w.Within(10, 30) || !w.Within(0, 100) {
+		t.Error("Within false negative")
+	}
+	if w.Within(11, 30) || w.Within(10, 29) {
+		t.Error("Within false positive")
+	}
+}
+
+// Property: windows tile the signal with the declared step, never
+// overrun it, and consecutive windows overlap by ≈ overlap·length.
+func TestSlidingWindowsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(1000)
+		length := 5 + rng.Intn(60)
+		overlap := float64(rng.Intn(4)) * 0.25
+		ws, err := SlidingWindows(n, length, overlap)
+		if err != nil {
+			return false
+		}
+		step := Step(length, overlap)
+		for i, w := range ws {
+			if w.Length != length || w.End() > n || w.Start != i*step {
+				return false
+			}
+		}
+		// Maximality: one more window would overrun.
+		if len(ws) > 0 {
+			if next := ws[len(ws)-1].Start + step; next+length <= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package edge
+
+import "fmt"
+
+// AirbagConfig is the firing policy around the raw per-segment
+// classifier: firmware-level countermeasures against spurious
+// activations (a fired cartridge must be replaced, so false alarms
+// are expensive).
+type AirbagConfig struct {
+	// Debounce is the number of consecutive triggered evaluations
+	// required before firing (default 1: fire on the first trigger,
+	// the paper's implicit policy). 2 halves the false-alarm rate at
+	// the cost of one stride of extra latency.
+	Debounce int
+	// RefractorySamples locks the controller out after a firing
+	// (default 30 s at 100 Hz): a real airbag cannot re-fire anyway,
+	// and the lockout keeps one noisy episode from counting as many
+	// false alarms.
+	RefractorySamples int
+}
+
+func (c AirbagConfig) withDefaults() AirbagConfig {
+	if c.Debounce <= 0 {
+		c.Debounce = 1
+	}
+	if c.RefractorySamples <= 0 {
+		c.RefractorySamples = 3000
+	}
+	return c
+}
+
+// Airbag tracks the firing policy state across a stream.
+type Airbag struct {
+	cfg       AirbagConfig
+	consec    int
+	lockUntil int
+	fired     int
+}
+
+// NewAirbag returns a controller with the given policy.
+func NewAirbag(cfg AirbagConfig) *Airbag {
+	return &Airbag{cfg: cfg.withDefaults()}
+}
+
+// Reset clears the controller state.
+func (a *Airbag) Reset() {
+	a.consec = 0
+	a.lockUntil = 0
+	a.fired = 0
+}
+
+// Fired returns the number of activations so far.
+func (a *Airbag) Fired() int { return a.fired }
+
+// Observe consumes one detector result at the given absolute sample
+// index and reports whether the airbag fires now.
+func (a *Airbag) Observe(sample int, r Result) bool {
+	if sample < a.lockUntil {
+		return false
+	}
+	if !r.Evaluated {
+		return false
+	}
+	if !r.Triggered {
+		a.consec = 0
+		return false
+	}
+	a.consec++
+	if a.consec < a.cfg.Debounce {
+		return false
+	}
+	a.consec = 0
+	a.fired++
+	a.lockUntil = sample + a.cfg.RefractorySamples
+	return true
+}
+
+// String describes the policy.
+func (a *Airbag) String() string {
+	return fmt.Sprintf("airbag(debounce=%d, refractory=%ds)",
+		a.cfg.Debounce, a.cfg.RefractorySamples/100)
+}

@@ -1,0 +1,80 @@
+package edge
+
+import "testing"
+
+func fire(p float64) Result { return Result{Evaluated: true, Probability: p, Triggered: true} }
+func quiet() Result         { return Result{Evaluated: true, Probability: 0.1} }
+func noEval() Result        { return Result{} }
+
+func TestAirbagDefaultFiresImmediately(t *testing.T) {
+	a := NewAirbag(AirbagConfig{})
+	if !a.Observe(100, fire(0.9)) {
+		t.Fatal("debounce-1 controller must fire on the first trigger")
+	}
+	if a.Fired() != 1 {
+		t.Fatal("fired count")
+	}
+}
+
+func TestAirbagDebounceRequiresConsecutive(t *testing.T) {
+	a := NewAirbag(AirbagConfig{Debounce: 2})
+	if a.Observe(0, fire(0.9)) {
+		t.Fatal("fired on the first of two required triggers")
+	}
+	// A quiet evaluation breaks the streak.
+	if a.Observe(20, quiet()) {
+		t.Fatal("fired on quiet")
+	}
+	if a.Observe(40, fire(0.9)) {
+		t.Fatal("streak should have been reset")
+	}
+	if !a.Observe(60, fire(0.9)) {
+		t.Fatal("two consecutive triggers must fire")
+	}
+}
+
+func TestAirbagNonEvaluationsDoNotBreakStreak(t *testing.T) {
+	// Between strides, Push returns non-evaluated results; they must
+	// neither count toward nor break the debounce streak.
+	a := NewAirbag(AirbagConfig{Debounce: 2})
+	a.Observe(0, fire(0.9))
+	for i := 1; i < 20; i++ {
+		a.Observe(i, noEval())
+	}
+	if !a.Observe(20, fire(0.9)) {
+		t.Fatal("non-evaluations broke the streak")
+	}
+}
+
+func TestAirbagRefractoryLockout(t *testing.T) {
+	a := NewAirbag(AirbagConfig{RefractorySamples: 1000})
+	if !a.Observe(0, fire(0.9)) {
+		t.Fatal("first firing")
+	}
+	if a.Observe(500, fire(0.99)) {
+		t.Fatal("fired inside the refractory window")
+	}
+	if !a.Observe(1000, fire(0.99)) {
+		t.Fatal("lockout should have expired")
+	}
+	if a.Fired() != 2 {
+		t.Fatalf("fired = %d", a.Fired())
+	}
+}
+
+func TestAirbagReset(t *testing.T) {
+	a := NewAirbag(AirbagConfig{Debounce: 2, RefractorySamples: 10000})
+	a.Observe(0, fire(0.9))
+	a.Observe(20, fire(0.9)) // fires, locks out
+	a.Reset()
+	if a.Fired() != 0 {
+		t.Fatal("reset did not clear count")
+	}
+	a.Observe(0, fire(0.9))
+	if !a.Observe(20, fire(0.9)) {
+		t.Fatal("reset did not clear lockout/streak")
+	}
+	if a.String() == "" {
+		t.Fatal("empty description")
+	}
+}

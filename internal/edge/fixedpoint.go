@@ -1,0 +1,103 @@
+package edge
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+)
+
+// Fixed-point filtering: the STM32F722 has an FPU, but many fielded
+// boards run the pre-filter in Q16.16 integer arithmetic to leave the
+// FPU to the CNN. This implementation quantifies what that costs in
+// accuracy — FixedFilter mirrors dsp.Filter with 32.32-bit
+// accumulation over Q16.16 state and coefficients, and the test suite
+// bounds its divergence from the float cascade.
+
+// qShift is the fractional bit count of the Q16.16 format.
+const qShift = 16
+
+// qOne is 1.0 in Q16.16.
+const qOne = 1 << qShift
+
+// toQ converts float to Q16.16 with rounding.
+func toQ(x float64) int64 {
+	if x >= 0 {
+		return int64(x*qOne + 0.5)
+	}
+	return int64(x*qOne - 0.5)
+}
+
+// fromQ converts Q16.16 back to float.
+func fromQ(q int64) float64 { return float64(q) / qOne }
+
+// qMul multiplies two Q16.16 values into Q16.16 (intermediate 48-bit
+// product fits int64 for the magnitudes a 5 Hz biquad sees).
+func qMul(a, b int64) int64 { return (a * b) >> qShift }
+
+// fixedBiquad is one direct-form-II-transposed section in Q16.16.
+type fixedBiquad struct {
+	b0, b1, b2 int64
+	a1, a2     int64
+	z1, z2     int64
+}
+
+// FixedFilter is a biquad cascade in Q16.16 arithmetic.
+type FixedFilter struct {
+	sections []fixedBiquad
+}
+
+// NewFixedFilter quantizes a float Butterworth cascade to Q16.16.
+func NewFixedFilter(f *dsp.Filter) (*FixedFilter, error) {
+	sections := f.Sections()
+	if len(sections) == 0 {
+		return nil, fmt.Errorf("edge: empty filter")
+	}
+	ff := &FixedFilter{}
+	for _, s := range sections {
+		ff.sections = append(ff.sections, fixedBiquad{
+			b0: toQ(s.B0), b1: toQ(s.B1), b2: toQ(s.B2),
+			a1: toQ(s.A1), a2: toQ(s.A2),
+		})
+	}
+	return ff, nil
+}
+
+// Reset clears all section states.
+func (ff *FixedFilter) Reset() {
+	for i := range ff.sections {
+		ff.sections[i].z1, ff.sections[i].z2 = 0, 0
+	}
+}
+
+// Process filters one sample (float in, float out; the integer domain
+// is internal, as on the device where samples arrive as raw counts).
+func (ff *FixedFilter) Process(x float64) float64 {
+	q := toQ(x)
+	for i := range ff.sections {
+		s := &ff.sections[i]
+		y := qMul(s.b0, q) + s.z1
+		s.z1 = qMul(s.b1, q) - qMul(s.a1, y) + s.z2
+		s.z2 = qMul(s.b2, q) - qMul(s.a2, y)
+		q = y
+	}
+	return fromQ(q)
+}
+
+// Prime initialises the state to the steady-state response for a
+// constant input, mirroring dsp.Filter.Prime.
+func (ff *FixedFilter) Prime(x0 float64) {
+	q := toQ(x0)
+	for i := range ff.sections {
+		s := &ff.sections[i]
+		den := qOne + s.a1 + s.a2
+		num := s.b0 + s.b1 + s.b2
+		// Steady-state output y = x·(Σb)/(Σa).
+		y := int64(0)
+		if den != 0 {
+			y = (q*num + den/2) / den
+		}
+		s.z2 = qMul(s.b2, q) - qMul(s.a2, y)
+		s.z1 = qMul(s.b1+s.b2, q) - qMul(s.a1+s.a2, y)
+		q = y
+	}
+}

@@ -1,0 +1,122 @@
+package edge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/imu"
+	"repro/internal/model"
+)
+
+func TestFixedFilterTracksFloat(t *testing.T) {
+	f := dsp.MustButterworth(4, 5, 100)
+	ff, err := NewFixedFilter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	f.Reset()
+	ff.Reset()
+	maxErr := 0.0
+	for i := 0; i < 2000; i++ {
+		// Accelerometer-scale signal: ±2 g around 1 g.
+		x := 1 + 0.5*math.Sin(float64(i)/8) + 0.3*rng.NormFloat64()
+		yf := f.Process(x)
+		yq := ff.Process(x)
+		if e := math.Abs(yf - yq); e > maxErr {
+			maxErr = e
+		}
+	}
+	// Q16.16 resolution is ~1.5e-5; the recursive accumulation of a
+	// 4th-order cascade stays within ~1e-2 g over accelerometer-scale
+	// inputs — far below the 0.6 g decision thresholds.
+	if maxErr > 1e-2 {
+		t.Fatalf("fixed-point divergence %g g too large", maxErr)
+	}
+}
+
+func TestFixedFilterStability(t *testing.T) {
+	ff, err := NewFixedFilter(dsp.MustButterworth(4, 5, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100000; i++ {
+		y := ff.Process(2*rng.Float64() - 1)
+		if math.Abs(y) > 10 {
+			t.Fatalf("fixed-point filter diverged at %d: %g", i, y)
+		}
+	}
+}
+
+func TestFixedFilterPrime(t *testing.T) {
+	ff, err := NewFixedFilter(dsp.MustButterworth(4, 5, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.Prime(1.0)
+	// A primed filter fed its priming constant must not transient.
+	for i := 0; i < 100; i++ {
+		y := ff.Process(1.0)
+		if math.Abs(y-1) > 5e-3 {
+			t.Fatalf("primed fixed filter transient at %d: %g", i, y)
+		}
+	}
+}
+
+func TestFixedFilterResetClears(t *testing.T) {
+	ff, _ := NewFixedFilter(dsp.MustButterworth(4, 5, 100))
+	for i := 0; i < 50; i++ {
+		ff.Process(5)
+	}
+	ff.Reset()
+	fresh, _ := NewFixedFilter(dsp.MustButterworth(4, 5, 100))
+	if ff.Process(1) != fresh.Process(1) {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestQFormatHelpers(t *testing.T) {
+	if fromQ(toQ(1.5)) != 1.5 {
+		t.Fatal("1.5 not exactly representable?")
+	}
+	if math.Abs(fromQ(toQ(-0.3))+0.3) > 1.0/qOne {
+		t.Fatal("negative rounding")
+	}
+	if qMul(toQ(2), toQ(3)) != toQ(6) {
+		t.Fatal("qMul")
+	}
+}
+
+func TestDetectorWithFixedPointFilters(t *testing.T) {
+	// The fixed-point pipeline must behave like the float one on a
+	// clean standing stream: no spurious triggers, same stride.
+	mk := func(fixed bool) *Detector {
+		clf, _ := newThresholdForTest()
+		det, err := NewDetector(clf, DetectorConfig{WindowMS: 200, Overlap: 0.5, FixedPoint: fixed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	a, b := mk(false), mk(true)
+	for i := 0; i < 300; i++ {
+		ra := a.Push(vec3Z1(), vec3Zero())
+		rb := b.Push(vec3Z1(), vec3Zero())
+		if ra.Evaluated != rb.Evaluated {
+			t.Fatal("stride divergence between float and fixed pipelines")
+		}
+		if rb.Triggered {
+			t.Fatal("fixed-point pipeline false trigger while standing")
+		}
+	}
+}
+
+func newThresholdForTest() (model.Classifier, error) {
+	return model.NewThreshold(model.KindThresholdAcc)
+}
+
+func vec3Z1() imu.Vec3   { return imu.Vec3{Z: 1} }
+func vec3Zero() imu.Vec3 { return imu.Vec3{} }

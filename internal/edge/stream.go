@@ -1,0 +1,196 @@
+package edge
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/dsp"
+	"repro/internal/imu"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// Detector is the on-device real-time pipeline: each incoming
+// accelerometer+gyroscope sample is fused into Euler angles, low-pass
+// filtered causally (the streaming counterpart of the offline
+// zero-phase filter), and pushed into a ring buffer; every Step
+// samples, the most recent Window samples are classified.
+type Detector struct {
+	Window, Step int
+	Threshold    float64
+
+	clf     model.Classifier
+	filters [imu.NumChannels]streamFilter
+	fusion  *imu.Fusion
+
+	ring  []float64 // Window × 9, circular by row
+	count int       // samples ingested
+}
+
+// streamFilter is the causal per-channel pre-filter; satisfied by
+// both the float dsp.Filter and the Q16.16 FixedFilter.
+type streamFilter interface {
+	Process(x float64) float64
+	Prime(x0 float64)
+	Reset()
+}
+
+// DetectorConfig sizes the streaming pipeline.
+type DetectorConfig struct {
+	// WindowMS and Overlap mirror the training segmentation.
+	WindowMS int
+	Overlap  float64
+	// Threshold is the trigger probability (default 0.5).
+	Threshold float64
+	// FixedPoint selects the Q16.16 integer pre-filter instead of the
+	// float cascade, as fielded firmware often does to keep the FPU
+	// free for the CNN.
+	FixedPoint bool
+}
+
+// NewDetector builds the pipeline around a trained classifier.
+func NewDetector(clf model.Classifier, cfg DetectorConfig) (*Detector, error) {
+	win := cfg.WindowMS * dataset.SampleRate / 1000
+	if win < 2 {
+		return nil, fmt.Errorf("edge: window %d ms too short", cfg.WindowMS)
+	}
+	if cfg.Overlap < 0 || cfg.Overlap >= 1 {
+		return nil, fmt.Errorf("edge: overlap %g outside [0,1)", cfg.Overlap)
+	}
+	thr := cfg.Threshold
+	if thr == 0 {
+		thr = 0.5
+	}
+	d := &Detector{
+		Window:    win,
+		Step:      dsp.Step(win, cfg.Overlap),
+		Threshold: thr,
+		clf:       clf,
+		fusion:    imu.MustNewFusion(dataset.SampleRate, 0.5),
+		ring:      make([]float64, win*imu.NumChannels),
+	}
+	for c := range d.filters {
+		fl := dsp.MustButterworth(4, 5, dataset.SampleRate)
+		if cfg.FixedPoint {
+			ff, err := NewFixedFilter(fl)
+			if err != nil {
+				return nil, err
+			}
+			d.filters[c] = ff
+		} else {
+			d.filters[c] = fl
+		}
+	}
+	return d, nil
+}
+
+// Reset clears all pipeline state.
+func (d *Detector) Reset() {
+	d.count = 0
+	d.fusion.Reset()
+	for c := range d.filters {
+		d.filters[c].Reset()
+	}
+	for i := range d.ring {
+		d.ring[i] = 0
+	}
+}
+
+// Result is one Push outcome.
+type Result struct {
+	// Evaluated is true when this sample completed a stride and the
+	// classifier ran.
+	Evaluated bool
+	// Probability is the classifier output when Evaluated.
+	Probability float64
+	// Triggered is true when the probability crossed the threshold.
+	Triggered bool
+}
+
+// Push ingests one raw sample (acceleration in g, angular rate in
+// deg/s) and runs the classifier when a stride completes.
+func (d *Detector) Push(acc, gyro imu.Vec3) Result {
+	euler := d.fusion.Update(acc, gyro)
+	row := [imu.NumChannels]float64{
+		acc.X, acc.Y, acc.Z,
+		gyro.X, gyro.Y, gyro.Z,
+		euler.X, euler.Y, euler.Z,
+	}
+	if d.count == 0 {
+		// Prime the causal filters on the first reading so their
+		// startup transient (a ramp up from zero) is not mistaken for
+		// free fall.
+		for c := 0; c < imu.NumChannels; c++ {
+			d.filters[c].Prime(row[c])
+		}
+	}
+	slot := d.count % d.Window
+	for c := 0; c < imu.NumChannels; c++ {
+		// Filter in physical units, then apply the same per-channel
+		// normalisation the training segments use.
+		d.ring[slot*imu.NumChannels+c] = d.filters[c].Process(row[c]) / imu.ChannelScale(c)
+	}
+	d.count++
+
+	if d.count < d.Window || (d.count-d.Window)%d.Step != 0 {
+		return Result{}
+	}
+	// Assemble the window oldest-first.
+	x := tensor.New(d.Window, imu.NumChannels)
+	xd := x.Data()
+	start := d.count % d.Window // oldest row slot
+	for i := 0; i < d.Window; i++ {
+		src := (start + i) % d.Window
+		copy(xd[i*imu.NumChannels:(i+1)*imu.NumChannels],
+			d.ring[src*imu.NumChannels:(src+1)*imu.NumChannels])
+	}
+	// Window-relative yaw, matching training segmentation: absolute
+	// yaw drifts without bound over long wear (pure gyro integration).
+	yaw0 := xd[imu.EulerYaw]
+	for i := 0; i < d.Window; i++ {
+		xd[i*imu.NumChannels+imu.EulerYaw] -= yaw0
+	}
+	p := d.clf.Score(x)
+	return Result{Evaluated: true, Probability: p, Triggered: p >= d.Threshold}
+}
+
+// TrialSim is the outcome of replaying one trial through the detector
+// with an airbag attached.
+type TrialSim struct {
+	// Triggered is true when the detector fired at least once.
+	Triggered bool
+	// TriggerSample is the first firing sample (-1 when not fired).
+	TriggerSample int
+	// LeadTimeMS is the margin between trigger and impact for fall
+	// trials; the airbag needs ≥ AirbagInflationMS.
+	LeadTimeMS float64
+	// InTime is true when a fall was detected with enough lead time
+	// for full inflation before impact.
+	InTime bool
+	// FalseAlarm is true when the detector fired during an ADL trial.
+	FalseAlarm bool
+}
+
+// Simulate replays a trial sample by sample and evaluates the airbag
+// deadline: for falls, the detector must fire at least
+// AirbagInflationMS before the annotated impact.
+func (d *Detector) Simulate(t *dataset.Trial) TrialSim {
+	d.Reset()
+	sim := TrialSim{TriggerSample: -1}
+	for i, s := range t.Samples {
+		r := d.Push(s.Acc, s.Gyro)
+		if r.Triggered && sim.TriggerSample < 0 {
+			sim.Triggered = true
+			sim.TriggerSample = i
+			if !t.IsFall() {
+				sim.FalseAlarm = true
+			}
+			break
+		}
+	}
+	if t.IsFall() && sim.Triggered {
+		sim.LeadTimeMS = float64(t.Impact-sim.TriggerSample) * 1000 / dataset.SampleRate
+		sim.InTime = sim.LeadTimeMS >= dataset.AirbagInflationMS
+	}
+	return sim
+}

@@ -1,0 +1,276 @@
+package eval
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/tensor"
+)
+
+// smallDataset builds a quick 6-subject dataset with falls and the
+// hard ADLs, standardised and filtered.
+func smallDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := synth.GenerateWorksite(6, synth.Options{
+		Tasks:           []int{1, 4, 6, 21, 30, 39, 44},
+		LongTaskSeconds: 5,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StandardizeAll()
+	d.LowPass()
+	return d
+}
+
+func TestRunKFoldThresholdBaseline(t *testing.T) {
+	d := smallDataset(t)
+	res, err := RunKFold(d, model.KindThresholdAcc, PipelineConfig{
+		Segment: dataset.SegmentConfig{WindowMS: 200, Overlap: 0.5},
+		K:       3, NVal: 1,
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 3 {
+		t.Fatalf("%d folds", len(res.Folds))
+	}
+	total := 0
+	for _, f := range res.Folds {
+		total += f.Confusion.Total()
+		if len(f.Test) != f.Confusion.Total() {
+			t.Fatal("scored segments != confusion total")
+		}
+	}
+	if res.Pooled.Total() != total {
+		t.Fatal("pooled total mismatch")
+	}
+	// The free-fall threshold must beat coin-flip recall on data with
+	// genuine free-fall phases.
+	if res.Pooled.Recall() < 0.3 {
+		t.Fatalf("threshold recall %.2f unexpectedly poor", res.Pooled.Recall())
+	}
+}
+
+func TestRunKFoldCNNSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short")
+	}
+	d := smallDataset(t)
+	res, err := RunKFold(d, model.KindCNN, PipelineConfig{
+		Segment:       dataset.SegmentConfig{WindowMS: 200, Overlap: 0.5},
+		K:             2,
+		NVal:          1,
+		AugmentFactor: 2,
+		MaxTrainNeg:   400,
+		Train:         nn.TrainConfig{Epochs: 4, Patience: 4, BatchSize: 32},
+		Seed:          11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pooled.Total() == 0 {
+		t.Fatal("no test segments scored")
+	}
+	// Trained on real free-fall signatures, even 4 epochs must beat
+	// the all-negative degenerate classifier on recall.
+	if res.Pooled.Recall() == 0 {
+		t.Fatal("CNN learned nothing (zero recall)")
+	}
+	if res.Pooled.Accuracy() < 0.7 {
+		t.Fatalf("accuracy %.2f implausibly low", res.Pooled.Accuracy())
+	}
+}
+
+func TestRunKFoldErrors(t *testing.T) {
+	d := smallDataset(t)
+	_, err := RunKFold(d, model.KindCNN, PipelineConfig{
+		Segment: dataset.SegmentConfig{WindowMS: 0},
+	})
+	if err == nil {
+		t.Fatal("invalid segment config accepted")
+	}
+	_, err = RunKFold(d, model.KindCNN, PipelineConfig{
+		Segment: dataset.SegmentConfig{WindowMS: 200, Overlap: 0.5},
+		K:       50, // more folds than subjects
+	})
+	if err == nil {
+		t.Fatal("k > subjects accepted")
+	}
+}
+
+func TestSubsampleNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	segs := make([]dataset.Segment, 0, 110)
+	for i := 0; i < 100; i++ {
+		segs = append(segs, dataset.Segment{Y: 0, X: tensor.New(1, 9)})
+	}
+	for i := 0; i < 10; i++ {
+		segs = append(segs, dataset.Segment{Y: 1, X: tensor.New(1, 9)})
+	}
+	out := subsampleNegatives(segs, 30, rng)
+	pos, neg := dataset.CountLabels(out)
+	if pos != 10 {
+		t.Fatalf("positives lost: %d", pos)
+	}
+	if neg != 30 {
+		t.Fatalf("negatives %d, want 30", neg)
+	}
+	// Disabled and no-op cases.
+	if len(subsampleNegatives(segs, 0, rng)) != 110 {
+		t.Fatal("maxNeg=0 must disable")
+	}
+	if len(subsampleNegatives(segs, 500, rng)) != 110 {
+		t.Fatal("maxNeg above count must be a no-op")
+	}
+}
+
+func TestEventAnalysisSynthetic(t *testing.T) {
+	mk := func(subj, task, trial, y int, score float64) ScoredSegment {
+		return ScoredSegment{
+			Segment: dataset.Segment{Subject: subj, Task: task, TrialIx: trial, Y: y},
+			Score:   score,
+		}
+	}
+	scored := []ScoredSegment{
+		// Fall event (task 30), detected: one positive segment hit.
+		mk(1, 30, 0, 0, 0.1), mk(1, 30, 0, 1, 0.9), mk(1, 30, 0, 1, 0.2),
+		// Fall event (task 30), missed: positives all below threshold.
+		mk(2, 30, 0, 1, 0.4), mk(2, 30, 0, 0, 0.1),
+		// Fall event (task 21), missed.
+		mk(1, 21, 0, 1, 0.2),
+		// ADL event (task 6), clean.
+		mk(1, 6, 0, 0, 0.2), mk(1, 6, 0, 0, 0.3),
+		// ADL event (task 4, red), false positive.
+		mk(2, 4, 0, 0, 0.8),
+	}
+	st := EventAnalysis(scored, 0.5)
+	find := func(list []TaskEventStats, task int) TaskEventStats {
+		for _, s := range list {
+			if s.Task == task {
+				return s
+			}
+		}
+		t.Fatalf("task %d missing", task)
+		return TaskEventStats{}
+	}
+	if s := find(st.FallTasks, 30); s.Events != 2 || s.Missed != 1 || s.MissPct != 50 {
+		t.Fatalf("task 30 stats %+v", s)
+	}
+	if s := find(st.FallTasks, 21); s.MissPct != 100 {
+		t.Fatalf("task 21 stats %+v", s)
+	}
+	if s := find(st.ADLTasks, 6); s.MissPct != 0 {
+		t.Fatalf("task 6 stats %+v", s)
+	}
+	if s := find(st.ADLTasks, 4); s.MissPct != 100 {
+		t.Fatalf("task 4 stats %+v", s)
+	}
+	// Aggregates: falls 2/3 missed; ADLs 1/2 FP; red (task 4) 100 %,
+	// green (task 6) 0 %.
+	if st.AllFallMissPct < 66 || st.AllFallMissPct > 67 {
+		t.Fatalf("all-fall miss %.1f", st.AllFallMissPct)
+	}
+	if st.AllADLFPPct != 50 {
+		t.Fatalf("all-ADL FP %.1f", st.AllADLFPPct)
+	}
+	if st.RedADLFPPct != 100 || st.GreenADLFPPct != 0 {
+		t.Fatalf("red/green %.0f/%.0f", st.RedADLFPPct, st.GreenADLFPPct)
+	}
+	// Sorting: worst first.
+	if len(st.FallTasks) > 1 && st.FallTasks[0].MissPct < st.FallTasks[1].MissPct {
+		t.Fatal("fall tasks not sorted")
+	}
+}
+
+func TestEventAnalysisFallTrialPrefallFPIgnored(t *testing.T) {
+	// A false positive on a *pre-fall* segment of a fall trial must
+	// not surface as an ADL false alarm (the trial is a fall event).
+	scored := []ScoredSegment{
+		{Segment: dataset.Segment{Subject: 1, Task: 30, TrialIx: 0, Y: 0}, Score: 0.9},
+		{Segment: dataset.Segment{Subject: 1, Task: 30, TrialIx: 0, Y: 1}, Score: 0.1},
+	}
+	st := EventAnalysis(scored, 0.5)
+	if len(st.ADLTasks) != 0 {
+		t.Fatal("fall trial leaked into ADL stats")
+	}
+	if len(st.FallTasks) != 1 || st.FallTasks[0].Missed != 1 {
+		t.Fatal("fall event should count as missed (its positive segment scored low)")
+	}
+}
+
+func TestRunKFoldDeterminism(t *testing.T) {
+	d := smallDataset(t)
+	run := func() nn.Confusion {
+		res, err := RunKFold(d, model.KindThresholdGyro, PipelineConfig{
+			Segment: dataset.SegmentConfig{WindowMS: 200, Overlap: 0.5},
+			K:       2, NVal: 1,
+			Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Pooled
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestRunKFoldCustomFitter(t *testing.T) {
+	d := smallDataset(t)
+	calls := 0
+	cfg := PipelineConfig{
+		Segment: dataset.SegmentConfig{WindowMS: 200, Overlap: 0.5},
+		K:       2, NVal: 1,
+		Seed: 9,
+		Fitter: func(win, pos, total int, train, val []nn.Example, tc nn.TrainConfig, rng *rand.Rand) (model.Classifier, error) {
+			calls++
+			if win != 20 {
+				t.Errorf("fitter window %d", win)
+			}
+			if len(train) == 0 {
+				t.Error("fitter got no training data")
+			}
+			th, err := model.NewThreshold(model.KindThresholdAcc)
+			if err != nil {
+				return nil, err
+			}
+			return th, th.Fit(train, val, tc, rng)
+		},
+	}
+	res, err := RunKFold(d, model.KindCNN /* ignored by the fitter */, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("fitter called %d times, want 2", calls)
+	}
+	if res.Pooled.Total() == 0 {
+		t.Fatal("no test segments scored")
+	}
+}
+
+func TestRunKFoldLogOutput(t *testing.T) {
+	d := smallDataset(t)
+	var buf bytes.Buffer
+	_, err := RunKFold(d, model.KindThresholdGyro, PipelineConfig{
+		Segment: dataset.SegmentConfig{WindowMS: 200, Overlap: 0.5},
+		K:       2, NVal: 1,
+		Seed: 4,
+		Log:  &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fold 1/2") {
+		t.Fatalf("log output missing: %q", buf.String())
+	}
+}

@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"sort"
+
+	"repro/internal/synth"
+)
+
+// EventKey identifies one activity execution.
+type EventKey struct {
+	Subject, Task, Trial int
+}
+
+// TaskEventStats summarises one task's event-level outcome.
+type TaskEventStats struct {
+	Task   int
+	Events int
+	// Missed counts fall events with no correctly detected falling
+	// segment (Table IVa) — or, for ADL tasks, events with at least
+	// one false-positive segment (Table IVb).
+	Missed  int
+	MissPct float64
+}
+
+// EventStats is the Table IV analysis.
+type EventStats struct {
+	// FallTasks lists fall tasks sorted by miss percentage descending.
+	FallTasks []TaskEventStats
+	// ADLTasks lists ADL tasks sorted by false-positive percentage
+	// descending.
+	ADLTasks []TaskEventStats
+	// Aggregates (percent).
+	AllFallMissPct float64
+	AllADLFPPct    float64
+	RedADLFPPct    float64
+	GreenADLFPPct  float64
+}
+
+// EventAnalysis folds scored segments into event-level statistics at
+// the given decision threshold. A fall event counts as detected when
+// at least one of its usable falling segments (label 1) is classified
+// falling — that is the segment whose trigger would inflate the
+// airbag in time. An ADL event counts as a false positive when any of
+// its segments is classified falling (one spurious trigger is one
+// useless inflation).
+func EventAnalysis(scored []ScoredSegment, thr float64) EventStats {
+	type acc struct {
+		isFall   bool
+		detected bool
+		falsePos bool
+	}
+	events := map[EventKey]*acc{}
+	for i := range scored {
+		s := &scored[i]
+		key := EventKey{s.Subject, s.Task, s.TrialIx}
+		a := events[key]
+		if a == nil {
+			task, err := synth.TaskByID(s.Task)
+			isFall := err == nil && task.IsFall()
+			a = &acc{isFall: isFall}
+			events[key] = a
+		}
+		cut := thr
+		if s.Threshold > 0 {
+			cut = s.Threshold // fold-tuned threshold wins
+		}
+		pred := s.Score >= cut
+		if pred {
+			if s.Y == 1 {
+				a.detected = true
+			} else if !a.isFall {
+				a.falsePos = true
+			}
+		}
+	}
+
+	fall := map[int]*TaskEventStats{}
+	adl := map[int]*TaskEventStats{}
+	for key, a := range events {
+		if a.isFall {
+			st := fall[key.Task]
+			if st == nil {
+				st = &TaskEventStats{Task: key.Task}
+				fall[key.Task] = st
+			}
+			st.Events++
+			if !a.detected {
+				st.Missed++
+			}
+		} else {
+			st := adl[key.Task]
+			if st == nil {
+				st = &TaskEventStats{Task: key.Task}
+				adl[key.Task] = st
+			}
+			st.Events++
+			if a.falsePos {
+				st.Missed++
+			}
+		}
+	}
+
+	out := EventStats{}
+	var fallEvents, fallMissed, adlEvents, adlFP int
+	var redEvents, redFP, greenEvents, greenFP int
+	for _, st := range fall {
+		st.MissPct = 100 * float64(st.Missed) / float64(st.Events)
+		fallEvents += st.Events
+		fallMissed += st.Missed
+		out.FallTasks = append(out.FallTasks, *st)
+	}
+	for _, st := range adl {
+		st.MissPct = 100 * float64(st.Missed) / float64(st.Events)
+		adlEvents += st.Events
+		adlFP += st.Missed
+		task, err := synth.TaskByID(st.Task)
+		if err == nil && task.Red {
+			redEvents += st.Events
+			redFP += st.Missed
+		} else {
+			greenEvents += st.Events
+			greenFP += st.Missed
+		}
+		out.ADLTasks = append(out.ADLTasks, *st)
+	}
+	sortStats := func(s []TaskEventStats) {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].MissPct != s[j].MissPct {
+				return s[i].MissPct > s[j].MissPct
+			}
+			return s[i].Task < s[j].Task
+		})
+	}
+	sortStats(out.FallTasks)
+	sortStats(out.ADLTasks)
+	if fallEvents > 0 {
+		out.AllFallMissPct = 100 * float64(fallMissed) / float64(fallEvents)
+	}
+	if adlEvents > 0 {
+		out.AllADLFPPct = 100 * float64(adlFP) / float64(adlEvents)
+	}
+	if redEvents > 0 {
+		out.RedADLFPPct = 100 * float64(redFP) / float64(redEvents)
+	}
+	if greenEvents > 0 {
+		out.GreenADLFPPct = 100 * float64(greenFP) / float64(greenEvents)
+	}
+	return out
+}

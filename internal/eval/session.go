@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/edge"
+	"repro/internal/synth"
+)
+
+// SessionOutcome summarises a continuous-wear simulation: the
+// deployment metrics the per-trial tables cannot show — false
+// activations per hour of wear and the lead-time distribution.
+type SessionOutcome struct {
+	Hours float64
+
+	Falls    int
+	Detected int // fall events with a firing in [onset−1 s, impact]
+	InTime   int // firings ≥ AirbagInflationSamples before impact
+
+	FalseAlarms        int
+	FalseAlarmsPerHour float64
+
+	// LeadTimesMS collects per-detected-fall inflation margins.
+	LeadTimesMS []float64
+	// Firings are the absolute sample indices of every activation.
+	Firings []int
+}
+
+// matchWindow is how far before onset a firing still counts as the
+// fall's detection (pre-fall stumbles legitimately trip the detector
+// an instant before the annotated point of no return).
+const matchWindowSamples = 100
+
+// EvaluateSession replays a continuous session through the streaming
+// detector under an airbag firing policy and attributes every firing
+// to a fall event or a false alarm.
+func EvaluateSession(det *edge.Detector, bag *edge.Airbag, s *synth.Session) SessionOutcome {
+	det.Reset()
+	bag.Reset()
+	out := SessionOutcome{Hours: s.DurationHours()}
+
+	for i, smp := range s.Trial.Samples {
+		r := det.Push(smp.Acc, smp.Gyro)
+		if bag.Observe(i, r) {
+			out.Firings = append(out.Firings, i)
+		}
+	}
+
+	falls := s.Falls()
+	out.Falls = len(falls)
+	used := make([]bool, len(out.Firings))
+	for _, ev := range falls {
+		for fi, t := range out.Firings {
+			if used[fi] {
+				continue
+			}
+			if t >= ev.FallOnset-matchWindowSamples && t <= ev.Impact {
+				used[fi] = true
+				out.Detected++
+				lead := float64(ev.Impact-t) * 1000 / dataset.SampleRate
+				out.LeadTimesMS = append(out.LeadTimesMS, lead)
+				if ev.Impact-t >= dataset.AirbagInflationSamples {
+					out.InTime++
+				}
+				break
+			}
+		}
+	}
+	for fi := range out.Firings {
+		if !used[fi] {
+			out.FalseAlarms++
+		}
+	}
+	if out.Hours > 0 {
+		out.FalseAlarmsPerHour = float64(out.FalseAlarms) / out.Hours
+	}
+	return out
+}
+
+// MeanLeadMS returns the average inflation margin over detected falls
+// (0 when none were detected).
+func (o *SessionOutcome) MeanLeadMS() float64 {
+	if len(o.LeadTimesMS) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range o.LeadTimesMS {
+		s += v
+	}
+	return s / float64(len(o.LeadTimesMS))
+}

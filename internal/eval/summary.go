@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// MetricStat is a mean ± population-std pair over folds.
+type MetricStat struct {
+	Mean, Std float64
+}
+
+// String renders the pair as the paper prints averages.
+func (m MetricStat) String() string {
+	return fmt.Sprintf("%.2f±%.2f", 100*m.Mean, 100*m.Std)
+}
+
+// Summary is the per-fold statistical view of a cross-validation
+// result: the pooled (micro) numbers in Result hide fold variance,
+// which is exactly what a subject-independent protocol is supposed to
+// expose.
+type Summary struct {
+	Accuracy, Precision, Recall, F1 MetricStat
+	Folds                           int
+}
+
+// Summary computes per-fold mean ± std of the four headline metrics.
+func (r *Result) Summary() Summary {
+	n := len(r.Folds)
+	s := Summary{Folds: n}
+	if n == 0 {
+		return s
+	}
+	get := [4]func(i int) float64{
+		func(i int) float64 { return r.Folds[i].Confusion.Accuracy() },
+		func(i int) float64 { return r.Folds[i].Confusion.Precision() },
+		func(i int) float64 { return r.Folds[i].Confusion.Recall() },
+		func(i int) float64 { return r.Folds[i].Confusion.F1() },
+	}
+	out := [4]*MetricStat{&s.Accuracy, &s.Precision, &s.Recall, &s.F1}
+	for k := range get {
+		mean := 0.0
+		for i := 0; i < n; i++ {
+			mean += get[k](i)
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for i := 0; i < n; i++ {
+			d := get[k](i) - mean
+			variance += d * d
+		}
+		out[k].Mean = mean
+		out[k].Std = math.Sqrt(variance / float64(n))
+	}
+	return s
+}

@@ -1,0 +1,40 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestSummaryStatistics(t *testing.T) {
+	r := &Result{Folds: []FoldResult{
+		{Confusion: nn.Confusion{TP: 8, FN: 2, TN: 90, FP: 0}}, // rec 0.8, prec 1.0
+		{Confusion: nn.Confusion{TP: 6, FN: 4, TN: 85, FP: 5}}, // rec 0.6, prec 6/11
+	}}
+	s := r.Summary()
+	if s.Folds != 2 {
+		t.Fatalf("folds %d", s.Folds)
+	}
+	if math.Abs(s.Recall.Mean-0.7) > 1e-12 {
+		t.Fatalf("recall mean %g", s.Recall.Mean)
+	}
+	if math.Abs(s.Recall.Std-0.1) > 1e-12 {
+		t.Fatalf("recall std %g", s.Recall.Std)
+	}
+	wantPrec := (1.0 + 6.0/11) / 2
+	if math.Abs(s.Precision.Mean-wantPrec) > 1e-12 {
+		t.Fatalf("precision mean %g want %g", s.Precision.Mean, wantPrec)
+	}
+	if s.Recall.String() == "" {
+		t.Fatal("empty stat string")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	r := &Result{}
+	s := r.Summary()
+	if s.Folds != 0 || s.F1.Mean != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}

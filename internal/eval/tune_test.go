@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// scoreByFirst is a stub classifier whose score is the window's first
+// element, letting tests place scores exactly.
+type scoreByFirst struct{}
+
+func (scoreByFirst) Name() string                   { return "stub" }
+func (scoreByFirst) Score(x *tensor.Tensor) float64 { return x.Data()[0] }
+
+func ex(score float64, y int) nn.Example {
+	x := tensor.New(1)
+	x.Data()[0] = score
+	return nn.Example{X: x, Y: y}
+}
+
+func TestTuneThresholdSeparablePoint(t *testing.T) {
+	// Positives at 0.8, negatives at 0.3: any threshold in (0.3, 0.8]
+	// is perfect; tie-breaking must pick the highest (fewest FPs).
+	val := []nn.Example{ex(0.8, 1), ex(0.85, 1), ex(0.3, 0), ex(0.25, 0)}
+	thr := tuneThreshold(scoreByFirst{}, val, 1)
+	if thr <= 0.3 || thr > 0.8 {
+		t.Fatalf("tuned threshold %.3f outside (0.3, 0.8]", thr)
+	}
+	if thr < 0.75 {
+		t.Fatalf("tie-break should prefer high thresholds, got %.3f", thr)
+	}
+}
+
+func TestTuneThresholdPrefersPrecisionAtHighCut(t *testing.T) {
+	// One noisy negative at 0.9 above the positive cluster at 0.7: the
+	// best F1 keeps the positives (threshold ≤ 0.7) and accepts that
+	// FP rather than losing all recall.
+	val := []nn.Example{ex(0.7, 1), ex(0.7, 1), ex(0.7, 1), ex(0.9, 0), ex(0.1, 0)}
+	thr := tuneThreshold(scoreByFirst{}, val, 1)
+	var c nn.Confusion
+	for _, e := range val {
+		c.AddThreshold(e.X.Data()[0], e.Y, thr)
+	}
+	if c.Recall() != 1 {
+		t.Fatalf("threshold %.3f sacrificed recall: %v", thr, &c)
+	}
+}
+
+func TestTuneThresholdBetaBiasesPrecision(t *testing.T) {
+	// Mixed cluster: positives at 0.6 and 0.9, negatives at 0.55.
+	// F1 tuning keeps both positives (threshold ≤ 0.6, one FP batch);
+	// a precision-heavy β=0.3 prefers the clean high cut at ~0.9.
+	var val []nn.Example
+	for i := 0; i < 4; i++ {
+		val = append(val, ex(0.9, 1))
+	}
+	for i := 0; i < 4; i++ {
+		val = append(val, ex(0.6, 1))
+	}
+	for i := 0; i < 6; i++ {
+		val = append(val, ex(0.55, 0))
+	}
+	val = append(val, ex(0.62, 0)) // noise above the low positives
+	f1Thr := tuneThreshold(scoreByFirst{}, val, 1)
+	precThr := tuneThreshold(scoreByFirst{}, val, 0.3)
+	if precThr < f1Thr {
+		t.Fatalf("β=0.3 threshold %.3f below F1 threshold %.3f", precThr, f1Thr)
+	}
+	if precThr <= 0.62 {
+		t.Fatalf("precision-biased threshold %.3f should clear the noisy negative", precThr)
+	}
+}

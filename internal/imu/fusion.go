@@ -1,0 +1,112 @@
+package imu
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fusion is a complementary-filter attitude estimator: it blends
+// gyro-integrated attitude (good at high frequency, drifts) with the
+// accelerometer's gravity direction (noisy, but drift-free) to produce
+// the Euler pitch/roll channels; yaw is gyro-integrated only, as on a
+// magnetometer-less board like the paper's Protechto PCB. This is the
+// "sensor data fusion phase" the paper runs on the edge before each
+// CNN inference (≈3 ms of the reported budget).
+type Fusion struct {
+	alpha float64 // gyro weight per step, in (0, 1)
+	dt    float64 // sample period, seconds
+
+	pitch, roll, yaw float64 // degrees
+	primed           bool
+}
+
+// NewFusion returns a complementary filter for the given sample rate
+// (Hz) and time constant tau (seconds). The blend weight is
+// α = τ/(τ+dt); the paper's 100 Hz rate with τ≈0.5 s gives α≈0.98,
+// a conventional setting.
+func NewFusion(sampleRate, tau float64) (*Fusion, error) {
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("imu: sample rate must be positive, got %g", sampleRate)
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("imu: time constant must be positive, got %g", tau)
+	}
+	dt := 1 / sampleRate
+	return &Fusion{alpha: tau / (tau + dt), dt: dt}, nil
+}
+
+// MustNewFusion is NewFusion but panics on configuration errors.
+func MustNewFusion(sampleRate, tau float64) *Fusion {
+	f, err := NewFusion(sampleRate, tau)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Reset clears the estimator state.
+func (f *Fusion) Reset() {
+	f.pitch, f.roll, f.yaw = 0, 0, 0
+	f.primed = false
+}
+
+// accAngles returns the gravity-referenced pitch and roll (degrees)
+// implied by an accelerometer reading (any consistent unit).
+func accAngles(acc Vec3) (pitch, roll float64) {
+	pitch = RadToDeg(math.Atan2(-acc.X, math.Sqrt(acc.Y*acc.Y+acc.Z*acc.Z)))
+	roll = RadToDeg(math.Atan2(acc.Y, acc.Z))
+	return pitch, roll
+}
+
+// Update ingests one accelerometer (g) + gyroscope (deg/s) reading and
+// returns the fused Euler angles in degrees. The very first update
+// snaps pitch/roll to the accelerometer solution so start-up attitude
+// is immediately sensible.
+func (f *Fusion) Update(acc, gyro Vec3) Vec3 {
+	ap, ar := accAngles(acc)
+	if !f.primed {
+		f.pitch, f.roll, f.yaw = ap, ar, 0
+		f.primed = true
+		return Vec3{f.pitch, f.roll, f.yaw}
+	}
+	// Gyro propagation (body rates mapped directly onto Euler rates —
+	// the small-angle firmware approximation used on the device).
+	gp := f.pitch + gyro.Y*f.dt
+	gr := f.roll + gyro.X*f.dt
+	f.yaw += gyro.Z * f.dt
+
+	// During near-free-fall |acc| collapses toward 0 g and the
+	// accelerometer stops pointing at gravity; trust it less. This is
+	// exactly the situation the fall detector must survive.
+	w := 1 - f.alpha
+	if m := acc.Norm(); m < 0.5 || m > 1.5 {
+		w *= m * m / (1 + m*m) // soft down-weight far from 1 g
+	}
+	// Wrap the gravity-referenced angles to (−180°, 180°] so sustained
+	// tumbling cannot wind the estimate up indefinitely (yaw is left
+	// unwrapped: consumers use window-relative yaw, and wrapping would
+	// inject ±360° steps into the difference).
+	f.pitch = wrap180((1-w)*gp + w*ap)
+	f.roll = wrap180((1-w)*gr + w*ar)
+	return Vec3{f.pitch, f.roll, f.yaw}
+}
+
+// wrap180 maps an angle in degrees to (−180, 180].
+func wrap180(a float64) float64 {
+	a = math.Mod(a, 360)
+	if a > 180 {
+		a -= 360
+	} else if a <= -180 {
+		a += 360
+	}
+	return a
+}
+
+// Annotate runs the fusion over a full trial of acc/gyro samples,
+// filling in the Euler channels in place. It resets the filter first.
+func (f *Fusion) Annotate(samples []Sample) {
+	f.Reset()
+	for i := range samples {
+		samples[i].Euler = f.Update(samples[i].Acc, samples[i].Gyro)
+	}
+}

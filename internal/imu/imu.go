@@ -1,0 +1,143 @@
+// Package imu models the inertial measurement unit data the detector
+// consumes: 9-channel samples (tri-axial accelerometer, tri-axial
+// gyroscope, Euler angles), unit conversions, frame re-orientation via
+// Rodrigues' rotation formula (used to align the KFall sensor frame to
+// the self-collected one) and a complementary-filter sensor fusion
+// that computes Euler angles on the edge, as the paper's PCB firmware
+// does.
+package imu
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants and channel conventions.
+const (
+	// StandardGravity is g₀ in m/s².
+	StandardGravity = 9.80665
+
+	// NumChannels is the feature count per sample: accel xyz, gyro
+	// xyz, Euler pitch/roll/yaw — the paper's m = 9.
+	NumChannels = 9
+)
+
+// Channel indices into a 9-feature sample row.
+const (
+	AccX = iota
+	AccY
+	AccZ
+	GyroX
+	GyroY
+	GyroZ
+	EulerPitch
+	EulerRoll
+	EulerYaw
+)
+
+// ChannelName returns the conventional name of feature channel c.
+func ChannelName(c int) string {
+	names := [...]string{"acc_x", "acc_y", "acc_z",
+		"gyro_x", "gyro_y", "gyro_z",
+		"pitch", "roll", "yaw"}
+	if c < 0 || c >= len(names) {
+		return fmt.Sprintf("ch%d", c)
+	}
+	return names[c]
+}
+
+// Vec3 is a 3-component vector (acceleration, angular rate, axis...).
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v/|v|, or the zero vector if |v| is zero.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec3{}
+	}
+	return v.Scale(1 / n)
+}
+
+// Sample is one IMU reading at a single instant: acceleration in g,
+// angular rate in deg/s and Euler attitude in degrees. These are the
+// units of the paper's self-collected dataset, which the merged
+// dataset is standardised to.
+type Sample struct {
+	Acc   Vec3 // specific force, g
+	Gyro  Vec3 // angular rate, deg/s
+	Euler Vec3 // X = pitch, Y = roll, Z = yaw, degrees
+}
+
+// Features flattens the sample into the 9-feature row the models
+// consume, in channel order.
+func (s Sample) Features() [NumChannels]float64 {
+	return [NumChannels]float64{
+		s.Acc.X, s.Acc.Y, s.Acc.Z,
+		s.Gyro.X, s.Gyro.Y, s.Gyro.Z,
+		s.Euler.X, s.Euler.Y, s.Euler.Z,
+	}
+}
+
+// FromFeatures rebuilds a sample from a 9-feature row.
+func FromFeatures(f [NumChannels]float64) Sample {
+	return Sample{
+		Acc:   Vec3{f[AccX], f[AccY], f[AccZ]},
+		Gyro:  Vec3{f[GyroX], f[GyroY], f[GyroZ]},
+		Euler: Vec3{f[EulerPitch], f[EulerRoll], f[EulerYaw]},
+	}
+}
+
+// ChannelScale returns the fixed normalisation divisor for feature
+// channel c, chosen so every channel feeds the models at O(1):
+// accelerations are already in g, angular rates are divided by
+// 200 deg/s (a vigorous fall's rotation), Euler angles by 90°. Fixed
+// physical scaling (rather than dataset z-scoring) keeps the edge
+// firmware free of train-time statistics and makes the quantized
+// input scale deterministic.
+func ChannelScale(c int) float64 {
+	switch c {
+	case GyroX, GyroY, GyroZ:
+		return 200
+	case EulerPitch, EulerRoll, EulerYaw:
+		return 90
+	default:
+		return 1
+	}
+}
+
+// MS2ToG converts an acceleration from m/s² to gravitational units.
+// KFall ships accelerations in m/s²; the merged dataset uses g.
+func MS2ToG(a float64) float64 { return a / StandardGravity }
+
+// GToMS2 converts an acceleration from g to m/s².
+func GToMS2(a float64) float64 { return a * StandardGravity }
+
+// RadToDeg converts radians to degrees.
+func RadToDeg(r float64) float64 { return r * 180 / math.Pi }
+
+// DegToRad converts degrees to radians.
+func DegToRad(d float64) float64 { return d * math.Pi / 180 }

@@ -1,0 +1,372 @@
+package imu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func vecClose(a, b Vec3, eps float64) bool {
+	return math.Abs(a.X-b.X) < eps && math.Abs(a.Y-b.Y) < eps && math.Abs(a.Z-b.Z) < eps
+}
+
+func TestVec3Algebra(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if got := a.Add(b); got != (Vec3{5, 7, 9}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Vec3{3, 3, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Fatalf("Dot = %g", got)
+	}
+	if got := a.Cross(b); got != (Vec3{-3, 6, -3}) {
+		t.Fatalf("Cross = %v", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Fatalf("Norm = %g", got)
+	}
+	if got := (Vec3{0, 0, 2}).Normalize(); got != (Vec3{0, 0, 1}) {
+		t.Fatalf("Normalize = %v", got)
+	}
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Fatalf("Normalize zero = %v", got)
+	}
+}
+
+func TestSampleFeaturesRoundTrip(t *testing.T) {
+	s := Sample{
+		Acc:   Vec3{0.1, 0.2, 0.3},
+		Gyro:  Vec3{10, 20, 30},
+		Euler: Vec3{1, 2, 3},
+	}
+	f := s.Features()
+	if f[AccX] != 0.1 || f[GyroZ] != 30 || f[EulerYaw] != 3 {
+		t.Fatalf("Features = %v", f)
+	}
+	if got := FromFeatures(f); got != s {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestChannelNames(t *testing.T) {
+	if ChannelName(AccX) != "acc_x" || ChannelName(EulerYaw) != "yaw" {
+		t.Fatal("channel names wrong")
+	}
+	if ChannelName(99) != "ch99" {
+		t.Fatal("out-of-range channel name")
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if math.Abs(MS2ToG(StandardGravity)-1) > 1e-12 {
+		t.Fatal("MS2ToG(g0) != 1")
+	}
+	if math.Abs(GToMS2(2)-2*StandardGravity) > 1e-12 {
+		t.Fatal("GToMS2 wrong")
+	}
+	if math.Abs(DegToRad(180)-math.Pi) > 1e-12 || math.Abs(RadToDeg(math.Pi)-180) > 1e-12 {
+		t.Fatal("angle conversion wrong")
+	}
+}
+
+func TestRodriguesKnownRotations(t *testing.T) {
+	// 90° about Z maps X onto Y.
+	r := Rodrigues(Vec3{0, 0, 1}, math.Pi/2)
+	if got := r.Apply(Vec3{1, 0, 0}); !vecClose(got, Vec3{0, 1, 0}, 1e-12) {
+		t.Fatalf("Rz(90°)·x = %v", got)
+	}
+	// 180° about X maps Y onto −Y and Z onto −Z.
+	r = Rodrigues(Vec3{1, 0, 0}, math.Pi)
+	if got := r.Apply(Vec3{0, 1, 0}); !vecClose(got, Vec3{0, -1, 0}, 1e-12) {
+		t.Fatalf("Rx(180°)·y = %v", got)
+	}
+	// Zero axis degenerates to identity.
+	r = Rodrigues(Vec3{}, 1.0)
+	if got := r.Apply(Vec3{1, 2, 3}); !vecClose(got, Vec3{1, 2, 3}, 1e-12) {
+		t.Fatalf("identity fallback = %v", got)
+	}
+}
+
+// Property: Rodrigues matrices are proper rotations — RᵀR = I, det R = 1,
+// and they preserve norms.
+func TestRodriguesIsRotationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		axis := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if axis.Norm() < 1e-9 {
+			return true
+		}
+		angle := rng.Float64() * 2 * math.Pi
+		r := Rodrigues(axis, angle)
+		// RᵀR = I
+		id := r.Transpose().Mul(r)
+		want := Identity3()
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if math.Abs(id[i][j]-want[i][j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		if math.Abs(r.Det()-1) > 1e-9 {
+			return false
+		}
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		return math.Abs(r.Apply(v).Norm()-v.Norm()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rotation about an axis leaves the axis fixed.
+func TestRodriguesFixesAxisProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		axis := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if axis.Norm() < 1e-9 {
+			return true
+		}
+		r := Rodrigues(axis, rng.Float64()*2*math.Pi)
+		return vecClose(r.Apply(axis), axis, 1e-9*math.Max(1, axis.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotationBetween(t *testing.T) {
+	// Generic pair.
+	a, b := Vec3{1, 0, 0}, Vec3{0, 0, 1}
+	r, err := RotationBetween(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Apply(a); !vecClose(got, b, 1e-12) {
+		t.Fatalf("R·a = %v, want %v", got, b)
+	}
+	// Aligned pair ⇒ identity.
+	r, err = RotationBetween(Vec3{0, 2, 0}, Vec3{0, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Apply(Vec3{1, 2, 3}); !vecClose(got, Vec3{1, 2, 3}, 1e-9) {
+		t.Fatalf("aligned case not identity: %v", got)
+	}
+	// Anti-parallel pair.
+	r, err = RotationBetween(Vec3{0, 0, 1}, Vec3{0, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Apply(Vec3{0, 0, 1}); !vecClose(got, Vec3{0, 0, -1}, 1e-9) {
+		t.Fatalf("anti-parallel: %v", got)
+	}
+	// Zero vector is an error.
+	if _, err := RotationBetween(Vec3{}, Vec3{1, 0, 0}); err == nil {
+		t.Fatal("zero vector accepted")
+	}
+}
+
+// Property: RotationBetween(a, b) maps â onto b̂ for random vectors.
+func TestRotationBetweenProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		b := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if a.Norm() < 1e-6 || b.Norm() < 1e-6 {
+			return true
+		}
+		r, err := RotationBetween(a, b)
+		if err != nil {
+			return false
+		}
+		return vecClose(r.Apply(a.Normalize()), b.Normalize(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMat3RotateSample(t *testing.T) {
+	r := Rodrigues(Vec3{0, 0, 1}, math.Pi/2)
+	s := Sample{Acc: Vec3{1, 0, 0}, Gyro: Vec3{0, 1, 0}, Euler: Vec3{7, 8, 9}}
+	got := r.Rotate(s)
+	if !vecClose(got.Acc, Vec3{0, 1, 0}, 1e-12) {
+		t.Fatalf("Acc = %v", got.Acc)
+	}
+	if !vecClose(got.Gyro, Vec3{-1, 0, 0}, 1e-12) {
+		t.Fatalf("Gyro = %v", got.Gyro)
+	}
+	if got.Euler != s.Euler {
+		t.Fatal("Euler must pass through Rotate unchanged")
+	}
+}
+
+func TestFusionConfigErrors(t *testing.T) {
+	if _, err := NewFusion(0, 0.5); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewFusion(100, 0); err == nil {
+		t.Error("zero tau accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewFusion should panic")
+		}
+	}()
+	MustNewFusion(-1, 0.5)
+}
+
+func TestFusionLevelAttitude(t *testing.T) {
+	// A sensor lying flat (gravity along +Z) reads acc = (0,0,1) g and
+	// zero rates: pitch and roll must stay ≈ 0.
+	f := MustNewFusion(100, 0.5)
+	var e Vec3
+	for i := 0; i < 500; i++ {
+		e = f.Update(Vec3{0, 0, 1}, Vec3{})
+	}
+	if math.Abs(e.X) > 0.1 || math.Abs(e.Y) > 0.1 || math.Abs(e.Z) > 0.1 {
+		t.Fatalf("level attitude = %v, want ~0", e)
+	}
+}
+
+func TestFusionStaticPitch(t *testing.T) {
+	// Tilted 30° nose-down: acc_x = −sin(−30°)·g... With our
+	// convention pitch = atan2(−ax, √(ay²+az²)), a static reading of
+	// ax = −0.5, az = +√3/2 gives pitch = +30°.
+	f := MustNewFusion(100, 0.5)
+	var e Vec3
+	for i := 0; i < 1000; i++ {
+		e = f.Update(Vec3{-0.5, 0, math.Sqrt(3) / 2}, Vec3{})
+	}
+	if math.Abs(e.X-30) > 0.5 {
+		t.Fatalf("pitch = %g, want 30", e.X)
+	}
+	if math.Abs(e.Y) > 0.5 {
+		t.Fatalf("roll = %g, want 0", e.Y)
+	}
+}
+
+func TestFusionFirstSampleSnaps(t *testing.T) {
+	f := MustNewFusion(100, 0.5)
+	e := f.Update(Vec3{0, 1, 0}, Vec3{}) // gravity along +Y: roll = 90°
+	if math.Abs(e.Y-90) > 1e-9 {
+		t.Fatalf("first-sample roll = %g, want 90", e.Y)
+	}
+}
+
+func TestFusionYawIntegration(t *testing.T) {
+	// 90 deg/s about Z for 1 s ⇒ yaw ≈ 90° (pure integration).
+	f := MustNewFusion(100, 0.5)
+	f.Update(Vec3{0, 0, 1}, Vec3{}) // prime
+	var e Vec3
+	for i := 0; i < 100; i++ {
+		e = f.Update(Vec3{0, 0, 1}, Vec3{0, 0, 90})
+	}
+	if math.Abs(e.Z-90) > 1.0 {
+		t.Fatalf("yaw = %g, want ≈90", e.Z)
+	}
+}
+
+func TestFusionGyroTracksFastMotion(t *testing.T) {
+	// With a rotating body the gyro term should dominate short-term:
+	// feed pitch rate +100 deg/s for 200 ms with an (incorrectly
+	// constant) accelerometer; the estimate must move well beyond the
+	// accel solution of 0°.
+	f := MustNewFusion(100, 0.5)
+	f.Update(Vec3{0, 0, 1}, Vec3{})
+	var e Vec3
+	for i := 0; i < 20; i++ {
+		e = f.Update(Vec3{0, 0, 1}, Vec3{0, 100, 0})
+	}
+	if e.X < 10 {
+		t.Fatalf("pitch after 200 ms of 100°/s = %g, want > 10", e.X)
+	}
+}
+
+func TestFusionFreeFallDownWeighting(t *testing.T) {
+	// In free fall acc → 0 g; the accel angles become garbage
+	// (atan2(0, 0)...). The filter must not be yanked around: starting
+	// at 30° pitch, 300 ms of free fall with zero rates should keep
+	// the estimate near 30°.
+	f := MustNewFusion(100, 0.5)
+	for i := 0; i < 500; i++ {
+		f.Update(Vec3{-0.5, 0, math.Sqrt(3) / 2}, Vec3{})
+	}
+	var e Vec3
+	for i := 0; i < 30; i++ {
+		e = f.Update(Vec3{0, 0, 0.02}, Vec3{}) // near-zero g
+	}
+	if math.Abs(e.X-30) > 5 {
+		t.Fatalf("free-fall pitch drifted to %g, want ≈30", e.X)
+	}
+}
+
+func TestFusionResetAndAnnotate(t *testing.T) {
+	f := MustNewFusion(100, 0.5)
+	f.Update(Vec3{0, 1, 0}, Vec3{})
+	f.Reset()
+	e := f.Update(Vec3{0, 0, 1}, Vec3{})
+	if math.Abs(e.Y) > 1e-9 {
+		t.Fatalf("after Reset roll = %g, want 0", e.Y)
+	}
+
+	samples := make([]Sample, 50)
+	for i := range samples {
+		samples[i] = Sample{Acc: Vec3{0, 0, 1}}
+	}
+	f.Annotate(samples)
+	last := samples[len(samples)-1].Euler
+	if math.Abs(last.X) > 0.5 || math.Abs(last.Y) > 0.5 {
+		t.Fatalf("Annotate level trial: %v", last)
+	}
+}
+
+// Property: fused pitch/roll stay within physical bounds (±180°) for
+// arbitrary bounded sensor streams — the estimator must never wind up.
+func TestFusionBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fus := MustNewFusion(100, 0.5)
+		for i := 0; i < 400; i++ {
+			acc := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			gyro := Vec3{200 * rng.NormFloat64(), 200 * rng.NormFloat64(), 200 * rng.NormFloat64()}
+			e := fus.Update(acc, gyro)
+			if math.Abs(e.X) > 181 || math.Abs(e.Y) > 181 {
+				return false
+			}
+			if math.IsNaN(e.X) || math.IsNaN(e.Y) || math.IsNaN(e.Z) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelScales(t *testing.T) {
+	for c := AccX; c <= AccZ; c++ {
+		if ChannelScale(c) != 1 {
+			t.Fatalf("acc channel %d scale %g", c, ChannelScale(c))
+		}
+	}
+	for c := GyroX; c <= GyroZ; c++ {
+		if ChannelScale(c) != 200 {
+			t.Fatalf("gyro channel %d scale %g", c, ChannelScale(c))
+		}
+	}
+	for c := EulerPitch; c <= EulerYaw; c++ {
+		if ChannelScale(c) != 90 {
+			t.Fatalf("euler channel %d scale %g", c, ChannelScale(c))
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package imu
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat3 is a 3×3 rotation (or general linear) matrix in row-major order.
+type Mat3 [3][3]float64
+
+// Identity3 returns the identity matrix.
+func Identity3() Mat3 {
+	return Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+// Apply returns M·v.
+func (m Mat3) Apply(v Vec3) Vec3 {
+	return Vec3{
+		m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z,
+		m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z,
+		m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z,
+	}
+}
+
+// Mul returns the matrix product m·o.
+func (m Mat3) Mul(o Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += m[i][k] * o[k][j]
+			}
+			r[i][j] = s
+		}
+	}
+	return r
+}
+
+// Transpose returns mᵀ (the inverse for rotation matrices).
+func (m Mat3) Transpose() Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[j][i]
+		}
+	}
+	return r
+}
+
+// Det returns the determinant.
+func (m Mat3) Det() float64 {
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+// Rodrigues returns the rotation matrix for a rotation of angle
+// radians about the given axis, via Rodrigues' rotation formula
+//
+//	R = I + sinθ·K + (1−cosθ)·K²
+//
+// where K is the cross-product matrix of the normalised axis. This is
+// the construction the paper uses to align the KFall sensor
+// orientation with the self-collected dataset's.
+func Rodrigues(axis Vec3, angle float64) Mat3 {
+	u := axis.Normalize()
+	if u.Norm() == 0 {
+		return Identity3()
+	}
+	s, c := math.Sin(angle), math.Cos(angle)
+	t := 1 - c
+	return Mat3{
+		{c + u.X*u.X*t, u.X*u.Y*t - u.Z*s, u.X*u.Z*t + u.Y*s},
+		{u.Y*u.X*t + u.Z*s, c + u.Y*u.Y*t, u.Y*u.Z*t - u.X*s},
+		{u.Z*u.X*t - u.Y*s, u.Z*u.Y*t + u.X*s, c + u.Z*u.Z*t},
+	}
+}
+
+// RotationBetween returns the rotation matrix that takes unit-ish
+// vector a onto unit-ish vector b (the minimal-angle rotation), again
+// via Rodrigues' formula: axis = a×b, angle = atan2(|a×b|, a·b).
+// It returns an error when a or b is (near) zero, and handles the
+// anti-parallel case by picking an arbitrary perpendicular axis.
+func RotationBetween(a, b Vec3) (Mat3, error) {
+	an, bn := a.Normalize(), b.Normalize()
+	if an.Norm() == 0 || bn.Norm() == 0 {
+		return Identity3(), fmt.Errorf("imu: RotationBetween needs non-zero vectors")
+	}
+	cross := an.Cross(bn)
+	dot := an.Dot(bn)
+	sin := cross.Norm()
+	if sin < 1e-12 {
+		if dot > 0 {
+			return Identity3(), nil // already aligned
+		}
+		// Anti-parallel: rotate π about any axis ⊥ a.
+		perp := an.Cross(Vec3{1, 0, 0})
+		if perp.Norm() < 1e-6 {
+			perp = an.Cross(Vec3{0, 1, 0})
+		}
+		return Rodrigues(perp, math.Pi), nil
+	}
+	return Rodrigues(cross, math.Atan2(sin, dot)), nil
+}
+
+// Rotate re-orients the inertial channels of a sample: acceleration
+// and angular rate rotate as vectors. Euler angles are frame-relative
+// and are expected to be recomputed by sensor fusion after rotation,
+// so they are passed through unchanged here.
+func (m Mat3) Rotate(s Sample) Sample {
+	return Sample{
+		Acc:   m.Apply(s.Acc),
+		Gyro:  m.Apply(s.Gyro),
+		Euler: s.Euler,
+	}
+}

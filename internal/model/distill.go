@@ -1,0 +1,157 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/imu"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// buildDistilledCNN assembles the PreFallKD-style student: the same
+// three-branch topology as the proposed CNN at roughly half the
+// width, intended to be trained by Distill against a full teacher.
+func buildDistilledCNN(T int, rng *rand.Rand) *nn.Network {
+	branch := func() []nn.Layer {
+		return []nn.Layer{
+			nn.NewConv1D(3, KDFilters, CNNKernel, rng),
+			nn.NewReLU(),
+			nn.NewMaxPool1D(CNNPool),
+		}
+	}
+	convOut := T - CNNKernel + 1
+	poolOut := (convOut + CNNPool - 1) / CNNPool
+	concat := 3 * poolOut * KDFilters
+	return nn.NewNetwork(
+		nn.NewBranch(
+			[][2]int{{imu.AccX, imu.AccZ + 1}, {imu.GyroX, imu.GyroZ + 1}, {imu.EulerPitch, imu.EulerYaw + 1}},
+			[][]nn.Layer{branch(), branch(), branch()},
+		),
+		nn.NewDense(concat, KDDense1, rng),
+		nn.NewReLU(),
+		nn.NewDense(KDDense1, KDDense2, rng),
+		nn.NewReLU(),
+		nn.NewDense(KDDense2, 1, rng),
+		nn.NewSigmoid(),
+	)
+}
+
+// DistillConfig parameterises knowledge distillation.
+type DistillConfig struct {
+	// Alpha weights the hard-label loss; (1−Alpha) weights the
+	// teacher-matching loss (default 0.5).
+	Alpha float64
+	// Temperature softens the teacher's logits (default 2).
+	Temperature float64
+	// Train carries epochs/patience/batch.
+	Train nn.TrainConfig
+}
+
+func (c DistillConfig) withDefaults() DistillConfig {
+	if c.Alpha <= 0 {
+		c.Alpha = 0.5
+	}
+	if c.Temperature <= 0 {
+		c.Temperature = 2
+	}
+	return c
+}
+
+// Distill trains the student on the combined hard-label and
+// soft-teacher objective (the PreFallKD recipe adapted to the binary
+// sigmoid output):
+//
+//	L = α·BCE(p, y) + (1−α)·BCE(p, q_T)
+//
+// where q_T = σ(logit(q)/T) is the temperature-softened teacher
+// probability. Early stopping monitors the hard validation loss and
+// restores the best weights, like the main trainer.
+func Distill(teacher Classifier, student *NetModel, train, val []nn.Example, cfg DistillConfig, rng *rand.Rand) error {
+	if len(train) == 0 {
+		return fmt.Errorf("model: empty distillation training set")
+	}
+	cfg = cfg.withDefaults()
+	tc := cfg.Train
+	if tc.Epochs <= 0 {
+		tc.Epochs = 200
+	}
+	if tc.Patience <= 0 {
+		tc.Patience = 20
+	}
+	if tc.BatchSize <= 0 {
+		tc.BatchSize = 32
+	}
+	pos := 0
+	for _, e := range train {
+		pos += e.Y
+	}
+	w0, w1 := nn.BalancedWeights(len(train)-pos, pos)
+	if tc.ClassWeights[0] != 0 || tc.ClassWeights[1] != 0 {
+		w0, w1 = tc.ClassWeights[0], tc.ClassWeights[1]
+	}
+	hard := nn.NewWeightedBCE(w0, w1)
+
+	// Pre-compute softened teacher targets once.
+	soft := make([]float64, len(train))
+	for i, e := range train {
+		q := clampProb(teacher.Score(e.X))
+		logit := math.Log(q / (1 - q))
+		soft[i] = 1 / (1 + math.Exp(-logit/cfg.Temperature))
+	}
+
+	net := student.Net
+	opt := nn.NewAdam(1e-3)
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+	best := net.Snapshot()
+	bestVal := math.Inf(1)
+	sinceBest := 0
+	valLoss := func() float64 {
+		if len(val) == 0 {
+			return 0
+		}
+		s := 0.0
+		for _, e := range val {
+			s += hard.Loss(net.Predict(e.X), e.Y)
+		}
+		return s / float64(len(val))
+	}
+
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += tc.BatchSize {
+			end := min(start+tc.BatchSize, len(order))
+			net.ZeroGrad()
+			for _, ix := range order[start:end] {
+				e := train[ix]
+				p := clampProb(net.Forward(e.X, true).Data()[0])
+				// Combined gradient ∂L/∂p.
+				gHard := hard.Grad(p, e.Y).Data()[0]
+				q := soft[ix]
+				gSoft := (p - q) / (p * (1 - p)) // BCE with soft target
+				g := cfg.Alpha*gHard + (1-cfg.Alpha)*gSoft
+				net.Backward(tensor.FromSlice([]float64{g}, 1))
+			}
+			opt.Step(net.Params(), 1/float64(end-start))
+		}
+		vl := valLoss()
+		if vl < bestVal-1e-9 {
+			bestVal = vl
+			best = net.Snapshot()
+			sinceBest = 0
+		} else if sinceBest++; sinceBest >= tc.Patience {
+			break
+		}
+	}
+	net.Restore(best)
+	return nil
+}
+
+func clampProb(p float64) float64 {
+	const e = 1e-7
+	return math.Min(1-e, math.Max(e, p))
+}

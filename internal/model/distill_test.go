@@ -1,0 +1,105 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/imu"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestCNNBiGRUForwardAndShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := New(KindCNNBiGRU, Config{WindowSamples: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Score(tensor.New(20, imu.NumChannels))
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		t.Fatalf("score %g", p)
+	}
+	if m.Name() != "CNN-BiGRU" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+func TestDistilledStudentSmallerThanTeacher(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	teacher, _ := New(KindCNN, Config{WindowSamples: 40}, rng)
+	student, _ := New(KindDistilled, Config{WindowSamples: 40}, rng)
+	if student.Net.ParamCount()*2 > teacher.Net.ParamCount() {
+		t.Fatalf("student %d params not ≪ teacher %d",
+			student.Net.ParamCount(), teacher.Net.ParamCount())
+	}
+}
+
+// mkKDSet builds a separable toy set over [T × 9] windows.
+func mkKDSet(n, T int, rng *rand.Rand) []nn.Example {
+	out := make([]nn.Example, n)
+	for i := range out {
+		y := i % 2
+		x := tensor.New(T, imu.NumChannels)
+		for j := range x.Data() {
+			v := rng.NormFloat64() * 0.3
+			if y == 1 {
+				v += 0.8
+			}
+			x.Data()[j] = v
+		}
+		out[i] = nn.Example{X: x, Y: y}
+	}
+	return out
+}
+
+func TestDistillStudentLearnsFromTeacher(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := mkKDSet(80, 10, rng)
+	val := mkKDSet(20, 10, rng)
+
+	teacher, _ := New(KindCNN, Config{WindowSamples: 10}, rng)
+	if err := teacher.Fit(train, val, nn.TrainConfig{Epochs: 6, Patience: 6, BatchSize: 16}, rng); err != nil {
+		t.Fatal(err)
+	}
+	tConf := nn.Confusion{}
+	for _, e := range val {
+		tConf.Add(teacher.Score(e.X), e.Y)
+	}
+	if tConf.Accuracy() < 0.9 {
+		t.Skipf("teacher failed to learn the toy task (%.2f); nothing to distill", tConf.Accuracy())
+	}
+
+	student, _ := New(KindDistilled, Config{WindowSamples: 10}, rng)
+	err := Distill(teacher, student, train, val, DistillConfig{
+		Alpha: 0.5, Temperature: 2,
+		Train: nn.TrainConfig{Epochs: 8, Patience: 8, BatchSize: 16},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sConf := nn.Confusion{}
+	for _, e := range val {
+		sConf.Add(student.Score(e.X), e.Y)
+	}
+	if sConf.Accuracy() < 0.85 {
+		t.Fatalf("distilled student accuracy %.2f (teacher %.2f)",
+			sConf.Accuracy(), tConf.Accuracy())
+	}
+}
+
+func TestDistillEmptyTrainSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	teacher, _ := New(KindCNN, Config{WindowSamples: 10}, rng)
+	student, _ := New(KindDistilled, Config{WindowSamples: 10}, rng)
+	if err := Distill(teacher, student, nil, nil, DistillConfig{}, rng); err == nil {
+		t.Fatal("empty distillation accepted")
+	}
+}
+
+func TestDistillConfigDefaults(t *testing.T) {
+	c := DistillConfig{}.withDefaults()
+	if c.Alpha != 0.5 || c.Temperature != 2 {
+		t.Fatalf("defaults %+v", c)
+	}
+}

@@ -1,0 +1,239 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/imu"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestKindString(t *testing.T) {
+	if KindCNN.String() != "CNN (Proposed)" || KindConvLSTM.String() != "ConvLSTM2D" {
+		t.Fatal("kind names")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind unnamed")
+	}
+	if len(DeepKinds()) != 4 {
+		t.Fatal("DeepKinds")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(KindCNN, Config{WindowSamples: 2}, rng); err == nil {
+		t.Fatal("window shorter than kernel accepted")
+	}
+	if _, err := New(KindThresholdAcc, Config{WindowSamples: 40}, rng); err == nil {
+		t.Fatal("threshold kind accepted by New")
+	}
+}
+
+func TestCNNArchitectureMatchesPaper(t *testing.T) {
+	// §III-B: input [n × 9] split into three [n × 3] branches, each
+	// conv + maxpool, concatenated, then Dense(64) → Dense(32) →
+	// Dense(1, sigmoid).
+	rng := rand.New(rand.NewSource(2))
+	for _, T := range []int{20, 30, 40} {
+		m, err := New(KindCNN, Config{WindowSamples: T}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.New(T, imu.NumChannels)
+		p := m.Score(x)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("T=%d: score %g outside [0,1]", T, p)
+		}
+		// Architecture shape walk must succeed.
+		shape := []int{T, imu.NumChannels}
+		for _, l := range m.Net.Layers {
+			var err error
+			shape, err = l.OutShape(shape)
+			if err != nil {
+				t.Fatalf("T=%d %s: %v", T, l.Name(), err)
+			}
+		}
+		if shape[0] != 1 {
+			t.Fatalf("T=%d: output shape %v", T, shape)
+		}
+	}
+}
+
+func TestCNNSizeNearPaper(t *testing.T) {
+	// The paper's int8 model is 67.03 KiB; one byte per parameter
+	// puts our parameter count in the same regime (tens of KiB, and
+	// far under the 256 KiB flash).
+	rng := rand.New(rand.NewSource(3))
+	m, _ := New(KindCNN, Config{WindowSamples: 40}, rng)
+	params := m.Net.ParamCount()
+	if params < 30_000 || params > 120_000 {
+		t.Fatalf("CNN has %d params; expected a few tens of thousands", params)
+	}
+}
+
+func TestModelsAreSmallerThanNaiveMLPOnRawInput(t *testing.T) {
+	// The branch design shares nothing across motion features; its
+	// conv front end must use far fewer parameters than a dense layer
+	// over the raw 360-value input would at equal width.
+	rng := rand.New(rand.NewSource(4))
+	cnn, _ := New(KindCNN, Config{WindowSamples: 40}, rng)
+	convParams := 0
+	for _, p := range cnn.Net.Layers[0].Params() {
+		convParams += p.W.Len()
+	}
+	if convParams >= 40*9*64 {
+		t.Fatalf("branch front end has %d params, not lightweight", convParams)
+	}
+}
+
+func TestOutputBiasInitialisation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := New(KindCNN, Config{WindowSamples: 40, PosCount: 36, TotalCount: 1000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the output dense bias.
+	var out *nn.Dense
+	for i := len(m.Net.Layers) - 1; i >= 0; i-- {
+		if d, ok := m.Net.Layers[i].(*nn.Dense); ok {
+			out = d
+			break
+		}
+	}
+	want := math.Log(0.036 / (1 - 0.036))
+	if got := out.Bias.W.Data()[0]; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("output bias %g, want %g", got, want)
+	}
+}
+
+func TestAllDeepKindsForwardAndTrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mkSet := func(n int) []nn.Example {
+		out := make([]nn.Example, n)
+		for i := range out {
+			x := tensor.New(20, imu.NumChannels)
+			y := i % 2
+			for j := range x.Data() {
+				x.Data()[j] = rng.NormFloat64()
+				if y == 1 {
+					x.Data()[j] *= 0.2 // separable-ish
+				}
+			}
+			out[i] = nn.Example{X: x, Y: y}
+		}
+		return out
+	}
+	train, val := mkSet(40), mkSet(10)
+	for _, kind := range DeepKinds() {
+		m, err := New(kind, Config{WindowSamples: 20}, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := m.Fit(train, val, nn.TrainConfig{Epochs: 2, Patience: 2, BatchSize: 8}, rng); err != nil {
+			t.Fatalf("%v: Fit: %v", kind, err)
+		}
+		p := m.Score(train[0].X)
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			t.Fatalf("%v: score %g", kind, p)
+		}
+		if m.Kind() != kind || m.Name() == "" {
+			t.Fatalf("%v: identity", kind)
+		}
+	}
+}
+
+func freefallWindow(T int) *tensor.Tensor {
+	x := tensor.New(T, imu.NumChannels)
+	for i := 0; i < T; i++ {
+		// Second half in free fall with rotation.
+		if i < T/2 {
+			x.Set(1, i, imu.AccZ)
+		} else {
+			x.Set(0.15, i, imu.AccZ)
+			x.Set(200, i, imu.GyroY)
+		}
+	}
+	return x
+}
+
+func quietWindow(T int) *tensor.Tensor {
+	x := tensor.New(T, imu.NumChannels)
+	for i := 0; i < T; i++ {
+		x.Set(1, i, imu.AccZ)
+	}
+	return x
+}
+
+func TestThresholdDetectorsSeparateFreeFall(t *testing.T) {
+	for _, kind := range []Kind{KindThresholdAcc, KindThresholdGyro} {
+		th, err := NewThreshold(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fall := th.Score(freefallWindow(40))
+		quiet := th.Score(quietWindow(40))
+		if fall < 0.5 {
+			t.Errorf("%v: free-fall window scored %g < 0.5", kind, fall)
+		}
+		if quiet >= 0.5 {
+			t.Errorf("%v: quiet window scored %g ≥ 0.5", kind, quiet)
+		}
+		if th.Name() == "" {
+			t.Error("unnamed threshold")
+		}
+	}
+}
+
+func TestNewThresholdRejectsDeepKinds(t *testing.T) {
+	if _, err := NewThreshold(KindCNN); err == nil {
+		t.Fatal("CNN accepted as threshold kind")
+	}
+}
+
+func TestThresholdFitCalibrates(t *testing.T) {
+	th, _ := NewThreshold(KindThresholdAcc)
+	var train []nn.Example
+	for i := 0; i < 20; i++ {
+		train = append(train, nn.Example{X: freefallWindow(40), Y: 1})
+		train = append(train, nn.Example{X: quietWindow(40), Y: 0})
+	}
+	if err := th.Fit(train, nil, nn.TrainConfig{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// After calibration the detector must separate the training data
+	// perfectly (it is trivially separable).
+	var c nn.Confusion
+	for _, e := range train {
+		c.Add(th.Score(e.X), e.Y)
+	}
+	if c.F1() < 0.99 {
+		t.Fatalf("post-fit F1 %.2f on separable data", c.F1())
+	}
+	if err := th.Fit(nil, nil, nn.TrainConfig{}, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+func TestThresholdVelocityIntegrator(t *testing.T) {
+	// Sustained free fall accumulates vertical velocity; a brief dip
+	// does not. The acc-variant must score the long fall higher.
+	th, _ := NewThreshold(KindThresholdAcc)
+	long := tensor.New(60, imu.NumChannels)
+	short := tensor.New(60, imu.NumChannels)
+	for i := 0; i < 60; i++ {
+		long.Set(1, i, imu.AccZ)
+		short.Set(1, i, imu.AccZ)
+	}
+	for i := 20; i < 60; i++ { // 400 ms of free fall
+		long.Set(0.05, i, imu.AccZ)
+	}
+	for i := 20; i < 24; i++ { // 40 ms dip
+		short.Set(0.05, i, imu.AccZ)
+	}
+	if th.Score(long) <= th.Score(short) {
+		t.Fatalf("long fall %g ≤ brief dip %g", th.Score(long), th.Score(short))
+	}
+}

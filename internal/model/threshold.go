@@ -1,0 +1,167 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/imu"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Threshold is a classical pre-impact detector in the style of the
+// related work's threshold algorithms: it inspects a handful of
+// physical quantities in the window instead of learned features.
+// Score maps the detector's decision margin through a logistic so it
+// composes with the probability-based evaluation harness.
+//
+// Two variants are provided (paper Table I context):
+//
+//   - KindThresholdAcc — de Sousa et al. 2021 [10]: free-fall test on
+//     the acceleration magnitude plus an estimated vertical velocity.
+//   - KindThresholdGyro — Jung et al. 2020 [11]: acceleration
+//     magnitude combined with the angular-rate magnitude.
+//
+// Fit calibrates the magnitude threshold on training data by a small
+// grid search maximising F1, which is more than the original papers
+// do (fixed thresholds) but gives the baselines their best shot.
+type Threshold struct {
+	kind Kind
+
+	// LowG is the free-fall magnitude threshold in g.
+	LowG float64
+	// MinRun is the number of consecutive sub-threshold samples
+	// required (debouncing, ~30 ms as in [10]).
+	MinRun int
+	// VelThresh is the vertical-velocity threshold in m/s (acc variant).
+	VelThresh float64
+	// GyroThresh is the angular-rate threshold in deg/s (gyro variant).
+	GyroThresh float64
+}
+
+// NewThreshold returns a threshold detector of the given kind with
+// the literature's nominal parameters.
+func NewThreshold(kind Kind) (*Threshold, error) {
+	switch kind {
+	case KindThresholdAcc:
+		return &Threshold{kind: kind, LowG: 0.6, MinRun: 3, VelThresh: 0.7}, nil
+	case KindThresholdGyro:
+		return &Threshold{kind: kind, LowG: 0.65, MinRun: 3, GyroThresh: 80}, nil
+	default:
+		return nil, fmt.Errorf("model: %v is not a threshold kind", kind)
+	}
+}
+
+// Name implements Classifier.
+func (th *Threshold) Name() string { return th.kind.String() }
+
+// features extracts (longest sub-LowG run, peak vertical velocity,
+// peak angular rate) from a [T × 9] window. Windows arrive with the
+// per-channel normalisation of dataset.ExtractSegments applied, so
+// channels are rescaled back to physical units first — the thresholds
+// are physical quantities.
+func (th *Threshold) features(x *tensor.Tensor) (run int, vel, gyro float64) {
+	T := x.Dim(0)
+	dt := 1.0 / dataset.SampleRate
+	gs := imu.ChannelScale(imu.GyroX)
+	v := 0.0
+	cur := 0
+	for t := 0; t < T; t++ {
+		ax, ay, az := x.At(t, imu.AccX), x.At(t, imu.AccY), x.At(t, imu.AccZ)
+		mag := math.Sqrt(ax*ax + ay*ay + az*az)
+		if mag < th.LowG {
+			cur++
+			if cur > run {
+				run = cur
+			}
+		} else {
+			cur = 0
+		}
+		// Vertical velocity estimate: integrate the deficit between
+		// the measured specific force and 1 g (free fall accumulates
+		// downward speed at (1−|a|)·g₀).
+		v += (1 - mag) * imu.StandardGravity * dt
+		if v < 0 {
+			v = 0 // re-support resets the integrator
+		}
+		if v > vel {
+			vel = v
+		}
+		gx, gy, gz := gs*x.At(t, imu.GyroX), gs*x.At(t, imu.GyroY), gs*x.At(t, imu.GyroZ)
+		if m := math.Sqrt(gx*gx + gy*gy + gz*gz); m > gyro {
+			gyro = m
+		}
+	}
+	return run, vel, gyro
+}
+
+// Score implements Classifier: a soft margin in [0, 1] where ≥ 0.5
+// means the window trips the detector.
+func (th *Threshold) Score(x *tensor.Tensor) float64 {
+	run, vel, gyro := th.features(x)
+	freefall := float64(run-th.MinRun) + 0.5 // ≥ 0.5 when run ≥ MinRun
+	var second float64
+	switch th.kind {
+	case KindThresholdAcc:
+		second = (vel - th.VelThresh) * 4
+	default:
+		second = (gyro - th.GyroThresh) / 40
+	}
+	// Both conditions must hold; take the weaker margin.
+	margin := math.Min(freefall, second)
+	return 1 / (1 + math.Exp(-margin))
+}
+
+// Fit implements Trainable: a grid search over LowG (and the second
+// threshold) maximising F1 on the training windows.
+func (th *Threshold) Fit(train, val []nn.Example, _ nn.TrainConfig, _ *rand.Rand) error {
+	if len(train) == 0 {
+		return fmt.Errorf("model: empty training set")
+	}
+	set := train
+	if len(val) > 0 {
+		set = append(append([]nn.Example(nil), train...), val...)
+	}
+	bestF1 := -1.0
+	bestLow, bestSecond := th.LowG, th.secondary()
+	for _, low := range []float64{0.4, 0.5, 0.6, 0.7, 0.8} {
+		for _, sec := range th.secondaryGrid() {
+			th.LowG = low
+			th.setSecondary(sec)
+			var c nn.Confusion
+			for _, e := range set {
+				c.Add(th.Score(e.X), e.Y)
+			}
+			if f1 := c.F1(); f1 > bestF1 {
+				bestF1, bestLow, bestSecond = f1, low, sec
+			}
+		}
+	}
+	th.LowG = bestLow
+	th.setSecondary(bestSecond)
+	return nil
+}
+
+func (th *Threshold) secondary() float64 {
+	if th.kind == KindThresholdAcc {
+		return th.VelThresh
+	}
+	return th.GyroThresh
+}
+
+func (th *Threshold) setSecondary(v float64) {
+	if th.kind == KindThresholdAcc {
+		th.VelThresh = v
+	} else {
+		th.GyroThresh = v
+	}
+}
+
+func (th *Threshold) secondaryGrid() []float64 {
+	if th.kind == KindThresholdAcc {
+		return []float64{0.3, 0.5, 0.7, 1.0, 1.4}
+	}
+	return []float64{40, 60, 80, 120, 160}
+}

@@ -1,0 +1,229 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	d := y.Data()
+	if train {
+		r.mask = make([]bool, len(d))
+	}
+	for i, v := range d {
+		if v <= 0 {
+			d[i] = 0
+		} else if train {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	d := dx.Data()
+	for i := range d {
+		if !r.mask[i] {
+			d[i] = 0
+		}
+	}
+	return dx
+}
+
+// Sigmoid is the logistic activation, element-wise.
+type Sigmoid struct {
+	y *tensor.Tensor
+}
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (s *Sigmoid) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	y.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	if train {
+		s.y = y
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	d, yd := dx.Data(), s.y.Data()
+	for i := range d {
+		d[i] *= yd[i] * (1 - yd[i])
+	}
+	return dx
+}
+
+// Tanh is the hyperbolic-tangent activation, element-wise.
+type Tanh struct {
+	y *tensor.Tensor
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (t *Tanh) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	y.Apply(math.Tanh)
+	if train {
+		t.y = y
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	d, yd := dx.Data(), t.y.Data()
+	for i := range d {
+		d[i] *= 1 - yd[i]*yd[i]
+	}
+	return dx
+}
+
+// Flatten reshapes any input to 1-D.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) ([]int, error) {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}, nil
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.inShape = append([]int(nil), x.Shape()...)
+	}
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Dropout randomly zeroes activations during training with probability
+// Rate, scaling survivors by 1/(1−Rate) (inverted dropout); it is the
+// identity at inference.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	keep []bool
+}
+
+// NewDropout returns a dropout layer driven by rng.
+func NewDropout(rate float64, rng *rand.Rand) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %g outside [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%.2f)", d.Rate) }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		return x
+	}
+	y := x.Clone()
+	data := y.Data()
+	d.keep = make([]bool, len(data))
+	scale := 1 / (1 - d.Rate)
+	for i := range data {
+		if d.rng.Float64() >= d.Rate {
+			d.keep[i] = true
+			data[i] *= scale
+		} else {
+			data[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.keep == nil {
+		return grad
+	}
+	dx := grad.Clone()
+	data := dx.Data()
+	scale := 1 / (1 - d.Rate)
+	for i := range data {
+		if d.keep[i] {
+			data[i] *= scale
+		} else {
+			data[i] = 0
+		}
+	}
+	return dx
+}

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Branch routes disjoint column ranges of a [T × C] input through
+// independent layer stacks and concatenates the flattened branch
+// outputs into one vector. It is the structural heart of the paper's
+// CNN: the 9-channel window splits into accelerometer, gyroscope and
+// Euler [T × 3] matrices, each processed by its own Conv→MaxPool
+// stack before the shared dense head.
+type Branch struct {
+	// Cols[i] gives branch i's half-open column range [lo, hi).
+	Cols    [][2]int
+	Stacks  [][]Layer
+	inShape []int
+	sizes   []int // flattened output length per branch
+}
+
+// NewBranch builds a branch layer; cols and stacks must correspond.
+func NewBranch(cols [][2]int, stacks [][]Layer) *Branch {
+	if len(cols) != len(stacks) || len(cols) == 0 {
+		panic("nn: branch needs matching, non-empty cols and stacks")
+	}
+	for _, c := range cols {
+		if c[0] < 0 || c[1] <= c[0] {
+			panic(fmt.Sprintf("nn: bad branch column range %v", c))
+		}
+	}
+	return &Branch{Cols: cols, Stacks: stacks}
+}
+
+// Name implements Layer.
+func (b *Branch) Name() string { return fmt.Sprintf("branch(×%d)", len(b.Stacks)) }
+
+// Params implements Layer.
+func (b *Branch) Params() []*Param {
+	var ps []*Param
+	for _, stack := range b.Stacks {
+		for _, l := range stack {
+			ps = append(ps, l.Params()...)
+		}
+	}
+	return ps
+}
+
+// OutShape implements Layer.
+func (b *Branch) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("nn: %s cannot take input %v", b.Name(), in)
+	}
+	total := 0
+	for i, c := range b.Cols {
+		if c[1] > in[1] {
+			return nil, fmt.Errorf("nn: branch %d columns %v exceed input %v", i, c, in)
+		}
+		shape := []int{in[0], c[1] - c[0]}
+		for _, l := range b.Stacks[i] {
+			var err error
+			shape, err = l.OutShape(shape)
+			if err != nil {
+				return nil, err
+			}
+		}
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		total += n
+	}
+	return []int{total}, nil
+}
+
+// slice extracts columns [lo,hi) of x into a new [T × hi-lo] tensor.
+func slice(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	T, C := x.Dim(0), x.Dim(1)
+	out := tensor.New(T, hi-lo)
+	xd, od := x.Data(), out.Data()
+	w := hi - lo
+	for t := 0; t < T; t++ {
+		copy(od[t*w:(t+1)*w], xd[t*C+lo:t*C+hi])
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (b *Branch) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 2 {
+		panic(fmt.Sprintf("nn: %s got shape %v", b.Name(), x.Shape()))
+	}
+	if train {
+		b.inShape = append([]int(nil), x.Shape()...)
+		b.sizes = make([]int, len(b.Stacks))
+	}
+	parts := make([]*tensor.Tensor, len(b.Stacks))
+	for i, stack := range b.Stacks {
+		h := slice(x, b.Cols[i][0], b.Cols[i][1])
+		for _, l := range stack {
+			h = l.Forward(h, train)
+		}
+		h = h.Reshape(h.Len())
+		if train {
+			b.sizes[i] = h.Len()
+		}
+		parts[i] = h
+	}
+	return tensor.Concat1D(parts...)
+}
+
+// Backward implements Layer.
+func (b *Branch) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(b.inShape...)
+	dxd := dx.Data()
+	T, C := b.inShape[0], b.inShape[1]
+	off := 0
+	for i, stack := range b.Stacks {
+		g := tensor.FromSlice(grad.Data()[off:off+b.sizes[i]], b.sizes[i])
+		off += b.sizes[i]
+		// Re-inflate to the stack's output shape by replaying shapes
+		// backward: each layer's Backward knows its own input shape,
+		// so we only need the flattened→shaped fix at the top, which
+		// the last layer's cached state handles when we reshape to
+		// its output. We recover the shape via OutShape.
+		shape := []int{T, b.Cols[i][1] - b.Cols[i][0]}
+		for _, l := range stack {
+			var err error
+			shape, err = l.OutShape(shape)
+			if err != nil {
+				panic(err)
+			}
+		}
+		gt := g.Reshape(shape...)
+		for j := len(stack) - 1; j >= 0; j-- {
+			gt = stack[j].Backward(gt)
+		}
+		// Scatter the branch input gradient back into the columns.
+		lo, hi := b.Cols[i][0], b.Cols[i][1]
+		w := hi - lo
+		gd := gt.Data()
+		for t := 0; t < T; t++ {
+			for c := 0; c < w; c++ {
+				dxd[t*C+lo+c] += gd[t*w+c]
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv1D convolves along the time axis of a [T × C] input with
+// Filters kernels of length Kernel spanning all C channels ("valid"
+// padding, stride 1), producing [T−Kernel+1 × Filters].
+type Conv1D struct {
+	InCh, Filters, Kernel int
+	Weight                *Param // [Filters × Kernel × InCh]
+	Bias                  *Param // [Filters]
+
+	x *tensor.Tensor
+}
+
+// NewConv1D returns a Glorot-initialised 1-D convolution layer.
+func NewConv1D(inCh, filters, kernel int, rng *rand.Rand) *Conv1D {
+	c := &Conv1D{
+		InCh:    inCh,
+		Filters: filters,
+		Kernel:  kernel,
+		Weight:  newParam("conv1d.w", filters, kernel, inCh),
+		Bias:    newParam("conv1d.b", filters),
+	}
+	glorotInit(c.Weight.W, kernel*inCh, filters, rng)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv1D) Name() string {
+	return fmt.Sprintf("conv1d(%dch,%df,k%d)", c.InCh, c.Filters, c.Kernel)
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// OutShape implements Layer.
+func (c *Conv1D) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[1] != c.InCh {
+		return nil, fmt.Errorf("nn: %s cannot take input %v", c.Name(), in)
+	}
+	outT := in[0] - c.Kernel + 1
+	if outT < 1 {
+		return nil, fmt.Errorf("nn: %s input length %d shorter than kernel", c.Name(), in[0])
+	}
+	return []int{outT, c.Filters}, nil
+}
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 2 || x.Dim(1) != c.InCh {
+		panic(fmt.Sprintf("nn: %s got shape %v", c.Name(), x.Shape()))
+	}
+	T := x.Dim(0)
+	outT := T - c.Kernel + 1
+	if outT < 1 {
+		panic(fmt.Sprintf("nn: %s input length %d shorter than kernel %d", c.Name(), T, c.Kernel))
+	}
+	if train {
+		c.x = x
+	}
+	y := tensor.New(outT, c.Filters)
+	xd, yd := x.Data(), y.Data()
+	wd, bd := c.Weight.W.Data(), c.Bias.W.Data()
+	kc := c.Kernel * c.InCh
+	for t := 0; t < outT; t++ {
+		window := xd[t*c.InCh : t*c.InCh+kc]
+		orow := yd[t*c.Filters : (t+1)*c.Filters]
+		for f := 0; f < c.Filters; f++ {
+			w := wd[f*kc : (f+1)*kc]
+			s := bd[f]
+			for i, xv := range window {
+				s += w[i] * xv
+			}
+			orow[f] = s
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	T := c.x.Dim(0)
+	outT := T - c.Kernel + 1
+	checkShape(c.Name()+" grad", grad.Shape(), []int{outT, c.Filters})
+	dx := tensor.New(T, c.InCh)
+	xd, gd, dxd := c.x.Data(), grad.Data(), dx.Data()
+	wd, wg := c.Weight.W.Data(), c.Weight.G.Data()
+	bg := c.Bias.G.Data()
+	kc := c.Kernel * c.InCh
+	for t := 0; t < outT; t++ {
+		window := xd[t*c.InCh : t*c.InCh+kc]
+		dwindow := dxd[t*c.InCh : t*c.InCh+kc]
+		grow := gd[t*c.Filters : (t+1)*c.Filters]
+		for f := 0; f < c.Filters; f++ {
+			g := grow[f]
+			if g == 0 {
+				continue
+			}
+			bg[f] += g
+			w := wd[f*kc : (f+1)*kc]
+			dw := wg[f*kc : (f+1)*kc]
+			for i, xv := range window {
+				dw[i] += g * xv
+				dwindow[i] += g * w[i]
+			}
+		}
+	}
+	return dx
+}
+
+// MaxPool1D downsamples the time axis of a [T × C] input by taking the
+// maximum over non-overlapping windows of Pool samples per channel.
+// A trailing partial window is pooled too.
+type MaxPool1D struct {
+	Pool int
+
+	argmax []int // flat input index chosen per output element
+	inT    int
+	ch     int
+}
+
+// NewMaxPool1D returns a max-pooling layer with the given window.
+func NewMaxPool1D(pool int) *MaxPool1D {
+	if pool < 1 {
+		panic("nn: pool size must be ≥ 1")
+	}
+	return &MaxPool1D{Pool: pool}
+}
+
+// Name implements Layer.
+func (m *MaxPool1D) Name() string { return fmt.Sprintf("maxpool1d(%d)", m.Pool) }
+
+// Params implements Layer.
+func (m *MaxPool1D) Params() []*Param { return nil }
+
+func (m *MaxPool1D) outT(inT int) int { return (inT + m.Pool - 1) / m.Pool }
+
+// OutShape implements Layer.
+func (m *MaxPool1D) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("nn: %s cannot take input %v", m.Name(), in)
+	}
+	return []int{m.outT(in[0]), in[1]}, nil
+}
+
+// Forward implements Layer.
+func (m *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 2 {
+		panic(fmt.Sprintf("nn: %s got shape %v", m.Name(), x.Shape()))
+	}
+	T, C := x.Dim(0), x.Dim(1)
+	outT := m.outT(T)
+	y := tensor.New(outT, C)
+	if train {
+		m.argmax = make([]int, outT*C)
+		m.inT, m.ch = T, C
+	}
+	xd, yd := x.Data(), y.Data()
+	for ot := 0; ot < outT; ot++ {
+		lo := ot * m.Pool
+		hi := lo + m.Pool
+		if hi > T {
+			hi = T
+		}
+		for c := 0; c < C; c++ {
+			best := xd[lo*C+c]
+			bestIx := lo*C + c
+			for t := lo + 1; t < hi; t++ {
+				if v := xd[t*C+c]; v > best {
+					best, bestIx = v, t*C+c
+				}
+			}
+			yd[ot*C+c] = best
+			if train {
+				m.argmax[ot*C+c] = bestIx
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (m *MaxPool1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.inT, m.ch)
+	dxd, gd := dx.Data(), grad.Data()
+	for i, src := range m.argmax {
+		dxd[src] += gd[i]
+	}
+	return dx
+}

@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ConvLSTM is a convolutional LSTM over a [T × C] window: at each
+// timestep the C sensor channels form a 1-D spatial grid and all four
+// gates are computed by same-padded 1-D convolutions over that grid —
+// on both the input (1 feature) and the hidden state (F features).
+// The output is the flattened final hidden state [C·F].
+//
+// The paper's baseline is Keras's ConvLSTM2D; with a 9-channel IMU
+// row the spatial extent is one-dimensional, so this layer is the
+// exact counterpart for this data layout (a 2-D kernel over a 9×1
+// grid degenerates to a 1-D kernel).
+type ConvLSTM struct {
+	Ch, Filters, Kernel int
+	Wx                  *Param // [4F × K]       (input has 1 feature)
+	Wh                  *Param // [4F × K × F]
+	Bias                *Param // [4F]
+
+	xs             *tensor.Tensor
+	hPrev, cPrev   [][]float64 // per t: [C*F]
+	gi, gf, gg, gO [][]float64 // per t: [C*F]
+	tanhC          [][]float64
+}
+
+// NewConvLSTM returns a Glorot-initialised convolutional LSTM. kernel
+// must be odd (same padding).
+func NewConvLSTM(ch, filters, kernel int, rng *rand.Rand) *ConvLSTM {
+	if kernel%2 == 0 {
+		panic("nn: ConvLSTM kernel must be odd")
+	}
+	l := &ConvLSTM{
+		Ch:      ch,
+		Filters: filters,
+		Kernel:  kernel,
+		Wx:      newParam("convlstm.wx", 4*filters, kernel),
+		Wh:      newParam("convlstm.wh", 4*filters, kernel, filters),
+		Bias:    newParam("convlstm.b", 4*filters),
+	}
+	glorotInit(l.Wx.W, kernel, filters, rng)
+	glorotInit(l.Wh.W, kernel*filters, filters, rng)
+	bd := l.Bias.W.Data()
+	for i := filters; i < 2*filters; i++ {
+		bd[i] = 1 // forget-gate bias
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *ConvLSTM) Name() string {
+	return fmt.Sprintf("convlstm(%dch,%df,k%d)", l.Ch, l.Filters, l.Kernel)
+}
+
+// Params implements Layer.
+func (l *ConvLSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.Bias} }
+
+// OutShape implements Layer.
+func (l *ConvLSTM) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[1] != l.Ch {
+		return nil, fmt.Errorf("nn: %s cannot take input %v", l.Name(), in)
+	}
+	return []int{l.Ch * l.Filters}, nil
+}
+
+// gates computes the pre-activation gate map z[p][r] (r over 4F) for
+// one timestep.
+func (l *ConvLSTM) gates(xt []float64, h []float64, z []float64) {
+	P, F, K := l.Ch, l.Filters, l.Kernel
+	r := K / 2
+	wx, wh, b := l.Wx.W.Data(), l.Wh.W.Data(), l.Bias.W.Data()
+	for p := 0; p < P; p++ {
+		for g := 0; g < 4*F; g++ {
+			s := b[g]
+			for d := 0; d < K; d++ {
+				q := p + d - r
+				if q < 0 || q >= P {
+					continue
+				}
+				s += wx[g*K+d] * xt[q]
+				base := (g*K + d) * F
+				hq := h[q*F : (q+1)*F]
+				for f2, hv := range hq {
+					s += wh[base+f2] * hv
+				}
+			}
+			z[p*4*F+g] = s
+		}
+	}
+}
+
+// Forward implements Layer.
+func (l *ConvLSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 2 || x.Dim(1) != l.Ch {
+		panic(fmt.Sprintf("nn: %s got shape %v", l.Name(), x.Shape()))
+	}
+	T := x.Dim(0)
+	P, F := l.Ch, l.Filters
+	h := make([]float64, P*F)
+	c := make([]float64, P*F)
+	if train {
+		l.xs = x
+		l.hPrev = make([][]float64, T)
+		l.cPrev = make([][]float64, T)
+		l.gi = make([][]float64, T)
+		l.gf = make([][]float64, T)
+		l.gg = make([][]float64, T)
+		l.gO = make([][]float64, T)
+		l.tanhC = make([][]float64, T)
+	}
+	xd := x.Data()
+	z := make([]float64, P*4*F)
+	for t := 0; t < T; t++ {
+		xt := xd[t*P : (t+1)*P]
+		l.gates(xt, h, z)
+		if train {
+			l.hPrev[t] = append([]float64(nil), h...)
+			l.cPrev[t] = append([]float64(nil), c...)
+			l.gi[t] = make([]float64, P*F)
+			l.gf[t] = make([]float64, P*F)
+			l.gg[t] = make([]float64, P*F)
+			l.gO[t] = make([]float64, P*F)
+			l.tanhC[t] = make([]float64, P*F)
+		}
+		for p := 0; p < P; p++ {
+			for f := 0; f < F; f++ {
+				zi := z[p*4*F+f]
+				zf := z[p*4*F+F+f]
+				zg := z[p*4*F+2*F+f]
+				zo := z[p*4*F+3*F+f]
+				gi, gf := sigmoid(zi), sigmoid(zf)
+				gg, gO := math.Tanh(zg), sigmoid(zo)
+				ix := p*F + f
+				c[ix] = gf*c[ix] + gi*gg
+				tc := math.Tanh(c[ix])
+				h[ix] = gO * tc
+				if train {
+					l.gi[t][ix], l.gf[t][ix], l.gg[t][ix], l.gO[t][ix] = gi, gf, gg, gO
+					l.tanhC[t][ix] = tc
+				}
+			}
+		}
+	}
+	return tensor.FromSlice(append([]float64(nil), h...), P*F)
+}
+
+// Backward implements Layer.
+func (l *ConvLSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	P, F, K := l.Ch, l.Filters, l.Kernel
+	checkShape(l.Name()+" grad", grad.Shape(), []int{P * F})
+	T := l.xs.Dim(0)
+	xd := l.xs.Data()
+	wx, wh := l.Wx.W.Data(), l.Wh.W.Data()
+	dwx, dwh, db := l.Wx.G.Data(), l.Wh.G.Data(), l.Bias.G.Data()
+	r := K / 2
+
+	dh := append([]float64(nil), grad.Data()...)
+	dc := make([]float64, P*F)
+	dz := make([]float64, P*4*F)
+	dx := tensor.New(T, P)
+	dxd := dx.Data()
+
+	for t := T - 1; t >= 0; t-- {
+		xt := xd[t*P : (t+1)*P]
+		for p := 0; p < P; p++ {
+			for f := 0; f < F; f++ {
+				ix := p*F + f
+				gi, gf, gg, gO := l.gi[t][ix], l.gf[t][ix], l.gg[t][ix], l.gO[t][ix]
+				tc := l.tanhC[t][ix]
+				do := dh[ix] * tc
+				dct := dc[ix] + dh[ix]*gO*(1-tc*tc)
+				di := dct * gg
+				dg := dct * gi
+				df := dct * l.cPrev[t][ix]
+				dc[ix] = dct * gf
+				dz[p*4*F+f] = di * gi * (1 - gi)
+				dz[p*4*F+F+f] = df * gf * (1 - gf)
+				dz[p*4*F+2*F+f] = dg * (1 - gg*gg)
+				dz[p*4*F+3*F+f] = do * gO * (1 - gO)
+			}
+		}
+		for j := range dh {
+			dh[j] = 0
+		}
+		for p := 0; p < P; p++ {
+			for g := 0; g < 4*F; g++ {
+				gz := dz[p*4*F+g]
+				if gz == 0 {
+					continue
+				}
+				db[g] += gz
+				for d := 0; d < K; d++ {
+					q := p + d - r
+					if q < 0 || q >= P {
+						continue
+					}
+					dwx[g*K+d] += gz * xt[q]
+					dxd[t*P+q] += gz * wx[g*K+d]
+					base := (g*K + d) * F
+					hq := l.hPrev[t][q*F : (q+1)*F]
+					for f2, hv := range hq {
+						dwh[base+f2] += gz * hv
+						dh[q*F+f2] += gz * wh[base+f2]
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

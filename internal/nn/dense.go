@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer y = W·x + b over 1-D inputs.
+type Dense struct {
+	In, Out int
+	Weight  *Param // [Out × In]
+	Bias    *Param // [Out]
+
+	x *tensor.Tensor // forward cache
+}
+
+// NewDense returns a Glorot-initialised fully connected layer.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In:     in,
+		Out:    out,
+		Weight: newParam("dense.w", out, in),
+		Bias:   newParam("dense.b", out),
+	}
+	glorotInit(d.Weight.W, in, out, rng)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d→%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) ([]int, error) {
+	if len(in) != 1 || in[0] != d.In {
+		return nil, fmt.Errorf("nn: %s cannot take input %v", d.Name(), in)
+	}
+	return []int{d.Out}, nil
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape(d.Name(), x.Shape(), []int{d.In})
+	if train {
+		d.x = x
+	}
+	y := tensor.MatVec(d.Weight.W, x)
+	y.AddScaled(1, d.Bias.W)
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	checkShape(d.Name()+" grad", grad.Shape(), []int{d.Out})
+	gd, xd := grad.Data(), d.x.Data()
+	wg, wd := d.Weight.G.Data(), d.Weight.W.Data()
+	dx := tensor.New(d.In)
+	dxd := dx.Data()
+	for o := 0; o < d.Out; o++ {
+		g := gd[o]
+		if g == 0 {
+			continue
+		}
+		row := wd[o*d.In : (o+1)*d.In]
+		grow := wg[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += g * xd[i]
+			dxd[i] += g * row[i]
+		}
+	}
+	bg := d.Bias.G.Data()
+	for o := 0; o < d.Out; o++ {
+		bg[o] += gd[o]
+	}
+	return dx
+}

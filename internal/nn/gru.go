@@ -1,0 +1,235 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// GRU is a sequence-to-one gated recurrent unit: it consumes a
+// [T × C] window and emits the final hidden state [H]. Gates are
+// ordered update (z), reset (r), candidate (n), following the
+// standard formulation
+//
+//	z = σ(Wz·x + Uz·h + bz)
+//	r = σ(Wr·x + Ur·h + br)
+//	n = tanh(Wn·x + r ⊙ (Un·h) + bn)
+//	h' = (1−z) ⊙ n + z ⊙ h
+//
+// Set Reverse to run the sequence backwards (the building block of
+// the bidirectional model that reproduces the CNN-BiGRU of Kiran et
+// al. 2024, the strongest Table I reference).
+type GRU struct {
+	InCh, Hidden int
+	Reverse      bool
+	Wx           *Param // [3H × C]
+	Wh           *Param // [3H × H]
+	Bias         *Param // [3H]
+
+	xs             *tensor.Tensor
+	hPrev          [][]float64
+	gz, gr, gn, uh [][]float64 // gate activations and Un·h cache
+}
+
+// NewGRU returns a Glorot-initialised GRU.
+func NewGRU(inCh, hidden int, reverse bool, rng *rand.Rand) *GRU {
+	g := &GRU{
+		InCh:    inCh,
+		Hidden:  hidden,
+		Reverse: reverse,
+		Wx:      newParam("gru.wx", 3*hidden, inCh),
+		Wh:      newParam("gru.wh", 3*hidden, hidden),
+		Bias:    newParam("gru.b", 3*hidden),
+	}
+	glorotInit(g.Wx.W, inCh, hidden, rng)
+	glorotInit(g.Wh.W, hidden, hidden, rng)
+	return g
+}
+
+// NewBiGRU returns a bidirectional GRU — a forward and a backward
+// pass over the same window, concatenated to [2H].
+func NewBiGRU(inCh, hidden int, rng *rand.Rand) *Parallel {
+	return NewParallel(
+		NewGRU(inCh, hidden, false, rng),
+		NewGRU(inCh, hidden, true, rng),
+	)
+}
+
+// Name implements Layer.
+func (g *GRU) Name() string {
+	dir := "fwd"
+	if g.Reverse {
+		dir = "bwd"
+	}
+	return fmt.Sprintf("gru-%s(%d→%d)", dir, g.InCh, g.Hidden)
+}
+
+// Params implements Layer.
+func (g *GRU) Params() []*Param { return []*Param{g.Wx, g.Wh, g.Bias} }
+
+// OutShape implements Layer.
+func (g *GRU) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[1] != g.InCh {
+		return nil, fmt.Errorf("nn: %s cannot take input %v", g.Name(), in)
+	}
+	return []int{g.Hidden}, nil
+}
+
+// step returns the source row index for logical timestep t.
+func (g *GRU) step(t, T int) int {
+	if g.Reverse {
+		return T - 1 - t
+	}
+	return t
+}
+
+// Forward implements Layer.
+func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 2 || x.Dim(1) != g.InCh {
+		panic(fmt.Sprintf("nn: %s got shape %v", g.Name(), x.Shape()))
+	}
+	T := x.Dim(0)
+	H := g.Hidden
+	h := make([]float64, H)
+	if train {
+		g.xs = x
+		g.hPrev = make([][]float64, T)
+		g.gz = make([][]float64, T)
+		g.gr = make([][]float64, T)
+		g.gn = make([][]float64, T)
+		g.uh = make([][]float64, T)
+	}
+	xd := x.Data()
+	wx, wh, b := g.Wx.W.Data(), g.Wh.W.Data(), g.Bias.W.Data()
+	z := make([]float64, 3*H)
+	uh := make([]float64, H)
+	for t := 0; t < T; t++ {
+		src := g.step(t, T)
+		xt := xd[src*g.InCh : (src+1)*g.InCh]
+		for row := 0; row < 3*H; row++ {
+			s := b[row]
+			rowX := wx[row*g.InCh : (row+1)*g.InCh]
+			for j, v := range xt {
+				s += rowX[j] * v
+			}
+			z[row] = s
+		}
+		// Wh·h split: z and r rows add Uh·h directly; n rows cache
+		// Un·h for the reset-gated product.
+		for row := 0; row < 2*H; row++ {
+			rowH := wh[row*H : (row+1)*H]
+			s := 0.0
+			for j, v := range h {
+				s += rowH[j] * v
+			}
+			z[row] += s
+		}
+		for j := 0; j < H; j++ {
+			rowH := wh[(2*H+j)*H : (2*H+j+1)*H]
+			s := 0.0
+			for k, v := range h {
+				s += rowH[k] * v
+			}
+			uh[j] = s
+		}
+		if train {
+			g.hPrev[t] = append([]float64(nil), h...)
+			g.gz[t] = make([]float64, H)
+			g.gr[t] = make([]float64, H)
+			g.gn[t] = make([]float64, H)
+			g.uh[t] = append([]float64(nil), uh...)
+		}
+		for j := 0; j < H; j++ {
+			zg := sigmoid(z[j])
+			rg := sigmoid(z[H+j])
+			ng := math.Tanh(z[2*H+j] + rg*uh[j])
+			h[j] = (1-zg)*ng + zg*h[j]
+			if train {
+				g.gz[t][j], g.gr[t][j], g.gn[t][j] = zg, rg, ng
+			}
+		}
+	}
+	return tensor.FromSlice(append([]float64(nil), h...), H)
+}
+
+// Backward implements Layer.
+func (g *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	H := g.Hidden
+	checkShape(g.Name()+" grad", grad.Shape(), []int{H})
+	T := g.xs.Dim(0)
+	xd := g.xs.Data()
+	wx, wh := g.Wx.W.Data(), g.Wh.W.Data()
+	dwx, dwh, db := g.Wx.G.Data(), g.Wh.G.Data(), g.Bias.G.Data()
+
+	dh := append([]float64(nil), grad.Data()...)
+	dx := tensor.New(T, g.InCh)
+	dxd := dx.Data()
+	dz := make([]float64, 3*H)
+	duh := make([]float64, H)
+
+	for t := T - 1; t >= 0; t-- {
+		src := g.step(t, T)
+		xt := xd[src*g.InCh : (src+1)*g.InCh]
+		hp := g.hPrev[t]
+		dhNext := make([]float64, H)
+		for j := 0; j < H; j++ {
+			zg, rg, ng := g.gz[t][j], g.gr[t][j], g.gn[t][j]
+			dhj := dh[j]
+			// h' = (1−z)·n + z·hp
+			dn := dhj * (1 - zg)
+			dzg := dhj * (hp[j] - ng)
+			dhNext[j] += dhj * zg
+			// n = tanh(a), a = zn + r·uh
+			da := dn * (1 - ng*ng)
+			drg := da * g.uh[t][j]
+			duh[j] = da * rg
+			dz[j] = dzg * zg * (1 - zg)
+			dz[H+j] = drg * rg * (1 - rg)
+			dz[2*H+j] = da
+		}
+		// Propagate through the three weight blocks.
+		for row := 0; row < 3*H; row++ {
+			gz := dz[row]
+			if gz == 0 {
+				continue
+			}
+			db[row] += gz
+			rowX := wx[row*g.InCh : (row+1)*g.InCh]
+			drowX := dwx[row*g.InCh : (row+1)*g.InCh]
+			for j, v := range xt {
+				drowX[j] += gz * v
+				dxd[src*g.InCh+j] += gz * rowX[j]
+			}
+		}
+		// Uh·h contributions: rows [0,2H) used dz directly; candidate
+		// rows used duh (the pre-reset product).
+		for row := 0; row < 2*H; row++ {
+			gz := dz[row]
+			if gz == 0 {
+				continue
+			}
+			rowH := wh[row*H : (row+1)*H]
+			drowH := dwh[row*H : (row+1)*H]
+			for j := 0; j < H; j++ {
+				drowH[j] += gz * hp[j]
+				dhNext[j] += gz * rowH[j]
+			}
+		}
+		for j := 0; j < H; j++ {
+			gz := duh[j]
+			if gz == 0 {
+				continue
+			}
+			rowH := wh[(2*H+j)*H : (2*H+j+1)*H]
+			drowH := dwh[(2*H+j)*H : (2*H+j+1)*H]
+			for k := 0; k < H; k++ {
+				drowH[k] += gz * hp[k]
+				dhNext[k] += gz * rowH[k]
+			}
+		}
+		dh = dhNext
+	}
+	return dx
+}

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGradGRUForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	numGradCheck(t, NewGRU(3, 4, false, rng), []int{8, 3}, 32, false)
+}
+
+func TestGradGRUReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	numGradCheck(t, NewGRU(3, 4, true, rng), []int{8, 3}, 34, false)
+}
+
+func TestGradParallelBiGRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	numGradCheck(t, NewBiGRU(3, 3, rng), []int{7, 3}, 36, false)
+}
+
+func TestGradParallelMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	p := NewParallel(
+		NewLSTM(4, 3, rng),
+		NewGRU(4, 2, false, rng),
+	)
+	numGradCheck(t, p, []int{6, 4}, 38, false)
+}
+
+func TestGRUReverseDiffersFromForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	fwd := NewGRU(1, 4, false, rng)
+	bwd := &GRU{
+		InCh: 1, Hidden: 4, Reverse: true,
+		Wx: fwd.Wx, Wh: fwd.Wh, Bias: fwd.Bias, // shared weights
+	}
+	x := tensor.FromSlice([]float64{1, 2, 3, 4, 5}, 5, 1)
+	a := fwd.Forward(x, false)
+	b := bwd.Forward(x, false)
+	diff := 0.0
+	for i := range a.Data() {
+		diff += math.Abs(a.Data()[i] - b.Data()[i])
+	}
+	if diff < 1e-6 {
+		t.Fatal("reverse GRU identical to forward on an asymmetric input")
+	}
+	// On a palindromic input they must agree exactly.
+	pal := tensor.FromSlice([]float64{1, 2, 3, 2, 1}, 5, 1)
+	a = fwd.Forward(pal, false)
+	b = bwd.Forward(pal, false)
+	for i := range a.Data() {
+		if math.Abs(a.Data()[i]-b.Data()[i]) > 1e-12 {
+			t.Fatal("fwd/bwd disagree on a palindrome with shared weights")
+		}
+	}
+}
+
+func TestGRUOutShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	g := NewGRU(9, 24, false, rng)
+	out, err := g.OutShape([]int{40, 9})
+	if err != nil || out[0] != 24 {
+		t.Fatalf("OutShape = %v, %v", out, err)
+	}
+	if _, err := g.OutShape([]int{40, 3}); err == nil {
+		t.Fatal("wrong channel count accepted")
+	}
+	bi := NewBiGRU(9, 24, rng)
+	out, err = bi.OutShape([]int{40, 9})
+	if err != nil || out[0] != 48 {
+		t.Fatalf("BiGRU OutShape = %v, %v", out, err)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Parallel accepted")
+		}
+	}()
+	NewParallel()
+}
+
+func TestParallelSumsInputGradients(t *testing.T) {
+	// Two identity-ish flattens in parallel: the input gradient must
+	// be the sum of both branch gradients.
+	p := NewParallel(NewFlatten(), NewFlatten())
+	x := tensor.FromSlice([]float64{1, 2}, 2, 1)
+	y := p.Forward(x, true)
+	if y.Len() != 4 {
+		t.Fatalf("parallel output %v", y.Data())
+	}
+	g := tensor.FromSlice([]float64{1, 10, 100, 1000}, 4)
+	dx := p.Backward(g)
+	if dx.At(0, 0) != 101 || dx.At(1, 0) != 1010 {
+		t.Fatalf("summed gradient %v", dx.Data())
+	}
+}

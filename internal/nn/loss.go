@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// WeightedBCE is binary cross-entropy with per-class weights, the
+// paper's countermeasure for the ~2–4 % positive rate: the falling
+// class receives weight W1 and the activity class W0.
+type WeightedBCE struct {
+	W0, W1 float64
+}
+
+// NewWeightedBCE returns the loss with the given class weights.
+func NewWeightedBCE(w0, w1 float64) *WeightedBCE { return &WeightedBCE{W0: w0, W1: w1} }
+
+// BalancedWeights derives class weights from the training-set class
+// counts such that each class contributes equally to the expected
+// loss: w_c = total / (2 · count_c). This is Keras's "balanced" rule
+// used with compute_class_weight.
+func BalancedWeights(neg, pos int) (w0, w1 float64) {
+	total := float64(neg + pos)
+	if neg == 0 || pos == 0 {
+		return 1, 1
+	}
+	return total / (2 * float64(neg)), total / (2 * float64(pos))
+}
+
+const eps = 1e-12
+
+// Loss returns the weighted BCE for prediction p∈(0,1) and label y∈{0,1}.
+func (l *WeightedBCE) Loss(p float64, y int) float64 {
+	p = math.Min(1-eps, math.Max(eps, p))
+	if y == 1 {
+		return -l.W1 * math.Log(p)
+	}
+	return -l.W0 * math.Log(1-p)
+}
+
+// Grad returns ∂loss/∂p as a 1-element tensor suitable for
+// Network.Backward (the sigmoid layer converts it to ∂loss/∂logit).
+func (l *WeightedBCE) Grad(p float64, y int) *tensor.Tensor {
+	p = math.Min(1-eps, math.Max(eps, p))
+	var g float64
+	if y == 1 {
+		g = -l.W1 / p
+	} else {
+		g = l.W0 / (1 - p)
+	}
+	return tensor.FromSlice([]float64{g}, 1)
+}
+
+// InitialBias returns the paper's output-layer bias initialisation for
+// class prevalence p₁ (equations 1–2): b = log(p₁ / (1 − p₁)), so the
+// untrained network already predicts the prior.
+func InitialBias(pos, total int) float64 {
+	if pos <= 0 || pos >= total {
+		return 0
+	}
+	p := float64(pos) / float64(total)
+	return math.Log(p / (1 - p))
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LSTM is a sequence-to-one long short-term memory layer: it consumes
+// a [T × C] window and emits the final hidden state [H]. Gates are
+// ordered input, forget, cell, output; the forget-gate bias is
+// initialised to 1 per common practice. Backward implements full
+// backpropagation through time.
+type LSTM struct {
+	InCh, Hidden int
+	Wx           *Param // [4H × C]
+	Wh           *Param // [4H × H]
+	Bias         *Param // [4H]
+
+	// forward caches (one entry per timestep)
+	xs               *tensor.Tensor
+	hPrev            [][]float64
+	cPrev            [][]float64
+	gi, gf, gg, gOut [][]float64
+	tanhC            [][]float64
+}
+
+// NewLSTM returns a Glorot-initialised LSTM.
+func NewLSTM(inCh, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		InCh:   inCh,
+		Hidden: hidden,
+		Wx:     newParam("lstm.wx", 4*hidden, inCh),
+		Wh:     newParam("lstm.wh", 4*hidden, hidden),
+		Bias:   newParam("lstm.b", 4*hidden),
+	}
+	glorotInit(l.Wx.W, inCh, hidden, rng)
+	glorotInit(l.Wh.W, hidden, hidden, rng)
+	// Forget-gate bias = 1 keeps early gradients flowing.
+	bd := l.Bias.W.Data()
+	for i := hidden; i < 2*hidden; i++ {
+		bd[i] = 1
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string { return fmt.Sprintf("lstm(%d→%d)", l.InCh, l.Hidden) }
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.Bias} }
+
+// OutShape implements Layer.
+func (l *LSTM) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[1] != l.InCh {
+		return nil, fmt.Errorf("nn: %s cannot take input %v", l.Name(), in)
+	}
+	return []int{l.Hidden}, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 2 || x.Dim(1) != l.InCh {
+		panic(fmt.Sprintf("nn: %s got shape %v", l.Name(), x.Shape()))
+	}
+	T := x.Dim(0)
+	H := l.Hidden
+	h := make([]float64, H)
+	c := make([]float64, H)
+	if train {
+		l.xs = x
+		l.hPrev = make([][]float64, T)
+		l.cPrev = make([][]float64, T)
+		l.gi = make([][]float64, T)
+		l.gf = make([][]float64, T)
+		l.gg = make([][]float64, T)
+		l.gOut = make([][]float64, T)
+		l.tanhC = make([][]float64, T)
+	}
+	xd := x.Data()
+	wx, wh, b := l.Wx.W.Data(), l.Wh.W.Data(), l.Bias.W.Data()
+	z := make([]float64, 4*H)
+	for t := 0; t < T; t++ {
+		xt := xd[t*l.InCh : (t+1)*l.InCh]
+		// z = Wx·x_t + Wh·h + b
+		for r := 0; r < 4*H; r++ {
+			s := b[r]
+			rowX := wx[r*l.InCh : (r+1)*l.InCh]
+			for j, v := range xt {
+				s += rowX[j] * v
+			}
+			rowH := wh[r*H : (r+1)*H]
+			for j, v := range h {
+				s += rowH[j] * v
+			}
+			z[r] = s
+		}
+		if train {
+			l.hPrev[t] = append([]float64(nil), h...)
+			l.cPrev[t] = append([]float64(nil), c...)
+			l.gi[t] = make([]float64, H)
+			l.gf[t] = make([]float64, H)
+			l.gg[t] = make([]float64, H)
+			l.gOut[t] = make([]float64, H)
+			l.tanhC[t] = make([]float64, H)
+		}
+		for j := 0; j < H; j++ {
+			gi := sigmoid(z[j])
+			gf := sigmoid(z[H+j])
+			gg := math.Tanh(z[2*H+j])
+			gout := sigmoid(z[3*H+j])
+			c[j] = gf*c[j] + gi*gg
+			tc := math.Tanh(c[j])
+			h[j] = gout * tc
+			if train {
+				l.gi[t][j], l.gf[t][j], l.gg[t][j], l.gOut[t][j] = gi, gf, gg, gout
+				l.tanhC[t][j] = tc
+			}
+		}
+	}
+	return tensor.FromSlice(append([]float64(nil), h...), H)
+}
+
+// Backward implements Layer.
+func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	H := l.Hidden
+	checkShape(l.Name()+" grad", grad.Shape(), []int{H})
+	T := l.xs.Dim(0)
+	xd := l.xs.Data()
+	wx, wh := l.Wx.W.Data(), l.Wh.W.Data()
+	dwx, dwh, db := l.Wx.G.Data(), l.Wh.G.Data(), l.Bias.G.Data()
+
+	dh := append([]float64(nil), grad.Data()...)
+	dc := make([]float64, H)
+	dx := tensor.New(T, l.InCh)
+	dxd := dx.Data()
+	dz := make([]float64, 4*H)
+
+	for t := T - 1; t >= 0; t-- {
+		xt := xd[t*l.InCh : (t+1)*l.InCh]
+		for j := 0; j < H; j++ {
+			gi, gf, gg, gout := l.gi[t][j], l.gf[t][j], l.gg[t][j], l.gOut[t][j]
+			tc := l.tanhC[t][j]
+			do := dh[j] * tc
+			dct := dc[j] + dh[j]*gout*(1-tc*tc)
+			di := dct * gg
+			dg := dct * gi
+			df := dct * l.cPrev[t][j]
+			dc[j] = dct * gf
+			dz[j] = di * gi * (1 - gi)
+			dz[H+j] = df * gf * (1 - gf)
+			dz[2*H+j] = dg * (1 - gg*gg)
+			dz[3*H+j] = do * gout * (1 - gout)
+		}
+		// Parameter gradients and propagated gradients.
+		for j := range dh {
+			dh[j] = 0
+		}
+		for r := 0; r < 4*H; r++ {
+			g := dz[r]
+			if g == 0 {
+				continue
+			}
+			db[r] += g
+			rowX := wx[r*l.InCh : (r+1)*l.InCh]
+			drowX := dwx[r*l.InCh : (r+1)*l.InCh]
+			for j, v := range xt {
+				drowX[j] += g * v
+				dxd[t*l.InCh+j] += g * rowX[j]
+			}
+			rowH := wh[r*H : (r+1)*H]
+			drowH := dwh[r*H : (r+1)*H]
+			for j := 0; j < H; j++ {
+				drowH[j] += g * l.hPrev[t][j]
+				dh[j] += g * rowH[j]
+			}
+		}
+	}
+	return dx
+}

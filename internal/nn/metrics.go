@@ -1,0 +1,82 @@
+package nn
+
+import "fmt"
+
+// Confusion is a binary confusion matrix with the derived metrics the
+// paper reports (Accuracy, Precision, Recall, F1 for the falling
+// class).
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one prediction at the 0.5 threshold.
+func (c *Confusion) Add(p float64, y int) { c.AddThreshold(p, y, 0.5) }
+
+// AddThreshold records one prediction at a custom decision threshold.
+func (c *Confusion) AddThreshold(p float64, y int, thr float64) {
+	pred := 0
+	if p >= thr {
+		pred = 1
+	}
+	switch {
+	case pred == 1 && y == 1:
+		c.TP++
+	case pred == 1 && y == 0:
+		c.FP++
+	case pred == 0 && y == 0:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of recorded predictions.
+func (c *Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total.
+func (c *Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// Precision returns TP/(TP+FP) for the positive class (0 when empty).
+func (c *Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), i.e. fall sensitivity.
+func (c *Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c *Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the four headline metrics in percent.
+func (c *Confusion) String() string {
+	return fmt.Sprintf("acc=%.2f%% prec=%.2f%% rec=%.2f%% f1=%.2f%%",
+		100*c.Accuracy(), 100*c.Precision(), 100*c.Recall(), 100*c.F1())
+}
+
+// Merge accumulates another confusion matrix into c (for averaging
+// fold results by pooling).
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Network is a sequential stack of layers ending, for the binary
+// models in this repository, in a 1-unit sigmoid.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a sequential network.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs a full forward pass.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs a full backward pass from the output gradient.
+func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Predict returns the scalar output (fall probability) for one window.
+func (n *Network) Predict(x *tensor.Tensor) float64 {
+	out := n.Forward(x, false)
+	return out.Data()[0]
+}
+
+// Params returns all learnable parameters.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of learnable scalars.
+func (n *Network) ParamCount() int {
+	c := 0
+	for _, p := range n.Params() {
+		c += p.W.Len()
+	}
+	return c
+}
+
+// Summary renders a human-readable architecture description.
+func (n *Network) Summary(inShape []int) string {
+	var b strings.Builder
+	shape := inShape
+	fmt.Fprintf(&b, "input %v\n", shape)
+	for _, l := range n.Layers {
+		out, err := l.OutShape(shape)
+		if err != nil {
+			fmt.Fprintf(&b, "%-28s <shape error: %v>\n", l.Name(), err)
+			return b.String()
+		}
+		params := 0
+		for _, p := range l.Params() {
+			params += p.W.Len()
+		}
+		fmt.Fprintf(&b, "%-28s -> %-12v params=%d\n", l.Name(), out, params)
+		shape = out
+	}
+	fmt.Fprintf(&b, "total params: %d\n", n.ParamCount())
+	return b.String()
+}
+
+// Snapshot copies all weights (for early-stopping restore).
+func (n *Network) Snapshot() [][]float64 {
+	ps := n.Params()
+	snap := make([][]float64, len(ps))
+	for i, p := range ps {
+		snap[i] = append([]float64(nil), p.W.Data()...)
+	}
+	return snap
+}
+
+// Restore loads weights captured by Snapshot.
+func (n *Network) Restore(snap [][]float64) {
+	ps := n.Params()
+	if len(snap) != len(ps) {
+		panic(fmt.Sprintf("nn: snapshot has %d tensors, network has %d", len(snap), len(ps)))
+	}
+	for i, p := range ps {
+		if len(snap[i]) != p.W.Len() {
+			panic("nn: snapshot tensor size mismatch")
+		}
+		copy(p.W.Data(), snap[i])
+	}
+}
+
+// savedNet is the gob wire format: weights only, keyed by order. The
+// architecture itself is code, so loading requires an identically
+// constructed network.
+type savedNet struct {
+	Names   []string
+	Weights [][]float64
+}
+
+// Save serialises the network's weights.
+func (n *Network) Save(w io.Writer) error {
+	ps := n.Params()
+	s := savedNet{}
+	for _, p := range ps {
+		s.Names = append(s.Names, p.Name)
+		s.Weights = append(s.Weights, p.W.Data())
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load restores weights saved by Save into an identically shaped
+// network.
+func (n *Network) Load(r io.Reader) error {
+	var s savedNet
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("nn: decoding network: %w", err)
+	}
+	ps := n.Params()
+	if len(s.Weights) != len(ps) {
+		return fmt.Errorf("nn: saved network has %d tensors, want %d", len(s.Weights), len(ps))
+	}
+	for i, p := range ps {
+		if s.Names[i] != p.Name {
+			return fmt.Errorf("nn: saved tensor %d is %q, want %q", i, s.Names[i], p.Name)
+		}
+		if len(s.Weights[i]) != p.W.Len() {
+			return fmt.Errorf("nn: saved tensor %q has %d values, want %d",
+				p.Name, len(s.Weights[i]), p.W.Len())
+		}
+		copy(p.W.Data(), s.Weights[i])
+	}
+	return nil
+}

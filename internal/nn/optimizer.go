@@ -1,0 +1,85 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients. Step
+// consumes the gradient (the caller zeroes it afterwards via
+// Network.ZeroGrad); scale is applied to the gradient first (1/batch
+// for averaging).
+type Optimizer interface {
+	Step(params []*Param, scale float64)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR, Momentum float64
+	velocity     map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param, scale float64) {
+	for _, p := range params {
+		v, ok := s.velocity[p]
+		if !ok {
+			v = make([]float64, p.W.Len())
+			s.velocity[p] = v
+		}
+		wd, gd := p.W.Data(), p.G.Data()
+		for i := range wd {
+			v[i] = s.Momentum*v[i] - s.LR*gd[i]*scale
+			wd[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with the conventional defaults for
+// any field left at zero (lr 1e-3, β₁ 0.9, β₂ 0.999, ε 1e-8).
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		lr = 1e-3
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param][]float64{}, v: map[*Param][]float64{},
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param, scale float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, p.W.Len())
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, p.W.Len())
+			a.v[p] = v
+		}
+		wd, gd := p.W.Data(), p.G.Data()
+		for i := range wd {
+			g := gd[i] * scale
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / c1
+			vh := v[i] / c2
+			wd[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Parallel feeds the same input through several layers and
+// concatenates their flattened outputs — the combinator behind
+// bidirectional recurrences (forward GRU ‖ backward GRU).
+type Parallel struct {
+	Layers  []Layer
+	inShape []int
+	sizes   []int
+}
+
+// NewParallel builds a parallel combinator over the given layers.
+func NewParallel(layers ...Layer) *Parallel {
+	if len(layers) == 0 {
+		panic("nn: Parallel needs at least one layer")
+	}
+	return &Parallel{Layers: layers}
+}
+
+// Name implements Layer.
+func (p *Parallel) Name() string { return fmt.Sprintf("parallel(×%d)", len(p.Layers)) }
+
+// Params implements Layer.
+func (p *Parallel) Params() []*Param {
+	var ps []*Param
+	for _, l := range p.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutShape implements Layer.
+func (p *Parallel) OutShape(in []int) ([]int, error) {
+	total := 0
+	for _, l := range p.Layers {
+		out, err := l.OutShape(in)
+		if err != nil {
+			return nil, err
+		}
+		n := 1
+		for _, d := range out {
+			n *= d
+		}
+		total += n
+	}
+	return []int{total}, nil
+}
+
+// Forward implements Layer.
+func (p *Parallel) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		p.inShape = append([]int(nil), x.Shape()...)
+		p.sizes = make([]int, len(p.Layers))
+	}
+	parts := make([]*tensor.Tensor, len(p.Layers))
+	for i, l := range p.Layers {
+		h := l.Forward(x, train)
+		h = h.Reshape(h.Len())
+		if train {
+			p.sizes[i] = h.Len()
+		}
+		parts[i] = h
+	}
+	return tensor.Concat1D(parts...)
+}
+
+// Backward implements Layer.
+func (p *Parallel) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	off := 0
+	for i, l := range p.Layers {
+		g := tensor.FromSlice(grad.Data()[off:off+p.sizes[i]], p.sizes[i])
+		off += p.sizes[i]
+		out, err := l.OutShape(p.inShape)
+		if err != nil {
+			panic(err)
+		}
+		dxi := l.Backward(g.Reshape(out...))
+		dx.AddScaled(1, dxi)
+	}
+	return dx
+}

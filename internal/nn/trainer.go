@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Example is one training instance.
+type Example struct {
+	X *tensor.Tensor
+	Y int
+}
+
+// TrainConfig holds the paper's training hyper-parameters.
+type TrainConfig struct {
+	// Epochs is the maximum epoch count (paper: 200).
+	Epochs int
+	// Patience stops training after this many epochs without
+	// validation-loss improvement, restoring the best weights
+	// (paper: 20).
+	Patience int
+	// BatchSize is the mini-batch size (gradients are averaged).
+	BatchSize int
+	// ClassWeights are the (negative, positive) loss weights; both
+	// zero selects balanced weights from the training labels.
+	ClassWeights [2]float64
+	// MaxGradNorm clips the global gradient norm per batch when
+	// positive — the usual guard against exploding recurrent
+	// gradients (LSTM/GRU/ConvLSTM baselines).
+	MaxGradNorm float64
+	// Log, when non-nil, receives one line per epoch.
+	Log io.Writer
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.Patience <= 0 {
+		c.Patience = 20
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	return c
+}
+
+// History records per-epoch training progress.
+type History struct {
+	TrainLoss []float64
+	ValLoss   []float64
+	BestEpoch int
+	Stopped   bool // true when early stopping fired
+}
+
+// Trainer fits a Network with mini-batch gradient descent, weighted
+// BCE and early stopping on validation loss.
+type Trainer struct {
+	Net  *Network
+	Opt  Optimizer
+	Cfg  TrainConfig
+	Rng  *rand.Rand
+	Loss *WeightedBCE
+}
+
+// NewTrainer wires up a trainer; rng drives shuffling.
+func NewTrainer(net *Network, opt Optimizer, cfg TrainConfig, rng *rand.Rand) *Trainer {
+	return &Trainer{Net: net, Opt: opt, Cfg: cfg.withDefaults(), Rng: rng}
+}
+
+// Fit trains on train, early-stops on val, and returns the history.
+// It derives class weights if not set, applies them through the loss,
+// and restores the best-validation weights before returning.
+func (t *Trainer) Fit(train, val []Example) (*History, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("nn: empty training set")
+	}
+	cfg := t.Cfg
+	w0, w1 := cfg.ClassWeights[0], cfg.ClassWeights[1]
+	if w0 == 0 && w1 == 0 {
+		pos := 0
+		for _, e := range train {
+			pos += e.Y
+		}
+		w0, w1 = BalancedWeights(len(train)-pos, pos)
+	}
+	t.Loss = NewWeightedBCE(w0, w1)
+
+	hist := &History{}
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+	best := t.Net.Snapshot()
+	bestVal := inf()
+	sinceBest := 0
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		t.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss := 0.0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, len(order))
+			t.Net.ZeroGrad()
+			for _, ix := range order[start:end] {
+				e := train[ix]
+				p := t.Net.Forward(e.X, true).Data()[0]
+				epochLoss += t.Loss.Loss(p, e.Y)
+				t.Net.Backward(t.Loss.Grad(p, e.Y))
+			}
+			if cfg.MaxGradNorm > 0 {
+				ClipGradNorm(t.Net.Params(), cfg.MaxGradNorm*float64(end-start))
+			}
+			t.Opt.Step(t.Net.Params(), 1/float64(end-start))
+		}
+		epochLoss /= float64(len(train))
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
+
+		vl := t.Evaluate(val)
+		hist.ValLoss = append(hist.ValLoss, vl)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %3d: train %.4f  val %.4f\n", epoch, epochLoss, vl)
+		}
+		if vl < bestVal-1e-9 {
+			bestVal = vl
+			best = t.Net.Snapshot()
+			hist.BestEpoch = epoch
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if sinceBest >= cfg.Patience {
+				hist.Stopped = true
+				break
+			}
+		}
+	}
+	t.Net.Restore(best)
+	return hist, nil
+}
+
+// Evaluate returns the mean weighted loss over a set (0 for empty).
+func (t *Trainer) Evaluate(set []Example) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, e := range set {
+		p := t.Net.Predict(e.X)
+		s += t.Loss.Loss(p, e.Y)
+	}
+	return s / float64(len(set))
+}
+
+// Score runs the network over a set and tallies a confusion matrix at
+// the given threshold.
+func Score(net *Network, set []Example, thr float64) Confusion {
+	var c Confusion
+	for _, e := range set {
+		c.AddThreshold(net.Predict(e.X), e.Y, thr)
+	}
+	return c
+}
+
+// ClipGradNorm scales all gradients down so their global L2 norm does
+// not exceed maxNorm.
+func ClipGradNorm(params []*Param, maxNorm float64) {
+	if maxNorm <= 0 {
+		return
+	}
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.G.Data() {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= maxNorm {
+		return
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		p.G.Scale(scale)
+	}
+}
+
+func inf() float64 { return 1e308 }

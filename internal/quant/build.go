@@ -1,0 +1,166 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// QNetwork is a fully quantized network: int8 tensors end to end,
+// with one float dequantization before the closing sigmoid (on the
+// MCU that last step is a 256-entry lookup table).
+type QNetwork struct {
+	ops        []qop
+	inShape    []int
+	inScale    float64
+	hasSigmoid bool
+	ramBytes   int
+}
+
+// Build quantizes a trained float network using calibration ranges.
+// Supported layers: Dense, Conv1D, ReLU, MaxPool1D, Flatten, Branch
+// and a trailing Sigmoid — the deployable model families (the CNN and
+// MLP; the recurrent baselines are not deployed in the paper either).
+func Build(net *nn.Network, cal *Calibration, inShape []int) (*QNetwork, error) {
+	r := &reader{cal: cal}
+	q := &QNetwork{inShape: append([]int(nil), inShape...)}
+	q.inScale = scaleFor(r.next())
+	cur := q.inScale
+
+	for li, l := range net.Layers {
+		switch ll := l.(type) {
+		case *nn.Dense:
+			sOut := scaleFor(r.next())
+			q.ops = append(q.ops, newQDense(ll, cur, sOut))
+			cur = sOut
+		case *nn.Conv1D:
+			sOut := scaleFor(r.next())
+			q.ops = append(q.ops, newQConv1D(ll, cur, sOut))
+			cur = sOut
+		case *nn.ReLU:
+			r.next() // range recorded but scale is preserved
+			q.ops = append(q.ops, qrelu{})
+		case *nn.MaxPool1D:
+			r.next()
+			q.ops = append(q.ops, qmaxpool{pool: ll.Pool})
+		case *nn.Flatten:
+			r.next()
+			q.ops = append(q.ops, qflatten{})
+		case *nn.Sigmoid:
+			r.next()
+			if li != len(net.Layers)-1 {
+				return nil, fmt.Errorf("quant: sigmoid only supported as the final layer")
+			}
+			q.hasSigmoid = true
+		case *nn.Branch:
+			qb := &qbranch{cols: ll.Cols, inCh: inShape[1]}
+			branchScales := make([]float64, len(ll.Stacks))
+			for bi, stack := range ll.Stacks {
+				bCur := cur
+				var ops []qop
+				for _, sl := range stack {
+					switch sll := sl.(type) {
+					case *nn.Conv1D:
+						sOut := scaleFor(r.next())
+						ops = append(ops, newQConv1D(sll, bCur, sOut))
+						bCur = sOut
+					case *nn.Dense:
+						sOut := scaleFor(r.next())
+						ops = append(ops, newQDense(sll, bCur, sOut))
+						bCur = sOut
+					case *nn.ReLU:
+						r.next()
+						ops = append(ops, qrelu{})
+					case *nn.MaxPool1D:
+						r.next()
+						ops = append(ops, qmaxpool{pool: sll.Pool})
+					case *nn.Flatten:
+						r.next()
+						ops = append(ops, qflatten{})
+					default:
+						return nil, fmt.Errorf("quant: unsupported branch layer %s", sl.Name())
+					}
+				}
+				qb.stacks = append(qb.stacks, ops)
+				branchScales[bi] = bCur
+			}
+			sCat := scaleFor(r.next())
+			// Requantize each branch to the shared concat scale.
+			for bi := range qb.stacks {
+				qb.stacks[bi] = append(qb.stacks[bi],
+					qrescale{m: branchScales[bi] / sCat, outScale: sCat})
+			}
+			qb.outScale = sCat
+			q.ops = append(q.ops, qb)
+			cur = sCat
+		default:
+			return nil, fmt.Errorf("quant: unsupported layer %s", l.Name())
+		}
+	}
+
+	// Dry run to size the activation RAM: the largest concurrent
+	// (input, output) activation pair, in bytes (int8 each).
+	x := &qtensor{data: make([]int8, prod(inShape)), shape: q.inShape, scale: q.inScale}
+	for _, op := range q.ops {
+		y := op.forward(x)
+		if n := x.len() + y.len(); n > q.ramBytes {
+			q.ramBytes = n
+		}
+		x = y
+	}
+	return q, nil
+}
+
+func prod(s []int) int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Predict quantizes the input window, runs integer inference and
+// returns the fall probability.
+func (q *QNetwork) Predict(x *tensor.Tensor) float64 {
+	in := &qtensor{
+		data:  make([]int8, x.Len()),
+		shape: append([]int(nil), x.Shape()...),
+		scale: q.inScale,
+	}
+	quantizeTo(in.data, x.Data(), q.inScale)
+	cur := in
+	for _, op := range q.ops {
+		cur = op.forward(cur)
+	}
+	out := float64(cur.data[0]) * cur.scale
+	if q.hasSigmoid {
+		out = 1 / (1 + math.Exp(-out))
+	}
+	return out
+}
+
+// FlashBytes returns the model's storage footprint: int8 weights,
+// int32 biases and the per-op requantization multipliers, plus the
+// input scale.
+func (q *QNetwork) FlashBytes() int {
+	n := 4
+	for _, op := range q.ops {
+		n += op.flashBytes()
+	}
+	return n
+}
+
+// RAMBytes returns the peak activation memory (input + output of the
+// widest op) in bytes.
+func (q *QNetwork) RAMBytes() int { return q.ramBytes }
+
+// OpNames lists the quantized pipeline for reporting.
+func (q *QNetwork) OpNames() []string {
+	var names []string
+	for _, op := range q.ops {
+		names = append(names, op.name())
+	}
+	return names
+}

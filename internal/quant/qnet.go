@@ -1,0 +1,235 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// qtensor is a quantized activation: int8 data with a symmetric scale.
+type qtensor struct {
+	data  []int8
+	shape []int
+	scale float64
+}
+
+func (q *qtensor) len() int { return len(q.data) }
+
+// qop is one integer-inference operation.
+type qop interface {
+	name() string
+	forward(x *qtensor) *qtensor
+	flashBytes() int
+}
+
+// requant maps an int32 accumulator at scale (sIn·sW) to the output
+// int8 scale.
+func requant(acc int32, m float64) int8 {
+	q := math.RoundToEven(float64(acc) * m)
+	if q > qmax {
+		q = qmax
+	}
+	if q < -qmax-1 {
+		q = -qmax - 1
+	}
+	return int8(q)
+}
+
+// qdense is an integer fully connected layer.
+type qdense struct {
+	in, out  int
+	w        []int8  // [out × in]
+	bias     []int32 // at scale sIn·sW
+	m        float64 // sIn·sW / sOut
+	outScale float64
+}
+
+func newQDense(d *nn.Dense, sIn, sOut float64) *qdense {
+	q := &qdense{
+		in: d.In, out: d.Out,
+		w:        make([]int8, d.Weight.W.Len()),
+		bias:     make([]int32, d.Out),
+		outScale: sOut,
+	}
+	sw := scaleFor(d.Weight.W.AbsMax())
+	quantizeTo(q.w, d.Weight.W.Data(), sw)
+	for i, b := range d.Bias.W.Data() {
+		q.bias[i] = int32(math.RoundToEven(b / (sIn * sw)))
+	}
+	q.m = sIn * sw / sOut
+	return q
+}
+
+func (q *qdense) name() string { return fmt.Sprintf("qdense(%d→%d)", q.in, q.out) }
+
+func (q *qdense) flashBytes() int { return len(q.w) + 4*len(q.bias) + 4 /* multiplier */ }
+
+func (q *qdense) forward(x *qtensor) *qtensor {
+	out := &qtensor{data: make([]int8, q.out), shape: []int{q.out}, scale: q.outScale}
+	for o := 0; o < q.out; o++ {
+		acc := q.bias[o]
+		row := q.w[o*q.in : (o+1)*q.in]
+		for i, xv := range x.data {
+			acc += int32(row[i]) * int32(xv)
+		}
+		out.data[o] = requant(acc, q.m)
+	}
+	return out
+}
+
+// qconv1d is an integer valid-padding 1-D convolution.
+type qconv1d struct {
+	inCh, filters, kernel int
+	w                     []int8
+	bias                  []int32
+	m                     float64
+	outScale              float64
+}
+
+func newQConv1D(c *nn.Conv1D, sIn, sOut float64) *qconv1d {
+	q := &qconv1d{
+		inCh: c.InCh, filters: c.Filters, kernel: c.Kernel,
+		w:        make([]int8, c.Weight.W.Len()),
+		bias:     make([]int32, c.Filters),
+		outScale: sOut,
+	}
+	sw := scaleFor(c.Weight.W.AbsMax())
+	quantizeTo(q.w, c.Weight.W.Data(), sw)
+	for i, b := range c.Bias.W.Data() {
+		q.bias[i] = int32(math.RoundToEven(b / (sIn * sw)))
+	}
+	q.m = sIn * sw / sOut
+	return q
+}
+
+func (q *qconv1d) name() string {
+	return fmt.Sprintf("qconv1d(%dch,%df,k%d)", q.inCh, q.filters, q.kernel)
+}
+
+func (q *qconv1d) flashBytes() int { return len(q.w) + 4*len(q.bias) + 4 }
+
+func (q *qconv1d) forward(x *qtensor) *qtensor {
+	T := x.shape[0]
+	outT := T - q.kernel + 1
+	out := &qtensor{
+		data:  make([]int8, outT*q.filters),
+		shape: []int{outT, q.filters},
+		scale: q.outScale,
+	}
+	kc := q.kernel * q.inCh
+	for t := 0; t < outT; t++ {
+		window := x.data[t*q.inCh : t*q.inCh+kc]
+		for f := 0; f < q.filters; f++ {
+			acc := q.bias[f]
+			w := q.w[f*kc : (f+1)*kc]
+			for i, xv := range window {
+				acc += int32(w[i]) * int32(xv)
+			}
+			out.data[t*q.filters+f] = requant(acc, q.m)
+		}
+	}
+	return out
+}
+
+// qrelu clamps negatives (zero point is 0 under symmetric quantization).
+type qrelu struct{}
+
+func (qrelu) name() string    { return "qrelu" }
+func (qrelu) flashBytes() int { return 0 }
+func (qrelu) forward(x *qtensor) *qtensor {
+	out := &qtensor{data: make([]int8, len(x.data)), shape: x.shape, scale: x.scale}
+	for i, v := range x.data {
+		if v > 0 {
+			out.data[i] = v
+		}
+	}
+	return out
+}
+
+// qmaxpool pools the time axis.
+type qmaxpool struct{ pool int }
+
+func (q qmaxpool) name() string    { return fmt.Sprintf("qmaxpool(%d)", q.pool) }
+func (q qmaxpool) flashBytes() int { return 0 }
+func (q qmaxpool) forward(x *qtensor) *qtensor {
+	T, C := x.shape[0], x.shape[1]
+	outT := (T + q.pool - 1) / q.pool
+	out := &qtensor{data: make([]int8, outT*C), shape: []int{outT, C}, scale: x.scale}
+	for ot := 0; ot < outT; ot++ {
+		lo := ot * q.pool
+		hi := min(lo+q.pool, T)
+		for c := 0; c < C; c++ {
+			best := x.data[lo*C+c]
+			for t := lo + 1; t < hi; t++ {
+				if v := x.data[t*C+c]; v > best {
+					best = v
+				}
+			}
+			out.data[ot*C+c] = best
+		}
+	}
+	return out
+}
+
+// qflatten reshapes to 1-D.
+type qflatten struct{}
+
+func (qflatten) name() string    { return "qflatten" }
+func (qflatten) flashBytes() int { return 0 }
+func (qflatten) forward(x *qtensor) *qtensor {
+	return &qtensor{data: x.data, shape: []int{len(x.data)}, scale: x.scale}
+}
+
+// qrescale requantizes to a different scale (used to unify branch
+// output scales before concatenation).
+type qrescale struct{ m, outScale float64 }
+
+func (qrescale) name() string    { return "qrescale" }
+func (qrescale) flashBytes() int { return 4 }
+func (q qrescale) forward(x *qtensor) *qtensor {
+	out := &qtensor{data: make([]int8, len(x.data)), shape: x.shape, scale: q.outScale}
+	for i, v := range x.data {
+		out.data[i] = requant(int32(v), q.m)
+	}
+	return out
+}
+
+// qbranch mirrors nn.Branch: column split, per-branch op chains,
+// requantization to a shared scale, concatenation.
+type qbranch struct {
+	cols     [][2]int
+	stacks   [][]qop
+	inCh     int
+	outScale float64
+}
+
+func (q *qbranch) name() string { return fmt.Sprintf("qbranch(×%d)", len(q.stacks)) }
+
+func (q *qbranch) flashBytes() int {
+	n := 0
+	for _, st := range q.stacks {
+		for _, op := range st {
+			n += op.flashBytes()
+		}
+	}
+	return n
+}
+
+func (q *qbranch) forward(x *qtensor) *qtensor {
+	T := x.shape[0]
+	var all []int8
+	for bi, st := range q.stacks {
+		lo, hi := q.cols[bi][0], q.cols[bi][1]
+		w := hi - lo
+		h := &qtensor{data: make([]int8, T*w), shape: []int{T, w}, scale: x.scale}
+		for t := 0; t < T; t++ {
+			copy(h.data[t*w:(t+1)*w], x.data[t*q.inCh+lo:t*q.inCh+hi])
+		}
+		for _, op := range st {
+			h = op.forward(h)
+		}
+		all = append(all, h.data...)
+	}
+	return &qtensor{data: all, shape: []int{len(all)}, scale: q.outScale}
+}

@@ -1,0 +1,141 @@
+// Package quant implements post-training 8-bit quantization of the
+// paper's CNN (§III-D) together with a pure integer inference engine
+// of the kind that runs on the STM32F722: weights and activations are
+// stored as int8 with per-tensor symmetric scales, accumulation is
+// int32, and each layer requantizes its output with a single
+// float-free-equivalent multiplier. Model size and RAM use are
+// accounted exactly, feeding the on-edge analysis (§IV-C).
+//
+// Symmetric (zero-point-free) quantization is used for both weights
+// and activations; this is the scheme CMSIS-NN favours on Cortex-M
+// and keeps the integer kernels free of zero-point cross terms.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// qmax is the symmetric int8 clip level.
+const qmax = 127
+
+// scaleFor returns the symmetric scale mapping absmax to the int8
+// range; a zero absmax yields a harmless unit scale.
+func scaleFor(absmax float64) float64 {
+	if absmax <= 0 {
+		return 1
+	}
+	return absmax / qmax
+}
+
+// quantizeTo maps a float slice to int8 at the given scale.
+func quantizeTo(dst []int8, src []float64, scale float64) {
+	for i, v := range src {
+		q := math.RoundToEven(v / scale)
+		if q > qmax {
+			q = qmax
+		}
+		if q < -qmax-1 {
+			q = -qmax - 1
+		}
+		dst[i] = int8(q)
+	}
+}
+
+// Calibration holds the ordered per-activation absolute maxima
+// recorded by running the float network over representative data. The
+// order is the deterministic activation walk used by both Calibrate
+// and Build.
+type Calibration struct {
+	absmax []float64
+}
+
+// observer appends/updates range statistics in walk order.
+type observer struct {
+	cal *Calibration
+	i   int
+}
+
+func (o *observer) record(x *tensor.Tensor) {
+	if o.i == len(o.cal.absmax) {
+		o.cal.absmax = append(o.cal.absmax, 0)
+	}
+	if m := x.AbsMax(); m > o.cal.absmax[o.i] {
+		o.cal.absmax[o.i] = m
+	}
+	o.i++
+}
+
+// reader replays recorded ranges in the same order.
+type reader struct {
+	cal *Calibration
+	i   int
+}
+
+func (r *reader) next() float64 {
+	if r.i >= len(r.cal.absmax) {
+		panic("quant: calibration walk order mismatch")
+	}
+	v := r.cal.absmax[r.i]
+	r.i++
+	return v
+}
+
+// walk runs one sample through the float layers, recording every
+// activation (input first, then each layer/stack output) in the
+// deterministic order Build replays.
+func walk(layers []nn.Layer, x *tensor.Tensor, o *observer) (*tensor.Tensor, error) {
+	o.record(x)
+	for _, l := range layers {
+		switch ll := l.(type) {
+		case *nn.Branch:
+			parts := make([]*tensor.Tensor, len(ll.Stacks))
+			for bi, stack := range ll.Stacks {
+				h := sliceCols(x, ll.Cols[bi][0], ll.Cols[bi][1])
+				for _, sl := range stack {
+					h = sl.Forward(h, false)
+					o.record(h)
+				}
+				parts[bi] = h.Reshape(h.Len())
+			}
+			x = tensor.Concat1D(parts...)
+			o.record(x)
+		case *nn.Dense, *nn.Conv1D, *nn.ReLU, *nn.MaxPool1D, *nn.Flatten, *nn.Sigmoid:
+			x = l.Forward(x, false)
+			o.record(x)
+		default:
+			return nil, fmt.Errorf("quant: unsupported layer %s", l.Name())
+		}
+	}
+	return x, nil
+}
+
+func sliceCols(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	T, C := x.Dim(0), x.Dim(1)
+	out := tensor.New(T, hi-lo)
+	xd, od := x.Data(), out.Data()
+	w := hi - lo
+	for t := 0; t < T; t++ {
+		copy(od[t*w:(t+1)*w], xd[t*C+lo:t*C+hi])
+	}
+	return out
+}
+
+// Calibrate runs the calibration set through the float network,
+// collecting activation ranges.
+func Calibrate(net *nn.Network, samples []*tensor.Tensor) (*Calibration, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("quant: empty calibration set")
+	}
+	cal := &Calibration{}
+	for _, s := range samples {
+		o := &observer{cal: cal}
+		if _, err := walk(net.Layers, s, o); err != nil {
+			return nil, err
+		}
+	}
+	return cal, nil
+}

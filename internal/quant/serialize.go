@@ -1,0 +1,138 @@
+package quant
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Wire format: a flat op list with a type tag per op — the repository
+// equivalent of shipping a .tflite flatbuffer to the device.
+
+type savedOp struct {
+	Kind string
+	// Dimensions, reused per kind.
+	A, B, C int
+	// Data payloads.
+	W     []int8
+	Bias  []int32
+	M     float64
+	Scale float64
+	// Branch nesting.
+	Cols   [][2]int
+	Stacks [][]savedOp
+}
+
+type savedQNet struct {
+	InShape    []int
+	InScale    float64
+	HasSigmoid bool
+	RAMBytes   int
+	Ops        []savedOp
+}
+
+func saveOp(op qop) (savedOp, error) {
+	switch o := op.(type) {
+	case *qdense:
+		return savedOp{Kind: "dense", A: o.in, B: o.out, W: o.w, Bias: o.bias, M: o.m, Scale: o.outScale}, nil
+	case *qconv1d:
+		return savedOp{Kind: "conv1d", A: o.inCh, B: o.filters, C: o.kernel, W: o.w, Bias: o.bias, M: o.m, Scale: o.outScale}, nil
+	case qrelu:
+		return savedOp{Kind: "relu"}, nil
+	case qmaxpool:
+		return savedOp{Kind: "maxpool", A: o.pool}, nil
+	case qflatten:
+		return savedOp{Kind: "flatten"}, nil
+	case qrescale:
+		return savedOp{Kind: "rescale", M: o.m, Scale: o.outScale}, nil
+	case *qbranch:
+		s := savedOp{Kind: "branch", A: o.inCh, Scale: o.outScale, Cols: o.cols}
+		for _, stack := range o.stacks {
+			var ss []savedOp
+			for _, sub := range stack {
+				so, err := saveOp(sub)
+				if err != nil {
+					return savedOp{}, err
+				}
+				ss = append(ss, so)
+			}
+			s.Stacks = append(s.Stacks, ss)
+		}
+		return s, nil
+	default:
+		return savedOp{}, fmt.Errorf("quant: cannot serialise op %s", op.name())
+	}
+}
+
+func loadOp(s savedOp) (qop, error) {
+	switch s.Kind {
+	case "dense":
+		return &qdense{in: s.A, out: s.B, w: s.W, bias: s.Bias, m: s.M, outScale: s.Scale}, nil
+	case "conv1d":
+		return &qconv1d{inCh: s.A, filters: s.B, kernel: s.C, w: s.W, bias: s.Bias, m: s.M, outScale: s.Scale}, nil
+	case "relu":
+		return qrelu{}, nil
+	case "maxpool":
+		return qmaxpool{pool: s.A}, nil
+	case "flatten":
+		return qflatten{}, nil
+	case "rescale":
+		return qrescale{m: s.M, outScale: s.Scale}, nil
+	case "branch":
+		b := &qbranch{inCh: s.A, outScale: s.Scale, cols: s.Cols}
+		for _, ss := range s.Stacks {
+			var stack []qop
+			for _, so := range ss {
+				op, err := loadOp(so)
+				if err != nil {
+					return nil, err
+				}
+				stack = append(stack, op)
+			}
+			b.stacks = append(b.stacks, stack)
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("quant: unknown op kind %q", s.Kind)
+	}
+}
+
+// Save serialises the quantized network — the deployable model image.
+func (q *QNetwork) Save(w io.Writer) error {
+	s := savedQNet{
+		InShape:    q.inShape,
+		InScale:    q.inScale,
+		HasSigmoid: q.hasSigmoid,
+		RAMBytes:   q.ramBytes,
+	}
+	for _, op := range q.ops {
+		so, err := saveOp(op)
+		if err != nil {
+			return err
+		}
+		s.Ops = append(s.Ops, so)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load reads a quantized network saved by Save.
+func Load(r io.Reader) (*QNetwork, error) {
+	var s savedQNet
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("quant: decoding model: %w", err)
+	}
+	q := &QNetwork{
+		inShape:    s.InShape,
+		inScale:    s.InScale,
+		hasSigmoid: s.HasSigmoid,
+		ramBytes:   s.RAMBytes,
+	}
+	for _, so := range s.Ops {
+		op, err := loadOp(so)
+		if err != nil {
+			return nil, err
+		}
+		q.ops = append(q.ops, op)
+	}
+	return q, nil
+}

@@ -1,0 +1,109 @@
+// Package report renders the experiment harness's tables in aligned
+// plain text and in Markdown, so cmd/fallbench output can be compared
+// line by line with the paper's tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple titled grid.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && len([]rune(c)) > w[i] {
+				w[i] = len([]rune(c))
+			}
+		}
+	}
+	return w
+}
+
+// Fprint writes the aligned plain-text rendering.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	ws := t.widths()
+	line := func(cells []string) {
+		parts := make([]string, len(ws))
+		for i := range ws {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, ws[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(ws))
+	for i := range ws {
+		sep[i] = strings.Repeat("-", ws[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// Markdown returns the GitHub-flavoured Markdown rendering.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Headers, " | "))
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	n := w - len([]rune(s))
+	if n <= 0 {
+		return s
+	}
+	return s + strings.Repeat(" ", n)
+}
+
+// Pct formats a ratio as a percentage with two decimals, matching the
+// paper's tables.
+func Pct(v float64) string { return fmt.Sprintf("%.2f", 100*v) }
+
+// Pct1 formats an already-percent value with two decimals and a sign.
+func Pct1(v float64) string { return fmt.Sprintf("%.2f%%", v) }

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "Demo", Headers: []string{"Model", "Acc"}}
+	t.AddRow("CNN", 98.2812)
+	t.AddRow("a-very-long-model-name", "x")
+	return t
+}
+
+func TestFprintAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	sample().Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// All content lines equally wide (alignment).
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("header/separator misaligned: %q vs %q", lines[1], lines[2])
+	}
+	if !strings.Contains(out, "98.28") {
+		t.Fatal("float formatting")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	if !strings.Contains(md, "| Model | Acc |") {
+		t.Fatalf("markdown header: %s", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Fatal("markdown separator")
+	}
+	if !strings.Contains(md, "### Demo") {
+		t.Fatal("markdown title")
+	}
+}
+
+func TestShortRowsTolerated(t *testing.T) {
+	tb := &Table{Headers: []string{"A", "B", "C"}}
+	tb.Rows = append(tb.Rows, []string{"only-one"})
+	var buf bytes.Buffer
+	tb.Fprint(&buf) // must not panic
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestPctHelpers(t *testing.T) {
+	if Pct(0.98765) != "98.77" {
+		t.Fatalf("Pct = %s", Pct(0.98765))
+	}
+	if Pct1(4.167) != "4.17%" {
+		t.Fatalf("Pct1 = %s", Pct1(4.167))
+	}
+}

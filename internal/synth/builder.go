@@ -1,0 +1,303 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/imu"
+)
+
+// Canonical body-frame orientations of the gravity unit vector for the
+// trunk-mounted sensor (rear of the safety jacket): standing upright
+// puts gravity on +Z; lying changes which body axis carries it.
+var (
+	gravityUpright   = imu.Vec3{Z: 1}
+	gravitySupine    = imu.Vec3{X: 1}  // on the back
+	gravityProne     = imu.Vec3{X: -1} // on the front
+	gravitySideLeft  = imu.Vec3{Y: 1}
+	gravitySideRight = imu.Vec3{Y: -1}
+	gravitySeated    = imu.Vec3{X: 0.26, Z: 0.97} // slight recline
+)
+
+// builder accumulates one trial's samples while tracking the current
+// orientation (gravity direction in the body frame).
+type builder struct {
+	rng     *rand.Rand
+	subj    Subject
+	rate    float64
+	samples []imu.Sample
+	g       imu.Vec3 // current unit gravity direction in body frame
+}
+
+func newBuilder(subj Subject, rng *rand.Rand) *builder {
+	if (subj.Mount == imu.Mat3{}) {
+		// Hand-constructed subjects default to a perfectly aligned
+		// sensor.
+		subj.Mount = imu.Identity3()
+	}
+	return &builder{rng: rng, subj: subj, rate: 100, g: gravityUpright}
+}
+
+func (b *builder) dt() float64 { return 1 / b.rate }
+
+// mark returns the index the next emitted sample will occupy.
+func (b *builder) mark() int { return len(b.samples) }
+
+// steps converts a duration in seconds (already subject-scaled by the
+// caller where appropriate) to a sample count of at least 1.
+func (b *builder) steps(sec float64) int {
+	n := int(sec*b.rate + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// emit appends one sample, mapping it through the subject's mounting
+// misalignment and adding the subject's sensor noise. Euler channels
+// are left zero: they are recomputed by the on-edge sensor fusion
+// during dataset standardisation, exactly as on the real PCB.
+func (b *builder) emit(acc, gyro imu.Vec3) {
+	acc = b.subj.Mount.Apply(acc)
+	gyro = b.subj.Mount.Apply(gyro)
+	na := b.subj.NoiseAccG
+	ng := b.subj.NoiseGyroDPS
+	b.samples = append(b.samples, imu.Sample{
+		Acc: imu.Vec3{
+			X: acc.X + na*b.rng.NormFloat64(),
+			Y: acc.Y + na*b.rng.NormFloat64(),
+			Z: acc.Z + na*b.rng.NormFloat64(),
+		},
+		Gyro: imu.Vec3{
+			X: gyro.X + ng*b.rng.NormFloat64(),
+			Y: gyro.Y + ng*b.rng.NormFloat64(),
+			Z: gyro.Z + ng*b.rng.NormFloat64(),
+		},
+	})
+}
+
+// rest holds the current posture for sec seconds with physiological
+// tremor scaled by tremor (1 = normal standing sway).
+func (b *builder) rest(sec, tremor float64) {
+	n := b.steps(sec)
+	// Slow postural sway at ~0.3 Hz.
+	phase := b.rng.Float64() * 2 * math.Pi
+	for i := 0; i < n; i++ {
+		t := float64(i) * b.dt()
+		sway := 0.01 * tremor * math.Sin(2*math.Pi*0.3*t+phase)
+		acc := b.g.Scale(1 + sway)
+		gyro := imu.Vec3{
+			X: 1.5 * tremor * math.Sin(2*math.Pi*0.25*t+phase),
+			Y: 1.5 * tremor * math.Cos(2*math.Pi*0.21*t+phase),
+		}
+		b.emit(acc, gyro)
+	}
+}
+
+// gait emits locomotion: vertical bobbing at the step frequency plus
+// lateral sway at half of it, with matching pitch/roll oscillation.
+// freq in Hz, vertAmp in g, gyroAmp in deg/s.
+func (b *builder) gait(sec, freq, vertAmp, gyroAmp float64) {
+	n := b.steps(sec)
+	freq *= b.subj.Speed
+	vertAmp *= b.subj.Vigor
+	gyroAmp *= b.subj.Vigor
+	phase := b.rng.Float64() * 2 * math.Pi
+	// Lateral axis orthogonal to gravity.
+	lat := imu.Vec3{Y: 1}
+	for i := 0; i < n; i++ {
+		t := float64(i) * b.dt()
+		vert := vertAmp * math.Sin(2*math.Pi*freq*t+phase)
+		// Second harmonic gives the double-bump of heel strikes.
+		vert += 0.4 * vertAmp * math.Sin(4*math.Pi*freq*t+2*phase)
+		side := 0.3 * vertAmp * math.Sin(math.Pi*freq*t+phase)
+		acc := b.g.Scale(1 + vert).Add(lat.Scale(side))
+		gyro := imu.Vec3{
+			X: gyroAmp * math.Sin(math.Pi*freq*t+phase),
+			Y: gyroAmp * math.Sin(2*math.Pi*freq*t+phase+0.7),
+			Z: 0.3 * gyroAmp * math.Sin(math.Pi*freq*t+phase+1.1),
+		}
+		b.emit(acc, gyro)
+	}
+}
+
+// turn overlays a yaw rotation on standing/walking for sec seconds.
+func (b *builder) turn(sec, yawRateDPS float64) {
+	n := b.steps(sec)
+	for i := 0; i < n; i++ {
+		b.emit(b.g, imu.Vec3{Z: yawRateDPS})
+	}
+}
+
+// tiltTo smoothly reorients gravity from the current direction to
+// target over sec seconds (posture transitions: bending, sitting,
+// lying). The gyro reflects the instantaneous rotation rate; a small
+// inertial surge accompanies the motion, scaled by surge (g).
+func (b *builder) tiltTo(sec float64, target imu.Vec3, surge float64) {
+	target = target.Normalize()
+	if target.Norm() == 0 {
+		b.rest(sec, 1)
+		return
+	}
+	// Total angle between orientations.
+	dot := b.g.Normalize().Dot(target)
+	dot = math.Max(-1, math.Min(1, dot))
+	total := math.Acos(dot)
+	axis := b.g.Cross(target).Normalize()
+	if axis.Norm() == 0 {
+		// Collinear: nothing to do beyond holding posture.
+		b.rest(sec, 1)
+		b.g = target
+		return
+	}
+	n := b.steps(sec)
+	start := b.g
+	prev := 0.0
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n)
+		// Cosine easing: rate peaks mid-transition like real motion.
+		ang := total * (1 - math.Cos(f*math.Pi)) / 2
+		rate := (ang - prev) / b.dt() // rad/s
+		prev = ang
+		g := imu.Rodrigues(axis, ang).Apply(start)
+		acc := g.Scale(1 + surge*math.Sin(f*math.Pi))
+		gyro := axis.Scale(imu.RadToDeg(rate))
+		b.emit(acc, gyro)
+	}
+	b.g = imu.Rodrigues(axis, total).Apply(start).Normalize()
+}
+
+// freefall emits the falling phase: acceleration magnitude collapses
+// from 1 g toward residual (true free fall → 0; guarded or partially
+// supported falls retain more), while the body rotates about axis at
+// up to rotRate deg/s and gravity re-orients toward target. Returns
+// nothing; callers bracket it with mark() to annotate onset/impact.
+func (b *builder) freefall(sec, residual, rotRate float64, axis, target imu.Vec3) {
+	n := b.steps(sec)
+	start := b.g
+	target = target.Normalize()
+	dot := math.Max(-1, math.Min(1, start.Normalize().Dot(target)))
+	total := math.Acos(dot)
+	rotAxis := start.Cross(target).Normalize()
+	if rotAxis.Norm() == 0 {
+		rotAxis = axis.Normalize()
+	}
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n)
+		// Magnitude decays with an early knee: the support is lost
+		// quickly, then the body is ballistic.
+		mag := residual + (1-residual)*math.Exp(-4*f)
+		ang := total * f * f // accelerating rotation
+		g := imu.Rodrigues(rotAxis, ang).Apply(start)
+		acc := g.Scale(mag)
+		// Rotation rate ramps up as the body pivots.
+		gyro := axis.Normalize().Scale(rotRate * f)
+		// Tumbling adds off-axis rate noise.
+		gyro.X += 0.15 * rotRate * b.rng.NormFloat64() * f
+		gyro.Y += 0.15 * rotRate * b.rng.NormFloat64() * f
+		b.emit(acc, gyro)
+	}
+	b.g = imu.Rodrigues(rotAxis, total).Apply(start).Normalize()
+}
+
+// interruptedFreefall is freefall with a partial arrest midway — a
+// hand catching the ladder rail, clothing snagging scaffolding — that
+// briefly restores support before the fall resumes. This is what
+// makes real falls from height hard for a detector: the clean
+// ballistic signature is broken into shorter ambiguous episodes that
+// resemble a recovered stumble or a jump.
+func (b *builder) interruptedFreefall(sec, residual, rotRate float64, axis, target imu.Vec3) {
+	first := sec * b.jitter(0.3, 0.5)
+	arrest := b.jitter(0.06, 0.12)
+	rest := sec - first
+	b.freefall(first, residual, rotRate*0.7, axis, b.g) // initial drop, little reorientation
+	// Partial arrest: support partially restored, rotation stalls.
+	n := b.steps(arrest)
+	hold := b.jitter(0.5, 0.9)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n)
+		b.emit(b.g.Scale(hold*(1-0.3*f)), imu.Vec3{
+			X: 40 * b.rng.NormFloat64(),
+			Y: 40 * b.rng.NormFloat64(),
+		})
+	}
+	b.freefall(rest, residual, rotRate, axis, target)
+}
+
+// impact emits the ground-contact transient: a damped oscillation
+// peaking at peakG along the (new) gravity direction with a matching
+// gyro jolt, lasting about 120 ms.
+func (b *builder) impact(peakG float64) {
+	n := b.steps(0.12)
+	dir := b.g
+	for i := 0; i < n; i++ {
+		t := float64(i) * b.dt()
+		env := math.Exp(-t / 0.03)
+		osc := math.Cos(2 * math.Pi * 18 * t)
+		acc := dir.Scale(1 + (peakG-1)*env*math.Abs(osc))
+		gyro := imu.Vec3{
+			X: 120 * env * b.rng.NormFloat64(),
+			Y: 120 * env * b.rng.NormFloat64(),
+			Z: 60 * env * b.rng.NormFloat64(),
+		}
+		b.emit(acc, gyro)
+	}
+}
+
+// hop emits a voluntary jump: crouch dip, push-off surge, ballistic
+// flight at low residual g, then a landing transient of landG. This is
+// the near-fall signature that drives the paper's Table IVb hard
+// negatives (tasks 4 and 44).
+func (b *builder) hop(flightSec, landG float64) {
+	// Crouch: unweighting dip.
+	n := b.steps(0.25)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n)
+		b.emit(b.g.Scale(1-0.35*math.Sin(f*math.Pi)), imu.Vec3{Y: 20 * math.Sin(f*math.Pi)})
+	}
+	// Push-off: over-g surge.
+	n = b.steps(0.15)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n)
+		b.emit(b.g.Scale(1+0.8*b.subj.Vigor*math.Sin(f*math.Pi)), imu.Vec3{Y: -25 * math.Sin(f*math.Pi)})
+	}
+	// Flight: near free fall, but upright and with little rotation —
+	// exactly what makes it confusable with a vertical fall.
+	n = b.steps(flightSec)
+	for i := 0; i < n; i++ {
+		b.emit(b.g.Scale(0.12), imu.Vec3{Y: 10 * b.rng.NormFloat64()})
+	}
+	b.impact(landG)
+}
+
+// ladderClimb emits slow rhythmic climbing with rail-grab pauses.
+func (b *builder) ladderClimb(sec float64) {
+	n := b.steps(sec)
+	phase := b.rng.Float64() * 2 * math.Pi
+	// Slightly leaned into the ladder.
+	lean := imu.Rodrigues(imu.Vec3{Y: 1}, imu.DegToRad(12)).Apply(gravityUpright)
+	for i := 0; i < n; i++ {
+		t := float64(i) * b.dt()
+		step := 0.12 * math.Sin(2*math.Pi*0.8*b.subj.Speed*t+phase)
+		acc := lean.Scale(1 + step)
+		gyro := imu.Vec3{
+			X: 12 * math.Sin(2*math.Pi*0.8*b.subj.Speed*t+phase),
+			Y: 8 * math.Cos(2*math.Pi*0.8*b.subj.Speed*t+phase),
+		}
+		b.emit(acc, gyro)
+	}
+	b.g = lean
+}
+
+// jitter draws a uniform value in [lo, hi].
+func (b *builder) jitter(lo, hi float64) float64 {
+	return lo + (hi-lo)*b.rng.Float64()
+}
+
+// pickSide returns +1 or −1.
+func (b *builder) pickSide() float64 {
+	if b.rng.Intn(2) == 0 {
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,373 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/imu"
+)
+
+// Options configures dataset synthesis.
+type Options struct {
+	// TrialsPerTask is the number of repetitions per subject per task
+	// (default 1).
+	TrialsPerTask int
+	// LongTaskSeconds replaces the paper's 30-second static holds
+	// (stand / sit / lie "for 30 seconds") to keep synthetic volume
+	// manageable; default 8 s. Set 30 for faithful durations.
+	LongTaskSeconds float64
+	// Tasks restricts generation to the given Table II ids; nil means
+	// every task available in the source flavour.
+	Tasks []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TrialsPerTask <= 0 {
+		o.TrialsPerTask = 1
+	}
+	if o.LongTaskSeconds <= 0 {
+		o.LongTaskSeconds = 8
+	}
+	return o
+}
+
+// mix derives a deterministic per-trial seed so each (subject, task,
+// trial) triple is independent of generation order. SplitMix64-style.
+func mix(vals ...int64) int64 {
+	z := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		z ^= uint64(v) + 0x9E3779B97F4A7C15 + (z << 6) + (z >> 2)
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+	}
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// GenerateWorksite synthesises the self-collected-flavour dataset:
+// subject ids 1..n, all 44 tasks, accelerations in g, native frame.
+func GenerateWorksite(numSubjects int, opt Options, seed int64) (*dataset.Dataset, error) {
+	return generate(numSubjects, 1, WorksiteTasks(), dataset.SourceWorksite, opt, seed)
+}
+
+// GenerateKFall synthesises the KFall-flavour dataset: subject ids
+// 101..100+n, the 36 KFall tasks, accelerations in m/s², and the
+// sensor frame rotated by KFallFrameRotation.
+func GenerateKFall(numSubjects int, opt Options, seed int64) (*dataset.Dataset, error) {
+	return generate(numSubjects, 101, KFallTasks(), dataset.SourceKFall, opt, seed)
+}
+
+func generate(numSubjects, firstID int, sourceTasks []int, src dataset.Source, opt Options, seed int64) (*dataset.Dataset, error) {
+	if numSubjects <= 0 {
+		return nil, fmt.Errorf("synth: need at least one subject, got %d", numSubjects)
+	}
+	opt = opt.withDefaults()
+	taskIDs := sourceTasks
+	if opt.Tasks != nil {
+		allowed := map[int]bool{}
+		for _, id := range sourceTasks {
+			allowed[id] = true
+		}
+		taskIDs = nil
+		for _, id := range opt.Tasks {
+			if allowed[id] {
+				taskIDs = append(taskIDs, id)
+			}
+		}
+		if len(taskIDs) == 0 {
+			return nil, fmt.Errorf("synth: task filter %v leaves no tasks for %v", opt.Tasks, src)
+		}
+	}
+
+	subjRng := rand.New(rand.NewSource(mix(seed, int64(firstID))))
+	subjects := Cohort(numSubjects, firstID, subjRng)
+
+	d := &dataset.Dataset{}
+	for _, subj := range subjects {
+		for _, id := range taskIDs {
+			task, err := TaskByID(id)
+			if err != nil {
+				return nil, err
+			}
+			for trial := 0; trial < opt.TrialsPerTask; trial++ {
+				rng := rand.New(rand.NewSource(mix(seed, int64(subj.ID), int64(id), int64(trial))))
+				tr := GenerateTrial(subj, task, trial, opt.LongTaskSeconds, rng)
+				if src == dataset.SourceKFall {
+					toKFallFlavour(&tr)
+				}
+				if err := tr.Validate(); err != nil {
+					return nil, err
+				}
+				d.Trials = append(d.Trials, tr)
+			}
+		}
+	}
+	return d, nil
+}
+
+// toKFallFlavour converts a canonical trial to the KFall acquisition
+// convention: accelerations in m/s² and the sensor frame rotated by
+// KFallFrameRotation (the transform dataset.Standardize undoes).
+func toKFallFlavour(t *dataset.Trial) {
+	rot := dataset.KFallFrameRotation()
+	for i := range t.Samples {
+		s := t.Samples[i]
+		s.Acc = s.Acc.Scale(imu.StandardGravity)
+		t.Samples[i] = rot.Rotate(s)
+	}
+	t.Source = dataset.SourceKFall
+}
+
+// GenerateTrial synthesises one execution of the task by the subject.
+// Fall trials carry frame-accurate FallOnset/Impact annotations (the
+// synthetic equivalent of the paper's video-synchronised labelling).
+func GenerateTrial(subj Subject, task Task, trialIx int, longSec float64, rng *rand.Rand) dataset.Trial {
+	b := newBuilder(subj, rng)
+	onset, impact := -1, -1
+	sp := 1 / subj.Speed // slower subjects take longer over transitions
+
+	// fall brackets the falling phase with onset/impact marks and
+	// appends the post-fall stillness.
+	fall := func(durSec, residual, rotRate float64, axis, target imu.Vec3, impactG float64) {
+		onset = b.mark()
+		b.freefall(durSec, residual, rotRate, axis, target)
+		impact = b.mark()
+		b.impact(impactG)
+		b.rest(b.jitter(1.2, 2.2), 0.3)
+	}
+	// interruptedFall is the height-fall variant: a partial arrest
+	// (rail grab, snag) breaks the ballistic phase in two, which is
+	// what makes these falls the hardest class to recognise (paper
+	// Table IVa: tasks 39/40 top the miss list).
+	interruptedFall := func(durSec, residual, rotRate float64, axis, target imu.Vec3, impactG float64) {
+		onset = b.mark()
+		b.interruptedFreefall(durSec, residual, rotRate, axis, target)
+		impact = b.mark()
+		b.impact(impactG)
+		b.rest(b.jitter(1.2, 2.2), 0.3)
+	}
+
+	switch task.ID {
+	case 1: // stand
+		b.rest(longSec, 1)
+	case 2: // bend, tie shoe lace, get up
+		b.rest(1, 1)
+		b.tiltTo(1.5*sp, bentForward(75), 0.12)
+		b.rest(b.jitter(1.5, 2.5), 1)
+		b.tiltTo(1.5*sp, gravityUpright, 0.12)
+		b.rest(1, 1)
+	case 3: // pick up object
+		b.rest(0.6, 1)
+		b.tiltTo(0.8*sp, bentForward(80), 0.18)
+		b.rest(0.4, 1)
+		b.tiltTo(0.8*sp, gravityUpright, 0.18)
+		b.rest(0.6, 1)
+	case 4: // gentle jump
+		b.rest(1, 1)
+		b.hop(b.jitter(0.2, 0.26), 2.2)
+		b.rest(1, 1)
+	case 5: // sit to ground and get up
+		b.rest(0.6, 1)
+		b.tiltTo(1.2*sp, gravitySeated, 0.2)
+		b.bump(1.4)
+		b.rest(b.jitter(1.5, 2.5), 0.8)
+		b.tiltTo(1.2*sp, gravityUpright, 0.2)
+		b.rest(0.6, 1)
+	case 6: // walk with turn
+		b.gait(longSec*0.4, 1.8, 0.12, 25)
+		b.turn(1, 60)
+		b.gait(longSec*0.4, 1.8, 0.12, 25)
+	case 7: // walk quickly with turn
+		b.gait(longSec*0.4, 2.2, 0.2, 35)
+		b.turn(0.8, 80)
+		b.gait(longSec*0.4, 2.2, 0.2, 35)
+	case 8: // jog with turn
+		b.gait(longSec*0.4, 2.6, 0.4, 55)
+		b.turn(0.7, 95)
+		b.gait(longSec*0.4, 2.6, 0.4, 55)
+	case 9: // jog quickly with turn
+		b.gait(longSec*0.4, 3.0, 0.5, 70)
+		b.turn(0.6, 110)
+		b.gait(longSec*0.4, 3.0, 0.5, 70)
+	case 10: // stumble while walking (recovered)
+		b.gait(b.jitter(1.5, 2.5), 1.9, 0.14, 28)
+		b.stumble(b.jitter(0.2, 0.3), 0.8)
+		b.gait(b.jitter(1.5, 2.5), 1.8, 0.12, 25)
+	case 11: // sit on chair
+		b.rest(0.6, 1)
+		b.tiltTo(1.0*sp, gravitySeated, 0.1)
+		b.rest(longSec, 0.6)
+		b.tiltTo(1.0*sp, gravityUpright, 0.1)
+		b.rest(0.6, 1)
+	case 12: // downstairs
+		b.gait(longSec*0.8, 2.0, 0.22, 35)
+	case 13: // sit down, get up (normal)
+		b.rest(0.6, 1)
+		b.tiltTo(0.9*sp, gravitySeated, 0.15)
+		b.bump(1.25)
+		b.rest(b.jitter(1.0, 2.0), 0.6)
+		b.tiltTo(0.9*sp, gravityUpright, 0.15)
+		b.rest(0.6, 1)
+	case 14: // sit down, get up (quick)
+		b.rest(0.5, 1)
+		b.tiltTo(0.45*sp, gravitySeated, 0.3)
+		b.bump(1.7)
+		b.rest(b.jitter(0.8, 1.4), 0.6)
+		b.tiltTo(0.5*sp, gravityUpright, 0.3)
+		b.rest(0.5, 1)
+	case 15: // collapse into a chair (hard negative)
+		b.rest(0.5, 1)
+		b.tiltTo(1.0*sp, gravitySeated, 0.1)
+		b.rest(b.jitter(0.8, 1.5), 0.6)
+		b.tiltTo(0.4*sp, halfRisen(), 0.25) // attempt to rise
+		b.freefall(b.jitter(0.16, 0.24), 0.55, b.jitter(40, 70), imu.Vec3{Y: -1}, gravitySeated)
+		b.impact(b.jitter(1.6, 2.0))
+		b.rest(b.jitter(1.0, 2.0), 0.6)
+	case 16: // downstairs quickly
+		b.gait(longSec*0.8, 2.4, 0.3, 45)
+	case 17: // lie on floor
+		b.rest(0.5, 1)
+		b.tiltTo(1.5*sp, gravitySupine, 0.12)
+		b.rest(longSec, 0.4)
+	case 18: // lie down, get up (normal)
+		b.rest(0.5, 1)
+		b.tiltTo(1.3*sp, gravitySupine, 0.15)
+		b.bump(1.2)
+		b.rest(b.jitter(1.5, 2.5), 0.4)
+		b.tiltTo(1.3*sp, gravityUpright, 0.15)
+		b.rest(0.5, 1)
+	case 19: // lie down quickly (hard negative)
+		b.rest(0.5, 1)
+		b.freefall(b.jitter(0.14, 0.2), 0.65, b.jitter(60, 90), imu.Vec3{Y: -1}, gravitySupine)
+		b.impact(b.jitter(1.4, 1.7))
+		b.rest(b.jitter(1.0, 2.0), 0.4)
+		b.tiltTo(0.8*sp, gravityUpright, 0.25)
+		b.rest(0.5, 1)
+	case 20: // forward fall trying to sit
+		b.rest(0.6, 1)
+		b.tiltTo(0.4*sp, gravitySeated, 0.2)
+		fall(b.jitter(0.36, 0.48), 0.38, b.jitter(160, 220), imu.Vec3{Y: 1}, gravityProne, b.jitter(3.0, 3.6))
+	case 21: // backward fall trying to sit
+		b.rest(0.6, 1)
+		b.tiltTo(0.4*sp, gravitySeated, 0.2)
+		fall(b.jitter(0.32, 0.44), 0.45, b.jitter(130, 180), imu.Vec3{Y: -1}, gravitySupine, b.jitter(2.8, 3.4))
+	case 22: // lateral fall trying to sit
+		b.rest(0.6, 1)
+		b.tiltTo(0.4*sp, gravitySeated, 0.2)
+		side := b.pickSide()
+		fall(b.jitter(0.34, 0.46), 0.42, b.jitter(130, 180), imu.Vec3{X: side}, sideTarget(side), b.jitter(2.8, 3.4))
+	case 23: // forward fall trying to get up
+		b.seatedStart()
+		b.tiltTo(0.5*sp, halfRisen(), 0.2)
+		fall(b.jitter(0.36, 0.48), 0.35, b.jitter(170, 230), imu.Vec3{Y: 1}, gravityProne, b.jitter(3.2, 3.8))
+	case 24: // lateral fall trying to get up
+		b.seatedStart()
+		b.tiltTo(0.5*sp, halfRisen(), 0.2)
+		side := b.pickSide()
+		fall(b.jitter(0.38, 0.5), 0.35, b.jitter(160, 210), imu.Vec3{X: side}, sideTarget(side), b.jitter(3.2, 3.8))
+	case 25: // forward fall while sitting (fainting)
+		b.seatedStart()
+		fall(b.jitter(0.38, 0.5), 0.42, b.jitter(150, 200), imu.Vec3{Y: 1}, gravityProne, b.jitter(2.8, 3.4))
+	case 26: // lateral fall while sitting (fainting)
+		b.seatedStart()
+		side := b.pickSide()
+		fall(b.jitter(0.36, 0.48), 0.45, b.jitter(130, 180), imu.Vec3{X: side}, sideTarget(side), b.jitter(2.8, 3.4))
+	case 27: // backward fall while sitting (fainting)
+		b.seatedStart()
+		fall(b.jitter(0.34, 0.46), 0.5, b.jitter(90, 130), imu.Vec3{Y: -1}, gravitySupine, b.jitter(2.6, 3.2))
+	case 28: // vertical collapse while walking (fainting)
+		b.gait(b.jitter(2, 3.5), 1.8, 0.12, 25)
+		onset = b.mark()
+		// Crumpling straight down: little reorientation, little spin.
+		b.freefall(b.jitter(0.35, 0.5), 0.4, b.jitter(30, 60), imu.Vec3{Y: 1}, gravityUpright)
+		impact = b.mark()
+		b.impact(b.jitter(3.0, 3.6))
+		b.tiltTo(0.3, gravityProne, 0.2) // slump after hitting knees
+		b.rest(b.jitter(1.2, 2.2), 0.3)
+	case 29: // fall while walking, damped with hands (fainting)
+		b.gait(b.jitter(2, 3.5), 1.8, 0.12, 25)
+		fall(b.jitter(0.36, 0.5), 0.48, b.jitter(140, 190), imu.Vec3{Y: 1}, gravityProne, b.jitter(2.1, 2.6))
+	case 30: // forward fall, walking, trip
+		b.gait(b.jitter(2, 4), 1.9, 0.14, 28)
+		b.stumble(0.08, 0.9)
+		fall(b.jitter(0.42, 0.6), 0.3, b.jitter(200, 280), imu.Vec3{Y: 1}, gravityProne, b.jitter(3.8, 4.6))
+	case 31: // forward fall, jogging, trip
+		b.gait(b.jitter(2, 3.5), 2.6, 0.4, 55)
+		b.stumble(0.07, 1.1)
+		fall(b.jitter(0.38, 0.52), 0.28, b.jitter(230, 300), imu.Vec3{Y: 1}, gravityProne, b.jitter(4.4, 5.4))
+	case 32: // forward fall, walking, slip
+		b.gait(b.jitter(2, 4), 1.9, 0.14, 28)
+		fall(b.jitter(0.45, 0.6), 0.32, b.jitter(180, 260), imu.Vec3{Y: 1}, gravityProne, b.jitter(3.6, 4.4))
+	case 33: // lateral fall, walking, slip
+		b.gait(b.jitter(2, 4), 1.9, 0.14, 28)
+		side := b.pickSide()
+		fall(b.jitter(0.4, 0.55), 0.42, b.jitter(120, 170), imu.Vec3{X: side}, sideTarget(side), b.jitter(3.4, 4.2))
+	case 34: // backward fall, walking, slip
+		b.gait(b.jitter(2, 4), 1.9, 0.14, 28)
+		fall(b.jitter(0.42, 0.58), 0.3, b.jitter(170, 240), imu.Vec3{Y: -1}, gravitySupine, b.jitter(3.8, 4.6))
+	case 35: // upstairs
+		b.gait(longSec*0.8, 1.9, 0.16, 30)
+	case 36: // upstairs quickly
+		b.gait(longSec*0.8, 2.3, 0.24, 40)
+	case 37: // backward fall, slow backward walk
+		b.gait(b.jitter(1.5, 3), 1.2, 0.08, 18)
+		fall(b.jitter(0.4, 0.55), 0.35, b.jitter(150, 200), imu.Vec3{Y: -1}, gravitySupine, b.jitter(3.2, 4.0))
+	case 38: // backward fall, quick backward walk
+		b.gait(b.jitter(1.5, 3), 1.8, 0.14, 28)
+		fall(b.jitter(0.45, 0.6), 0.25, b.jitter(220, 280), imu.Vec3{Y: -1}, gravitySupine, b.jitter(4.0, 4.8))
+	case 39: // forward fall from height
+		b.ladderClimb(b.jitter(2, 3.5))
+		// Long, clean ballistic drop with very little rotation: the
+		// signature that overlaps jumping flight, the paper's hardest
+		// fall class (16 % missed).
+		interruptedFall(b.jitter(0.55, 0.8), 0.2, b.jitter(30, 70), imu.Vec3{Y: 1}, gravityProne, b.jitter(5.5, 7.0))
+	case 40: // backward fall from height
+		b.ladderClimb(b.jitter(2, 3.5))
+		interruptedFall(b.jitter(0.5, 0.75), 0.22, b.jitter(40, 80), imu.Vec3{Y: -1}, gravitySupine, b.jitter(5.2, 6.6))
+	case 41: // backward fall climbing up the ladder
+		b.ladderClimb(b.jitter(2, 3.5))
+		interruptedFall(b.jitter(0.45, 0.65), 0.25, b.jitter(60, 100), imu.Vec3{Y: -1}, gravitySupine, b.jitter(4.4, 5.4))
+	case 42: // backward fall climbing down the ladder
+		b.ladderClimb(b.jitter(2, 3.5))
+		interruptedFall(b.jitter(0.45, 0.6), 0.28, b.jitter(70, 110), imu.Vec3{Y: -1}, gravitySupine, b.jitter(4.2, 5.2))
+	case 43: // climb up and down the stairs
+		b.gait(longSec*0.4, 1.9, 0.16, 30)
+		b.turn(0.8, 90)
+		b.gait(longSec*0.4, 2.0, 0.2, 33)
+	case 44: // walk slowly and jump over the obstacle (hardest negative)
+		b.gait(b.jitter(1.5, 2.5), 1.5, 0.1, 20)
+		b.hop(b.jitter(0.26, 0.34), 2.6)
+		b.gait(b.jitter(1.5, 2.5), 1.5, 0.1, 20)
+	default:
+		b.rest(longSec, 1)
+	}
+
+	return dataset.Trial{
+		Subject:   subj.ID,
+		Task:      task.ID,
+		Index:     trialIx,
+		Source:    dataset.SourceWorksite,
+		Samples:   b.samples,
+		FallOnset: onset,
+		Impact:    impact,
+	}
+}
+
+// bentForward returns the gravity direction for a forward trunk bend
+// of deg degrees.
+func bentForward(deg float64) imu.Vec3 {
+	return imu.Rodrigues(imu.Vec3{Y: 1}, imu.DegToRad(deg)).Apply(gravityUpright)
+}
+
+// halfRisen is the posture mid-way between seated and upright.
+func halfRisen() imu.Vec3 {
+	return gravitySeated.Add(gravityUpright).Normalize()
+}
+
+// sideTarget returns the lying-on-side gravity direction for ±1.
+func sideTarget(side float64) imu.Vec3 {
+	if side > 0 {
+		return gravitySideLeft
+	}
+	return gravitySideRight
+}

@@ -1,0 +1,51 @@
+package synth
+
+import (
+	"math"
+
+	"repro/internal/imu"
+)
+
+// bump emits a brief seat/floor contact transient (≈60 ms), much
+// smaller and shorter than a fall impact: sitting down on a chair,
+// lying down onto the floor.
+func (b *builder) bump(peakG float64) {
+	n := b.steps(0.06)
+	dir := b.g
+	for i := 0; i < n; i++ {
+		t := float64(i) * b.dt()
+		env := math.Exp(-t / 0.02)
+		acc := dir.Scale(1 + (peakG-1)*env)
+		gyro := imu.Vec3{
+			X: 40 * env * b.rng.NormFloat64(),
+			Y: 40 * env * b.rng.NormFloat64(),
+		}
+		b.emit(acc, gyro)
+	}
+}
+
+// stumble emits a short chaotic burst — a caught trip that does not
+// end in a fall: large erratic accelerations and rotation rates with
+// recovery. Intensity 1 is a vigorous obstacle hit.
+func (b *builder) stumble(sec, intensity float64) {
+	n := b.steps(sec)
+	lat := imu.Vec3{Y: 1}
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n)
+		// Dip below 1 g, then an over-g recovery push.
+		mag := 1 - 0.5*intensity*math.Sin(f*math.Pi) + 0.7*intensity*math.Sin(2*f*math.Pi)*f
+		acc := b.g.Scale(mag).Add(lat.Scale(0.3 * intensity * b.rng.NormFloat64()))
+		gyro := imu.Vec3{
+			X: 150 * intensity * b.rng.NormFloat64() * math.Sin(f*math.Pi),
+			Y: 150 * intensity * b.rng.NormFloat64() * math.Sin(f*math.Pi),
+			Z: 80 * intensity * b.rng.NormFloat64() * math.Sin(f*math.Pi),
+		}
+		b.emit(acc, gyro)
+	}
+}
+
+// seatedStart initialises a trial that begins in a chair.
+func (b *builder) seatedStart() {
+	b.g = gravitySeated.Normalize()
+	b.rest(b.jitter(0.8, 1.5), 0.6)
+}

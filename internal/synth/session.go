@@ -1,0 +1,159 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/imu"
+)
+
+// SessionEvent is one annotated episode inside a continuous session.
+type SessionEvent struct {
+	Task  int
+	Start int // sample index of the episode start
+	// FallOnset/Impact are absolute sample indices (−1 for ADLs).
+	FallOnset, Impact int
+}
+
+// Session is a long continuous IMU stream of concatenated activities
+// by one subject — what the detector actually sees in deployment, as
+// opposed to the per-trial recordings used for training. It drives
+// the false-activations-per-hour analysis.
+type Session struct {
+	Subject int
+	Trial   dataset.Trial // continuous stream with no per-trial gaps
+	Events  []SessionEvent
+}
+
+// SessionConfig shapes the generated stream.
+type SessionConfig struct {
+	// Minutes is the session duration (approximate; default 10).
+	Minutes float64
+	// FallRate is the expected number of fall episodes per hour
+	// (default 4 — compressed relative to reality so sessions stay
+	// testable; 0 disables falls entirely).
+	FallRate float64
+	// Tasks restricts the ADL vocabulary (nil = all worksite ADLs).
+	Tasks []int
+	// LongTaskSeconds bounds the static holds (default 8).
+	LongTaskSeconds float64
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.Minutes <= 0 {
+		c.Minutes = 10
+	}
+	if c.FallRate < 0 {
+		c.FallRate = 0
+	} else if c.FallRate == 0 {
+		c.FallRate = 4
+	}
+	if c.LongTaskSeconds <= 0 {
+		c.LongTaskSeconds = 8
+	}
+	return c
+}
+
+// GenerateSession builds one continuous session for the subject:
+// ADL episodes drawn at random, with fall episodes interleaved at the
+// configured hourly rate. Fall episodes end the faller on the ground;
+// a recovery (get-up) segment follows so the stream stays plausible.
+func GenerateSession(subj Subject, cfg SessionConfig, rng *rand.Rand) (*Session, error) {
+	cfg = cfg.withDefaults()
+
+	adls, falls := sessionVocabulary(cfg.Tasks)
+	if len(adls) == 0 {
+		return nil, fmt.Errorf("synth: session task filter leaves no ADLs")
+	}
+	targetSamples := int(cfg.Minutes * 60 * 100)
+	// Probability that any given episode is a fall, from the hourly
+	// rate and a ~10 s mean episode length.
+	episodesPerHour := 3600.0 / 10
+	pFall := cfg.FallRate / episodesPerHour
+	if len(falls) == 0 {
+		pFall = 0
+	}
+
+	s := &Session{Subject: subj.ID}
+	s.Trial = dataset.Trial{
+		Subject:   subj.ID,
+		Task:      0, // a session is not a single Table II task
+		Source:    dataset.SourceWorksite,
+		FallOnset: -1,
+		Impact:    -1,
+	}
+	for len(s.Trial.Samples) < targetSamples {
+		isFall := pFall > 0 && rng.Float64() < pFall
+		var taskID int
+		if isFall {
+			taskID = falls[rng.Intn(len(falls))]
+		} else {
+			taskID = adls[rng.Intn(len(adls))]
+		}
+		task, err := TaskByID(taskID)
+		if err != nil {
+			return nil, err
+		}
+		tr := GenerateTrial(subj, task, len(s.Events), cfg.LongTaskSeconds, rng)
+		base := len(s.Trial.Samples)
+		ev := SessionEvent{Task: taskID, Start: base, FallOnset: -1, Impact: -1}
+		if tr.IsFall() {
+			ev.FallOnset = base + tr.FallOnset
+			ev.Impact = base + tr.Impact
+		}
+		s.Trial.Samples = append(s.Trial.Samples, tr.Samples...)
+		s.Events = append(s.Events, ev)
+		if tr.IsFall() {
+			// Recovery: get up from the ground and resume.
+			rec := recoveryEpisode(subj, rng)
+			s.Trial.Samples = append(s.Trial.Samples, rec...)
+		}
+	}
+	return s, nil
+}
+
+// recoveryEpisode produces a get-up-from-ground transition.
+func recoveryEpisode(subj Subject, rng *rand.Rand) []imu.Sample {
+	b := newBuilder(subj, rng)
+	b.g = gravitySupine
+	b.rest(b.jitter(0.5, 1.5), 0.4)
+	b.tiltTo(b.jitter(1.2, 2)/subj.Speed, gravityUpright, 0.2)
+	b.rest(b.jitter(0.5, 1), 1)
+	return b.samples
+}
+
+// sessionVocabulary splits the allowed tasks into ADLs and falls.
+func sessionVocabulary(filter []int) (adls, falls []int) {
+	allowed := map[int]bool{}
+	for _, id := range filter {
+		allowed[id] = true
+	}
+	for _, task := range AllTasks() {
+		if filter != nil && !allowed[task.ID] {
+			continue
+		}
+		if task.IsFall() {
+			falls = append(falls, task.ID)
+		} else {
+			adls = append(adls, task.ID)
+		}
+	}
+	return adls, falls
+}
+
+// Falls returns the indices of fall events in the session.
+func (s *Session) Falls() []SessionEvent {
+	var out []SessionEvent
+	for _, e := range s.Events {
+		if e.FallOnset >= 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DurationHours returns the session length in hours.
+func (s *Session) DurationHours() float64 {
+	return float64(len(s.Trial.Samples)) / 100 / 3600
+}

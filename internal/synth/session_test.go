@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateSessionBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	subj := NewSubject(1, rng)
+	s, err := GenerateSession(subj, SessionConfig{Minutes: 2, FallRate: 30}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Trial.Samples) < 2*60*100 {
+		t.Fatalf("session too short: %d samples", len(s.Trial.Samples))
+	}
+	if s.DurationHours() <= 0.03 {
+		t.Fatalf("duration %f h", s.DurationHours())
+	}
+	if len(s.Events) < 5 {
+		t.Fatalf("only %d episodes", len(s.Events))
+	}
+	// Events must be ordered and in range, with consistent annotations.
+	prev := -1
+	for _, ev := range s.Events {
+		if ev.Start <= prev {
+			t.Fatal("events out of order")
+		}
+		prev = ev.Start
+		if ev.Start >= len(s.Trial.Samples) {
+			t.Fatal("event beyond stream")
+		}
+		if ev.FallOnset >= 0 {
+			if !(ev.Start <= ev.FallOnset && ev.FallOnset < ev.Impact && ev.Impact <= len(s.Trial.Samples)) {
+				t.Fatalf("bad fall annotation %+v", ev)
+			}
+			task, _ := TaskByID(ev.Task)
+			if !task.IsFall() {
+				t.Fatalf("ADL task %d annotated as fall", ev.Task)
+			}
+		}
+	}
+}
+
+func TestGenerateSessionFallRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	subj := NewSubject(1, rng)
+	// High rate over a longish session: expect at least a few falls.
+	s, err := GenerateSession(subj, SessionConfig{Minutes: 4, FallRate: 60}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Falls()) == 0 {
+		t.Fatal("no falls at 60/hour over 4 minutes")
+	}
+	// Negative rate disables falls.
+	s, err = GenerateSession(subj, SessionConfig{Minutes: 1, FallRate: -1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Falls()) != 0 {
+		t.Fatal("falls generated with FallRate < 0")
+	}
+}
+
+func TestGenerateSessionTaskFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	subj := NewSubject(1, rng)
+	s, err := GenerateSession(subj, SessionConfig{
+		Minutes: 1, FallRate: 60, Tasks: []int{6, 8, 30},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range s.Events {
+		if ev.Task != 6 && ev.Task != 8 && ev.Task != 30 {
+			t.Fatalf("task %d escaped the filter", ev.Task)
+		}
+	}
+	// Filter with no ADLs is an error.
+	if _, err := GenerateSession(subj, SessionConfig{Minutes: 1, Tasks: []int{30}}, rng); err == nil {
+		t.Fatal("fall-only vocabulary accepted")
+	}
+}
+
+func TestSessionStreamContinuity(t *testing.T) {
+	// No teleporting: consecutive samples must not jump unphysically
+	// (the recovery episodes are meant to smooth fall → next ADL).
+	rng := rand.New(rand.NewSource(4))
+	subj := NewSubject(1, rng)
+	s, err := GenerateSession(subj, SessionConfig{Minutes: 1, FallRate: 30}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Trial.Samples); i++ {
+		d := s.Trial.Samples[i].Acc.Sub(s.Trial.Samples[i-1].Acc).Norm()
+		if d > 8 {
+			t.Fatalf("acceleration jump of %.1f g between samples %d and %d", d, i-1, i)
+		}
+	}
+}

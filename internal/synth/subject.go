@@ -1,0 +1,78 @@
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/imu"
+)
+
+// Subject is one synthetic participant. The anthropometric fields
+// mirror the paper's cohort statistics (§II-B: age 23.5 ± 6.3 y,
+// 71.5 ± 13.2 kg, 178 ± 8 cm) and feed the motion model: heavier or
+// taller subjects move with larger accelerations and slower cadence,
+// and every subject carries individual vigor and sensor-noise traits
+// so that subject-independent evaluation is meaningfully harder than
+// a random split.
+type Subject struct {
+	ID       int
+	HeightCM float64
+	MassKG   float64
+
+	// Speed scales cadence and transition durations (≈1).
+	Speed float64
+	// Vigor scales motion amplitudes (≈1).
+	Vigor float64
+	// NoiseAccG and NoiseGyroDPS are the sensor noise σ for this
+	// subject's device placement.
+	NoiseAccG    float64
+	NoiseGyroDPS float64
+
+	// Mount is the subject's sensor-mounting misalignment: jackets sit
+	// slightly differently on every torso (up to ~15°), so the body
+	// frame each subject reports is individually rotated. This is what
+	// makes subject-independent evaluation genuinely harder than a
+	// random split — the model must generalise across placements.
+	Mount imu.Mat3
+}
+
+// NewSubject draws a subject with the cohort's statistics using the
+// provided source of randomness.
+func NewSubject(id int, rng *rand.Rand) Subject {
+	clamp := func(v, lo, hi float64) float64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	axis := imu.Vec3{
+		X: rng.NormFloat64(),
+		Y: rng.NormFloat64(),
+		Z: rng.NormFloat64(),
+	}
+	if axis.Norm() < 1e-9 {
+		axis = imu.Vec3{X: 1}
+	}
+	angle := imu.DegToRad(clamp(6*rng.NormFloat64(), -15, 15))
+	return Subject{
+		ID:           id,
+		HeightCM:     clamp(178+8*rng.NormFloat64(), 150, 205),
+		MassKG:       clamp(71.5+13.2*rng.NormFloat64(), 45, 120),
+		Speed:        clamp(1+0.12*rng.NormFloat64(), 0.7, 1.3),
+		Vigor:        clamp(1+0.15*rng.NormFloat64(), 0.6, 1.5),
+		NoiseAccG:    clamp(0.02+0.008*rng.NormFloat64(), 0.008, 0.05),
+		NoiseGyroDPS: clamp(1.2+0.5*rng.NormFloat64(), 0.3, 3),
+		Mount:        imu.Rodrigues(axis, angle),
+	}
+}
+
+// Cohort draws n subjects with consecutive ids starting at firstID.
+func Cohort(n, firstID int, rng *rand.Rand) []Subject {
+	out := make([]Subject, n)
+	for i := range out {
+		out[i] = NewSubject(firstID+i, rng)
+	}
+	return out
+}

@@ -1,0 +1,425 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dsp"
+	"repro/internal/imu"
+)
+
+func TestTaskRegistryStructure(t *testing.T) {
+	all := AllTasks()
+	if len(all) != NumTasks {
+		t.Fatalf("registry has %d tasks, want %d", len(all), NumTasks)
+	}
+	for i, task := range all {
+		if task.ID != i+1 {
+			t.Fatalf("task %d has id %d", i, task.ID)
+		}
+		if task.Name == "" {
+			t.Fatalf("task %d unnamed", task.ID)
+		}
+	}
+}
+
+func TestTaskCountsMatchPaper(t *testing.T) {
+	// Paper: self-collected = 23 ADLs + 21 falls; KFall = 21 ADLs + 15 falls.
+	var wsFalls, wsADLs, kfFalls, kfADLs int
+	for _, task := range AllTasks() {
+		if task.IsFall() {
+			wsFalls++
+			if task.InKFall {
+				kfFalls++
+			}
+		} else {
+			wsADLs++
+			if task.InKFall {
+				kfADLs++
+			}
+		}
+	}
+	if wsADLs != 23 || wsFalls != 21 {
+		t.Errorf("worksite = %d ADLs / %d falls, want 23/21", wsADLs, wsFalls)
+	}
+	if kfADLs != 21 || kfFalls != 15 {
+		t.Errorf("kfall = %d ADLs / %d falls, want 21/15", kfADLs, kfFalls)
+	}
+	if n := len(KFallTasks()); n != 36 {
+		t.Errorf("KFallTasks = %d, want 36", n)
+	}
+	if n := len(WorksiteTasks()); n != NumTasks {
+		t.Errorf("WorksiteTasks = %d, want %d", n, NumTasks)
+	}
+}
+
+func TestTaskByIDBounds(t *testing.T) {
+	if _, err := TaskByID(0); err == nil {
+		t.Error("id 0 accepted")
+	}
+	if _, err := TaskByID(NumTasks + 1); err == nil {
+		t.Error("id 45 accepted")
+	}
+	task, err := TaskByID(39)
+	if err != nil || task.Category != FallFromHeight {
+		t.Errorf("task 39 = %+v, %v", task, err)
+	}
+}
+
+func TestRedGreenPartition(t *testing.T) {
+	// Every red task must be an ADL (falls are not part of Table IVb).
+	for _, task := range AllTasks() {
+		if task.Red && task.IsFall() {
+			t.Errorf("task %d is red but a fall", task.ID)
+		}
+	}
+}
+
+func TestSubjectCohortStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	subs := Cohort(200, 1, rng)
+	var h, m float64
+	for _, s := range subs {
+		h += s.HeightCM
+		m += s.MassKG
+		if s.Speed < 0.7 || s.Speed > 1.3 {
+			t.Fatalf("speed %g out of clamp", s.Speed)
+		}
+		if s.NoiseAccG <= 0 || s.NoiseGyroDPS <= 0 {
+			t.Fatal("non-positive noise")
+		}
+	}
+	h /= 200
+	m /= 200
+	if h < 172 || h > 184 {
+		t.Errorf("mean height %g far from 178", h)
+	}
+	if m < 63 || m > 80 {
+		t.Errorf("mean mass %g far from 71.5", m)
+	}
+	if subs[0].ID != 1 || subs[199].ID != 200 {
+		t.Error("cohort ids not consecutive")
+	}
+}
+
+func genTrial(t *testing.T, taskID int, seed int64) dataset.Trial {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	subj := NewSubject(1, rng)
+	task, err := TaskByID(taskID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := GenerateTrial(subj, task, 0, 6, rng)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEveryTaskGeneratesValidTrial(t *testing.T) {
+	for id := 1; id <= NumTasks; id++ {
+		tr := genTrial(t, id, int64(100+id))
+		task, _ := TaskByID(id)
+		if task.IsFall() != tr.IsFall() {
+			t.Errorf("task %d: IsFall mismatch (trial %v)", id, tr.IsFall())
+		}
+		if len(tr.Samples) < 100 {
+			t.Errorf("task %d: only %d samples", id, len(tr.Samples))
+		}
+		// Accelerations should be physically plausible: bounded by the
+		// LIS3DH's ±16 g range.
+		for i, s := range tr.Samples {
+			if s.Acc.Norm() > 16 {
+				t.Errorf("task %d sample %d: |acc| = %g g", id, i, s.Acc.Norm())
+				break
+			}
+		}
+	}
+}
+
+func TestFallTrialsHaveFreeFallSignature(t *testing.T) {
+	// During [onset, impact) the minimum acceleration magnitude must
+	// drop well below 1 g — the defining pre-impact signature.
+	for _, id := range []int{30, 31, 34, 39, 40} {
+		tr := genTrial(t, id, int64(7*id))
+		if !tr.IsFall() {
+			t.Fatalf("task %d: no fall annotation", id)
+		}
+		minMag := math.Inf(1)
+		for _, s := range tr.Samples[tr.FallOnset:tr.Impact] {
+			if m := s.Acc.Norm(); m < minMag {
+				minMag = m
+			}
+		}
+		if minMag > 0.7 {
+			t.Errorf("task %d: min |acc| during fall = %g g, want < 0.7", id, minMag)
+		}
+	}
+}
+
+func TestHeightFallsLongerAndCleaner(t *testing.T) {
+	// Falls from height: longer falling phase, deeper free fall, less
+	// rotation than trip falls — the structure behind Table IVa.
+	avg := func(id int, f func(tr dataset.Trial) float64) float64 {
+		s := 0.0
+		for seed := int64(0); seed < 8; seed++ {
+			s += f(genTrial(t, id, seed*31+int64(id)))
+		}
+		return s / 8
+	}
+	dur := func(tr dataset.Trial) float64 { return float64(tr.Impact - tr.FallOnset) }
+	minMag := func(tr dataset.Trial) float64 {
+		m := math.Inf(1)
+		for _, s := range tr.Samples[tr.FallOnset:tr.Impact] {
+			if v := s.Acc.Norm(); v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	maxRot := func(tr dataset.Trial) float64 {
+		m := 0.0
+		for _, s := range tr.Samples[tr.FallOnset:tr.Impact] {
+			if v := s.Gyro.Norm(); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if d39, d21 := avg(39, dur), avg(21, dur); d39 <= d21 {
+		t.Errorf("height fall duration %g ≤ sitting fall %g", d39, d21)
+	}
+	if m39, m30 := avg(39, minMag), avg(30, minMag); m39 >= m30 {
+		t.Errorf("height fall min|acc| %g ≥ trip fall %g (should be cleaner)", m39, m30)
+	}
+	if r39, r30 := avg(39, maxRot), avg(30, maxRot); r39 >= r30 {
+		t.Errorf("height fall max rotation %g ≥ trip fall %g (should be lower)", r39, r30)
+	}
+}
+
+func TestADLTrialsNeverDipLikeLongFalls(t *testing.T) {
+	// Walking and standing must not produce sustained sub-0.5 g dips
+	// longer than 150 ms (jumps may briefly).
+	for _, id := range []int{1, 6, 8, 12, 35} {
+		tr := genTrial(t, id, int64(3*id))
+		run := 0
+		for _, s := range tr.Samples {
+			if s.Acc.Norm() < 0.5 {
+				run++
+				if run > 15 {
+					t.Errorf("task %d: >150 ms below 0.5 g in an ADL", id)
+					break
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+}
+
+func TestJumpHasFlightButNoAnnotation(t *testing.T) {
+	tr := genTrial(t, 44, 5)
+	if tr.IsFall() {
+		t.Fatal("task 44 must not be annotated as a fall")
+	}
+	minMag := math.Inf(1)
+	for _, s := range tr.Samples {
+		if m := s.Acc.Norm(); m < minMag {
+			minMag = m
+		}
+	}
+	if minMag > 0.4 {
+		t.Errorf("jump flight min |acc| = %g, want < 0.4 (near-fall signature)", minMag)
+	}
+}
+
+func TestWalkingHasGaitFrequency(t *testing.T) {
+	tr := genTrial(t, 6, 11)
+	// The vertical (Z) channel should oscillate near the commanded
+	// 1.8 Hz × subject speed: count mean crossings.
+	z := tr.Channel(imu.AccZ)
+	f := dsp.MustButterworth(4, 5, 100)
+	z = f.FiltFilt(z)
+	mid := z[100 : len(z)-100]
+	mean := dsp.Mean(mid)
+	crossings := 0
+	for i := 1; i < len(mid); i++ {
+		if (mid[i-1] < mean) != (mid[i] < mean) {
+			crossings++
+		}
+	}
+	hz := float64(crossings) / 2 / (float64(len(mid)) / 100)
+	if hz < 1.0 || hz > 4.5 {
+		t.Errorf("walking fundamental ≈ %g Hz, want 1–4.5", hz)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := GenerateWorksite(2, Options{Tasks: []int{6, 30}}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWorksite(2, Options{Tasks: []int{6, 30}}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		ta, tb := a.Trials[i], b.Trials[i]
+		if len(ta.Samples) != len(tb.Samples) || ta.FallOnset != tb.FallOnset {
+			t.Fatalf("trial %d differs structurally", i)
+		}
+		for j := range ta.Samples {
+			if ta.Samples[j] != tb.Samples[j] {
+				t.Fatalf("trial %d sample %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a, _ := GenerateWorksite(1, Options{Tasks: []int{30}}, 1)
+	b, _ := GenerateWorksite(1, Options{Tasks: []int{30}}, 2)
+	same := len(a.Trials[0].Samples) == len(b.Trials[0].Samples)
+	if same {
+		for j := range a.Trials[0].Samples {
+			if a.Trials[0].Samples[j] != b.Trials[0].Samples[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trials")
+	}
+}
+
+func TestGenerateKFallFlavour(t *testing.T) {
+	d, err := GenerateKFall(2, Options{Tasks: []int{1, 30}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 subjects × 2 tasks.
+	if len(d.Trials) != 4 {
+		t.Fatalf("got %d trials", len(d.Trials))
+	}
+	for i := range d.Trials {
+		tr := &d.Trials[i]
+		if tr.Source != dataset.SourceKFall {
+			t.Fatal("source not KFall")
+		}
+		if tr.Subject < 101 {
+			t.Fatalf("kfall subject id %d overlaps worksite range", tr.Subject)
+		}
+	}
+	// A standing trial's acceleration magnitude must be ≈ 9.81 m/s²
+	// (units differ from the worksite flavour).
+	var stand *dataset.Trial
+	for i := range d.Trials {
+		if d.Trials[i].Task == 1 {
+			stand = &d.Trials[i]
+			break
+		}
+	}
+	m := 0.0
+	for _, s := range stand.Samples {
+		m += s.Acc.Norm()
+	}
+	m /= float64(len(stand.Samples))
+	if math.Abs(m-imu.StandardGravity) > 0.7 {
+		t.Errorf("kfall standing |acc| = %g, want ≈ 9.81 m/s²", m)
+	}
+}
+
+func TestGenerateKFallExcludesWorksiteOnlyTasks(t *testing.T) {
+	if _, err := GenerateKFall(1, Options{Tasks: []int{39}}, 1); err == nil {
+		t.Fatal("task 39 (worksite-only) accepted for KFall generation")
+	}
+}
+
+func TestGenerateRejectsBadArgs(t *testing.T) {
+	if _, err := GenerateWorksite(0, Options{}, 1); err == nil {
+		t.Fatal("0 subjects accepted")
+	}
+}
+
+func TestTrialsPerTask(t *testing.T) {
+	d, err := GenerateWorksite(1, Options{Tasks: []int{6}, TrialsPerTask: 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Trials) != 3 {
+		t.Fatalf("got %d trials, want 3", len(d.Trials))
+	}
+	seen := map[int]bool{}
+	for i := range d.Trials {
+		seen[d.Trials[i].Index] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Fatal("trial indices not 0,1,2")
+	}
+}
+
+func TestFallAnnotationOrdering(t *testing.T) {
+	for id := 20; id <= 42; id++ {
+		task, _ := TaskByID(id)
+		if !task.IsFall() {
+			continue
+		}
+		tr := genTrial(t, id, int64(id))
+		if !(0 < tr.FallOnset && tr.FallOnset < tr.Impact && tr.Impact < len(tr.Samples)) {
+			t.Errorf("task %d: bad annotation onset=%d impact=%d len=%d",
+				id, tr.FallOnset, tr.Impact, len(tr.Samples))
+		}
+		durMS := float64(tr.Impact-tr.FallOnset) * 10
+		if durMS < 150 || durMS > 1100 {
+			t.Errorf("task %d: falling phase %g ms outside the paper's 150–1100 ms", id, durMS)
+		}
+		// Post-fall stillness must exist (lying on the ground).
+		if len(tr.Samples)-tr.Impact < 50 {
+			t.Errorf("task %d: missing post-fall phase", id)
+		}
+	}
+}
+
+func TestGaitCadenceScalesWithSubjectSpeed(t *testing.T) {
+	// Spectral check: the dominant vertical frequency of walking must
+	// increase with the subject's speed multiplier.
+	cadence := func(speed float64) float64 {
+		rng := rand.New(rand.NewSource(77))
+		subj := NewSubject(1, rng)
+		subj.Speed = speed
+		task, _ := TaskByID(6)
+		tr := GenerateTrial(subj, task, 0, 8, rng)
+		hz, err := dsp.DominantFrequency(tr.Channel(imu.AccZ), 100, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hz
+	}
+	slow, fast := cadence(0.8), cadence(1.25)
+	if fast <= slow {
+		t.Fatalf("cadence did not scale with speed: %.2f Hz at 0.8× vs %.2f Hz at 1.25×", slow, fast)
+	}
+}
+
+func TestNoiseLevelScalesWithSubjectTrait(t *testing.T) {
+	// A noisier subject's standing trial must have a larger residual
+	// after removing the mean.
+	residual := func(noise float64) float64 {
+		rng := rand.New(rand.NewSource(88))
+		subj := NewSubject(1, rng)
+		subj.NoiseAccG = noise
+		task, _ := TaskByID(1)
+		tr := GenerateTrial(subj, task, 0, 5, rng)
+		return dsp.Std(tr.Channel(imu.AccX))
+	}
+	if quiet, loud := residual(0.01), residual(0.05); loud <= quiet {
+		t.Fatalf("noise trait ignored: σ %.4f at 0.01 vs %.4f at 0.05", quiet, loud)
+	}
+}

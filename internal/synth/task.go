@@ -1,0 +1,145 @@
+// Package synth generates synthetic IMU trials for all 44 activities
+// of the paper's Table II. The real datasets (KFall and the
+// proprietary Protechto self-collected dataset) are not available in
+// this environment, so this package is the documented substitution:
+// a biomechanical trajectory model that reproduces the *signal
+// structure* the detector relies on — gravity-referenced posture,
+// gait oscillation, the free-fall collapse of acceleration magnitude
+// with a rotation burst during falling, impact transients and
+// post-fall stillness — with per-subject and per-trial variation,
+// frame-accurate fall-onset/impact annotations, and the two source
+// flavours (KFall: m/s², rotated frame; worksite: g, native frame)
+// so the alignment pipeline is genuinely exercised.
+package synth
+
+import "fmt"
+
+// Category classifies a task for reporting; fall categories follow
+// the paper's macro-categories (§II-B).
+type Category int
+
+const (
+	// ADLStatic covers stationary activities (stand, sit, lie).
+	ADLStatic Category = iota
+	// ADLLocomotion covers walking, jogging, stairs.
+	ADLLocomotion
+	// ADLTransition covers posture changes (sit down, lie down, bend).
+	ADLTransition
+	// ADLNearFall covers the hard negatives (jump, stumble, collapse
+	// into a chair) whose signals flirt with the fall signature.
+	ADLNearFall
+	// FallFromWalking covers slips/trips/fainting during gait.
+	FallFromWalking
+	// FallFromSitting covers falls out of or onto a seat.
+	FallFromSitting
+	// FallFromStanding covers falls during posture transitions.
+	FallFromStanding
+	// FallFromHeight covers ladder/scaffold falls (worksite-specific).
+	FallFromHeight
+)
+
+// IsFall reports whether the category describes a fall.
+func (c Category) IsFall() bool { return c >= FallFromWalking }
+
+// Task is one Table II activity.
+type Task struct {
+	ID       int
+	Name     string
+	Category Category
+	// InKFall marks the 36 tasks (21 ADLs + 15 falls) present in the
+	// KFall-style dataset; the remaining 8 are worksite extensions.
+	InKFall bool
+	// Red marks ADLs the paper colours red in Table IVb: activities
+	// that at-risk wearers (elderly, construction workers in harness)
+	// rarely perform, so their false positives matter less.
+	Red bool
+}
+
+// IsFall reports whether the task ends in a fall.
+func (t Task) IsFall() bool { return t.Category.IsFall() }
+
+// tasks is the full Table II registry, indexed by ID-1.
+var tasks = []Task{
+	{1, "Stand for 30 seconds", ADLStatic, true, false},
+	{2, "Stand, slowly bend, tie shoe lace, and get up", ADLTransition, true, false},
+	{3, "Pick up an object from the floor", ADLTransition, true, false},
+	{4, "Gently jump (try to reach an object)", ADLNearFall, true, true},
+	{5, "Stand, sit to the ground, wait, and get up", ADLTransition, true, false},
+	{6, "Walk normally with turn", ADLLocomotion, true, false},
+	{7, "Walk quickly with turn", ADLLocomotion, true, false},
+	{8, "Jog normally with turn", ADLLocomotion, true, true},
+	{9, "Jog quickly with turn", ADLLocomotion, true, true},
+	{10, "Stumble with obstacle while walking", ADLNearFall, true, true},
+	{11, "Sit on a chair for 30 seconds", ADLStatic, true, false},
+	{12, "Walk downstairs normally", ADLLocomotion, true, false},
+	{13, "Sit down to a chair and get up, normal speed", ADLTransition, true, false},
+	{14, "Sit down to a chair and get up, quickly", ADLTransition, true, true},
+	{15, "Try to get up and collapse into a chair", ADLNearFall, true, true},
+	{16, "Walk downstairs quickly", ADLLocomotion, true, true},
+	{17, "Lie on the floor for 30 seconds", ADLStatic, true, false},
+	{18, "Lie down to the floor and get up, normal speed", ADLTransition, true, false},
+	{19, "Lie down to the floor and get up, quickly", ADLNearFall, true, true},
+	{20, "Forward fall when trying to sit down", FallFromSitting, true, false},
+	{21, "Backward fall when trying to sit down", FallFromSitting, true, false},
+	{22, "Lateral fall when trying to sit down", FallFromSitting, true, false},
+	{23, "Forward fall when trying to get up", FallFromStanding, true, false},
+	{24, "Lateral fall when trying to get up", FallFromStanding, true, false},
+	{25, "Forward fall while sitting, caused by fainting", FallFromSitting, true, false},
+	{26, "Lateral fall while sitting, caused by fainting", FallFromSitting, true, false},
+	{27, "Backward fall while sitting, caused by fainting", FallFromSitting, true, false},
+	{28, "Vertical (forward) fall while walking caused by fainting", FallFromWalking, true, false},
+	{29, "Fall while walking, use of hands to dampen fall (fainting)", FallFromWalking, true, false},
+	{30, "Forward fall while walking caused by a trip", FallFromWalking, true, false},
+	{31, "Forward fall while jogging caused by a trip", FallFromWalking, true, false},
+	{32, "Forward fall while walking caused by a slip", FallFromWalking, true, false},
+	{33, "Lateral fall while walking caused by a slip", FallFromWalking, true, false},
+	{34, "Backward fall while walking caused by a slip", FallFromWalking, true, false},
+	{35, "Walk upstairs normally", ADLLocomotion, true, false},
+	{36, "Walk upstairs quickly", ADLLocomotion, true, true},
+	{37, "Backward fall while slowly moving back", FallFromStanding, false, false},
+	{38, "Backward fall while quickly moving back", FallFromStanding, false, false},
+	{39, "Forward fall from height", FallFromHeight, false, false},
+	{40, "Backward fall from height", FallFromHeight, false, false},
+	{41, "Backward fall while trying to climb up the ladder", FallFromHeight, false, false},
+	{42, "Backward fall while trying to climb down the ladder", FallFromHeight, false, false},
+	{43, "Climb up and climb down the stairs", ADLLocomotion, false, false},
+	{44, "Walk slowly and jump over the obstacle", ADLNearFall, false, true},
+}
+
+// NumTasks is the number of Table II activities.
+const NumTasks = 44
+
+// TaskByID returns the task with the given Table II id.
+func TaskByID(id int) (Task, error) {
+	if id < 1 || id > NumTasks {
+		return Task{}, fmt.Errorf("synth: task id %d outside [1,%d]", id, NumTasks)
+	}
+	return tasks[id-1], nil
+}
+
+// AllTasks returns the full registry (a copy).
+func AllTasks() []Task {
+	out := make([]Task, len(tasks))
+	copy(out, tasks)
+	return out
+}
+
+// WorksiteTasks returns all 44 task ids (23 ADLs + 21 falls).
+func WorksiteTasks() []int {
+	ids := make([]int, 0, NumTasks)
+	for _, t := range tasks {
+		ids = append(ids, t.ID)
+	}
+	return ids
+}
+
+// KFallTasks returns the 36 KFall task ids (21 ADLs + 15 falls).
+func KFallTasks() []int {
+	var ids []int
+	for _, t := range tasks {
+		if t.InKFall {
+			ids = append(ids, t.ID)
+		}
+	}
+	return ids
+}

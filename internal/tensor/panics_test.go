@@ -1,0 +1,49 @@
+package tensor
+
+import "testing"
+
+// expectPanic runs f and fails the test when it does not panic.
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestPanicPaths(t *testing.T) {
+	a := New(2, 3)
+	b := New(3, 3)
+	v := New(4)
+
+	expectPanic(t, "AddScaled mismatch", func() { a.AddScaled(1, v) })
+	expectPanic(t, "Dot mismatch", func() { Dot(v, New(5)) })
+	expectPanic(t, "MatMul non-2d", func() { MatMul(v, a) })
+	expectPanic(t, "MatMul inner dims", func() { MatMul(a, New(2, 2)) })
+	expectPanic(t, "MatVec non-matching", func() { MatVec(a, v) })
+	expectPanic(t, "MatVec wrong ranks", func() { MatVec(v, v) })
+	expectPanic(t, "Transpose 1d", func() { Transpose(v) })
+	expectPanic(t, "wrong index count", func() { a.At(1) })
+	expectPanic(t, "negative index", func() { a.At(-1, 0) })
+	_ = b
+}
+
+func TestEmptyishReductions(t *testing.T) {
+	// Single-element tensors exercise the degenerate reduction paths.
+	s := FromSlice([]float64{-2}, 1)
+	if s.Max() != -2 || s.Min() != -2 || s.AbsMax() != 2 {
+		t.Fatal("single-element reductions")
+	}
+	if s.Mean() != -2 || s.Std() != 0 {
+		t.Fatal("single-element stats")
+	}
+}
+
+func TestScalarShapedTensor(t *testing.T) {
+	s := New() // no dims: one element
+	if s.Len() != 1 || s.Dims() != 0 {
+		t.Fatalf("scalar tensor: len %d dims %d", s.Len(), s.Dims())
+	}
+}

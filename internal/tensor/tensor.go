@@ -1,0 +1,336 @@
+// Package tensor provides small dense numeric tensors used by the
+// neural-network and signal-processing substrates.
+//
+// Tensors are row-major float64 buffers with an explicit shape. The
+// package favours clarity and predictable allocation over raw speed:
+// the models in this repository are deliberately tiny (the paper's
+// whole point is fitting in 256 KiB of flash), so a straightforward
+// implementation is fast enough while remaining auditable.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major float64 tensor.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero tensor with the given shape.
+// New() with no arguments returns a scalar-shaped tensor of one element.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is
+// used directly (not copied); len(data) must equal the shape product.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elements, got %d", shape, n, len(data)))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not
+// be modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying buffer. Mutations are visible to the
+// tensor; this is the intended way for hot loops to access storage.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float64, len(t.data))
+	copy(d, t.data)
+	s := make([]int, len(t.shape))
+	copy(s, t.shape)
+	return &Tensor{shape: s, data: d}
+}
+
+// Reshape returns a view of the same data with a new shape. The total
+// element count must be unchanged.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.shape, len(t.data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+// index computes the flat offset for the given multi-index.
+func (t *Tensor) index(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for %d-d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for k, i := range idx {
+		if i < 0 || i >= t.shape[k] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", i, t.shape[k], k))
+		}
+		off = off*t.shape[k] + i
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.index(idx...)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.index(idx...)] = v }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Apply replaces each element x with f(x).
+func (t *Tensor) Apply(f func(float64) float64) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// AddScaled adds alpha*o element-wise into t. Shapes must match in
+// element count.
+func (t *Tensor) AddScaled(alpha float64, o *Tensor) {
+	if len(t.data) != len(o.data) {
+		panic("tensor: AddScaled size mismatch")
+	}
+	for i, v := range o.data {
+		t.data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (t *Tensor) Scale(alpha float64) {
+	for i := range t.data {
+		t.data[i] *= alpha
+	}
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element.
+func (t *Tensor) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range t.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AbsMax returns max(|x|) over all elements (0 for empty data).
+func (t *Tensor) AbsMax() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Std returns the population standard deviation.
+func (t *Tensor) Std() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	mu := t.Mean()
+	s := 0.0
+	for _, v := range t.data {
+		d := v - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(t.data)))
+}
+
+// Equal reports whether t and o have identical shapes and all elements
+// within eps of each other.
+func (t *Tensor) Equal(o *Tensor, eps float64) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	for i := range t.data {
+		if math.Abs(t.data[i]-o.data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.shape)
+	if len(t.data) <= 16 {
+		fmt.Fprintf(&b, "%v", t.data)
+	} else {
+		fmt.Fprintf(&b, "[%g %g ... %g]", t.data[0], t.data[1], t.data[len(t.data)-1])
+	}
+	return b.String()
+}
+
+// MatMul computes C = A·B for 2-D tensors A[m×k], B[k×n] into a new
+// tensor C[m×n].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMul needs 2-D operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatVec computes y = A·x for A[m×n], x[n] into a new length-m tensor.
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Dims() != 2 || x.Dims() != 1 {
+		panic("tensor: MatVec needs 2-D matrix and 1-D vector")
+	}
+	m, n := a.shape[0], a.shape[1]
+	if n != x.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec dims %d != %d", n, x.shape[0]))
+	}
+	y := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		y.data[i] = s
+	}
+	return y
+}
+
+// Dot returns the inner product of two 1-D tensors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.data) != len(b.data) {
+		panic("tensor: Dot size mismatch")
+	}
+	s := 0.0
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s
+}
+
+// Transpose returns a new 2-D tensor that is the transpose of a.
+func Transpose(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic("tensor: Transpose needs a 2-D tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return t
+}
+
+// Concat1D concatenates 1-D tensors into a single 1-D tensor.
+func Concat1D(parts ...*Tensor) *Tensor {
+	n := 0
+	for _, p := range parts {
+		n += len(p.data)
+	}
+	out := New(n)
+	off := 0
+	for _, p := range parts {
+		copy(out.data[off:], p.data)
+		off += len(p.data)
+	}
+	return out
+}
