@@ -13,6 +13,7 @@
 //	fallbench -exp ablation          §III-C     imbalance-countermeasure ablation
 //	fallbench -exp kd                extension  PreFallKD-style distillation
 //	fallbench -exp session           extension  continuous wear, false alarms/hour
+//	fallbench -exp robustness        extension  sensor-fault injection sweep
 //	fallbench -exp all               everything above
 //
 // -scale ci (default) runs a reduced cohort in minutes; -scale paper
@@ -141,10 +142,11 @@ func main() {
 	run("edge", func() error { return expEdge(data, sc, *seed) })
 	run("kd", func() error { return expKD(data, sc, *seed) })
 	run("session", func() error { return expSession(data, sc, *seed) })
+	run("robustness", func() error { return expRobustness(data, sc, *seed) })
 	run("pipeline", func() error { return expPipeline(data, sc, *seed) })
 
 	switch *exp {
-	case "all", "fig1", "table1", "table2", "table3", "table4", "sweep", "ablation", "edge", "kd", "session", "pipeline":
+	case "all", "fig1", "table1", "table2", "table3", "table4", "sweep", "ablation", "edge", "kd", "session", "robustness", "pipeline":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

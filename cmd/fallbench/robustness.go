@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/falldet"
+	"repro/internal/report"
+)
+
+// expRobustness is the sensor-fault robustness sweep: the trained CNN
+// replayed through the hardened streaming pipeline while a fault
+// injector corrupts the sensor between the recording and the
+// detector. Each fault kind is swept over severities and compared
+// against the clean baseline — the deployment question is not "how
+// accurate is the model" but "how much detector survives a sensor
+// that drops, clips, drifts or emits garbage". The table is written
+// to stdout and to results_robustness.txt.
+func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
+	cfg := sc.config(400, 0.75, seed) // dense stride, as in deployment
+	fmt.Println("training the CNN for the robustness sweep...")
+	det, err := falldet.Train(data, falldet.KindCNN, cfg)
+	if err != nil {
+		return err
+	}
+
+	rep, err := det.EvaluateRobustness(data, falldet.RobustnessConfig{
+		Severities: []float64{0.1, 0.25, 0.5},
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create("results_robustness.txt")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := io.MultiWriter(os.Stdout, f)
+
+	fmt.Fprintf(w, "Robustness sweep — CNN, 400 ms / 75 %% stride, scale=%s seed=%d\n", sc.name, seed)
+	fmt.Fprintf(w, "%d fall trials, %d ADL trials; deltas vs clean baseline\n\n",
+		rep.Clean.FallTrials, rep.Clean.ADLTrials)
+
+	tb := &report.Table{
+		Headers: []string{"Fault", "Severity", "Recall %", "ΔRecall",
+			"In-time %", "Lead ms", "ΔLead ms", "FA/h", "Quarantined", "Missing", "NaN scores"},
+	}
+	addRow := func(p falldet.RobustnessPoint) {
+		tb.AddRow(p.Fault,
+			fmt.Sprintf("%.2f", p.Severity),
+			fmt.Sprintf("%.1f", 100*p.Recall),
+			fmt.Sprintf("%+.1f", -p.DeltaRecall(rep.Clean)),
+			fmt.Sprintf("%.1f", 100*p.InTime),
+			fmt.Sprintf("%.0f", p.MeanLeadMS),
+			fmt.Sprintf("%+.0f", -p.DeltaLeadMS(rep.Clean)),
+			fmt.Sprintf("%.2f", p.FalseAlarmsPerHour),
+			p.Quarantined, p.Missing, p.BadScores)
+	}
+	addRow(rep.Clean)
+	for _, p := range rep.Points {
+		addRow(p)
+	}
+	tb.Fprint(w)
+
+	badScores := 0
+	for _, p := range rep.Points {
+		badScores += p.BadScores
+	}
+	fmt.Fprintf(w, "\nnon-finite probabilities across the whole sweep: %d (hardened pipeline target: 0)\n", badScores)
+	fmt.Fprintln(w, "degradation policy: short gaps bridged (Degraded), long gaps re-prime +")
+	fmt.Fprintln(w, "full-window warm-up, NaN/Inf quarantined, >25 % anomalous window → Faulted")
+	fmt.Fprintln(os.Stderr, "robustness: wrote results_robustness.txt")
+	return nil
+}

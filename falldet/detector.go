@@ -106,10 +106,17 @@ func (det *Detector) Evaluate(segs []Segment) nn.Confusion {
 
 // Stream wraps the detector in the real-time on-device pipeline.
 func (det *Detector) Stream() (*StreamDetector, error) {
+	// det.cfg went through withDefaults, so Threshold is the resolved
+	// value and a literal 0 is intentional — spell it in the sentinel
+	// form edge expects (its own zero value means "unset").
+	thr := det.cfg.Threshold
+	if thr == 0 {
+		thr = edge.ThresholdAlways
+	}
 	return edge.NewDetector(det.model, edge.DetectorConfig{
 		WindowMS:  det.cfg.WindowMS,
 		Overlap:   det.cfg.Overlap,
-		Threshold: det.cfg.Threshold,
+		Threshold: thr,
 	})
 }
 

@@ -55,6 +55,14 @@ type (
 	Device = edge.Device
 )
 
+// Decision-threshold sentinels, mirroring package edge: a Config zero
+// value means "unset" and picks DefaultThreshold, so an explicit
+// threshold of 0 is spelled ThresholdAlways (any negative value).
+const (
+	DefaultThreshold = edge.DefaultThreshold
+	ThresholdAlways  = edge.ThresholdAlways
+)
+
 // Model family selectors.
 const (
 	KindCNN           = model.KindCNN
@@ -131,7 +139,9 @@ type Config struct {
 	MaxTrainNeg int
 	// Folds and ValSubjects configure cross-validation (defaults 5/4).
 	Folds, ValSubjects int
-	// Threshold is the trigger probability (default 0.5).
+	// Threshold is the trigger probability. The zero value selects the
+	// default (0.5); negative values (see ThresholdAlways) select an
+	// explicit threshold of 0, i.e. trigger on every evaluated window.
 	Threshold float64
 	// NoThresholdTuning disables the per-fold validation-set tuning
 	// of the decision threshold. Tuning is on by default: the paper
@@ -175,8 +185,11 @@ func (c Config) withDefaults() Config {
 	if c.ValSubjects == 0 {
 		c.ValSubjects = 4
 	}
-	if c.Threshold == 0 {
-		c.Threshold = 0.5
+	switch {
+	case c.Threshold == 0:
+		c.Threshold = DefaultThreshold
+	case c.Threshold < 0:
+		c.Threshold = 0
 	}
 	return c
 }
@@ -211,10 +224,14 @@ func CrossValidate(d *Dataset, kind Kind, cfg Config) (*Result, error) {
 }
 
 // EventAnalysis derives the Table IV event-level statistics from a
-// cross-validation result.
+// cross-validation result. The threshold follows the Config sentinel
+// convention: 0 selects DefaultThreshold, negative selects a literal 0.
 func EventAnalysis(res *Result, threshold float64) EventStats {
-	if threshold == 0 {
-		threshold = 0.5
+	switch {
+	case threshold == 0:
+		threshold = DefaultThreshold
+	case threshold < 0:
+		threshold = 0
 	}
 	return eval.EventAnalysis(res.AllScored(), threshold)
 }

@@ -114,6 +114,129 @@ func TestDetectorWithFixedPointFilters(t *testing.T) {
 	}
 }
 
+func TestFixedFilterParityAtFullScale(t *testing.T) {
+	// Sustained full-scale saturation — the accelerometer pinned at
+	// ±16 g and the gyro at ±2000 deg/s during a violent impact — is
+	// where Q16.16 accumulators are most stressed. The fixed cascade
+	// must track the float cascade without overflow across both
+	// magnitudes.
+	for _, fs := range []float64{16, 2000} {
+		f := dsp.MustButterworth(4, 5, 100)
+		ff, err := NewFixedFilter(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Prime(0)
+		ff.Prime(0)
+		maxErr := 0.0
+		for i := 0; i < 500; i++ {
+			x := fs // hard rail
+			if i%100 >= 50 {
+				x = -fs // alternating rail-to-rail slam
+			}
+			yf := f.Process(x)
+			yq := ff.Process(x)
+			if math.IsNaN(yq) || math.IsInf(yq, 0) {
+				t.Fatalf("fs=%g: fixed filter emitted non-finite at %d", fs, i)
+			}
+			if e := math.Abs(yf - yq); e > maxErr {
+				maxErr = e
+			}
+		}
+		// Tolerance scales with the signal: quantization error is
+		// relative to full scale for the multiply-heavy cascade.
+		if maxErr > 2e-3*fs+1e-2 {
+			t.Fatalf("fs=%g: full-scale divergence %g too large", fs, maxErr)
+		}
+	}
+}
+
+func TestFixedFilterParityAfterStepDiscontinuity(t *testing.T) {
+	// A long gap re-primes the cascade on the first fresh sample; the
+	// fixed-point Prime must land on the same steady state as the
+	// float Prime even when the priming value is a worst-case step
+	// away from the previous state (e.g. 1 g standing → −16 g rail).
+	for _, step := range []float64{16, -16, 0.001, -2000, 2000} {
+		f := dsp.MustButterworth(4, 5, 100)
+		ff, err := NewFixedFilter(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drive both into an arbitrary state, then re-prime at the step.
+		for i := 0; i < 60; i++ {
+			f.Process(1)
+			ff.Process(1)
+		}
+		f.Prime(step)
+		ff.Prime(step)
+		scale := math.Max(1, math.Abs(step))
+		for i := 0; i < 200; i++ {
+			yf := f.Process(step)
+			yq := ff.Process(step)
+			if math.IsNaN(yq) || math.IsInf(yq, 0) {
+				t.Fatalf("step %g: non-finite output at %d", step, i)
+			}
+			if e := math.Abs(yf - yq); e > 5e-3*scale+1e-2 {
+				t.Fatalf("step %g: post-reprime divergence %g at sample %d (float %g, fixed %g)",
+					step, e, i, yf, yq)
+			}
+		}
+	}
+}
+
+func TestFixedPointDetectorParityUnderSaturatedFall(t *testing.T) {
+	// End-to-end: a synthetic free-fall-then-impact stream whose impact
+	// spike rails at the sensor full scale, replayed through the float
+	// and fixed-point pipelines with a long gap in the middle. The
+	// probabilities the two pipelines hand the classifier must agree
+	// closely enough that trigger decisions cannot diverge at any
+	// reasonable threshold.
+	mk := func(fixed bool) *Detector {
+		clf, _ := newThresholdForTest()
+		det, err := NewDetector(clf, DetectorConfig{
+			WindowMS: 200, Overlap: 0.75, FixedPoint: fixed,
+			FullScaleG: 16, FullScaleDPS: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	a, b := mk(false), mk(true)
+	push := func(i int) (Result, Result) {
+		acc, gyro := imu.Vec3{Z: 1}, imu.Vec3{}
+		switch {
+		case i >= 120 && i < 170: // free fall
+			acc = imu.Vec3{Z: 0.05}
+			gyro = imu.Vec3{Y: 180}
+		case i >= 170 && i < 175: // saturated impact spike
+			acc = imu.Vec3{X: 16, Y: -16, Z: 16}
+			gyro = imu.Vec3{X: 2000, Y: -2000, Z: 2000}
+		}
+		return a.Push(acc, gyro), b.Push(acc, gyro)
+	}
+	for i := 0; i < 100; i++ {
+		push(i)
+	}
+	// Long gap: both pipelines must take the same holdoff path.
+	ra, rb := a.PushMissing(30), b.PushMissing(30)
+	if ra.Health != rb.Health {
+		t.Fatalf("health diverged across gap: float %v, fixed %v", ra.Health, rb.Health)
+	}
+	for i := 100; i < 300; i++ {
+		ra, rb := push(i)
+		if ra.Evaluated != rb.Evaluated {
+			t.Fatalf("stride/holdoff divergence at %d", i)
+		}
+		if ra.Evaluated {
+			if math.Abs(ra.Probability-rb.Probability) > 0.05 {
+				t.Fatalf("probability divergence at %d: float %g, fixed %g",
+					i, ra.Probability, rb.Probability)
+			}
+		}
+	}
+}
+
 func newThresholdForTest() (model.Classifier, error) {
 	return model.NewThreshold(model.KindThresholdAcc)
 }

@@ -1,0 +1,105 @@
+package edge
+
+// Health is the streaming pipeline's degradation state, derived from
+// the anomaly density of the most recent window of ingestion events
+// (real, quarantined or missing samples).
+//
+// The policy is conservative in the direction a pre-impact airbag
+// needs: a Degraded pipeline keeps classifying (a bridged two-sample
+// gap must not blind the detector during a fall), while a Faulted
+// pipeline suppresses evaluation entirely — firing a single-use
+// cartridge off garbage is worse than missing a window, and the
+// health state is surfaced so the wearer can be alerted to a dead
+// sensor instead of trusting it silently.
+type Health int
+
+const (
+	// HealthHealthy: no anomalies in the last window of samples.
+	HealthHealthy Health = iota
+	// HealthDegraded: some anomalies, but few enough that bridged
+	// ingestion keeps the window trustworthy; classification runs.
+	HealthDegraded
+	// HealthFaulted: too much of the window is reconstructed or
+	// missing; classification is suppressed until the stream recovers.
+	HealthFaulted
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthFaulted:
+		return "faulted"
+	default:
+		return "health(?)"
+	}
+}
+
+// faultedFraction is the anomaly density over the health window at
+// which the pipeline stops trusting its ring buffer.
+const faultedFraction = 0.25
+
+// healthRing tracks which of the last N ingestion events were
+// anomalous (quarantined or missing samples).
+type healthRing struct {
+	flags []bool
+	pos   int
+	bad   int
+}
+
+func newHealthRing(n int) *healthRing {
+	return &healthRing{flags: make([]bool, n)}
+}
+
+func (h *healthRing) reset() {
+	for i := range h.flags {
+		h.flags[i] = false
+	}
+	h.pos, h.bad = 0, 0
+}
+
+func (h *healthRing) observe(anomalous bool) {
+	if h.flags[h.pos] {
+		h.bad--
+	}
+	h.flags[h.pos] = anomalous
+	if anomalous {
+		h.bad++
+	}
+	h.pos = (h.pos + 1) % len(h.flags)
+}
+
+func (h *healthRing) health() Health {
+	switch {
+	case h.bad == 0:
+		return HealthHealthy
+	case float64(h.bad) > faultedFraction*float64(len(h.flags)):
+		return HealthFaulted
+	default:
+		return HealthDegraded
+	}
+}
+
+// FaultStats counts the anomalies a detector has absorbed since the
+// last Reset; it is diagnostic surface for deployment telemetry and
+// for the robustness harness's "zero NaN scores" acceptance gate.
+type FaultStats struct {
+	// Quarantined counts samples rejected for non-finite components.
+	Quarantined int
+	// Missing counts samples reported absent via PushMissing.
+	Missing int
+	// Bridged counts missing/quarantined samples reconstructed by
+	// sample-and-hold (short gaps only).
+	Bridged int
+	// Clamped counts samples clipped to the sensor full-scale range.
+	Clamped int
+	// Holdoffs counts long gaps that forced a filter re-prime and a
+	// full-window warm-up before classification resumed.
+	Holdoffs int
+	// BadScores counts classifier outputs that were non-finite and
+	// sanitised to 0 (should stay 0: the input guards exist so the
+	// model never sees garbage).
+	BadScores int
+}

@@ -1,0 +1,247 @@
+package edge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/imu"
+	"repro/internal/model"
+	"repro/internal/synth"
+)
+
+func newThresholdDetector(t *testing.T, cfg DetectorConfig) *Detector {
+	t.Helper()
+	clf, err := model.NewThreshold(model.KindThresholdAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(clf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestPushQuarantinesNonFinite(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 200, Overlap: 0.5})
+	for i := 0; i < 30; i++ {
+		det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+	}
+	r := det.Push(imu.Vec3{X: math.NaN(), Z: 1}, imu.Vec3{})
+	if !r.Quarantined {
+		t.Fatal("NaN sample not quarantined")
+	}
+	r = det.Push(imu.Vec3{Z: math.Inf(1)}, imu.Vec3{})
+	if !r.Quarantined {
+		t.Fatal("Inf sample not quarantined")
+	}
+	if st := det.Stats(); st.Quarantined != 2 {
+		t.Fatalf("Quarantined = %d, want 2", st.Quarantined)
+	}
+	// The stream continues and probabilities stay finite.
+	for i := 0; i < 100; i++ {
+		r := det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+		if r.Evaluated && (math.IsNaN(r.Probability) || math.IsInf(r.Probability, 0)) {
+			t.Fatal("non-finite probability after quarantine")
+		}
+	}
+}
+
+func TestPushClampsFullScale(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{
+		WindowMS: 200, Overlap: 0.5, FullScaleG: 8, FullScaleDPS: 500,
+	})
+	r := det.Push(imu.Vec3{Z: 100}, imu.Vec3{X: 9000})
+	if !r.Clamped {
+		t.Fatal("over-range sample not flagged as clamped")
+	}
+	if det.Stats().Clamped != 1 {
+		t.Fatal("Clamped counter not incremented")
+	}
+	if r2 := det.Push(imu.Vec3{Z: 1}, imu.Vec3{}); r2.Clamped {
+		t.Fatal("in-range sample flagged as clamped")
+	}
+}
+
+func TestShortGapBridgedKeepsEvaluating(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 200, Overlap: 0.5})
+	evals := 0
+	for i := 0; i < 200; i++ {
+		var r Result
+		if i%50 == 25 { // isolated single-sample drops
+			r = det.PushMissing(1)
+		} else {
+			r = det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+		}
+		if r.Evaluated {
+			evals++
+		}
+	}
+	if evals == 0 {
+		t.Fatal("bridged gaps suppressed all evaluation")
+	}
+	st := det.Stats()
+	if st.Missing != 4 || st.Bridged != 4 || st.Holdoffs != 0 {
+		t.Fatalf("stats %+v: want 4 missing, all bridged, no holdoffs", st)
+	}
+}
+
+func TestLongGapForcesWarmupHoldoff(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 200, Overlap: 0.5})
+	for i := 0; i < 60; i++ { // fill the ring, evaluations flowing
+		det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+	}
+	det.PushMissing(30) // far beyond the bridge limit
+	if det.Stats().Holdoffs != 1 {
+		t.Fatalf("Holdoffs = %d, want 1", det.Stats().Holdoffs)
+	}
+	// The next Window-1 fresh samples must not evaluate: the ring
+	// still holds pre-gap rows.
+	for i := 0; i < det.Window-1; i++ {
+		if r := det.Push(imu.Vec3{Z: 1}, imu.Vec3{}); r.Evaluated {
+			t.Fatalf("evaluated %d samples after a long gap (window %d)", i+1, det.Window)
+		}
+	}
+	// Within one further stride the pipeline must evaluate again.
+	evaluated := false
+	for i := 0; i < det.Window+det.Step; i++ {
+		if r := det.Push(imu.Vec3{Z: 1}, imu.Vec3{}); r.Evaluated {
+			evaluated = true
+			break
+		}
+	}
+	if !evaluated {
+		t.Fatal("pipeline never recovered after the holdoff")
+	}
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 200, Overlap: 0.5})
+	if det.Health() != HealthHealthy {
+		t.Fatal("fresh detector not healthy")
+	}
+	for i := 0; i < det.Window; i++ {
+		det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+	}
+	if det.Health() != HealthHealthy {
+		t.Fatal("clean stream not healthy")
+	}
+	// A single missing sample degrades.
+	det.PushMissing(1)
+	if det.Health() != HealthDegraded {
+		t.Fatalf("health after one gap = %v, want degraded", det.Health())
+	}
+	// Losing more than a quarter of the window faults.
+	det.PushMissing(det.Window / 2)
+	if det.Health() != HealthFaulted {
+		t.Fatalf("health after massive loss = %v, want faulted", det.Health())
+	}
+	// While faulted, stride completions must not evaluate.
+	for i := 0; i < 2; i++ {
+		if r := det.Push(imu.Vec3{Z: 1}, imu.Vec3{}); r.Evaluated {
+			t.Fatal("evaluated while faulted")
+		}
+	}
+	// A clean window of samples restores full health.
+	for i := 0; i < det.Window+1; i++ {
+		det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+	}
+	if det.Health() != HealthHealthy {
+		t.Fatalf("health after recovery = %v, want healthy", det.Health())
+	}
+	// Reset clears counters and health.
+	det.PushMissing(det.Window)
+	det.Reset()
+	if det.Health() != HealthHealthy || det.Stats() != (FaultStats{}) {
+		t.Fatal("Reset did not clear health/stats")
+	}
+}
+
+func TestThresholdSentinels(t *testing.T) {
+	clf, _ := model.NewThreshold(model.KindThresholdAcc)
+	d1, err := NewDetector(clf, DetectorConfig{WindowMS: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Threshold != DefaultThreshold {
+		t.Fatalf("unset threshold resolved to %g, want %g", d1.Threshold, DefaultThreshold)
+	}
+	d2, err := NewDetector(clf, DetectorConfig{WindowMS: 200, Threshold: ThresholdAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Threshold != 0 {
+		t.Fatalf("ThresholdAlways resolved to %g, want 0", d2.Threshold)
+	}
+	// Threshold 0 really does trigger on every evaluated window.
+	for i := 0; i < 40; i++ {
+		r := d2.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+		if r.Evaluated && !r.Triggered {
+			t.Fatal("threshold 0 did not trigger on an evaluated window")
+		}
+	}
+	d3, err := NewDetector(clf, DetectorConfig{WindowMS: 200, Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Threshold != 0.9 {
+		t.Fatalf("explicit threshold mangled: %g", d3.Threshold)
+	}
+}
+
+// TestModerateFaultsPreserveRecall is the acceptance gate: ≤5 %
+// dropout and sparse NaN bursts must cost at most 5 recall points
+// versus clean, with zero panics and zero non-finite probabilities.
+func TestModerateFaultsPreserveRecall(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 200, Overlap: 0.75})
+
+	// A batch of synthetic fall trials across fall tasks.
+	rng := rand.New(rand.NewSource(5))
+	var trials []dataset.Trial
+	for _, taskID := range []int{20, 23, 28, 30, 31, 32, 33, 34} {
+		task, err := synth.TaskByID(taskID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			subj := synth.NewSubject(100+rep, rng)
+			trials = append(trials, synth.GenerateTrial(subj, task, rep, 6, rng))
+		}
+	}
+
+	recall := func(inj fault.Injector) float64 {
+		hit := 0
+		for i := range trials {
+			sim := det.SimulateFaulty(&trials[i], inj)
+			if det.Stats().BadScores != 0 {
+				t.Fatal("non-finite probability under fault injection")
+			}
+			if sim.Triggered {
+				hit++
+			}
+		}
+		return float64(hit) / float64(len(trials))
+	}
+
+	clean := recall(nil)
+	if clean < 0.7 {
+		t.Fatalf("clean recall %.2f too low for the gate to be meaningful", clean)
+	}
+	for _, tc := range []struct {
+		name string
+		inj  fault.Injector
+	}{
+		{"5% dropout", fault.NewDropout(0.05, 3, 42)},
+		{"nan bursts", fault.NewNaNBurst(0.005, 3, 42)},
+		{"dropout+nan", fault.Chain{fault.NewDropout(0.05, 3, 1), fault.NewNaNBurst(0.005, 3, 2)}},
+	} {
+		got := recall(tc.inj)
+		if clean-got > 0.05 {
+			t.Errorf("%s: recall %.3f vs clean %.3f — degraded more than 5 points",
+				tc.name, got, clean)
+		}
+	}
+}

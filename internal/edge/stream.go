@@ -2,9 +2,11 @@ package edge
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dataset"
 	"repro/internal/dsp"
+	"repro/internal/fault"
 	"repro/internal/imu"
 	"repro/internal/model"
 	"repro/internal/tensor"
@@ -15,6 +17,15 @@ import (
 // filtered causally (the streaming counterpart of the offline
 // zero-phase filter), and pushed into a ring buffer; every Step
 // samples, the most recent Window samples are classified.
+//
+// The pipeline does not trust its sensor. Non-finite readings are
+// quarantined, readings beyond the configured full-scale range are
+// clamped, and missing samples (reported via PushMissing) are bridged
+// by sample-and-hold when the gap is short or force a filter re-prime
+// plus a full-window warm-up when it is not — classifying a ring
+// buffer that is half stale is how a fall gets missed or an airbag
+// fires on garbage. The resulting Healthy/Degraded/Faulted state is
+// surfaced on every Result.
 type Detector struct {
 	Window, Step int
 	Threshold    float64
@@ -25,6 +36,17 @@ type Detector struct {
 
 	ring  []float64 // Window × 9, circular by row
 	count int       // samples ingested
+
+	fullScaleG   float64
+	fullScaleDPS float64
+
+	reprime     bool // filters must re-prime on the next real sample
+	gapRun      int  // consecutive missing/quarantined samples so far
+	freshNeeded int  // samples to ingest before classification resumes
+	lastRow     [imu.NumChannels]float64
+	haveLast    bool
+	health      *healthRing
+	stats       FaultStats
 }
 
 // streamFilter is the causal per-channel pre-filter; satisfied by
@@ -35,17 +57,40 @@ type streamFilter interface {
 	Reset()
 }
 
+// DefaultThreshold is the trigger probability applied when
+// DetectorConfig.Threshold is left at its zero value.
+const DefaultThreshold = 0.5
+
+// ThresholdAlways is an explicit zero decision threshold: every
+// evaluated window triggers. Any negative Threshold selects it — the
+// zero value of DetectorConfig.Threshold means "unset" and picks
+// DefaultThreshold instead, so a literal 0 needs a distinct spelling.
+const ThresholdAlways = -1.0
+
+// maxBridgeSamples is the longest gap (in samples) bridged by
+// sample-and-hold; 50 ms at 100 Hz. Longer gaps cannot be papered
+// over — the pipeline re-primes and warms up instead.
+const maxBridgeSamples = 5
+
 // DetectorConfig sizes the streaming pipeline.
 type DetectorConfig struct {
 	// WindowMS and Overlap mirror the training segmentation.
 	WindowMS int
 	Overlap  float64
-	// Threshold is the trigger probability (default 0.5).
+	// Threshold is the trigger probability. The zero value selects
+	// DefaultThreshold (0.5); negative values select an explicit
+	// threshold of 0 (see ThresholdAlways).
 	Threshold float64
 	// FixedPoint selects the Q16.16 integer pre-filter instead of the
 	// float cascade, as fielded firmware often does to keep the FPU
 	// free for the CNN.
 	FixedPoint bool
+	// FullScaleG and FullScaleDPS are the sensor full-scale ranges;
+	// incoming readings are clamped to ±FullScale as the physical part
+	// would. Zero values select ±16 g and ±2000 deg/s, the widest
+	// common MEMS configuration.
+	FullScaleG   float64
+	FullScaleDPS float64
 }
 
 // NewDetector builds the pipeline around a trained classifier.
@@ -58,16 +103,34 @@ func NewDetector(clf model.Classifier, cfg DetectorConfig) (*Detector, error) {
 		return nil, fmt.Errorf("edge: overlap %g outside [0,1)", cfg.Overlap)
 	}
 	thr := cfg.Threshold
-	if thr == 0 {
-		thr = 0.5
+	switch {
+	case thr == 0:
+		thr = DefaultThreshold
+	case thr < 0:
+		thr = 0
+	}
+	fsG := cfg.FullScaleG
+	if fsG == 0 {
+		fsG = 16
+	}
+	fsDPS := cfg.FullScaleDPS
+	if fsDPS == 0 {
+		fsDPS = 2000
+	}
+	if fsG < 0 || fsDPS < 0 {
+		return nil, fmt.Errorf("edge: negative full-scale range (%g g, %g dps)", fsG, fsDPS)
 	}
 	d := &Detector{
-		Window:    win,
-		Step:      dsp.Step(win, cfg.Overlap),
-		Threshold: thr,
-		clf:       clf,
-		fusion:    imu.MustNewFusion(dataset.SampleRate, 0.5),
-		ring:      make([]float64, win*imu.NumChannels),
+		Window:       win,
+		Step:         dsp.Step(win, cfg.Overlap),
+		Threshold:    thr,
+		clf:          clf,
+		fusion:       imu.MustNewFusion(dataset.SampleRate, 0.5),
+		ring:         make([]float64, win*imu.NumChannels),
+		fullScaleG:   fsG,
+		fullScaleDPS: fsDPS,
+		reprime:      true,
+		health:       newHealthRing(win),
 	}
 	for c := range d.filters {
 		fl := dsp.MustButterworth(4, 5, dataset.SampleRate)
@@ -84,7 +147,8 @@ func NewDetector(clf model.Classifier, cfg DetectorConfig) (*Detector, error) {
 	return d, nil
 }
 
-// Reset clears all pipeline state.
+// Reset clears all pipeline state, including health and fault
+// counters.
 func (d *Detector) Reset() {
 	d.count = 0
 	d.fusion.Reset()
@@ -94,7 +158,19 @@ func (d *Detector) Reset() {
 	for i := range d.ring {
 		d.ring[i] = 0
 	}
+	d.reprime = true
+	d.gapRun = 0
+	d.freshNeeded = 0
+	d.haveLast = false
+	d.health.reset()
+	d.stats = FaultStats{}
 }
+
+// Health reports the pipeline's current degradation state.
+func (d *Detector) Health() Health { return d.health.health() }
+
+// Stats returns the fault counters accumulated since the last Reset.
+func (d *Detector) Stats() FaultStats { return d.stats }
 
 // Result is one Push outcome.
 type Result struct {
@@ -105,24 +181,128 @@ type Result struct {
 	Probability float64
 	// Triggered is true when the probability crossed the threshold.
 	Triggered bool
+	// Health is the pipeline's degradation state after this sample.
+	Health Health
+	// Quarantined is true when the pushed sample carried non-finite
+	// values and was treated as missing.
+	Quarantined bool
+	// Clamped is true when a component exceeded the sensor full-scale
+	// range and was clipped.
+	Clamped bool
+}
+
+func finiteVec(v imu.Vec3) bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+func clampFull(v imu.Vec3, lim float64, clipped *bool) imu.Vec3 {
+	cl := func(x float64) float64 {
+		if x > lim {
+			*clipped = true
+			return lim
+		}
+		if x < -lim {
+			*clipped = true
+			return -lim
+		}
+		return x
+	}
+	return imu.Vec3{X: cl(v.X), Y: cl(v.Y), Z: cl(v.Z)}
 }
 
 // Push ingests one raw sample (acceleration in g, angular rate in
-// deg/s) and runs the classifier when a stride completes.
+// deg/s) and runs the classifier when a stride completes. Non-finite
+// samples never reach the filters or the model: they are quarantined
+// and handled exactly like a missing sample.
 func (d *Detector) Push(acc, gyro imu.Vec3) Result {
+	if !finiteVec(acc) || !finiteVec(gyro) {
+		d.stats.Quarantined++
+		r := d.absorbMissing()
+		r.Quarantined = true
+		return r
+	}
+	clamped := false
+	acc = clampFull(acc, d.fullScaleG, &clamped)
+	gyro = clampFull(gyro, d.fullScaleDPS, &clamped)
+	if clamped {
+		d.stats.Clamped++
+	}
+	d.gapRun = 0
+
 	euler := d.fusion.Update(acc, gyro)
 	row := [imu.NumChannels]float64{
 		acc.X, acc.Y, acc.Z,
 		gyro.X, gyro.Y, gyro.Z,
 		euler.X, euler.Y, euler.Z,
 	}
-	if d.count == 0 {
-		// Prime the causal filters on the first reading so their
-		// startup transient (a ramp up from zero) is not mistaken for
-		// free fall.
+	d.ingest(row)
+	d.health.observe(false)
+	if d.freshNeeded > 0 {
+		d.freshNeeded--
+	}
+	r := d.maybeEvaluate()
+	r.Clamped = clamped
+	return r
+}
+
+// PushMissing accounts for n samples the sensor failed to deliver
+// (radio stall, bus error, jittering clock). Short gaps (up to
+// maxBridgeSamples) are bridged by re-filtering the last good reading
+// — the window stays classifiable, at Degraded health. Longer gaps
+// abandon bridging: the filters and fusion will re-prime on the next
+// real sample and classification is held off until a full window of
+// fresh samples has accumulated, so the model never scores a ring
+// buffer of stale contents. The returned Result reflects the state
+// after the last missing sample.
+func (d *Detector) PushMissing(n int) Result {
+	var r Result
+	r.Health = d.health.health()
+	for i := 0; i < n; i++ {
+		d.stats.Missing++
+		r = d.absorbMissing()
+	}
+	return r
+}
+
+// absorbMissing handles one missing (or quarantined) sample.
+func (d *Detector) absorbMissing() Result {
+	d.gapRun++
+	d.health.observe(true)
+	if d.gapRun <= maxBridgeSamples && d.haveLast {
+		// Bridge: the filters keep running on the held reading, as a
+		// latching sensor driver behaves across a short gap.
+		d.stats.Bridged++
+		d.ingest(d.lastRow)
+		return d.maybeEvaluate()
+	}
+	if d.gapRun == maxBridgeSamples+1 {
+		// The gap just exceeded what sample-and-hold can honestly
+		// cover: schedule a re-prime and a full-window warm-up.
+		// (Missing samples before the first real one need no holdoff —
+		// the initial window fill already gates classification.)
+		if d.count > 0 {
+			d.stats.Holdoffs++
+			d.freshNeeded = d.Window
+		}
+		d.reprime = true
+		d.fusion.Reset()
+		d.haveLast = false
+	}
+	return Result{Health: d.health.health()}
+}
+
+// ingest filters one raw 9-channel row into the ring buffer.
+func (d *Detector) ingest(row [imu.NumChannels]float64) {
+	if d.reprime {
+		// Prime the causal filters so their startup transient (a ramp
+		// up from zero) is not mistaken for free fall — on the very
+		// first reading and again after any long gap.
 		for c := 0; c < imu.NumChannels; c++ {
 			d.filters[c].Prime(row[c])
 		}
+		d.reprime = false
 	}
 	slot := d.count % d.Window
 	for c := 0; c < imu.NumChannels; c++ {
@@ -130,10 +310,23 @@ func (d *Detector) Push(acc, gyro imu.Vec3) Result {
 		// normalisation the training segments use.
 		d.ring[slot*imu.NumChannels+c] = d.filters[c].Process(row[c]) / imu.ChannelScale(c)
 	}
+	d.lastRow = row
+	d.haveLast = true
 	d.count++
+}
 
+// maybeEvaluate runs the classifier when a stride has completed and
+// the pipeline is in a state it trusts.
+func (d *Detector) maybeEvaluate() Result {
+	h := d.health.health()
+	r := Result{Health: h}
 	if d.count < d.Window || (d.count-d.Window)%d.Step != 0 {
-		return Result{}
+		return r
+	}
+	if d.freshNeeded > 0 || h == HealthFaulted {
+		// Stride boundary reached, but the ring holds too much
+		// reconstructed or stale data to act on.
+		return r
 	}
 	// Assemble the window oldest-first.
 	x := tensor.New(d.Window, imu.NumChannels)
@@ -151,7 +344,19 @@ func (d *Detector) Push(acc, gyro imu.Vec3) Result {
 		xd[i*imu.NumChannels+imu.EulerYaw] -= yaw0
 	}
 	p := d.clf.Score(x)
-	return Result{Evaluated: true, Probability: p, Triggered: p >= d.Threshold}
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		// The input guards should make this unreachable; sanitise
+		// anyway so a misbehaving model can never fire the airbag or
+		// poison downstream metrics with NaN.
+		d.stats.BadScores++
+		r.Evaluated = true
+		r.Probability = 0
+		return r
+	}
+	r.Evaluated = true
+	r.Probability = math.Max(0, math.Min(1, p))
+	r.Triggered = r.Probability >= d.Threshold
+	return r
 }
 
 // TrialSim is the outcome of replaying one trial through the detector
@@ -175,10 +380,37 @@ type TrialSim struct {
 // deadline: for falls, the detector must fire at least
 // AirbagInflationMS before the annotated impact.
 func (d *Detector) Simulate(t *dataset.Trial) TrialSim {
+	return d.SimulateFaulty(t, nil)
+}
+
+// SimulateFaulty replays a trial through the detector with a fault
+// injector sitting between the recorded sensor and the pipeline: a
+// dropped sample becomes a PushMissing gap, a repeated sample is
+// pushed twice, everything else is pushed as (possibly corrupted)
+// data. A nil injector replays the clean trial. The injector is Reset
+// first, so replays are deterministic.
+func (d *Detector) SimulateFaulty(t *dataset.Trial, inj fault.Injector) TrialSim {
 	d.Reset()
+	if inj != nil {
+		inj.Reset()
+	}
 	sim := TrialSim{TriggerSample: -1}
 	for i, s := range t.Samples {
-		r := d.Push(s.Acc, s.Gyro)
+		var r Result
+		if inj == nil {
+			r = d.Push(s.Acc, s.Gyro)
+		} else {
+			cs, eff := inj.Apply(s)
+			switch eff {
+			case fault.Drop:
+				r = d.PushMissing(1)
+			case fault.Repeat:
+				d.Push(cs.Acc, cs.Gyro)
+				r = d.Push(cs.Acc, cs.Gyro)
+			default:
+				r = d.Push(cs.Acc, cs.Gyro)
+			}
+		}
 		if r.Triggered && sim.TriggerSample < 0 {
 			sim.Triggered = true
 			sim.TriggerSample = i

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/edge"
+	"repro/internal/fault"
+)
+
+// RobustnessPoint is the streaming detector's performance under one
+// fault condition (or the clean baseline when Fault is "clean").
+type RobustnessPoint struct {
+	Fault    string
+	Severity float64
+
+	FallTrials, ADLTrials int
+
+	// Recall is the fraction of fall trials that triggered at all;
+	// InTime the fraction that triggered early enough for the airbag.
+	Recall, InTime float64
+	// MeanLeadMS averages the inflation margin over triggered falls.
+	MeanLeadMS float64
+	// FalseAlarmsPerHour normalises ADL-trial firings by the ADL
+	// stream duration — the deployment cost metric.
+	FalseAlarmsPerHour float64
+
+	// Quarantined/Missing/BadScores aggregate the detector's fault
+	// counters over the sweep; BadScores must stay 0 (the hardened
+	// pipeline never emits a non-finite probability).
+	Quarantined, Missing, BadScores int
+}
+
+// DeltaRecall returns the recall degradation versus a baseline, in
+// points (positive = worse than clean).
+func (p RobustnessPoint) DeltaRecall(clean RobustnessPoint) float64 {
+	return 100 * (clean.Recall - p.Recall)
+}
+
+// DeltaLeadMS returns the lead-time degradation versus a baseline, in
+// milliseconds (positive = less margin than clean).
+func (p RobustnessPoint) DeltaLeadMS(clean RobustnessPoint) float64 {
+	return clean.MeanLeadMS - p.MeanLeadMS
+}
+
+// RobustnessReport is a full fault-type × severity sweep against the
+// clean baseline.
+type RobustnessReport struct {
+	Clean  RobustnessPoint
+	Points []RobustnessPoint
+}
+
+// EvaluateRobustness replays every trial through the streaming
+// detector once clean and once per (fault kind, severity) pair,
+// measuring how much of the clean recall, lead time and false-alarm
+// rate survives each sensor-fault condition. Fault randomness is
+// derived from seed and the injector is reset per trial, so the sweep
+// is reproducible sample for sample.
+func EvaluateRobustness(det *edge.Detector, trials []dataset.Trial,
+	kinds []fault.Kind, severities []float64, seed int64) *RobustnessReport {
+	if len(kinds) == 0 {
+		kinds = fault.Kinds()
+	}
+	if len(severities) == 0 {
+		severities = []float64{0.1, 0.25, 0.5}
+	}
+	rep := &RobustnessReport{Clean: simulateAll(det, trials, nil)}
+	rep.Clean.Fault = "clean"
+	for _, k := range kinds {
+		for _, sev := range severities {
+			inj := fault.New(k, sev, seed+int64(k)*1000+int64(100*sev))
+			p := simulateAll(det, trials, inj)
+			p.Fault = k.String()
+			p.Severity = sev
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	return rep
+}
+
+// simulateAll replays every trial under one fault condition.
+func simulateAll(det *edge.Detector, trials []dataset.Trial, inj fault.Injector) RobustnessPoint {
+	var p RobustnessPoint
+	detected, inTime := 0, 0
+	leadSum := 0.0
+	falseAlarms := 0
+	adlSamples := 0
+	for i := range trials {
+		t := &trials[i]
+		sim := det.SimulateFaulty(t, inj)
+		st := det.Stats()
+		p.Quarantined += st.Quarantined
+		p.Missing += st.Missing
+		p.BadScores += st.BadScores
+		if t.IsFall() {
+			p.FallTrials++
+			if sim.Triggered {
+				detected++
+				leadSum += sim.LeadTimeMS
+				if sim.InTime {
+					inTime++
+				}
+			}
+		} else {
+			p.ADLTrials++
+			adlSamples += len(t.Samples)
+			if sim.FalseAlarm {
+				falseAlarms++
+			}
+		}
+	}
+	if p.FallTrials > 0 {
+		p.Recall = float64(detected) / float64(p.FallTrials)
+		p.InTime = float64(inTime) / float64(p.FallTrials)
+	}
+	if detected > 0 {
+		p.MeanLeadMS = leadSum / float64(detected)
+	}
+	if hours := float64(adlSamples) / dataset.SampleRate / 3600; hours > 0 {
+		p.FalseAlarmsPerHour = float64(falseAlarms) / hours
+	}
+	if math.IsNaN(p.MeanLeadMS) {
+		p.MeanLeadMS = 0 // defensive: a sim must never leak NaN upward
+	}
+	return p
+}

@@ -58,11 +58,26 @@ func accAngles(acc Vec3) (pitch, roll float64) {
 	return pitch, roll
 }
 
+// finite reports whether every component of v is a real number.
+func finite(v Vec3) bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
 // Update ingests one accelerometer (g) + gyroscope (deg/s) reading and
 // returns the fused Euler angles in degrees. The very first update
 // snaps pitch/roll to the accelerometer solution so start-up attitude
 // is immediately sensible.
+//
+// Non-finite readings are rejected: the estimator holds its current
+// attitude instead of letting a single NaN/Inf glitch poison the
+// recursive state for the rest of the stream (a NaN, once blended in,
+// never washes out of pitch/roll/yaw).
 func (f *Fusion) Update(acc, gyro Vec3) Vec3 {
+	if !finite(acc) || !finite(gyro) {
+		return Vec3{f.pitch, f.roll, f.yaw}
+	}
 	ap, ar := accAngles(acc)
 	if !f.primed {
 		f.pitch, f.roll, f.yaw = ap, ar, 0

@@ -370,3 +370,41 @@ func TestChannelScales(t *testing.T) {
 		}
 	}
 }
+
+func TestFusionRejectsNonFinite(t *testing.T) {
+	f := MustNewFusion(100, 0.5)
+	// Establish a sensible attitude.
+	var ref Vec3
+	for i := 0; i < 50; i++ {
+		ref = f.Update(Vec3{X: 0.2, Z: 0.98}, Vec3{Y: 3})
+	}
+	// NaN and Inf readings must hold the attitude, not poison it.
+	bad := []struct{ acc, gyro Vec3 }{
+		{Vec3{X: math.NaN(), Z: 1}, Vec3{}},
+		{Vec3{Z: 1}, Vec3{Y: math.Inf(1)}},
+		{Vec3{X: math.Inf(-1), Y: math.NaN(), Z: math.NaN()}, Vec3{Z: math.NaN()}},
+	}
+	for _, b := range bad {
+		got := f.Update(b.acc, b.gyro)
+		if got != ref {
+			t.Fatalf("attitude moved on non-finite input: %+v != %+v", got, ref)
+		}
+	}
+	// The estimator keeps working on clean data afterwards.
+	after := f.Update(Vec3{X: 0.2, Z: 0.98}, Vec3{Y: 3})
+	if math.IsNaN(after.X) || math.IsNaN(after.Y) || math.IsNaN(after.Z) {
+		t.Fatal("fusion state poisoned by earlier non-finite input")
+	}
+}
+
+func TestFusionUnprimedNonFinite(t *testing.T) {
+	// Garbage before the first good sample must not fake a priming.
+	f := MustNewFusion(100, 0.5)
+	f.Update(Vec3{X: math.NaN()}, Vec3{})
+	got := f.Update(Vec3{X: 0, Y: 0, Z: 1}, Vec3{})
+	// First clean update should snap to the accelerometer solution
+	// (flat: pitch 0, roll 0), proving the NaN did not prime it.
+	if math.Abs(got.X) > 1e-9 || math.Abs(got.Y) > 1e-9 {
+		t.Fatalf("unprimed fusion corrupted by non-finite input: %+v", got)
+	}
+}

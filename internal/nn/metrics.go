@@ -1,19 +1,33 @@
 package nn
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Confusion is a binary confusion matrix with the derived metrics the
 // paper reports (Accuracy, Precision, Recall, F1 for the falling
 // class).
 type Confusion struct {
 	TP, FP, TN, FN int
+	// Invalid counts predictions that carried a non-finite probability
+	// and could not be classified. A NaN compares false against any
+	// threshold, so before this counter existed such predictions were
+	// silently recorded as negatives — inflating TN/FN and hiding a
+	// broken scoring path behind plausible-looking metrics.
+	Invalid int
 }
 
 // Add records one prediction at the 0.5 threshold.
 func (c *Confusion) Add(p float64, y int) { c.AddThreshold(p, y, 0.5) }
 
 // AddThreshold records one prediction at a custom decision threshold.
+// Non-finite probabilities are counted as Invalid, not as negatives.
 func (c *Confusion) AddThreshold(p float64, y int, thr float64) {
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		c.Invalid++
+		return
+	}
 	pred := 0
 	if p >= thr {
 		pred = 1
@@ -30,7 +44,9 @@ func (c *Confusion) AddThreshold(p float64, y int, thr float64) {
 	}
 }
 
-// Total returns the number of recorded predictions.
+// Total returns the number of classified predictions. Invalid
+// predictions are excluded: the derived metrics describe only what
+// the model actually scored.
 func (c *Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
 
 // Accuracy returns (TP+TN)/total.
@@ -66,10 +82,15 @@ func (c *Confusion) F1() float64 {
 	return 2 * p * r / (p + r)
 }
 
-// String renders the four headline metrics in percent.
+// String renders the four headline metrics in percent, flagging any
+// invalid (non-finite) predictions.
 func (c *Confusion) String() string {
-	return fmt.Sprintf("acc=%.2f%% prec=%.2f%% rec=%.2f%% f1=%.2f%%",
+	s := fmt.Sprintf("acc=%.2f%% prec=%.2f%% rec=%.2f%% f1=%.2f%%",
 		100*c.Accuracy(), 100*c.Precision(), 100*c.Recall(), 100*c.F1())
+	if c.Invalid > 0 {
+		s += fmt.Sprintf(" invalid=%d", c.Invalid)
+	}
+	return s
 }
 
 // Merge accumulates another confusion matrix into c (for averaging
@@ -79,4 +100,5 @@ func (c *Confusion) Merge(o Confusion) {
 	c.FP += o.FP
 	c.TN += o.TN
 	c.FN += o.FN
+	c.Invalid += o.Invalid
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/tensor"
@@ -338,5 +339,40 @@ func TestTrainerWithClipping(t *testing.T) {
 	c := Score(net, val, 0.5)
 	if c.Accuracy() < 0.6 {
 		t.Fatalf("clipped training accuracy %.2f", c.Accuracy())
+	}
+}
+
+func TestConfusionInvalidTracksNonFinite(t *testing.T) {
+	var c Confusion
+	c.AddThreshold(math.NaN(), 1, 0.5)
+	c.AddThreshold(math.Inf(1), 0, 0.5)
+	c.AddThreshold(math.Inf(-1), 1, 0.5)
+	c.AddThreshold(0.9, 1, 0.5) // one honest TP
+	if c.Invalid != 3 {
+		t.Fatalf("Invalid = %d, want 3", c.Invalid)
+	}
+	// NaN scores must not masquerade as negatives.
+	if c.FN != 0 || c.TN != 0 {
+		t.Fatalf("non-finite scores leaked into FN/TN: %+v", c)
+	}
+	if c.TP != 1 || c.Total() != 1 {
+		t.Fatalf("valid prediction miscounted: %+v", c)
+	}
+	if c.Recall() != 1 {
+		t.Fatalf("recall %g polluted by invalid predictions", c.Recall())
+	}
+	// Invalid is carried through merges and surfaced in String.
+	var d Confusion
+	d.Merge(c)
+	if d.Invalid != 3 {
+		t.Fatalf("Merge dropped Invalid: %d", d.Invalid)
+	}
+	if s := d.String(); !strings.Contains(s, "invalid=3") {
+		t.Fatalf("String() hides invalid count: %q", s)
+	}
+	var clean Confusion
+	clean.Add(0.9, 1)
+	if strings.Contains(clean.String(), "invalid") {
+		t.Fatal("String() mentions invalid when there are none")
 	}
 }

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 verification gates. Run from the repo root:
+#
+#   sh scripts/verify.sh
+#
+# Gates, in order of increasing cost:
+#   1. go build ./...        — everything compiles
+#   2. go vet ./...          — static analysis clean
+#   3. go test ./...         — full unit suite
+#   4. go test -race ./...   — same suite under the race detector
+#      (the streaming Detector is single-goroutine by contract, but
+#      the trainer and evaluation harness fan out across workers)
+#
+# Append the run to results_ci.txt with:
+#
+#   sh scripts/verify.sh 2>&1 | tee -a results_ci.txt
+set -e
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test ./..."
+go test ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "== verify: all gates passed"
