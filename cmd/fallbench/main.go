@@ -14,10 +14,14 @@
 //	fallbench -exp kd                extension  PreFallKD-style distillation
 //	fallbench -exp session           extension  continuous wear, false alarms/hour
 //	fallbench -exp robustness        extension  sensor-fault injection sweep
+//	fallbench -exp recovery          extension  crash-safety: checkpoint/resume, artifact chaos
 //	fallbench -exp all               everything above
 //
 // -scale ci (default) runs a reduced cohort in minutes; -scale paper
-// runs the faithful 61-subject protocol (hours of CPU).
+// runs the faithful 61-subject protocol (hours of CPU). Every
+// experiment body runs under the internal/guard runner: panics are
+// captured with their stacks, failures retried -retries times with
+// backoff, and -timeout bounds each attempt's wall clock.
 package main
 
 import (
@@ -25,8 +29,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/falldet"
+	"repro/internal/guard"
 )
 
 // scale bundles the cohort/training sizes for one preset.
@@ -97,10 +103,12 @@ func (s scale) config(windowMS int, overlap float64, seed int64) falldet.Config 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fallbench: ")
-	exp := flag.String("exp", "all", "experiment id: table3, table4, edge, fig1, pipeline, sweep, table1, ablation, all")
+	exp := flag.String("exp", "all", "experiment id: table3, table4, edge, fig1, pipeline, sweep, table1, ablation, recovery, all")
 	scaleName := flag.String("scale", "ci", "cohort/training scale: quick, ci or paper")
 	seed := flag.Int64("seed", 1, "master random seed")
 	verbose := flag.Bool("v", false, "stream per-fold progress to stderr")
+	retries := flag.Int("retries", 1, "attempts per experiment (panics and errors are retried)")
+	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per experiment attempt (0 = off)")
 	flag.Parse()
 
 	sc, err := presets(*scaleName)
@@ -121,12 +129,19 @@ func main() {
 	fmt.Printf("fall duration: mean %.0f ms, shortest %.0f ms\n\n",
 		st.FallDurationMeanMS, st.FallDurationShortest)
 
+	gcfg := guard.Config{
+		Attempts:  *retries,
+		BaseDelay: time.Second,
+		MaxDelay:  30 * time.Second,
+		Timeout:   *timeout,
+		Log:       log.Printf,
+	}
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		fmt.Printf("---- %s ----\n", name)
-		if err := fn(); err != nil {
+		if err := guard.Run(gcfg, name, fn); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Println()
@@ -143,10 +158,11 @@ func main() {
 	run("kd", func() error { return expKD(data, sc, *seed) })
 	run("session", func() error { return expSession(data, sc, *seed) })
 	run("robustness", func() error { return expRobustness(data, sc, *seed) })
+	run("recovery", func() error { return expRecovery(data, sc, *seed) })
 	run("pipeline", func() error { return expPipeline(data, sc, *seed) })
 
 	switch *exp {
-	case "all", "fig1", "table1", "table2", "table3", "table4", "sweep", "ablation", "edge", "kd", "session", "robustness", "pipeline":
+	case "all", "fig1", "table1", "table2", "table3", "table4", "sweep", "ablation", "edge", "kd", "session", "robustness", "recovery", "pipeline":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

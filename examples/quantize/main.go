@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"path/filepath"
 
 	"repro/falldet"
 	"repro/internal/edge"
@@ -34,10 +36,37 @@ func main() {
 		Seed:        11,
 	}
 	fmt.Println("training the CNN...")
-	det, err := falldet.Train(data, falldet.KindCNN, cfg)
+	trained, err := falldet.Train(data, falldet.KindCNN, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Round-trip the deployable artefact through disk: Save writes a
+	// verified image (magic, version, kind, shape, SHA-256 digest) and
+	// LoadSaved reconstructs the detector — model family, window and
+	// threshold included — from the bytes alone.
+	path := filepath.Join(os.TempDir(), "falldet-cnn.model")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trained.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := falldet.LoadSaved(f)
+	f.Close()
+	os.Remove(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model round-tripped through %s (verified artifact, kind %v)\n", path, det.Kind())
 
 	segs, err := falldet.ExtractSegments(data, cfg)
 	if err != nil {

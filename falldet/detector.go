@@ -1,11 +1,14 @@
 package falldet
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"io"
 	"math/rand"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/dataset"
 	"repro/internal/edge"
 	"repro/internal/eval"
@@ -167,33 +170,137 @@ func (det *Detector) Quantize(calibration []*tensor.Tensor, target Device) (*Dep
 	}, nil
 }
 
-// Save serialises a network-backed detector's weights.
+// DetectorArtifactKind tags saved detectors in the verified artifact
+// envelope (see internal/artifact): magic, format version, kind string,
+// input shape and a SHA-256 digest over the whole image.
+const DetectorArtifactKind = "falldet-detector"
+
+// savedDetector is the gob payload inside the envelope: the model
+// family and streaming configuration ride alongside the network image,
+// so a loaded detector reconstructs the exact deployment — window,
+// overlap, decision threshold — without the caller re-supplying them.
+type savedDetector struct {
+	Kind      int
+	WindowMS  int
+	Overlap   float64
+	Threshold float64
+	Net       []byte
+}
+
+func (s *savedDetector) validate() error {
+	if s.Kind < 0 || s.Kind > int(KindDistilled) {
+		return fmt.Errorf("falldet: saved detector has unknown model kind %d", s.Kind)
+	}
+	if s.WindowMS <= 0 || s.WindowMS > 60_000 {
+		return fmt.Errorf("falldet: saved window of %d ms outside (0, 60000]", s.WindowMS)
+	}
+	if s.Overlap != s.Overlap || s.Overlap < 0 || s.Overlap >= 1 {
+		return fmt.Errorf("falldet: saved overlap %g outside [0, 1)", s.Overlap)
+	}
+	if s.Threshold != s.Threshold || s.Threshold < 0 || s.Threshold > 1 {
+		return fmt.Errorf("falldet: saved threshold %g outside [0, 1]", s.Threshold)
+	}
+	if len(s.Net) == 0 {
+		return fmt.Errorf("falldet: saved detector has no network image")
+	}
+	return nil
+}
+
+// Save serialises a network-backed detector — weights plus the model
+// family and streaming configuration — as a verified artifact. The
+// image round-trips through LoadSaved with no out-of-band knowledge.
 func (det *Detector) Save(w io.Writer) error {
 	nm, ok := det.model.(*model.NetModel)
 	if !ok {
 		return fmt.Errorf("falldet: %s has no weights to save", det.model.Name())
 	}
-	return nm.Net.Save(w)
+	var net bytes.Buffer
+	if err := nm.Net.Save(&net); err != nil {
+		return err
+	}
+	s := savedDetector{
+		Kind:      int(det.kind),
+		WindowMS:  det.cfg.WindowMS,
+		Overlap:   det.cfg.Overlap,
+		Threshold: det.cfg.Threshold,
+		Net:       net.Bytes(),
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&s); err != nil {
+		return fmt.Errorf("falldet: encoding detector: %w", err)
+	}
+	winSamples := det.cfg.WindowMS * dataset.SampleRate / 1000
+	return artifact.Write(w, DetectorArtifactKind, []int{winSamples, 9}, payload.Bytes())
 }
 
-// Load restores weights into a freshly constructed detector of the
-// same kind and configuration.
-func Load(r io.Reader, kind Kind, cfg Config) (*Detector, error) {
-	cfg = cfg.withDefaults()
-	winSamples := cfg.WindowMS * dataset.SampleRate / 1000
+// LoadSaved restores a detector from a Save image. The envelope's
+// digest, version and kind are verified before the payload is decoded,
+// and the recorded configuration is bounds-checked, so a corrupt or
+// mislabelled image yields an error, never a misconfigured detector.
+func LoadSaved(r io.Reader) (*Detector, error) {
+	h, payload, err := artifact.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("falldet: %w", err)
+	}
+	if err := artifact.CheckKind(h, DetectorArtifactKind); err != nil {
+		return nil, fmt.Errorf("falldet: %w", err)
+	}
+	var s savedDetector
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("falldet: decoding detector: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	winSamples := s.WindowMS * dataset.SampleRate / 1000
+	if len(h.Shape) != 2 || h.Shape[0] != winSamples || h.Shape[1] != 9 {
+		return nil, fmt.Errorf("falldet: envelope shape %v disagrees with a %d ms window", h.Shape, s.WindowMS)
+	}
+	cfg := Config{WindowMS: s.WindowMS, Overlap: s.Overlap}.withDefaults()
+	cfg.Threshold = s.Threshold
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m, err := buildModel(kind, winSamples, 0, 0, rng)
+	m, err := buildModel(Kind(s.Kind), winSamples, 0, 0, rng)
 	if err != nil {
 		return nil, err
 	}
 	nm, ok := m.(*model.NetModel)
 	if !ok {
-		return nil, fmt.Errorf("falldet: %v cannot be loaded from weights", kind)
+		return nil, fmt.Errorf("falldet: %v cannot be loaded from weights", Kind(s.Kind))
 	}
-	if err := nm.Net.Load(r); err != nil {
+	if err := nm.Net.Load(bytes.NewReader(s.Net)); err != nil {
 		return nil, err
 	}
-	return &Detector{cfg: cfg, kind: kind, model: m}, nil
+	return &Detector{cfg: cfg, kind: Kind(s.Kind), model: m}, nil
+}
+
+// Load restores a detector and validates it against the caller's
+// expectations: the saved model family must be kind, and the saved
+// window length — the one geometry the network's input shape is baked
+// around — must match cfg (after defaulting). Runtime knobs the image
+// does not constrain are taken from cfg: the streaming overlap (a
+// deployment density choice, not model geometry) and, when
+// cfg.Threshold is non-zero, the decision threshold; pass
+// cfg.Threshold == 0 to keep the saved threshold.
+func Load(r io.Reader, kind Kind, cfg Config) (*Detector, error) {
+	det, err := LoadSaved(r)
+	if err != nil {
+		return nil, err
+	}
+	if det.kind != kind {
+		return nil, fmt.Errorf("falldet: image holds a %v, caller expected %v", det.kind, kind)
+	}
+	want := cfg.withDefaults()
+	if want.WindowMS != det.cfg.WindowMS {
+		return nil, fmt.Errorf("falldet: image trained on %d ms windows, caller expected %d ms",
+			det.cfg.WindowMS, want.WindowMS)
+	}
+	if cfg.Threshold != 0 {
+		det.cfg.Threshold = want.Threshold
+	}
+	det.cfg.Overlap = want.Overlap
+	det.cfg.Epochs, det.cfg.Patience = want.Epochs, want.Patience
+	det.cfg.Seed, det.cfg.Log = want.Seed, want.Log
+	return det, nil
 }
 
 // Session re-exports the continuous-wear stream type.

@@ -164,6 +164,80 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLoadSavedNeedsNoConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short")
+	}
+	d := tinyData(t)
+	cfg := tinyConfig()
+	cfg.Epochs = 2
+	cfg.Threshold = 0.7
+	det, err := Train(d, KindMLP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// The image alone reconstructs kind, window and threshold.
+	loaded, err := LoadSaved(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kind() != KindMLP {
+		t.Fatalf("kind %v, want %v", loaded.Kind(), KindMLP)
+	}
+	if loaded.cfg.WindowMS != 200 || loaded.cfg.Overlap != 0.5 || loaded.cfg.Threshold != 0.7 {
+		t.Fatalf("restored config %+v", loaded.cfg)
+	}
+	segs, _ := ExtractSegments(d, cfg)
+	for i := 0; i < 20; i++ {
+		if math.Abs(det.Score(segs[i].X)-loaded.Score(segs[i].X)) > 1e-12 {
+			t.Fatal("loaded detector differs")
+		}
+	}
+	// Streaming deployment works straight off the restored config.
+	if _, err := loaded.Stream(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load cross-checks the caller's expectations against the image.
+	if _, err := Load(bytes.NewReader(raw), KindCNN, cfg); err == nil {
+		t.Fatal("MLP image loaded as CNN")
+	}
+	wrongWin := cfg
+	wrongWin.WindowMS = 400
+	if _, err := Load(bytes.NewReader(raw), KindMLP, wrongWin); err == nil {
+		t.Fatal("200 ms image loaded against a 400 ms expectation")
+	}
+	// The streaming overlap is a runtime knob, not model geometry: a
+	// denser deployment stride must load fine and win over the saved one.
+	dense := cfg
+	dense.Overlap = 0.75
+	denseDet, err := Load(bytes.NewReader(raw), KindMLP, dense)
+	if err != nil {
+		t.Fatalf("overlap override rejected: %v", err)
+	}
+	if denseDet.cfg.Overlap != 0.75 {
+		t.Fatalf("overlap %g, want caller's 0.75", denseDet.cfg.Overlap)
+	}
+
+	// Chaos: bit flips and truncations anywhere must be rejected.
+	for _, i := range []int{0, 7, len(raw) / 2, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x20
+		if _, err := LoadSaved(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at %d loaded", i)
+		}
+	}
+	if _, err := LoadSaved(bytes.NewReader(raw[:len(raw)-9])); err == nil {
+		t.Fatal("truncated image loaded")
+	}
+}
+
 func TestThresholdDetectorNoSaving(t *testing.T) {
 	d := tinyData(t)
 	cfg := tinyConfig()

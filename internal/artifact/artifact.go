@@ -1,0 +1,205 @@
+// Package artifact frames every model image this repository writes to
+// disk in a verified envelope: a fixed magic, a format version, a kind
+// tag (which model family the payload encodes), the input shape the
+// model expects, the payload itself, and a SHA-256 digest over
+// everything that precedes it. A deployable fall-detection model is a
+// safety-critical artifact — a truncated copy, a bit flip in transit
+// or a file of the wrong kind must fail loudly at load time, never
+// reach the airbag controller as a silently-misfiring network.
+//
+// The envelope is decoded with explicit bounds checks before any
+// allocation is sized from untrusted input, and the digest is verified
+// before the payload is handed to any decoder, so arbitrary bytes can
+// never drive gob (or any other payload codec) with corrupted input.
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic opens every envelope; Version is the current format revision.
+const (
+	Magic   = "FDMA" // Fall-Detection Model Artifact
+	Version = 1
+)
+
+// Limits keep a corrupt or hostile length field from driving a huge
+// allocation: an envelope is rejected before any payload-sized buffer
+// is allocated beyond these bounds.
+const (
+	// MaxBytes caps the whole envelope. The paper's deployable CNN is
+	// ~67 KiB quantized and <1 MiB in float64; 64 MiB leaves room for
+	// any model this repository can express.
+	MaxBytes = 64 << 20
+	// MaxKindLen caps the kind tag.
+	MaxKindLen = 128
+	// MaxShapeDims caps the input-shape rank.
+	MaxShapeDims = 8
+	// MaxShapeDim caps any single input dimension.
+	MaxShapeDim = 1 << 24
+)
+
+// Header identifies a decoded envelope.
+type Header struct {
+	Version uint32
+	// Kind tags the payload codec/family, e.g. "qnet-int8" or
+	// "nn-float64".
+	Kind string
+	// Shape is the input shape the model expects ([T, C] for the
+	// paper's windows); empty when the writer did not declare one.
+	Shape []int
+}
+
+// digestSize is the SHA-256 trailer length.
+const digestSize = sha256.Size
+
+// Write frames payload in a verified envelope. Layout (all integers
+// little-endian):
+//
+//	magic[4] | version u32 | kindLen u16 | kind | shapeLen u16 |
+//	dims i32... | payloadLen u32 | payload | sha256[32]
+//
+// The digest covers every byte before it.
+func Write(w io.Writer, kind string, shape []int, payload []byte) error {
+	if len(kind) == 0 || len(kind) > MaxKindLen {
+		return fmt.Errorf("artifact: kind length %d outside (0, %d]", len(kind), MaxKindLen)
+	}
+	if len(shape) > MaxShapeDims {
+		return fmt.Errorf("artifact: shape rank %d exceeds %d", len(shape), MaxShapeDims)
+	}
+	for _, d := range shape {
+		if d <= 0 || d > MaxShapeDim {
+			return fmt.Errorf("artifact: shape dimension %d outside (0, %d]", d, MaxShapeDim)
+		}
+	}
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	le := binary.LittleEndian
+	var u32 [4]byte
+	var u16 [2]byte
+	le.PutUint32(u32[:], Version)
+	buf.Write(u32[:])
+	le.PutUint16(u16[:], uint16(len(kind)))
+	buf.Write(u16[:])
+	buf.WriteString(kind)
+	le.PutUint16(u16[:], uint16(len(shape)))
+	buf.Write(u16[:])
+	for _, d := range shape {
+		le.PutUint32(u32[:], uint32(d))
+		buf.Write(u32[:])
+	}
+	le.PutUint32(u32[:], uint32(len(payload)))
+	buf.Write(u32[:])
+	buf.Write(payload)
+	if buf.Len()+digestSize > MaxBytes {
+		return fmt.Errorf("artifact: envelope of %d bytes exceeds MaxBytes %d", buf.Len()+digestSize, MaxBytes)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Read decodes and verifies an envelope: magic, version, bounds on
+// every length field, and the SHA-256 digest. Only after the digest
+// matches is the payload returned — any single truncation or bit flip
+// anywhere in the stream yields a non-nil error and a nil payload.
+func Read(r io.Reader) (Header, []byte, error) {
+	var h Header
+	raw, err := io.ReadAll(io.LimitReader(r, MaxBytes+1))
+	if err != nil {
+		return h, nil, fmt.Errorf("artifact: reading envelope: %w", err)
+	}
+	if len(raw) > MaxBytes {
+		return h, nil, fmt.Errorf("artifact: envelope exceeds MaxBytes %d", MaxBytes)
+	}
+	le := binary.LittleEndian
+	pos := 0
+	need := func(n int, what string) error {
+		if n < 0 || len(raw)-pos < n {
+			return fmt.Errorf("artifact: truncated envelope: need %d bytes for %s, have %d", n, what, len(raw)-pos)
+		}
+		return nil
+	}
+	if err := need(len(Magic), "magic"); err != nil {
+		return h, nil, err
+	}
+	if string(raw[:len(Magic)]) != Magic {
+		return h, nil, fmt.Errorf("artifact: bad magic %q (not a model artifact)", raw[:len(Magic)])
+	}
+	pos += len(Magic)
+	if err := need(4, "version"); err != nil {
+		return h, nil, err
+	}
+	h.Version = le.Uint32(raw[pos:])
+	pos += 4
+	if h.Version == 0 || h.Version > Version {
+		return h, nil, fmt.Errorf("artifact: unsupported format version %d (this build reads ≤ %d)", h.Version, Version)
+	}
+	if err := need(2, "kind length"); err != nil {
+		return h, nil, err
+	}
+	kindLen := int(le.Uint16(raw[pos:]))
+	pos += 2
+	if kindLen == 0 || kindLen > MaxKindLen {
+		return h, nil, fmt.Errorf("artifact: kind length %d outside (0, %d]", kindLen, MaxKindLen)
+	}
+	if err := need(kindLen, "kind"); err != nil {
+		return h, nil, err
+	}
+	h.Kind = string(raw[pos : pos+kindLen])
+	pos += kindLen
+	if err := need(2, "shape rank"); err != nil {
+		return h, nil, err
+	}
+	rank := int(le.Uint16(raw[pos:]))
+	pos += 2
+	if rank > MaxShapeDims {
+		return h, nil, fmt.Errorf("artifact: shape rank %d exceeds %d", rank, MaxShapeDims)
+	}
+	if err := need(4*rank, "shape"); err != nil {
+		return h, nil, err
+	}
+	h.Shape = make([]int, rank)
+	for i := range h.Shape {
+		d := int(le.Uint32(raw[pos:]))
+		pos += 4
+		if d <= 0 || d > MaxShapeDim {
+			return h, nil, fmt.Errorf("artifact: shape dimension %d outside (0, %d]", d, MaxShapeDim)
+		}
+		h.Shape[i] = d
+	}
+	if err := need(4, "payload length"); err != nil {
+		return h, nil, err
+	}
+	payloadLen := int(le.Uint32(raw[pos:]))
+	pos += 4
+	if err := need(payloadLen+digestSize, "payload and digest"); err != nil {
+		return h, nil, err
+	}
+	if len(raw)-pos != payloadLen+digestSize {
+		return h, nil, fmt.Errorf("artifact: %d trailing bytes after digest", len(raw)-pos-payloadLen-digestSize)
+	}
+	payload := raw[pos : pos+payloadLen]
+	pos += payloadLen
+	want := raw[pos:]
+	sum := sha256.Sum256(raw[:pos])
+	if !bytes.Equal(sum[:], want) {
+		return h, nil, fmt.Errorf("artifact: SHA-256 digest mismatch (corrupt or tampered image)")
+	}
+	// Return a copy so the caller cannot alias the (verified) raw buffer.
+	return h, append([]byte(nil), payload...), nil
+}
+
+// CheckKind is a load-time helper: it rejects an envelope whose kind
+// tag differs from what the caller expects, naming both.
+func CheckKind(h Header, want string) error {
+	if h.Kind != want {
+		return fmt.Errorf("artifact: image holds %q, loader expects %q", h.Kind, want)
+	}
+	return nil
+}

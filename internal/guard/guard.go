@@ -1,0 +1,157 @@
+// Package guard hardens long-running work — training runs, benchmark
+// experiments, batch evaluations — against the runtime failure domain:
+// panics, transient errors and hangs. Run executes a function with
+// panic capture (converted to a *PanicError carrying the goroutine
+// stack), bounded retry with exponential backoff, and a wall-clock
+// watchdog that turns a hung attempt into a *TimeoutError instead of a
+// silently stuck process.
+//
+// The guard is deliberately cooperative: a timed-out function keeps
+// running on its goroutine (Go cannot kill goroutines), but the caller
+// regains control and can decide to retry, abort or exit. For the
+// repository's experiments that trade-off is right — an experiment that
+// wedges once is retried on a fresh attempt, and one that wedges every
+// time surfaces as a structured error rather than a hung CI job.
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// PanicError wraps a recovered panic with the stack captured at the
+// recovery site, so the failure is diagnosable after the fact.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("guard: panic: %v", e.Value)
+}
+
+// TimeoutError reports an attempt that exceeded the watchdog budget.
+type TimeoutError struct {
+	Name    string
+	Attempt int
+	Budget  time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("guard: %s attempt %d exceeded %v watchdog", e.Name, e.Attempt, e.Budget)
+}
+
+// ExhaustedError reports that every attempt failed; Last is the error
+// from the final attempt.
+type ExhaustedError struct {
+	Name     string
+	Attempts int
+	Last     error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("guard: %s failed after %d attempts: %v", e.Name, e.Attempts, e.Last)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// Config bounds the guard's patience.
+type Config struct {
+	// Attempts is the total number of tries (first run included).
+	// Values below 1 mean 1: run once, no retry.
+	Attempts int
+	// BaseDelay is the sleep before the first retry; each further
+	// retry doubles it, capped at MaxDelay. Zero means no backoff.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means uncapped.
+	MaxDelay time.Duration
+	// Timeout is the per-attempt wall-clock watchdog. Zero disables it.
+	Timeout time.Duration
+	// Log, when non-nil, receives one line per retry and timeout.
+	Log func(format string, args ...any)
+}
+
+func (c Config) attempts() int {
+	if c.Attempts < 1 {
+		return 1
+	}
+	return c.Attempts
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// delay computes the backoff before retry number n (1-based).
+func (c Config) delay(n int) time.Duration {
+	if c.BaseDelay <= 0 {
+		return 0
+	}
+	d := c.BaseDelay
+	for i := 1; i < n; i++ {
+		d *= 2
+		if c.MaxDelay > 0 && d >= c.MaxDelay {
+			return c.MaxDelay
+		}
+	}
+	if c.MaxDelay > 0 && d > c.MaxDelay {
+		return c.MaxDelay
+	}
+	return d
+}
+
+// attempt runs fn once with panic capture and, if cfg.Timeout is set,
+// a watchdog. On timeout the function's goroutine is abandoned and a
+// *TimeoutError returned.
+func attempt(cfg Config, name string, n int, fn func() error) error {
+	run := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return fn()
+	}
+	if cfg.Timeout <= 0 {
+		return run()
+	}
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	timer := time.NewTimer(cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return &TimeoutError{Name: name, Attempt: n, Budget: cfg.Timeout}
+	}
+}
+
+// Run executes fn under the guard: panics become errors, failed
+// attempts are retried with exponential backoff up to cfg.Attempts,
+// and each attempt is bounded by the watchdog. It returns nil on the
+// first success, or an *ExhaustedError wrapping the final failure.
+func Run(cfg Config, name string, fn func() error) error {
+	var last error
+	for n := 1; n <= cfg.attempts(); n++ {
+		if n > 1 {
+			if d := cfg.delay(n - 1); d > 0 {
+				time.Sleep(d)
+			}
+			cfg.logf("guard: retrying %s (attempt %d/%d): %v", name, n, cfg.attempts(), last)
+		}
+		last = attempt(cfg, name, n, fn)
+		if last == nil {
+			return nil
+		}
+		var pe *PanicError
+		if errors.As(last, &pe) {
+			cfg.logf("guard: %s attempt %d panicked: %v\n%s", name, n, pe.Value, pe.Stack)
+		}
+	}
+	return &ExhaustedError{Name: name, Attempts: cfg.attempts(), Last: last}
+}

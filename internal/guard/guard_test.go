@@ -1,0 +1,138 @@
+package guard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	if err := Run(Config{Attempts: 3}, "ok", func() error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1", calls)
+	}
+}
+
+func TestRunRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Run(Config{Attempts: 4}, "flaky", func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+}
+
+func TestRunExhaustsAttempts(t *testing.T) {
+	sentinel := errors.New("permanent")
+	calls := 0
+	err := Run(Config{Attempts: 3}, "doomed", func() error { calls++; return sentinel })
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *ExhaustedError", err)
+	}
+	if ex.Attempts != 3 || !errors.Is(err, sentinel) {
+		t.Fatalf("exhausted error %+v does not wrap the last failure", ex)
+	}
+}
+
+func TestRunCapturesPanicWithStack(t *testing.T) {
+	err := Run(Config{}, "boom", func() error { panic("kaboom") })
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *ExhaustedError", err)
+	}
+	var pe *PanicError
+	if !errors.As(ex.Last, &pe) {
+		t.Fatalf("last = %v, want *PanicError", ex.Last)
+	}
+	if pe.Value != "kaboom" {
+		t.Fatalf("panic value = %v, want kaboom", pe.Value)
+	}
+	if !bytes.Contains(pe.Stack, []byte("guard_test.go")) {
+		t.Fatal("captured stack does not reference the panic site")
+	}
+}
+
+func TestRunRecoversAfterPanic(t *testing.T) {
+	calls := 0
+	err := Run(Config{Attempts: 2}, "once", func() error {
+		calls++
+		if calls == 1 {
+			panic("first attempt only")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("second attempt should have succeeded: %v", err)
+	}
+}
+
+func TestRunWatchdogTimesOut(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	start := time.Now()
+	err := Run(Config{Timeout: 20 * time.Millisecond}, "stuck", func() error {
+		<-hang
+		return nil
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *ExhaustedError", err)
+	}
+	var te *TimeoutError
+	if !errors.As(ex.Last, &te) {
+		t.Fatalf("last = %v, want *TimeoutError", ex.Last)
+	}
+	if te.Budget != 20*time.Millisecond {
+		t.Fatalf("budget = %v, want 20ms", te.Budget)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v to fire", elapsed)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	cfg := Config{BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		35 * time.Millisecond,
+		35 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := cfg.delay(i + 1); got != w {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := (Config{}).delay(3); got != 0 {
+		t.Errorf("zero BaseDelay should disable backoff, got %v", got)
+	}
+}
+
+func TestRunLogsRetries(t *testing.T) {
+	var sb strings.Builder
+	cfg := Config{Attempts: 2, Log: func(format string, args ...any) {
+		fmt.Fprintf(&sb, format+"\n", args...)
+	}}
+	_ = Run(cfg, "noisy", func() error { return errors.New("nope") })
+	if !strings.Contains(sb.String(), "retrying noisy") {
+		t.Fatalf("retry not logged: %q", sb.String())
+	}
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Checkpointer periodically persists resumable trainer state so a
+// training run killed at an arbitrary epoch can continue — to the bit
+// — where it left off. The file is written atomically (temp file in
+// the same directory, fsync, rename), so a crash mid-write leaves the
+// previous checkpoint intact; the payload carries a CRC32 trailer so a
+// checkpoint corrupted at rest is detected rather than resumed into a
+// silently-wrong run.
+type Checkpointer struct {
+	// Path is the checkpoint file. Its directory must exist.
+	Path string
+	// Every saves after every Every-th completed epoch (default 1).
+	Every int
+}
+
+func (c *Checkpointer) every() int {
+	if c.Every <= 0 {
+		return 1
+	}
+	return c.Every
+}
+
+// checkpoint file framing: magic, version, gob payload, CRC32C trailer
+// over everything before it.
+const (
+	ckptMagic   = "FDCK"
+	ckptVersion = 1
+	// maxCheckpointBytes bounds what load will read — a corrupt length
+	// cannot drive an unbounded allocation.
+	maxCheckpointBytes = 256 << 20
+)
+
+var ckptTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checkpointState is everything Fit needs to continue bit-identically:
+// weights, optimizer moments, shuffle-RNG state, best-so-far
+// bookkeeping, the guard counters and the history so far.
+type checkpointState struct {
+	Epoch int // next epoch index to execute
+	Done  bool
+	// Order is the example permutation as left by the last epoch's
+	// shuffle — the next shuffle permutes it in place, so it is trainer
+	// state a bit-identical resume must carry.
+	Order     []int
+	Weights   [][]float64
+	Opt       OptimizerState
+	Shuffle   uint64
+	Best      [][]float64
+	BestVal   float64
+	SinceBest int
+	Hist      History
+	Rollbacks int
+	W0, W1    float64 // loss class weights, for the record
+}
+
+// save writes the state atomically: temp file in the target directory,
+// fsync, rename over Path.
+func (c *Checkpointer) save(st *checkpointState) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		return fmt.Errorf("nn: encoding checkpoint: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(ckptMagic)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], ckptVersion)
+	buf.Write(u32[:])
+	buf.Write(payload.Bytes())
+	binary.LittleEndian.PutUint32(u32[:], crc32.Checksum(buf.Bytes(), ckptTable))
+	buf.Write(u32[:])
+
+	dir := filepath.Dir(c.Path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.Path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("nn: creating checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("nn: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("nn: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("nn: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.Path); err != nil {
+		return fmt.Errorf("nn: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// load reads and verifies the checkpoint. A missing file returns
+// (nil, nil) — a fresh run; a present-but-corrupt file is an error,
+// because the atomic writer never leaves one behind and resuming from
+// damaged state would poison the model silently.
+func (c *Checkpointer) load() (*checkpointState, error) {
+	raw, err := os.ReadFile(c.Path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("nn: reading checkpoint: %w", err)
+	}
+	if len(raw) > maxCheckpointBytes {
+		return nil, fmt.Errorf("nn: checkpoint of %d bytes exceeds limit", len(raw))
+	}
+	if len(raw) < len(ckptMagic)+4+4 {
+		return nil, fmt.Errorf("nn: checkpoint truncated to %d bytes", len(raw))
+	}
+	if string(raw[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("nn: %s is not a trainer checkpoint (bad magic)", c.Path)
+	}
+	if v := binary.LittleEndian.Uint32(raw[len(ckptMagic):]); v != ckptVersion {
+		return nil, fmt.Errorf("nn: checkpoint format version %d unsupported (want %d)", v, ckptVersion)
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, ckptTable) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("nn: checkpoint CRC mismatch (file corrupt)")
+	}
+	st := &checkpointState{}
+	payload := body[len(ckptMagic)+4:]
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(st); err != nil {
+		return nil, fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	if st.Epoch < 0 || st.SinceBest < 0 || st.Rollbacks < 0 {
+		return nil, fmt.Errorf("nn: checkpoint has negative counters (epoch=%d sinceBest=%d rollbacks=%d)",
+			st.Epoch, st.SinceBest, st.Rollbacks)
+	}
+	return st, nil
+}
+
+// validateOrder checks that a checkpointed example order is a
+// permutation of [0, n).
+func validateOrder(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("nn: checkpoint order has %d entries, training set has %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, ix := range order {
+		if ix < 0 || ix >= n || seen[ix] {
+			return fmt.Errorf("nn: checkpoint order is not a permutation of the training set")
+		}
+		seen[ix] = true
+	}
+	return nil
+}
+
+// validateSnapshot checks a checkpointed weight set against the live
+// network before any copy happens.
+func validateSnapshot(name string, snap [][]float64, params []*Param) error {
+	if len(snap) != len(params) {
+		return fmt.Errorf("nn: checkpoint %s has %d tensors, network has %d", name, len(snap), len(params))
+	}
+	for i, w := range snap {
+		if len(w) != params[i].W.Len() {
+			return fmt.Errorf("nn: checkpoint %s tensor %d has %d values, param %q has %d",
+				name, i, len(w), params[i].Name, params[i].W.Len())
+		}
+		for _, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("nn: checkpoint %s tensor %d (%q) holds a non-finite weight",
+					name, i, params[i].Name)
+			}
+		}
+	}
+	return nil
+}

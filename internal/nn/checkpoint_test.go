@@ -1,0 +1,300 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fitRun rebuilds the toy problem, network and trainer from scratch
+// with a fixed seed and runs Fit; every call sees an identical world,
+// so two uninterrupted runs are bit-identical by construction and an
+// interrupted+resumed run must be too.
+func fitRun(t *testing.T, cfg TrainConfig) (*Network, *History, error) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	train := toyProblem(160, rng)
+	val := toyProblem(48, rng)
+	net := toyNet(rng)
+	tr := NewTrainer(net, NewAdam(0.01), cfg, rng)
+	hist, err := tr.Fit(train, val)
+	return net, hist, err
+}
+
+func weightsOf(net *Network) [][]float64 { return net.Snapshot() }
+
+func sameWeights(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+var errKill = errors.New("simulated crash")
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const epochs = 10
+	base := TrainConfig{Epochs: epochs, Patience: epochs, BatchSize: 16}
+
+	// Reference: one uninterrupted run, no checkpointing.
+	refNet, refHist, err := fitRun(t, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, every := range []int{1, 3} {
+		for _, killAt := range []int{0, 4, epochs - 2} {
+			path := filepath.Join(t.TempDir(), "train.ckpt")
+			// Interrupted run: crash right after epoch killAt.
+			cfg := base
+			cfg.Checkpoint = &Checkpointer{Path: path, Every: every}
+			cfg.AfterEpoch = func(epoch int, _, _ float64) error {
+				if epoch == killAt {
+					return errKill
+				}
+				return nil
+			}
+			if _, _, err := fitRun(t, cfg); !errors.Is(err, errKill) {
+				t.Fatalf("every=%d killAt=%d: kill not delivered: %v", every, killAt, err)
+			}
+
+			// Resumed run: same config, no kill.
+			cfg.AfterEpoch = nil
+			net, hist, err := fitRun(t, cfg)
+			if err != nil {
+				t.Fatalf("every=%d killAt=%d: resume failed: %v", every, killAt, err)
+			}
+			if !sameWeights(weightsOf(net), weightsOf(refNet)) {
+				t.Fatalf("every=%d killAt=%d: resumed weights differ from uninterrupted run", every, killAt)
+			}
+			if !reflect.DeepEqual(hist, refHist) {
+				t.Fatalf("every=%d killAt=%d: resumed history differs:\n got %+v\nwant %+v",
+					every, killAt, hist, refHist)
+			}
+		}
+	}
+}
+
+func TestCheckpointDoneShortCircuits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	cfg := TrainConfig{Epochs: 6, Patience: 6, BatchSize: 16,
+		Checkpoint: &Checkpointer{Path: path}}
+	net1, hist1, err := fitRun(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rerunning against the finished checkpoint must not retrain: it
+	// restores the recorded best weights and history immediately.
+	net2, hist2, err := fitRun(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameWeights(weightsOf(net1), weightsOf(net2)) {
+		t.Fatal("done-checkpoint rerun produced different weights")
+	}
+	if !reflect.DeepEqual(hist1, hist2) {
+		t.Fatalf("done-checkpoint rerun produced different history: %+v vs %+v", hist1, hist2)
+	}
+}
+
+func TestCheckpointCorruptionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	cfg := TrainConfig{Epochs: 3, Patience: 3, BatchSize: 16,
+		Checkpoint: &Checkpointer{Path: path},
+		AfterEpoch: func(epoch int, _, _ float64) error {
+			if epoch == 1 {
+				return errKill
+			}
+			return nil
+		}}
+	if _, _, err := fitRun(t, cfg); !errors.Is(err, errKill) {
+		t.Fatal("kill not delivered")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.AfterEpoch = nil
+
+	corrupt := func(name string, mut []byte) {
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fitRun(t, cfg); err == nil {
+			t.Fatalf("%s checkpoint resumed without error", name)
+		}
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	corrupt("bit-flipped", flipped)
+	corrupt("truncated", raw[:len(raw)-7])
+	corrupt("bad-magic", append([]byte("XXXX"), raw[4:]...))
+
+	// And the pristine bytes still resume fine.
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fitRun(t, cfg); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+}
+
+// plainOptimizer implements only Optimizer — checkpointing must refuse
+// it rather than silently produce unresumable state.
+type plainOptimizer struct{}
+
+func (plainOptimizer) Step(params []*Param, scale float64) {}
+
+func TestCheckpointRequiresCheckpointableOptimizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := toyProblem(10, rng)
+	cfg := TrainConfig{Epochs: 1, Checkpoint: &Checkpointer{Path: filepath.Join(t.TempDir(), "c")}}
+	tr := NewTrainer(toyNet(rng), plainOptimizer{}, cfg, rng)
+	if _, err := tr.Fit(train, train); err == nil {
+		t.Fatal("non-checkpointable optimizer accepted with checkpointing on")
+	}
+}
+
+// poisonOptimizer is a deterministic divergence source: above the
+// benign learning rate it writes NaN into every weight (an exploded
+// step); at or below it, it takes a plain gradient step. It implements
+// Checkpointable and LRScaler so the trainer's rollback machinery is
+// exercised end to end.
+type poisonOptimizer struct {
+	LR, Benign float64
+}
+
+func (p *poisonOptimizer) Step(params []*Param, scale float64) {
+	for _, pr := range params {
+		wd, gd := pr.W.Data(), pr.G.Data()
+		for i := range wd {
+			if p.LR > p.Benign {
+				wd[i] = math.NaN()
+			} else {
+				wd[i] -= p.LR * gd[i] * scale
+			}
+		}
+	}
+}
+
+func (p *poisonOptimizer) ScaleLR(f float64) { p.LR *= f }
+
+func (p *poisonOptimizer) State(params []*Param) OptimizerState {
+	return OptimizerState{Kind: "poison", LR: p.LR, Moments: [][][]float64{}}
+}
+
+func (p *poisonOptimizer) SetState(params []*Param, st OptimizerState) error {
+	p.LR = st.LR
+	return nil
+}
+
+func TestDivergenceRollbackRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	train := toyProblem(80, rng)
+	val := toyProblem(24, rng)
+	net := toyNet(rng)
+	// Two halvings bring 0.04 under the benign rate: epochs 0 and 1
+	// diverge and roll back, the rest train normally.
+	opt := &poisonOptimizer{LR: 0.04, Benign: 0.0105}
+	tr := NewTrainer(net, opt, TrainConfig{Epochs: 6, Patience: 6, BatchSize: 16}, rng)
+	hist, err := tr.Fit(train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Rollbacks != 2 {
+		t.Fatalf("Rollbacks = %d, want 2", hist.Rollbacks)
+	}
+	if opt.LR > opt.Benign {
+		t.Fatalf("learning rate %g not backed off below %g", opt.LR, opt.Benign)
+	}
+	for _, w := range net.Snapshot() {
+		for _, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite weight survived rollback")
+			}
+		}
+	}
+	// The diverged epochs are on the record, and best-epoch bookkeeping
+	// skipped them (a NaN val loss can never be "best").
+	if len(hist.ValLoss) != 6 {
+		t.Fatalf("history has %d epochs, want 6", len(hist.ValLoss))
+	}
+	if !math.IsNaN(hist.ValLoss[0]) {
+		t.Fatalf("first epoch val loss %g, want NaN on the record", hist.ValLoss[0])
+	}
+	if math.IsNaN(hist.ValLoss[hist.BestEpoch]) {
+		t.Fatal("a NaN epoch was recorded as best")
+	}
+}
+
+func TestDivergenceAbortsWithStructuredError(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	train := toyProblem(60, rng)
+	val := toyProblem(20, rng)
+	net := toyNet(rng)
+	// Benign rate unreachable within MaxRollbacks halvings: abort.
+	opt := &poisonOptimizer{LR: 1, Benign: 1e-9}
+	tr := NewTrainer(net, opt, TrainConfig{Epochs: 50, Patience: 50, BatchSize: 16, MaxRollbacks: 3}, rng)
+	_, err := tr.Fit(train, val)
+	var de *DivergedError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DivergedError", err)
+	}
+	if de.Rollbacks != 4 {
+		t.Fatalf("Rollbacks = %d, want 4 (MaxRollbacks+1)", de.Rollbacks)
+	}
+	if de.Epoch != 3 {
+		t.Fatalf("aborting epoch = %d, want 3", de.Epoch)
+	}
+	if !math.IsNaN(de.ValLoss) {
+		t.Fatalf("ValLoss = %g, want NaN", de.ValLoss)
+	}
+}
+
+func TestExplodingFiniteLossDiverges(t *testing.T) {
+	// The absolute bound catches finite-but-exploding losses too.
+	if !diverged(1e7, 1e6) {
+		t.Fatal("1e7 accepted against a 1e6 bound")
+	}
+	if diverged(1e7, -1) {
+		t.Fatal("absolute bound not disabled by negative MaxLoss")
+	}
+	if !diverged(math.Inf(1), -1) || !diverged(math.NaN(), -1) {
+		t.Fatal("non-finite loss accepted with bound disabled")
+	}
+}
+
+func TestCheckpointAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "train.ckpt")
+	cfg := TrainConfig{Epochs: 3, Patience: 3, BatchSize: 16,
+		Checkpoint: &Checkpointer{Path: path}}
+	if _, _, err := fitRun(t, cfg); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "train.ckpt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("checkpoint dir holds %v, want only train.ckpt", names)
+	}
+}

@@ -1,11 +1,14 @@
 package nn
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/tensor"
 )
 
@@ -113,13 +116,21 @@ func (n *Network) Restore(snap [][]float64) {
 
 // savedNet is the gob wire format: weights only, keyed by order. The
 // architecture itself is code, so loading requires an identically
-// constructed network.
+// constructed network. On disk the gob payload rides inside the
+// verified envelope of package artifact (magic, version, kind,
+// SHA-256), so a truncated or bit-flipped file is rejected before the
+// payload is decoded.
 type savedNet struct {
 	Names   []string
 	Weights [][]float64
 }
 
-// Save serialises the network's weights.
+// NetworkArtifactKind tags float-weight images in the artifact
+// envelope.
+const NetworkArtifactKind = "nn-float64-weights"
+
+// Save serialises the network's weights in the verified artifact
+// envelope.
 func (n *Network) Save(w io.Writer) error {
 	ps := n.Params()
 	s := savedNet{}
@@ -127,19 +138,35 @@ func (n *Network) Save(w io.Writer) error {
 		s.Names = append(s.Names, p.Name)
 		s.Weights = append(s.Weights, p.W.Data())
 	}
-	return gob.NewEncoder(w).Encode(&s)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&s); err != nil {
+		return fmt.Errorf("nn: encoding network: %w", err)
+	}
+	return artifact.Write(w, NetworkArtifactKind, nil, payload.Bytes())
 }
 
 // Load restores weights saved by Save into an identically shaped
-// network.
+// network. The envelope's digest and kind are verified first, then
+// every tensor's name, size and finiteness — a corrupt image fails
+// loudly, it never loads.
 func (n *Network) Load(r io.Reader) error {
+	h, payload, err := artifact.Read(r)
+	if err != nil {
+		return fmt.Errorf("nn: %w", err)
+	}
+	if err := artifact.CheckKind(h, NetworkArtifactKind); err != nil {
+		return fmt.Errorf("nn: %w", err)
+	}
 	var s savedNet
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
 		return fmt.Errorf("nn: decoding network: %w", err)
 	}
 	ps := n.Params()
 	if len(s.Weights) != len(ps) {
 		return fmt.Errorf("nn: saved network has %d tensors, want %d", len(s.Weights), len(ps))
+	}
+	if len(s.Names) != len(s.Weights) {
+		return fmt.Errorf("nn: saved network has %d names for %d tensors", len(s.Names), len(s.Weights))
 	}
 	for i, p := range ps {
 		if s.Names[i] != p.Name {
@@ -149,6 +176,14 @@ func (n *Network) Load(r io.Reader) error {
 			return fmt.Errorf("nn: saved tensor %q has %d values, want %d",
 				p.Name, len(s.Weights[i]), p.W.Len())
 		}
+		for _, v := range s.Weights[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("nn: saved tensor %q holds a non-finite weight", p.Name)
+			}
+		}
+	}
+	// All tensors validated; only now mutate the live network.
+	for i, p := range ps {
 		copy(p.W.Data(), s.Weights[i])
 	}
 	return nil

@@ -1,0 +1,41 @@
+package nn
+
+// shuffleRNG is the trainer's epoch-shuffle generator. math/rand's
+// default source cannot expose or restore its internal state, which
+// makes a mid-training checkpoint impossible to resume bit-identically
+// — so the trainer draws one 64-bit seed from the caller's *rand.Rand
+// and from then on shuffles with this SplitMix64 generator, whose
+// entire state is a single uint64 that a checkpoint can carry.
+//
+// SplitMix64 (Steele, Lea & Flood 2014) passes BigCrush and is the
+// reference seeder for the xoshiro family; a full-period 64-bit
+// generator is far more state than a mini-batch shuffle needs.
+type shuffleRNG struct {
+	state uint64
+}
+
+func newShuffleRNG(seed uint64) *shuffleRNG { return &shuffleRNG{state: seed} }
+
+// next advances the state and returns the next 64-bit output.
+func (r *shuffleRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n); n must be positive. The
+// modulo bias is ~n/2⁶⁴ — irrelevant for shuffling, and kept simple so
+// the sequence is trivially reproducible from the saved state.
+func (r *shuffleRNG) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// shuffle runs a Fisher–Yates pass, mirroring rand.Shuffle's contract.
+func (r *shuffleRNG) shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		swap(i, j)
+	}
+}

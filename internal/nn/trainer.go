@@ -34,6 +34,28 @@ type TrainConfig struct {
 	MaxGradNorm float64
 	// Log, when non-nil, receives one line per epoch.
 	Log io.Writer
+
+	// Checkpoint, when non-nil, saves resumable trainer state after
+	// every Checkpoint.Every completed epochs via atomic write-rename.
+	// When the checkpoint file already exists, Fit resumes from it and
+	// the continued run is bit-identical to one that was never
+	// interrupted. Requires an optimizer implementing Checkpointable.
+	Checkpoint *Checkpointer
+	// AfterEpoch, when non-nil, runs after each completed epoch (and
+	// after the checkpoint for that epoch, if due). A non-nil return
+	// aborts Fit immediately with that error, without restoring the
+	// best weights — the hook exists for progress reporting and for
+	// simulating a mid-training crash in the recovery tests.
+	AfterEpoch func(epoch int, trainLoss, valLoss float64) error
+	// MaxRollbacks caps how many diverged epochs (non-finite or
+	// exploding loss) the trainer will roll back before aborting with
+	// a *DivergedError (default 3).
+	MaxRollbacks int
+	// MaxLoss is the absolute exploding-loss bound: a train or val
+	// loss above it counts as divergence. 0 selects the default
+	// (1e6); negative disables the absolute bound (non-finite losses
+	// are always divergence).
+	MaxLoss float64
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -46,6 +68,12 @@ func (c TrainConfig) withDefaults() TrainConfig {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 32
 	}
+	if c.MaxRollbacks <= 0 {
+		c.MaxRollbacks = 3
+	}
+	if c.MaxLoss == 0 {
+		c.MaxLoss = 1e6
+	}
 	return c
 }
 
@@ -55,7 +83,32 @@ type History struct {
 	ValLoss   []float64
 	BestEpoch int
 	Stopped   bool // true when early stopping fired
+	// Rollbacks counts diverged epochs that were rolled back to the
+	// last good snapshot (with the learning rate backed off).
+	Rollbacks int
 }
+
+// DivergedError reports a training run aborted by the divergence
+// guard: the loss went non-finite or exploded more than MaxRollbacks
+// times, and rather than return a poisoned model the trainer stopped.
+type DivergedError struct {
+	// Epoch is the epoch index whose loss triggered the final abort.
+	Epoch int
+	// Rollbacks is how many diverged epochs were rolled back before
+	// giving up (the aborting epoch included).
+	Rollbacks int
+	// TrainLoss and ValLoss are the offending values.
+	TrainLoss, ValLoss float64
+}
+
+func (e *DivergedError) Error() string {
+	return fmt.Sprintf("nn: training diverged at epoch %d (train %g, val %g) after %d rollbacks",
+		e.Epoch, e.TrainLoss, e.ValLoss, e.Rollbacks)
+}
+
+// rollbackLRFactor is the learning-rate backoff applied on each
+// divergence rollback.
+const rollbackLRFactor = 0.5
 
 // Trainer fits a Network with mini-batch gradient descent, weighted
 // BCE and early stopping on validation loss.
@@ -75,6 +128,14 @@ func NewTrainer(net *Network, opt Optimizer, cfg TrainConfig, rng *rand.Rand) *T
 // Fit trains on train, early-stops on val, and returns the history.
 // It derives class weights if not set, applies them through the loss,
 // and restores the best-validation weights before returning.
+//
+// Reliability behaviour: with Cfg.Checkpoint set, Fit resumes from an
+// existing checkpoint file (kill-at-epoch-k plus rerun is bit-identical
+// to an uninterrupted run). An epoch whose train or validation loss is
+// non-finite — or exceeds Cfg.MaxLoss — is rolled back to the last
+// good weights and optimizer state with the learning rate halved;
+// after Cfg.MaxRollbacks such epochs Fit aborts with a *DivergedError
+// instead of returning a poisoned model.
 func (t *Trainer) Fit(train, val []Example) (*History, error) {
 	if len(train) == 0 {
 		return nil, fmt.Errorf("nn: empty training set")
@@ -90,17 +151,105 @@ func (t *Trainer) Fit(train, val []Example) (*History, error) {
 	}
 	t.Loss = NewWeightedBCE(w0, w1)
 
+	params := t.Net.Params()
+	ckptOpt, _ := t.Opt.(Checkpointable)
+	if cfg.Checkpoint != nil && ckptOpt == nil {
+		return nil, fmt.Errorf("nn: checkpointing requires a Checkpointable optimizer, %T is not", t.Opt)
+	}
+
 	hist := &History{}
 	order := make([]int, len(train))
 	for i := range order {
 		order[i] = i
 	}
-	best := t.Net.Snapshot()
-	bestVal := inf()
-	sinceBest := 0
+	// The epoch shuffle is the only randomness inside the loop; it runs
+	// on a single-word serialisable generator so a checkpoint can carry
+	// it (math/rand cannot export its state). The caller's Rng seeds it,
+	// preserving the one-seed-drives-everything contract.
+	sh := newShuffleRNG(uint64(t.Rng.Int63()))
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		t.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	best := t.Net.Snapshot()
+	bestVal := math.Inf(1)
+	sinceBest := 0
+	rollbacks := 0 // total diverged epochs; MaxRollbacks aborts on this
+	sinceGood := 0 // consecutive rollbacks since the last good epoch
+	startEpoch := 0
+
+	// Last good (non-diverged) state to roll back to; initially the
+	// untrained network and fresh optimizer.
+	lastGoodW := t.Net.Snapshot()
+	var lastGoodOpt OptimizerState
+	if ckptOpt != nil {
+		lastGoodOpt = ckptOpt.State(params)
+	}
+
+	if cfg.Checkpoint != nil {
+		st, err := cfg.Checkpoint.load()
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			if err := validateSnapshot("weights", st.Weights, params); err != nil {
+				return nil, err
+			}
+			if err := validateSnapshot("best weights", st.Best, params); err != nil {
+				return nil, err
+			}
+			if !st.Done {
+				if err := validateOrder(st.Order, len(train)); err != nil {
+					return nil, err
+				}
+			}
+			if st.Done {
+				// The previous run finished; its best weights are the
+				// result. Restore and return without retraining.
+				t.Net.Restore(st.Best)
+				h := st.Hist
+				return &h, nil
+			}
+			t.Net.Restore(st.Weights)
+			if err := ckptOpt.SetState(params, st.Opt); err != nil {
+				return nil, err
+			}
+			copy(order, st.Order)
+			sh.state = st.Shuffle
+			best = st.Best
+			bestVal = st.BestVal
+			sinceBest = st.SinceBest
+			hist = &st.Hist
+			rollbacks = st.Rollbacks
+			startEpoch = st.Epoch
+			lastGoodW = t.Net.Snapshot()
+			lastGoodOpt = ckptOpt.State(params)
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "resuming from %s at epoch %d\n", cfg.Checkpoint.Path, startEpoch)
+			}
+		}
+	}
+
+	saveCheckpoint := func(nextEpoch int, done bool) error {
+		if cfg.Checkpoint == nil {
+			return nil
+		}
+		return cfg.Checkpoint.save(&checkpointState{
+			Epoch:     nextEpoch,
+			Done:      done,
+			Order:     order,
+			Weights:   t.Net.Snapshot(),
+			Opt:       ckptOpt.State(params),
+			Shuffle:   sh.state,
+			Best:      best,
+			BestVal:   bestVal,
+			SinceBest: sinceBest,
+			Hist:      *hist,
+			Rollbacks: rollbacks,
+			W0:        w0,
+			W1:        w1,
+		})
+	}
+
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		sh.shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		epochLoss := 0.0
 		for start := 0; start < len(order); start += cfg.BatchSize {
 			end := min(start+cfg.BatchSize, len(order))
@@ -124,6 +273,41 @@ func (t *Trainer) Fit(train, val []Example) (*History, error) {
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "epoch %3d: train %.4f  val %.4f\n", epoch, epochLoss, vl)
 		}
+
+		if diverged(epochLoss, cfg.MaxLoss) || diverged(vl, cfg.MaxLoss) {
+			rollbacks++
+			sinceGood++
+			hist.Rollbacks++
+			if rollbacks > cfg.MaxRollbacks {
+				return nil, &DivergedError{
+					Epoch: epoch, Rollbacks: rollbacks,
+					TrainLoss: epochLoss, ValLoss: vl,
+				}
+			}
+			// Roll back to the last good snapshot and back off the
+			// learning rate before trying again. Restoring the
+			// optimizer state resurrects its pre-backoff learning rate,
+			// so the backoff is re-applied cumulatively — once per
+			// rollback since the last good epoch.
+			t.Net.Restore(lastGoodW)
+			if ckptOpt != nil {
+				if err := ckptOpt.SetState(params, lastGoodOpt); err != nil {
+					return nil, err
+				}
+			}
+			if sc, ok := t.Opt.(LRScaler); ok {
+				sc.ScaleLR(math.Pow(rollbackLRFactor, float64(sinceGood)))
+			}
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "epoch %3d: diverged (train %g, val %g) — rolled back, lr ×%g (%d/%d)\n",
+					epoch, epochLoss, vl, rollbackLRFactor, rollbacks, cfg.MaxRollbacks)
+			}
+			continue
+		}
+
+		// vl is finite here (a NaN validation loss takes the divergence
+		// path above), so the strict comparison cannot silently treat
+		// NaN as "no improvement".
 		if vl < bestVal-1e-9 {
 			bestVal = vl
 			best = t.Net.Snapshot()
@@ -136,9 +320,36 @@ func (t *Trainer) Fit(train, val []Example) (*History, error) {
 				break
 			}
 		}
+		sinceGood = 0
+		lastGoodW = t.Net.Snapshot()
+		if ckptOpt != nil {
+			lastGoodOpt = ckptOpt.State(params)
+		}
+		if cfg.Checkpoint != nil && (epoch+1)%cfg.Checkpoint.every() == 0 {
+			if err := saveCheckpoint(epoch+1, false); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.AfterEpoch != nil {
+			if err := cfg.AfterEpoch(epoch, epochLoss, vl); err != nil {
+				return nil, err
+			}
+		}
 	}
 	t.Net.Restore(best)
+	if err := saveCheckpoint(cfg.Epochs, true); err != nil {
+		return nil, err
+	}
 	return hist, nil
+}
+
+// diverged reports a loss value the guard must not accept: non-finite
+// always; above the absolute bound when one is configured (maxLoss>0).
+func diverged(loss, maxLoss float64) bool {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return true
+	}
+	return maxLoss > 0 && loss > maxLoss
 }
 
 // Evaluate returns the mean weighted loss over a set (0 for empty).
@@ -158,8 +369,8 @@ func (t *Trainer) Evaluate(set []Example) float64 {
 // the given threshold.
 func Score(net *Network, set []Example, thr float64) Confusion {
 	var c Confusion
-	for _, e := range set {
-		c.AddThreshold(net.Predict(e.X), e.Y, thr)
+	for i := range set {
+		c.AddThreshold(net.Predict(set[i].X), set[i].Y, thr)
 	}
 	return c
 }
@@ -185,5 +396,3 @@ func ClipGradNorm(params []*Param, maxNorm float64) {
 		p.G.Scale(scale)
 	}
 }
-
-func inf() float64 { return 1e308 }

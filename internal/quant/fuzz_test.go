@@ -1,0 +1,54 @@
+package quant
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzQuantLoad asserts the model-image loader's hard invariants for
+// arbitrary bytes: Load never panics, never allocates beyond the
+// artifact size cap, and returns either an error or a network whose
+// integer inference runs to completion. The corpus seeds a genuine
+// saved CNN image plus structured mutations of it (truncations, bit
+// flips, length-field edits), so the fuzzer starts on both sides of
+// the validity boundary.
+func FuzzQuantLoad(f *testing.F) {
+	raw := savedImage(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add(raw[:37])
+	f.Add([]byte{})
+	f.Add([]byte("FDMA"))
+	flip := append([]byte(nil), raw...)
+	flip[len(flip)/3] ^= 0x10
+	f.Add(flip)
+	// Hostile payload-length field.
+	big := append([]byte(nil), raw...)
+	for i := 0; i < 4 && 20+i < len(big); i++ {
+		big[20+i] = 0xFF
+	}
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		qn, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if qn != nil {
+				t.Fatal("Load returned both a network and an error")
+			}
+			return
+		}
+		// Only a digest-valid image reaches here; it must be fully
+		// usable: footprint accounting and integer inference on a
+		// correctly shaped window must run without panicking.
+		_ = qn.FlashBytes()
+		_ = qn.RAMBytes()
+		_ = qn.OpNames()
+		x := tensor.New(qn.inShape...)
+		p := qn.Predict(x)
+		if p != p {
+			t.Fatalf("loaded network predicts NaN on a zero window")
+		}
+	})
+}

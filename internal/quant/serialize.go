@@ -1,13 +1,39 @@
 package quant
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
+
+	"repro/internal/artifact"
 )
 
 // Wire format: a flat op list with a type tag per op — the repository
-// equivalent of shipping a .tflite flatbuffer to the device.
+// equivalent of shipping a .tflite flatbuffer to the device. On disk
+// the gob payload rides inside the verified envelope of package
+// artifact: magic, format version, model kind, input shape and a
+// SHA-256 digest over the whole image. The digest is verified before
+// the payload reaches the gob decoder, and every op is bounds-checked
+// before the network is assembled, so a truncated, bit-flipped or
+// hostile image fails loudly — it can never load into a detector that
+// silently misfires.
+
+// ArtifactKind tags quantized model images in the artifact envelope.
+const ArtifactKind = "qnet-int8"
+
+// Validation bounds for a decoded image. The paper's CNN is ~67 KiB
+// with layers of at most a few thousand units; these caps leave two
+// orders of magnitude of headroom while keeping a corrupt size field
+// from driving a huge allocation or an integer-overflowing product.
+const (
+	maxOpDim    = 1 << 20 // any single op dimension (in, out, channels, kernel, pool)
+	maxOps      = 4096    // ops per network, branches included
+	maxBranch   = 64      // stacks per branch
+	maxNesting  = 4       // branch-in-branch depth
+	maxRAMBytes = 1 << 30 // declared activation RAM
+)
 
 type savedOp struct {
 	Kind string
@@ -64,6 +90,140 @@ func saveOp(op qop) (savedOp, error) {
 	}
 }
 
+// finite rejects NaN and ±Inf requantization factors — a corrupt
+// multiplier would silently wash out every activation downstream.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// checkDim bounds one op dimension.
+func checkDim(what string, v int) error {
+	if v <= 0 || v > maxOpDim {
+		return fmt.Errorf("quant: %s %d outside (0, %d]", what, v, maxOpDim)
+	}
+	return nil
+}
+
+// validateOp bounds-checks one decoded op — every dimension, every
+// payload length against the product of its dimensions (computed in
+// int64 so a hostile pair cannot overflow int), and every scale factor
+// — before any op struct is built. depth tracks branch nesting.
+func validateOp(s *savedOp, depth int) error {
+	switch s.Kind {
+	case "dense":
+		if err := checkDim("dense in", s.A); err != nil {
+			return err
+		}
+		if err := checkDim("dense out", s.B); err != nil {
+			return err
+		}
+		if want := int64(s.A) * int64(s.B); int64(len(s.W)) != want {
+			return fmt.Errorf("quant: dense %d→%d wants %d weights, image has %d", s.A, s.B, want, len(s.W))
+		}
+		if len(s.Bias) != s.B {
+			return fmt.Errorf("quant: dense %d→%d wants %d biases, image has %d", s.A, s.B, s.B, len(s.Bias))
+		}
+		if !finite(s.M) || !finite(s.Scale) {
+			return fmt.Errorf("quant: dense has non-finite multiplier/scale")
+		}
+	case "conv1d":
+		if err := checkDim("conv1d channels", s.A); err != nil {
+			return err
+		}
+		if err := checkDim("conv1d filters", s.B); err != nil {
+			return err
+		}
+		if err := checkDim("conv1d kernel", s.C); err != nil {
+			return err
+		}
+		if want := int64(s.B) * int64(s.C) * int64(s.A); int64(len(s.W)) != want {
+			return fmt.Errorf("quant: conv1d(%dch,%df,k%d) wants %d weights, image has %d",
+				s.A, s.B, s.C, want, len(s.W))
+		}
+		if len(s.Bias) != s.B {
+			return fmt.Errorf("quant: conv1d wants %d biases, image has %d", s.B, len(s.Bias))
+		}
+		if !finite(s.M) || !finite(s.Scale) {
+			return fmt.Errorf("quant: conv1d has non-finite multiplier/scale")
+		}
+	case "relu", "flatten":
+		// No payload.
+	case "maxpool":
+		if err := checkDim("maxpool window", s.A); err != nil {
+			return err
+		}
+	case "rescale":
+		if !finite(s.M) || !finite(s.Scale) {
+			return fmt.Errorf("quant: rescale has non-finite multiplier/scale")
+		}
+	case "branch":
+		if depth >= maxNesting {
+			return fmt.Errorf("quant: branch nesting deeper than %d", maxNesting)
+		}
+		if err := checkDim("branch channels", s.A); err != nil {
+			return err
+		}
+		if !finite(s.Scale) {
+			return fmt.Errorf("quant: branch has non-finite output scale")
+		}
+		if len(s.Stacks) == 0 || len(s.Stacks) > maxBranch {
+			return fmt.Errorf("quant: branch has %d stacks (want 1..%d)", len(s.Stacks), maxBranch)
+		}
+		if len(s.Cols) != len(s.Stacks) {
+			return fmt.Errorf("quant: branch has %d column ranges for %d stacks", len(s.Cols), len(s.Stacks))
+		}
+		for i, c := range s.Cols {
+			lo, hi := c[0], c[1]
+			if lo < 0 || hi <= lo || hi > s.A {
+				return fmt.Errorf("quant: branch column range %d [%d,%d) outside [0,%d)", i, lo, hi, s.A)
+			}
+		}
+		for _, ss := range s.Stacks {
+			if len(ss) > maxOps {
+				return fmt.Errorf("quant: branch stack of %d ops exceeds %d", len(ss), maxOps)
+			}
+			for i := range ss {
+				if err := validateOp(&ss[i], depth+1); err != nil {
+					return err
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("quant: unknown op kind %q", s.Kind)
+	}
+	return nil
+}
+
+// validateSavedQNet checks the whole decoded image before assembly.
+func validateSavedQNet(s *savedQNet) error {
+	if len(s.InShape) == 0 || len(s.InShape) > 4 {
+		return fmt.Errorf("quant: input rank %d outside [1,4]", len(s.InShape))
+	}
+	n := int64(1)
+	for _, d := range s.InShape {
+		if d <= 0 || d > maxOpDim {
+			return fmt.Errorf("quant: input dimension %d outside (0, %d]", d, maxOpDim)
+		}
+		n *= int64(d)
+		if n > maxOpDim {
+			return fmt.Errorf("quant: input of %d elements too large", n)
+		}
+	}
+	if !finite(s.InScale) || s.InScale <= 0 {
+		return fmt.Errorf("quant: input scale %g invalid", s.InScale)
+	}
+	if s.RAMBytes < 0 || s.RAMBytes > maxRAMBytes {
+		return fmt.Errorf("quant: declared RAM %d outside [0, %d]", s.RAMBytes, maxRAMBytes)
+	}
+	if len(s.Ops) == 0 || len(s.Ops) > maxOps {
+		return fmt.Errorf("quant: image has %d ops (want 1..%d)", len(s.Ops), maxOps)
+	}
+	for i := range s.Ops {
+		if err := validateOp(&s.Ops[i], 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func loadOp(s savedOp) (qop, error) {
 	switch s.Kind {
 	case "dense":
@@ -97,7 +257,9 @@ func loadOp(s savedOp) (qop, error) {
 	}
 }
 
-// Save serialises the quantized network — the deployable model image.
+// Save serialises the quantized network — the deployable model image —
+// in the verified artifact envelope (magic, version, kind, input
+// shape, SHA-256 digest).
 func (q *QNetwork) Save(w io.Writer) error {
 	s := savedQNet{
 		InShape:    q.inShape,
@@ -112,14 +274,35 @@ func (q *QNetwork) Save(w io.Writer) error {
 		}
 		s.Ops = append(s.Ops, so)
 	}
-	return gob.NewEncoder(w).Encode(&s)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&s); err != nil {
+		return fmt.Errorf("quant: encoding model: %w", err)
+	}
+	return artifact.Write(w, ArtifactKind, q.inShape, payload.Bytes())
 }
 
-// Load reads a quantized network saved by Save.
+// Load reads a quantized network saved by Save. The envelope's digest,
+// version and kind are verified before the payload is decoded, and
+// every op's shapes and payload sizes are bounds-checked before the
+// network is assembled — a corrupt image yields a diagnosable error,
+// never a panic, an over-allocation or a silently-wrong network.
 func Load(r io.Reader) (*QNetwork, error) {
+	h, payload, err := artifact.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("quant: %w", err)
+	}
+	if err := artifact.CheckKind(h, ArtifactKind); err != nil {
+		return nil, fmt.Errorf("quant: %w", err)
+	}
 	var s savedQNet
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
 		return nil, fmt.Errorf("quant: decoding model: %w", err)
+	}
+	if err := validateSavedQNet(&s); err != nil {
+		return nil, err
+	}
+	if !shapeEqual(h.Shape, s.InShape) {
+		return nil, fmt.Errorf("quant: envelope shape %v disagrees with payload shape %v", h.Shape, s.InShape)
 	}
 	q := &QNetwork{
 		inShape:    s.InShape,
@@ -135,4 +318,16 @@ func Load(r io.Reader) (*QNetwork, error) {
 		q.ops = append(q.ops, op)
 	}
 	return q, nil
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

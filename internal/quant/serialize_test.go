@@ -1,0 +1,164 @@
+package quant
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// savedImage builds a valid serialized CNN image for the chaos tests.
+func savedImage(t testing.TB) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	m, err := model.New(model.KindCNN, model.Config{WindowSamples: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Calibrate(m.Net, randomWindows(4, 20, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := Build(m.Net, c, []int{20, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := qn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Chaos: every single truncation of a model image must be rejected
+// with an error — never a panic, never a loaded network.
+func TestLoadRejectsEveryTruncation(t *testing.T) {
+	raw := savedImage(t)
+	for n := 0; n < len(raw); n++ {
+		if qn, err := Load(bytes.NewReader(raw[:n])); err == nil || qn != nil {
+			t.Fatalf("truncation to %d/%d bytes loaded (err=%v)", n, len(raw), err)
+		}
+	}
+}
+
+// Chaos: a single bit flip anywhere in the image must be rejected —
+// the SHA-256 trailer guarantees it for the payload, the structural
+// checks for the envelope fields. The envelope header and the digest
+// trailer are swept exhaustively; payload bytes are sampled with a
+// prime stride to keep the suite fast (the digest makes every payload
+// position equivalent).
+func TestLoadRejectsAnyBitFlip(t *testing.T) {
+	raw := savedImage(t)
+	check := func(i int) {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= 1 << bit
+			if qn, err := Load(bytes.NewReader(mut)); err == nil || qn != nil {
+				t.Fatalf("bit flip at byte %d bit %d loaded (err=%v)", i, bit, err)
+			}
+		}
+	}
+	head := 128
+	if head > len(raw) {
+		head = len(raw)
+	}
+	for i := 0; i < head; i++ {
+		check(i)
+	}
+	for i := len(raw) - 40; i < len(raw); i++ {
+		if i >= head {
+			check(i)
+		}
+	}
+	for i := head; i < len(raw)-40; i += 101 {
+		check(i)
+	}
+}
+
+func TestLoadRejectsWrongKind(t *testing.T) {
+	// An nn float-weight artifact must not load as a quantized image.
+	rng := rand.New(rand.NewSource(3))
+	m, err := model.New(model.KindMLP, model.Config{WindowSamples: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("float-weight artifact loaded as a quantized image")
+	}
+}
+
+func TestValidateOpBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		op   savedOp
+	}{
+		{"dense zero in", savedOp{Kind: "dense", A: 0, B: 4}},
+		{"dense negative out", savedOp{Kind: "dense", A: 4, B: -1}},
+		{"dense oversized", savedOp{Kind: "dense", A: maxOpDim + 1, B: 1}},
+		{"dense weight mismatch", savedOp{Kind: "dense", A: 4, B: 2, W: make([]int8, 7), Bias: make([]int32, 2)}},
+		{"dense bias mismatch", savedOp{Kind: "dense", A: 4, B: 2, W: make([]int8, 8), Bias: make([]int32, 3)}},
+		{"dense NaN multiplier", savedOp{Kind: "dense", A: 1, B: 1, W: make([]int8, 1), Bias: make([]int32, 1), M: math.NaN(), Scale: 1}},
+		{"conv weight mismatch", savedOp{Kind: "conv1d", A: 3, B: 2, C: 5, W: make([]int8, 29), Bias: make([]int32, 2)}},
+		{"conv Inf scale", savedOp{Kind: "conv1d", A: 1, B: 1, C: 1, W: make([]int8, 1), Bias: make([]int32, 1), M: 1, Scale: math.Inf(1)}},
+		{"maxpool zero", savedOp{Kind: "maxpool", A: 0}},
+		{"rescale NaN", savedOp{Kind: "rescale", M: math.NaN(), Scale: 1}},
+		{"unknown kind", savedOp{Kind: "quantum"}},
+		{"branch no stacks", savedOp{Kind: "branch", A: 9, Scale: 1}},
+		{"branch cols mismatch", savedOp{Kind: "branch", A: 9, Scale: 1,
+			Stacks: [][]savedOp{{{Kind: "relu"}}}, Cols: [][2]int{{0, 3}, {3, 6}}}},
+		{"branch cols out of range", savedOp{Kind: "branch", A: 9, Scale: 1,
+			Stacks: [][]savedOp{{{Kind: "relu"}}}, Cols: [][2]int{{3, 12}}}},
+		{"branch cols inverted", savedOp{Kind: "branch", A: 9, Scale: 1,
+			Stacks: [][]savedOp{{{Kind: "relu"}}}, Cols: [][2]int{{5, 5}}}},
+	}
+	for _, tc := range cases {
+		op := tc.op
+		if err := validateOp(&op, 0); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// A hostile dense op whose dimension product overflows int64 math
+	// must be caught by the per-dimension bound, not allocate.
+	huge := savedOp{Kind: "dense", A: 1 << 40, B: 1 << 40}
+	if err := validateOp(&huge, 0); err == nil {
+		t.Error("overflowing dense dims accepted")
+	}
+}
+
+func TestValidateSavedQNetBounds(t *testing.T) {
+	ok := savedQNet{InShape: []int{20, 9}, InScale: 0.1, Ops: []savedOp{{Kind: "relu"}}}
+	if err := validateSavedQNet(&ok); err != nil {
+		t.Fatalf("valid image rejected: %v", err)
+	}
+	bad := []savedQNet{
+		{InShape: nil, InScale: 0.1, Ops: []savedOp{{Kind: "relu"}}},
+		{InShape: []int{20, 0}, InScale: 0.1, Ops: []savedOp{{Kind: "relu"}}},
+		{InShape: []int{20, 9}, InScale: math.NaN(), Ops: []savedOp{{Kind: "relu"}}},
+		{InShape: []int{20, 9}, InScale: -0.5, Ops: []savedOp{{Kind: "relu"}}},
+		{InShape: []int{20, 9}, InScale: 0.1, Ops: nil},
+		{InShape: []int{20, 9}, InScale: 0.1, RAMBytes: -1, Ops: []savedOp{{Kind: "relu"}}},
+		{InShape: []int{1 << 12, 1 << 12}, InScale: 0.1, Ops: []savedOp{{Kind: "relu"}}},
+	}
+	for i := range bad {
+		if err := validateSavedQNet(&bad[i]); err == nil {
+			t.Errorf("bad image %d accepted", i)
+		}
+	}
+}
+
+func TestBranchNestingDepthBounded(t *testing.T) {
+	op := savedOp{Kind: "relu"}
+	for i := 0; i < maxNesting+1; i++ {
+		op = savedOp{Kind: "branch", A: 9, Scale: 1,
+			Stacks: [][]savedOp{{op}}, Cols: [][2]int{{0, 3}}}
+	}
+	if err := validateOp(&op, 0); err == nil {
+		t.Fatal("over-deep branch nesting accepted")
+	}
+}

@@ -10,6 +10,10 @@
 #   4. go test -race ./...   — same suite under the race detector
 #      (the streaming Detector is single-goroutine by contract, but
 #      the trainer and evaluation harness fan out across workers)
+#   5. fuzz smoke            — 10 s each on the hostile-input fuzz
+#      targets: FuzzQuantLoad (model-image loader must never panic or
+#      over-allocate on arbitrary bytes) and FuzzDetectorPush (the
+#      streaming pipeline must survive arbitrary sensor input)
 #
 # Append the run to results_ci.txt with:
 #
@@ -24,4 +28,8 @@ echo "== go test ./..."
 go test ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== fuzz smoke: FuzzQuantLoad (10s)"
+go test ./internal/quant -run='^$' -fuzz='^FuzzQuantLoad$' -fuzztime=10s
+echo "== fuzz smoke: FuzzDetectorPush (10s)"
+go test ./internal/edge -run='^$' -fuzz='^FuzzDetectorPush$' -fuzztime=10s
 echo "== verify: all gates passed"
