@@ -166,6 +166,35 @@ func Benchmark_Table3_TrainStep_CNN(b *testing.B) {
 	}
 }
 
+// ---- E15: data-parallel training (serial vs sharded mini-batches) ----
+
+func benchParallelFit(b *testing.B, workers int) {
+	train := make([]nn.Example, 192)
+	for i := range train {
+		train[i] = nn.Example{X: randomWindow(40, int64(100+i)), Y: i % 2}
+	}
+	val := train[:32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := model.New(model.KindCNN, model.Config{WindowSamples: 40}, rand.New(rand.NewSource(17)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := nn.NewTrainer(m.Net, nn.NewAdam(1e-3),
+			nn.TrainConfig{Epochs: 2, Patience: 2, BatchSize: 32, Workers: workers},
+			rand.New(rand.NewSource(18)))
+		tr.Replicate = m.Replicate
+		if _, err := tr.Fit(train, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Parallel_Fit_Workers1(b *testing.B) { benchParallelFit(b, 1) }
+func Benchmark_Parallel_Fit_Workers2(b *testing.B) { benchParallelFit(b, 2) }
+func Benchmark_Parallel_Fit_Workers4(b *testing.B) { benchParallelFit(b, 4) }
+
 // ---- E2/E3 (Table IV): event-level analysis ----
 
 func Benchmark_Table4_EventAnalysis(b *testing.B) {
@@ -254,6 +283,24 @@ func Benchmark_Edge_StreamingPush(b *testing.B) {
 	}
 }
 
+func Benchmark_Edge_StreamingPushCNN(b *testing.B) {
+	// The deployment-shaped push: full CNN classifier behind the
+	// streaming pipeline. Steady state must report 0 allocs/op.
+	m, _ := edgeFixtures(b)
+	det, err := edge.NewDetector(m, edge.DetectorConfig{WindowMS: 400, Overlap: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3*det.Window; i++ { // fill the ring, warm layer scratch
+		det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+	}
+}
+
 func Benchmark_Edge_Quantization(b *testing.B) {
 	rng := rand.New(rand.NewSource(22))
 	m, err := model.New(model.KindCNN, model.Config{WindowSamples: 40}, rng)
@@ -295,6 +342,7 @@ func Benchmark_Pipeline_EndToEnd(b *testing.B) {
 	// One full miniature run per iteration: synthesise → align →
 	// filter → segment → train briefly → classify. Expensive by
 	// nature; run with -benchtime=1x for a single sample.
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d, err := falldet.Synthesize(falldet.SynthConfig{
 			WorksiteSubjects: 2, KFallSubjects: 2,

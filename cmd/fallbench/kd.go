@@ -27,9 +27,10 @@ func expKD(data *falldet.Dataset, sc scale, seed int64) error {
 		NVal:          sc.valSubj,
 		AugmentFactor: 2,
 		MaxTrainNeg:   sc.maxTrainNeg,
-		Train:         nn.TrainConfig{Epochs: sc.epochs, Patience: sc.patience, BatchSize: 32},
+		Train:         nn.TrainConfig{Epochs: sc.epochs, Patience: sc.patience, BatchSize: 32, Workers: sc.workers},
 		TuneThreshold: true,
 		Seed:          seed,
+		Workers:       sc.workers,
 	}
 
 	type row struct {

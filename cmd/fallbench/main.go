@@ -17,6 +17,10 @@
 //	fallbench -exp recovery          extension  crash-safety: checkpoint/resume, artifact chaos
 //	fallbench -exp all               everything above
 //
+// -exp also accepts a comma-separated list (e.g. -exp fig1,table3) to
+// run several experiments in one invocation over one synthesised
+// dataset.
+//
 // -scale ci (default) runs a reduced cohort in minutes; -scale paper
 // runs the faithful 61-subject protocol (hours of CPU). Every
 // experiment body runs under the internal/guard runner: panics are
@@ -29,6 +33,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/falldet"
@@ -46,6 +52,7 @@ type scale struct {
 	epochs, patience int
 	maxTrainNeg      int
 	verbose          bool
+	workers          int
 }
 
 func presets(name string) (scale, error) {
@@ -93,6 +100,7 @@ func (s scale) config(windowMS int, overlap float64, seed int64) falldet.Config 
 		Folds:       s.folds,
 		ValSubjects: s.valSubj,
 		Seed:        seed,
+		Workers:     s.workers,
 	}
 	if s.verbose {
 		cfg.Log = os.Stderr
@@ -103,12 +111,14 @@ func (s scale) config(windowMS int, overlap float64, seed int64) falldet.Config 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fallbench: ")
-	exp := flag.String("exp", "all", "experiment id: table3, table4, edge, fig1, pipeline, sweep, table1, ablation, recovery, all")
+	exp := flag.String("exp", "all", "experiment id or comma-separated list: table3, table4, edge, fig1, pipeline, sweep, table1, ablation, recovery, all")
 	scaleName := flag.String("scale", "ci", "cohort/training scale: quick, ci or paper")
 	seed := flag.Int64("seed", 1, "master random seed")
 	verbose := flag.Bool("v", false, "stream per-fold progress to stderr")
 	retries := flag.Int("retries", 1, "attempts per experiment (panics and errors are retried)")
 	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per experiment attempt (0 = off)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"data-parallel workers for training, folds and sweeps (results are bit-identical for any value)")
 	flag.Parse()
 
 	sc, err := presets(*scaleName)
@@ -116,8 +126,33 @@ func main() {
 		log.Fatal(err)
 	}
 	sc.verbose = *verbose
+	sc.workers = *workers
+	if sc.workers < 1 {
+		sc.workers = 1
+	}
 
-	fmt.Printf("== fallbench scale=%s seed=%d ==\n", sc.name, *seed)
+	known := []string{"fig1", "table1", "table2", "table3", "table4", "sweep",
+		"ablation", "edge", "kd", "session", "robustness", "recovery", "pipeline"}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		name = strings.TrimSpace(name)
+		if name == "all" {
+			for _, k := range known {
+				want[k] = true
+			}
+			continue
+		}
+		ok := false
+		for _, k := range known {
+			ok = ok || k == name
+		}
+		if !ok {
+			log.Fatalf("unknown experiment %q", name)
+		}
+		want[name] = true
+	}
+
+	fmt.Printf("== fallbench scale=%s seed=%d workers=%d ==\n", sc.name, *seed, sc.workers)
 	fmt.Printf("synthesising %d worksite + %d kfall subjects...\n\n", sc.wsSubjects, sc.kfSubjects)
 	data, err := falldet.Synthesize(sc.synth(*seed))
 	if err != nil {
@@ -137,7 +172,7 @@ func main() {
 		Log:       log.Printf,
 	}
 	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
+		if !want[name] {
 			return
 		}
 		fmt.Printf("---- %s ----\n", name)
@@ -160,10 +195,4 @@ func main() {
 	run("robustness", func() error { return expRobustness(data, sc, *seed) })
 	run("recovery", func() error { return expRecovery(data, sc, *seed) })
 	run("pipeline", func() error { return expPipeline(data, sc, *seed) })
-
-	switch *exp {
-	case "all", "fig1", "table1", "table2", "table3", "table4", "sweep", "ablation", "edge", "kd", "session", "robustness", "recovery", "pipeline":
-	default:
-		log.Fatalf("unknown experiment %q", *exp)
-	}
 }

@@ -33,7 +33,7 @@ func expRecovery(data *falldet.Dataset, sc scale, seed int64) error {
 	}
 	defer f.Close()
 	w := io.MultiWriter(os.Stdout, f)
-	fmt.Fprintf(w, "Recovery & crash-safety evidence — scale=%s seed=%d\n\n", sc.name, seed)
+	fmt.Fprintf(w, "Recovery & crash-safety evidence — scale=%s seed=%d workers=%d\n\n", sc.name, seed, sc.workers)
 	tb := &report.Table{Headers: []string{"Check", "Outcome", "Detail"}}
 
 	segs, err := falldet.ExtractSegments(data, falldet.Config{WindowMS: 200, Overlap: 0.5})
@@ -61,11 +61,14 @@ func expRecovery(data *falldet.Dataset, sc scale, seed int64) error {
 			return nil, nil, err
 		}
 		tr := nn.NewTrainer(m.Net, nn.NewAdam(1e-3), cfg, rng)
+		tr.Replicate = m.Replicate
 		hist, err := tr.Fit(train, val)
 		return m.Net, hist, err
 	}
 	const epochs = 6
-	base := nn.TrainConfig{Epochs: epochs, Patience: epochs, BatchSize: 32}
+	// Data-parallel workers are part of the recovery story: resume must
+	// be bit-identical under any worker count (see DESIGN.md §8).
+	base := nn.TrainConfig{Epochs: epochs, Patience: epochs, BatchSize: 32, Workers: sc.workers}
 
 	// 1. Kill at epoch 2, resume from the checkpoint, compare against
 	// an uninterrupted reference run.

@@ -28,6 +28,7 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 	rep, err := det.EvaluateRobustness(data, falldet.RobustnessConfig{
 		Severities: []float64{0.1, 0.25, 0.5},
 		Seed:       seed,
+		Workers:    sc.workers,
 	})
 	if err != nil {
 		return err
@@ -40,7 +41,7 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 	defer f.Close()
 	w := io.MultiWriter(os.Stdout, f)
 
-	fmt.Fprintf(w, "Robustness sweep — CNN, 400 ms / 75 %% stride, scale=%s seed=%d\n", sc.name, seed)
+	fmt.Fprintf(w, "Robustness sweep — CNN, 400 ms / 75 %% stride, scale=%s seed=%d workers=%d\n", sc.name, seed, sc.workers)
 	fmt.Fprintf(w, "%d fall trials, %d ADL trials; deltas vs clean baseline\n\n",
 		rep.Clean.FallTrials, rep.Clean.ADLTrials)
 

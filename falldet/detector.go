@@ -72,7 +72,8 @@ func Train(d *Dataset, kind Kind, cfg Config) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	tc := nn.TrainConfig{Epochs: cfg.Epochs, Patience: cfg.Patience, BatchSize: 32, Log: cfg.Log}
+	tc := nn.TrainConfig{Epochs: cfg.Epochs, Patience: cfg.Patience, BatchSize: 32, Log: cfg.Log,
+		Workers: cfg.Workers}
 	if err := m.Fit(train, val, tc, rng); err != nil {
 		return nil, err
 	}
@@ -109,6 +110,13 @@ func (det *Detector) Evaluate(segs []Segment) nn.Confusion {
 
 // Stream wraps the detector in the real-time on-device pipeline.
 func (det *Detector) Stream() (*StreamDetector, error) {
+	return det.streamWith(det.model)
+}
+
+// streamWith builds the streaming pipeline around an explicit
+// classifier — the hook that lets a parallel robustness sweep give
+// each worker its own pipeline over a cloned model.
+func (det *Detector) streamWith(clf model.Classifier) (*StreamDetector, error) {
 	// det.cfg went through withDefaults, so Threshold is the resolved
 	// value and a literal 0 is intentional — spell it in the sentinel
 	// form edge expects (its own zero value means "unset").
@@ -116,7 +124,7 @@ func (det *Detector) Stream() (*StreamDetector, error) {
 	if thr == 0 {
 		thr = edge.ThresholdAlways
 	}
-	return edge.NewDetector(det.model, edge.DetectorConfig{
+	return edge.NewDetector(clf, edge.DetectorConfig{
 		WindowMS:  det.cfg.WindowMS,
 		Overlap:   det.cfg.Overlap,
 		Threshold: thr,

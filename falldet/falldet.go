@@ -152,6 +152,12 @@ type Config struct {
 	Seed int64
 	// Log receives progress lines when non-nil.
 	Log io.Writer
+	// Workers is the parallelism degree: cross-validation folds fan
+	// out across this many goroutines and each fold's trainer shards
+	// its mini-batches across as many network replicas. Results are
+	// bit-identical for any value (see DESIGN.md §8); ≤ 1 runs
+	// serially.
+	Workers int
 
 	// Ablation switches: disable the paper's class-imbalance
 	// countermeasures individually (experiment E9).
@@ -205,11 +211,13 @@ func (c Config) pipeline() eval.PipelineConfig {
 			Epochs:    c.Epochs,
 			Patience:  c.Patience,
 			BatchSize: 32,
+			Workers:   c.Workers,
 		},
 		Threshold:           c.Threshold,
 		TuneThreshold:       !c.NoThresholdTuning,
 		Seed:                c.Seed,
 		Log:                 c.Log,
+		Workers:             c.Workers,
 		DisableClassWeights: c.NoClassWeights,
 		DisableBiasInit:     c.NoBiasInit,
 		DisableAugment:      c.NoAugment,

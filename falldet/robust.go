@@ -1,8 +1,10 @@
 package falldet
 
 import (
+	"repro/internal/edge"
 	"repro/internal/eval"
 	"repro/internal/fault"
+	"repro/internal/model"
 )
 
 // Fault-injection surface, re-exported so robustness studies can stay
@@ -47,6 +49,12 @@ type RobustnessConfig struct {
 	Severities []float64
 	// Seed drives the fault randomness.
 	Seed int64
+	// Workers fans the fault conditions out across this many streaming
+	// pipelines (≤ 1 runs serially). Network models are cloned per
+	// worker — the streaming pipeline and the network's activation
+	// scratch are single-goroutine — so the report is identical for
+	// any worker count.
+	Workers int
 }
 
 // EvaluateRobustness replays every trial of the dataset through the
@@ -57,9 +65,24 @@ type RobustnessConfig struct {
 // passing sweep also certifies zero NaN probabilities under NaN-burst
 // and dropout faults.
 func (det *Detector) EvaluateRobustness(d *Dataset, cfg RobustnessConfig) (*RobustnessReport, error) {
-	stream, err := det.Stream()
-	if err != nil {
-		return nil, err
+	w := cfg.Workers
+	if w < 1 {
+		w = 1
 	}
-	return eval.EvaluateRobustness(stream, d.Trials, cfg.Kinds, cfg.Severities, cfg.Seed), nil
+	dets := make([]*edge.Detector, w)
+	for i := range dets {
+		clf := model.Classifier(det.model)
+		if nm, ok := det.model.(*model.NetModel); ok && i > 0 {
+			// Worker 0 reuses the detector's own network; the others
+			// score on weight-identical clones (threshold models are
+			// stateless at scoring time and can be shared).
+			clf = nm.Clone()
+		}
+		s, err := det.streamWith(clf)
+		if err != nil {
+			return nil, err
+		}
+		dets[i] = s
+	}
+	return eval.EvaluateRobustnessParallel(dets, d.Trials, cfg.Kinds, cfg.Severities, cfg.Seed), nil
 }

@@ -34,8 +34,9 @@ type Detector struct {
 	filters [imu.NumChannels]streamFilter
 	fusion  *imu.Fusion
 
-	ring  []float64 // Window × 9, circular by row
-	count int       // samples ingested
+	ring  []float64      // Window × 9, circular by row
+	count int            // samples ingested
+	win   *tensor.Tensor // preallocated classifier input (Window × 9)
 
 	fullScaleG   float64
 	fullScaleDPS float64
@@ -127,6 +128,7 @@ func NewDetector(clf model.Classifier, cfg DetectorConfig) (*Detector, error) {
 		clf:          clf,
 		fusion:       imu.MustNewFusion(dataset.SampleRate, 0.5),
 		ring:         make([]float64, win*imu.NumChannels),
+		win:          tensor.New(win, imu.NumChannels),
 		fullScaleG:   fsG,
 		fullScaleDPS: fsDPS,
 		reprime:      true,
@@ -328,8 +330,9 @@ func (d *Detector) maybeEvaluate() Result {
 		// reconstructed or stale data to act on.
 		return r
 	}
-	// Assemble the window oldest-first.
-	x := tensor.New(d.Window, imu.NumChannels)
+	// Assemble the window oldest-first into the preallocated input
+	// tensor — the push path must not allocate at steady state.
+	x := d.win
 	xd := x.Data()
 	start := d.count % d.Window // oldest row slot
 	for i := 0; i < d.Window; i++ {

@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/par"
 )
 
 // PipelineConfig assembles one experiment's hyper-parameters.
@@ -48,6 +50,13 @@ type PipelineConfig struct {
 	Seed int64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Workers fans the cross-validation folds out across this many
+	// goroutines (≤ 1 runs serially). Every fold's randomness derives
+	// solely from Seed and the fold index and per-fold logs are
+	// buffered and emitted in fold order, so results and output are
+	// identical for any worker count. Inner data-parallel training is
+	// configured separately via Train.Workers.
+	Workers int
 
 	// Ablation switches (experiment E9): disable the paper's
 	// imbalance countermeasures one at a time.
@@ -61,7 +70,8 @@ type PipelineConfig struct {
 	// teacher and distilling a student. It receives the fold's
 	// training/validation examples (already augmented and weighted
 	// per the other options) and returns the classifier to score the
-	// fold's test set with.
+	// fold's test set with. With Workers > 1 the hook runs from
+	// multiple goroutines and must be safe to call concurrently.
 	Fitter func(winSamples, pos, total int, train, val []nn.Example, tc nn.TrainConfig, rng *rand.Rand) (model.Classifier, error)
 }
 
@@ -159,70 +169,100 @@ func RunKFold(d *dataset.Dataset, kind model.Kind, cfg PipelineConfig) (*Result,
 	}
 
 	res := &Result{Model: kind.String(), Window: cfg.Segment.WindowMS}
-	for fi, fold := range folds {
-		trainSegs, valSegs, testSegs := fold.SplitSegments(segs)
-		if len(trainSegs) == 0 || len(testSegs) == 0 {
-			return nil, fmt.Errorf("eval: fold %d has empty train or test", fi)
-		}
-		foldRng := rand.New(rand.NewSource(cfg.Seed + int64(1000*(fi+1))))
-
-		train := toExamples(subsampleNegatives(trainSegs, cfg.MaxTrainNeg, foldRng))
-		if !cfg.DisableAugment {
-			train = augment.Positives(train, cfg.AugmentFactor, foldRng)
-		}
-		val := toExamples(valSegs)
-
-		pos := 0
-		for _, e := range train {
-			pos += e.Y
-		}
-		biasPos, biasTotal := pos, len(train)
-		if cfg.DisableBiasInit {
-			biasPos, biasTotal = 0, 0
-		}
-		trainCfg := cfg.Train
-		if cfg.DisableClassWeights {
-			trainCfg.ClassWeights = [2]float64{1, 1}
-		}
-		var m model.Classifier
-		if cfg.Fitter != nil {
-			m, err = cfg.Fitter(cfg.Segment.WindowSamples(), biasPos, biasTotal, train, val, trainCfg, foldRng)
-			if err != nil {
-				return nil, err
-			}
-		} else {
-			tm, err := buildTrainable(kind, cfg.Segment.WindowSamples(), biasPos, biasTotal, foldRng)
-			if err != nil {
-				return nil, err
-			}
-			if err := tm.Fit(train, val, trainCfg, foldRng); err != nil {
-				return nil, err
-			}
-			m = tm
-		}
-
-		thr := cfg.Threshold
-		if cfg.TuneThreshold && len(val) > 0 {
-			beta := cfg.TuneBeta
-			if beta <= 0 {
-				beta = 1
-			}
-			thr = tuneThreshold(m, val, beta)
-		}
-		fr := FoldResult{Threshold: thr}
-		for i := range testSegs {
-			sc := m.Score(testSegs[i].X)
-			fr.Confusion.AddThreshold(sc, testSegs[i].Y, thr)
-			fr.Test = append(fr.Test, ScoredSegment{Segment: testSegs[i], Score: sc, Threshold: thr})
-		}
-		res.Pooled.Merge(fr.Confusion)
-		res.Folds = append(res.Folds, fr)
+	res.Folds = make([]FoldResult, len(folds))
+	errs := make([]error, len(folds))
+	logs := make([]bytes.Buffer, len(folds))
+	// Folds are independent given the split (each fold's rng is seeded
+	// from Seed and the fold index alone), so they fan out across the
+	// pool; fold fi's result lands in slot fi and its log lines in
+	// buffer fi, making the run identical to a serial one.
+	par.New(cfg.Workers).Run(len(folds), func(_, fi int) {
+		var w io.Writer
 		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "%s %dms fold %d/%d: %v thr=%.2f (train %d, test %d)\n",
-				res.Model, res.Window, fi+1, len(folds), &fr.Confusion, thr, len(train), len(testSegs))
+			w = &logs[fi]
+		}
+		res.Folds[fi], errs[fi] = runFold(kind, cfg, res, segs, &folds[fi], fi, len(folds), w)
+	})
+	for fi := range folds {
+		if cfg.Log != nil {
+			cfg.Log.Write(logs[fi].Bytes())
+		}
+		if errs[fi] != nil {
+			return nil, errs[fi]
 		}
 	}
+	for i := range res.Folds {
+		res.Pooled.Merge(res.Folds[i].Confusion)
+	}
 	return res, nil
+}
+
+// runFold trains and scores one cross-validation fold. It touches only
+// fold-local state: segs is read-only, the fold rng is derived from the
+// seed and fold index, and progress lines go to the caller's buffer.
+func runFold(kind model.Kind, cfg PipelineConfig, res *Result, segs []dataset.Segment,
+	fold *dataset.Fold, fi, nFolds int, log io.Writer) (FoldResult, error) {
+	trainSegs, valSegs, testSegs := fold.SplitSegments(segs)
+	if len(trainSegs) == 0 || len(testSegs) == 0 {
+		return FoldResult{}, fmt.Errorf("eval: fold %d has empty train or test", fi)
+	}
+	foldRng := rand.New(rand.NewSource(cfg.Seed + int64(1000*(fi+1))))
+
+	train := toExamples(subsampleNegatives(trainSegs, cfg.MaxTrainNeg, foldRng))
+	if !cfg.DisableAugment {
+		train = augment.Positives(train, cfg.AugmentFactor, foldRng)
+	}
+	val := toExamples(valSegs)
+
+	pos := 0
+	for _, e := range train {
+		pos += e.Y
+	}
+	biasPos, biasTotal := pos, len(train)
+	if cfg.DisableBiasInit {
+		biasPos, biasTotal = 0, 0
+	}
+	trainCfg := cfg.Train
+	if cfg.DisableClassWeights {
+		trainCfg.ClassWeights = [2]float64{1, 1}
+	}
+	var m model.Classifier
+	var err error
+	if cfg.Fitter != nil {
+		m, err = cfg.Fitter(cfg.Segment.WindowSamples(), biasPos, biasTotal, train, val, trainCfg, foldRng)
+		if err != nil {
+			return FoldResult{}, err
+		}
+	} else {
+		tm, err := buildTrainable(kind, cfg.Segment.WindowSamples(), biasPos, biasTotal, foldRng)
+		if err != nil {
+			return FoldResult{}, err
+		}
+		if err := tm.Fit(train, val, trainCfg, foldRng); err != nil {
+			return FoldResult{}, err
+		}
+		m = tm
+	}
+
+	thr := cfg.Threshold
+	if cfg.TuneThreshold && len(val) > 0 {
+		beta := cfg.TuneBeta
+		if beta <= 0 {
+			beta = 1
+		}
+		thr = tuneThreshold(m, val, beta)
+	}
+	fr := FoldResult{Threshold: thr}
+	for i := range testSegs {
+		sc := m.Score(testSegs[i].X)
+		fr.Confusion.AddThreshold(sc, testSegs[i].Y, thr)
+		fr.Test = append(fr.Test, ScoredSegment{Segment: testSegs[i], Score: sc, Threshold: thr})
+	}
+	if log != nil {
+		fmt.Fprintf(log, "%s %dms fold %d/%d: %v thr=%.2f (train %d, test %d)\n",
+			res.Model, res.Window, fi+1, nFolds, &fr.Confusion, thr, len(train), len(testSegs))
+	}
+	return fr, nil
 }
 
 // tuneThreshold sweeps the decision threshold over the validation set

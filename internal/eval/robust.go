@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/edge"
 	"repro/internal/fault"
+	"repro/internal/par"
 )
 
 // RobustnessPoint is the streaming detector's performance under one
@@ -58,23 +59,51 @@ type RobustnessReport struct {
 // is reproducible sample for sample.
 func EvaluateRobustness(det *edge.Detector, trials []dataset.Trial,
 	kinds []fault.Kind, severities []float64, seed int64) *RobustnessReport {
+	return EvaluateRobustnessParallel([]*edge.Detector{det}, trials, kinds, severities, seed)
+}
+
+// EvaluateRobustnessParallel is EvaluateRobustness with the fault
+// conditions fanned out across len(dets) workers. Each detector must
+// be an independent pipeline instance (detectors carry filter, ring
+// and classifier-scratch state): worker w replays its conditions on
+// dets[w], every condition's injector is seeded from the sweep seed
+// and the condition alone, and SimulateFaulty resets the detector per
+// trial — so the report is identical for any detector count.
+func EvaluateRobustnessParallel(dets []*edge.Detector, trials []dataset.Trial,
+	kinds []fault.Kind, severities []float64, seed int64) *RobustnessReport {
 	if len(kinds) == 0 {
 		kinds = fault.Kinds()
 	}
 	if len(severities) == 0 {
 		severities = []float64{0.1, 0.25, 0.5}
 	}
-	rep := &RobustnessReport{Clean: simulateAll(det, trials, nil)}
-	rep.Clean.Fault = "clean"
+	type cond struct {
+		kind fault.Kind
+		sev  float64
+	}
+	var conds []cond
 	for _, k := range kinds {
 		for _, sev := range severities {
-			inj := fault.New(k, sev, seed+int64(k)*1000+int64(100*sev))
-			p := simulateAll(det, trials, inj)
-			p.Fault = k.String()
-			p.Severity = sev
-			rep.Points = append(rep.Points, p)
+			conds = append(conds, cond{k, sev})
 		}
 	}
+	rep := &RobustnessReport{Points: make([]RobustnessPoint, len(conds))}
+	// Condition index 0 is the clean baseline; faults follow in sweep
+	// order. Each point lands in its own slot.
+	par.New(len(dets)).Run(len(conds)+1, func(w, i int) {
+		det := dets[w]
+		if i == 0 {
+			rep.Clean = simulateAll(det, trials, nil)
+			rep.Clean.Fault = "clean"
+			return
+		}
+		c := conds[i-1]
+		inj := fault.New(c.kind, c.sev, seed+int64(c.kind)*1000+int64(100*c.sev))
+		p := simulateAll(det, trials, inj)
+		p.Fault = c.kind.String()
+		p.Severity = c.sev
+		rep.Points[i-1] = p
+	})
 	return rep
 }
 

@@ -210,11 +210,37 @@ func (m *NetModel) Kind() Kind { return m.kind }
 // Score implements Classifier.
 func (m *NetModel) Score(x *tensor.Tensor) float64 { return m.Net.Predict(x) }
 
-// Fit implements Trainable.
+// Fit implements Trainable. With cfg.Workers > 1 the trainer shards
+// each mini-batch across per-worker replicas built by Replicate;
+// results are bit-identical to serial training.
 func (m *NetModel) Fit(train, val []nn.Example, cfg nn.TrainConfig, rng *rand.Rand) error {
 	tr := nn.NewTrainer(m.Net, nn.NewAdam(1e-3), cfg, rng)
+	tr.Replicate = m.Replicate
 	_, err := tr.Fit(train, val)
 	return err
+}
+
+// Replicate builds a structurally identical network for a data-parallel
+// training or evaluation worker. The replica's random initialisation is
+// irrelevant: the trainer overwrites replica weights from the master on
+// every sync.
+func (m *NetModel) Replicate() *nn.Network {
+	r, err := New(m.kind, m.cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		// New succeeded for this exact (kind, cfg) when m was built.
+		panic(fmt.Sprintf("model: replicating %v: %v", m.kind, err))
+	}
+	return r.Net
+}
+
+// Clone returns an independent model with identical weights. A
+// Network's layer scratch makes it single-goroutine by contract, so
+// concurrent scoring (parallel folds, robustness sweeps) gives each
+// goroutine its own clone.
+func (m *NetModel) Clone() *NetModel {
+	c := &NetModel{kind: m.kind, Net: m.Replicate(), cfg: m.cfg}
+	c.Net.Restore(m.Net.Snapshot())
+	return c
 }
 
 // SetOutputBias applies the paper's output-bias initialisation

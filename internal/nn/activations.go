@@ -10,7 +10,8 @@ import (
 
 // ReLU is the rectified linear activation, element-wise.
 type ReLU struct {
-	mask []bool
+	mask  []bool
+	y, dx *tensor.Tensor // scratch, reused across calls
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -27,16 +28,27 @@ func (r *ReLU) OutShape(in []int) ([]int, error) { return in, nil }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
+	y := tensor.Reuse(r.y, x.Shape()...)
+	r.y = y
 	d := y.Data()
 	if train {
-		r.mask = make([]bool, len(d))
+		if cap(r.mask) >= len(d) {
+			r.mask = r.mask[:len(d)]
+		} else {
+			r.mask = make([]bool, len(d))
+		}
 	}
-	for i, v := range d {
+	for i, v := range x.Data() {
 		if v <= 0 {
 			d[i] = 0
-		} else if train {
-			r.mask[i] = true
+			if train {
+				r.mask[i] = false
+			}
+		} else {
+			d[i] = v
+			if train {
+				r.mask[i] = true
+			}
 		}
 	}
 	return y
@@ -44,7 +56,9 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := grad.Clone()
+	dx := tensor.Reuse(r.dx, grad.Shape()...)
+	r.dx = dx
+	copy(dx.Data(), grad.Data())
 	d := dx.Data()
 	for i := range d {
 		if !r.mask[i] {
@@ -56,7 +70,8 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // Sigmoid is the logistic activation, element-wise.
 type Sigmoid struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor // scratch; doubles as the train-time cache
+	dx *tensor.Tensor // backward scratch
 }
 
 // NewSigmoid returns a sigmoid activation layer.
@@ -73,17 +88,20 @@ func (s *Sigmoid) OutShape(in []int) ([]int, error) { return in, nil }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	y.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
-	if train {
-		s.y = y
+	y := tensor.Reuse(s.y, x.Shape()...)
+	s.y = y
+	yd := y.Data()
+	for i, v := range x.Data() {
+		yd[i] = 1 / (1 + math.Exp(-v))
 	}
 	return y
 }
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := grad.Clone()
+	dx := tensor.Reuse(s.dx, grad.Shape()...)
+	s.dx = dx
+	copy(dx.Data(), grad.Data())
 	d, yd := dx.Data(), s.y.Data()
 	for i := range d {
 		d[i] *= yd[i] * (1 - yd[i])
@@ -93,7 +111,8 @@ func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // Tanh is the hyperbolic-tangent activation, element-wise.
 type Tanh struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor // scratch; doubles as the train-time cache
+	dx *tensor.Tensor // backward scratch
 }
 
 // NewTanh returns a tanh activation layer.
@@ -110,17 +129,20 @@ func (t *Tanh) OutShape(in []int) ([]int, error) { return in, nil }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	y.Apply(math.Tanh)
-	if train {
-		t.y = y
+	y := tensor.Reuse(t.y, x.Shape()...)
+	t.y = y
+	yd := y.Data()
+	for i, v := range x.Data() {
+		yd[i] = math.Tanh(v)
 	}
 	return y
 }
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := grad.Clone()
+	dx := tensor.Reuse(t.dx, grad.Shape()...)
+	t.dx = dx
+	copy(dx.Data(), grad.Data())
 	d, yd := dx.Data(), t.y.Data()
 	for i := range d {
 		d[i] *= 1 - yd[i]*yd[i]
@@ -131,6 +153,8 @@ func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Flatten reshapes any input to 1-D.
 type Flatten struct {
 	inShape []int
+	view    *tensor.Tensor // cached 1-D view of the last input buffer
+	back    *tensor.Tensor // cached reshaped view of the last gradient
 }
 
 // NewFlatten returns a flattening layer.
@@ -154,14 +178,20 @@ func (f *Flatten) OutShape(in []int) ([]int, error) {
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
-		f.inShape = append([]int(nil), x.Shape()...)
+		f.inShape = append(f.inShape[:0], x.Shape()...)
 	}
-	return x.Reshape(x.Len())
+	if x.Dims() == 1 {
+		return x
+	}
+	return tensor.ViewInto(&f.view, x, x.Len())
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.inShape...)
+	if len(f.inShape) == 1 && grad.Dims() == 1 {
+		return grad
+	}
+	return tensor.ViewInto(&f.back, grad, f.inShape...)
 }
 
 // Dropout randomly zeroes activations during training with probability

@@ -17,7 +17,16 @@ type Branch struct {
 	Cols    [][2]int
 	Stacks  [][]Layer
 	inShape []int
-	sizes   []int // flattened output length per branch
+	sizes   []int   // flattened output length per branch
+	outSh   [][]int // pre-flatten output shape per branch
+
+	// Scratch buffers reused across calls (see DESIGN.md §8).
+	ins   []*tensor.Tensor // per-branch column slices (forward input)
+	views []*tensor.Tensor // per-branch cached 1-D flatten views
+	parts []*tensor.Tensor // per-branch flattened outputs, gathered per call
+	cat   *tensor.Tensor   // concatenated forward output
+	gs    []*tensor.Tensor // per-branch backward gradient slices
+	dx    *tensor.Tensor   // backward input gradient
 }
 
 // NewBranch builds a branch layer; cols and stacks must correspond.
@@ -74,10 +83,11 @@ func (b *Branch) OutShape(in []int) ([]int, error) {
 	return []int{total}, nil
 }
 
-// slice extracts columns [lo,hi) of x into a new [T × hi-lo] tensor.
-func slice(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
+// sliceInto extracts columns [lo,hi) of x into dst (scratch, possibly
+// nil) and returns the [T × hi-lo] result.
+func sliceInto(dst, x *tensor.Tensor, lo, hi int) *tensor.Tensor {
 	T, C := x.Dim(0), x.Dim(1)
-	out := tensor.New(T, hi-lo)
+	out := tensor.Reuse(dst, T, hi-lo)
 	xd, od := x.Data(), out.Data()
 	w := hi - lo
 	for t := 0; t < T; t++ {
@@ -86,53 +96,76 @@ func slice(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
 	return out
 }
 
+// ensureScratch sizes the per-branch scratch slices once.
+func (b *Branch) ensureScratch() {
+	if b.ins != nil {
+		return
+	}
+	n := len(b.Stacks)
+	b.ins = make([]*tensor.Tensor, n)
+	b.views = make([]*tensor.Tensor, n)
+	b.parts = make([]*tensor.Tensor, n)
+	b.gs = make([]*tensor.Tensor, n)
+	b.outSh = make([][]int, n)
+}
+
 // Forward implements Layer.
 func (b *Branch) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() != 2 {
 		panic(fmt.Sprintf("nn: %s got shape %v", b.Name(), x.Shape()))
 	}
+	b.ensureScratch()
 	if train {
-		b.inShape = append([]int(nil), x.Shape()...)
-		b.sizes = make([]int, len(b.Stacks))
+		b.inShape = append(b.inShape[:0], x.Shape()...)
+		if cap(b.sizes) >= len(b.Stacks) {
+			b.sizes = b.sizes[:len(b.Stacks)]
+		} else {
+			b.sizes = make([]int, len(b.Stacks))
+		}
 	}
-	parts := make([]*tensor.Tensor, len(b.Stacks))
+	total := 0
 	for i, stack := range b.Stacks {
-		h := slice(x, b.Cols[i][0], b.Cols[i][1])
+		in := sliceInto(b.ins[i], x, b.Cols[i][0], b.Cols[i][1])
+		b.ins[i] = in
+		h := in
 		for _, l := range stack {
 			h = l.Forward(h, train)
 		}
-		h = h.Reshape(h.Len())
 		if train {
+			b.outSh[i] = append(b.outSh[i][:0], h.Shape()...)
 			b.sizes[i] = h.Len()
 		}
-		parts[i] = h
+		if h.Dims() != 1 {
+			h = tensor.ViewInto(&b.views[i], h, h.Len())
+		}
+		b.parts[i] = h
+		total += h.Len()
 	}
-	return tensor.Concat1D(parts...)
+	cat := tensor.Reuse(b.cat, total)
+	b.cat = cat
+	off := 0
+	for _, p := range b.parts {
+		copy(cat.Data()[off:], p.Data())
+		off += p.Len()
+	}
+	return cat
 }
 
 // Backward implements Layer.
 func (b *Branch) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(b.inShape...)
+	dx := tensor.Reuse(b.dx, b.inShape...)
+	b.dx = dx
+	dx.Zero() // the column scatter accumulates into reused scratch
 	dxd := dx.Data()
 	T, C := b.inShape[0], b.inShape[1]
 	off := 0
 	for i, stack := range b.Stacks {
-		g := tensor.FromSlice(grad.Data()[off:off+b.sizes[i]], b.sizes[i])
+		// Re-inflate the flat gradient slice to the stack's output shape
+		// (cached by the matching train-time Forward) in branch scratch.
+		gt := tensor.Reuse(b.gs[i], b.outSh[i]...)
+		b.gs[i] = gt
+		copy(gt.Data(), grad.Data()[off:off+b.sizes[i]])
 		off += b.sizes[i]
-		// Re-inflate to the stack's output shape by replaying shapes
-		// backward: each layer's Backward knows its own input shape,
-		// so we only need the flattened→shaped fix at the top, which
-		// the last layer's cached state handles when we reshape to
-		// its output. We recover the shape via OutShape.
-		shape := []int{T, b.Cols[i][1] - b.Cols[i][0]}
-		for _, l := range stack {
-			var err error
-			shape, err = l.OutShape(shape)
-			if err != nil {
-				panic(err)
-			}
-		}
-		gt := g.Reshape(shape...)
 		for j := len(stack) - 1; j >= 0; j-- {
 			gt = stack[j].Backward(gt)
 		}

@@ -16,6 +16,10 @@ type Conv1D struct {
 	Bias                  *Param // [Filters]
 
 	x *tensor.Tensor
+	// Scratch buffers reused across calls; forward (y) and backward (dx)
+	// outputs stay distinct so a caller may hold a Backward result across
+	// later Forward passes (the gradient checker does).
+	y, dx *tensor.Tensor
 }
 
 // NewConv1D returns a Glorot-initialised 1-D convolution layer.
@@ -64,7 +68,8 @@ func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		c.x = x
 	}
-	y := tensor.New(outT, c.Filters)
+	y := tensor.Reuse(c.y, outT, c.Filters)
+	c.y = y
 	xd, yd := x.Data(), y.Data()
 	wd, bd := c.Weight.W.Data(), c.Bias.W.Data()
 	kc := c.Kernel * c.InCh
@@ -87,8 +92,12 @@ func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (c *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	T := c.x.Dim(0)
 	outT := T - c.Kernel + 1
-	checkShape(c.Name()+" grad", grad.Shape(), []int{outT, c.Filters})
-	dx := tensor.New(T, c.InCh)
+	if grad.Dims() != 2 || grad.Dim(0) != outT || grad.Dim(1) != c.Filters {
+		checkShape(c.Name()+" grad", grad.Shape(), []int{outT, c.Filters})
+	}
+	dx := tensor.Reuse(c.dx, T, c.InCh)
+	c.dx = dx
+	dx.Zero() // the loop below accumulates into reused scratch
 	xd, gd, dxd := c.x.Data(), grad.Data(), dx.Data()
 	wd, wg := c.Weight.W.Data(), c.Weight.G.Data()
 	bg := c.Bias.G.Data()
@@ -123,6 +132,7 @@ type MaxPool1D struct {
 	argmax []int // flat input index chosen per output element
 	inT    int
 	ch     int
+	y, dx  *tensor.Tensor // scratch, reused across calls
 }
 
 // NewMaxPool1D returns a max-pooling layer with the given window.
@@ -156,9 +166,14 @@ func (m *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	T, C := x.Dim(0), x.Dim(1)
 	outT := m.outT(T)
-	y := tensor.New(outT, C)
+	y := tensor.Reuse(m.y, outT, C)
+	m.y = y
 	if train {
-		m.argmax = make([]int, outT*C)
+		if cap(m.argmax) >= outT*C {
+			m.argmax = m.argmax[:outT*C]
+		} else {
+			m.argmax = make([]int, outT*C)
+		}
 		m.inT, m.ch = T, C
 	}
 	xd, yd := x.Data(), y.Data()
@@ -187,7 +202,9 @@ func (m *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (m *MaxPool1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(m.inT, m.ch)
+	dx := tensor.Reuse(m.dx, m.inT, m.ch)
+	m.dx = dx
+	dx.Zero() // the argmax scatter accumulates into reused scratch
 	dxd, gd := dx.Data(), grad.Data()
 	for i, src := range m.argmax {
 		dxd[src] += gd[i]

@@ -13,7 +13,8 @@ type Dense struct {
 	Weight  *Param // [Out × In]
 	Bias    *Param // [Out]
 
-	x *tensor.Tensor // forward cache
+	x     *tensor.Tensor // forward cache
+	y, dx *tensor.Tensor // scratch, reused across calls
 }
 
 // NewDense returns a Glorot-initialised fully connected layer.
@@ -44,21 +45,39 @@ func (d *Dense) OutShape(in []int) ([]int, error) {
 
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkShape(d.Name(), x.Shape(), []int{d.In})
+	if x.Dims() != 1 || x.Dim(0) != d.In {
+		// Cold path: checkShape's message without paying its argument
+		// allocations (Sprintf name, shape literal) on every call.
+		checkShape(d.Name(), x.Shape(), []int{d.In})
+	}
 	if train {
 		d.x = x
 	}
-	y := tensor.MatVec(d.Weight.W, x)
-	y.AddScaled(1, d.Bias.W)
+	y := tensor.Reuse(d.y, d.Out)
+	d.y = y
+	xd, yd := x.Data(), y.Data()
+	wd, bd := d.Weight.W.Data(), d.Bias.W.Data()
+	for o := 0; o < d.Out; o++ {
+		row := wd[o*d.In : (o+1)*d.In]
+		s := bd[o]
+		for i, v := range row {
+			s += v * xd[i]
+		}
+		yd[o] = s
+	}
 	return y
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	checkShape(d.Name()+" grad", grad.Shape(), []int{d.Out})
+	if grad.Dims() != 1 || grad.Dim(0) != d.Out {
+		checkShape(d.Name()+" grad", grad.Shape(), []int{d.Out})
+	}
 	gd, xd := grad.Data(), d.x.Data()
 	wg, wd := d.Weight.G.Data(), d.Weight.W.Data()
-	dx := tensor.New(d.In)
+	dx := tensor.Reuse(d.dx, d.In)
+	d.dx = dx
+	dx.Zero() // the loop below accumulates into reused scratch
 	dxd := dx.Data()
 	for o := 0; o < d.Out; o++ {
 		g := gd[o]

@@ -42,14 +42,18 @@ func (l *WeightedBCE) Loss(p float64, y int) float64 {
 // Grad returns ∂loss/∂p as a 1-element tensor suitable for
 // Network.Backward (the sigmoid layer converts it to ∂loss/∂logit).
 func (l *WeightedBCE) Grad(p float64, y int) *tensor.Tensor {
+	return tensor.FromSlice([]float64{l.GradValue(p, y)}, 1)
+}
+
+// GradValue returns ∂loss/∂p as a bare scalar — the allocation-free
+// variant of Grad for hot training loops that own a reusable 1-element
+// gradient tensor.
+func (l *WeightedBCE) GradValue(p float64, y int) float64 {
 	p = math.Min(1-eps, math.Max(eps, p))
-	var g float64
 	if y == 1 {
-		g = -l.W1 / p
-	} else {
-		g = l.W0 / (1 - p)
+		return -l.W1 / p
 	}
-	return tensor.FromSlice([]float64{g}, 1)
+	return l.W0 / (1 - p)
 }
 
 // InitialBias returns the paper's output-layer bias initialisation for

@@ -14,8 +14,16 @@ import (
 
 // Network is a sequential stack of layers ending, for the binary
 // models in this repository, in a 1-unit sigmoid.
+//
+// Layers must not be appended or replaced after the first call to
+// Params/ZeroGrad — the parameter list is cached so the training hot
+// loop does not allocate it per batch. A Network (its layers hold
+// reusable scratch buffers) must not be used from multiple goroutines;
+// the trainer gives each worker its own replica.
 type Network struct {
 	Layers []Layer
+
+	params []*Param // cached by Params; Layers is fixed after first use
 }
 
 // NewNetwork builds a sequential network.
@@ -38,18 +46,23 @@ func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Predict returns the scalar output (fall probability) for one window.
+// Steady-state calls are allocation-free: every layer writes into its
+// own reusable scratch buffer.
 func (n *Network) Predict(x *tensor.Tensor) float64 {
 	out := n.Forward(x, false)
 	return out.Data()[0]
 }
 
-// Params returns all learnable parameters.
+// Params returns all learnable parameters. The slice is cached (and
+// returned by reference) so hot loops can call it freely; callers must
+// not mutate it.
 func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.Layers {
+			n.params = append(n.params, l.Params()...)
+		}
 	}
-	return ps
+	return n.params
 }
 
 // ZeroGrad clears all accumulated gradients.

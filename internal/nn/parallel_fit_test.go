@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// fitResult captures everything the bit-identity contract covers: the
+// per-epoch losses, the best epoch, the final weights and the raw bytes
+// of the completed checkpoint file.
+type fitResult struct {
+	hist    *History
+	weights [][]float64
+	ckpt    []byte
+}
+
+func runParallelFit(t *testing.T, workers int) fitResult {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fit.ckpt")
+	rng := rand.New(rand.NewSource(5))
+	train := toyProblem(200, rng)
+	val := toyProblem(60, rng)
+	net := toyNet(rng)
+	tr := NewTrainer(net, NewAdam(0.01), TrainConfig{
+		Epochs: 8, Patience: 8, BatchSize: 32, Workers: workers,
+		Checkpoint: &Checkpointer{Path: path},
+	}, rng)
+	// The factory's own init is irrelevant: replica weights are synced
+	// from the master every batch.
+	tr.Replicate = func() *Network { return toyNet(rand.New(rand.NewSource(999))) }
+	hist, err := tr.Fit(train, val)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("workers=%d: reading checkpoint: %v", workers, err)
+	}
+	return fitResult{hist: hist, weights: net.Snapshot(), ckpt: raw}
+}
+
+// TestParallelFitBitIdentical is the tentpole contract: Fit with
+// workers=2 and workers=4 must produce exactly the losses, weights and
+// checkpoint bytes of workers=1 — gradients are reduced in fixed chunk
+// order, so floating-point non-associativity never leaks parallelism
+// into the result.
+func TestParallelFitBitIdentical(t *testing.T) {
+	base := runParallelFit(t, 1)
+	for _, workers := range []int{2, 4} {
+		got := runParallelFit(t, workers)
+		if len(got.hist.TrainLoss) != len(base.hist.TrainLoss) {
+			t.Fatalf("workers=%d: %d epochs, serial ran %d",
+				workers, len(got.hist.TrainLoss), len(base.hist.TrainLoss))
+		}
+		for e := range base.hist.TrainLoss {
+			if got.hist.TrainLoss[e] != base.hist.TrainLoss[e] {
+				t.Errorf("workers=%d: train loss differs at epoch %d: %g vs %g",
+					workers, e, got.hist.TrainLoss[e], base.hist.TrainLoss[e])
+			}
+			if got.hist.ValLoss[e] != base.hist.ValLoss[e] {
+				t.Errorf("workers=%d: val loss differs at epoch %d: %g vs %g",
+					workers, e, got.hist.ValLoss[e], base.hist.ValLoss[e])
+			}
+		}
+		if got.hist.BestEpoch != base.hist.BestEpoch {
+			t.Errorf("workers=%d: best epoch %d, serial %d",
+				workers, got.hist.BestEpoch, base.hist.BestEpoch)
+		}
+		for i := range base.weights {
+			for j := range base.weights[i] {
+				if got.weights[i][j] != base.weights[i][j] {
+					t.Fatalf("workers=%d: weight tensor %d element %d differs: %g vs %g",
+						workers, i, j, got.weights[i][j], base.weights[i][j])
+				}
+			}
+		}
+		if !bytes.Equal(got.ckpt, base.ckpt) {
+			t.Errorf("workers=%d: checkpoint bytes differ from serial run", workers)
+		}
+	}
+}
+
+// TestParallelFitNeedsReplicateFactory: multi-worker training without a
+// replica factory must fail loudly, not race on shared layer scratch.
+func TestParallelFitNeedsReplicateFactory(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	train := toyProblem(40, rng)
+	tr := NewTrainer(toyNet(rng), NewAdam(0.01),
+		TrainConfig{Epochs: 1, BatchSize: 16, Workers: 4}, rng)
+	if _, err := tr.Fit(train, nil); err == nil {
+		t.Fatal("Workers=4 without Replicate was accepted")
+	}
+}
+
+// TestParallelFitRejectsMismatchedReplica: a factory returning a
+// structurally different network must be rejected before training.
+func TestParallelFitRejectsMismatchedReplica(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	train := toyProblem(40, rng)
+	tr := NewTrainer(toyNet(rng), NewAdam(0.01),
+		TrainConfig{Epochs: 1, BatchSize: 16, Workers: 2}, rng)
+	tr.Replicate = func() *Network {
+		return NewNetwork(NewDense(2, 3, rng), NewSigmoid())
+	}
+	if _, err := tr.Fit(train, nil); err == nil {
+		t.Fatal("mismatched replica accepted")
+	}
+}
+
+// TestPredictAllocationFree: steady-state inference must not allocate —
+// every layer reuses its own scratch buffer.
+func TestPredictAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := toyNet(rng)
+	x := tensor.FromSlice([]float64{0.4, -0.2}, 2)
+	net.Predict(x) // warm up the scratch buffers
+	if allocs := testing.AllocsPerRun(200, func() { net.Predict(x) }); allocs != 0 {
+		t.Fatalf("Network.Predict allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/par"
 	"repro/internal/tensor"
 )
 
@@ -56,6 +57,13 @@ type TrainConfig struct {
 	// (1e6); negative disables the absolute bound (non-finite losses
 	// are always divergence).
 	MaxLoss float64
+	// Workers is the data-parallel worker count: each mini-batch is
+	// split into fixed-size example chunks processed on per-worker
+	// network replicas, and the chunk gradients are reduced in chunk
+	// order — so the result is bit-identical for every worker count
+	// (see DESIGN.md §8). Values ≤ 1 train serially; > 1 requires the
+	// trainer's Replicate factory.
+	Workers int
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -73,6 +81,9 @@ func (c TrainConfig) withDefaults() TrainConfig {
 	}
 	if c.MaxLoss == 0 {
 		c.MaxLoss = 1e6
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -110,6 +121,19 @@ func (e *DivergedError) Error() string {
 // divergence rollback.
 const rollbackLRFactor = 0.5
 
+// Gradient and loss sums are always accumulated in fixed-size example
+// chunks and the chunk partials reduced in chunk order. Because the
+// chunk decomposition depends only on the batch layout — never on the
+// worker count — floating-point non-associativity cannot make a
+// parallel run drift from a serial one: workers=N and workers=1 produce
+// bit-identical weights, losses and checkpoints.
+const (
+	// gradChunk is the number of examples per gradient partial sum.
+	gradChunk = 8
+	// evalChunk is the number of examples per validation-loss partial.
+	evalChunk = 64
+)
+
 // Trainer fits a Network with mini-batch gradient descent, weighted
 // BCE and early stopping on validation loss.
 type Trainer struct {
@@ -118,11 +142,86 @@ type Trainer struct {
 	Cfg  TrainConfig
 	Rng  *rand.Rand
 	Loss *WeightedBCE
+	// Replicate returns a structurally identical network (weights are
+	// overwritten by replica sync, so the factory's initialisation does
+	// not matter). Required when Cfg.Workers > 1; each worker beyond
+	// the first trains on its own replica because layer scratch buffers
+	// make a Network single-goroutine by contract.
+	Replicate func() *Network
+
+	pool      *par.Pool
+	nets      []*Network // nets[0] is Net; the rest are replicas
+	netParams [][]*Param
+	gbuf      []*tensor.Tensor // per-worker 1-element output gradients
+	offsets   []int            // flat offset of each param in a chunk buffer
+	chunkG    [][]float64      // per-chunk flat gradient partials
+	chunkL    []float64        // per-chunk loss partials
+	evalPart  []float64        // per-chunk validation-loss partials
 }
 
 // NewTrainer wires up a trainer; rng drives shuffling.
 func NewTrainer(net *Network, opt Optimizer, cfg TrainConfig, rng *rand.Rand) *Trainer {
 	return &Trainer{Net: net, Opt: opt, Cfg: cfg.withDefaults(), Rng: rng}
+}
+
+// setupWorkers builds the worker pool, the per-worker network replicas
+// and the per-worker scratch. Idempotent across Fit/Evaluate calls for
+// an unchanged worker count.
+func (t *Trainer) setupWorkers() error {
+	w := t.Cfg.Workers
+	if w < 1 {
+		w = 1
+	}
+	if len(t.nets) == w && t.netParams != nil {
+		return nil
+	}
+	if w > 1 && t.Replicate == nil {
+		return fmt.Errorf("nn: TrainConfig.Workers=%d requires a Replicate factory for per-worker network replicas", w)
+	}
+	master := t.Net.Params()
+	t.pool = par.New(w)
+	t.nets = make([]*Network, w)
+	t.netParams = make([][]*Param, w)
+	t.gbuf = make([]*tensor.Tensor, w)
+	t.nets[0] = t.Net
+	t.netParams[0] = master
+	t.gbuf[0] = tensor.New(1)
+	for i := 1; i < w; i++ {
+		n := t.Replicate()
+		ps := n.Params()
+		if len(ps) != len(master) {
+			return fmt.Errorf("nn: replica has %d param tensors, master has %d", len(ps), len(master))
+		}
+		for pi, p := range ps {
+			if p.W.Len() != master[pi].W.Len() {
+				return fmt.Errorf("nn: replica param %q has %d values, master has %d",
+					p.Name, p.W.Len(), master[pi].W.Len())
+			}
+		}
+		t.nets[i] = n
+		t.netParams[i] = ps
+		t.gbuf[i] = tensor.New(1)
+	}
+	return nil
+}
+
+// syncReplicas copies the master weights into every replica. Called at
+// the top of each mini-batch (and before a parallel Evaluate) so
+// optimizer steps, rollbacks and checkpoint restores all propagate.
+func (t *Trainer) syncReplicas() {
+	for i := 1; i < len(t.nets); i++ {
+		dst := t.netParams[i]
+		for pi, p := range t.netParams[0] {
+			copy(dst[pi].W.Data(), p.W.Data())
+		}
+	}
+}
+
+// zeroGrads clears the gradient tensors of a param list.
+func zeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
 }
 
 // Fit trains on train, early-stops on val, and returns the history.
@@ -156,6 +255,21 @@ func (t *Trainer) Fit(train, val []Example) (*History, error) {
 	if cfg.Checkpoint != nil && ckptOpt == nil {
 		return nil, fmt.Errorf("nn: checkpointing requires a Checkpointable optimizer, %T is not", t.Opt)
 	}
+
+	if err := t.setupWorkers(); err != nil {
+		return nil, err
+	}
+	// Flat per-chunk gradient buffers: offsets[i] is param i's start.
+	t.offsets = make([]int, len(params)+1)
+	for i, p := range params {
+		t.offsets[i+1] = t.offsets[i] + p.G.Len()
+	}
+	maxChunks := (cfg.BatchSize + gradChunk - 1) / gradChunk
+	t.chunkG = make([][]float64, maxChunks)
+	for i := range t.chunkG {
+		t.chunkG[i] = make([]float64, t.offsets[len(params)])
+	}
+	t.chunkL = make([]float64, maxChunks)
 
 	hist := &History{}
 	order := make([]int, len(train))
@@ -253,17 +367,46 @@ func (t *Trainer) Fit(train, val []Example) (*History, error) {
 		epochLoss := 0.0
 		for start := 0; start < len(order); start += cfg.BatchSize {
 			end := min(start+cfg.BatchSize, len(order))
-			t.Net.ZeroGrad()
-			for _, ix := range order[start:end] {
-				e := train[ix]
-				p := t.Net.Forward(e.X, true).Data()[0]
-				epochLoss += t.Loss.Loss(p, e.Y)
-				t.Net.Backward(t.Loss.Grad(p, e.Y))
+			batch := order[start:end]
+			nChunks := (len(batch) + gradChunk - 1) / gradChunk
+			t.syncReplicas()
+			t.pool.Run(nChunks, func(worker, k int) {
+				net, ps, gb := t.nets[worker], t.netParams[worker], t.gbuf[worker]
+				zeroGrads(ps)
+				lo := k * gradChunk
+				hi := min(lo+gradChunk, len(batch))
+				loss := 0.0
+				for _, ix := range batch[lo:hi] {
+					e := train[ix]
+					p := net.Forward(e.X, true).Data()[0]
+					loss += t.Loss.Loss(p, e.Y)
+					gb.Data()[0] = t.Loss.GradValue(p, e.Y)
+					net.Backward(gb)
+				}
+				t.chunkL[k] = loss
+				buf := t.chunkG[k]
+				for pi, pp := range ps {
+					copy(buf[t.offsets[pi]:t.offsets[pi+1]], pp.G.Data())
+				}
+			})
+			// Chunk-ordered reduction into the master gradients: the
+			// summation order is fixed by the batch layout alone, so any
+			// worker count yields bit-identical results.
+			zeroGrads(params)
+			for k := 0; k < nChunks; k++ {
+				epochLoss += t.chunkL[k]
+				buf := t.chunkG[k]
+				for pi, pp := range params {
+					gd := pp.G.Data()
+					for i, v := range buf[t.offsets[pi]:t.offsets[pi+1]] {
+						gd[i] += v
+					}
+				}
 			}
 			if cfg.MaxGradNorm > 0 {
-				ClipGradNorm(t.Net.Params(), cfg.MaxGradNorm*float64(end-start))
+				ClipGradNorm(params, cfg.MaxGradNorm*float64(end-start))
 			}
-			t.Opt.Step(t.Net.Params(), 1/float64(end-start))
+			t.Opt.Step(params, 1/float64(end-start))
 		}
 		epochLoss /= float64(len(train))
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
@@ -353,16 +496,47 @@ func diverged(loss, maxLoss float64) bool {
 }
 
 // Evaluate returns the mean weighted loss over a set (0 for empty).
+// The sum is always accumulated in evalChunk-sized partials reduced in
+// chunk order, and the chunks fan out across the trainer's worker pool
+// when one is configured — so serial and parallel evaluation are
+// bit-identical.
 func (t *Trainer) Evaluate(set []Example) float64 {
 	if len(set) == 0 {
 		return 0
 	}
+	nChunks := (len(set) + evalChunk - 1) / evalChunk
+	if cap(t.evalPart) >= nChunks {
+		t.evalPart = t.evalPart[:nChunks]
+	} else {
+		t.evalPart = make([]float64, nChunks)
+	}
+	part := t.evalPart
+	if len(t.nets) > 1 {
+		t.syncReplicas()
+		t.pool.Run(nChunks, func(worker, k int) {
+			part[k] = t.evalChunkLoss(t.nets[worker], set, k)
+		})
+	} else {
+		for k := 0; k < nChunks; k++ {
+			part[k] = t.evalChunkLoss(t.Net, set, k)
+		}
+	}
 	s := 0.0
-	for _, e := range set {
-		p := t.Net.Predict(e.X)
-		s += t.Loss.Loss(p, e.Y)
+	for _, v := range part {
+		s += v
 	}
 	return s / float64(len(set))
+}
+
+// evalChunkLoss sums the weighted loss of one evalChunk-sized slice.
+func (t *Trainer) evalChunkLoss(net *Network, set []Example, k int) float64 {
+	lo := k * evalChunk
+	hi := min(lo+evalChunk, len(set))
+	s := 0.0
+	for _, e := range set[lo:hi] {
+		s += t.Loss.Loss(net.Predict(e.X), e.Y)
+	}
+	return s
 }
 
 // Score runs the network over a set and tallies a confusion matrix at

@@ -1,0 +1,82 @@
+// Package par provides the small deterministic worker pool behind the
+// data-parallel trainer and the parallel evaluation harness.
+//
+// The pool is deliberately dumb: Run(n, fn) invokes fn(worker, i) once
+// for every index i in [0, n), spread over a fixed number of workers.
+// Determinism is a property of how callers use it, not of the pool
+// itself — the contract is that fn(worker, i) writes only to slot i of
+// shared output state (and to worker-private state indexed by worker),
+// and that the caller reduces the slots in index order afterwards.
+// Under that contract the result is bit-identical for every worker
+// count, because the work decomposition (the index space) never changes
+// with parallelism; only the interleaving does.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs index-space fan-outs over a fixed worker count. The zero
+// value behaves like a single-worker pool. A Pool is itself safe for
+// reuse across many Run calls but a single Run must finish before the
+// next begins.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count; values below 1 are
+// clamped to 1 (serial execution).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the effective worker count.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Run invokes fn(worker, i) exactly once for every i in [0, n).
+// Indices are claimed dynamically (an atomic counter), so slow indices
+// do not stall fast ones; worker identifies which worker-private state
+// (network replica, scratch buffer) the call may touch and is always in
+// [0, Workers()). With one worker — or a single index — Run executes
+// inline on the calling goroutine with no synchronisation at all, so a
+// serial configuration pays nothing for the abstraction.
+func (p *Pool) Run(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for worker := 0; worker < w; worker++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(worker)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversEveryIndexOnce checks the core contract for a spread of
+// worker counts and index-space sizes, including n < workers and n = 0.
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 2, 3, 16, 101} {
+			p := New(workers)
+			counts := make([]int64, n)
+			p.Run(n, func(worker, i int) {
+				if worker < 0 || worker >= p.Workers() {
+					t.Errorf("workers=%d n=%d: worker id %d outside [0,%d)", workers, n, worker, p.Workers())
+				}
+				atomic.AddInt64(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSlotWritesAreDeterministic exercises the intended usage
+// pattern — fn writes only slot i — and checks the reduced result is
+// identical across worker counts (this is also the race-detector
+// coverage for the pool: slot writes from many goroutines must not
+// trip `go test -race`).
+func TestRunSlotWritesAreDeterministic(t *testing.T) {
+	const n = 512
+	reduce := func(workers int) float64 {
+		out := make([]float64, n)
+		New(workers).Run(n, func(_, i int) {
+			v := float64(i)
+			out[i] = v*v + 1/(v+1)
+		})
+		s := 0.0
+		for _, v := range out {
+			s += v
+		}
+		return s
+	}
+	want := reduce(1)
+	for _, workers := range []int{2, 3, 4, 8} {
+		if got := reduce(workers); got != want {
+			t.Fatalf("workers=%d: reduced sum %v differs from serial %v", workers, got, want)
+		}
+	}
+}
+
+// TestWorkersClamp checks the worker-count floor and the nil receiver.
+func TestWorkersClamp(t *testing.T) {
+	if got := New(-3).Workers(); got != 1 {
+		t.Fatalf("New(-3).Workers() = %d, want 1", got)
+	}
+	if got := New(6).Workers(); got != 6 {
+		t.Fatalf("New(6).Workers() = %d, want 6", got)
+	}
+	var p *Pool
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("(*Pool)(nil).Workers() = %d, want 1", got)
+	}
+}
+
+// TestWorkerPrivateStateIsExclusive verifies that two invocations never
+// run concurrently under the same worker id — the property that makes
+// per-worker network replicas safe.
+func TestWorkerPrivateStateIsExclusive(t *testing.T) {
+	const workers, n = 4, 256
+	p := New(workers)
+	busy := make([]atomic.Bool, workers)
+	p.Run(n, func(worker, i int) {
+		if !busy[worker].CompareAndSwap(false, true) {
+			t.Errorf("worker %d re-entered concurrently", worker)
+		}
+		for k := 0; k < 100; k++ {
+			_ = k * k
+		}
+		busy[worker].Store(false)
+	})
+}

@@ -1,0 +1,42 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestQuantizedPredictAllocationFree asserts the deployment contract:
+// after the first call warms the per-op scratch (the analogue of the
+// firmware's static activation arena), QNetwork.Predict never touches
+// the allocator — for the full branch CNN as well as the MLP.
+func TestQuantizedPredictAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		kind model.Kind
+		T    int
+	}{
+		{model.KindCNN, 40},
+		{model.KindMLP, 20},
+	} {
+		m, err := model.New(tc.kind, model.Config{WindowSamples: tc.T}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal := randomWindows(30, tc.T, rng)
+		c, err := Calibrate(m.Net, cal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qn, err := Build(m.Net, c, []int{tc.T, 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := cal[0]
+		qn.Predict(x) // warm up scratch
+		if allocs := testing.AllocsPerRun(200, func() { qn.Predict(x) }); allocs != 0 {
+			t.Errorf("%v: QNetwork.Predict allocates %.1f objects/op at steady state, want 0", tc.kind, allocs)
+		}
+	}
+}

@@ -11,12 +11,17 @@ import (
 // QNetwork is a fully quantized network: int8 tensors end to end,
 // with one float dequantization before the closing sigmoid (on the
 // MCU that last step is a 256-entry lookup table).
+//
+// A QNetwork is not safe for concurrent use: every op reuses its own
+// activation scratch between calls, exactly like the target firmware's
+// static activation arena. Give each goroutine its own instance.
 type QNetwork struct {
 	ops        []qop
 	inShape    []int
 	inScale    float64
 	hasSigmoid bool
 	ramBytes   int
+	in         *qtensor // input-quantization scratch
 }
 
 // Build quantizes a trained float network using calibration ranges.
@@ -41,13 +46,13 @@ func Build(net *nn.Network, cal *Calibration, inShape []int) (*QNetwork, error) 
 			cur = sOut
 		case *nn.ReLU:
 			r.next() // range recorded but scale is preserved
-			q.ops = append(q.ops, qrelu{})
+			q.ops = append(q.ops, &qrelu{})
 		case *nn.MaxPool1D:
 			r.next()
-			q.ops = append(q.ops, qmaxpool{pool: ll.Pool})
+			q.ops = append(q.ops, &qmaxpool{pool: ll.Pool})
 		case *nn.Flatten:
 			r.next()
-			q.ops = append(q.ops, qflatten{})
+			q.ops = append(q.ops, &qflatten{})
 		case *nn.Sigmoid:
 			r.next()
 			if li != len(net.Layers)-1 {
@@ -72,13 +77,13 @@ func Build(net *nn.Network, cal *Calibration, inShape []int) (*QNetwork, error) 
 						bCur = sOut
 					case *nn.ReLU:
 						r.next()
-						ops = append(ops, qrelu{})
+						ops = append(ops, &qrelu{})
 					case *nn.MaxPool1D:
 						r.next()
-						ops = append(ops, qmaxpool{pool: sll.Pool})
+						ops = append(ops, &qmaxpool{pool: sll.Pool})
 					case *nn.Flatten:
 						r.next()
-						ops = append(ops, qflatten{})
+						ops = append(ops, &qflatten{})
 					default:
 						return nil, fmt.Errorf("quant: unsupported branch layer %s", sl.Name())
 					}
@@ -90,7 +95,7 @@ func Build(net *nn.Network, cal *Calibration, inShape []int) (*QNetwork, error) 
 			// Requantize each branch to the shared concat scale.
 			for bi := range qb.stacks {
 				qb.stacks[bi] = append(qb.stacks[bi],
-					qrescale{m: branchScales[bi] / sCat, outScale: sCat})
+					&qrescale{m: branchScales[bi] / sCat, outScale: sCat})
 			}
 			qb.outScale = sCat
 			q.ops = append(q.ops, qb)
@@ -122,13 +127,11 @@ func prod(s []int) int {
 }
 
 // Predict quantizes the input window, runs integer inference and
-// returns the fall probability.
+// returns the fall probability. Steady-state calls are allocation-free:
+// the input quantization and every op reuse their scratch buffers.
 func (q *QNetwork) Predict(x *tensor.Tensor) float64 {
-	in := &qtensor{
-		data:  make([]int8, x.Len()),
-		shape: append([]int(nil), x.Shape()...),
-		scale: q.inScale,
-	}
+	in := reuseQ(q.in, q.inScale, x.Shape()...)
+	q.in = in
 	quantizeTo(in.data, x.Data(), q.inScale)
 	cur := in
 	for _, op := range q.ops {

@@ -16,7 +16,27 @@ type qtensor struct {
 
 func (q *qtensor) len() int { return len(q.data) }
 
-// qop is one integer-inference operation.
+// reuseQ returns scratch when its buffer and rank already match the
+// requested shape (rewriting dims and scale in place) and a fresh
+// qtensor otherwise. Mirrors tensor.Reuse: ops own their returned
+// activation, valid until the op's next forward call.
+func reuseQ(scratch *qtensor, scale float64, shape ...int) *qtensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if scratch == nil || len(scratch.data) != n || len(scratch.shape) != len(shape) {
+		s := make([]int, len(shape))
+		copy(s, shape)
+		return &qtensor{data: make([]int8, n), shape: s, scale: scale}
+	}
+	copy(scratch.shape, shape)
+	scratch.scale = scale
+	return scratch
+}
+
+// qop is one integer-inference operation. Ops hold reusable output
+// scratch, so a QNetwork must not run from multiple goroutines.
 type qop interface {
 	name() string
 	forward(x *qtensor) *qtensor
@@ -43,6 +63,7 @@ type qdense struct {
 	bias     []int32 // at scale sIn·sW
 	m        float64 // sIn·sW / sOut
 	outScale float64
+	scratch  *qtensor
 }
 
 func newQDense(d *nn.Dense, sIn, sOut float64) *qdense {
@@ -66,7 +87,8 @@ func (q *qdense) name() string { return fmt.Sprintf("qdense(%d→%d)", q.in, q.o
 func (q *qdense) flashBytes() int { return len(q.w) + 4*len(q.bias) + 4 /* multiplier */ }
 
 func (q *qdense) forward(x *qtensor) *qtensor {
-	out := &qtensor{data: make([]int8, q.out), shape: []int{q.out}, scale: q.outScale}
+	out := reuseQ(q.scratch, q.outScale, q.out)
+	q.scratch = out
 	for o := 0; o < q.out; o++ {
 		acc := q.bias[o]
 		row := q.w[o*q.in : (o+1)*q.in]
@@ -85,6 +107,7 @@ type qconv1d struct {
 	bias                  []int32
 	m                     float64
 	outScale              float64
+	scratch               *qtensor
 }
 
 func newQConv1D(c *nn.Conv1D, sIn, sOut float64) *qconv1d {
@@ -112,11 +135,8 @@ func (q *qconv1d) flashBytes() int { return len(q.w) + 4*len(q.bias) + 4 }
 func (q *qconv1d) forward(x *qtensor) *qtensor {
 	T := x.shape[0]
 	outT := T - q.kernel + 1
-	out := &qtensor{
-		data:  make([]int8, outT*q.filters),
-		shape: []int{outT, q.filters},
-		scale: q.outScale,
-	}
+	out := reuseQ(q.scratch, q.outScale, outT, q.filters)
+	q.scratch = out
 	kc := q.kernel * q.inCh
 	for t := 0; t < outT; t++ {
 		window := x.data[t*q.inCh : t*q.inCh+kc]
@@ -133,29 +153,36 @@ func (q *qconv1d) forward(x *qtensor) *qtensor {
 }
 
 // qrelu clamps negatives (zero point is 0 under symmetric quantization).
-type qrelu struct{}
+type qrelu struct{ scratch *qtensor }
 
-func (qrelu) name() string    { return "qrelu" }
-func (qrelu) flashBytes() int { return 0 }
-func (qrelu) forward(x *qtensor) *qtensor {
-	out := &qtensor{data: make([]int8, len(x.data)), shape: x.shape, scale: x.scale}
+func (*qrelu) name() string    { return "qrelu" }
+func (*qrelu) flashBytes() int { return 0 }
+func (q *qrelu) forward(x *qtensor) *qtensor {
+	out := reuseQ(q.scratch, x.scale, x.shape...)
+	q.scratch = out
 	for i, v := range x.data {
 		if v > 0 {
 			out.data[i] = v
+		} else {
+			out.data[i] = 0
 		}
 	}
 	return out
 }
 
 // qmaxpool pools the time axis.
-type qmaxpool struct{ pool int }
+type qmaxpool struct {
+	pool    int
+	scratch *qtensor
+}
 
-func (q qmaxpool) name() string    { return fmt.Sprintf("qmaxpool(%d)", q.pool) }
-func (q qmaxpool) flashBytes() int { return 0 }
-func (q qmaxpool) forward(x *qtensor) *qtensor {
+func (q *qmaxpool) name() string    { return fmt.Sprintf("qmaxpool(%d)", q.pool) }
+func (q *qmaxpool) flashBytes() int { return 0 }
+func (q *qmaxpool) forward(x *qtensor) *qtensor {
 	T, C := x.shape[0], x.shape[1]
 	outT := (T + q.pool - 1) / q.pool
-	out := &qtensor{data: make([]int8, outT*C), shape: []int{outT, C}, scale: x.scale}
+	out := reuseQ(q.scratch, x.scale, outT, C)
+	q.scratch = out
 	for ot := 0; ot < outT; ot++ {
 		lo := ot * q.pool
 		hi := min(lo+q.pool, T)
@@ -172,23 +199,34 @@ func (q qmaxpool) forward(x *qtensor) *qtensor {
 	return out
 }
 
-// qflatten reshapes to 1-D.
-type qflatten struct{}
+// qflatten reshapes to 1-D. Its output is a cached header viewing the
+// input's buffer — no copy.
+type qflatten struct{ view *qtensor }
 
-func (qflatten) name() string    { return "qflatten" }
-func (qflatten) flashBytes() int { return 0 }
-func (qflatten) forward(x *qtensor) *qtensor {
-	return &qtensor{data: x.data, shape: []int{len(x.data)}, scale: x.scale}
+func (*qflatten) name() string    { return "qflatten" }
+func (*qflatten) flashBytes() int { return 0 }
+func (q *qflatten) forward(x *qtensor) *qtensor {
+	if q.view == nil {
+		q.view = &qtensor{shape: []int{0}}
+	}
+	q.view.data = x.data
+	q.view.shape[0] = len(x.data)
+	q.view.scale = x.scale
+	return q.view
 }
 
 // qrescale requantizes to a different scale (used to unify branch
 // output scales before concatenation).
-type qrescale struct{ m, outScale float64 }
+type qrescale struct {
+	m, outScale float64
+	scratch     *qtensor
+}
 
-func (qrescale) name() string    { return "qrescale" }
-func (qrescale) flashBytes() int { return 4 }
-func (q qrescale) forward(x *qtensor) *qtensor {
-	out := &qtensor{data: make([]int8, len(x.data)), shape: x.shape, scale: q.outScale}
+func (*qrescale) name() string    { return "qrescale" }
+func (*qrescale) flashBytes() int { return 4 }
+func (q *qrescale) forward(x *qtensor) *qtensor {
+	out := reuseQ(q.scratch, q.outScale, x.shape...)
+	q.scratch = out
 	for i, v := range x.data {
 		out.data[i] = requant(int32(v), q.m)
 	}
@@ -202,6 +240,10 @@ type qbranch struct {
 	stacks   [][]qop
 	inCh     int
 	outScale float64
+
+	ins     []*qtensor // per-branch column-slice scratch
+	parts   []*qtensor // per-branch stack outputs, gathered per call
+	scratch *qtensor   // concatenated output
 }
 
 func (q *qbranch) name() string { return fmt.Sprintf("qbranch(×%d)", len(q.stacks)) }
@@ -218,18 +260,31 @@ func (q *qbranch) flashBytes() int {
 
 func (q *qbranch) forward(x *qtensor) *qtensor {
 	T := x.shape[0]
-	var all []int8
+	if q.ins == nil {
+		q.ins = make([]*qtensor, len(q.stacks))
+		q.parts = make([]*qtensor, len(q.stacks))
+	}
+	total := 0
 	for bi, st := range q.stacks {
 		lo, hi := q.cols[bi][0], q.cols[bi][1]
 		w := hi - lo
-		h := &qtensor{data: make([]int8, T*w), shape: []int{T, w}, scale: x.scale}
+		h := reuseQ(q.ins[bi], x.scale, T, w)
+		q.ins[bi] = h
 		for t := 0; t < T; t++ {
 			copy(h.data[t*w:(t+1)*w], x.data[t*q.inCh+lo:t*q.inCh+hi])
 		}
 		for _, op := range st {
 			h = op.forward(h)
 		}
-		all = append(all, h.data...)
+		q.parts[bi] = h
+		total += len(h.data)
 	}
-	return &qtensor{data: all, shape: []int{len(all)}, scale: q.outScale}
+	out := reuseQ(q.scratch, q.outScale, total)
+	q.scratch = out
+	off := 0
+	for _, p := range q.parts {
+		copy(out.data[off:], p.data)
+		off += len(p.data)
+	}
+	return out
 }

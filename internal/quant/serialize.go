@@ -63,13 +63,13 @@ func saveOp(op qop) (savedOp, error) {
 		return savedOp{Kind: "dense", A: o.in, B: o.out, W: o.w, Bias: o.bias, M: o.m, Scale: o.outScale}, nil
 	case *qconv1d:
 		return savedOp{Kind: "conv1d", A: o.inCh, B: o.filters, C: o.kernel, W: o.w, Bias: o.bias, M: o.m, Scale: o.outScale}, nil
-	case qrelu:
+	case *qrelu:
 		return savedOp{Kind: "relu"}, nil
-	case qmaxpool:
+	case *qmaxpool:
 		return savedOp{Kind: "maxpool", A: o.pool}, nil
-	case qflatten:
+	case *qflatten:
 		return savedOp{Kind: "flatten"}, nil
-	case qrescale:
+	case *qrescale:
 		return savedOp{Kind: "rescale", M: o.m, Scale: o.outScale}, nil
 	case *qbranch:
 		s := savedOp{Kind: "branch", A: o.inCh, Scale: o.outScale, Cols: o.cols}
@@ -231,13 +231,13 @@ func loadOp(s savedOp) (qop, error) {
 	case "conv1d":
 		return &qconv1d{inCh: s.A, filters: s.B, kernel: s.C, w: s.W, bias: s.Bias, m: s.M, outScale: s.Scale}, nil
 	case "relu":
-		return qrelu{}, nil
+		return &qrelu{}, nil
 	case "maxpool":
-		return qmaxpool{pool: s.A}, nil
+		return &qmaxpool{pool: s.A}, nil
 	case "flatten":
-		return qflatten{}, nil
+		return &qflatten{}, nil
 	case "rescale":
-		return qrescale{m: s.M, outScale: s.Scale}, nil
+		return &qrescale{m: s.M, outScale: s.Scale}, nil
 	case "branch":
 		b := &qbranch{inCh: s.A, outScale: s.Scale, cols: s.Cols}
 		for _, ss := range s.Stacks {

@@ -23,15 +23,19 @@ type Tensor struct {
 // New returns a zero tensor with the given shape.
 // New() with no arguments returns a scalar-shaped tensor of one element.
 func New(shape ...int) *Tensor {
+	// Copy before validating so the variadic slice never escapes — the
+	// panic message referencing `shape` directly would force every
+	// caller (including the scratch-reusing hot paths) to heap-allocate
+	// the argument slice.
+	s := make([]int, len(shape))
+	copy(s, shape)
 	n := 1
-	for _, d := range shape {
+	for _, d := range s {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, s))
 		}
 		n *= d
 	}
-	s := make([]int, len(shape))
-	copy(s, shape)
 	return &Tensor{shape: s, data: make([]float64, n)}
 }
 
@@ -79,16 +83,17 @@ func (t *Tensor) Clone() *Tensor {
 // Reshape returns a view of the same data with a new shape. The total
 // element count must be unchanged.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
+	// Copy first so the variadic slice never escapes (see New).
+	s := make([]int, len(shape))
+	copy(s, shape)
 	n := 1
-	for _, d := range shape {
+	for _, d := range s {
 		n *= d
 	}
 	if n != len(t.data) {
 		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
-			t.shape, len(t.data), shape, n))
+			t.shape, len(t.data), s, n))
 	}
-	s := make([]int, len(shape))
-	copy(s, shape)
 	return &Tensor{shape: s, data: t.data}
 }
 
@@ -318,6 +323,45 @@ func Transpose(a *Tensor) *Tensor {
 		}
 	}
 	return t
+}
+
+// Reuse returns t when its buffer already holds exactly the product of
+// shape elements and its rank matches (rewriting the dims in place), and
+// a freshly allocated tensor otherwise. It is the scratch-buffer
+// primitive behind the allocation-free layer kernels: a layer keeps the
+// returned tensor and passes it back on the next call, so steady-state
+// hot paths stop allocating once shapes stabilise.
+//
+// Reuse never zeroes the buffer — callers that accumulate into it must
+// call Zero themselves. Because the dims are rewritten in place, the
+// tensor must be owned by the caller (never a view of someone else's
+// buffer).
+func Reuse(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if t == nil || len(t.data) != n || len(t.shape) != len(shape) {
+		return New(shape...)
+	}
+	copy(t.shape, shape)
+	return t
+}
+
+// ViewInto returns a view of src's buffer with the given shape, reusing
+// *cache when it already aliases that exact buffer (avoiding the header
+// allocation Reshape pays in hot loops). The element count must match
+// src's. On a cache miss the fresh view is stored back into *cache.
+func ViewInto(cache **Tensor, src *Tensor, shape ...int) *Tensor {
+	c := *cache
+	if c != nil && len(c.data) == len(src.data) && len(src.data) > 0 &&
+		&c.data[0] == &src.data[0] && len(c.shape) == len(shape) {
+		copy(c.shape, shape)
+		return c
+	}
+	v := src.Reshape(shape...)
+	*cache = v
+	return v
 }
 
 // Concat1D concatenates 1-D tensors into a single 1-D tensor.

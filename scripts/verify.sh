@@ -14,6 +14,12 @@
 #      targets: FuzzQuantLoad (model-image loader must never panic or
 #      over-allocate on arbitrary bytes) and FuzzDetectorPush (the
 #      streaming pipeline must survive arbitrary sensor input)
+#   6. bench gate            — scripts/bench.sh -short: the hot-path
+#      benchmarks run briefly with -benchmem; the gate fails when a
+#      steady-state path that must be allocation-free (streaming push,
+#      quantized predict) reports allocs/op > 0. The committed
+#      BENCH_baseline.json comes from a full `sh scripts/bench.sh` run
+#      and is left untouched here.
 #
 # Append the run to results_ci.txt with:
 #
@@ -32,4 +38,6 @@ echo "== fuzz smoke: FuzzQuantLoad (10s)"
 go test ./internal/quant -run='^$' -fuzz='^FuzzQuantLoad$' -fuzztime=10s
 echo "== fuzz smoke: FuzzDetectorPush (10s)"
 go test ./internal/edge -run='^$' -fuzz='^FuzzDetectorPush$' -fuzztime=10s
+echo "== bench gate: scripts/bench.sh -short"
+sh scripts/bench.sh -short
 echo "== verify: all gates passed"
