@@ -39,6 +39,7 @@ import (
 
 	"repro/falldet"
 	"repro/internal/guard"
+	"repro/internal/lint"
 )
 
 // scale bundles the cohort/training sizes for one preset.
@@ -152,7 +153,7 @@ func main() {
 		want[name] = true
 	}
 
-	fmt.Printf("== fallbench scale=%s seed=%d workers=%d ==\n", sc.name, *seed, sc.workers)
+	fmt.Printf("== fallbench scale=%s seed=%d workers=%d fallvet=%s ==\n", sc.name, *seed, sc.workers, lint.Stamp())
 	fmt.Printf("synthesising %d worksite + %d kfall subjects...\n\n", sc.wsSubjects, sc.kfSubjects)
 	data, err := falldet.Synthesize(sc.synth(*seed))
 	if err != nil {

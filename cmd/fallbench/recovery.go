@@ -12,6 +12,7 @@ import (
 	"repro/falldet"
 	"repro/internal/dataset"
 	"repro/internal/guard"
+	"repro/internal/lint"
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/quant"
@@ -26,14 +27,20 @@ import (
 // a structured error instead of a poisoned model, and a flaky
 // experiment body must be retried by the guard runner. The evidence
 // table is written to stdout and results_recovery.txt.
-func expRecovery(data *falldet.Dataset, sc scale, seed int64) error {
+func expRecovery(data *falldet.Dataset, sc scale, seed int64) (retErr error) {
 	f, err := os.Create("results_recovery.txt")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// The results file is evidence: a close error (full disk flushing
+	// the last block) must fail the experiment, not vanish.
+	defer func() {
+		if cerr := f.Close(); retErr == nil {
+			retErr = cerr
+		}
+	}()
 	w := io.MultiWriter(os.Stdout, f)
-	fmt.Fprintf(w, "Recovery & crash-safety evidence — scale=%s seed=%d workers=%d\n\n", sc.name, seed, sc.workers)
+	fmt.Fprintf(w, "Recovery & crash-safety evidence — scale=%s seed=%d workers=%d fallvet=%s\n\n", sc.name, seed, sc.workers, lint.Stamp())
 	tb := &report.Table{Headers: []string{"Check", "Outcome", "Detail"}}
 
 	segs, err := falldet.ExtractSegments(data, falldet.Config{WindowMS: 200, Overlap: 0.5})

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/falldet"
+	"repro/internal/lint"
 	"repro/internal/report"
 )
 
@@ -38,10 +39,9 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := io.MultiWriter(os.Stdout, f)
 
-	fmt.Fprintf(w, "Robustness sweep — CNN, 400 ms / 75 %% stride, scale=%s seed=%d workers=%d\n", sc.name, seed, sc.workers)
+	fmt.Fprintf(w, "Robustness sweep — CNN, 400 ms / 75 %% stride, scale=%s seed=%d workers=%d fallvet=%s\n", sc.name, seed, sc.workers, lint.Stamp())
 	fmt.Fprintf(w, "%d fall trials, %d ADL trials; deltas vs clean baseline\n\n",
 		rep.Clean.FallTrials, rep.Clean.ADLTrials)
 
@@ -74,5 +74,7 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 	fmt.Fprintln(w, "degradation policy: short gaps bridged (Degraded), long gaps re-prime +")
 	fmt.Fprintln(w, "full-window warm-up, NaN/Inf quarantined, >25 % anomalous window → Faulted")
 	fmt.Fprintln(os.Stderr, "robustness: wrote results_robustness.txt")
-	return nil
+	// Close error is the last chance to hear about a truncated results
+	// file — it fails the experiment rather than pass silently.
+	return f.Close()
 }

@@ -48,7 +48,9 @@ func main() {
 			log.Fatal(err)
 		}
 		det, err = falldet.Load(f, falldet.KindCNN, cfg)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

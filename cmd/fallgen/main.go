@@ -38,8 +38,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := d.WriteCSV(f); err != nil {
+		err = d.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		st := d.ComputeStats()

@@ -46,7 +46,9 @@ func main() {
 			log.Fatal(err)
 		}
 		d, err = dataset.ReadCSV(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -61,7 +61,9 @@ func main() {
 				log.Fatal(err)
 			}
 			d, err := dataset.ReadCSV(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				log.Fatalf("%s: %v", path, err)
 			}
@@ -108,8 +110,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := det.Save(f); err != nil {
+		err = det.Save(f)
+		// The close error matters on the write path: a full disk can
+		// surface only here, and a truncated artifact must not pass as
+		// saved.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved deployable weights to %s\n", *save)

@@ -1,0 +1,87 @@
+// Command fallvet runs the repo's invariant linter (internal/lint)
+// over the given package patterns:
+//
+//	fallvet ./...
+//	fallvet -json ./internal/nn ./internal/quant
+//
+// It enforces the contracts the tests can only observe after the fact:
+// deterministic packages must not read clocks, draw from the global
+// math/rand source, or iterate maps; //fallvet:hotpath functions must
+// not contain allocating or boxing constructs; Close/Sync/Write/Rename
+// errors must be checked; goroutines and channels are confined to
+// internal/par. See DESIGN.md §9 for the rule catalogue and the
+// //fallvet:ignore directive grammar.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fallvet [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	diags, npkgs, err := lint.LintPatterns(cwd, patterns, lint.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	// Relativize paths for display (and for stable -json output in CI
+	// logs); keep the absolute path if it escapes the working tree.
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil &&
+			!filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) == 0 {
+			fmt.Printf("fallvet %s: %d packages, 0 diagnostics\n", lint.Stamp(), npkgs)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fallvet:", err)
+	os.Exit(2)
+}

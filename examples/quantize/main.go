@@ -61,7 +61,9 @@ func main() {
 		log.Fatal(err)
 	}
 	det, err := falldet.LoadSaved(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	os.Remove(path)
 	if err != nil {
 		log.Fatal(err)

@@ -22,6 +22,8 @@ type Biquad struct {
 }
 
 // Process filters one sample and advances the section's state.
+//
+//fallvet:hotpath
 func (q *Biquad) Process(x float64) float64 {
 	y := q.B0*x + q.z1
 	q.z1 = q.B1*x - q.A1*y + q.z2
@@ -126,6 +128,8 @@ func (f *Filter) Reset() {
 // firmware calls this with the first sensor reading; without it the
 // output ramps up from zero, which a fall detector would mistake for
 // free fall.
+//
+//fallvet:hotpath
 func (f *Filter) Prime(x0 float64) {
 	v := x0
 	for i := range f.sections {
@@ -135,6 +139,8 @@ func (f *Filter) Prime(x0 float64) {
 
 // Process filters one sample through the whole cascade, advancing the
 // internal state. Use this form for streaming (on-edge) operation.
+//
+//fallvet:hotpath
 func (f *Filter) Process(x float64) float64 {
 	for i := range f.sections {
 		x = f.sections[i].Process(x)

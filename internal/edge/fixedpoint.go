@@ -20,6 +20,8 @@ const qShift = 16
 const qOne = 1 << qShift
 
 // toQ converts float to Q16.16 with rounding.
+//
+//fallvet:hotpath
 func toQ(x float64) int64 {
 	if x >= 0 {
 		return int64(x*qOne + 0.5)
@@ -28,6 +30,8 @@ func toQ(x float64) int64 {
 }
 
 // fromQ converts Q16.16 back to float.
+//
+//fallvet:hotpath
 func fromQ(q int64) float64 { return float64(q) / qOne }
 
 // qMul multiplies two Q16.16 values into Q16.16 (intermediate 48-bit
@@ -71,6 +75,8 @@ func (ff *FixedFilter) Reset() {
 
 // Process filters one sample (float in, float out; the integer domain
 // is internal, as on the device where samples arrive as raw counts).
+//
+//fallvet:hotpath
 func (ff *FixedFilter) Process(x float64) float64 {
 	q := toQ(x)
 	for i := range ff.sections {
@@ -85,6 +91,8 @@ func (ff *FixedFilter) Process(x float64) float64 {
 
 // Prime initialises the state to the steady-state response for a
 // constant input, mirroring dsp.Filter.Prime.
+//
+//fallvet:hotpath
 func (ff *FixedFilter) Prime(x0 float64) {
 	q := toQ(x0)
 	for i := range ff.sections {

@@ -60,6 +60,7 @@ func (h *healthRing) reset() {
 	h.pos, h.bad = 0, 0
 }
 
+//fallvet:hotpath
 func (h *healthRing) observe(anomalous bool) {
 	if h.flags[h.pos] {
 		h.bad--
@@ -71,6 +72,7 @@ func (h *healthRing) observe(anomalous bool) {
 	h.pos = (h.pos + 1) % len(h.flags)
 }
 
+//fallvet:hotpath
 func (h *healthRing) health() Health {
 	switch {
 	case h.bad == 0:

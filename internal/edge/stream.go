@@ -193,31 +193,45 @@ type Result struct {
 	Clamped bool
 }
 
+//fallvet:hotpath
 func finiteVec(v imu.Vec3) bool {
 	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
 		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
 		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
 }
 
-func clampFull(v imu.Vec3, lim float64, clipped *bool) imu.Vec3 {
-	cl := func(x float64) float64 {
-		if x > lim {
-			*clipped = true
-			return lim
-		}
-		if x < -lim {
-			*clipped = true
-			return -lim
-		}
-		return x
+// clamp1 clips one component to ±lim, recording whether it clipped.
+// A named function rather than a closure: the capture would be the
+// only heap traffic on the push path.
+//
+//fallvet:hotpath
+func clamp1(x, lim float64, clipped *bool) float64 {
+	if x > lim {
+		*clipped = true
+		return lim
 	}
-	return imu.Vec3{X: cl(v.X), Y: cl(v.Y), Z: cl(v.Z)}
+	if x < -lim {
+		*clipped = true
+		return -lim
+	}
+	return x
+}
+
+//fallvet:hotpath
+func clampFull(v imu.Vec3, lim float64, clipped *bool) imu.Vec3 {
+	return imu.Vec3{
+		X: clamp1(v.X, lim, clipped),
+		Y: clamp1(v.Y, lim, clipped),
+		Z: clamp1(v.Z, lim, clipped),
+	}
 }
 
 // Push ingests one raw sample (acceleration in g, angular rate in
 // deg/s) and runs the classifier when a stride completes. Non-finite
 // samples never reach the filters or the model: they are quarantined
 // and handled exactly like a missing sample.
+//
+//fallvet:hotpath
 func (d *Detector) Push(acc, gyro imu.Vec3) Result {
 	if !finiteVec(acc) || !finiteVec(gyro) {
 		d.stats.Quarantined++
@@ -258,6 +272,8 @@ func (d *Detector) Push(acc, gyro imu.Vec3) Result {
 // fresh samples has accumulated, so the model never scores a ring
 // buffer of stale contents. The returned Result reflects the state
 // after the last missing sample.
+//
+//fallvet:hotpath
 func (d *Detector) PushMissing(n int) Result {
 	var r Result
 	r.Health = d.health.health()
@@ -269,6 +285,8 @@ func (d *Detector) PushMissing(n int) Result {
 }
 
 // absorbMissing handles one missing (or quarantined) sample.
+//
+//fallvet:hotpath
 func (d *Detector) absorbMissing() Result {
 	d.gapRun++
 	d.health.observe(true)
@@ -296,6 +314,8 @@ func (d *Detector) absorbMissing() Result {
 }
 
 // ingest filters one raw 9-channel row into the ring buffer.
+//
+//fallvet:hotpath
 func (d *Detector) ingest(row [imu.NumChannels]float64) {
 	if d.reprime {
 		// Prime the causal filters so their startup transient (a ramp
@@ -319,6 +339,8 @@ func (d *Detector) ingest(row [imu.NumChannels]float64) {
 
 // maybeEvaluate runs the classifier when a stride has completed and
 // the pipeline is in a state it trusts.
+//
+//fallvet:hotpath
 func (d *Detector) maybeEvaluate() Result {
 	h := d.health.health()
 	r := Result{Health: h}

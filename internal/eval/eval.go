@@ -185,6 +185,7 @@ func RunKFold(d *dataset.Dataset, kind model.Kind, cfg PipelineConfig) (*Result,
 	})
 	for fi := range folds {
 		if cfg.Log != nil {
+			//fallvet:ignore checkedio best-effort progress sink; a broken log writer must not abort the sweep
 			cfg.Log.Write(logs[fi].Bytes())
 		}
 		if errs[fi] != nil {

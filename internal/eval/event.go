@@ -49,7 +49,12 @@ func EventAnalysis(scored []ScoredSegment, thr float64) EventStats {
 		detected bool
 		falsePos bool
 	}
+	// Maps are paired with insertion-order key slices: ranging a map
+	// would feed Go's randomized iteration order into the tallies and
+	// the task tables (fallvet: determinism), while insertion order
+	// follows the deterministic scored-segment order.
 	events := map[EventKey]*acc{}
+	var order []EventKey
 	for i := range scored {
 		s := &scored[i]
 		key := EventKey{s.Subject, s.Task, s.TrialIx}
@@ -59,6 +64,7 @@ func EventAnalysis(scored []ScoredSegment, thr float64) EventStats {
 			isFall := err == nil && task.IsFall()
 			a = &acc{isFall: isFall}
 			events[key] = a
+			order = append(order, key)
 		}
 		cut := thr
 		if s.Threshold > 0 {
@@ -76,12 +82,15 @@ func EventAnalysis(scored []ScoredSegment, thr float64) EventStats {
 
 	fall := map[int]*TaskEventStats{}
 	adl := map[int]*TaskEventStats{}
-	for key, a := range events {
+	var fallOrder, adlOrder []int
+	for _, key := range order {
+		a := events[key]
 		if a.isFall {
 			st := fall[key.Task]
 			if st == nil {
 				st = &TaskEventStats{Task: key.Task}
 				fall[key.Task] = st
+				fallOrder = append(fallOrder, key.Task)
 			}
 			st.Events++
 			if !a.detected {
@@ -92,6 +101,7 @@ func EventAnalysis(scored []ScoredSegment, thr float64) EventStats {
 			if st == nil {
 				st = &TaskEventStats{Task: key.Task}
 				adl[key.Task] = st
+				adlOrder = append(adlOrder, key.Task)
 			}
 			st.Events++
 			if a.falsePos {
@@ -103,13 +113,15 @@ func EventAnalysis(scored []ScoredSegment, thr float64) EventStats {
 	out := EventStats{}
 	var fallEvents, fallMissed, adlEvents, adlFP int
 	var redEvents, redFP, greenEvents, greenFP int
-	for _, st := range fall {
+	for _, task := range fallOrder {
+		st := fall[task]
 		st.MissPct = 100 * float64(st.Missed) / float64(st.Events)
 		fallEvents += st.Events
 		fallMissed += st.Missed
 		out.FallTasks = append(out.FallTasks, *st)
 	}
-	for _, st := range adl {
+	for _, task := range adlOrder {
+		st := adl[task]
 		st.MissPct = 100 * float64(st.Missed) / float64(st.Events)
 		adlEvents += st.Events
 		adlFP += st.Missed

@@ -52,6 +52,8 @@ func (f *Fusion) Reset() {
 
 // accAngles returns the gravity-referenced pitch and roll (degrees)
 // implied by an accelerometer reading (any consistent unit).
+//
+//fallvet:hotpath
 func accAngles(acc Vec3) (pitch, roll float64) {
 	pitch = RadToDeg(math.Atan2(-acc.X, math.Sqrt(acc.Y*acc.Y+acc.Z*acc.Z)))
 	roll = RadToDeg(math.Atan2(acc.Y, acc.Z))
@@ -59,6 +61,8 @@ func accAngles(acc Vec3) (pitch, roll float64) {
 }
 
 // finite reports whether every component of v is a real number.
+//
+//fallvet:hotpath
 func finite(v Vec3) bool {
 	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
 		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
@@ -74,6 +78,8 @@ func finite(v Vec3) bool {
 // attitude instead of letting a single NaN/Inf glitch poison the
 // recursive state for the rest of the stream (a NaN, once blended in,
 // never washes out of pitch/roll/yaw).
+//
+//fallvet:hotpath
 func (f *Fusion) Update(acc, gyro Vec3) Vec3 {
 	if !finite(acc) || !finite(gyro) {
 		return Vec3{f.pitch, f.roll, f.yaw}
@@ -107,6 +113,8 @@ func (f *Fusion) Update(acc, gyro Vec3) Vec3 {
 }
 
 // wrap180 maps an angle in degrees to (−180, 180].
+//
+//fallvet:hotpath
 func wrap180(a float64) float64 {
 	a = math.Mod(a, 360)
 	if a > 180 {

@@ -118,6 +118,8 @@ func FromFeatures(f [NumChannels]float64) Sample {
 // physical scaling (rather than dataset z-scoring) keeps the edge
 // firmware free of train-time statistics and makes the quantized
 // input scale deterministic.
+//
+//fallvet:hotpath
 func ChannelScale(c int) float64 {
 	switch c {
 	case GyroX, GyroY, GyroZ:

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkedIOAnalyzer guards the artifact-safety contract (DESIGN.md §7):
+// checkpoints and model images are only trustworthy if every write,
+// sync, close, and rename on the way to disk reports its error. A
+// discarded Close after a write is the classic silent-data-loss bug —
+// the kernel may surface the write failure only at close time.
+//
+// The rule: a call to a function or method named Close, Sync, Flush,
+// Write, WriteString, or Rename whose last result is error must not be
+// discarded — not as a bare statement, not behind defer or go, and not
+// via a blank identifier. Methods defined in bytes, strings, and hash
+// are exempt: their Write-family methods are documented to never fail.
+var checkedIOAnalyzer = &Analyzer{
+	Name: "checkedio",
+	Doc:  "forbid discarding error returns from Close/Sync/Flush/Write/WriteString/Rename",
+	run:  runCheckedIO,
+}
+
+var checkedNames = map[string]bool{
+	"Close": true, "Sync": true, "Flush": true,
+	"Write": true, "WriteString": true, "Rename": true,
+}
+
+// infallibleWriters are packages whose Write-family types are
+// documented to always return a nil error. The exemption keys on the
+// static receiver type's package, not the method's defining package:
+// hash.Hash inherits Write from the embedded io.Writer, so the method
+// object alone says "io" even though the contract lives in hash.
+var infallibleWriters = map[string]bool{"bytes": true, "strings": true, "hash": true}
+
+func runCheckedIO(p *pass) {
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					reportDiscard(p, call, "")
+				}
+			case *ast.DeferStmt:
+				reportDiscard(p, n.Call, "deferred ")
+			case *ast.GoStmt:
+				reportDiscard(p, n.Call, "spawned ")
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !ok || checkedCallee(info, call) == nil {
+					return true
+				}
+				// The error is the last result; flag it only when that
+				// position is the blank identifier.
+				last, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident)
+				if ok && last.Name == "_" {
+					reportDiscard(p, call, "blank-assigned ")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportDiscard(p *pass, call *ast.CallExpr, how string) {
+	fn := checkedCallee(p.pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	owner := fn.Pkg().Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		owner = sig.Recv().Type().String()
+	}
+	p.report("checkedio", call.Pos(),
+		"%scall discards the error from (%s).%s: check it (or justify with //fallvet:ignore checkedio <reason>)",
+		how, owner, fn.Name())
+}
+
+// exemptRecv reports whether the call's static receiver type is
+// declared in one of the infallible-writer packages.
+func exemptRecv(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := info.Selections[sel]
+	if s == nil {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return infallibleWriters[named.Obj().Pkg().Path()]
+}
+
+// checkedCallee resolves the called function and returns it when it is
+// in the checked name set with a trailing error result and not exempt.
+func checkedCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !checkedNames[fn.Name()] {
+		return nil
+	}
+	if infallibleWriters[fn.Pkg().Path()] || exemptRecv(info, call) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, errorType) {
+		return nil
+	}
+	return fn
+}

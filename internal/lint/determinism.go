@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismAnalyzer enforces the bit-identical-results contract in
+// the deterministic packages (DESIGN.md §8): no wall-clock reads, no
+// draws from the process-global math/rand source, and no iteration
+// over maps — Go randomizes map order per run, so a ranged map that
+// feeds a float accumulation, a log line, or any result breaks
+// reproducibility silently.
+var determinismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time.Now, global math/rand, and map iteration in deterministic packages",
+	run:  runDeterminism,
+}
+
+// forbiddenClock lists time package functions that read the wall or
+// monotonic clock.
+var forbiddenClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRand lists math/rand package-level constructors that only
+// build seeded generators without drawing from the global source.
+var allowedRand = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(p *pass) {
+	if !p.cfg.Deterministic(p.pkg.Path) {
+		return
+	}
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				pkgLevel := sig != nil && sig.Recv() == nil
+				switch {
+				case fn.Pkg().Path() == "time" && pkgLevel && forbiddenClock[fn.Name()]:
+					p.report("determinism", n.Pos(),
+						"call to time.%s: wall-clock reads are forbidden in deterministic packages; inject timestamps from the caller", fn.Name())
+				case fn.Pkg().Path() == "math/rand" && pkgLevel && !allowedRand[fn.Name()]:
+					p.report("determinism", n.Pos(),
+						"call to global math/rand.%s: draw from a seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead", fn.Name())
+				}
+			case *ast.RangeStmt:
+				if n.X == nil {
+					return true
+				}
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						p.report("determinism", n.Pos(),
+							"range over map (%s): iteration order is randomized per run; collect and sort the keys, then index", t.String())
+					}
+				}
+			}
+			return true
+		})
+	}
+}

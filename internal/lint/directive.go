@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The directive grammar (DESIGN.md §9):
+//
+//	//fallvet:hotpath
+//	    In a function's doc comment: the function promises steady-state
+//	    zero allocation and the hotpath analyzer checks its body.
+//
+//	//fallvet:ignore <rule> <reason...>
+//	    Suppress diagnostics of <rule> on the directive's own line and
+//	    on the next line. The reason is mandatory — a suppression
+//	    without a written justification is itself a diagnostic.
+//
+// Directives are machine comments: they start exactly at "//fallvet:"
+// with no space, like //go: directives. Anything else that looks like
+// one is reported by the "directive" pseudo-analyzer, which cannot be
+// suppressed.
+
+// directives holds the parsed //fallvet: annotations of one package.
+type directives struct {
+	// hotpath lists the marked functions in source order.
+	hotpath []*ast.FuncDecl
+	// ignores maps file -> line -> set of rule names suppressed there.
+	ignores map[string]map[int]map[string]bool
+}
+
+// ignored reports whether a diagnostic of rule at file:line is covered
+// by an ignore directive on the same line or the line above.
+func (d *directives) ignored(file string, line int, rule string) bool {
+	byLine := d.ignores[file]
+	if byLine == nil {
+		return false
+	}
+	return byLine[line][rule] || byLine[line-1][rule]
+}
+
+func collectDirectives(p *pass) *directives {
+	d := &directives{ignores: map[string]map[int]map[string]bool{}}
+	for _, f := range p.pkg.Files {
+		// Map doc comments to their function so //fallvet:hotpath can
+		// verify placement.
+		docOwner := map[*ast.Comment]*ast.FuncDecl{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				docOwner[c] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.parseComment(p, f, c, docOwner)
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) parseComment(p *pass, f *ast.File, c *ast.Comment, docOwner map[*ast.Comment]*ast.FuncDecl) {
+	if !strings.HasPrefix(c.Text, "//") {
+		return // block comments are never directives
+	}
+	body := c.Text[2:]
+	if !strings.HasPrefix(body, "fallvet:") {
+		// Catch the near-miss "// fallvet:..." which silently would not
+		// bind: directives must start flush at //fallvet:.
+		if strings.HasPrefix(strings.TrimSpace(body), "fallvet:") {
+			p.report("directive", c.Pos(),
+				"malformed directive %q: no space allowed, write //fallvet:...", strings.TrimSpace(body))
+		}
+		return
+	}
+	fields := strings.Fields(body)
+	switch fields[0] {
+	case "fallvet:hotpath":
+		fd, ok := docOwner[c]
+		if !ok {
+			p.report("directive", c.Pos(),
+				"misplaced //fallvet:hotpath: must sit in a function's doc comment")
+			return
+		}
+		if fd.Body == nil {
+			p.report("directive", c.Pos(),
+				"//fallvet:hotpath on %s: function has no body to check", funcDisplayName(fd))
+			return
+		}
+		d.hotpath = append(d.hotpath, fd)
+	case "fallvet:ignore":
+		if len(fields) < 3 {
+			p.report("directive", c.Pos(),
+				"malformed %q: usage //fallvet:ignore <rule> <reason...>", fields[0])
+			return
+		}
+		rule := fields[1]
+		if !knownRule(rule) {
+			p.report("directive", c.Pos(),
+				"//fallvet:ignore names unknown rule %q", rule)
+			return
+		}
+		pos := p.pkg.Fset.Position(c.Pos())
+		byLine := d.ignores[pos.Filename]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			d.ignores[pos.Filename] = byLine
+		}
+		rules := byLine[pos.Line]
+		if rules == nil {
+			rules = map[string]bool{}
+			byLine[pos.Line] = rules
+		}
+		rules[rule] = true
+	default:
+		p.report("directive", c.Pos(), "unknown fallvet directive %q", fields[0])
+	}
+}

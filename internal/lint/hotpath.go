@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpathAnalyzer checks functions whose doc comment carries
+// //fallvet:hotpath: the steady-state-zero-allocation set that the
+// AllocsPerRun tests measure dynamically (internal/edge/alloc_test.go,
+// internal/quant/alloc_test.go) and the bench gate enforces. The
+// static rule forbids the constructs that put allocations or interface
+// boxing on the path:
+//
+//   - append / make / new
+//   - slice and map composite literals, and address-taken composite
+//     literals (&T{...} escapes)
+//   - fmt.Sprintf and friends
+//   - runtime string concatenation
+//   - closures (func literals)
+//   - interface conversions: explicit, by assignment, by return, or
+//     by passing a concrete value to an interface parameter
+//
+// The check is direct, not transitive: a hotpath function may call an
+// unannotated helper (that is how cold panic-guard paths are kept off
+// the fast path — see nn.checkShape). Warm-up allocations that the
+// alloc tests prove happen only once are suppressed per line with
+// //fallvet:ignore hotpath <reason>. The AllocsPerRun tests remain the
+// dynamic backstop for anything the static rule cannot see.
+var hotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating and boxing constructs in //fallvet:hotpath functions",
+	run:  runHotpath,
+}
+
+// allocFmt lists fmt functions that build a string or error on every
+// call. Other fmt functions (Fprintf, ...) are caught by the
+// argument-boxing rule instead.
+var allocFmt = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Appendf": true, "Appendln": true,
+}
+
+func runHotpath(p *pass) {
+	for _, fd := range p.dirs.hotpath {
+		checkHotFunc(p, fd)
+	}
+}
+
+func checkHotFunc(p *pass, fd *ast.FuncDecl) {
+	info := p.pkg.Info
+	name := funcDisplayName(fd)
+	var sig *types.Signature
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+		sig, _ = fn.Type().(*types.Signature)
+	}
+	// Composite literals that are operands of & are reported once, at
+	// the UnaryExpr, as escaping; pre-order traversal marks them before
+	// the child CompositeLit is visited.
+	addressed := map[*ast.CompositeLit]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.report("hotpath", n.Pos(),
+				"%s: closure literal (captured variables escape to the heap); hoist to a named function", name)
+			return false // the closure body is not on the hot path
+
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if cl, ok := unparen(n.X).(*ast.CompositeLit); ok {
+				addressed[cl] = true
+				p.report("hotpath", n.Pos(),
+					"%s: escaping composite literal &%s: allocate once outside the hot path and reuse", name, typeLabel(info, cl))
+			}
+
+		case *ast.CompositeLit:
+			if addressed[n] {
+				return true
+			}
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					p.report("hotpath", n.Pos(),
+						"%s: %s composite literal allocates its backing store per call", name, typeLabel(info, n))
+				}
+			}
+
+		case *ast.CallExpr:
+			checkHotCall(p, name, n)
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isRuntimeString(info, n) {
+				p.report("hotpath", n.Pos(),
+					"%s: string concatenation allocates; format off the hot path", name)
+			}
+
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				p.report("hotpath", n.Pos(),
+					"%s: string += allocates; build output off the hot path", name)
+			}
+			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if boxes(info, info.TypeOf(n.Lhs[i]), n.Rhs[i]) {
+						p.report("hotpath", n.Rhs[i].Pos(),
+							"%s: assignment boxes %s into interface %s", name,
+							info.TypeOf(n.Rhs[i]), info.TypeOf(n.Lhs[i]))
+					}
+				}
+			}
+
+		case *ast.ReturnStmt:
+			if sig == nil || len(n.Results) != sig.Results().Len() {
+				return true
+			}
+			for i, res := range n.Results {
+				if boxes(info, sig.Results().At(i).Type(), res) {
+					p.report("hotpath", res.Pos(),
+						"%s: return boxes %s into interface %s", name,
+						info.TypeOf(res), sig.Results().At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *pass, name string, call *ast.CallExpr) {
+	info := p.pkg.Info
+	switch builtinName(info, call) {
+	case "append":
+		p.report("hotpath", call.Pos(),
+			"%s: append may grow a heap slice; use preallocated scratch (tensor.Reuse / ViewInto)", name)
+		return
+	case "make":
+		p.report("hotpath", call.Pos(),
+			"%s: make allocates; hoist to construction or a warm-up path", name)
+		return
+	case "new":
+		p.report("hotpath", call.Pos(), "%s: new allocates; hoist to construction", name)
+		return
+	case "panic":
+		// panic is terminal: its (boxed) argument is off the steady
+		// state by definition. Sprintf'd panic messages are still
+		// caught below via the fmt rule when built inline.
+		return
+	case "":
+	default:
+		return // len, cap, copy, min, ... never allocate
+	}
+
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "fmt" && allocFmt[fn.Name()] {
+		p.report("hotpath", call.Pos(),
+			"%s: fmt.%s allocates its result and boxes arguments; move formatting to a cold helper", name, fn.Name())
+		return
+	}
+
+	// Explicit conversion T(x): flag when T is an interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxes(info, tv.Type, call.Args[0]) {
+			p.report("hotpath", call.Pos(),
+				"%s: conversion boxes %s into interface %s", name, info.TypeOf(call.Args[0]), tv.Type)
+		}
+		return
+	}
+
+	// Implicit conversion at the call boundary: concrete argument for
+	// an interface parameter.
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return // f(xs...) passes an existing slice; nothing is boxed here
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(info, pt, arg) {
+			p.report("hotpath", arg.Pos(),
+				"%s: argument %s boxed into interface parameter %s", name, info.TypeOf(arg), pt)
+		}
+	}
+}
+
+// boxes reports whether assigning src to a destination of type dst
+// converts a concrete value to an interface (an allocation unless the
+// compiler can prove otherwise — which the hot path must not bet on).
+func boxes(info *types.Info, dst types.Type, src ast.Expr) bool {
+	if !isInterface(dst) {
+		return false
+	}
+	st := info.TypeOf(src)
+	if st == nil || isInterface(st) {
+		return false
+	}
+	if b, ok := st.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isRuntimeString reports a string-typed expression that is not a
+// compile-time constant ("a" + "b" folds; s + t allocates).
+func isRuntimeString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value == nil && isStringType(tv.Type)
+}
+
+func typeLabel(info *types.Info, e ast.Expr) string {
+	if t := info.TypeOf(e); t != nil {
+		return t.String()
+	}
+	return "composite"
+}

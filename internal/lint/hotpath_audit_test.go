@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Coverage notes for the manifest below: which dynamic check backs
+// each //fallvet:hotpath annotation. The AllocsPerRun tests are the
+// runtime ground truth; functions marked "static rule only" sit on
+// paths no alloc gate measures (training steps, degradation handling,
+// cold re-primes) and rely on the hotpath analyzer alone.
+const (
+	edgeAlloc  = "internal/edge/alloc_test.go TestDetectorPushAllocationFree (full CNN stride)"
+	nnAlloc    = "internal/nn/parallel_fit_test.go TestPredictAllocationFree + internal/edge/alloc_test.go"
+	quantAlloc = "internal/quant/alloc_test.go TestQuantizedPredictAllocationFree"
+	trainOnly  = "training path: static hotpath rule only (no dynamic alloc gate)"
+	degrade    = "degradation path: static hotpath rule only (shares Push scratch)"
+	fixedOnly  = "fixed-point filter variant: static hotpath rule only"
+	coldPrime  = "cold (re)prime path: static hotpath rule only"
+)
+
+// hotpathCoverage is the audited annotation manifest: every
+// //fallvet:hotpath in the repo, keyed "dir.Func" / "dir.Recv.Func".
+// TestHotpathAnnotationsMatchManifest fails in both directions — an
+// annotation missing here, or a manifest entry whose annotation was
+// removed — so the zero-alloc set can only change deliberately.
+var hotpathCoverage = map[string]string{
+	// Float inference path: layer forwards under both alloc gates.
+	"internal/nn.Network.Predict":   nnAlloc,
+	"internal/nn.Network.Forward":   nnAlloc,
+	"internal/nn.Conv1D.Forward":    nnAlloc,
+	"internal/nn.MaxPool1D.Forward": nnAlloc,
+	"internal/nn.Dense.Forward":     nnAlloc,
+	"internal/nn.ReLU.Forward":      nnAlloc,
+	"internal/nn.Sigmoid.Forward":   nnAlloc,
+	"internal/nn.Flatten.Forward":   nnAlloc,
+	"internal/nn.Branch.Forward":    nnAlloc,
+	"internal/nn.sliceInto":         nnAlloc,
+	"internal/tensor.Reuse":         nnAlloc,
+	"internal/tensor.ViewInto":      nnAlloc,
+	"internal/model.NetModel.Score": edgeAlloc,
+
+	// Training path: backwards and loss, statically checked only.
+	"internal/nn.Network.Backward":      trainOnly,
+	"internal/nn.Conv1D.Backward":       trainOnly,
+	"internal/nn.MaxPool1D.Backward":    trainOnly,
+	"internal/nn.Dense.Backward":        trainOnly,
+	"internal/nn.ReLU.Backward":         trainOnly,
+	"internal/nn.Sigmoid.Backward":      trainOnly,
+	"internal/nn.Flatten.Backward":      trainOnly,
+	"internal/nn.Branch.Backward":       trainOnly,
+	"internal/nn.WeightedBCE.Loss":      trainOnly,
+	"internal/nn.WeightedBCE.GradValue": trainOnly,
+
+	// Streaming pipeline: everything Detector.Push touches per sample.
+	"internal/edge.Detector.Push":          edgeAlloc,
+	"internal/edge.Detector.ingest":        edgeAlloc,
+	"internal/edge.Detector.maybeEvaluate": edgeAlloc,
+	"internal/edge.clamp1":                 edgeAlloc,
+	"internal/edge.clampFull":              edgeAlloc,
+	"internal/edge.finiteVec":              edgeAlloc,
+	"internal/edge.healthRing.observe":     edgeAlloc,
+	"internal/edge.healthRing.health":      edgeAlloc,
+	"internal/imu.Fusion.Update":           edgeAlloc,
+	"internal/imu.accAngles":               edgeAlloc,
+	"internal/imu.finite":                  edgeAlloc,
+	"internal/imu.wrap180":                 edgeAlloc,
+	"internal/imu.ChannelScale":            edgeAlloc,
+	"internal/dsp.Biquad.Process":          edgeAlloc,
+	"internal/dsp.Filter.Process":          edgeAlloc,
+	"internal/dsp.Filter.Prime":            coldPrime,
+
+	// Degradation and fixed-point variants of the streaming pipeline.
+	"internal/edge.Detector.PushMissing":   degrade,
+	"internal/edge.Detector.absorbMissing": degrade,
+	"internal/edge.FixedFilter.Process":    fixedOnly,
+	"internal/edge.FixedFilter.Prime":      coldPrime,
+	"internal/edge.toQ":                    fixedOnly,
+	"internal/edge.fromQ":                  fixedOnly,
+
+	// Quantized inference path.
+	"internal/quant.QNetwork.Predict": quantAlloc,
+	"internal/quant.reuseQ":           quantAlloc,
+	"internal/quant.requant":          quantAlloc,
+	"internal/quant.quantizeTo":       quantAlloc,
+	"internal/quant.qdense.forward":   quantAlloc,
+	"internal/quant.qconv1d.forward":  quantAlloc,
+	"internal/quant.qrelu.forward":    quantAlloc,
+	"internal/quant.qmaxpool.forward": quantAlloc,
+	"internal/quant.qflatten.forward": quantAlloc,
+	"internal/quant.qrescale.forward": quantAlloc,
+	"internal/quant.qbranch.forward":  quantAlloc,
+}
+
+// annotatedFunctions parses every non-test Go file in the module
+// (skipping testdata/vendor, so fixtures do not count) and collects
+// the //fallvet:hotpath-annotated functions as "dir.DisplayName".
+func annotatedFunctions(t *testing.T) map[string]bool {
+	t.Helper()
+	root, _, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := map[string]bool{}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		relDir, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if c.Text == "//fallvet:hotpath" {
+					annotated[filepath.ToSlash(relDir)+"."+funcDisplayName(fd)] = true
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return annotated
+}
+
+// TestHotpathAnnotationsMatchManifest cross-checks the annotated set
+// against hotpathCoverage in both directions.
+func TestHotpathAnnotationsMatchManifest(t *testing.T) {
+	annotated := annotatedFunctions(t)
+	var unlisted, stale []string
+	for name := range annotated {
+		if _, ok := hotpathCoverage[name]; !ok {
+			unlisted = append(unlisted, name)
+		}
+	}
+	for name := range hotpathCoverage {
+		if !annotated[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(unlisted)
+	sort.Strings(stale)
+	for _, name := range unlisted {
+		t.Errorf("%s is annotated //fallvet:hotpath but missing from hotpathCoverage: state which dynamic test backs it", name)
+	}
+	for _, name := range stale {
+		t.Errorf("hotpathCoverage lists %s but no such annotation exists: remove the entry or restore the annotation", name)
+	}
+	if len(annotated) == 0 {
+		t.Fatal("found no //fallvet:hotpath annotations in the repo")
+	}
+}
+
+// TestHotpathAllocGateFunctionsAnnotated pins the core guarantee the
+// ISSUE names: the entry points the AllocsPerRun tests measure are all
+// in the annotated set, so the static rule and the dynamic gates watch
+// the same functions.
+func TestHotpathAllocGateFunctionsAnnotated(t *testing.T) {
+	annotated := annotatedFunctions(t)
+	for _, entry := range []string{
+		"internal/edge.Detector.Push",     // edge alloc gate
+		"internal/quant.QNetwork.Predict", // quant alloc gate
+		"internal/nn.Network.Predict",     // nn alloc gate
+	} {
+		if !annotated[entry] {
+			t.Errorf("alloc-gated entry point %s is not annotated //fallvet:hotpath", entry)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package lint implements fallvet, the repo's stdlib-only static
+// analysis suite. It turns the three load-bearing contracts of the
+// codebase — bit-identical deterministic training/eval, zero-allocation
+// inference hot paths, and verified artifact I/O — into machine-checked
+// rules, so the verify gate rejects a violating change before any test
+// runs (DESIGN.md §9).
+//
+// Four analyzers ship by default:
+//
+//	determinism  no wall-clock reads, no global math/rand, no map
+//	             iteration in the deterministic packages
+//	hotpath      no allocating or boxing constructs in functions
+//	             marked //fallvet:hotpath
+//	checkedio    error returns from Close/Sync/Flush/Write/Rename
+//	             must not be discarded
+//	redorder     goroutines and channels only inside internal/par
+//
+// The package uses only go/parser, go/ast and go/types with the
+// standard source importer — the module stays dependency-free.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Version identifies the rule set. Bump it whenever an analyzer is
+// added, removed, or its definition of a violation changes, so results
+// files stamped with Stamp() state which invariant set produced them.
+const Version = "1"
+
+// Stamp is the short fingerprint recorded in results headers (see
+// cmd/fallbench): linter version plus the number of active rules.
+func Stamp() string {
+	return fmt.Sprintf("v%s/%d-rules", Version, len(analyzers))
+}
+
+// Diagnostic is one finding at one source position. File is the path
+// as the loader saw it (absolute for repo runs); callers relativize
+// for display.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named rule over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	run  func(p *pass)
+}
+
+// analyzers is the active rule set, in report order. The "directive"
+// pseudo-analyzer (malformed //fallvet: comments) is not listed here:
+// it is always on and cannot be suppressed.
+var analyzers = []*Analyzer{
+	determinismAnalyzer,
+	hotpathAnalyzer,
+	checkedIOAnalyzer,
+	redOrderAnalyzer,
+}
+
+// Analyzers returns the active rule set for documentation and tests.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, len(analyzers))
+	copy(out, analyzers)
+	return out
+}
+
+func knownRule(name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Config scopes the package-sensitive analyzers. Both predicates take
+// an import path (e.g. "repro/internal/nn").
+type Config struct {
+	// Deterministic reports whether the package carries the
+	// bit-identical-results contract (determinism and redorder apply).
+	Deterministic func(importPath string) bool
+	// Par reports whether the package IS the sanctioned parallelism
+	// layer, exempt from redorder.
+	Par func(importPath string) bool
+}
+
+// deterministicSuffixes are the packages named by the determinism
+// contract (DESIGN.md §8): everything whose outputs must be
+// bit-identical across runs and worker counts.
+var deterministicSuffixes = []string{
+	"internal/nn",
+	"internal/eval",
+	"internal/quant",
+	"internal/par",
+	"internal/tensor",
+	"internal/artifact",
+}
+
+// DefaultConfig is the repo's scoping: the six deterministic packages,
+// with internal/par as the only place goroutines may live.
+func DefaultConfig() Config {
+	return Config{
+		Deterministic: func(path string) bool {
+			for _, s := range deterministicSuffixes {
+				if path == s || hasPathSuffix(path, s) {
+					return true
+				}
+			}
+			return false
+		},
+		Par: func(path string) bool {
+			return path == "internal/par" || hasPathSuffix(path, "internal/par")
+		},
+	}
+}
+
+// hasPathSuffix reports whether path ends in "/"+suffix on an import
+// path boundary ("repro/internal/nn" matches "internal/nn";
+// "repro/internal/nnx" does not).
+func hasPathSuffix(path, suffix string) bool {
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}
+
+// pass is the per-package state handed to each analyzer.
+type pass struct {
+	pkg    *Package
+	cfg    Config
+	dirs   *directives
+	report func(analyzer string, pos token.Pos, format string, args ...any)
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving diagnostics, sorted by position. Diagnostics on lines
+// covered by a //fallvet:ignore directive for their rule are dropped.
+func Run(pkgs []*Package, cfg Config) []Diagnostic {
+	if cfg.Deterministic == nil || cfg.Par == nil {
+		def := DefaultConfig()
+		if cfg.Deterministic == nil {
+			cfg.Deterministic = def.Deterministic
+		}
+		if cfg.Par == nil {
+			cfg.Par = def.Par
+		}
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, runPackage(pkg, cfg)...)
+	}
+	sortDiagnostics(all)
+	return all
+}
+
+func runPackage(pkg *Package, cfg Config) []Diagnostic {
+	var raw []Diagnostic
+	p := &pass{pkg: pkg, cfg: cfg}
+	p.report = func(analyzer string, pos token.Pos, format string, args ...any) {
+		ps := pkg.Fset.Position(pos)
+		raw = append(raw, Diagnostic{
+			File:     ps.Filename,
+			Line:     ps.Line,
+			Col:      ps.Column,
+			Analyzer: analyzer,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	p.dirs = collectDirectives(p)
+	for _, a := range analyzers {
+		a.run(p)
+	}
+	// Apply //fallvet:ignore suppression. Directive diagnostics
+	// themselves are never suppressible.
+	kept := raw[:0]
+	for _, d := range raw {
+		if d.Analyzer != "directive" && p.dirs.ignored(d.File, d.Line, d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ---- shared AST/type helpers ----
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves the called function or method, or nil for
+// builtins, conversions, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// builtinName returns the name of the builtin being called ("make",
+// "append", ...) or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return b.Name()
+		}
+	}
+	return ""
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// funcDisplayName renders "Recv.Name" for methods, "Name" otherwise.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return name
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + name
+	}
+	return name
+}

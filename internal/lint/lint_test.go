@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader is shared across tests so the stdlib packages the
+// fixtures import are parsed and type-checked once per test binary.
+var fixtureLoader = newLoader()
+
+func loadFixture(t *testing.T, rel string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	pkg, err := fixtureLoader.load(dir, "fixture/"+rel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s contains no Go files", rel)
+	}
+	return pkg
+}
+
+func fixtureConfig(deterministic, par bool) Config {
+	return Config{
+		Deterministic: func(string) bool { return deterministic },
+		Par:           func(string) bool { return par },
+	}
+}
+
+// want is one expected diagnostic: a pattern from a // want `regex`
+// comment that must match at least one diagnostic on its line.
+type want struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRx = regexp.MustCompile("`([^`]+)`")
+
+// collectWants scans the fixture sources for // want `regex` comments
+// (one line may carry several backtick-quoted patterns) and returns
+// them keyed by "file.go:line".
+func collectWants(t *testing.T, dir string) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			key := e.Name() + ":" + strconv.Itoa(i+1)
+			for _, m := range wantRx.FindAllStringSubmatch(line[idx:], -1) {
+				rx, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+				}
+				wants[key] = append(wants[key], &want{rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture lints one fixture package and matches its diagnostics
+// against its want comments in both directions: every diagnostic must
+// be wanted, every want must be produced.
+func checkFixture(t *testing.T, rel string, cfg Config) {
+	t.Helper()
+	pkg := loadFixture(t, rel)
+	diags := Run([]*Package{pkg}, cfg)
+	wants := collectWants(t, pkg.Dir)
+	for _, d := range diags {
+		key := filepath.Base(d.File) + ":" + strconv.Itoa(d.Line)
+		text := d.Analyzer + ": " + d.Message
+		ok := false
+		for _, w := range wants[key] {
+			if w.rx.MatchString(text) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s", key, text)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s matching %q", key, w.rx)
+			}
+		}
+	}
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, tc := range []struct {
+		rel      string
+		det, par bool
+	}{
+		// determinism and redorder fire only in deterministic packages,
+		// so their fixtures (and the suppression fixture, which silences
+		// determinism findings) are linted with Deterministic=true.
+		{"determinism/bad", true, false},
+		{"determinism/good", true, false},
+		{"hotpath/bad", false, false},
+		{"hotpath/good", false, false},
+		{"checkedio/bad", false, false},
+		{"checkedio/good", false, false},
+		{"redorder/bad", true, false},
+		{"redorder/good", true, false},
+		{"suppress", true, false},
+	} {
+		t.Run(strings.ReplaceAll(tc.rel, "/", "_"), func(t *testing.T) {
+			checkFixture(t, tc.rel, fixtureConfig(tc.det, tc.par))
+		})
+	}
+}
+
+// TestRedorderExemptInsidePar: the channel-heavy redorder fixture must
+// be clean when the config marks its package as the sanctioned
+// parallelism layer, the way DefaultConfig exempts internal/par.
+func TestRedorderExemptInsidePar(t *testing.T) {
+	pkg := loadFixture(t, "redorder/bad")
+	diags := Run([]*Package{pkg}, fixtureConfig(true, true))
+	if len(diags) != 0 {
+		t.Fatalf("par-exempt package still has %d diagnostics, first: %s", len(diags), diags[0])
+	}
+}
+
+// TestDirectiveDiagnostics: malformed //fallvet: comments are reported
+// by the unsuppressible "directive" pseudo-analyzer, in source order.
+func TestDirectiveDiagnostics(t *testing.T) {
+	pkg := loadFixture(t, "directives")
+	diags := Run([]*Package{pkg}, fixtureConfig(false, false))
+	wantSubstrings := []string{
+		"misplaced //fallvet:hotpath",
+		"unknown fallvet directive",
+		"no space allowed",
+		"usage //fallvet:ignore <rule> <reason...>",
+		`unknown rule "nosuchrule"`,
+		"has no body",
+	}
+	if len(diags) != len(wantSubstrings) {
+		for _, d := range diags {
+			t.Log(d)
+		}
+		t.Fatalf("got %d directive diagnostics, want %d", len(diags), len(wantSubstrings))
+	}
+	for i, d := range diags {
+		if d.Analyzer != "directive" {
+			t.Errorf("diagnostic %d: analyzer %q, want directive", i, d.Analyzer)
+		}
+		if !strings.Contains(d.Message, wantSubstrings[i]) {
+			t.Errorf("diagnostic %d: %q does not mention %q", i, d.Message, wantSubstrings[i])
+		}
+	}
+}
+
+// TestDiagnosticJSONRoundTrip pins the -json wire format: the field
+// names cmd/fallvet emits, and lossless re-decoding.
+func TestDiagnosticJSONRoundTrip(t *testing.T) {
+	pkg := loadFixture(t, "checkedio/bad")
+	diags := Run([]*Package{pkg}, fixtureConfig(false, false))
+	if len(diags) == 0 {
+		t.Fatal("checkedio/bad produced no diagnostics to encode")
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Diagnostic
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, diags) {
+		t.Errorf("JSON round trip changed the diagnostics:\n got %+v\nwant %+v", back, diags)
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"file", "line", "col", "analyzer", "message"} {
+		if _, ok := raw[0][field]; !ok {
+			t.Errorf("JSON output is missing field %q", field)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 3, Col: 7, Analyzer: "hotpath", Message: "m"}
+	if got, want := d.String(), "a/b.go:3:7: hotpath: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestDefaultConfigScoping pins the repo scoping: the six deterministic
+// packages match on import-path boundaries, and internal/par is the
+// only redorder exemption.
+func TestDefaultConfigScoping(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/nn", true},
+		{"repro/internal/eval", true},
+		{"repro/internal/quant", true},
+		{"repro/internal/par", true},
+		{"repro/internal/tensor", true},
+		{"repro/internal/artifact", true},
+		{"internal/nn", true},
+		{"repro/internal/nnx", false}, // no partial-segment matches
+		{"repro/internal/dataset", false},
+		{"repro/internal/edge", false},
+		{"repro/cmd/falltrain", false},
+	} {
+		if got := cfg.Deterministic(tc.path); got != tc.want {
+			t.Errorf("Deterministic(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+	if !cfg.Par("repro/internal/par") {
+		t.Error("Par(repro/internal/par) = false, want true")
+	}
+	if cfg.Par("repro/internal/nn") {
+		t.Error("Par(repro/internal/nn) = true, want false")
+	}
+}
+
+func TestStamp(t *testing.T) {
+	if got, want := Stamp(), "v1/4-rules"; got != want {
+		t.Errorf("Stamp() = %q, want %q", got, want)
+	}
+	names := make([]string, 0, len(Analyzers()))
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	wantNames := []string{"determinism", "hotpath", "checkedio", "redorder"}
+	if !reflect.DeepEqual(names, wantNames) {
+		t.Errorf("analyzer set %v, want %v", names, wantNames)
+	}
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// redOrderAnalyzer enforces the fixed-order reduction contract
+// (DESIGN.md §8): parallel results are bit-identical only because
+// every fan-out goes through the internal/par pool, which assigns
+// fixed chunks and reduces worker results in worker-index order. A
+// stray goroutine or a channel-collected reduction anywhere else in a
+// deterministic package reintroduces scheduling order into float
+// accumulation, so the analyzer forbids goroutine spawns and every
+// channel construct outside internal/par.
+var redOrderAnalyzer = &Analyzer{
+	Name: "redorder",
+	Doc:  "forbid goroutines and channels in deterministic packages outside internal/par",
+	run:  runRedOrder,
+}
+
+const redorderHint = "route parallelism through the internal/par fixed-order pool"
+
+func runRedOrder(p *pass) {
+	if !p.cfg.Deterministic(p.pkg.Path) || p.cfg.Par(p.pkg.Path) {
+		return
+	}
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.report("redorder", n.Pos(), "goroutine spawned outside internal/par: "+redorderHint)
+			case *ast.SendStmt:
+				p.report("redorder", n.Pos(), "channel send outside internal/par: "+redorderHint)
+			case *ast.SelectStmt:
+				p.report("redorder", n.Pos(), "select outside internal/par: "+redorderHint)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					p.report("redorder", n.Pos(), "channel receive outside internal/par: "+redorderHint)
+				}
+			case *ast.RangeStmt:
+				if n.X == nil {
+					return true
+				}
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						p.report("redorder", n.Pos(),
+							"range over channel outside internal/par (receive order is scheduling order): "+redorderHint)
+					}
+				}
+			case *ast.CallExpr:
+				switch builtinName(info, n) {
+				case "make":
+					if t := info.TypeOf(n); t != nil {
+						if _, ok := t.Underlying().(*types.Chan); ok {
+							p.report("redorder", n.Pos(), "channel created outside internal/par: "+redorderHint)
+						}
+					}
+				case "close":
+					if len(n.Args) == 1 {
+						if t := info.TypeOf(n.Args[0]); t != nil {
+							if _, ok := t.Underlying().(*types.Chan); ok {
+								p.report("redorder", n.Pos(), "channel closed outside internal/par: "+redorderHint)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

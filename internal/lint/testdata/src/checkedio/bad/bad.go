@@ -1,0 +1,25 @@
+// Package bad is the positive checkedio fixture: every discard shape
+// the analyzer must catch on the artifact write path.
+package bad
+
+import "os"
+
+// Save discards every error between the bytes and the disk.
+func Save(path string, b []byte) {
+	f, _ := os.Create(path)
+	f.Write(b)                   // want `checkedio: call discards the error from \(\*os\.File\)\.Write`
+	_ = f.Sync()                 // want `checkedio: blank-assigned call discards the error from \(\*os\.File\)\.Sync`
+	defer f.Close()              // want `checkedio: deferred call discards the error from \(\*os\.File\)\.Close`
+	os.Rename(path, path+".bak") // want `checkedio: call discards the error from \(os\)\.Rename`
+}
+
+// Partial keeps the byte count but drops the error.
+func Partial(f *os.File, b []byte) int {
+	n, _ := f.Write(b) // want `checkedio: blank-assigned call discards the error from \(\*os\.File\)\.Write`
+	return n
+}
+
+// Background loses the error on another goroutine.
+func Background(f *os.File) {
+	go f.Close() // want `checkedio: spawned call discards the error from \(\*os\.File\)\.Close`
+}

@@ -1,0 +1,58 @@
+// Package good is the negative checkedio fixture: the checked-close
+// patterns the repo uses, plus the documented-infallible writers.
+// Zero diagnostics expected.
+package good
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"strings"
+)
+
+// Save checks every error on the write path, joining write/sync errors
+// with the close error so neither is lost (the checkpoint.go pattern).
+func Save(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path, path+".bak")
+}
+
+// Load uses the checked deferred close via a named return (the
+// fallbench pattern for functions with many exits).
+func Load(path string) (retErr error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); retErr == nil {
+			retErr = cerr
+		}
+	}()
+	return nil
+}
+
+// Digest writes through the exempt infallible writers: bytes.Buffer,
+// strings.Builder, and hash.Hash document that err is always nil.
+func Digest(b []byte) string {
+	var buf bytes.Buffer
+	buf.Write(b)
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	var sb strings.Builder
+	sb.Write(h.Sum(nil))
+	return sb.String()
+}

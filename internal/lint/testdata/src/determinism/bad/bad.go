@@ -1,0 +1,49 @@
+// Package bad is the positive determinism fixture: every construct in
+// this file must produce exactly the diagnostics named by the want
+// comments when the package is linted as deterministic.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `determinism: call to time\.Now`
+}
+
+// Elapsed measures against the monotonic clock.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `determinism: call to time\.Since`
+}
+
+// Roll draws from the process-global source.
+func Roll() int {
+	return rand.Intn(6) // want `determinism: call to global math/rand\.Intn`
+}
+
+// Shuffle permutes via the global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `determinism: call to global math/rand\.Shuffle`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// Sum folds map values in iteration order.
+func Sum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `determinism: range over map`
+		s += v
+	}
+	return s
+}
+
+// Keys ranges the map even though only keys are read — still random.
+func Keys(m map[int]bool) []int {
+	var out []int
+	for k := range m { // want `determinism: range over map`
+		out = append(out, k)
+	}
+	return out
+}

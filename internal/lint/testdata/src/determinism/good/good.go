@@ -1,0 +1,47 @@
+// Package good is the negative determinism fixture: every construct in
+// this file is the sanctioned alternative and must produce zero
+// diagnostics even when the package is linted as deterministic.
+package good
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Epoch constructs a time value — building times is fine, reading the
+// clock is not.
+func Epoch() time.Time { return time.Unix(0, 0) }
+
+// Roll draws from an explicitly seeded generator: rand.New and
+// rand.NewSource are allowed constructors, and Intn here is a method on
+// the seeded *rand.Rand, not the global source.
+func Roll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// Tally keeps a map for membership plus a slice for order — the
+// insertion-order pattern that replaces ranging the map (see
+// internal/eval/event.go).
+func Tally(keys []string) []string {
+	seen := map[string]bool{}
+	var order []string
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			order = append(order, k)
+		}
+	}
+	return order
+}
+
+// ArraySum ranges an array of values; only map iteration is
+// order-random, and telling the two apart needs go/types.
+func ArraySum() float64 {
+	vals := [3]float64{1, 2, 3}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}

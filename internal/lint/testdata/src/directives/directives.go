@@ -1,0 +1,29 @@
+// Package directives is the malformed-directive fixture. The expected
+// "directive" diagnostics are asserted explicitly in lint_test.go
+// (not via want comments, since several malformed forms cannot carry a
+// trailing comment without changing their meaning).
+package directives
+
+//fallvet:hotpath
+var notAFunc = 1
+
+//fallvet:frobnicate
+func unknownVerb() { _ = unknownVerb }
+
+// fallvet:ignore determinism spaced directives never bind
+func spaced() { _ = spaced }
+
+//fallvet:ignore determinism
+func missingReason() { _ = missingReason }
+
+//fallvet:ignore nosuchrule the rule name does not exist
+func unknownRule() { _ = unknownRule }
+
+//fallvet:hotpath
+func bodyless()
+
+func use() {
+	_ = notAFunc
+	_ = spaced
+	bodyless()
+}

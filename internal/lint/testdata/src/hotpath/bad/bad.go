@@ -1,0 +1,102 @@
+// Package bad is the positive hotpath fixture: every annotated
+// function violates the steady-state-zero-allocation contract in one
+// specific way.
+package bad
+
+import "fmt"
+
+var sink any
+
+// Grow appends into a possibly-growing slice.
+//
+//fallvet:hotpath
+func Grow(xs []float64) []float64 {
+	return append(xs, 1) // want `hotpath: Grow: append may grow a heap slice`
+}
+
+// Scratch allocates per call.
+//
+//fallvet:hotpath
+func Scratch(n int) []float64 {
+	return make([]float64, n) // want `hotpath: Scratch: make allocates`
+}
+
+// Format builds a string per call.
+//
+//fallvet:hotpath
+func Format(n int) string {
+	return fmt.Sprintf("%d", n) // want `hotpath: Format: fmt\.Sprintf allocates its result`
+}
+
+// Concat concatenates runtime strings.
+//
+//fallvet:hotpath
+func Concat(a, b string) string {
+	return a + b // want `hotpath: Concat: string concatenation allocates`
+}
+
+// Accumulate grows a string in place.
+//
+//fallvet:hotpath
+func Accumulate(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want `hotpath: Accumulate: string \+= allocates`
+	}
+	return s
+}
+
+// Closure captures n in a heap-allocated func value.
+//
+//fallvet:hotpath
+func Closure(n int) int {
+	f := func() int { return n } // want `hotpath: Closure: closure literal`
+	return f()
+}
+
+// Box stores a concrete int into an interface variable.
+//
+//fallvet:hotpath
+func Box(v int) {
+	sink = v // want `hotpath: Box: assignment boxes int into interface`
+}
+
+type point struct{ x, y int }
+
+// Escape returns the address of a composite literal.
+//
+//fallvet:hotpath
+func Escape(x, y int) *point {
+	return &point{x, y} // want `hotpath: Escape: escaping composite literal`
+}
+
+// SliceLit allocates a backing array per call.
+//
+//fallvet:hotpath
+func SliceLit(n int) int {
+	xs := []int{n, n} // want `hotpath: SliceLit: .* composite literal allocates its backing store`
+	return xs[0]
+}
+
+func take(v any) { sink = v }
+
+// BoxParam passes a concrete value to an interface parameter.
+//
+//fallvet:hotpath
+func BoxParam(n int) {
+	take(n) // want `hotpath: BoxParam: argument int boxed into interface parameter`
+}
+
+// BoxReturn returns a concrete value as an interface.
+//
+//fallvet:hotpath
+func BoxReturn(n int) any {
+	return n // want `hotpath: BoxReturn: return boxes int into interface`
+}
+
+// BoxConvert converts explicitly to an interface type.
+//
+//fallvet:hotpath
+func BoxConvert(n int) {
+	sink = any(n) // want `hotpath: BoxConvert: conversion boxes int into interface`
+}

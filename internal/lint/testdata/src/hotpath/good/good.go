@@ -1,0 +1,60 @@
+// Package good is the negative hotpath fixture: the idioms the repo
+// actually uses to keep annotated functions allocation-free. Zero
+// diagnostics expected.
+package good
+
+import "fmt"
+
+// Scale multiplies into caller-preallocated dst — the canonical hot
+// kernel shape.
+//
+//fallvet:hotpath
+func Scale(dst, src []float64, k float64) {
+	if len(dst) != len(src) {
+		badLen(len(dst), len(src))
+	}
+	for i, v := range src {
+		dst[i] = v * k
+	}
+}
+
+// badLen is the cold guard: the format allocation happens in an
+// unannotated helper on the way to a panic, never on the steady state.
+// The hotpath check is deliberately direct, not transitive, so calling
+// this from Scale is legal.
+func badLen(d, s int) {
+	panic(fmt.Sprintf("length mismatch: %d vs %d", d, s))
+}
+
+type vec struct{ x, y float64 }
+
+// Mid builds a struct value: stack traffic, not a heap allocation.
+//
+//fallvet:hotpath
+func Mid(a, b vec) vec {
+	return vec{x: (a.x + b.x) / 2, y: (a.y + b.y) / 2}
+}
+
+// Tag concatenates constants, which the compiler folds.
+//
+//fallvet:hotpath
+func Tag() string {
+	return "fall" + "vet"
+}
+
+// Warm grows its scratch only on the cold first call, justified per
+// line; the alloc tests prove the steady state dynamically.
+//
+//fallvet:hotpath
+func Warm(scratch []float64, n int) []float64 {
+	if cap(scratch) < n {
+		//fallvet:ignore hotpath warm-up growth; steady state reuses scratch
+		scratch = make([]float64, n)
+	}
+	return scratch[:n]
+}
+
+// Unmarked carries no directive: it may allocate freely.
+func Unmarked(n int) []int {
+	return make([]int, n)
+}

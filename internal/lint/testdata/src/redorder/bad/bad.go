@@ -1,0 +1,31 @@
+// Package bad is the positive redorder fixture: every concurrency
+// construct that reintroduces scheduling order into a deterministic
+// package. Linted with Deterministic=true, Par=false.
+package bad
+
+// Fan reduces through a channel: receive order is scheduling order.
+func Fan(xs []float64) float64 {
+	ch := make(chan float64) // want `redorder: channel created outside internal/par`
+	go func() {              // want `redorder: goroutine spawned outside internal/par`
+		ch <- xs[0] // want `redorder: channel send outside internal/par`
+	}()
+	s := <-ch // want `redorder: channel receive outside internal/par`
+	close(ch) // want `redorder: channel closed outside internal/par`
+	return s
+}
+
+// Drain accumulates in arrival order.
+func Drain(ch chan float64) float64 {
+	s := 0.0
+	for v := range ch { // want `redorder: range over channel outside internal/par`
+		s += v
+	}
+	return s
+}
+
+// Park waits on the scheduler.
+func Park(done chan struct{}) {
+	select { // want `redorder: select outside internal/par`
+	case <-done: // want `redorder: channel receive outside internal/par`
+	}
+}

@@ -1,0 +1,38 @@
+// Package good is the negative redorder fixture: serial, index-ordered
+// reduction needs no exemption even in a deterministic package.
+package good
+
+// Sum reduces in index order — bit-identical on every run.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// SumChunked mirrors the fixed-order reduction internal/par performs:
+// chunk results land in a preallocated slot per chunk and are folded in
+// chunk-index order.
+func SumChunked(xs []float64, chunk int) float64 {
+	if chunk < 1 {
+		chunk = 1
+	}
+	partials := make([]float64, 0, (len(xs)+chunk-1)/chunk)
+	for lo := 0; lo < len(xs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		p := 0.0
+		for _, v := range xs[lo:hi] {
+			p += v
+		}
+		partials = append(partials, p)
+	}
+	s := 0.0
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}

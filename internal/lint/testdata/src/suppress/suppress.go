@@ -1,0 +1,30 @@
+// Package suppress exercises //fallvet:ignore: linted with
+// Deterministic=true, both violations below would be diagnostics, and
+// both are silenced — one by a directive on the preceding line, one by
+// a directive on the same line. Zero diagnostics expected.
+package suppress
+
+import "time"
+
+// Stamp demonstrates next-line suppression.
+func Stamp() int64 {
+	//fallvet:ignore determinism fixture: demonstrates next-line suppression
+	return time.Now().UnixNano()
+}
+
+// Sum demonstrates same-line suppression.
+func Sum(m map[int]int) int {
+	s := 0
+	for _, v := range m { //fallvet:ignore determinism fixture: demonstrates same-line suppression
+		s += v
+	}
+	return s
+}
+
+// Wrong demonstrates that an ignore for one rule does not silence
+// another: the directive here names hotpath, so the determinism
+// diagnostic survives.
+func Wrong() int64 {
+	//fallvet:ignore hotpath fixture: wrong rule on purpose
+	return time.Now().UnixNano() // want `determinism: call to time\.Now`
+}

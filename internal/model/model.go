@@ -208,6 +208,8 @@ func (m *NetModel) Name() string { return m.kind.String() }
 func (m *NetModel) Kind() Kind { return m.kind }
 
 // Score implements Classifier.
+//
+//fallvet:hotpath
 func (m *NetModel) Score(x *tensor.Tensor) float64 { return m.Net.Predict(x) }
 
 // Fit implements Trainable. With cfg.Workers > 1 the trainer shards

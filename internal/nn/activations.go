@@ -27,6 +27,8 @@ func (r *ReLU) Params() []*Param { return nil }
 func (r *ReLU) OutShape(in []int) ([]int, error) { return in, nil }
 
 // Forward implements Layer.
+//
+//fallvet:hotpath
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y := tensor.Reuse(r.y, x.Shape()...)
 	r.y = y
@@ -35,6 +37,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		if cap(r.mask) >= len(d) {
 			r.mask = r.mask[:len(d)]
 		} else {
+			//fallvet:ignore hotpath mask warm-up: grows once, then reused (alloc_test proves steady state)
 			r.mask = make([]bool, len(d))
 		}
 	}
@@ -55,6 +58,8 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:hotpath
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dx := tensor.Reuse(r.dx, grad.Shape()...)
 	r.dx = dx
@@ -87,6 +92,8 @@ func (s *Sigmoid) Params() []*Param { return nil }
 func (s *Sigmoid) OutShape(in []int) ([]int, error) { return in, nil }
 
 // Forward implements Layer.
+//
+//fallvet:hotpath
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y := tensor.Reuse(s.y, x.Shape()...)
 	s.y = y
@@ -98,6 +105,8 @@ func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:hotpath
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dx := tensor.Reuse(s.dx, grad.Shape()...)
 	s.dx = dx
@@ -176,8 +185,11 @@ func (f *Flatten) OutShape(in []int) ([]int, error) {
 }
 
 // Forward implements Layer.
+//
+//fallvet:hotpath
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
+		//fallvet:ignore hotpath shape cache reuses its backing array after the first call
 		f.inShape = append(f.inShape[:0], x.Shape()...)
 	}
 	if x.Dims() == 1 {
@@ -187,6 +199,8 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:hotpath
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if len(f.inShape) == 1 && grad.Dims() == 1 {
 		return grad

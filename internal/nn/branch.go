@@ -85,6 +85,8 @@ func (b *Branch) OutShape(in []int) ([]int, error) {
 
 // sliceInto extracts columns [lo,hi) of x into dst (scratch, possibly
 // nil) and returns the [T × hi-lo] result.
+//
+//fallvet:hotpath
 func sliceInto(dst, x *tensor.Tensor, lo, hi int) *tensor.Tensor {
 	T, C := x.Dim(0), x.Dim(1)
 	out := tensor.Reuse(dst, T, hi-lo)
@@ -109,17 +111,26 @@ func (b *Branch) ensureScratch() {
 	b.outSh = make([][]int, n)
 }
 
+// badInput keeps the formatted panic off the Forward fast path.
+func (b *Branch) badInput(x *tensor.Tensor) {
+	panic(fmt.Sprintf("nn: %s got shape %v", b.Name(), x.Shape()))
+}
+
 // Forward implements Layer.
+//
+//fallvet:hotpath
 func (b *Branch) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() != 2 {
-		panic(fmt.Sprintf("nn: %s got shape %v", b.Name(), x.Shape()))
+		b.badInput(x)
 	}
 	b.ensureScratch()
 	if train {
+		//fallvet:ignore hotpath shape cache reuses its backing array after the first call
 		b.inShape = append(b.inShape[:0], x.Shape()...)
 		if cap(b.sizes) >= len(b.Stacks) {
 			b.sizes = b.sizes[:len(b.Stacks)]
 		} else {
+			//fallvet:ignore hotpath sizes warm-up: grows once, then reused (alloc_test proves steady state)
 			b.sizes = make([]int, len(b.Stacks))
 		}
 	}
@@ -132,6 +143,7 @@ func (b *Branch) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			h = l.Forward(h, train)
 		}
 		if train {
+			//fallvet:ignore hotpath shape cache reuses its backing array after the first call
 			b.outSh[i] = append(b.outSh[i][:0], h.Shape()...)
 			b.sizes[i] = h.Len()
 		}
@@ -152,6 +164,8 @@ func (b *Branch) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:hotpath
 func (b *Branch) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dx := tensor.Reuse(b.dx, b.inShape...)
 	b.dx = dx

@@ -90,12 +90,10 @@ func (c *Checkpointer) save(st *checkpointState) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		return fmt.Errorf("nn: writing checkpoint: %w", err)
+		return fmt.Errorf("nn: writing checkpoint: %w", errors.Join(err, tmp.Close()))
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("nn: syncing checkpoint: %w", err)
+		return fmt.Errorf("nn: syncing checkpoint: %w", errors.Join(err, tmp.Close()))
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("nn: closing checkpoint: %w", err)

@@ -55,15 +55,31 @@ func (c *Conv1D) OutShape(in []int) ([]int, error) {
 	return []int{outT, c.Filters}, nil
 }
 
+// badInput and badShort keep the formatted panics (and their argument
+// allocations) off the Forward fast path.
+func (c *Conv1D) badInput(x *tensor.Tensor) {
+	panic(fmt.Sprintf("nn: %s got shape %v", c.Name(), x.Shape()))
+}
+
+func (c *Conv1D) badShort(T int) {
+	panic(fmt.Sprintf("nn: %s input length %d shorter than kernel %d", c.Name(), T, c.Kernel))
+}
+
+func (c *Conv1D) badGrad(grad *tensor.Tensor, outT int) {
+	checkShape(c.Name()+" grad", grad.Shape(), []int{outT, c.Filters})
+}
+
 // Forward implements Layer.
+//
+//fallvet:hotpath
 func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() != 2 || x.Dim(1) != c.InCh {
-		panic(fmt.Sprintf("nn: %s got shape %v", c.Name(), x.Shape()))
+		c.badInput(x)
 	}
 	T := x.Dim(0)
 	outT := T - c.Kernel + 1
 	if outT < 1 {
-		panic(fmt.Sprintf("nn: %s input length %d shorter than kernel %d", c.Name(), T, c.Kernel))
+		c.badShort(T)
 	}
 	if train {
 		c.x = x
@@ -89,11 +105,13 @@ func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:hotpath
 func (c *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	T := c.x.Dim(0)
 	outT := T - c.Kernel + 1
 	if grad.Dims() != 2 || grad.Dim(0) != outT || grad.Dim(1) != c.Filters {
-		checkShape(c.Name()+" grad", grad.Shape(), []int{outT, c.Filters})
+		c.badGrad(grad, outT)
 	}
 	dx := tensor.Reuse(c.dx, T, c.InCh)
 	c.dx = dx
@@ -159,10 +177,17 @@ func (m *MaxPool1D) OutShape(in []int) ([]int, error) {
 	return []int{m.outT(in[0]), in[1]}, nil
 }
 
+// badInput keeps the formatted panic off the Forward fast path.
+func (m *MaxPool1D) badInput(x *tensor.Tensor) {
+	panic(fmt.Sprintf("nn: %s got shape %v", m.Name(), x.Shape()))
+}
+
 // Forward implements Layer.
+//
+//fallvet:hotpath
 func (m *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() != 2 {
-		panic(fmt.Sprintf("nn: %s got shape %v", m.Name(), x.Shape()))
+		m.badInput(x)
 	}
 	T, C := x.Dim(0), x.Dim(1)
 	outT := m.outT(T)
@@ -172,6 +197,7 @@ func (m *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		if cap(m.argmax) >= outT*C {
 			m.argmax = m.argmax[:outT*C]
 		} else {
+			//fallvet:ignore hotpath argmax warm-up: grows once, then reused (alloc_test proves steady state)
 			m.argmax = make([]int, outT*C)
 		}
 		m.inT, m.ch = T, C
@@ -201,6 +227,8 @@ func (m *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:hotpath
 func (m *MaxPool1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dx := tensor.Reuse(m.dx, m.inT, m.ch)
 	m.dx = dx

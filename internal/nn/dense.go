@@ -43,12 +43,22 @@ func (d *Dense) OutShape(in []int) ([]int, error) {
 	return []int{d.Out}, nil
 }
 
+// badInput and badGrad keep checkShape's argument allocations (Sprintf
+// name, shape literal) off the fast paths.
+func (d *Dense) badInput(x *tensor.Tensor) {
+	checkShape(d.Name(), x.Shape(), []int{d.In})
+}
+
+func (d *Dense) badGrad(grad *tensor.Tensor) {
+	checkShape(d.Name()+" grad", grad.Shape(), []int{d.Out})
+}
+
 // Forward implements Layer.
+//
+//fallvet:hotpath
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() != 1 || x.Dim(0) != d.In {
-		// Cold path: checkShape's message without paying its argument
-		// allocations (Sprintf name, shape literal) on every call.
-		checkShape(d.Name(), x.Shape(), []int{d.In})
+		d.badInput(x)
 	}
 	if train {
 		d.x = x
@@ -69,9 +79,11 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:hotpath
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Dims() != 1 || grad.Dim(0) != d.Out {
-		checkShape(d.Name()+" grad", grad.Shape(), []int{d.Out})
+		d.badGrad(grad)
 	}
 	gd, xd := grad.Data(), d.x.Data()
 	wg, wd := d.Weight.G.Data(), d.Weight.W.Data()

@@ -31,6 +31,8 @@ func BalancedWeights(neg, pos int) (w0, w1 float64) {
 const eps = 1e-12
 
 // Loss returns the weighted BCE for prediction p∈(0,1) and label y∈{0,1}.
+//
+//fallvet:hotpath
 func (l *WeightedBCE) Loss(p float64, y int) float64 {
 	p = math.Min(1-eps, math.Max(eps, p))
 	if y == 1 {
@@ -48,6 +50,8 @@ func (l *WeightedBCE) Grad(p float64, y int) *tensor.Tensor {
 // GradValue returns ∂loss/∂p as a bare scalar — the allocation-free
 // variant of Grad for hot training loops that own a reusable 1-element
 // gradient tensor.
+//
+//fallvet:hotpath
 func (l *WeightedBCE) GradValue(p float64, y int) float64 {
 	p = math.Min(1-eps, math.Max(eps, p))
 	if y == 1 {

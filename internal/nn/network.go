@@ -30,6 +30,8 @@ type Network struct {
 func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
 
 // Forward runs a full forward pass.
+//
+//fallvet:hotpath
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range n.Layers {
 		x = l.Forward(x, train)
@@ -38,6 +40,8 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward runs a full backward pass from the output gradient.
+//
+//fallvet:hotpath
 func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		grad = n.Layers[i].Backward(grad)
@@ -48,6 +52,8 @@ func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Predict returns the scalar output (fall probability) for one window.
 // Steady-state calls are allocation-free: every layer writes into its
 // own reusable scratch buffer.
+//
+//fallvet:hotpath
 func (n *Network) Predict(x *tensor.Tensor) float64 {
 	out := n.Forward(x, false)
 	return out.Data()[0]

@@ -129,6 +129,8 @@ func prod(s []int) int {
 // Predict quantizes the input window, runs integer inference and
 // returns the fall probability. Steady-state calls are allocation-free:
 // the input quantization and every op reuse their scratch buffers.
+//
+//fallvet:hotpath
 func (q *QNetwork) Predict(x *tensor.Tensor) float64 {
 	in := reuseQ(q.in, q.inScale, x.Shape()...)
 	q.in = in

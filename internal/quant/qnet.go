@@ -20,14 +20,19 @@ func (q *qtensor) len() int { return len(q.data) }
 // requested shape (rewriting dims and scale in place) and a fresh
 // qtensor otherwise. Mirrors tensor.Reuse: ops own their returned
 // activation, valid until the op's next forward call.
+//
+//fallvet:hotpath
 func reuseQ(scratch *qtensor, scale float64, shape ...int) *qtensor {
 	n := 1
 	for _, d := range shape {
 		n *= d
 	}
 	if scratch == nil || len(scratch.data) != n || len(scratch.shape) != len(shape) {
+		// Cold: only until the caller's shapes stabilise.
+		//fallvet:ignore hotpath first-call warm-up allocation (alloc_test proves steady state)
 		s := make([]int, len(shape))
 		copy(s, shape)
+		//fallvet:ignore hotpath first-call warm-up allocation (alloc_test proves steady state)
 		return &qtensor{data: make([]int8, n), shape: s, scale: scale}
 	}
 	copy(scratch.shape, shape)
@@ -45,6 +50,8 @@ type qop interface {
 
 // requant maps an int32 accumulator at scale (sIn·sW) to the output
 // int8 scale.
+//
+//fallvet:hotpath
 func requant(acc int32, m float64) int8 {
 	q := math.RoundToEven(float64(acc) * m)
 	if q > qmax {
@@ -86,6 +93,7 @@ func (q *qdense) name() string { return fmt.Sprintf("qdense(%d→%d)", q.in, q.o
 
 func (q *qdense) flashBytes() int { return len(q.w) + 4*len(q.bias) + 4 /* multiplier */ }
 
+//fallvet:hotpath
 func (q *qdense) forward(x *qtensor) *qtensor {
 	out := reuseQ(q.scratch, q.outScale, q.out)
 	q.scratch = out
@@ -132,6 +140,7 @@ func (q *qconv1d) name() string {
 
 func (q *qconv1d) flashBytes() int { return len(q.w) + 4*len(q.bias) + 4 }
 
+//fallvet:hotpath
 func (q *qconv1d) forward(x *qtensor) *qtensor {
 	T := x.shape[0]
 	outT := T - q.kernel + 1
@@ -157,6 +166,8 @@ type qrelu struct{ scratch *qtensor }
 
 func (*qrelu) name() string    { return "qrelu" }
 func (*qrelu) flashBytes() int { return 0 }
+
+//fallvet:hotpath
 func (q *qrelu) forward(x *qtensor) *qtensor {
 	out := reuseQ(q.scratch, x.scale, x.shape...)
 	q.scratch = out
@@ -178,6 +189,8 @@ type qmaxpool struct {
 
 func (q *qmaxpool) name() string    { return fmt.Sprintf("qmaxpool(%d)", q.pool) }
 func (q *qmaxpool) flashBytes() int { return 0 }
+
+//fallvet:hotpath
 func (q *qmaxpool) forward(x *qtensor) *qtensor {
 	T, C := x.shape[0], x.shape[1]
 	outT := (T + q.pool - 1) / q.pool
@@ -205,8 +218,11 @@ type qflatten struct{ view *qtensor }
 
 func (*qflatten) name() string    { return "qflatten" }
 func (*qflatten) flashBytes() int { return 0 }
+
+//fallvet:hotpath
 func (q *qflatten) forward(x *qtensor) *qtensor {
 	if q.view == nil {
+		//fallvet:ignore hotpath one-time view-header initialisation (alloc_test proves steady state)
 		q.view = &qtensor{shape: []int{0}}
 	}
 	q.view.data = x.data
@@ -224,6 +240,8 @@ type qrescale struct {
 
 func (*qrescale) name() string    { return "qrescale" }
 func (*qrescale) flashBytes() int { return 4 }
+
+//fallvet:hotpath
 func (q *qrescale) forward(x *qtensor) *qtensor {
 	out := reuseQ(q.scratch, q.outScale, x.shape...)
 	q.scratch = out
@@ -258,10 +276,13 @@ func (q *qbranch) flashBytes() int {
 	return n
 }
 
+//fallvet:hotpath
 func (q *qbranch) forward(x *qtensor) *qtensor {
 	T := x.shape[0]
 	if q.ins == nil {
+		//fallvet:ignore hotpath one-time scratch-table initialisation (alloc_test proves steady state)
 		q.ins = make([]*qtensor, len(q.stacks))
+		//fallvet:ignore hotpath one-time scratch-table initialisation (alloc_test proves steady state)
 		q.parts = make([]*qtensor, len(q.stacks))
 	}
 	total := 0

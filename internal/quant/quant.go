@@ -32,6 +32,8 @@ func scaleFor(absmax float64) float64 {
 }
 
 // quantizeTo maps a float slice to int8 at the given scale.
+//
+//fallvet:hotpath
 func quantizeTo(dst []int8, src []float64, scale float64) {
 	for i, v := range src {
 		q := math.RoundToEven(v / scale)

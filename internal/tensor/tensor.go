@@ -336,13 +336,15 @@ func Transpose(a *Tensor) *Tensor {
 // call Zero themselves. Because the dims are rewritten in place, the
 // tensor must be owned by the caller (never a view of someone else's
 // buffer).
+//
+//fallvet:hotpath
 func Reuse(t *Tensor, shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		n *= d
 	}
 	if t == nil || len(t.data) != n || len(t.shape) != len(shape) {
-		return New(shape...)
+		return New(shape...) // cold: only until the caller's shapes stabilise
 	}
 	copy(t.shape, shape)
 	return t
@@ -352,6 +354,8 @@ func Reuse(t *Tensor, shape ...int) *Tensor {
 // *cache when it already aliases that exact buffer (avoiding the header
 // allocation Reshape pays in hot loops). The element count must match
 // src's. On a cache miss the fresh view is stored back into *cache.
+//
+//fallvet:hotpath
 func ViewInto(cache **Tensor, src *Tensor, shape ...int) *Tensor {
 	c := *cache
 	if c != nil && len(c.data) == len(src.data) && len(src.data) > 0 &&

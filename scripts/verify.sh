@@ -6,15 +6,19 @@
 # Gates, in order of increasing cost:
 #   1. go build ./...        — everything compiles
 #   2. go vet ./...          — static analysis clean
-#   3. go test ./...         — full unit suite
-#   4. go test -race ./...   — same suite under the race detector
+#   3. fallvet ./...         — the repo's own invariant linter
+#      (DESIGN.md §9): determinism, hotpath, checkedio, redorder.
+#      Runs before the tests because it is cheaper than the suite and
+#      a violation explains itself better than a flaky alloc count.
+#   4. go test ./...         — full unit suite
+#   5. go test -race ./...   — same suite under the race detector
 #      (the streaming Detector is single-goroutine by contract, but
 #      the trainer and evaluation harness fan out across workers)
-#   5. fuzz smoke            — 10 s each on the hostile-input fuzz
+#   6. fuzz smoke            — 10 s each on the hostile-input fuzz
 #      targets: FuzzQuantLoad (model-image loader must never panic or
 #      over-allocate on arbitrary bytes) and FuzzDetectorPush (the
 #      streaming pipeline must survive arbitrary sensor input)
-#   6. bench gate            — scripts/bench.sh -short: the hot-path
+#   7. bench gate            — scripts/bench.sh -short: the hot-path
 #      benchmarks run briefly with -benchmem; the gate fails when a
 #      steady-state path that must be allocation-free (streaming push,
 #      quantized predict) reports allocs/op > 0. The committed
@@ -30,6 +34,8 @@ echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
 go vet ./...
+echo "== fallvet ./..."
+go run ./cmd/fallvet ./...
 echo "== go test ./..."
 go test ./...
 echo "== go test -race ./..."
