@@ -16,12 +16,14 @@ package repro
 //	E9 (ablation)   Benchmark_Ablation_Augment
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"repro/falldet"
 	"repro/internal/augment"
+	"repro/internal/cascade"
 	"repro/internal/dataset"
 	"repro/internal/dsp"
 	"repro/internal/edge"
@@ -322,6 +324,72 @@ func Benchmark_Edge_Quantization(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- E17 (cascade): supervised degradation, push cost per tier ----
+
+func cascadeFixture(b *testing.B) *cascade.Cascade {
+	b.Helper()
+	rng := rand.New(rand.NewSource(51))
+	primary, err := model.New(model.KindCNN, model.Config{WindowSamples: 40}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fallback, err := model.New(model.KindCNNAccel, model.Config{WindowSamples: 40}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cascade.New(primary, fallback, cascade.Config{WindowMS: 400, Overlap: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// benchCascadePush measures the steady-state push cost with the
+// supervisor settled at one tier. Every variant must report 0
+// allocs/op: the real-time contract holds at every degradation level.
+func benchCascadePush(b *testing.B, want cascade.Tier, push func(c *cascade.Cascade, i int) cascade.Decision) {
+	c := cascadeFixture(b)
+	n := 0
+	for i := 0; i < 3*c.Window(); i++ { // fill the ring, warm the primary's scratch
+		c.Push(imu.Vec3{Z: 1 + 0.01*float64(i%7)}, imu.Vec3{X: float64(i % 5)})
+		n++
+	}
+	for i := 0; i < 4*c.Window(); i++ { // enter the fault regime, warm the deciding tier
+		push(c, n)
+		n++
+	}
+	if got := c.SupervisorTier(); got != want {
+		b.Fatalf("supervisor settled at %v, want %v", got, want)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		push(c, n)
+		n++
+	}
+}
+
+func Benchmark_Cascade_PushPrimary(b *testing.B) {
+	benchCascadePush(b, cascade.TierPrimary, func(c *cascade.Cascade, i int) cascade.Decision {
+		return c.Push(imu.Vec3{Z: 1 + 0.01*float64(i%7)}, imu.Vec3{X: float64(i % 5)})
+	})
+}
+
+func Benchmark_Cascade_PushFallback(b *testing.B) {
+	nan := math.NaN()
+	benchCascadePush(b, cascade.TierFallback, func(c *cascade.Cascade, i int) cascade.Decision {
+		return c.Push(imu.Vec3{Z: 1 + 0.01*float64(i%7)}, imu.Vec3{X: nan})
+	})
+}
+
+func Benchmark_Cascade_PushThreshold(b *testing.B) {
+	nan := math.NaN()
+	bad := imu.Vec3{X: nan, Y: nan, Z: nan}
+	benchCascadePush(b, cascade.TierThreshold, func(c *cascade.Cascade, i int) cascade.Decision {
+		return c.Push(bad, bad)
+	})
 }
 
 // ---- E9 (ablation): augmentation throughput ----

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/falldet"
+	"repro/internal/lint"
+	"repro/internal/report"
+)
+
+// blindingFaults are the fault kinds that blind the plain pipeline
+// outright — they quarantine or fault entire channel groups, so the
+// base detector fails closed and misses everything that happens during
+// the outage. These are the conditions the cascade exists for, and the
+// acceptance criterion is checked over them at severity ≥ 0.5.
+var blindingFaults = []falldet.FaultKind{
+	falldet.FaultGyroNaN,
+	falldet.FaultGyroStuck,
+	falldet.FaultNaNBurst,
+}
+
+// expCascade is the supervised-degradation experiment (EXPERIMENTS.md
+// E17): the same fault sweep replayed twice — once through the plain
+// hardened pipeline, once through the three-tier cascade — with
+// sample-identical fault streams, so every (fault, severity) point is
+// a paired comparison. The cascade must never miss more falls than the
+// plain detector under a blinding fault at high severity, and no fault
+// may push its ADL false-positive rate past 2× the clean baseline.
+// Results go to stdout and results_cascade.txt.
+func expCascade(data *falldet.Dataset, sc scale, seed int64) error {
+	cfg := sc.config(400, 0.75, seed) // dense stride, as in deployment
+	fmt.Println("training the cascade (primary CNN + accel-only fallback)...")
+	cd, err := falldet.TrainCascade(data, falldet.KindCNN, cfg)
+	if err != nil {
+		return err
+	}
+
+	rcfg := falldet.RobustnessConfig{
+		Severities: []float64{0.25, 0.5},
+		Seed:       seed,
+		Workers:    sc.workers,
+	}
+	fmt.Println("sweeping faults through the plain pipeline...")
+	plain, err := cd.Primary().EvaluateRobustness(data, rcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("sweeping the same faults through the cascade...")
+	casc, err := cd.EvaluateRobustness(data, rcfg)
+	if err != nil {
+		return err
+	}
+	if len(plain.Points) != len(casc.Points) {
+		return fmt.Errorf("cascade: sweep shapes diverged: %d vs %d points", len(plain.Points), len(casc.Points))
+	}
+
+	f, err := os.Create("results_cascade.txt")
+	if err != nil {
+		return err
+	}
+	w := io.MultiWriter(os.Stdout, f)
+
+	fmt.Fprintf(w, "Detector cascade under sensor faults — CNN + accel-CNN + threshold floor\n")
+	fmt.Fprintf(w, "400 ms / 75 %% stride, scale=%s seed=%d workers=%d fallvet=%s\n", sc.name, seed, sc.workers, lint.Stamp())
+	fmt.Fprintf(w, "%d fall trials, %d ADL trials; plain and cascade see sample-identical fault streams\n\n",
+		casc.Clean.FallTrials, casc.Clean.ADLTrials)
+
+	tb := &report.Table{
+		Headers: []string{"Fault", "Severity", "Miss% plain", "Miss% cascade", "ΔMiss",
+			"ADL FP% plain", "ADL FP% cascade", "Lead ms", "Evals t0/t1/t2", "Triggers t0/t1/t2"},
+	}
+	addRow := func(pp, cp falldet.RobustnessPoint) {
+		tb.AddRow(cp.Fault,
+			fmt.Sprintf("%.2f", cp.Severity),
+			fmt.Sprintf("%.1f", 100*pp.MissRate()),
+			fmt.Sprintf("%.1f", 100*cp.MissRate()),
+			fmt.Sprintf("%+.1f", 100*(cp.MissRate()-pp.MissRate())),
+			fmt.Sprintf("%.1f", 100*pp.FalseAlarmRate),
+			fmt.Sprintf("%.1f", 100*cp.FalseAlarmRate),
+			fmt.Sprintf("%.0f", cp.MeanLeadMS),
+			fmt.Sprintf("%d/%d/%d", cp.TierEvals[0], cp.TierEvals[1], cp.TierEvals[2]),
+			fmt.Sprintf("%d/%d/%d", cp.TierTriggers[0], cp.TierTriggers[1], cp.TierTriggers[2]))
+	}
+	addRow(plain.Clean, casc.Clean)
+	for i := range casc.Points {
+		addRow(plain.Points[i], casc.Points[i])
+	}
+	tb.Fprint(w)
+
+	// Acceptance criteria, checked over the recorded sweep.
+	blinding := map[string]bool{}
+	for _, k := range blindingFaults {
+		blinding[k.String()] = true
+	}
+	missOK, fpOK := true, true
+	for i := range casc.Points {
+		cp, pp := casc.Points[i], plain.Points[i]
+		if blinding[cp.Fault] && cp.Severity >= 0.5 && cp.MissRate() > pp.MissRate() {
+			missOK = false
+			fmt.Fprintf(w, "\nFAIL %s sev %.2f: cascade miss %.1f%% > plain %.1f%%",
+				cp.Fault, cp.Severity, 100*cp.MissRate(), 100*pp.MissRate())
+		}
+		if cp.FalseAlarmRate > 2*casc.Clean.FalseAlarmRate {
+			fpOK = false
+			fmt.Fprintf(w, "\nFAIL %s sev %.2f: cascade ADL FP rate %.1f%% > 2× clean %.1f%%",
+				cp.Fault, cp.Severity, 100*cp.FalseAlarmRate, 100*casc.Clean.FalseAlarmRate)
+		}
+	}
+	fmt.Fprintf(w, "\ncriterion 1 — blinding faults at severity ≥ 0.5 (")
+	for i, k := range blindingFaults {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprint(w, k.String())
+	}
+	fmt.Fprintf(w, "): cascade miss rate ≤ plain: %s\n", passFail(missOK))
+	fmt.Fprintf(w, "criterion 2 — no fault pushes cascade ADL FP rate past 2× clean (%.1f%%): %s\n",
+		100*casc.Clean.FalseAlarmRate, passFail(fpOK))
+
+	// The budget story, from the deployed stream itself.
+	stream, err := cd.Stream()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ncycle budget @100 Hz on STM32F722: %.0f cycles/sample; worst-case tier cost %.0f (min tier: %v)\n",
+		stream.BudgetCycles(), stream.WorstCaseCycles(), stream.MinTier())
+	for tier := falldet.TierPrimary; tier < falldet.NumTiers; tier++ {
+		fmt.Fprintf(w, "  tier %d (%v): %.0f cycles/sample\n", tier, tier, stream.PerSampleCycles(tier))
+	}
+
+	fmt.Fprintln(os.Stderr, "cascade: wrote results_cascade.txt")
+	if !missOK || !fpOK {
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		return fmt.Errorf("cascade: acceptance criteria violated (see results_cascade.txt)")
+	}
+	return f.Close()
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

@@ -14,6 +14,7 @@
 //	fallbench -exp kd                extension  PreFallKD-style distillation
 //	fallbench -exp session           extension  continuous wear, false alarms/hour
 //	fallbench -exp robustness        extension  sensor-fault injection sweep
+//	fallbench -exp cascade           extension  supervised detector cascade vs plain pipeline under faults
 //	fallbench -exp recovery          extension  crash-safety: checkpoint/resume, artifact chaos
 //	fallbench -exp all               everything above
 //
@@ -133,7 +134,7 @@ func main() {
 	}
 
 	known := []string{"fig1", "table1", "table2", "table3", "table4", "sweep",
-		"ablation", "edge", "kd", "session", "robustness", "recovery", "pipeline"}
+		"ablation", "edge", "kd", "session", "robustness", "cascade", "recovery", "pipeline"}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
 		name = strings.TrimSpace(name)
@@ -194,6 +195,7 @@ func main() {
 	run("kd", func() error { return expKD(data, sc, *seed) })
 	run("session", func() error { return expSession(data, sc, *seed) })
 	run("robustness", func() error { return expRobustness(data, sc, *seed) })
+	run("cascade", func() error { return expCascade(data, sc, *seed) })
 	run("recovery", func() error { return expRecovery(data, sc, *seed) })
 	run("pipeline", func() error { return expPipeline(data, sc, *seed) })
 }

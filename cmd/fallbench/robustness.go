@@ -47,7 +47,7 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 
 	tb := &report.Table{
 		Headers: []string{"Fault", "Severity", "Recall %", "ΔRecall",
-			"In-time %", "Lead ms", "ΔLead ms", "FA/h", "Quarantined", "Missing", "NaN scores"},
+			"In-time %", "Lead ms", "ΔLead ms", "FA/h", "ADL FP %", "Quarantined", "Missing", "NaN scores"},
 	}
 	addRow := func(p falldet.RobustnessPoint) {
 		tb.AddRow(p.Fault,
@@ -58,6 +58,7 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 			fmt.Sprintf("%.0f", p.MeanLeadMS),
 			fmt.Sprintf("%+.0f", -p.DeltaLeadMS(rep.Clean)),
 			fmt.Sprintf("%.2f", p.FalseAlarmsPerHour),
+			fmt.Sprintf("%.1f", 100*p.FalseAlarmRate),
 			p.Quarantined, p.Missing, p.BadScores)
 	}
 	addRow(rep.Clean)

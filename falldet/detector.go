@@ -196,7 +196,7 @@ type savedDetector struct {
 }
 
 func (s *savedDetector) validate() error {
-	if s.Kind < 0 || s.Kind > int(KindDistilled) {
+	if s.Kind < 0 || s.Kind > int(KindCNNAccel) {
 		return fmt.Errorf("falldet: saved detector has unknown model kind %d", s.Kind)
 	}
 	if s.WindowMS <= 0 || s.WindowMS > 60_000 {

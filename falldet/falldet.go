@@ -73,6 +73,7 @@ const (
 	KindThresholdGyro = model.KindThresholdGyro
 	KindCNNBiGRU      = model.KindCNNBiGRU
 	KindDistilled     = model.KindDistilled
+	KindCNNAccel      = model.KindCNNAccel
 )
 
 // SynthConfig sizes the synthetic two-source dataset.

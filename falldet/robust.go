@@ -29,6 +29,8 @@ const (
 	FaultStuck      = fault.KindStuck
 	FaultNaNBurst   = fault.KindNaNBurst
 	FaultJitter     = fault.KindJitter
+	FaultGyroNaN    = fault.KindGyroNaN
+	FaultGyroStuck  = fault.KindGyroStuck
 )
 
 // FaultKinds lists the whole taxonomy in sweep order.

@@ -1,0 +1,141 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// A bundle frames several named model images in one file, so a
+// detector cascade's primary and fallback travel — and are verified —
+// together. The design is envelopes all the way down: the bundle is
+// itself a standard verified envelope (kind BundleKind) whose payload
+// is a sequence of named entries, and every entry's bytes are in turn
+// a complete inner envelope with its own kind, shape and SHA-256
+// digest. Corruption anywhere is therefore caught twice — the outer
+// digest covers the whole file, and each model's own digest covers its
+// image — and a loader that pulls one entry out re-verifies exactly
+// the bytes it uses.
+
+// BundleKind tags the outer envelope of a multi-model bundle.
+const BundleKind = "falldet-bundle"
+
+// MaxBundleEntries caps the entry count so a corrupt count field
+// cannot drive allocation.
+const MaxBundleEntries = 64
+
+// MaxEntryNameLen caps one entry name.
+const MaxEntryNameLen = 128
+
+// WriteBundle frames the named entries as one verified bundle. Each
+// entry value must itself be a complete envelope produced by Write —
+// this is checked, so a bundle can never contain an unverifiable
+// member. Entries are written in sorted-name order, making the bundle
+// image deterministic regardless of map iteration.
+func WriteBundle(w io.Writer, entries map[string][]byte) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("artifact: empty bundle")
+	}
+	if len(entries) > MaxBundleEntries {
+		return fmt.Errorf("artifact: %d bundle entries exceed %d", len(entries), MaxBundleEntries)
+	}
+	names := make([]string, 0, len(entries))
+	//fallvet:ignore determinism keys are sorted below before any ordered use
+	for name := range entries {
+		if len(name) == 0 || len(name) > MaxEntryNameLen {
+			return fmt.Errorf("artifact: bundle entry name length %d outside (0, %d]", len(name), MaxEntryNameLen)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var payload bytes.Buffer
+	le := binary.LittleEndian
+	var u32 [4]byte
+	var u16 [2]byte
+	le.PutUint16(u16[:], uint16(len(names)))
+	payload.Write(u16[:])
+	for _, name := range names {
+		img := entries[name]
+		if _, _, err := Read(bytes.NewReader(img)); err != nil {
+			return fmt.Errorf("artifact: bundle entry %q is not a valid envelope: %w", name, err)
+		}
+		le.PutUint16(u16[:], uint16(len(name)))
+		payload.Write(u16[:])
+		payload.WriteString(name)
+		le.PutUint32(u32[:], uint32(len(img)))
+		payload.Write(u32[:])
+		payload.Write(img)
+	}
+	return Write(w, BundleKind, nil, payload.Bytes())
+}
+
+// ReadBundle verifies the outer envelope and splits it into named
+// entries, verifying that every entry parses as a complete inner
+// envelope before anything is returned — a truncated or bit-flipped
+// member fails the whole load, it cannot surface as a short image.
+func ReadBundle(r io.Reader) (map[string][]byte, error) {
+	h, payload, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckKind(h, BundleKind); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	pos := 0
+	need := func(n int, what string) error {
+		if n < 0 || len(payload)-pos < n {
+			return fmt.Errorf("artifact: truncated bundle: need %d bytes for %s, have %d", n, what, len(payload)-pos)
+		}
+		return nil
+	}
+	if err := need(2, "entry count"); err != nil {
+		return nil, err
+	}
+	count := int(le.Uint16(payload[pos:]))
+	pos += 2
+	if count == 0 || count > MaxBundleEntries {
+		return nil, fmt.Errorf("artifact: bundle entry count %d outside (0, %d]", count, MaxBundleEntries)
+	}
+	entries := make(map[string][]byte, count)
+	for i := 0; i < count; i++ {
+		if err := need(2, "entry name length"); err != nil {
+			return nil, err
+		}
+		nameLen := int(le.Uint16(payload[pos:]))
+		pos += 2
+		if nameLen == 0 || nameLen > MaxEntryNameLen {
+			return nil, fmt.Errorf("artifact: bundle entry name length %d outside (0, %d]", nameLen, MaxEntryNameLen)
+		}
+		if err := need(nameLen, "entry name"); err != nil {
+			return nil, err
+		}
+		name := string(payload[pos : pos+nameLen])
+		pos += nameLen
+		if _, dup := entries[name]; dup {
+			return nil, fmt.Errorf("artifact: duplicate bundle entry %q", name)
+		}
+		if err := need(4, "entry length"); err != nil {
+			return nil, err
+		}
+		imgLen := int(le.Uint32(payload[pos:]))
+		pos += 4
+		if err := need(imgLen, "entry image"); err != nil {
+			return nil, err
+		}
+		img := append([]byte(nil), payload[pos:pos+imgLen]...)
+		pos += imgLen
+		// Every member must itself verify as a complete envelope: the
+		// inner digest is the per-model SHA-256 guarantee.
+		if _, _, err := Read(bytes.NewReader(img)); err != nil {
+			return nil, fmt.Errorf("artifact: bundle entry %q: %w", name, err)
+		}
+		entries[name] = img
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("artifact: %d trailing bytes after the last bundle entry", len(payload)-pos)
+	}
+	return entries, nil
+}

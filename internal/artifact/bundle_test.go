@@ -1,0 +1,173 @@
+package artifact
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mustBundle(t *testing.T, entries map[string][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func testEntries(t *testing.T) map[string][]byte {
+	t.Helper()
+	return map[string][]byte{
+		"primary":  mustWrite(t, "nn-float64", []int{40, 9}, []byte("primary network image bytes")),
+		"fallback": mustWrite(t, "nn-float64", []int{40, 2}, []byte("accel-only fallback image")),
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	entries := testEntries(t)
+	raw := mustBundle(t, entries)
+	got, err := ReadBundle(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("got %d entries, want %d", len(got), len(entries))
+	}
+	for name, img := range entries {
+		if !bytes.Equal(got[name], img) {
+			t.Fatalf("entry %q does not round-trip", name)
+		}
+		// Each recovered member must itself be a loadable envelope.
+		h, payload, err := Read(bytes.NewReader(got[name]))
+		if err != nil {
+			t.Fatalf("entry %q: %v", name, err)
+		}
+		if h.Kind != "nn-float64" || len(payload) == 0 {
+			t.Fatalf("entry %q header %+v", name, h)
+		}
+	}
+}
+
+// The bundle image must be byte-identical regardless of map iteration
+// order: entries are framed in sorted-name order.
+func TestBundleImageDeterministic(t *testing.T) {
+	entries := testEntries(t)
+	first := mustBundle(t, entries)
+	for i := 0; i < 20; i++ {
+		rebuilt := map[string][]byte{}
+		for name, img := range entries {
+			rebuilt[name] = img
+		}
+		if !bytes.Equal(mustBundle(t, rebuilt), first) {
+			t.Fatal("bundle image depends on map iteration order")
+		}
+	}
+}
+
+func TestBundleWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, nil); err == nil {
+		t.Fatal("empty bundle accepted")
+	}
+	if err := WriteBundle(&buf, map[string][]byte{"": mustWrite(t, "k", nil, nil)}); err == nil {
+		t.Fatal("empty entry name accepted")
+	}
+	long := strings.Repeat("n", MaxEntryNameLen+1)
+	if err := WriteBundle(&buf, map[string][]byte{long: mustWrite(t, "k", nil, nil)}); err == nil {
+		t.Fatal("oversized entry name accepted")
+	}
+	// An entry that is not itself a verified envelope must be refused at
+	// write time: a bundle can never contain an unverifiable member.
+	if err := WriteBundle(&buf, map[string][]byte{"raw": []byte("not an envelope")}); err == nil {
+		t.Fatal("non-envelope entry accepted")
+	}
+	big := map[string][]byte{}
+	img := mustWrite(t, "k", nil, nil)
+	for i := 0; i <= MaxBundleEntries; i++ {
+		big[strings.Repeat("e", i+1)] = img
+	}
+	if err := WriteBundle(&buf, big); err == nil {
+		t.Fatal("oversized bundle accepted")
+	}
+}
+
+func TestBundleEveryTruncationRejected(t *testing.T) {
+	raw := mustBundle(t, testEntries(t))
+	for n := 0; n < len(raw); n++ {
+		if _, err := ReadBundle(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(raw))
+		}
+	}
+}
+
+// Every single-bit flip anywhere in the bundle — outer header, entry
+// framing, or either model's inner envelope — must be rejected.
+func TestBundleEveryBitFlipRejected(t *testing.T) {
+	raw := mustBundle(t, testEntries(t))
+	for i := 0; i < len(raw); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= 1 << bit
+			if _, err := ReadBundle(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+}
+
+func TestBundleWrongKindRejected(t *testing.T) {
+	// A plain (non-bundle) envelope must not parse as a bundle.
+	raw := mustWrite(t, "nn-float64", nil, []byte("p"))
+	if _, err := ReadBundle(bytes.NewReader(raw)); err == nil {
+		t.Fatal("plain envelope accepted as a bundle")
+	}
+}
+
+// A hand-forged outer envelope with hostile framing must be caught by
+// the payload walk even when the outer digest is recomputed to match.
+func TestBundleHostileFraming(t *testing.T) {
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := Write(&buf, BundleKind, nil, payload); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if _, err := ReadBundle(bytes.NewReader(frame(nil))); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	// Zero entry count.
+	if _, err := ReadBundle(bytes.NewReader(frame([]byte{0, 0}))); err == nil {
+		t.Fatal("zero entry count accepted")
+	}
+	// Count claims more entries than the payload holds.
+	if _, err := ReadBundle(bytes.NewReader(frame([]byte{0xFF, 0xFF}))); err == nil {
+		t.Fatal("hostile entry count accepted")
+	}
+	// One entry whose declared image length runs past the payload.
+	hostile := []byte{1, 0, 1, 0, 'a', 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := ReadBundle(bytes.NewReader(frame(hostile))); err == nil {
+		t.Fatal("hostile image length accepted")
+	}
+	// Duplicate entry names.
+	img := mustWrite(t, "k", nil, nil)
+	var dup bytes.Buffer
+	dup.Write([]byte{2, 0})
+	for i := 0; i < 2; i++ {
+		dup.Write([]byte{1, 0, 'a'})
+		dup.Write([]byte{byte(len(img)), 0, 0, 0})
+		dup.Write(img)
+	}
+	if _, err := ReadBundle(bytes.NewReader(frame(dup.Bytes()))); err == nil {
+		t.Fatal("duplicate entry names accepted")
+	}
+	// Trailing bytes after the last entry.
+	var trail bytes.Buffer
+	trail.Write([]byte{1, 0, 1, 0, 'a'})
+	trail.Write([]byte{byte(len(img)), 0, 0, 0})
+	trail.Write(img)
+	trail.WriteByte(0xCC)
+	if _, err := ReadBundle(bytes.NewReader(frame(trail.Bytes()))); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

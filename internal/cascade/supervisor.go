@@ -1,0 +1,92 @@
+package cascade
+
+import "repro/internal/edge"
+
+// supervisor is the tier-selection state machine. Two rules give the
+// cascade its shape:
+//
+//   - Demotion is immediate and single-step: the moment the current
+//     tier's stay requirement fails, the supervisor moves one tier
+//     down. If the next tier's requirement also fails, the following
+//     sample demotes again — at 100 Hz the floor is two samples away
+//     from anywhere, well inside the 150 ms airbag deadline.
+//   - Promotion is hysteretic and single-step: the better tier's
+//     entry requirement (strictly Healthy, not merely non-Faulted)
+//     must hold for promoteHold consecutive samples. A flapping fault
+//     that keeps any group short of Healthy therefore parks the
+//     supervisor at the degraded tier instead of oscillating.
+//
+// minTier caps promotion: it is the most capable tier whose modeled
+// per-sample cycle cost fits the device's sample period, fixed at
+// construction. The supervisor can never select a tier that would blow
+// the 10 ms budget, so demotion-for-deadline happens before the first
+// deadline could be missed, not after.
+type supervisor struct {
+	tier        Tier
+	minTier     Tier
+	promoteHold int
+	healthyRun  int
+}
+
+func (s *supervisor) reset() {
+	s.tier = s.minTier
+	s.healthyRun = 0
+}
+
+// step advances the state machine by one sample and returns the
+// selected tier. It moves at most one tier per call, in either
+// direction.
+//
+//fallvet:hotpath
+func (s *supervisor) step(overall edge.Health, g edge.GroupHealth) Tier {
+	if !stayOK(s.tier, overall, g) {
+		if s.tier < TierThreshold {
+			s.tier++
+		}
+		s.healthyRun = 0
+		return s.tier
+	}
+	if s.tier > s.minTier && enterOK(s.tier-1, overall, g) {
+		s.healthyRun++
+		if s.healthyRun >= s.promoteHold {
+			s.tier--
+			s.healthyRun = 0
+		}
+	} else {
+		s.healthyRun = 0
+	}
+	return s.tier
+}
+
+// stayOK is the requirement to remain at a tier: conservative but not
+// paranoid — Degraded channels keep their tier (a bridged two-sample
+// gap must not demote the primary model mid-fall), Faulted ones lose
+// it.
+//
+//fallvet:hotpath
+func stayOK(t Tier, overall edge.Health, g edge.GroupHealth) bool {
+	switch t {
+	case TierPrimary:
+		return overall != edge.HealthFaulted && g.Worst() != edge.HealthFaulted
+	case TierFallback:
+		return g.Acc != edge.HealthFaulted
+	default:
+		return true
+	}
+}
+
+// enterOK is the requirement to be promoted into a tier: every channel
+// group the tier reads must be fully Healthy. The gap between enterOK
+// and stayOK is the hysteresis band.
+//
+//fallvet:hotpath
+func enterOK(t Tier, overall edge.Health, g edge.GroupHealth) bool {
+	switch t {
+	case TierPrimary:
+		return overall == edge.HealthHealthy && g.Worst() == edge.HealthHealthy
+	case TierFallback:
+		return g.Acc == edge.HealthHealthy
+	default:
+		return true
+	}
+}

@@ -1,0 +1,131 @@
+package cascade
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/edge"
+)
+
+// randHealth draws an arbitrary (overall, groups) observation.
+func randHealth(rng *rand.Rand) (edge.Health, edge.GroupHealth) {
+	h := func() edge.Health { return edge.Health(rng.Intn(3)) }
+	return h(), edge.GroupHealth{Acc: h(), Gyro: h(), Euler: h()}
+}
+
+// TestSupervisorMovesOneStepAtATime drives the state machine with
+// arbitrary health sequences and asserts the core property: the tier
+// never jumps, in either direction, by more than one per sample, and
+// never leaves [minTier, TierThreshold].
+func TestSupervisorMovesOneStepAtATime(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, minTier := range []Tier{TierPrimary, TierFallback, TierThreshold} {
+		s := supervisor{tier: minTier, minTier: minTier, promoteHold: 5}
+		prev := s.tier
+		for i := 0; i < 20000; i++ {
+			overall, g := randHealth(rng)
+			got := s.step(overall, g)
+			if diff := int(got) - int(prev); diff < -1 || diff > 1 {
+				t.Fatalf("minTier %v, step %d: tier jumped %v -> %v", minTier, i, prev, got)
+			}
+			if got < minTier || got > TierThreshold {
+				t.Fatalf("minTier %v: tier %v out of range", minTier, got)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestSupervisorDemotionIsImmediate pins the deadline-critical
+// direction: the sample on which a tier's stay requirement fails is
+// the sample the supervisor leaves it.
+func TestSupervisorDemotionIsImmediate(t *testing.T) {
+	s := supervisor{tier: TierPrimary, minTier: TierPrimary, promoteHold: 40}
+	healthy := edge.GroupHealth{}
+	if got := s.step(edge.HealthHealthy, healthy); got != TierPrimary {
+		t.Fatalf("healthy sample moved the tier to %v", got)
+	}
+	faultedGyro := edge.GroupHealth{Gyro: edge.HealthFaulted, Euler: edge.HealthFaulted}
+	if got := s.step(edge.HealthFaulted, faultedGyro); got != TierFallback {
+		t.Fatalf("faulted sample left the tier at %v", got)
+	}
+	// Accelerometer dies too: one more step down, to the floor.
+	allDead := edge.GroupHealth{Acc: edge.HealthFaulted, Gyro: edge.HealthFaulted, Euler: edge.HealthFaulted}
+	if got := s.step(edge.HealthFaulted, allDead); got != TierThreshold {
+		t.Fatalf("dead accelerometer left the tier at %v", got)
+	}
+	if got := s.step(edge.HealthFaulted, allDead); got != TierThreshold {
+		t.Fatalf("floor is not absorbing: %v", got)
+	}
+}
+
+// TestSupervisorPromotionRequiresHold pins the hysteresis: promotion
+// happens only after promoteHold consecutive samples meeting the
+// better tier's entry requirement, and any lapse restarts the count.
+func TestSupervisorPromotionRequiresHold(t *testing.T) {
+	const hold = 10
+	s := supervisor{tier: TierFallback, minTier: TierPrimary, promoteHold: hold}
+	healthy := edge.GroupHealth{}
+	degraded := edge.GroupHealth{Gyro: edge.HealthDegraded}
+	for i := 0; i < hold-1; i++ {
+		if got := s.step(edge.HealthHealthy, healthy); got != TierFallback {
+			t.Fatalf("promoted after only %d healthy samples", i+1)
+		}
+	}
+	// One degraded sample restarts the run (but must not demote:
+	// Degraded satisfies the stay requirement).
+	if got := s.step(edge.HealthDegraded, degraded); got != TierFallback {
+		t.Fatalf("degraded sample moved the tier to %v", got)
+	}
+	for i := 0; i < hold-1; i++ {
+		if got := s.step(edge.HealthHealthy, healthy); got != TierFallback {
+			t.Fatalf("promoted after only %d healthy samples post-lapse", i+1)
+		}
+	}
+	if got := s.step(edge.HealthHealthy, healthy); got != TierPrimary {
+		t.Fatalf("still at %v after %d consecutive healthy samples", got, hold)
+	}
+}
+
+// TestSupervisorNoOscillationUnderFlappingFault is the hysteresis
+// property end to end: a fault that flaps faster than the hold window
+// produces exactly one demotion and zero further transitions.
+func TestSupervisorNoOscillationUnderFlappingFault(t *testing.T) {
+	const hold = 40
+	s := supervisor{tier: TierPrimary, minTier: TierPrimary, promoteHold: hold}
+	healthy := edge.GroupHealth{}
+	faulted := edge.GroupHealth{Gyro: edge.HealthFaulted, Euler: edge.HealthFaulted}
+	transitions := 0
+	prev := s.tier
+	// Flap with a period well under the hold window.
+	for i := 0; i < 4000; i++ {
+		var got Tier
+		if i/10%2 == 0 {
+			got = s.step(edge.HealthFaulted, faulted)
+		} else {
+			got = s.step(edge.HealthHealthy, healthy)
+		}
+		if got != prev {
+			transitions++
+			prev = got
+		}
+	}
+	if transitions != 1 {
+		t.Fatalf("flapping fault caused %d tier transitions, want exactly 1 (the initial demotion)", transitions)
+	}
+	if prev != TierFallback {
+		t.Fatalf("parked at %v, want %v", prev, TierFallback)
+	}
+}
+
+// TestSupervisorBudgetFloorHolds: the supervisor never promotes past
+// minTier no matter how healthy the stream is.
+func TestSupervisorBudgetFloorHolds(t *testing.T) {
+	s := supervisor{tier: TierFallback, minTier: TierFallback, promoteHold: 3}
+	healthy := edge.GroupHealth{}
+	for i := 0; i < 100; i++ {
+		if got := s.step(edge.HealthHealthy, healthy); got != TierFallback {
+			t.Fatalf("promoted past the budget floor to %v", got)
+		}
+	}
+}

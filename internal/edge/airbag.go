@@ -58,6 +58,16 @@ func (a *Airbag) Observe(sample int, r Result) bool {
 	if sample < a.lockUntil {
 		return false
 	}
+	if r.Health == HealthFaulted {
+		// A faulted pipeline suppresses evaluation, so any debounce
+		// progress predates the fault. Without this reset, triggered
+		// strides accumulated just before quarantine would persist
+		// across the outage and fire the airbag on the first trigger
+		// after recovery — the debounce must mean *consecutive*, and an
+		// outage breaks the run.
+		a.consec = 0
+		return false
+	}
 	if !r.Evaluated {
 		return false
 	}

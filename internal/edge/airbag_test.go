@@ -78,3 +78,39 @@ func TestAirbagReset(t *testing.T) {
 		t.Fatal("empty description")
 	}
 }
+
+func TestAirbagFaultedOutageResetsDebounce(t *testing.T) {
+	// Regression: debounce progress accumulated before a sensor outage
+	// must not survive it. Before the fix, a trigger just before the
+	// pipeline went Faulted left consec=1 across the whole outage, and
+	// the first trigger after recovery fired a Debounce=2 airbag off a
+	// pair of "consecutive" strides separated by seconds of blindness.
+	a := NewAirbag(AirbagConfig{Debounce: 2})
+	if a.Observe(0, fire(0.9)) {
+		t.Fatal("fired on the first of two required triggers")
+	}
+	// Sensor outage: no evaluations, health Faulted.
+	for i := 1; i < 200; i++ {
+		if a.Observe(i, Result{Health: HealthFaulted}) {
+			t.Fatal("fired during the outage")
+		}
+	}
+	// Recovery: the first trigger after the outage must restart the
+	// streak, not complete the stale one.
+	if a.Observe(200, fire(0.9)) {
+		t.Fatal("stale pre-outage debounce progress fired the airbag on recovery")
+	}
+	if !a.Observe(220, fire(0.9)) {
+		t.Fatal("two consecutive post-recovery triggers must fire")
+	}
+}
+
+func TestAirbagDegradedDoesNotBreakStreak(t *testing.T) {
+	// Degraded health keeps classifying, so the streak semantics must
+	// be untouched — only a Faulted outage invalidates progress.
+	a := NewAirbag(AirbagConfig{Debounce: 2})
+	a.Observe(0, Result{Evaluated: true, Probability: 0.9, Triggered: true, Health: HealthDegraded})
+	if !a.Observe(20, Result{Evaluated: true, Probability: 0.9, Triggered: true, Health: HealthDegraded}) {
+		t.Fatal("two consecutive degraded triggers must fire")
+	}
+}

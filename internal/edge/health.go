@@ -1,5 +1,7 @@
 package edge
 
+import "repro/internal/imu"
+
 // Health is the streaming pipeline's degradation state, derived from
 // the anomaly density of the most recent window of ingestion events
 // (real, quarantined or missing samples).
@@ -40,6 +42,91 @@ func (h Health) String() string {
 // faultedFraction is the anomaly density over the health window at
 // which the pipeline stops trusting its ring buffer.
 const faultedFraction = 0.25
+
+// SensorGroup indexes one of the three channel groups the paper's
+// three-branch CNN consumes. Health is tracked per group so a detector
+// cascade can keep classifying on the accelerometer branch when only
+// the gyroscope (and therefore the fused Euler attitude) has failed.
+type SensorGroup int
+
+const (
+	// GroupAcc is the tri-axial accelerometer.
+	GroupAcc SensorGroup = iota
+	// GroupGyro is the tri-axial gyroscope.
+	GroupGyro
+	// GroupEuler is the fused Euler attitude, derived from both
+	// physical sensors; its health is never better than theirs.
+	GroupEuler
+	// NumGroups is the channel-group count.
+	NumGroups
+)
+
+func (g SensorGroup) String() string {
+	switch g {
+	case GroupAcc:
+		return "acc"
+	case GroupGyro:
+		return "gyro"
+	case GroupEuler:
+		return "euler"
+	default:
+		return "group(?)"
+	}
+}
+
+// GroupHealth is the per-channel-group degradation state.
+type GroupHealth struct {
+	Acc, Gyro, Euler Health
+}
+
+// Worst returns the most degraded of the three group states.
+//
+//fallvet:hotpath
+func (g GroupHealth) Worst() Health {
+	w := g.Acc
+	if g.Gyro > w {
+		w = g.Gyro
+	}
+	if g.Euler > w {
+		w = g.Euler
+	}
+	return w
+}
+
+// stuckRunSamples is the length of a bit-identical run at which a
+// channel group is flagged stuck: 250 ms of literally unchanged
+// readings is physically implausible on a noisy MEMS part, but short
+// enough to demote a cascade tier well before a 400 ms window fills
+// with frozen data.
+const stuckRunSamples = 25
+
+// stuckRun detects a latched channel group by counting consecutive
+// bit-identical readings.
+type stuckRun struct {
+	last imu.Vec3
+	run  int
+	have bool
+}
+
+func (s *stuckRun) reset() {
+	s.run = 0
+	s.have = false
+}
+
+// observe ingests one reading and reports whether the group has been
+// frozen for stuckRunSamples or longer.
+//
+//fallvet:hotpath
+func (s *stuckRun) observe(v imu.Vec3) bool {
+	if s.have && v == s.last {
+		s.run++
+	} else {
+		s.run = 0
+		s.last = v
+		s.have = true
+	}
+	return s.run >= stuckRunSamples
+}
 
 // healthRing tracks which of the last N ingestion events were
 // anomalous (quarantined or missing samples).
@@ -104,4 +191,14 @@ type FaultStats struct {
 	// sanitised to 0 (should stay 0: the input guards exist so the
 	// model never sees garbage).
 	BadScores int
+	// GyroHeld counts samples whose gyroscope reading was non-finite
+	// while the accelerometer stayed good; the last finite angular
+	// rate was substituted and the gyro/Euler groups marked anomalous.
+	GyroHeld int
+	// AccStuck counts samples on which the accelerometer had been
+	// bit-identical for stuckRunSamples or longer.
+	AccStuck int
+	// GyroStuck counts samples on which the gyroscope had been
+	// bit-identical for stuckRunSamples or longer.
+	GyroStuck int
 }

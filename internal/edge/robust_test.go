@@ -245,3 +245,126 @@ func TestModerateFaultsPreserveRecall(t *testing.T) {
 		}
 	}
 }
+
+// vary returns a small per-sample wiggle so that a deliberately live
+// channel never trips the bit-identical stuck detector.
+func vary(i int) float64 { return 1e-4 * float64(i%7) }
+
+func TestGyroHoldKeepsAccGroupLive(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 200, Overlap: 0.5})
+	for i := 0; i < 30; i++ {
+		det.Push(imu.Vec3{Z: 1 + vary(i)}, imu.Vec3{X: 0.5 + vary(i)})
+	}
+	// Gyro dies; accelerometer keeps delivering good data.
+	bad := imu.Vec3{X: math.NaN(), Y: math.NaN(), Z: math.NaN()}
+	for i := 0; i < 60; i++ {
+		r := det.Push(imu.Vec3{Z: 1 + vary(i)}, bad)
+		if r.Quarantined {
+			t.Fatal("gyro-only failure must hold, not quarantine the whole sample")
+		}
+	}
+	st := det.Stats()
+	if st.GyroHeld != 60 {
+		t.Fatalf("GyroHeld = %d, want 60", st.GyroHeld)
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("Quarantined = %d, want 0", st.Quarantined)
+	}
+	gh := det.GroupHealth()
+	if gh.Acc != HealthHealthy {
+		t.Fatalf("acc group %v, want healthy under a gyro-only fault", gh.Acc)
+	}
+	if gh.Gyro != HealthFaulted || gh.Euler != HealthFaulted {
+		t.Fatalf("gyro/euler groups %v/%v, want faulted", gh.Gyro, gh.Euler)
+	}
+	// The overall pipeline is conservative: a window whose gyro and
+	// Euler columns are reconstructions must not feed the primary
+	// three-branch model.
+	if det.Health() != HealthFaulted {
+		t.Fatalf("overall health %v, want faulted", det.Health())
+	}
+	// The ring must stay finite despite the held gyro.
+	for _, v := range det.ring {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite ring contents under gyro hold")
+		}
+	}
+}
+
+func TestStuckGyroFlagsGroupOnly(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 200, Overlap: 0.5})
+	frozen := imu.Vec3{X: 1.25, Y: -0.5, Z: 3}
+	for i := 0; i < 60; i++ {
+		det.Push(imu.Vec3{Z: 1 + vary(i)}, frozen)
+	}
+	gh := det.GroupHealth()
+	if gh.Acc != HealthHealthy {
+		t.Fatalf("acc group %v, want healthy", gh.Acc)
+	}
+	if gh.Gyro == HealthHealthy || gh.Euler == HealthHealthy {
+		t.Fatalf("gyro/euler groups %v/%v, want flagged for a frozen gyro", gh.Gyro, gh.Euler)
+	}
+	if det.Stats().GyroStuck == 0 {
+		t.Fatal("GyroStuck counter not incremented")
+	}
+	if gh.Worst() != gh.Gyro && gh.Worst() != gh.Euler {
+		t.Fatalf("Worst() = %v inconsistent with %+v", gh.Worst(), gh)
+	}
+}
+
+func TestStuckAccFlagsAccAndEuler(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 200, Overlap: 0.5})
+	frozen := imu.Vec3{Z: 1.0125}
+	for i := 0; i < 60; i++ {
+		det.Push(frozen, imu.Vec3{X: vary(i)})
+	}
+	gh := det.GroupHealth()
+	if gh.Acc == HealthHealthy || gh.Euler == HealthHealthy {
+		t.Fatalf("acc/euler groups %v/%v, want flagged for a frozen accelerometer", gh.Acc, gh.Euler)
+	}
+	if gh.Gyro != HealthHealthy {
+		t.Fatalf("gyro group %v, want healthy", gh.Gyro)
+	}
+	if det.Stats().AccStuck == 0 {
+		t.Fatal("AccStuck counter not incremented")
+	}
+}
+
+func TestIngestMatchesPushWithoutEvaluating(t *testing.T) {
+	mk := func() *Detector {
+		return newThresholdDetector(t, DetectorConfig{WindowMS: 200, Overlap: 0.5})
+	}
+	pushDet, ingDet := mk(), mk()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		acc := imu.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: 1 + rng.NormFloat64()}
+		gyro := imu.Vec3{X: 20 * rng.NormFloat64(), Y: 20 * rng.NormFloat64(), Z: 20 * rng.NormFloat64()}
+		var pr, ir Result
+		if i%37 == 5 {
+			pr = pushDet.PushMissing(1)
+			ir = ingDet.IngestMissing(1)
+		} else {
+			pr = pushDet.Push(acc, gyro)
+			ir = ingDet.Ingest(acc, gyro)
+		}
+		if ir.Evaluated {
+			t.Fatal("Ingest must never evaluate")
+		}
+		if ir.Health != pr.Health || ir.Quarantined != pr.Quarantined {
+			t.Fatalf("sample %d: ingest result %+v diverges from push %+v", i, ir, pr)
+		}
+		if ingDet.StrideReady() != pushDet.StrideReady() {
+			t.Fatalf("sample %d: StrideReady diverges", i)
+		}
+		if pr.Evaluated {
+			p, ok := ingDet.ScoreWindow(ingDet.clf)
+			if !ok || p != pr.Probability {
+				t.Fatalf("sample %d: ScoreWindow = %v (ok=%v), Push evaluated %v",
+					i, p, ok, pr.Probability)
+			}
+		}
+	}
+	if pushDet.stats != ingDet.stats {
+		t.Fatalf("stats diverge: push %+v vs ingest %+v", pushDet.stats, ingDet.stats)
+	}
+}

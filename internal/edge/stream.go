@@ -47,6 +47,10 @@ type Detector struct {
 	lastRow     [imu.NumChannels]float64
 	haveLast    bool
 	health      *healthRing
+	groups      [NumGroups]*healthRing
+	accRun      stuckRun
+	gyroRun     stuckRun
+	heldGyro    imu.Vec3 // last finite gyro reading, for gyro-only holds
 	stats       FaultStats
 }
 
@@ -134,6 +138,9 @@ func NewDetector(clf model.Classifier, cfg DetectorConfig) (*Detector, error) {
 		reprime:      true,
 		health:       newHealthRing(win),
 	}
+	for g := range d.groups {
+		d.groups[g] = newHealthRing(win)
+	}
 	for c := range d.filters {
 		fl := dsp.MustButterworth(4, 5, dataset.SampleRate)
 		if cfg.FixedPoint {
@@ -165,11 +172,32 @@ func (d *Detector) Reset() {
 	d.freshNeeded = 0
 	d.haveLast = false
 	d.health.reset()
+	for g := range d.groups {
+		d.groups[g].reset()
+	}
+	d.accRun.reset()
+	d.gyroRun.reset()
+	d.heldGyro = imu.Vec3{}
 	d.stats = FaultStats{}
 }
 
 // Health reports the pipeline's current degradation state.
 func (d *Detector) Health() Health { return d.health.health() }
+
+// GroupHealth reports the per-channel-group degradation state. Unlike
+// the overall Health it does not gate the base detector's evaluation;
+// it exists for a supervising cascade to decide which model tier the
+// ring buffer can still support (a dead gyroscope poisons the gyro and
+// Euler branches, but the accelerometer columns stay trustworthy).
+//
+//fallvet:hotpath
+func (d *Detector) GroupHealth() GroupHealth {
+	return GroupHealth{
+		Acc:   d.groups[GroupAcc].health(),
+		Gyro:  d.groups[GroupGyro].health(),
+		Euler: d.groups[GroupEuler].health(),
+	}
+}
 
 // Stats returns the fault counters accumulated since the last Reset.
 func (d *Detector) Stats() FaultStats { return d.stats }
@@ -228,16 +256,43 @@ func clampFull(v imu.Vec3, lim float64, clipped *bool) imu.Vec3 {
 
 // Push ingests one raw sample (acceleration in g, angular rate in
 // deg/s) and runs the classifier when a stride completes. Non-finite
-// samples never reach the filters or the model: they are quarantined
-// and handled exactly like a missing sample.
+// accelerometer samples never reach the filters or the model: they are
+// quarantined and handled exactly like a missing sample. A non-finite
+// gyroscope with a finite accelerometer is held instead (the last good
+// angular rate is substituted): the accelerometer columns stay live
+// while the gyro and Euler groups are marked anomalous, so a cascade
+// can keep classifying on the branch that still has real data.
 //
 //fallvet:hotpath
 func (d *Detector) Push(acc, gyro imu.Vec3) Result {
-	if !finiteVec(acc) || !finiteVec(gyro) {
+	return d.push(acc, gyro, true)
+}
+
+// Ingest is Push without the classifier: the sample runs the full
+// quarantine/clamp/filter/health path and lands in the ring buffer,
+// but no evaluation happens even at a stride boundary. A supervising
+// cascade ingests every sample exactly once and then decides which
+// model tier (if any) to score the window with via ScoreWindow.
+//
+//fallvet:hotpath
+func (d *Detector) Ingest(acc, gyro imu.Vec3) Result {
+	return d.push(acc, gyro, false)
+}
+
+//fallvet:hotpath
+func (d *Detector) push(acc, gyro imu.Vec3, eval bool) Result {
+	if !finiteVec(acc) {
 		d.stats.Quarantined++
-		r := d.absorbMissing()
+		r := d.absorbMissing(eval)
 		r.Quarantined = true
 		return r
+	}
+	gyroHeld := !finiteVec(gyro)
+	if gyroHeld {
+		// Gyro-only failure: substitute the held reading (zero before
+		// the first good sample) so fusion and the ring stay finite.
+		d.stats.GyroHeld++
+		gyro = d.heldGyro
 	}
 	clamped := false
 	acc = clampFull(acc, d.fullScaleG, &clamped)
@@ -247,6 +302,19 @@ func (d *Detector) Push(acc, gyro imu.Vec3) Result {
 	}
 	d.gapRun = 0
 
+	accStuck := d.accRun.observe(acc)
+	if accStuck {
+		d.stats.AccStuck++
+	}
+	gyroAnom := gyroHeld
+	if !gyroHeld {
+		d.heldGyro = gyro
+		if d.gyroRun.observe(gyro) {
+			d.stats.GyroStuck++
+			gyroAnom = true
+		}
+	}
+
 	euler := d.fusion.Update(acc, gyro)
 	row := [imu.NumChannels]float64{
 		acc.X, acc.Y, acc.Z,
@@ -254,9 +322,21 @@ func (d *Detector) Push(acc, gyro imu.Vec3) Result {
 		euler.X, euler.Y, euler.Z,
 	}
 	d.ingest(row)
-	d.health.observe(false)
+	// A held gyro keeps the overall pipeline anomalous — the primary
+	// three-branch model must not trust a window whose gyro and Euler
+	// columns are reconstructions — but only the affected groups are
+	// marked, so the accelerometer branch stays available to a cascade.
+	d.health.observe(gyroHeld)
+	d.groups[GroupAcc].observe(accStuck)
+	d.groups[GroupGyro].observe(gyroAnom)
+	d.groups[GroupEuler].observe(gyroAnom || accStuck)
 	if d.freshNeeded > 0 {
 		d.freshNeeded--
+	}
+	if !eval {
+		r := Result{Health: d.health.health()}
+		r.Clamped = clamped
+		return r
 	}
 	r := d.maybeEvaluate()
 	r.Clamped = clamped
@@ -275,11 +355,24 @@ func (d *Detector) Push(acc, gyro imu.Vec3) Result {
 //
 //fallvet:hotpath
 func (d *Detector) PushMissing(n int) Result {
+	return d.pushMissing(n, true)
+}
+
+// IngestMissing is PushMissing without the classifier, mirroring
+// Ingest for gap accounting under a supervising cascade.
+//
+//fallvet:hotpath
+func (d *Detector) IngestMissing(n int) Result {
+	return d.pushMissing(n, false)
+}
+
+//fallvet:hotpath
+func (d *Detector) pushMissing(n int, eval bool) Result {
 	var r Result
 	r.Health = d.health.health()
 	for i := 0; i < n; i++ {
 		d.stats.Missing++
-		r = d.absorbMissing()
+		r = d.absorbMissing(eval)
 	}
 	return r
 }
@@ -287,14 +380,20 @@ func (d *Detector) PushMissing(n int) Result {
 // absorbMissing handles one missing (or quarantined) sample.
 //
 //fallvet:hotpath
-func (d *Detector) absorbMissing() Result {
+func (d *Detector) absorbMissing(eval bool) Result {
 	d.gapRun++
 	d.health.observe(true)
+	d.groups[GroupAcc].observe(true)
+	d.groups[GroupGyro].observe(true)
+	d.groups[GroupEuler].observe(true)
 	if d.gapRun <= maxBridgeSamples && d.haveLast {
 		// Bridge: the filters keep running on the held reading, as a
 		// latching sensor driver behaves across a short gap.
 		d.stats.Bridged++
 		d.ingest(d.lastRow)
+		if !eval {
+			return Result{Health: d.health.health()}
+		}
 		return d.maybeEvaluate()
 	}
 	if d.gapRun == maxBridgeSamples+1 {
@@ -337,23 +436,31 @@ func (d *Detector) ingest(row [imu.NumChannels]float64) {
 	d.count++
 }
 
-// maybeEvaluate runs the classifier when a stride has completed and
-// the pipeline is in a state it trusts.
+// StrideReady reports whether the current sample count sits on a
+// stride boundary: the window is full and Step samples have elapsed
+// since the previous boundary. It says nothing about whether the ring
+// contents are trustworthy — see WindowFresh and Health for that.
 //
 //fallvet:hotpath
-func (d *Detector) maybeEvaluate() Result {
-	h := d.health.health()
-	r := Result{Health: h}
-	if d.count < d.Window || (d.count-d.Window)%d.Step != 0 {
-		return r
-	}
-	if d.freshNeeded > 0 || h == HealthFaulted {
-		// Stride boundary reached, but the ring holds too much
-		// reconstructed or stale data to act on.
-		return r
-	}
-	// Assemble the window oldest-first into the preallocated input
-	// tensor — the push path must not allocate at steady state.
+func (d *Detector) StrideReady() bool {
+	return d.count >= d.Window && (d.count-d.Window)%d.Step == 0
+}
+
+// WindowFresh reports whether the ring buffer holds a full window with
+// no outstanding warm-up: no long gap has forced a re-prime whose
+// fresh-sample quota is still unpaid.
+//
+//fallvet:hotpath
+func (d *Detector) WindowFresh() bool {
+	return d.count >= d.Window && d.freshNeeded == 0
+}
+
+// assembleWindow copies the ring oldest-first into the preallocated
+// input tensor and re-bases yaw, exactly as the training segmentation
+// does. The push path must not allocate at steady state.
+//
+//fallvet:hotpath
+func (d *Detector) assembleWindow() *tensor.Tensor {
 	x := d.win
 	xd := x.Data()
 	start := d.count % d.Window // oldest row slot
@@ -368,19 +475,49 @@ func (d *Detector) maybeEvaluate() Result {
 	for i := 0; i < d.Window; i++ {
 		xd[i*imu.NumChannels+imu.EulerYaw] -= yaw0
 	}
-	p := d.clf.Score(x)
+	return x
+}
+
+// ScoreWindow assembles the current window and scores it with the
+// given classifier — the detector's own by way of Push, or an
+// alternate tier's model under a cascade (the reduced-input fallback
+// reads a column subset of the same [Window × 9] tensor). The boolean
+// is false when the classifier returned a non-finite score, which is
+// sanitised to 0 and counted in Stats().BadScores. Callers own the
+// stride/freshness gating; ScoreWindow assumes a full ring.
+//
+//fallvet:hotpath
+func (d *Detector) ScoreWindow(clf model.Classifier) (float64, bool) {
+	p := clf.Score(d.assembleWindow())
 	if math.IsNaN(p) || math.IsInf(p, 0) {
 		// The input guards should make this unreachable; sanitise
 		// anyway so a misbehaving model can never fire the airbag or
 		// poison downstream metrics with NaN.
 		d.stats.BadScores++
-		r.Evaluated = true
-		r.Probability = 0
+		return 0, false
+	}
+	return math.Max(0, math.Min(1, p)), true
+}
+
+// maybeEvaluate runs the classifier when a stride has completed and
+// the pipeline is in a state it trusts.
+//
+//fallvet:hotpath
+func (d *Detector) maybeEvaluate() Result {
+	h := d.health.health()
+	r := Result{Health: h}
+	if !d.StrideReady() {
 		return r
 	}
+	if d.freshNeeded > 0 || h == HealthFaulted {
+		// Stride boundary reached, but the ring holds too much
+		// reconstructed or stale data to act on.
+		return r
+	}
+	p, ok := d.ScoreWindow(d.clf)
 	r.Evaluated = true
-	r.Probability = math.Max(0, math.Min(1, p))
-	r.Triggered = r.Probability >= d.Threshold
+	r.Probability = p
+	r.Triggered = ok && p >= d.Threshold
 	return r
 }
 
@@ -399,6 +536,10 @@ type TrialSim struct {
 	InTime bool
 	// FalseAlarm is true when the detector fired during an ADL trial.
 	FalseAlarm bool
+	// Evals counts completed classifier evaluations before the replay
+	// ended (at trigger or end of trial) — telemetry for how blind a
+	// fault condition left the pipeline.
+	Evals int
 }
 
 // Simulate replays a trial sample by sample and evaluates the airbag
@@ -435,6 +576,9 @@ func (d *Detector) SimulateFaulty(t *dataset.Trial, inj fault.Injector) TrialSim
 			default:
 				r = d.Push(cs.Acc, cs.Gyro)
 			}
+		}
+		if r.Evaluated {
+			sim.Evals++
 		}
 		if r.Triggered && sim.TriggerSample < 0 {
 			sim.Triggered = true

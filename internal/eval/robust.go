@@ -3,6 +3,7 @@ package eval
 import (
 	"math"
 
+	"repro/internal/cascade"
 	"repro/internal/dataset"
 	"repro/internal/edge"
 	"repro/internal/fault"
@@ -25,12 +26,27 @@ type RobustnessPoint struct {
 	// FalseAlarmsPerHour normalises ADL-trial firings by the ADL
 	// stream duration — the deployment cost metric.
 	FalseAlarmsPerHour float64
+	// FalseAlarmRate is the fraction of ADL trials that false-fired —
+	// the per-trial companion to FalseAlarmsPerHour, used by the
+	// cascade acceptance criterion (≤ 2× the clean baseline).
+	FalseAlarmRate float64
 
 	// Quarantined/Missing/BadScores aggregate the detector's fault
 	// counters over the sweep; BadScores must stay 0 (the hardened
 	// pipeline never emits a non-finite probability).
 	Quarantined, Missing, BadScores int
+
+	// TierEvals counts decisions per cascade tier over the condition's
+	// whole replay (zero for non-cascade sweeps); TierTriggers counts
+	// which tier produced each fall trigger. Together they show where
+	// the cascade actually decided under each fault.
+	TierEvals    [cascade.NumTiers]int
+	TierTriggers [cascade.NumTiers]int
 }
+
+// MissRate is 1 − Recall: the fraction of fall trials the detector
+// never fired on — the cost a pre-impact airbag cares most about.
+func (p RobustnessPoint) MissRate() float64 { return 1 - p.Recall }
 
 // DeltaRecall returns the recall degradation versus a baseline, in
 // points (positive = worse than clean).
@@ -71,6 +87,40 @@ func EvaluateRobustness(det *edge.Detector, trials []dataset.Trial,
 // trial — so the report is identical for any detector count.
 func EvaluateRobustnessParallel(dets []*edge.Detector, trials []dataset.Trial,
 	kinds []fault.Kind, severities []float64, seed int64) *RobustnessReport {
+	return sweepConditions(len(dets), kinds, severities, func(w int, inj fault.Injector) RobustnessPoint {
+		return simulateAll(dets[w], trials, inj)
+	}, seed)
+}
+
+// EvaluateCascadeRobustness is the fault sweep over the supervised
+// detector cascade: same conditions, same injector seeding, but every
+// trial replays through cascade.SimulateFaulty, so the report carries
+// per-tier decision and trigger counts alongside the base metrics. A
+// plain and a cascade sweep over the same trials, kinds, severities
+// and seed see sample-identical fault streams — the pairing the
+// with/without-cascade comparison depends on.
+func EvaluateCascadeRobustness(c *cascade.Cascade, trials []dataset.Trial,
+	kinds []fault.Kind, severities []float64, seed int64) *RobustnessReport {
+	return EvaluateCascadeRobustnessParallel([]*cascade.Cascade{c}, trials, kinds, severities, seed)
+}
+
+// EvaluateCascadeRobustnessParallel fans the fault conditions out
+// across len(cs) workers. Each cascade must be an independent instance
+// over its own cloned classifiers; the report is identical for any
+// worker count.
+func EvaluateCascadeRobustnessParallel(cs []*cascade.Cascade, trials []dataset.Trial,
+	kinds []fault.Kind, severities []float64, seed int64) *RobustnessReport {
+	return sweepConditions(len(cs), kinds, severities, func(w int, inj fault.Injector) RobustnessPoint {
+		return simulateAllCascade(cs[w], trials, inj)
+	}, seed)
+}
+
+// sweepConditions runs one replay per (kind, severity) condition plus
+// the clean baseline, fanned across workers. Injector seeding depends
+// only on the sweep seed and the condition, never the worker, so the
+// report is bit-identical for any worker count.
+func sweepConditions(workers int, kinds []fault.Kind, severities []float64,
+	replay func(w int, inj fault.Injector) RobustnessPoint, seed int64) *RobustnessReport {
 	if len(kinds) == 0 {
 		kinds = fault.Kinds()
 	}
@@ -90,16 +140,15 @@ func EvaluateRobustnessParallel(dets []*edge.Detector, trials []dataset.Trial,
 	rep := &RobustnessReport{Points: make([]RobustnessPoint, len(conds))}
 	// Condition index 0 is the clean baseline; faults follow in sweep
 	// order. Each point lands in its own slot.
-	par.New(len(dets)).Run(len(conds)+1, func(w, i int) {
-		det := dets[w]
+	par.New(workers).Run(len(conds)+1, func(w, i int) {
 		if i == 0 {
-			rep.Clean = simulateAll(det, trials, nil)
+			rep.Clean = replay(w, nil)
 			rep.Clean.Fault = "clean"
 			return
 		}
 		c := conds[i-1]
 		inj := fault.New(c.kind, c.sev, seed+int64(c.kind)*1000+int64(100*c.sev))
-		p := simulateAll(det, trials, inj)
+		p := replay(w, inj)
 		p.Fault = c.kind.String()
 		p.Severity = c.sev
 		rep.Points[i-1] = p
@@ -138,6 +187,54 @@ func simulateAll(det *edge.Detector, trials []dataset.Trial, inj fault.Injector)
 			}
 		}
 	}
+	p.finish(detected, inTime, leadSum, falseAlarms, adlSamples)
+	return p
+}
+
+// simulateAllCascade replays every trial through the cascade under one
+// fault condition, accumulating the per-tier accounting.
+func simulateAllCascade(c *cascade.Cascade, trials []dataset.Trial, inj fault.Injector) RobustnessPoint {
+	var p RobustnessPoint
+	detected, inTime := 0, 0
+	leadSum := 0.0
+	falseAlarms := 0
+	adlSamples := 0
+	for i := range trials {
+		t := &trials[i]
+		sim := c.SimulateFaulty(t, inj)
+		st := c.Detector().Stats()
+		p.Quarantined += st.Quarantined
+		p.Missing += st.Missing
+		p.BadScores += st.BadScores
+		for tier, n := range sim.TierEvals {
+			p.TierEvals[tier] += n
+		}
+		if sim.Triggered {
+			p.TierTriggers[sim.TriggerTier]++
+		}
+		if t.IsFall() {
+			p.FallTrials++
+			if sim.Triggered {
+				detected++
+				leadSum += sim.LeadTimeMS
+				if sim.InTime {
+					inTime++
+				}
+			}
+		} else {
+			p.ADLTrials++
+			adlSamples += len(t.Samples)
+			if sim.FalseAlarm {
+				falseAlarms++
+			}
+		}
+	}
+	p.finish(detected, inTime, leadSum, falseAlarms, adlSamples)
+	return p
+}
+
+// finish derives the rate metrics from the raw tallies.
+func (p *RobustnessPoint) finish(detected, inTime int, leadSum float64, falseAlarms, adlSamples int) {
 	if p.FallTrials > 0 {
 		p.Recall = float64(detected) / float64(p.FallTrials)
 		p.InTime = float64(inTime) / float64(p.FallTrials)
@@ -145,11 +242,13 @@ func simulateAll(det *edge.Detector, trials []dataset.Trial, inj fault.Injector)
 	if detected > 0 {
 		p.MeanLeadMS = leadSum / float64(detected)
 	}
+	if p.ADLTrials > 0 {
+		p.FalseAlarmRate = float64(falseAlarms) / float64(p.ADLTrials)
+	}
 	if hours := float64(adlSamples) / dataset.SampleRate / 3600; hours > 0 {
 		p.FalseAlarmsPerHour = float64(falseAlarms) / hours
 	}
 	if math.IsNaN(p.MeanLeadMS) {
 		p.MeanLeadMS = 0 // defensive: a sim must never leak NaN upward
 	}
-	return p
 }

@@ -65,12 +65,21 @@ const (
 	// KindJitter drops or duplicates samples as a skewed sample clock
 	// would.
 	KindJitter
+	// KindGyroNaN kills the gyroscope die: after a random onset every
+	// gyro reading is NaN while the accelerometer keeps delivering —
+	// the separate-chip failure mode a three-branch detector can
+	// survive on its accelerometer branch alone.
+	KindGyroNaN
+	// KindGyroStuck freezes all three gyro channels at their last
+	// pre-fault values (a latched gyro DMA lane) while the
+	// accelerometer keeps delivering.
+	KindGyroStuck
 )
 
 // Kinds lists every fault kind, in sweep order.
 func Kinds() []Kind {
 	return []Kind{KindDropout, KindSaturation, KindNoise, KindDrift,
-		KindStuck, KindNaNBurst, KindJitter}
+		KindStuck, KindNaNBurst, KindJitter, KindGyroNaN, KindGyroStuck}
 }
 
 func (k Kind) String() string {
@@ -89,6 +98,10 @@ func (k Kind) String() string {
 		return "nan-burst"
 	case KindJitter:
 		return "jitter"
+	case KindGyroNaN:
+		return "gyro-nan"
+	case KindGyroStuck:
+		return "gyro-stuck"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -115,6 +128,10 @@ func New(kind Kind, severity float64, seed int64) Injector {
 		return NewNaNBurst(0.01*s, 1+int(9*s), seed)
 	case KindJitter:
 		return NewJitter(0.05*s, 0.05*s, seed)
+	case KindGyroNaN:
+		return NewGyroFault(GyroNaN, s, seed)
+	case KindGyroStuck:
+		return NewGyroFault(GyroStuck, s, seed)
 	default:
 		panic(fmt.Sprintf("fault: unknown kind %d", int(kind)))
 	}
@@ -364,6 +381,80 @@ func (nb *NaNBurst) Apply(s imu.Sample) (imu.Sample, Effect) {
 	}
 	s.Acc = imu.Vec3{X: bad, Y: bad, Z: bad}
 	s.Gyro = imu.Vec3{X: bad, Y: -bad, Z: bad}
+	return s, Pass
+}
+
+// GyroFailMode selects how a GyroFault corrupts the gyroscope stream.
+type GyroFailMode int
+
+const (
+	// GyroNaN: every post-onset gyro reading is NaN (dead die, the bus
+	// returns garbage that decodes non-finite).
+	GyroNaN GyroFailMode = iota
+	// GyroStuck: post-onset gyro readings latch at the last pre-fault
+	// value (a frozen DMA lane delivering stale registers).
+	GyroStuck
+)
+
+// GyroFault is a gyroscope-only failure: the accelerometer keeps
+// delivering while the gyro die dies mid-stream. Whether the fault
+// engages in a given replay is random (probability Engage per Reset,
+// the severity knob), so a sweep mixes healthy and gyro-blind replays.
+// This is the fault class a multi-branch detector should survive by
+// degrading to its accelerometer branch instead of going blind.
+type GyroFault struct {
+	Mode   GyroFailMode
+	Engage float64 // probability the fault manifests in a given replay
+
+	seed    int64
+	rng     *rand.Rand
+	after   int // sample index the gyro dies at (-1: never)
+	step    int
+	held    imu.Vec3
+	holding bool
+}
+
+// NewGyroFault returns a gyro-only failure injector.
+func NewGyroFault(mode GyroFailMode, engage float64, seed int64) *GyroFault {
+	g := &GyroFault{Mode: mode, Engage: engage, seed: seed}
+	g.Reset()
+	return g
+}
+
+func (g *GyroFault) Name() string {
+	if g.Mode == GyroStuck {
+		return fmt.Sprintf("gyro-stuck(p=%.2f)", g.Engage)
+	}
+	return fmt.Sprintf("gyro-nan(p=%.2f)", g.Engage)
+}
+
+// Reset implements Injector.
+func (g *GyroFault) Reset() {
+	g.rng = rand.New(rand.NewSource(g.seed))
+	g.after = -1
+	if g.rng.Float64() < g.Engage {
+		g.after = 50 + g.rng.Intn(100)
+	}
+	g.step = 0
+	g.holding = false
+}
+
+// Apply implements Injector.
+func (g *GyroFault) Apply(s imu.Sample) (imu.Sample, Effect) {
+	g.step++
+	if g.after < 0 || g.step < g.after {
+		g.held = s.Gyro
+		g.holding = true
+		return s, Pass
+	}
+	if g.Mode == GyroStuck {
+		if g.holding {
+			s.Gyro = g.held
+		}
+		return s, Pass
+	}
+	bad := math.NaN()
+	s.Gyro = imu.Vec3{X: bad, Y: bad, Z: bad}
 	return s, Pass
 }
 

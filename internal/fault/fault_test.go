@@ -227,3 +227,79 @@ func TestApplyTrialPreservesShape(t *testing.T) {
 		}
 	}
 }
+
+func TestGyroNaNKillsOnlyGyro(t *testing.T) {
+	inj := NewGyroFault(GyroNaN, 1, 7) // engage always
+	inj.Reset()
+	sawNaN := false
+	for i := 0; i < 300; i++ {
+		s, eff := inj.Apply(cleanSample())
+		if eff != Pass {
+			t.Fatalf("gyro fault must never drop samples, got %v", eff)
+		}
+		if math.IsNaN(s.Acc.Z) || math.IsNaN(s.Acc.X) {
+			t.Fatal("gyro fault corrupted the accelerometer")
+		}
+		if math.IsNaN(s.Gyro.X) {
+			sawNaN = true
+			if !math.IsNaN(s.Gyro.Y) || !math.IsNaN(s.Gyro.Z) {
+				t.Fatal("gyro die death must kill all three gyro axes")
+			}
+		}
+	}
+	if !sawNaN {
+		t.Fatal("engaged gyro-nan fault never produced a NaN gyro reading")
+	}
+}
+
+func TestGyroStuckFreezesGyro(t *testing.T) {
+	inj := NewGyroFault(GyroStuck, 1, 7)
+	inj.Reset()
+	var frozen imu.Vec3
+	froze := false
+	for i := 0; i < 300; i++ {
+		in := cleanSample()
+		in.Gyro = imu.Vec3{X: float64(i), Y: -float64(i), Z: 1}
+		s, _ := inj.Apply(in)
+		if s.Gyro != in.Gyro { // latched
+			if !froze {
+				frozen = s.Gyro
+				froze = true
+			} else if s.Gyro != frozen {
+				t.Fatalf("stuck gyro moved: %+v then %+v", frozen, s.Gyro)
+			}
+		}
+	}
+	if !froze {
+		t.Fatal("engaged gyro-stuck fault never froze the gyro")
+	}
+}
+
+func TestGyroFaultEngageZeroIsClean(t *testing.T) {
+	inj := NewGyroFault(GyroNaN, 0, 7)
+	delivered, drops, repeats := run(inj, 500)
+	if drops != 0 || repeats != 0 {
+		t.Fatal("disengaged gyro fault altered delivery")
+	}
+	for _, s := range delivered {
+		if s != cleanSample() {
+			t.Fatal("disengaged gyro fault altered a sample")
+		}
+	}
+}
+
+func TestGyroFaultDeterministicAcrossResets(t *testing.T) {
+	a := NewGyroFault(GyroNaN, 0.5, 99)
+	first, _, _ := run(a, 400)
+	second, _, _ := run(a, 400)
+	if len(first) != len(second) {
+		t.Fatal("replay length changed across Reset")
+	}
+	for i := range first {
+		af, as := first[i], second[i]
+		// NaN != NaN, so compare bit patterns via IsNaN.
+		if (math.IsNaN(af.Gyro.X) != math.IsNaN(as.Gyro.X)) || af.Acc != as.Acc {
+			t.Fatalf("sample %d differs across Reset", i)
+		}
+	}
+}

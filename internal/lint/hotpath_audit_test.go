@@ -17,13 +17,14 @@ import (
 // paths no alloc gate measures (training steps, degradation handling,
 // cold re-primes) and rely on the hotpath analyzer alone.
 const (
-	edgeAlloc  = "internal/edge/alloc_test.go TestDetectorPushAllocationFree (full CNN stride)"
-	nnAlloc    = "internal/nn/parallel_fit_test.go TestPredictAllocationFree + internal/edge/alloc_test.go"
-	quantAlloc = "internal/quant/alloc_test.go TestQuantizedPredictAllocationFree"
-	trainOnly  = "training path: static hotpath rule only (no dynamic alloc gate)"
-	degrade    = "degradation path: static hotpath rule only (shares Push scratch)"
-	fixedOnly  = "fixed-point filter variant: static hotpath rule only"
-	coldPrime  = "cold (re)prime path: static hotpath rule only"
+	edgeAlloc    = "internal/edge/alloc_test.go TestDetectorPushAllocationFree (full CNN stride)"
+	cascadeAlloc = "internal/cascade/alloc_test.go TestCascadePushAllocationFree (per tier)"
+	nnAlloc      = "internal/nn/parallel_fit_test.go TestPredictAllocationFree + internal/edge/alloc_test.go"
+	quantAlloc   = "internal/quant/alloc_test.go TestQuantizedPredictAllocationFree"
+	trainOnly    = "training path: static hotpath rule only (no dynamic alloc gate)"
+	degrade      = "degradation path: static hotpath rule only (shares Push scratch)"
+	fixedOnly    = "fixed-point filter variant: static hotpath rule only"
+	coldPrime    = "cold (re)prime path: static hotpath rule only"
 )
 
 // hotpathCoverage is the audited annotation manifest: every
@@ -77,13 +78,41 @@ var hotpathCoverage = map[string]string{
 	"internal/dsp.Filter.Process":          edgeAlloc,
 	"internal/dsp.Filter.Prime":            coldPrime,
 
+	// Ingest/evaluate split and per-group health, driven per sample by
+	// both Detector.Push and the cascade Push alloc gates.
+	"internal/edge.Detector.push":           edgeAlloc,
+	"internal/edge.Detector.Ingest":         cascadeAlloc,
+	"internal/edge.Detector.StrideReady":    cascadeAlloc,
+	"internal/edge.Detector.WindowFresh":    cascadeAlloc,
+	"internal/edge.Detector.ScoreWindow":    cascadeAlloc,
+	"internal/edge.Detector.assembleWindow": edgeAlloc,
+	"internal/edge.Detector.GroupHealth":    cascadeAlloc,
+	"internal/edge.GroupHealth.Worst":       cascadeAlloc,
+	"internal/edge.stuckRun.observe":        edgeAlloc,
+
 	// Degradation and fixed-point variants of the streaming pipeline.
 	"internal/edge.Detector.PushMissing":   degrade,
+	"internal/edge.Detector.IngestMissing": degrade,
+	"internal/edge.Detector.pushMissing":   degrade,
 	"internal/edge.Detector.absorbMissing": degrade,
 	"internal/edge.FixedFilter.Process":    fixedOnly,
 	"internal/edge.FixedFilter.Prime":      coldPrime,
 	"internal/edge.toQ":                    fixedOnly,
 	"internal/edge.fromQ":                  fixedOnly,
+
+	// Detector cascade: supervisor, threshold floor and decision path,
+	// all inside cascade.Push at every tier.
+	"internal/cascade.Cascade.Push":         cascadeAlloc,
+	"internal/cascade.Cascade.PushMissing":  cascadeAlloc,
+	"internal/cascade.Cascade.decide":       cascadeAlloc,
+	"internal/cascade.Cascade.tierScorable": cascadeAlloc,
+	"internal/cascade.supervisor.step":      cascadeAlloc,
+	"internal/cascade.stayOK":               cascadeAlloc,
+	"internal/cascade.enterOK":              cascadeAlloc,
+	"internal/cascade.finiteAcc":            cascadeAlloc,
+	"internal/cascade.tier2.push":           cascadeAlloc,
+	"internal/cascade.tier2.missing":        cascadeAlloc,
+	"internal/cascade.tier2.score":          cascadeAlloc,
 
 	// Quantized inference path.
 	"internal/quant.QNetwork.Predict": quantAlloc,

@@ -107,9 +107,10 @@ var deterministicSuffixes = []string{
 	"internal/par",
 	"internal/tensor",
 	"internal/artifact",
+	"internal/cascade",
 }
 
-// DefaultConfig is the repo's scoping: the six deterministic packages,
+// DefaultConfig is the repo's scoping: the seven deterministic packages,
 // with internal/par as the only place goroutines may live.
 func DefaultConfig() Config {
 	return Config{

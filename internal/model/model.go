@@ -46,6 +46,13 @@ const (
 	// a halved CNN trained with knowledge distillation from a full
 	// CNN teacher (see Distill).
 	KindDistilled
+	// KindCNNAccel is the accelerometer-branch-only fallback: the
+	// proposed CNN with the gyro and Euler branches removed. It reads
+	// the same [T × 9] window but only routes the accelerometer columns
+	// through its single branch, so a detector cascade can keep a
+	// trained model in play when the gyroscope (and hence the fused
+	// attitude) is quarantined or stuck.
+	KindCNNAccel
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +74,8 @@ func (k Kind) String() string {
 		return "CNN-BiGRU"
 	case KindDistilled:
 		return "Distilled CNN (KD)"
+	case KindCNNAccel:
+		return "CNN (accel-only fallback)"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -160,6 +169,8 @@ func New(kind Kind, cfg Config, rng *rand.Rand) (*NetModel, error) {
 		)
 	case KindDistilled:
 		net = buildDistilledCNN(T, rng)
+	case KindCNNAccel:
+		net = buildAccelCNN(T, rng)
 	default:
 		return nil, fmt.Errorf("model: %v is not a network model", kind)
 	}
@@ -191,6 +202,35 @@ func buildCNN(T int, rng *rand.Rand) *nn.Network {
 		nn.NewBranch(
 			[][2]int{{imu.AccX, imu.AccZ + 1}, {imu.GyroX, imu.GyroZ + 1}, {imu.EulerPitch, imu.EulerYaw + 1}},
 			[][]nn.Layer{branch(), branch(), branch()},
+		),
+		nn.NewDense(concat, CNNDense1, rng),
+		nn.NewReLU(),
+		nn.NewDense(CNNDense1, CNNDense2, rng),
+		nn.NewReLU(),
+		nn.NewDense(CNNDense2, 1, rng),
+		nn.NewSigmoid(),
+	)
+}
+
+// buildAccelCNN assembles the cascade's tier-1 fallback: the proposed
+// architecture cut down to its accelerometer branch. The input is
+// still the full [T × 9] window — the branch layer slices out columns
+// AccX..AccZ — so the fallback scores the exact tensor the streaming
+// ring buffer already assembles, and the dense head keeps the paper's
+// 64→32→1 shape (a third of the concatenated features, roughly a
+// third of the inference cycles).
+func buildAccelCNN(T int, rng *rand.Rand) *nn.Network {
+	convOut := T - CNNKernel + 1
+	poolOut := (convOut + CNNPool - 1) / CNNPool
+	concat := poolOut * CNNFilters
+	return nn.NewNetwork(
+		nn.NewBranch(
+			[][2]int{{imu.AccX, imu.AccZ + 1}},
+			[][]nn.Layer{{
+				nn.NewConv1D(3, CNNFilters, CNNKernel, rng),
+				nn.NewReLU(),
+				nn.NewMaxPool1D(CNNPool),
+			}},
 		),
 		nn.NewDense(concat, CNNDense1, rng),
 		nn.NewReLU(),

@@ -237,3 +237,73 @@ func TestThresholdVelocityIntegrator(t *testing.T) {
 		t.Fatalf("long fall %g ≤ brief dip %g", th.Score(long), th.Score(short))
 	}
 }
+
+func TestAccelFallbackIgnoresGyroAndEulerColumns(t *testing.T) {
+	// The cascade's tier-1 model reads the full [T × 9] window but must
+	// route only the accelerometer columns: under a gyro-only fault the
+	// other six columns hold reconstructions, and the fallback's score
+	// has to be independent of them.
+	rng := rand.New(rand.NewSource(3))
+	const T = 40
+	m, err := New(KindCNNAccel, Config{WindowSamples: T}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(T, imu.NumChannels)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	p0 := m.Score(x)
+	if p0 < 0 || p0 > 1 || math.IsNaN(p0) {
+		t.Fatalf("score %g outside [0,1]", p0)
+	}
+	// Scramble every non-accelerometer column.
+	for t0 := 0; t0 < T; t0++ {
+		for c := imu.GyroX; c <= imu.EulerYaw; c++ {
+			x.Data()[t0*imu.NumChannels+c] = 1e3 * rng.NormFloat64()
+		}
+	}
+	if p1 := m.Score(x); p1 != p0 {
+		t.Fatalf("score moved %g -> %g when only gyro/Euler columns changed", p0, p1)
+	}
+	// Perturbing an accelerometer column must move the score.
+	x.Data()[5*imu.NumChannels+imu.AccZ] += 3
+	if p2 := m.Score(x); p2 == p0 {
+		t.Fatal("score insensitive to accelerometer input")
+	}
+}
+
+func TestAccelFallbackTrainsAndClones(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const T = 20
+	m, err := New(KindCNNAccel, Config{WindowSamples: T, PosCount: 2, TotalCount: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(y int, seed int64) nn.Example {
+		r := rand.New(rand.NewSource(seed))
+		x := tensor.New(T, imu.NumChannels)
+		for i := range x.Data() {
+			x.Data()[i] = r.NormFloat64()
+			if y == 1 {
+				x.Data()[i] -= 1.5
+			}
+		}
+		return nn.Example{X: x, Y: y}
+	}
+	var train, val []nn.Example
+	for i := int64(0); i < 24; i++ {
+		train = append(train, mk(int(i%2), i))
+	}
+	for i := int64(100); i < 108; i++ {
+		val = append(val, mk(int(i%2), i))
+	}
+	if err := m.Fit(train, val, nn.TrainConfig{Epochs: 3, BatchSize: 8}, rng); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	x := mk(1, 999).X
+	if c.Score(x) != m.Score(x) {
+		t.Fatal("clone scores diverge from original")
+	}
+}

@@ -31,7 +31,7 @@ if [ "$1" = "-short" ]; then
     COUNT=1
 fi
 
-PATTERN='Benchmark_Table3_Inference_|Benchmark_Edge_FloatInference|Benchmark_Edge_QuantizedInference|Benchmark_Edge_StreamingPush|Benchmark_Parallel_Fit_'
+PATTERN='Benchmark_Table3_Inference_|Benchmark_Edge_FloatInference|Benchmark_Edge_QuantizedInference|Benchmark_Edge_StreamingPush|Benchmark_Parallel_Fit_|Benchmark_Cascade_Push'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -65,6 +65,9 @@ BEGIN {
     zero["Benchmark_Edge_StreamingPush"] = 1
     zero["Benchmark_Edge_StreamingPushCNN"] = 1
     zero["Benchmark_Edge_QuantizedInference"] = 1
+    zero["Benchmark_Cascade_PushPrimary"] = 1
+    zero["Benchmark_Cascade_PushFallback"] = 1
+    zero["Benchmark_Cascade_PushThreshold"] = 1
     n = 0
     bad = 0
 }

@@ -16,9 +16,14 @@
 #      the trainer and evaluation harness fan out across workers)
 #   6. fuzz smoke            — 10 s each on the hostile-input fuzz
 #      targets: FuzzQuantLoad (model-image loader must never panic or
-#      over-allocate on arbitrary bytes) and FuzzDetectorPush (the
-#      streaming pipeline must survive arbitrary sensor input)
-#   7. bench gate            — scripts/bench.sh -short: the hot-path
+#      over-allocate on arbitrary bytes), FuzzDetectorPush (the
+#      streaming pipeline must survive arbitrary sensor input) and
+#      FuzzCascadePush (the cascade's decision guarantee — a decision
+#      every stride, one-step tier moves — under arbitrary faults)
+#   7. cascade determinism   — the fault sweep over the cascade must be
+#      bit-identical on 1 worker and 4 (run redundantly from the suite,
+#      but cheap and load-bearing enough to gate by name)
+#   8. bench gate            — scripts/bench.sh -short: the hot-path
 #      benchmarks run briefly with -benchmem; the gate fails when a
 #      steady-state path that must be allocation-free (streaming push,
 #      quantized predict) reports allocs/op > 0. The committed
@@ -44,6 +49,10 @@ echo "== fuzz smoke: FuzzQuantLoad (10s)"
 go test ./internal/quant -run='^$' -fuzz='^FuzzQuantLoad$' -fuzztime=10s
 echo "== fuzz smoke: FuzzDetectorPush (10s)"
 go test ./internal/edge -run='^$' -fuzz='^FuzzDetectorPush$' -fuzztime=10s
+echo "== fuzz smoke: FuzzCascadePush (10s)"
+go test ./internal/cascade -run='^$' -fuzz='^FuzzCascadePush$' -fuzztime=10s
+echo "== cascade determinism: fault sweep, workers 1 vs 4"
+go test ./internal/eval -count=1 -run='^TestEvaluateCascadeRobustnessWorkerCountInvariance$' -v
 echo "== bench gate: scripts/bench.sh -short"
 sh scripts/bench.sh -short
 echo "== verify: all gates passed"
