@@ -32,6 +32,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/quant"
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/tensor"
 )
@@ -497,3 +498,48 @@ func Benchmark_Session_Replay(b *testing.B) {
 func Benchmark_Table3_Inference_CNNBiGRU_400ms(b *testing.B) {
 	benchInference(b, model.KindCNNBiGRU, 400)
 }
+
+// ---- E18 (serving): runtime overhead per served sample ----
+
+func serveFixture(b *testing.B, snapshotEvery int) (*serve.Runtime, *serve.Session) {
+	b.Helper()
+	primary, err := model.NewThreshold(model.KindThresholdAcc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fallback, err := model.NewThreshold(model.KindThresholdAcc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cascade.New(primary, fallback, cascade.Config{WindowMS: 400, Overlap: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := serve.New(serve.Config{QueueLen: 1024, SnapshotEvery: snapshotEvery})
+	return rt, rt.Open(c)
+}
+
+// benchServePush measures one sample through the full serving path:
+// ingress ring, session worker, cascade, outbox. The steady-state
+// variant (SnapshotEvery=0) must stay allocation-free — it is the
+// per-sample overhead the runtime adds on top of Benchmark_Cascade_*.
+func benchServePush(b *testing.B, snapshotEvery int) {
+	rt, s := serveFixture(b, snapshotEvery)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ph := float64(i) * 0.13
+		s.Push(imu.Vec3{X: 0.05 * math.Sin(ph), Z: 1 + 0.02*math.Cos(ph)},
+			imu.Vec3{X: 3 * math.Sin(ph), Y: 2 * math.Cos(ph)})
+		if i%512 == 0 {
+			s.Quiesce() // keep the ring from capping the measurement
+		}
+	}
+	s.Quiesce()
+	b.StopTimer()
+	rt.Close()
+}
+
+func Benchmark_Serve_SessionPush(b *testing.B) { benchServePush(b, 0) }
+
+func Benchmark_Serve_SessionPushSnapshot(b *testing.B) { benchServePush(b, 256) }

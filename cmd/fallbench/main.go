@@ -16,6 +16,7 @@
 //	fallbench -exp robustness        extension  sensor-fault injection sweep
 //	fallbench -exp cascade           extension  supervised detector cascade vs plain pipeline under faults
 //	fallbench -exp recovery          extension  crash-safety: checkpoint/resume, artifact chaos
+//	fallbench -exp soak              extension  serving-runtime chaos soak: panics, bursts, stalls
 //	fallbench -exp all               everything above
 //
 // -exp also accepts a comma-separated list (e.g. -exp fig1,table3) to
@@ -113,7 +114,7 @@ func (s scale) config(windowMS int, overlap float64, seed int64) falldet.Config 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fallbench: ")
-	exp := flag.String("exp", "all", "experiment id or comma-separated list: table3, table4, edge, fig1, pipeline, sweep, table1, ablation, recovery, all")
+	exp := flag.String("exp", "all", "experiment id or comma-separated list: table3, table4, edge, fig1, pipeline, sweep, table1, ablation, recovery, soak, all")
 	scaleName := flag.String("scale", "ci", "cohort/training scale: quick, ci or paper")
 	seed := flag.Int64("seed", 1, "master random seed")
 	verbose := flag.Bool("v", false, "stream per-fold progress to stderr")
@@ -134,7 +135,7 @@ func main() {
 	}
 
 	known := []string{"fig1", "table1", "table2", "table3", "table4", "sweep",
-		"ablation", "edge", "kd", "session", "robustness", "cascade", "recovery", "pipeline"}
+		"ablation", "edge", "kd", "session", "robustness", "cascade", "recovery", "soak", "pipeline"}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
 		name = strings.TrimSpace(name)
@@ -197,5 +198,6 @@ func main() {
 	run("robustness", func() error { return expRobustness(data, sc, *seed) })
 	run("cascade", func() error { return expCascade(data, sc, *seed) })
 	run("recovery", func() error { return expRecovery(data, sc, *seed) })
+	run("soak", func() error { return expSoak(sc, *seed) })
 	run("pipeline", func() error { return expPipeline(data, sc, *seed) })
 }

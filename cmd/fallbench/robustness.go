@@ -47,7 +47,7 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 
 	tb := &report.Table{
 		Headers: []string{"Fault", "Severity", "Recall %", "ΔRecall",
-			"In-time %", "Lead ms", "ΔLead ms", "FA/h", "ADL FP %", "Quarantined", "Missing", "NaN scores"},
+			"In-time %", "Lead ms", "ΔLead ms", "FA/h", "ADL FP %", "Quarantined", "Stuck", "Drift", "Missing", "NaN scores"},
 	}
 	addRow := func(p falldet.RobustnessPoint) {
 		tb.AddRow(p.Fault,
@@ -59,7 +59,7 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 			fmt.Sprintf("%+.0f", -p.DeltaLeadMS(rep.Clean)),
 			fmt.Sprintf("%.2f", p.FalseAlarmsPerHour),
 			fmt.Sprintf("%.1f", 100*p.FalseAlarmRate),
-			p.Quarantined, p.Missing, p.BadScores)
+			p.Quarantined, p.Stuck, p.Drift, p.Missing, p.BadScores)
 	}
 	addRow(rep.Clean)
 	for _, p := range rep.Points {
@@ -73,7 +73,9 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 	}
 	fmt.Fprintf(w, "\nnon-finite probabilities across the whole sweep: %d (hardened pipeline target: 0)\n", badScores)
 	fmt.Fprintln(w, "degradation policy: short gaps bridged (Degraded), long gaps re-prime +")
-	fmt.Fprintln(w, "full-window warm-up, NaN/Inf quarantined, >25 % anomalous window → Faulted")
+	fmt.Fprintln(w, "full-window warm-up, NaN/Inf quarantined, >25 % anomalous window → Faulted;")
+	fmt.Fprintln(w, "Stuck/Drift count per-channel health detections (axis latches, baseline drift)")
+	fmt.Fprintln(w, "that quarantine a channel group so a cascade can fail over (results_cascade.txt)")
 	fmt.Fprintln(os.Stderr, "robustness: wrote results_robustness.txt")
 	// Close error is the last chance to hear about a truncated results
 	// file — it fails the experiment rather than pass silently.

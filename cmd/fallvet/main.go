@@ -8,8 +8,9 @@
 // deterministic packages must not read clocks, draw from the global
 // math/rand source, or iterate maps; //fallvet:hotpath functions must
 // not contain allocating or boxing constructs; Close/Sync/Write/Rename
-// errors must be checked; goroutines and channels are confined to
-// internal/par. See DESIGN.md §9 for the rule catalogue and the
+// errors must be checked; goroutines and channels are confined to the
+// sanctioned concurrency packages (internal/par, internal/serve,
+// internal/guard). See DESIGN.md §9 for the rule catalogue and the
 // //fallvet:ignore directive grammar.
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 operational error.

@@ -102,6 +102,14 @@ type Cascade struct {
 	t2  tier2
 	sup supervisor
 
+	// ceiling is an externally-imposed cap on tier capability: the
+	// supervisor's choice is clamped to max(choice, ceiling). A serving
+	// runtime's latency breaker raises it when wall-clock decision
+	// latency approaches the airbag budget — the health-driven state
+	// machine knows nothing about host scheduling. TierPrimary (the
+	// zero value) imposes nothing.
+	ceiling Tier
+
 	samples   int // pushes seen (real + missing)
 	sinceEval int // pushes since the last emitted decision
 
@@ -168,7 +176,8 @@ func New(primary, fallback model.Classifier, cfg Config) (*Cascade, error) {
 }
 
 // Reset clears all cascade state: the pipeline, the threshold floor,
-// the supervisor and the tier counters.
+// the supervisor and the tier counters. The tier ceiling survives — it
+// is operator input about the host, not stream state.
 func (c *Cascade) Reset() {
 	c.det.Reset()
 	c.t2.reset()
@@ -185,8 +194,25 @@ func (c *Cascade) Reset() {
 // the returned detector directly.
 func (c *Cascade) Detector() *edge.Detector { return c.det }
 
-// SupervisorTier reports the tier the supervisor currently selects.
+// SupervisorTier reports the tier the supervisor currently selects,
+// before the ceiling clamp.
 func (c *Cascade) SupervisorTier() Tier { return c.sup.tier }
+
+// SetTierCeiling caps how capable a tier the cascade may decide with:
+// decisions use max(supervisor tier, ceiling). Out-of-range values are
+// clamped. SetTierCeiling(TierPrimary) removes the cap.
+func (c *Cascade) SetTierCeiling(t Tier) {
+	if t < TierPrimary {
+		t = TierPrimary
+	}
+	if t > TierThreshold {
+		t = TierThreshold
+	}
+	c.ceiling = t
+}
+
+// TierCeiling reports the current externally-imposed tier cap.
+func (c *Cascade) TierCeiling() Tier { return c.ceiling }
 
 // MinTier reports the most capable tier the cycle budget permits.
 func (c *Cascade) MinTier() Tier { return c.sup.minTier }
@@ -238,8 +264,9 @@ type Decision struct {
 	Probability float64
 	// Triggered is true when the probability crossed the threshold.
 	Triggered bool
-	// SupervisorTier is the tier the supervisor holds after this
-	// sample.
+	// SupervisorTier is the effective tier after this sample: the
+	// supervisor's health-driven choice, clamped by any external tier
+	// ceiling (SetTierCeiling).
 	SupervisorTier Tier
 	// Health is the overall pipeline state; Groups the per-channel-
 	// group breakdown driving the supervisor.
@@ -272,6 +299,9 @@ func (c *Cascade) PushMissing(n int) Decision {
 	d.Health = c.det.Health()
 	d.Groups = c.det.GroupHealth()
 	d.SupervisorTier = c.sup.tier
+	if c.ceiling > d.SupervisorTier {
+		d.SupervisorTier = c.ceiling
+	}
 	for i := 0; i < n; i++ {
 		p2 := c.t2.missing()
 		r := c.det.IngestMissing(1)
@@ -290,6 +320,13 @@ func (c *Cascade) decide(r edge.Result, p2 float64) Decision {
 	c.sinceEval++
 	g := c.det.GroupHealth()
 	supTier := c.sup.step(r.Health, g)
+	if c.ceiling > supTier {
+		// The host-imposed ceiling caps capability; the supervisor's
+		// own state machine keeps stepping underneath it, so lifting
+		// the ceiling returns to wherever health says the cascade
+		// belongs.
+		supTier = c.ceiling
+	}
 	d := Decision{
 		SupervisorTier: supTier,
 		Health:         r.Health,
@@ -335,17 +372,21 @@ func (c *Cascade) decide(r edge.Result, p2 float64) Decision {
 
 // tierScorable reports whether a model tier can honestly score the
 // current ring buffer: the window must be fresh (no unpaid warm-up)
-// and the channel groups the tier's branches read must not be faulted.
+// and the faults present must be ones the tier does not escape anyway.
+// The conditions mirror supervisor.stayOK — a quarantined-but-present
+// accelerometer (stuck axis, drifting baseline) does not unscore the
+// CNN tiers, because no tier in the cascade escapes the accelerometer;
+// real data loss (overall ring faulted) unscores both model tiers.
 //
 //fallvet:hotpath
 func (c *Cascade) tierScorable(t Tier, overall edge.Health, g edge.GroupHealth) bool {
 	switch t {
 	case TierPrimary:
 		return c.det.WindowFresh() && overall != edge.HealthFaulted &&
-			g.Worst() != edge.HealthFaulted
+			g.Gyro != edge.HealthFaulted
 	case TierFallback:
 		return c.fallback != nil && c.det.WindowFresh() &&
-			g.Acc != edge.HealthFaulted
+			(g.Acc != edge.HealthFaulted || overall != edge.HealthFaulted)
 	default:
 		return true
 	}

@@ -1,0 +1,168 @@
+package cascade
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/artifact"
+)
+
+// Cascade snapshots. A serving runtime that restarts a crashed session
+// from a cold cascade loses a full window of warm-up — blind time a
+// pre-impact detector cannot afford. Snapshot captures every mutable
+// field of the cascade (the detector pipeline, the threshold floor's
+// integrator, the supervisor state machine, the tier counters) inside a
+// verified artifact envelope; Restore applied to a configuration-
+// identical cascade resumes it bit-identically, so a session killed
+// mid-fall and replayed from its last snapshot reaches the same trigger
+// decision at the same sample as one that never crashed.
+
+// StateKind is the artifact envelope kind of a cascade snapshot.
+const StateKind = "cascade-state"
+
+// cascadeStateVersion guards the field layout below.
+const cascadeStateVersion = 1
+
+// Snapshot serialises the cascade's complete mutable state to w as a
+// digest-verified artifact envelope. The envelope shape records the
+// streaming geometry ([Window, Step]); the payload additionally carries
+// a configuration fingerprint (threshold, budget tiers, hysteresis) so
+// Restore refuses a snapshot from a differently-built cascade.
+func (c *Cascade) Snapshot(w io.Writer) error {
+	payload := artifact.AppendUint64(nil, cascadeStateVersion)
+	payload = artifact.AppendFloat(payload, c.threshold)
+	payload = artifact.AppendInt(payload, int(c.sup.minTier))
+	payload = artifact.AppendInt(payload, c.sup.promoteHold)
+	payload = artifact.AppendBool(payload, c.fallback != nil)
+
+	payload = artifact.AppendInt(payload, c.samples)
+	payload = artifact.AppendInt(payload, c.sinceEval)
+	for _, n := range c.tierEvals {
+		payload = artifact.AppendInt(payload, n)
+	}
+	payload = artifact.AppendInt(payload, int(c.sup.tier))
+	payload = artifact.AppendInt(payload, c.sup.healthyRun)
+	payload = artifact.AppendInt(payload, int(c.ceiling))
+	payload = artifact.AppendInt(payload, c.t2.run)
+	payload = artifact.AppendFloat(payload, c.t2.vel)
+	payload = c.det.AppendState(payload)
+
+	return artifact.Write(w, StateKind, []int{c.det.Window, c.det.Step}, payload)
+}
+
+// SnapshotBytes is Snapshot into a fresh buffer — the form the serving
+// runtime stores per session.
+func (c *Cascade) SnapshotBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore applies a Snapshot image to the cascade. The receiver must be
+// built with the same configuration (geometry, threshold, budget,
+// hysteresis, fallback presence) as the cascade that produced the
+// snapshot; any mismatch — or any corruption, which the envelope digest
+// catches first — yields an error. On error the cascade's state is
+// unspecified: Reset it (or discard it) before pushing again.
+func (c *Cascade) Restore(rd io.Reader) error {
+	h, payload, err := artifact.Read(rd)
+	if err != nil {
+		return fmt.Errorf("cascade: %w", err)
+	}
+	if err := artifact.CheckKind(h, StateKind); err != nil {
+		return fmt.Errorf("cascade: %w", err)
+	}
+	if len(h.Shape) != 2 || h.Shape[0] != c.det.Window || h.Shape[1] != c.det.Step {
+		return fmt.Errorf("cascade: snapshot geometry %v, cascade is [%d %d]",
+			h.Shape, c.det.Window, c.det.Step)
+	}
+	r := artifact.NewStateReader(payload)
+	if v := r.Uint64(); r.Err() == nil && v != cascadeStateVersion {
+		return fmt.Errorf("cascade: snapshot state version %d, this build reads %d", v, cascadeStateVersion)
+	}
+	thr := r.Float()
+	minTier := Tier(r.Int())
+	hold := r.Int()
+	hasFallback := r.Bool()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("cascade: %w", err)
+	}
+	if thr != c.threshold || minTier != c.sup.minTier || hold != c.sup.promoteHold ||
+		hasFallback != (c.fallback != nil) {
+		return fmt.Errorf("cascade: snapshot from a differently-configured cascade "+
+			"(threshold %g/%g, min tier %v/%v, hold %d/%d, fallback %v/%v)",
+			thr, c.threshold, minTier, c.sup.minTier, hold, c.sup.promoteHold,
+			hasFallback, c.fallback != nil)
+	}
+
+	c.samples = r.Int()
+	c.sinceEval = r.Int()
+	for i := range c.tierEvals {
+		c.tierEvals[i] = r.Int()
+	}
+	tier := Tier(r.Int())
+	c.sup.healthyRun = r.Int()
+	ceiling := Tier(r.Int())
+	c.t2.run = r.Int()
+	c.t2.vel = r.Float()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("cascade: %w", err)
+	}
+	if tier < minTier || tier > TierThreshold {
+		return fmt.Errorf("cascade: snapshot supervisor tier %v outside [%v, %v]", tier, minTier, TierThreshold)
+	}
+	if ceiling < TierPrimary || ceiling > TierThreshold {
+		return fmt.Errorf("cascade: snapshot tier ceiling %d out of range", int(ceiling))
+	}
+	c.sup.tier = tier
+	c.ceiling = ceiling
+	if err := c.det.ReadState(r); err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("cascade: %w", err)
+	}
+	return nil
+}
+
+// RestoreFresh reads a snapshot into the cascade, resetting first so a
+// failed restore cannot leave half-applied state behind: on error the
+// cascade is cold but coherent, exactly as after Reset.
+func (c *Cascade) RestoreFresh(rd io.Reader) error {
+	c.Reset()
+	if err := c.Restore(rd); err != nil {
+		ceiling := c.ceiling
+		c.Reset()
+		c.ceiling = ceiling
+		return err
+	}
+	return nil
+}
+
+// SnapshotEqual replays nothing and mutates nothing: it reports whether
+// two snapshot images decode to the same cascade state, ignoring the
+// envelope bytes themselves. Since the payload encoding is canonical
+// (fixed-width little-endian, no maps), byte equality of the payloads
+// is state equality; the helper exists so tests and the serving
+// runtime's restore verification can compare states without poking
+// fields.
+func SnapshotEqual(a, b []byte) (bool, error) {
+	ha, pa, err := artifact.Read(bytes.NewReader(a))
+	if err != nil {
+		return false, err
+	}
+	hb, pb, err := artifact.Read(bytes.NewReader(b))
+	if err != nil {
+		return false, err
+	}
+	if err := artifact.CheckKind(ha, StateKind); err != nil {
+		return false, err
+	}
+	if err := artifact.CheckKind(hb, StateKind); err != nil {
+		return false, err
+	}
+	return bytes.Equal(pa, pb), nil
+}

@@ -1,0 +1,236 @@
+package cascade
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/imu"
+)
+
+// pushAt replays one deterministic mixed-stress sample into c: mostly
+// quiet wear, with periodic NaN bursts, gyro dropouts, missing gaps and
+// clipped spikes so every branch of the pipeline state machine carries
+// non-trivial state into a snapshot.
+func pushAt(c *Cascade, i int) Decision {
+	switch {
+	case i%97 == 45:
+		return c.PushMissing(1)
+	case i%89 == 30:
+		return c.Push(imu.Vec3{X: math.NaN()}, imu.Vec3{})
+	case i%83 == 20:
+		acc, _ := quiet(i)
+		return c.Push(acc, imu.Vec3{Y: math.Inf(1)})
+	case i%79 == 10:
+		return c.Push(imu.Vec3{Z: 30}, imu.Vec3{X: 4000})
+	default:
+		acc, gyro := quiet(i)
+		return c.Push(acc, gyro)
+	}
+}
+
+func decisionsEqual(a, b Decision) bool { return a == b }
+
+// TestSnapshotRoundTripBitIdentical is the snapshot contract: a cascade
+// restored from a snapshot and a cascade that never stopped produce
+// identical decisions for every subsequent sample, and re-snapshotting
+// both at any later point yields state-equal images.
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	for _, fixed := range []bool{false, true} {
+		cfg := testCfg
+		cfg.FixedPoint = fixed
+		ref := newTestCascade(t, cfg)
+		for i := 0; i < 333; i++ {
+			pushAt(ref, i)
+		}
+		img, err := ref.SnapshotBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		restored := newTestCascade(t, cfg)
+		if err := restored.Restore(bytes.NewReader(img)); err != nil {
+			t.Fatalf("fixed=%v: %v", fixed, err)
+		}
+		for i := 333; i < 1000; i++ {
+			da := pushAt(ref, i)
+			db := pushAt(restored, i)
+			if !decisionsEqual(da, db) {
+				t.Fatalf("fixed=%v: decisions diverge at sample %d:\n ref      %+v\n restored %+v", fixed, i, da, db)
+			}
+		}
+		if ref.Detector().Stats() != restored.Detector().Stats() {
+			t.Fatalf("fixed=%v: fault counters diverged:\n ref      %+v\n restored %+v",
+				fixed, ref.Detector().Stats(), restored.Detector().Stats())
+		}
+		a, err := ref.SnapshotBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.SnapshotBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := SnapshotEqual(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("fixed=%v: post-continuation snapshots differ", fixed)
+		}
+	}
+}
+
+// fallSample synthesises the tail of a backward fall: free fall (near
+// zero g, fast rotation) long enough for the threshold tiers' low-g run
+// and velocity integrator to arm, then an impact spike.
+func fallSample(k int) (imu.Vec3, imu.Vec3) {
+	if k < 45 {
+		return imu.Vec3{Z: 0.04}, imu.Vec3{X: 280, Y: 120}
+	}
+	return imu.Vec3{Z: 5.5}, imu.Vec3{X: 40}
+}
+
+// TestSnapshotMidFallSameTrigger kills a session in the middle of a
+// fall and resumes it from the snapshot: the restored cascade must
+// trigger on the same sample with the same probability and tier as the
+// uninterrupted reference — the lead time the airbag sees is identical.
+func TestSnapshotMidFallSameTrigger(t *testing.T) {
+	ref := newTestCascade(t, testCfg)
+	const quietLen, snapAt = 300, 315 // snapshot 15 samples into the fall
+	for i := 0; i < quietLen; i++ {
+		acc, gyro := quiet(i)
+		ref.Push(acc, gyro)
+	}
+	var img []byte
+	trigAt, trigRef := -1, Decision{}
+	for k := 0; quietLen+k < 600; k++ {
+		if quietLen+k == snapAt {
+			var err error
+			img, err = ref.SnapshotBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		d := ref.Push(fallSample(k))
+		if d.Triggered {
+			trigAt, trigRef = quietLen+k, d
+			break
+		}
+	}
+	if trigAt < 0 {
+		t.Fatal("reference cascade never triggered on the synthetic fall")
+	}
+	if trigAt < snapAt {
+		t.Fatalf("fall triggered at %d, before the %d-sample snapshot point — fixture broken", trigAt, snapAt)
+	}
+
+	restored := newTestCascade(t, testCfg)
+	if err := restored.RestoreFresh(bytes.NewReader(img)); err != nil {
+		t.Fatal(err)
+	}
+	for i := snapAt; i <= trigAt; i++ {
+		d := restored.Push(fallSample(i - quietLen))
+		if d.Triggered != (i == trigAt) {
+			t.Fatalf("restored cascade trigger state at sample %d: %v, want trigger exactly at %d",
+				i, d.Triggered, trigAt)
+		}
+		if i == trigAt && !decisionsEqual(d, trigRef) {
+			t.Fatalf("restored trigger decision differs:\n ref      %+v\n restored %+v", trigRef, d)
+		}
+	}
+}
+
+// TestSnapshotCeilingSurvives: the tier ceiling is part of the snapshot
+// and survives both Restore and Reset — it encodes host pressure, which
+// does not go away because a stream restarted.
+func TestSnapshotCeilingSurvives(t *testing.T) {
+	c := newTestCascade(t, testCfg)
+	c.SetTierCeiling(TierFallback)
+	for i := 0; i < 100; i++ {
+		acc, gyro := quiet(i)
+		d := c.Push(acc, gyro)
+		if d.SupervisorTier < TierFallback {
+			t.Fatalf("sample %d: effective tier %v under a %v ceiling", i, d.SupervisorTier, TierFallback)
+		}
+	}
+	if c.SupervisorTier() != TierPrimary {
+		t.Fatalf("raw supervisor tier %v, want %v (ceiling must not leak into the state machine)",
+			c.SupervisorTier(), TierPrimary)
+	}
+	img, err := c.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := newTestCascade(t, testCfg)
+	if err := c2.Restore(bytes.NewReader(img)); err != nil {
+		t.Fatal(err)
+	}
+	if c2.TierCeiling() != TierFallback {
+		t.Fatalf("restored ceiling %v, want %v", c2.TierCeiling(), TierFallback)
+	}
+	c2.Reset()
+	if c2.TierCeiling() != TierFallback {
+		t.Fatalf("Reset cleared the ceiling")
+	}
+	c2.SetTierCeiling(TierPrimary)
+	if c2.TierCeiling() != TierPrimary {
+		t.Fatal("ceiling not removable")
+	}
+}
+
+// TestRestoreRejectsMismatchAndCorruption: a snapshot only ever applies
+// to a configuration-identical cascade, and any byte damage is caught
+// (by the envelope digest) before any state is interpreted.
+func TestRestoreRejectsMismatchAndCorruption(t *testing.T) {
+	c := newTestCascade(t, testCfg)
+	for i := 0; i < 200; i++ {
+		pushAt(c, i)
+	}
+	img, err := c.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	otherGeom := newTestCascade(t, Config{WindowMS: 600, Overlap: 0.5})
+	if err := otherGeom.Restore(bytes.NewReader(img)); err == nil {
+		t.Fatal("restore accepted a snapshot with a different window geometry")
+	}
+	otherThr := newTestCascade(t, Config{WindowMS: 400, Overlap: 0.5, Threshold: 0.9})
+	if err := otherThr.Restore(bytes.NewReader(img)); err == nil {
+		t.Fatal("restore accepted a snapshot with a different threshold")
+	}
+	otherArith := newTestCascade(t, Config{WindowMS: 400, Overlap: 0.5, FixedPoint: true})
+	if err := otherArith.Restore(bytes.NewReader(img)); err == nil {
+		t.Fatal("restore accepted a float snapshot into a fixed-point pipeline")
+	}
+
+	for _, n := range []int{1, len(img) / 2, len(img) - 1} {
+		bad := append([]byte(nil), img...)
+		bad[n] ^= 0x40
+		fresh := newTestCascade(t, testCfg)
+		if err := fresh.Restore(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("restore accepted a snapshot with byte %d flipped", n)
+		}
+	}
+	for _, n := range []int{0, 8, len(img) - 9} {
+		fresh := newTestCascade(t, testCfg)
+		if err := fresh.Restore(bytes.NewReader(img[:n])); err == nil {
+			t.Fatalf("restore accepted a snapshot truncated to %d bytes", n)
+		}
+	}
+
+	// RestoreFresh after a failure leaves a cold but usable cascade.
+	fresh := newTestCascade(t, testCfg)
+	fresh.SetTierCeiling(TierFallback)
+	if err := fresh.RestoreFresh(bytes.NewReader(img[:16])); err == nil {
+		t.Fatal("RestoreFresh accepted a truncated snapshot")
+	}
+	if fresh.TierCeiling() != TierFallback {
+		t.Fatal("failed RestoreFresh dropped the tier ceiling")
+	}
+	for i := 0; i < 100; i++ {
+		acc, gyro := quiet(i)
+		fresh.Push(acc, gyro)
+	}
+}

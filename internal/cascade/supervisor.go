@@ -61,15 +61,28 @@ func (s *supervisor) step(overall edge.Health, g edge.GroupHealth) Tier {
 // stayOK is the requirement to remain at a tier: conservative but not
 // paranoid — Degraded channels keep their tier (a bridged two-sample
 // gap must not demote the primary model mid-fall), Faulted ones lose
-// it.
+// it, and a demotion must actually reduce exposure to the fault:
+//
+//   - The primary tier is lost to gyro-side faults and to real data
+//     loss (the overall ring trips on missing/quarantined samples) —
+//     the accel-only fallback escapes both. It is NOT lost to a
+//     corrupted-but-present accelerometer (a latched axis, a drifting
+//     baseline): every lower tier reads the same accelerometer, so
+//     demoting would only discard the still-live gyro columns.
+//   - The fallback tier is lost only to real data loss. The threshold
+//     floor integrates the same raw accelerometer, so an acc-group
+//     quarantine it cannot escape keeps the CNN; but the floor is the
+//     only tier that fails conservative on *absent* data (its
+//     integrator drains, it cannot false-fire), so a stream that has
+//     actually stopped delivering samples belongs to it.
 //
 //fallvet:hotpath
 func stayOK(t Tier, overall edge.Health, g edge.GroupHealth) bool {
 	switch t {
 	case TierPrimary:
-		return overall != edge.HealthFaulted && g.Worst() != edge.HealthFaulted
+		return overall != edge.HealthFaulted && g.Gyro != edge.HealthFaulted
 	case TierFallback:
-		return g.Acc != edge.HealthFaulted
+		return g.Acc != edge.HealthFaulted || overall != edge.HealthFaulted
 	default:
 		return true
 	}

@@ -123,6 +123,34 @@ func (f *Filter) Reset() {
 	}
 }
 
+// AppendState appends the streaming state of every section (z1, z2 in
+// cascade order) to dst and returns the extended slice. Together with
+// SetState it lets a serving layer snapshot a live filter and resume
+// it bit-identically after a crash — the filter warm-up is part of the
+// pipeline's warm-up, and losing it costs a full re-prime.
+func (f *Filter) AppendState(dst []float64) []float64 {
+	for i := range f.sections {
+		dst = append(dst, f.sections[i].z1, f.sections[i].z2)
+	}
+	return dst
+}
+
+// StateLen is the number of float64 values AppendState appends.
+func (f *Filter) StateLen() int { return 2 * len(f.sections) }
+
+// SetState restores streaming state captured by AppendState. The
+// slice length must match StateLen exactly.
+func (f *Filter) SetState(st []float64) error {
+	if len(st) != f.StateLen() {
+		return fmt.Errorf("dsp: filter state holds %d values, want %d", len(st), f.StateLen())
+	}
+	for i := range f.sections {
+		f.sections[i].z1 = st[2*i]
+		f.sections[i].z2 = st[2*i+1]
+	}
+	return nil
+}
+
 // Prime initialises the streaming state to the steady-state response
 // for a constant input x0, eliminating the startup transient. Edge
 // firmware calls this with the first sensor reading; without it the

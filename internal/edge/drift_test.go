@@ -1,0 +1,159 @@
+package edge
+
+import (
+	"testing"
+
+	"repro/internal/imu"
+)
+
+// wob returns a small per-sample wobble so a channel is "live" without
+// ever leaving its physical band — the noise floor of a real MEMS part.
+func wob(i int) float64 { return 1e-4 * float64(i%7) }
+
+// TestStuckSingleAccAxisFlagsGroup is the `stuck 0.50` blind spot from
+// the robustness sweep: fault.Stuck freezes ONE accelerometer channel
+// while the siblings keep moving, so the whole-vector comparison never
+// fires. The per-axis run must flag the group once the latched axis
+// has been frozen past the run threshold.
+func TestStuckSingleAccAxisFlagsGroup(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 400, Overlap: 0.75})
+	// Live phase: every axis wobbles.
+	for i := 0; i < 100; i++ {
+		det.Push(imu.Vec3{X: wob(i), Y: wob(i + 1), Z: 1 + wob(i+2)}, imu.Vec3{X: wob(i), Y: wob(i + 3), Z: wob(i + 5)})
+	}
+	if gh := det.GroupHealth(); gh.Acc != HealthHealthy {
+		t.Fatalf("acc group %v before fault, want healthy", gh.Acc)
+	}
+	// Latch Z at a fixed value; X and Y keep moving, so the whole
+	// vector keeps changing and only the per-axis run can see it.
+	for i := 0; i < 100; i++ {
+		det.Push(imu.Vec3{X: wob(i), Y: wob(i + 1), Z: 1.0125}, imu.Vec3{X: wob(i), Y: wob(i + 3), Z: wob(i + 5)})
+	}
+	gh := det.GroupHealth()
+	if gh.Acc == HealthHealthy {
+		t.Fatal("acc group still healthy with one axis latched for 1 s")
+	}
+	if gh.Euler == HealthHealthy {
+		t.Fatal("euler group still healthy with a latched acc axis feeding fusion")
+	}
+	if gh.Gyro != HealthHealthy {
+		t.Fatalf("gyro group %v, want healthy (gyro is live)", gh.Gyro)
+	}
+	if st := det.Stats(); st.AccStuck == 0 {
+		t.Fatal("AccStuck counter never incremented")
+	}
+}
+
+// TestConstantAxisNeverFlagsStuck: an axis that has never varied is not
+// a latch — a flat unused lane or a perfectly level rest posture must
+// not demote the group. (The whole-vector rule still catches a sensor
+// frozen from the first sample, because then nothing varies.)
+func TestConstantAxisNeverFlagsStuck(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 400, Overlap: 0.75})
+	for i := 0; i < 400; i++ {
+		// X and Y exactly 0 forever; Z and the gyro wobble.
+		det.Push(imu.Vec3{Z: 1 + wob(i)}, imu.Vec3{X: wob(i + 1), Y: wob(i + 2), Z: wob(i + 3)})
+	}
+	if gh := det.GroupHealth(); gh.Acc != HealthHealthy {
+		t.Fatalf("acc group %v with constant-but-never-live axes, want healthy", gh.Acc)
+	}
+	if st := det.Stats(); st.AccStuck != 0 {
+		t.Fatalf("AccStuck = %d for axes that never varied, want 0", st.AccStuck)
+	}
+}
+
+// TestStuckGyroSingleAxisFlagsGyroGroup mirrors the acc case on the
+// gyroscope: one latched gyro lane must flag gyro and Euler only.
+func TestStuckGyroSingleAxisFlagsGyroGroup(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 400, Overlap: 0.75})
+	for i := 0; i < 100; i++ {
+		det.Push(imu.Vec3{X: wob(i), Y: wob(i + 1), Z: 1 + wob(i+2)}, imu.Vec3{X: wob(i), Y: wob(i + 3), Z: wob(i + 5)})
+	}
+	for i := 0; i < 100; i++ {
+		det.Push(imu.Vec3{X: wob(i), Y: wob(i + 1), Z: 1 + wob(i+2)}, imu.Vec3{X: 3.25, Y: wob(i + 3), Z: wob(i + 5)})
+	}
+	gh := det.GroupHealth()
+	if gh.Gyro == HealthHealthy {
+		t.Fatal("gyro group still healthy with one axis latched for 1 s")
+	}
+	if gh.Acc != HealthHealthy {
+		t.Fatalf("acc group %v, want healthy (acc is live)", gh.Acc)
+	}
+	if st := det.Stats(); st.GyroStuck == 0 {
+		t.Fatal("GyroStuck counter never incremented")
+	}
+}
+
+// TestAccDriftFlagsGroup is the `drift 0.50` blind spot: a slow
+// additive bias on Acc.Z keeps every reading finite and in range, but
+// parks the magnitude baseline far above 1 g. The EMA tracker must
+// quarantine the acc group once the baseline is confirmed out of band.
+func TestAccDriftFlagsGroup(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 400, Overlap: 0.75})
+	// 0.1 g/s ramp, the fault.KindDrift severity-0.5 accelerometer rate.
+	for i := 0; i < 1200; i++ {
+		bias := 0.001 * float64(i)
+		det.Push(imu.Vec3{X: wob(i), Y: wob(i + 1), Z: 1 + bias + wob(i+2)},
+			imu.Vec3{X: wob(i), Y: wob(i + 3), Z: wob(i + 5)})
+	}
+	gh := det.GroupHealth()
+	if gh.Acc == HealthHealthy {
+		t.Fatal("acc group still healthy after 1.2 g of accumulated bias")
+	}
+	if gh.Gyro != HealthHealthy {
+		t.Fatalf("gyro group %v, want healthy (gyro has no bias)", gh.Gyro)
+	}
+	if st := det.Stats(); st.AccDrift == 0 {
+		t.Fatal("AccDrift counter never incremented")
+	}
+}
+
+// TestGyroDriftFlagsGroup: the gyro half of fault.KindDrift — a
+// 10 deg/s-per-second bias ramp on Gyro.X.
+func TestGyroDriftFlagsGroup(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 400, Overlap: 0.75})
+	for i := 0; i < 1500; i++ {
+		bias := 0.1 * float64(i)
+		det.Push(imu.Vec3{X: wob(i), Y: wob(i + 1), Z: 1 + wob(i+2)},
+			imu.Vec3{X: bias + wob(i), Y: wob(i + 3), Z: wob(i + 5)})
+	}
+	gh := det.GroupHealth()
+	if gh.Gyro == HealthHealthy {
+		t.Fatal("gyro group still healthy after 150 dps of accumulated bias")
+	}
+	if gh.Acc != HealthHealthy {
+		t.Fatalf("acc group %v, want healthy (acc has no bias)", gh.Acc)
+	}
+	if st := det.Stats(); st.GyroDrift == 0 {
+		t.Fatal("GyroDrift counter never incremented")
+	}
+}
+
+// TestDriftTransientsDoNotFlag: the dynamics a fall detector exists to
+// see — a free-fall dip, an impact spike, a fast turn — must not read
+// as baseline drift. Each transient is short; the sustained-run gate
+// has to reject all of them.
+func TestDriftTransientsDoNotFlag(t *testing.T) {
+	det := newThresholdDetector(t, DetectorConfig{WindowMS: 400, Overlap: 0.75})
+	push := func(i int, accZ, gyroX float64) {
+		det.Push(imu.Vec3{X: wob(i), Y: wob(i + 1), Z: accZ + wob(i+2)},
+			imu.Vec3{X: gyroX + wob(i), Y: wob(i + 3), Z: wob(i + 5)})
+	}
+	i := 0
+	for ; i < 300; i++ { // quiet wear
+		push(i, 1, 0)
+	}
+	for ; i < 350; i++ { // 0.5 s free fall
+		push(i, 0.05, 300)
+	}
+	for ; i < 360; i++ { // 100 ms impact spike
+		push(i, 6, 50)
+	}
+	for ; i < 700; i++ { // lying still
+		push(i, 1, 0)
+	}
+	if st := det.Stats(); st.AccDrift != 0 || st.GyroDrift != 0 {
+		t.Fatalf("drift flagged on fall transients: AccDrift=%d GyroDrift=%d, want 0",
+			st.AccDrift, st.GyroDrift)
+	}
+}

@@ -73,6 +73,30 @@ func (ff *FixedFilter) Reset() {
 	}
 }
 
+// stateLen is the number of int64 state words appendState appends.
+func (ff *FixedFilter) stateLen() int { return 2 * len(ff.sections) }
+
+// appendState appends the Q16.16 streaming state (z1, z2 per section)
+// for the detector's snapshot codec.
+func (ff *FixedFilter) appendState(dst []int64) []int64 {
+	for i := range ff.sections {
+		dst = append(dst, ff.sections[i].z1, ff.sections[i].z2)
+	}
+	return dst
+}
+
+// setState restores streaming state captured by appendState.
+func (ff *FixedFilter) setState(st []int64) error {
+	if len(st) != ff.stateLen() {
+		return fmt.Errorf("edge: fixed filter state holds %d words, want %d", len(st), ff.stateLen())
+	}
+	for i := range ff.sections {
+		ff.sections[i].z1 = st[2*i]
+		ff.sections[i].z2 = st[2*i+1]
+	}
+	return nil
+}
+
 // Process filters one sample (float in, float out; the integer domain
 // is internal, as on the device where samples arrive as raw counts).
 //

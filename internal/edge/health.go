@@ -1,6 +1,10 @@
 package edge
 
-import "repro/internal/imu"
+import (
+	"math"
+
+	"repro/internal/imu"
+)
 
 // Health is the streaming pipeline's degradation state, derived from
 // the anomaly density of the most recent window of ingestion events
@@ -128,6 +132,134 @@ func (s *stuckRun) observe(v imu.Vec3) bool {
 	return s.run >= stuckRunSamples
 }
 
+// axisRun detects a single latched channel — a dead ADC lane freezes
+// one axis while its siblings keep moving, which the whole-vector
+// stuckRun can never see. The liveness gate is what keeps it honest:
+// an axis only counts as stuck after it has been observed to *change*
+// at least once, so a genuinely constant channel (a flat axis on a
+// bench fixture, a zeroed unused lane) never trips the detector, while
+// a mid-stream latch — the actual fault model — always does.
+type axisRun struct {
+	last float64
+	run  int
+	have bool
+	live bool
+}
+
+func (a *axisRun) reset() { *a = axisRun{} }
+
+// observe ingests one axis reading and reports whether the axis is a
+// confirmed mid-stream latch: previously live, now bit-identical for
+// stuckRunSamples or longer.
+//
+//fallvet:hotpath
+func (a *axisRun) observe(v float64) bool {
+	if a.have && v == a.last {
+		if a.live {
+			a.run++
+		}
+		return a.run >= stuckRunSamples
+	}
+	if a.have {
+		a.live = true
+	}
+	a.run = 0
+	a.last = v
+	a.have = true
+	return false
+}
+
+// Baseline-drift detection: a slow additive bias (temperature drift on
+// an uncalibrated MEMS part) corrupts every window long before any
+// single reading looks implausible. The tracker follows two slow EMAs
+// — accelerometer magnitude, which must hover near 1 g at the
+// timescale of the filter, and the per-axis gyro rate, which must
+// hover near 0 deg/s — and flags a channel group when the baseline
+// stays outside its physical band for a sustained run. The run
+// requirement is what separates drift from dynamics: a fall's
+// free-fall/impact transient or a fast turn moves the EMA for well
+// under a second, a bias ramp parks it outside the band permanently.
+const (
+	// driftTauSamples is the EMA time constant (1 s at 100 Hz).
+	driftTauSamples = 100
+	// driftWarmSamples gates flagging until the EMA has seen a full
+	// time constant of data.
+	driftWarmSamples = 100
+	// accDriftHighG flags the accelerometer when EMA(|acc|) exceeds
+	// 1 g by this margin. High side only: free fall legitimately drags
+	// the magnitude toward 0 g, additive bias only ever ramps it up.
+	accDriftHighG = 0.5
+	// gyroDriftDPS flags a gyro axis whose EMA rate magnitude exceeds
+	// this baseline (a resting gyro reads ~0; sustained rotation at
+	// this rate for gyroDriftRunSamples is not human posture change).
+	gyroDriftDPS = 75.0
+	// accDriftRunSamples / gyroDriftRunSamples are the sustained-run
+	// lengths before flagging; the gyro run is longer because fall
+	// rotation bursts push its EMA far harder than impacts push the
+	// magnitude EMA.
+	accDriftRunSamples  = 50
+	gyroDriftRunSamples = 100
+)
+
+// driftTrack maintains the baseline EMAs and their out-of-band runs.
+type driftTrack struct {
+	accN, gyroN int
+	accMag      float64
+	gyro        imu.Vec3
+	accRun      int
+	gyroRun     int
+}
+
+func (t *driftTrack) reset() { *t = driftTrack{} }
+
+// observeAcc ingests one finite accelerometer reading (g) and reports
+// whether the magnitude baseline is a confirmed high-side drift.
+//
+//fallvet:hotpath
+func (t *driftTrack) observeAcc(acc imu.Vec3) bool {
+	mag := math.Sqrt(acc.X*acc.X + acc.Y*acc.Y + acc.Z*acc.Z)
+	if t.accN == 0 {
+		t.accMag = mag
+	} else {
+		t.accMag += (mag - t.accMag) / driftTauSamples
+	}
+	t.accN++
+	if t.accN >= driftWarmSamples && t.accMag-1 > accDriftHighG {
+		t.accRun++
+	} else {
+		t.accRun = 0
+	}
+	return t.accRun >= accDriftRunSamples
+}
+
+// observeGyro ingests one finite gyroscope reading (deg/s) and reports
+// whether any axis baseline is a confirmed drift.
+//
+//fallvet:hotpath
+func (t *driftTrack) observeGyro(g imu.Vec3) bool {
+	if t.gyroN == 0 {
+		t.gyro = g
+	} else {
+		t.gyro.X += (g.X - t.gyro.X) / driftTauSamples
+		t.gyro.Y += (g.Y - t.gyro.Y) / driftTauSamples
+		t.gyro.Z += (g.Z - t.gyro.Z) / driftTauSamples
+	}
+	t.gyroN++
+	m := math.Abs(t.gyro.X)
+	if v := math.Abs(t.gyro.Y); v > m {
+		m = v
+	}
+	if v := math.Abs(t.gyro.Z); v > m {
+		m = v
+	}
+	if t.gyroN >= driftWarmSamples && m > gyroDriftDPS {
+		t.gyroRun++
+	} else {
+		t.gyroRun = 0
+	}
+	return t.gyroRun >= gyroDriftRunSamples
+}
+
 // healthRing tracks which of the last N ingestion events were
 // anomalous (quarantined or missing samples).
 type healthRing struct {
@@ -195,10 +327,17 @@ type FaultStats struct {
 	// while the accelerometer stayed good; the last finite angular
 	// rate was substituted and the gyro/Euler groups marked anomalous.
 	GyroHeld int
-	// AccStuck counts samples on which the accelerometer had been
-	// bit-identical for stuckRunSamples or longer.
+	// AccStuck counts samples on which the accelerometer was deemed
+	// stuck: the whole vector bit-identical for stuckRunSamples, or any
+	// single previously-live axis latched for as long.
 	AccStuck int
-	// GyroStuck counts samples on which the gyroscope had been
-	// bit-identical for stuckRunSamples or longer.
+	// GyroStuck counts samples on which the gyroscope was deemed stuck,
+	// by the same whole-vector or per-axis criterion.
 	GyroStuck int
+	// AccDrift counts samples on which the accelerometer-magnitude
+	// baseline was a confirmed high-side drift (see driftTrack).
+	AccDrift int
+	// GyroDrift counts samples on which a gyro-axis baseline was a
+	// confirmed drift.
+	GyroDrift int
 }

@@ -50,6 +50,9 @@ type Detector struct {
 	groups      [NumGroups]*healthRing
 	accRun      stuckRun
 	gyroRun     stuckRun
+	accAxes     [3]axisRun
+	gyroAxes    [3]axisRun
+	drift       driftTrack
 	heldGyro    imu.Vec3 // last finite gyro reading, for gyro-only holds
 	stats       FaultStats
 }
@@ -177,6 +180,11 @@ func (d *Detector) Reset() {
 	}
 	d.accRun.reset()
 	d.gyroRun.reset()
+	for i := range d.accAxes {
+		d.accAxes[i].reset()
+		d.gyroAxes[i].reset()
+	}
+	d.drift.reset()
 	d.heldGyro = imu.Vec3{}
 	d.stats = FaultStats{}
 }
@@ -302,16 +310,49 @@ func (d *Detector) push(acc, gyro imu.Vec3, eval bool) Result {
 	}
 	d.gapRun = 0
 
+	// Stuck detection runs at two granularities: the whole vector
+	// (catches a frozen sensor die immediately, even one frozen from
+	// the first sample) and per axis with a liveness gate (catches the
+	// single dead ADC lane the whole-vector comparison is blind to —
+	// the siblings keep moving, so the vectors keep differing).
 	accStuck := d.accRun.observe(acc)
+	if d.accAxes[0].observe(acc.X) {
+		accStuck = true
+	}
+	if d.accAxes[1].observe(acc.Y) {
+		accStuck = true
+	}
+	if d.accAxes[2].observe(acc.Z) {
+		accStuck = true
+	}
 	if accStuck {
 		d.stats.AccStuck++
 	}
+	accDrift := d.drift.observeAcc(acc)
+	if accDrift {
+		d.stats.AccDrift++
+	}
 	gyroAnom := gyroHeld
+	gyroDrift := false
 	if !gyroHeld {
 		d.heldGyro = gyro
-		if d.gyroRun.observe(gyro) {
+		gyroStuck := d.gyroRun.observe(gyro)
+		if d.gyroAxes[0].observe(gyro.X) {
+			gyroStuck = true
+		}
+		if d.gyroAxes[1].observe(gyro.Y) {
+			gyroStuck = true
+		}
+		if d.gyroAxes[2].observe(gyro.Z) {
+			gyroStuck = true
+		}
+		if gyroStuck {
 			d.stats.GyroStuck++
 			gyroAnom = true
+		}
+		gyroDrift = d.drift.observeGyro(gyro)
+		if gyroDrift {
+			d.stats.GyroDrift++
 		}
 	}
 
@@ -327,9 +368,9 @@ func (d *Detector) push(acc, gyro imu.Vec3, eval bool) Result {
 	// columns are reconstructions — but only the affected groups are
 	// marked, so the accelerometer branch stays available to a cascade.
 	d.health.observe(gyroHeld)
-	d.groups[GroupAcc].observe(accStuck)
-	d.groups[GroupGyro].observe(gyroAnom)
-	d.groups[GroupEuler].observe(gyroAnom || accStuck)
+	d.groups[GroupAcc].observe(accStuck || accDrift)
+	d.groups[GroupGyro].observe(gyroAnom || gyroDrift)
+	d.groups[GroupEuler].observe(gyroAnom || gyroDrift || accStuck || accDrift)
 	if d.freshNeeded > 0 {
 		d.freshNeeded--
 	}

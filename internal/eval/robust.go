@@ -35,6 +35,11 @@ type RobustnessPoint struct {
 	// counters over the sweep; BadScores must stay 0 (the hardened
 	// pipeline never emits a non-finite probability).
 	Quarantined, Missing, BadScores int
+	// Stuck and Drift aggregate the per-channel health detections
+	// (whole-vector + per-axis stuck latches, baseline drift) — the
+	// fault classes the Quarantined column is structurally blind to,
+	// because a stuck or drifting reading is perfectly finite.
+	Stuck, Drift int
 
 	// TierEvals counts decisions per cascade tier over the condition's
 	// whole replay (zero for non-cascade sweeps); TierTriggers counts
@@ -170,6 +175,8 @@ func simulateAll(det *edge.Detector, trials []dataset.Trial, inj fault.Injector)
 		p.Quarantined += st.Quarantined
 		p.Missing += st.Missing
 		p.BadScores += st.BadScores
+		p.Stuck += st.AccStuck + st.GyroStuck
+		p.Drift += st.AccDrift + st.GyroDrift
 		if t.IsFall() {
 			p.FallTrials++
 			if sim.Triggered {
@@ -206,6 +213,8 @@ func simulateAllCascade(c *cascade.Cascade, trials []dataset.Trial, inj fault.In
 		p.Quarantined += st.Quarantined
 		p.Missing += st.Missing
 		p.BadScores += st.BadScores
+		p.Stuck += st.AccStuck + st.GyroStuck
+		p.Drift += st.AccDrift + st.GyroDrift
 		for tier, n := range sim.TierEvals {
 			p.TierEvals[tier] += n
 		}

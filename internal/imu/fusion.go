@@ -50,6 +50,26 @@ func (f *Fusion) Reset() {
 	f.primed = false
 }
 
+// FusionState is the estimator's mutable state, exposed so a serving
+// layer can snapshot a live filter and resume it bit-identically (the
+// complementary filter is recursive: attitude lost in a crash does not
+// come back until the next re-prime).
+type FusionState struct {
+	Pitch, Roll, Yaw float64
+	Primed           bool
+}
+
+// State captures the current estimator state.
+func (f *Fusion) State() FusionState {
+	return FusionState{Pitch: f.pitch, Roll: f.roll, Yaw: f.yaw, Primed: f.primed}
+}
+
+// SetState restores state captured by State.
+func (f *Fusion) SetState(s FusionState) {
+	f.pitch, f.roll, f.yaw = s.Pitch, s.Roll, s.Yaw
+	f.primed = s.Primed
+}
+
 // accAngles returns the gravity-referenced pitch and roll (degrees)
 // implied by an accelerometer reading (any consistent unit).
 //

@@ -89,6 +89,9 @@ var hotpathCoverage = map[string]string{
 	"internal/edge.Detector.GroupHealth":    cascadeAlloc,
 	"internal/edge.GroupHealth.Worst":       cascadeAlloc,
 	"internal/edge.stuckRun.observe":        edgeAlloc,
+	"internal/edge.axisRun.observe":         edgeAlloc,
+	"internal/edge.driftTrack.observeAcc":   edgeAlloc,
+	"internal/edge.driftTrack.observeGyro":  edgeAlloc,
 
 	// Degradation and fixed-point variants of the streaming pipeline.
 	"internal/edge.Detector.PushMissing":   degrade,

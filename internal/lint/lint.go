@@ -13,7 +13,9 @@
 //	             marked //fallvet:hotpath
 //	checkedio    error returns from Close/Sync/Flush/Write/Rename
 //	             must not be discarded
-//	redorder     goroutines and channels only inside internal/par
+//	redorder     goroutines and channels only inside the sanctioned
+//	             concurrency packages (internal/par, internal/serve,
+//	             internal/guard), repo-wide
 //
 // The package uses only go/parser, go/ast and go/types with the
 // standard source importer — the module stays dependency-free.
@@ -30,7 +32,10 @@ import (
 // Version identifies the rule set. Bump it whenever an analyzer is
 // added, removed, or its definition of a violation changes, so results
 // files stamped with Stamp() state which invariant set produced them.
-const Version = "1"
+// v2: redorder went repo-wide (previously deterministic packages only)
+// with internal/serve and internal/guard joining internal/par on the
+// concurrency allowlist.
+const Version = "2"
 
 // Stamp is the short fingerprint recorded in results headers (see
 // cmd/fallbench): linter version plus the number of active rules.
@@ -90,10 +95,10 @@ func knownRule(name string) bool {
 // an import path (e.g. "repro/internal/nn").
 type Config struct {
 	// Deterministic reports whether the package carries the
-	// bit-identical-results contract (determinism and redorder apply).
+	// bit-identical-results contract (the determinism analyzer applies).
 	Deterministic func(importPath string) bool
-	// Par reports whether the package IS the sanctioned parallelism
-	// layer, exempt from redorder.
+	// Par reports whether the package is a sanctioned concurrency
+	// layer, exempt from the repo-wide redorder confinement.
 	Par func(importPath string) bool
 }
 
@@ -110,8 +115,22 @@ var deterministicSuffixes = []string{
 	"internal/cascade",
 }
 
-// DefaultConfig is the repo's scoping: the seven deterministic packages,
-// with internal/par as the only place goroutines may live.
+// parSuffixes are the sanctioned concurrency packages: the fixed-order
+// fan-out pool, the supervised serving runtime, and the panic-isolation
+// layer it restarts sessions through. Everywhere else, redorder forbids
+// goroutines and channels outright — in deterministic packages they
+// would reintroduce scheduling order into float accumulation, and in
+// the rest of the repo they would run unsupervised (no panic isolation,
+// no restart, invisible to the leak check).
+var parSuffixes = []string{
+	"internal/par",
+	"internal/serve",
+	"internal/guard",
+}
+
+// DefaultConfig is the repo's scoping: the seven deterministic packages
+// for the determinism analyzer, and the three sanctioned concurrency
+// packages for redorder.
 func DefaultConfig() Config {
 	return Config{
 		Deterministic: func(path string) bool {
@@ -123,7 +142,12 @@ func DefaultConfig() Config {
 			return false
 		},
 		Par: func(path string) bool {
-			return path == "internal/par" || hasPathSuffix(path, "internal/par")
+			for _, s := range parSuffixes {
+				if path == s || hasPathSuffix(path, s) {
+					return true
+				}
+			}
+			return false
 		},
 	}
 }

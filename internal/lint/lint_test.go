@@ -116,17 +116,21 @@ func TestAnalyzerFixtures(t *testing.T) {
 		rel      string
 		det, par bool
 	}{
-		// determinism and redorder fire only in deterministic packages,
-		// so their fixtures (and the suppression fixture, which silences
+		// determinism fires only in deterministic packages, so its
+		// fixtures (and the suppression fixture, which silences
 		// determinism findings) are linted with Deterministic=true.
+		// redorder is repo-wide: its fixtures run with
+		// Deterministic=false to pin that the confinement no longer
+		// depends on the deterministic scoping.
 		{"determinism/bad", true, false},
 		{"determinism/good", true, false},
 		{"hotpath/bad", false, false},
 		{"hotpath/good", false, false},
 		{"checkedio/bad", false, false},
 		{"checkedio/good", false, false},
-		{"redorder/bad", true, false},
-		{"redorder/good", true, false},
+		{"redorder/bad", false, false},
+		{"redorder/good", false, false},
+		{"redorder/serve", false, false},
 		{"suppress", true, false},
 	} {
 		t.Run(strings.ReplaceAll(tc.rel, "/", "_"), func(t *testing.T) {
@@ -136,13 +140,36 @@ func TestAnalyzerFixtures(t *testing.T) {
 }
 
 // TestRedorderExemptInsidePar: the channel-heavy redorder fixture must
-// be clean when the config marks its package as the sanctioned
-// parallelism layer, the way DefaultConfig exempts internal/par.
+// be clean when the config marks its package as a sanctioned
+// concurrency layer, the way DefaultConfig exempts internal/par.
 func TestRedorderExemptInsidePar(t *testing.T) {
 	pkg := loadFixture(t, "redorder/bad")
 	diags := Run([]*Package{pkg}, fixtureConfig(true, true))
 	if len(diags) != 0 {
 		t.Fatalf("par-exempt package still has %d diagnostics, first: %s", len(diags), diags[0])
+	}
+}
+
+// TestRedorderServeAllowlist drives the serving-runtime fixture through
+// DefaultConfig's real path matching: under the import paths the repo
+// actually uses for the supervised runtime its goroutines and channels
+// are sanctioned, while a near-miss path (a package merely named like
+// serve) gets the full set of diagnostics.
+func TestRedorderServeAllowlist(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, path := range []string{"repro/internal/serve", "repro/internal/guard", "repro/internal/par"} {
+		pkg := loadFixture(t, "redorder/serve")
+		pkg.Path = path
+		if diags := Run([]*Package{pkg}, cfg); len(diags) != 0 {
+			t.Errorf("%s: %d diagnostics on sanctioned concurrency, first: %s", path, len(diags), diags[0])
+		}
+	}
+	for _, path := range []string{"repro/internal/servex", "repro/internal/serveur", "repro/cmd/fallserve", "repro/internal/eval"} {
+		pkg := loadFixture(t, "redorder/serve")
+		pkg.Path = path
+		if diags := Run([]*Package{pkg}, cfg); len(diags) == 0 {
+			t.Errorf("%s: no diagnostics outside the allowlist, want the full redorder set", path)
+		}
 	}
 }
 
@@ -212,9 +239,9 @@ func TestDiagnosticString(t *testing.T) {
 	}
 }
 
-// TestDefaultConfigScoping pins the repo scoping: the six deterministic
-// packages match on import-path boundaries, and internal/par is the
-// only redorder exemption.
+// TestDefaultConfigScoping pins the repo scoping: the deterministic
+// packages match on import-path boundaries, and the concurrency
+// allowlist is exactly internal/par, internal/serve and internal/guard.
 func TestDefaultConfigScoping(t *testing.T) {
 	cfg := DefaultConfig()
 	for _, tc := range []struct {
@@ -237,16 +264,25 @@ func TestDefaultConfigScoping(t *testing.T) {
 			t.Errorf("Deterministic(%q) = %v, want %v", tc.path, got, tc.want)
 		}
 	}
-	if !cfg.Par("repro/internal/par") {
-		t.Error("Par(repro/internal/par) = false, want true")
-	}
-	if cfg.Par("repro/internal/nn") {
-		t.Error("Par(repro/internal/nn) = true, want false")
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/par", true},
+		{"repro/internal/serve", true},
+		{"repro/internal/guard", true},
+		{"repro/internal/nn", false},
+		{"repro/internal/servex", false}, // no partial-segment matches
+		{"repro/cmd/fallserve", false},
+	} {
+		if got := cfg.Par(tc.path); got != tc.want {
+			t.Errorf("Par(%q) = %v, want %v", tc.path, got, tc.want)
+		}
 	}
 }
 
 func TestStamp(t *testing.T) {
-	if got, want := Stamp(), "v1/4-rules"; got != want {
+	if got, want := Stamp(), "v2/4-rules"; got != want {
 		t.Errorf("Stamp() = %q, want %q", got, want)
 	}
 	names := make([]string, 0, len(Analyzers()))

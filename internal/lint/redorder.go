@@ -6,24 +6,35 @@ import (
 	"go/types"
 )
 
-// redOrderAnalyzer enforces the fixed-order reduction contract
-// (DESIGN.md §8): parallel results are bit-identical only because
-// every fan-out goes through the internal/par pool, which assigns
-// fixed chunks and reduces worker results in worker-index order. A
-// stray goroutine or a channel-collected reduction anywhere else in a
-// deterministic package reintroduces scheduling order into float
-// accumulation, so the analyzer forbids goroutine spawns and every
-// channel construct outside internal/par.
+// redOrderAnalyzer confines concurrency to the sanctioned packages.
+// Two contracts meet here:
+//
+//   - Fixed-order reduction (DESIGN.md §8): parallel results are
+//     bit-identical only because every fan-out goes through the
+//     internal/par pool, which assigns fixed chunks and reduces worker
+//     results in worker-index order. A stray goroutine or a
+//     channel-collected reduction in a deterministic package
+//     reintroduces scheduling order into float accumulation.
+//   - Supervised concurrency (DESIGN.md §11): every long-lived
+//     goroutine in the serving runtime must be owned by a supervisor
+//     that isolates its panics, restarts it with backoff and accounts
+//     for it in the leak check. A goroutine spawned outside
+//     internal/serve or internal/guard has no supervisor — it is
+//     invisible to crash isolation and shows up only as a leak.
+//
+// The analyzer therefore forbids goroutine spawns and every channel
+// construct outside the allowlist (Config.Par), repo-wide.
 var redOrderAnalyzer = &Analyzer{
 	Name: "redorder",
-	Doc:  "forbid goroutines and channels in deterministic packages outside internal/par",
+	Doc:  "forbid goroutines and channels outside the sanctioned concurrency packages",
 	run:  runRedOrder,
 }
 
-const redorderHint = "route parallelism through the internal/par fixed-order pool"
+const redorderHint = "concurrency is confined to internal/par (fixed-order fan-out) " +
+	"and the supervised runtime (internal/serve, internal/guard)"
 
 func runRedOrder(p *pass) {
-	if !p.cfg.Deterministic(p.pkg.Path) || p.cfg.Par(p.pkg.Path) {
+	if p.cfg.Par(p.pkg.Path) {
 		return
 	}
 	info := p.pkg.Info
@@ -31,14 +42,14 @@ func runRedOrder(p *pass) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				p.report("redorder", n.Pos(), "goroutine spawned outside internal/par: "+redorderHint)
+				p.report("redorder", n.Pos(), "goroutine spawned outside the concurrency allowlist: "+redorderHint)
 			case *ast.SendStmt:
-				p.report("redorder", n.Pos(), "channel send outside internal/par: "+redorderHint)
+				p.report("redorder", n.Pos(), "channel send outside the concurrency allowlist: "+redorderHint)
 			case *ast.SelectStmt:
-				p.report("redorder", n.Pos(), "select outside internal/par: "+redorderHint)
+				p.report("redorder", n.Pos(), "select outside the concurrency allowlist: "+redorderHint)
 			case *ast.UnaryExpr:
 				if n.Op == token.ARROW {
-					p.report("redorder", n.Pos(), "channel receive outside internal/par: "+redorderHint)
+					p.report("redorder", n.Pos(), "channel receive outside the concurrency allowlist: "+redorderHint)
 				}
 			case *ast.RangeStmt:
 				if n.X == nil {
@@ -47,7 +58,7 @@ func runRedOrder(p *pass) {
 				if t := info.TypeOf(n.X); t != nil {
 					if _, ok := t.Underlying().(*types.Chan); ok {
 						p.report("redorder", n.Pos(),
-							"range over channel outside internal/par (receive order is scheduling order): "+redorderHint)
+							"range over channel outside the concurrency allowlist (receive order is scheduling order): "+redorderHint)
 					}
 				}
 			case *ast.CallExpr:
@@ -55,14 +66,14 @@ func runRedOrder(p *pass) {
 				case "make":
 					if t := info.TypeOf(n); t != nil {
 						if _, ok := t.Underlying().(*types.Chan); ok {
-							p.report("redorder", n.Pos(), "channel created outside internal/par: "+redorderHint)
+							p.report("redorder", n.Pos(), "channel created outside the concurrency allowlist: "+redorderHint)
 						}
 					}
 				case "close":
 					if len(n.Args) == 1 {
 						if t := info.TypeOf(n.Args[0]); t != nil {
 							if _, ok := t.Underlying().(*types.Chan); ok {
-								p.report("redorder", n.Pos(), "channel closed outside internal/par: "+redorderHint)
+								p.report("redorder", n.Pos(), "channel closed outside the concurrency allowlist: "+redorderHint)
 							}
 						}
 					}

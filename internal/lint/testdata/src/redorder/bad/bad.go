@@ -1,23 +1,22 @@
 // Package bad is the positive redorder fixture: every concurrency
-// construct that reintroduces scheduling order into a deterministic
-// package. Linted with Deterministic=true, Par=false.
+// construct the repo-wide confinement forbids. Linted with Par=false.
 package bad
 
 // Fan reduces through a channel: receive order is scheduling order.
 func Fan(xs []float64) float64 {
-	ch := make(chan float64) // want `redorder: channel created outside internal/par`
-	go func() {              // want `redorder: goroutine spawned outside internal/par`
-		ch <- xs[0] // want `redorder: channel send outside internal/par`
+	ch := make(chan float64) // want `redorder: channel created outside the concurrency allowlist`
+	go func() {              // want `redorder: goroutine spawned outside the concurrency allowlist`
+		ch <- xs[0] // want `redorder: channel send outside the concurrency allowlist`
 	}()
-	s := <-ch // want `redorder: channel receive outside internal/par`
-	close(ch) // want `redorder: channel closed outside internal/par`
+	s := <-ch // want `redorder: channel receive outside the concurrency allowlist`
+	close(ch) // want `redorder: channel closed outside the concurrency allowlist`
 	return s
 }
 
 // Drain accumulates in arrival order.
 func Drain(ch chan float64) float64 {
 	s := 0.0
-	for v := range ch { // want `redorder: range over channel outside internal/par`
+	for v := range ch { // want `redorder: range over channel outside the concurrency allowlist`
 		s += v
 	}
 	return s
@@ -25,7 +24,7 @@ func Drain(ch chan float64) float64 {
 
 // Park waits on the scheduler.
 func Park(done chan struct{}) {
-	select { // want `redorder: select outside internal/par`
-	case <-done: // want `redorder: channel receive outside internal/par`
+	select { // want `redorder: select outside the concurrency allowlist`
+	case <-done: // want `redorder: channel receive outside the concurrency allowlist`
 	}
 }

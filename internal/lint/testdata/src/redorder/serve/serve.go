@@ -1,0 +1,45 @@
+// Package serve is the serving-runtime redorder fixture: the exact
+// concurrency shapes internal/serve is built from — a worker goroutine,
+// a wake channel, a select over shutdown. Linted two ways: with the
+// package allowlisted (as DefaultConfig allowlists internal/serve) it
+// must be clean; outside the allowlist every construct is flagged.
+package serve
+
+// Session is a miniature of a supervised stream session.
+type Session struct {
+	wake chan struct{}
+	done chan struct{}
+}
+
+// Start spawns the session worker.
+func Start() *Session {
+	s := &Session{
+		wake: make(chan struct{}, 1), // want `redorder: channel created outside the concurrency allowlist`
+		done: make(chan struct{}),    // want `redorder: channel created outside the concurrency allowlist`
+	}
+	go s.run() // want `redorder: goroutine spawned outside the concurrency allowlist`
+	return s
+}
+
+func (s *Session) run() {
+	for {
+		select { // want `redorder: select outside the concurrency allowlist`
+		case <-s.wake: // want `redorder: channel receive outside the concurrency allowlist`
+		case <-s.done: // want `redorder: channel receive outside the concurrency allowlist`
+			return
+		}
+	}
+}
+
+// Notify wakes the worker without blocking the producer.
+func (s *Session) Notify() {
+	select { // want `redorder: select outside the concurrency allowlist`
+	case s.wake <- struct{}{}: // want `redorder: channel send outside the concurrency allowlist`
+	default:
+	}
+}
+
+// Close stops the worker.
+func (s *Session) Close() {
+	close(s.done) // want `redorder: channel closed outside the concurrency allowlist`
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/cascade"
+)
+
+// breaker is the per-session latency circuit breaker. It keeps a
+// sliding window of decision latencies, estimates the p99, and maps
+// sustained pressure against the decision deadline onto a tier
+// ceiling: level 0 is unconstrained (TierPrimary ceiling — no cap),
+// level 1 caps the cascade at the accelerometer-only CNN, level 2 at
+// the threshold floor. Demotion is immediate — a session close to the
+// 150 ms airbag budget must get cheaper now — while promotion needs
+// BreakerHold consecutive calm decisions, so the ceiling does not
+// flap around the trip point.
+//
+// The breaker is owned by the session worker; it is not concurrency-
+// safe on its own.
+type breaker struct {
+	window  []time.Duration
+	scratch []float64
+	pos, n  int
+	level   int
+	calm    int
+}
+
+func newBreaker(window int) breaker {
+	return breaker{
+		window:  make([]time.Duration, window),
+		scratch: make([]float64, 0, window),
+	}
+}
+
+// ceiling maps a breaker level to the cascade tier ceiling it imposes.
+func breakerCeiling(level int) cascade.Tier {
+	switch level {
+	case 0:
+		return cascade.TierPrimary
+	case 1:
+		return cascade.TierFallback
+	default:
+		return cascade.TierThreshold
+	}
+}
+
+// p99 computes the 99th-percentile latency over the current window.
+// The window is small (tens of entries) and the scratch buffer is
+// reused, so an in-place insertion sort keeps this allocation-free on
+// the serving path.
+func (b *breaker) p99() time.Duration {
+	b.scratch = b.scratch[:0]
+	for i := 0; i < b.n; i++ {
+		b.scratch = append(b.scratch, float64(b.window[i]))
+	}
+	for i := 1; i < len(b.scratch); i++ {
+		v := b.scratch[i]
+		j := i - 1
+		for j >= 0 && b.scratch[j] > v {
+			b.scratch[j+1] = b.scratch[j]
+			j--
+		}
+		b.scratch[j+1] = v
+	}
+	idx := (99*len(b.scratch) + 99) / 100 // ceil(0.99·n)
+	if idx > len(b.scratch) {
+		idx = len(b.scratch)
+	}
+	return time.Duration(b.scratch[idx-1])
+}
+
+// observe records one decision latency and returns the (possibly
+// changed) breaker level. The level only moves once at least half the
+// window is populated, so a cold session is not tripped by its first
+// outlier.
+func (b *breaker) observe(lat, deadline time.Duration, trip, clear float64, hold int) (level int, changed bool) {
+	b.window[b.pos] = lat
+	b.pos = (b.pos + 1) % len(b.window)
+	if b.n < len(b.window) {
+		b.n++
+	}
+	if b.n < len(b.window)/2 {
+		return b.level, false
+	}
+	p := float64(b.p99())
+	d := float64(deadline)
+	switch {
+	case p >= trip*d && b.level < 2:
+		b.level++
+		b.calm = 0
+		return b.level, true
+	case p <= clear*d && b.level > 0:
+		b.calm++
+		if b.calm >= hold {
+			b.level--
+			b.calm = 0
+			return b.level, true
+		}
+	default:
+		b.calm = 0
+	}
+	return b.level, false
+}

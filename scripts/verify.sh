@@ -23,7 +23,13 @@
 #   7. cascade determinism   — the fault sweep over the cascade must be
 #      bit-identical on 1 worker and 4 (run redundantly from the suite,
 #      but cheap and load-bearing enough to gate by name)
-#   8. bench gate            — scripts/bench.sh -short: the hot-path
+#   8. soak smoke            — the serving-runtime chaos soak at CI
+#      size (16 streams, 2 injected mid-fall panics, burst/stall/
+#      jitter profiles, one crash-loop) via fallserve -check: zero
+#      missed deadlines on healthy sessions, bit-identical
+#      post-restore decision streams, goroutine-leak check clean,
+#      heap growth bounded
+#   9. bench gate            — scripts/bench.sh -short: the hot-path
 #      benchmarks run briefly with -benchmem; the gate fails when a
 #      steady-state path that must be allocation-free (streaming push,
 #      quantized predict) reports allocs/op > 0. The committed
@@ -53,6 +59,8 @@ echo "== fuzz smoke: FuzzCascadePush (10s)"
 go test ./internal/cascade -run='^$' -fuzz='^FuzzCascadePush$' -fuzztime=10s
 echo "== cascade determinism: fault sweep, workers 1 vs 4"
 go test ./internal/eval -count=1 -run='^TestEvaluateCascadeRobustnessWorkerCountInvariance$' -v
+echo "== soak smoke: fallserve -sessions 16 -panics 2 -check"
+go run ./cmd/fallserve -sessions 16 -samples 600 -panics 2 -check
 echo "== bench gate: scripts/bench.sh -short"
 sh scripts/bench.sh -short
 echo "== verify: all gates passed"
