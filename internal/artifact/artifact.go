@@ -65,43 +65,49 @@ const digestSize = sha256.Size
 //
 // The digest covers every byte before it.
 func Write(w io.Writer, kind string, shape []int, payload []byte) error {
+	env, err := AppendEnvelope(nil, kind, shape, payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(env)
+	return err
+}
+
+// AppendEnvelope appends the framed envelope to dst and returns the
+// extended slice — the allocation-free form of Write for callers that
+// snapshot periodically and reuse a buffer (serve sessions checkpoint
+// every stride; a fresh ~3 KiB envelope per checkpoint was the last
+// steady-state allocation on that path). dst may be nil.
+func AppendEnvelope(dst []byte, kind string, shape []int, payload []byte) ([]byte, error) {
 	if len(kind) == 0 || len(kind) > MaxKindLen {
-		return fmt.Errorf("artifact: kind length %d outside (0, %d]", len(kind), MaxKindLen)
+		return dst, fmt.Errorf("artifact: kind length %d outside (0, %d]", len(kind), MaxKindLen)
 	}
 	if len(shape) > MaxShapeDims {
-		return fmt.Errorf("artifact: shape rank %d exceeds %d", len(shape), MaxShapeDims)
+		return dst, fmt.Errorf("artifact: shape rank %d exceeds %d", len(shape), MaxShapeDims)
 	}
 	for _, d := range shape {
 		if d <= 0 || d > MaxShapeDim {
-			return fmt.Errorf("artifact: shape dimension %d outside (0, %d]", d, MaxShapeDim)
+			return dst, fmt.Errorf("artifact: shape dimension %d outside (0, %d]", d, MaxShapeDim)
 		}
 	}
-	var buf bytes.Buffer
-	buf.WriteString(Magic)
+	need := len(Magic) + 4 + 2 + len(kind) + 2 + 4*len(shape) + 4 + len(payload) + digestSize
+	if need > MaxBytes {
+		return dst, fmt.Errorf("artifact: envelope of %d bytes exceeds MaxBytes %d", need, MaxBytes)
+	}
+	start := len(dst)
 	le := binary.LittleEndian
-	var u32 [4]byte
-	var u16 [2]byte
-	le.PutUint32(u32[:], Version)
-	buf.Write(u32[:])
-	le.PutUint16(u16[:], uint16(len(kind)))
-	buf.Write(u16[:])
-	buf.WriteString(kind)
-	le.PutUint16(u16[:], uint16(len(shape)))
-	buf.Write(u16[:])
+	dst = append(dst, Magic...)
+	dst = le.AppendUint32(dst, Version)
+	dst = le.AppendUint16(dst, uint16(len(kind)))
+	dst = append(dst, kind...)
+	dst = le.AppendUint16(dst, uint16(len(shape)))
 	for _, d := range shape {
-		le.PutUint32(u32[:], uint32(d))
-		buf.Write(u32[:])
+		dst = le.AppendUint32(dst, uint32(d))
 	}
-	le.PutUint32(u32[:], uint32(len(payload)))
-	buf.Write(u32[:])
-	buf.Write(payload)
-	if buf.Len()+digestSize > MaxBytes {
-		return fmt.Errorf("artifact: envelope of %d bytes exceeds MaxBytes %d", buf.Len()+digestSize, MaxBytes)
-	}
-	sum := sha256.Sum256(buf.Bytes())
-	buf.Write(sum[:])
-	_, err := w.Write(buf.Bytes())
-	return err
+	dst = le.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	sum := sha256.Sum256(dst[start:])
+	return append(dst, sum[:]...), nil
 }
 
 // Read decodes and verifies an envelope: magic, version, bounds on

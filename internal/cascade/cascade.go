@@ -116,6 +116,10 @@ type Cascade struct {
 	perSample [NumTiers]float64 // modeled worst-case cycles per sample
 	budget    float64           // cycles available per sample period
 	tierEvals [NumTiers]int
+
+	// snapScratch stages the snapshot payload between checkpoints so
+	// AppendSnapshot allocates nothing once it has grown to size.
+	snapScratch []byte
 }
 
 // New builds a cascade around the primary classifier. fallback may be
@@ -153,6 +157,13 @@ func New(primary, fallback model.Classifier, cfg Config) (*Cascade, error) {
 		threshold: thr,
 		t2:        newTier2(),
 		budget:    dev.ClockHz / dataset.SampleRate,
+	}
+	if fallback != nil {
+		// Best-effort: a fallback the streamer cannot cache (MLP,
+		// recurrent) simply keeps scoring in batch form via
+		// ScoreWindow, bit-identically. The primary is attached by
+		// NewDetector itself.
+		det.AttachStream(fallback)
 	}
 	c.perSample[TierPrimary] = dev.FusionCyclesPerSample + inferenceCycles(dev, cfg.PrimaryCost)
 	c.perSample[TierFallback] = dev.FusionCyclesPerSample + inferenceCycles(dev, cfg.FallbackCost)

@@ -30,35 +30,45 @@ const cascadeStateVersion = 1
 // a configuration fingerprint (threshold, budget tiers, hysteresis) so
 // Restore refuses a snapshot from a differently-built cascade.
 func (c *Cascade) Snapshot(w io.Writer) error {
-	payload := artifact.AppendUint64(nil, cascadeStateVersion)
-	payload = artifact.AppendFloat(payload, c.threshold)
-	payload = artifact.AppendInt(payload, int(c.sup.minTier))
-	payload = artifact.AppendInt(payload, c.sup.promoteHold)
-	payload = artifact.AppendBool(payload, c.fallback != nil)
-
-	payload = artifact.AppendInt(payload, c.samples)
-	payload = artifact.AppendInt(payload, c.sinceEval)
-	for _, n := range c.tierEvals {
-		payload = artifact.AppendInt(payload, n)
-	}
-	payload = artifact.AppendInt(payload, int(c.sup.tier))
-	payload = artifact.AppendInt(payload, c.sup.healthyRun)
-	payload = artifact.AppendInt(payload, int(c.ceiling))
-	payload = artifact.AppendInt(payload, c.t2.run)
-	payload = artifact.AppendFloat(payload, c.t2.vel)
-	payload = c.det.AppendState(payload)
-
-	return artifact.Write(w, StateKind, []int{c.det.Window, c.det.Step}, payload)
+	c.snapScratch = c.appendStatePayload(c.snapScratch[:0])
+	return artifact.Write(w, StateKind, []int{c.det.Window, c.det.Step}, c.snapScratch)
 }
 
-// SnapshotBytes is Snapshot into a fresh buffer — the form the serving
-// runtime stores per session.
+// AppendSnapshot appends the snapshot envelope to dst and returns the
+// extended slice — the allocation-free form of Snapshot. The payload
+// is staged in a scratch buffer the cascade owns and reuses, so a
+// serving session checkpointing every stride allocates nothing at
+// steady state once dst and the scratch have grown to size.
+func (c *Cascade) AppendSnapshot(dst []byte) ([]byte, error) {
+	c.snapScratch = c.appendStatePayload(c.snapScratch[:0])
+	return artifact.AppendEnvelope(dst, StateKind, []int{c.det.Window, c.det.Step}, c.snapScratch)
+}
+
+// SnapshotBytes is Snapshot into a fresh buffer.
 func (c *Cascade) SnapshotBytes() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := c.Snapshot(&buf); err != nil {
-		return nil, err
+	return c.AppendSnapshot(nil)
+}
+
+// appendStatePayload appends the envelope payload — every mutable
+// field plus the configuration fingerprint — to dst.
+func (c *Cascade) appendStatePayload(dst []byte) []byte {
+	dst = artifact.AppendUint64(dst, cascadeStateVersion)
+	dst = artifact.AppendFloat(dst, c.threshold)
+	dst = artifact.AppendInt(dst, int(c.sup.minTier))
+	dst = artifact.AppendInt(dst, c.sup.promoteHold)
+	dst = artifact.AppendBool(dst, c.fallback != nil)
+
+	dst = artifact.AppendInt(dst, c.samples)
+	dst = artifact.AppendInt(dst, c.sinceEval)
+	for _, n := range c.tierEvals {
+		dst = artifact.AppendInt(dst, n)
 	}
-	return buf.Bytes(), nil
+	dst = artifact.AppendInt(dst, int(c.sup.tier))
+	dst = artifact.AppendInt(dst, c.sup.healthyRun)
+	dst = artifact.AppendInt(dst, int(c.ceiling))
+	dst = artifact.AppendInt(dst, c.t2.run)
+	dst = artifact.AppendFloat(dst, c.t2.vel)
+	return c.det.AppendState(dst)
 }
 
 // Restore applies a Snapshot image to the cascade. The receiver must be

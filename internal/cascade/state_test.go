@@ -234,3 +234,70 @@ func TestRestoreRejectsMismatchAndCorruption(t *testing.T) {
 		fresh.Push(acc, gyro)
 	}
 }
+
+// TestSnapshotMidMotionCNNStreamsBitIdentical kills a CNN cascade at
+// an off-stride sample in the middle of violent motion and restores
+// the snapshot into a freshly built cascade: every subsequent decision
+// must match the uninterrupted reference bit-for-bit, and the two
+// must re-snapshot to state-equal images. This is the crash-replay
+// guarantee specifically for the incremental inference engine: the
+// conv/pool rings are not serialised — they are rebuilt from the ring
+// buffer on restore — so any drift between cache and ring shows up
+// here as a probability-bit divergence.
+func TestSnapshotMidMotionCNNStreamsBitIdentical(t *testing.T) {
+	ref := newCNNCascade(t)
+	const quietLen, snapAt, total = 300, 315, 600 // 315: mid-window, off stride
+	push := func(c *Cascade, i int) Decision {
+		if i < quietLen {
+			acc, gyro := quiet(i)
+			return c.Push(acc, gyro)
+		}
+		return c.Push(fallSample(i - quietLen))
+	}
+	var img []byte
+	for i := 0; i < snapAt; i++ {
+		push(ref, i)
+	}
+	img, err := ref.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := newCNNCascade(t)
+	if err := restored.RestoreFresh(bytes.NewReader(img)); err != nil {
+		t.Fatal(err)
+	}
+	evaluated := 0
+	for i := snapAt; i < total; i++ {
+		da := push(ref, i)
+		db := push(restored, i)
+		if da.Evaluated {
+			evaluated++
+		}
+		if !decisionsEqual(da, db) {
+			t.Fatalf("decisions diverge at sample %d:\n ref      %+v\n restored %+v", i, da, db)
+		}
+		if math.Float64bits(da.Probability) != math.Float64bits(db.Probability) {
+			t.Fatalf("probability bits diverge at sample %d: %x vs %x",
+				i, math.Float64bits(da.Probability), math.Float64bits(db.Probability))
+		}
+	}
+	if evaluated == 0 {
+		t.Fatal("fixture broken: no evaluations after the snapshot point")
+	}
+	a, err := ref.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := SnapshotEqual(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("post-continuation snapshots differ")
+	}
+}

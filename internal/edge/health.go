@@ -288,7 +288,12 @@ func (h *healthRing) observe(anomalous bool) {
 	if anomalous {
 		h.bad++
 	}
-	h.pos = (h.pos + 1) % len(h.flags)
+	// Conditional wrap, not modulo: four rings advance on every sample,
+	// and an integer divide per ring is measurable on the push path.
+	h.pos++
+	if h.pos == len(h.flags) {
+		h.pos = 0
+	}
 }
 
 //fallvet:hotpath

@@ -95,13 +95,15 @@ func (d *Detector) AppendState(dst []byte) []byte {
 	for c := range d.filters {
 		switch fl := d.filters[c].(type) {
 		case *dsp.Filter:
-			st := fl.AppendState(nil)
+			st := fl.AppendState(d.snapF[:0])
+			d.snapF = st
 			dst = artifact.AppendInt(dst, len(st))
 			for _, v := range st {
 				dst = artifact.AppendFloat(dst, v)
 			}
 		case *FixedFilter:
-			st := fl.appendState(nil)
+			st := fl.appendState(d.snapI[:0])
+			d.snapI = st
 			dst = artifact.AppendInt(dst, len(st))
 			for _, v := range st {
 				dst = artifact.AppendInt64(dst, v)
@@ -147,6 +149,7 @@ func (d *Detector) ReadState(r *artifact.StateReader) error {
 	}
 
 	d.count = r.Int()
+	d.syncStride()
 	d.reprime = r.Bool()
 	d.gapRun = r.Int()
 	d.freshNeeded = r.Int()
@@ -242,6 +245,16 @@ func (d *Detector) ReadState(r *artifact.StateReader) error {
 		return err
 	}
 	d.fusion.SetState(fs)
+
+	// The incremental scoring caches are a pure function of the ring
+	// and the absolute sample count (nn.Streamer's rebuild invariant),
+	// so they are not serialised: replaying the restored ring puts
+	// every conv/pool ring and deque in the exact state of a detector
+	// that never stopped — which keeps crash-replay decision streams
+	// bit-identical without growing the snapshot format.
+	for i := range d.streams {
+		d.rebuildStream(i)
+	}
 	return nil
 }
 

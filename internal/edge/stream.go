@@ -9,6 +9,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/imu"
 	"repro/internal/model"
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -36,7 +37,28 @@ type Detector struct {
 
 	ring  []float64      // Window × 9, circular by row
 	count int            // samples ingested
+	slot  int            // count % Window, kept incrementally
 	win   *tensor.Tensor // preallocated classifier input (Window × 9)
+
+	// strideCtr counts down to the next stride boundary and atStride
+	// latches whether count currently sits on one — together they are
+	// the divide-free form of (count-Window)%Step == 0, maintained by
+	// ingest and recomputed from count on Reset/ReadState.
+	strideCtr int
+	atStride  bool
+
+	// floatFl mirrors filters with their concrete type when the float
+	// cascade is selected, so ingest can skip interface dispatch on
+	// its nine per-sample filter calls. Nil entries mean fixed-point.
+	floatFl [imu.NumChannels]*dsp.Filter
+
+	// streams holds incremental scorers attached to classifiers
+	// (DESIGN.md §12): every ingested row feeds them, and ScoreWindow
+	// answers from the cached conv/pool rings instead of re-running
+	// the network over the full window. Attachment is best-effort —
+	// a classifier the nn.Streamer cannot cache simply scores in
+	// batch form, bit-identically.
+	streams []attachedStream
 
 	fullScaleG   float64
 	fullScaleDPS float64
@@ -55,6 +77,17 @@ type Detector struct {
 	drift       driftTrack
 	heldGyro    imu.Vec3 // last finite gyro reading, for gyro-only holds
 	stats       FaultStats
+
+	// snapF/snapI stage per-filter state during AppendState so a
+	// snapshot cadence allocates nothing at steady state.
+	snapF []float64
+	snapI []int64
+}
+
+// attachedStream pairs a classifier with its incremental scorer.
+type attachedStream struct {
+	clf model.Classifier
+	st  *nn.Streamer
 }
 
 // streamFilter is the causal per-channel pre-filter; satisfied by
@@ -154,15 +187,69 @@ func NewDetector(clf model.Classifier, cfg DetectorConfig) (*Detector, error) {
 			d.filters[c] = ff
 		} else {
 			d.filters[c] = fl
+			d.floatFl[c] = fl
 		}
 	}
+	d.syncStride()
+	d.AttachStream(clf)
 	return d, nil
+}
+
+// AttachStream attaches an incremental scorer (nn.Streamer) to clf:
+// subsequent ScoreWindow(clf) calls at aligned strides answer from
+// cached per-layer rings instead of re-running the network over the
+// whole window, bit-identically. It returns false — and the
+// classifier keeps scoring in batch form — when clf is not a network
+// model or its topology cannot be cached (MLP, recurrent, misaligned
+// pooling). Attaching the same classifier twice is a no-op.
+func (d *Detector) AttachStream(clf model.Classifier) bool {
+	for i := range d.streams {
+		if d.streams[i].clf == clf {
+			return true
+		}
+	}
+	nm, ok := clf.(*model.NetModel)
+	if !ok {
+		return false
+	}
+	st, err := nn.NewStreamer(nm.Net, nn.StreamConfig{
+		InCh:   imu.NumChannels,
+		Window: d.Window,
+		Step:   d.Step,
+		// The detector re-bases yaw per window (see assembleWindow);
+		// the streamer recomputes branches reading it in batch form.
+		RebaseCols: []int{imu.EulerYaw},
+	})
+	if err != nil || !st.Streaming() {
+		return false
+	}
+	d.streams = append(d.streams, attachedStream{clf: clf, st: st})
+	d.rebuildStream(len(d.streams) - 1)
+	return true
+}
+
+// rebuildStream replays the ring into stream i so its caches reach
+// the exact state of a streamer that saw every row — the invariant
+// nn.Streamer.Restart documents. Used at attach and state restore.
+func (d *Detector) rebuildStream(i int) {
+	st := d.streams[i].st
+	n := d.count
+	if n > d.Window {
+		n = d.Window
+	}
+	st.Restart(d.count - n)
+	start := (d.count - n) % d.Window
+	for j := 0; j < n; j++ {
+		slot := (start + j) % d.Window
+		st.Push(d.ring[slot*imu.NumChannels : (slot+1)*imu.NumChannels])
+	}
 }
 
 // Reset clears all pipeline state, including health and fault
 // counters.
 func (d *Detector) Reset() {
 	d.count = 0
+	d.syncStride()
 	d.fusion.Reset()
 	for c := range d.filters {
 		d.filters[c].Reset()
@@ -187,6 +274,9 @@ func (d *Detector) Reset() {
 	d.drift.reset()
 	d.heldGyro = imu.Vec3{}
 	d.stats = FaultStats{}
+	for i := range d.streams {
+		d.streams[i].st.Reset()
+	}
 }
 
 // Health reports the pipeline's current degradation state.
@@ -231,9 +321,10 @@ type Result struct {
 
 //fallvet:hotpath
 func finiteVec(v imu.Vec3) bool {
-	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
-		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
-		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+	// x−x is +0 for every finite x and NaN for ±Inf/NaN, so the sum is
+	// 0 exactly when all three components are real numbers. Branchless,
+	// unlike six IsNaN/IsInf tests, and this runs twice per sample.
+	return (v.X-v.X)+(v.Y-v.Y)+(v.Z-v.Z) == 0
 }
 
 // clamp1 clips one component to ±lim, recording whether it clipped.
@@ -466,15 +557,65 @@ func (d *Detector) ingest(row [imu.NumChannels]float64) {
 		}
 		d.reprime = false
 	}
-	slot := d.count % d.Window
-	for c := 0; c < imu.NumChannels; c++ {
-		// Filter in physical units, then apply the same per-channel
-		// normalisation the training segments use.
-		d.ring[slot*imu.NumChannels+c] = d.filters[c].Process(row[c]) / imu.ChannelScale(c)
+	slot := d.slot
+	if d.floatFl[0] != nil {
+		// Concrete float cascade: direct calls, no interface dispatch
+		// on the nine per-sample Process calls.
+		for c := 0; c < imu.NumChannels; c++ {
+			// Filter in physical units, then apply the same per-channel
+			// normalisation the training segments use. Unit scales skip
+			// the divide (x/1.0 is the identity, bit for bit) — three
+			// of the nine divsd per sample do nothing.
+			v := d.floatFl[c].Process(row[c])
+			if s := imu.ChannelScale(c); s != 1 {
+				v /= s
+			}
+			d.ring[slot*imu.NumChannels+c] = v
+		}
+	} else {
+		for c := 0; c < imu.NumChannels; c++ {
+			v := d.filters[c].Process(row[c])
+			if s := imu.ChannelScale(c); s != 1 {
+				v /= s
+			}
+			d.ring[slot*imu.NumChannels+c] = v
+		}
+	}
+	for i := range d.streams {
+		// Feed the incremental scorers the exact ring row — bridged
+		// gaps included — so their caches always mirror the ring.
+		d.streams[i].st.Push(d.ring[slot*imu.NumChannels : (slot+1)*imu.NumChannels])
 	}
 	d.lastRow = row
 	d.haveLast = true
 	d.count++
+	d.slot = slot + 1
+	if d.slot == d.Window {
+		d.slot = 0
+	}
+	d.strideCtr--
+	if d.strideCtr == 0 {
+		d.atStride = true
+		d.strideCtr = d.Step
+	} else {
+		d.atStride = false
+	}
+}
+
+// syncStride recomputes the divide-free stride/slot bookkeeping from
+// the absolute sample count — the slow, obviously-correct form ingest
+// maintains incrementally. Called whenever count is set directly
+// (construction, Reset, state restore).
+func (d *Detector) syncStride() {
+	d.slot = d.count % d.Window
+	if d.count < d.Window {
+		d.strideCtr = d.Window - d.count
+		d.atStride = false
+		return
+	}
+	r := (d.count - d.Window) % d.Step
+	d.atStride = r == 0
+	d.strideCtr = d.Step - r
 }
 
 // StrideReady reports whether the current sample count sits on a
@@ -484,7 +625,7 @@ func (d *Detector) ingest(row [imu.NumChannels]float64) {
 //
 //fallvet:hotpath
 func (d *Detector) StrideReady() bool {
-	return d.count >= d.Window && (d.count-d.Window)%d.Step == 0
+	return d.atStride
 }
 
 // WindowFresh reports whether the ring buffer holds a full window with
@@ -519,17 +660,34 @@ func (d *Detector) assembleWindow() *tensor.Tensor {
 	return x
 }
 
-// ScoreWindow assembles the current window and scores it with the
-// given classifier — the detector's own by way of Push, or an
-// alternate tier's model under a cascade (the reduced-input fallback
-// reads a column subset of the same [Window × 9] tensor). The boolean
-// is false when the classifier returned a non-finite score, which is
-// sanitised to 0 and counted in Stats().BadScores. Callers own the
-// stride/freshness gating; ScoreWindow assumes a full ring.
+// ScoreWindow scores the current window with the given classifier —
+// the detector's own by way of Push, or an alternate tier's model
+// under a cascade (the reduced-input fallback reads a column subset
+// of the same [Window × 9] tensor). A classifier with an attached
+// incremental scorer (see AttachStream) answers from its cached
+// conv/pool rings; anything else assembles and scores the full
+// window. The two paths are bit-identical (FuzzIncrementalScore).
+// The boolean is false when the classifier returned a non-finite
+// score, which is sanitised to 0 and counted in Stats().BadScores.
+// Callers own the stride/freshness gating; ScoreWindow assumes a
+// full ring.
 //
 //fallvet:hotpath
 func (d *Detector) ScoreWindow(clf model.Classifier) (float64, bool) {
-	p := clf.Score(d.assembleWindow())
+	p := math.NaN()
+	scored := false
+	for i := range d.streams {
+		if d.streams[i].clf == clf {
+			if d.streams[i].st.Ready() {
+				p = d.streams[i].st.Score()
+				scored = true
+			}
+			break
+		}
+	}
+	if !scored {
+		p = clf.Score(d.assembleWindow())
+	}
 	if math.IsNaN(p) || math.IsInf(p, 0) {
 		// The input guards should make this unreachable; sanitise
 		// anyway so a misbehaving model can never fire the airbag or

@@ -84,9 +84,10 @@ func accAngles(acc Vec3) (pitch, roll float64) {
 //
 //fallvet:hotpath
 func finite(v Vec3) bool {
-	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
-		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
-		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+	// x−x is +0 for finite x and NaN for ±Inf/NaN, so the sum is 0
+	// exactly when every component is a real number — one branchless
+	// compare instead of six IsNaN/IsInf tests on the per-sample path.
+	return (v.X-v.X)+(v.Y-v.Y)+(v.Z-v.Z) == 0
 }
 
 // Update ingests one accelerometer (g) + gyroscope (deg/s) reading and
@@ -136,7 +137,16 @@ func (f *Fusion) Update(acc, gyro Vec3) Vec3 {
 //
 //fallvet:hotpath
 func wrap180(a float64) float64 {
-	a = math.Mod(a, 360)
+	// math.Mod costs ~10× the comparisons on the scoring hot path, and
+	// incremental fusion keeps angles well inside one turn. fmod is
+	// exact and returns a unchanged for |a| < 360, so skipping it there
+	// is bit-identical; NaN falls through (both comparisons are false)
+	// and still propagates via Mod.
+	if a >= 360 || a <= -360 {
+		a = math.Mod(a, 360)
+	} else if a != a {
+		return a
+	}
 	if a > 180 {
 		a -= 360
 	} else if a <= -180 {

@@ -25,6 +25,7 @@ const (
 	degrade      = "degradation path: static hotpath rule only (shares Push scratch)"
 	fixedOnly    = "fixed-point filter variant: static hotpath rule only"
 	coldPrime    = "cold (re)prime path: static hotpath rule only"
+	streamAlloc  = "internal/nn/stream_test.go TestStreamerAllocationFree + internal/edge/alloc_test.go (streaming push)"
 )
 
 // hotpathCoverage is the audited annotation manifest: every
@@ -129,6 +130,29 @@ var hotpathCoverage = map[string]string{
 	"internal/quant.qflatten.forward": quantAlloc,
 	"internal/quant.qrescale.forward": quantAlloc,
 	"internal/quant.qbranch.forward":  quantAlloc,
+	"internal/quant.matVecRequant":    quantAlloc,
+
+	// Blocked matrix-vector kernels (DESIGN §12): every float
+	// inference MAC — batch and streaming — funnels through these.
+	"internal/nn.matVecBias":       nnAlloc,
+	"internal/nn.matVecBias2":      streamAlloc,
+	"internal/nn.matVecBiasReLU":   streamAlloc,
+	"internal/nn.matVecBias2ReLU":  streamAlloc,
+	"internal/nn.matVecBiasWide":   nnAlloc,
+	"internal/nn.matVecBiasSparse": nnAlloc,
+
+	// Incremental inference engine: the per-sample push path and the
+	// per-stride scoring path of nn.Streamer.
+	"internal/nn.Streamer.Push":              streamAlloc,
+	"internal/nn.Streamer.Score":             streamAlloc,
+	"internal/nn.Streamer.runBatchBranch":    streamAlloc,
+	"internal/nn.branchStream.pushConv":      streamAlloc,
+	"internal/nn.branchStream.convRow":       streamAlloc,
+	"internal/nn.branchStream.flush":         streamAlloc,
+	"internal/nn.branchStream.absorb":        streamAlloc,
+	"internal/nn.branchStream.gather":        streamAlloc,
+	"internal/nn.branchStream.fusedConvPool": streamAlloc,
+	"internal/nn.branchStream.fusedAbsorb":   streamAlloc,
 }
 
 // annotatedFunctions parses every non-test Go file in the module

@@ -92,14 +92,7 @@ func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for t := 0; t < outT; t++ {
 		window := xd[t*c.InCh : t*c.InCh+kc]
 		orow := yd[t*c.Filters : (t+1)*c.Filters]
-		for f := 0; f < c.Filters; f++ {
-			w := wd[f*kc : (f+1)*kc]
-			s := bd[f]
-			for i, xv := range window {
-				s += w[i] * xv
-			}
-			orow[f] = s
-		}
+		matVecBias(orow, window, wd, bd, c.Filters, kc)
 	}
 	return y
 }

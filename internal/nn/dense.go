@@ -65,16 +65,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	y := tensor.Reuse(d.y, d.Out)
 	d.y = y
-	xd, yd := x.Data(), y.Data()
-	wd, bd := d.Weight.W.Data(), d.Bias.W.Data()
-	for o := 0; o < d.Out; o++ {
-		row := wd[o*d.In : (o+1)*d.In]
-		s := bd[o]
-		for i, v := range row {
-			s += v * xd[i]
-		}
-		yd[o] = s
-	}
+	matVecBias(y.Data(), x.Data(), d.Weight.W.Data(), d.Bias.W.Data(), d.Out, d.In)
 	return y
 }
 

@@ -1,0 +1,722 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Streamer is the incremental sliding-window forward path (DESIGN.md
+// §12). A batch scorer re-runs the whole network over the full
+// [Window × C] matrix every stride even though consecutive windows
+// share all but Step rows. The Streamer instead ingests one row at a
+// time and caches each layer's output in a ring:
+//
+//   - every new input row uncovers exactly one new Conv1D output row
+//     per branch (once Kernel rows of history exist), computed with
+//     the same matVecBias micro-kernel the batch path uses and stored
+//     post-ReLU;
+//   - max pooling runs on the absolute pooling grid: window starts are
+//     multiples of Step and Step is a multiple of Pool (checked at
+//     construction), so the pool windows of consecutive decisions are
+//     the same non-overlapping [p·r, p·r+p) blocks and the sliding
+//     maximum degenerates to a per-block running max — one compare per
+//     channel per conv row, no deque. (A monotonic deque is the
+//     general structure for overlapping pool windows; profiling showed
+//     it costing ~30% of the push path for zero benefit here, since
+//     the paper's pooling never overlaps.)
+//   - at a decision the pooled rings are gathered into the concat
+//     vector and only the Dense head runs.
+//
+// Per decision that is O(Step·Kernel·C) conv work plus the head,
+// instead of O(Window·Kernel·C) plus the head — and because every
+// floating-point sum is produced by the same kernel in the same
+// order over the same values, the result is bit-identical to
+// Network.Predict on the assembled window, not merely close.
+//
+// Branches whose input columns the caller re-bases per window (the
+// detector subtracts the window-initial yaw from the Euler channels)
+// see different input *values* at every stride, so their conv outputs
+// cannot be cached across strides; those branches are recomputed in
+// batch form at each decision through the model's own layers. For the
+// paper's 9-channel CNN that still streams the accelerometer and
+// gyroscope branches — two thirds of the conv work — and the accel-only
+// fallback CNN streams entirely.
+//
+// Cache invariants (relied on by Restart/rebuild and the snapshot
+// tests):
+//
+//   - every cached value is a pure function of the last
+//     min(count, Window) input rows and the absolute row count, so a
+//     streamer rebuilt by replaying the detector's ring is in the
+//     exact state of one that never stopped;
+//   - branch input ring slot = absolute row mod Window (with the first
+//     Kernel−1 slots mirrored past the end so a conv window is always
+//     one contiguous slice), pool ring slot = absolute pool row mod
+//     ⌊convT/Pool⌋: the rings hold precisely one window of history and
+//     decision-time gathers only read rows the current window covers;
+//   - pool rows are emitted on the absolute grid, which lines up with
+//     every window start because window starts are multiples of Step
+//     and Step is a multiple of Pool (re-checked by Ready).
+//
+// The push path carries every ring position as a running counter with
+// a conditional wrap — no integer division or modulo anywhere per
+// sample (a div by a non-constant costs ~20–40 cycles on the target
+// core, which profiling showed dominating the original deque).
+type Streamer struct {
+	inCh, window, step int
+
+	in     []float64 // input ring, [window × inCh]; absolute row r at slot r%window
+	slot   int       // next write slot in `in` (== count mod window)
+	count  int       // absolute rows ingested since the stream epoch
+	base   int       // absolute row the ring history starts at (0 unless Restart-ed mid-stream)
+	rebase []bool    // per input column: re-based per window by the caller
+
+	branches []*branchStream
+	head     []headStep     // precompiled dense head (see buildHead)
+	cat      *tensor.Tensor // concat vector fed to the head
+}
+
+// headStep is one precompiled step of the dense head. Dense layers
+// (optionally with their following ReLU folded in) run straight
+// through the micro-kernels into a streamer-owned buffer; anything
+// else (Sigmoid, Tanh, a lone ReLU, Flatten) runs through the model's
+// own layer object. Both produce bit-identical values to the layer
+// stack — a fused Dense+ReLU is matVecBias plus ReLU.Forward's exact
+// clamp — while skipping per-layer tensor bookkeeping on the decision
+// path.
+type headStep struct {
+	dense *Dense
+	relu  bool // fold the following ReLU into the dense kernel
+	buf   []float64
+
+	layer Layer
+	lin   *tensor.Tensor
+}
+
+// branchStream is one Branch column range: either streamed through
+// ring caches (Conv→ReLU→MaxPool stacks on non-rebased columns) or
+// recomputed in batch form per decision.
+type branchStream struct {
+	lo, hi int
+	flat   int     // flattened output length
+	stack  []Layer // the model's own layers (used by the batch form)
+
+	batch bool
+	fused bool           // batch form with a canonical Conv→ReLU→Pool stack: evaluated row-wise, no layer objects
+	in    *tensor.Tensor // batch form: assembled [window × hi−lo] input
+
+	// Conv/pool geometry, set whenever the stack is canonical (both
+	// the streaming and the fused batch form use it).
+	conv      *Conv1D
+	kernel    int       // conv.Kernel
+	wgt, bias []float64 // conv parameter data (aliases the model's tensors)
+	pool      int
+	convT     int // conv rows per window = window−Kernel+1
+	fullPool  int // complete pool rows per window = convT/pool
+	tailLo    int // window-relative conv row where the partial pool tail starts (== convT when none)
+
+	// Double-write input ring: [(window+kernel−1) × w]. Absolute row r
+	// lives at slot r mod window; rows landing in slots < kernel−1 are
+	// mirrored to slot+window, so the conv window of any row is the
+	// contiguous slice bring[awin·w : awin·w+kernel·w] — no gather.
+	bring []float64
+	awin  int // bring slot of the next conv row's window start (wraps at window)
+
+	// Conv output storage. When the window's conv length is an exact
+	// pool multiple only the running max needs each row and crow/crow2
+	// are one-row scratches; with a partial pool tail the gather must
+	// re-read the newest conv rows, so a full [convT × Filters] ring is
+	// kept.
+	crow     []float64
+	crow2    []float64
+	convRing []float64
+	aslot    int // convRing slot of the next conv row (wraps at convT)
+
+	// Conv rows are computed in pairs through matVecBias2, which loads
+	// each weight once for two windows: a freshly uncovered row is
+	// deferred (pend/pendA) until its successor arrives, and Score
+	// flushes a leftover single before gathering. Values are identical
+	// either way — the pairing only changes when the arithmetic runs,
+	// never its order. Pairing is disabled (pair == false) when
+	// convT == 1 — the deferred row's input window would not survive
+	// the next push — or when the conv input width reaches matVecBias's
+	// wide path, whose summation order matVecBias2 does not reproduce.
+	pair  bool
+	pend  bool
+	pendA int
+
+	// Running max over the current pool block. phase counts conv rows
+	// into the block (== a mod pool); at phase pool−1 the block is
+	// complete and rmax is emitted to poolRing — unless the block
+	// started before the stream epoch (partial after Restart).
+	rmax     []float64
+	phase    int
+	poolRing []float64 // [fullPool × Filters]; absolute pool row r at slot r%fullPool
+	poolSlot int       // poolRing slot of the next emitted pool row (wraps at fullPool)
+}
+
+// StreamConfig describes the stream a Streamer will consume.
+type StreamConfig struct {
+	// InCh is the row width; Window and Step are the detector's
+	// sliding-window geometry in samples.
+	InCh, Window, Step int
+	// RebaseCols lists input columns the caller re-bases per window
+	// (the value at the window's first row is subtracted from the
+	// whole column before scoring). Branches reading any of them are
+	// recomputed in batch form at each decision.
+	RebaseCols []int
+}
+
+// NewStreamer builds an incremental scorer for net, which must be a
+// Branch followed by a dense head (Dense/ReLU/Sigmoid/Tanh/Flatten
+// layers only) — the shape of every CNN this repo builds. Other
+// topologies (MLP, recurrent) return an error; callers fall back to
+// batch scoring.
+//
+// The Streamer shares net's parameters and head scratch: scoring
+// through it and through net.Predict interleave safely (outputs are
+// copied out of layer scratch), but neither may run concurrently.
+func NewStreamer(net *Network, cfg StreamConfig) (*Streamer, error) {
+	if net == nil || len(net.Layers) == 0 {
+		return nil, fmt.Errorf("nn: streamer needs a non-empty network")
+	}
+	if cfg.InCh < 1 || cfg.Window < 1 || cfg.Step < 1 {
+		return nil, fmt.Errorf("nn: streamer config %+v invalid", cfg)
+	}
+	br, ok := net.Layers[0].(*Branch)
+	if !ok {
+		return nil, fmt.Errorf("nn: streamer needs a branch-first topology, got %s", net.Layers[0].Name())
+	}
+	rebase := make([]bool, cfg.InCh)
+	for _, c := range cfg.RebaseCols {
+		if c < 0 || c >= cfg.InCh {
+			return nil, fmt.Errorf("nn: rebase column %d outside %d channels", c, cfg.InCh)
+		}
+		rebase[c] = true
+	}
+	s := &Streamer{
+		inCh:   cfg.InCh,
+		window: cfg.Window,
+		step:   cfg.Step,
+		in:     make([]float64, cfg.Window*cfg.InCh),
+		rebase: rebase,
+	}
+	total := 0
+	for i, c := range br.Cols {
+		lo, hi := c[0], c[1]
+		if hi > cfg.InCh {
+			return nil, fmt.Errorf("nn: branch %d columns %v exceed %d channels", i, c, cfg.InCh)
+		}
+		shape := []int{cfg.Window, hi - lo}
+		for _, l := range br.Stacks[i] {
+			var err error
+			shape, err = l.OutShape(shape)
+			if err != nil {
+				return nil, fmt.Errorf("nn: streamer branch %d: %w", i, err)
+			}
+		}
+		flat := 1
+		for _, d := range shape {
+			flat *= d
+		}
+		b := &branchStream{lo: lo, hi: hi, flat: flat, stack: br.Stacks[i]}
+		s.configureBranch(b, rebase)
+		s.branches = append(s.branches, b)
+		total += flat
+	}
+	layers := net.Layers[1:]
+	hshape := []int{total}
+	for _, l := range layers {
+		switch l.(type) {
+		case *Dense, *ReLU, *Sigmoid, *Tanh, *Flatten:
+		default:
+			return nil, fmt.Errorf("nn: streamer head cannot contain %s", l.Name())
+		}
+		var err error
+		hshape, err = l.OutShape(hshape)
+		if err != nil {
+			return nil, fmt.Errorf("nn: streamer head: %w", err)
+		}
+	}
+	if len(hshape) != 1 || hshape[0] != 1 {
+		return nil, fmt.Errorf("nn: streamer head output shape %v, want [1]", hshape)
+	}
+	s.buildHead(layers, total)
+	s.cat = tensor.New(total)
+	return s, nil
+}
+
+// buildHead precompiles the validated head layers into headSteps:
+// Dense layers run through the micro-kernels, a ReLU directly after a
+// Dense folds into its stores, everything else keeps its layer object
+// (fed through a streamer-owned tensor so layer scratch reuse works
+// exactly as in batch scoring).
+func (s *Streamer) buildHead(layers []Layer, width int) {
+	for i := 0; i < len(layers); i++ {
+		if d, ok := layers[i].(*Dense); ok {
+			st := headStep{dense: d, buf: make([]float64, d.Out)}
+			if i+1 < len(layers) {
+				if _, ok := layers[i+1].(*ReLU); ok {
+					st.relu = true
+					i++
+				}
+			}
+			s.head = append(s.head, st)
+			width = d.Out
+			continue
+		}
+		s.head = append(s.head, headStep{layer: layers[i], lin: tensor.New(width)})
+	}
+}
+
+// configureBranch decides how b evaluates. A branch streams when its
+// stack is exactly Conv1D→ReLU→MaxPool1D, none of its columns are
+// re-based per window, and the stride keeps window starts on the
+// pooling grid (Step divisible by Pool). A canonical stack that cannot
+// stream (re-based columns, misaligned stride) is recomputed per
+// decision but in fused row-wise form — same kernel, same values, no
+// intermediate layer tensors. Anything else goes through the model's
+// own layer objects.
+func (s *Streamer) configureBranch(b *branchStream, rebase []bool) {
+	b.batch = true
+	if len(b.stack) != 3 {
+		return
+	}
+	conv, ok := b.stack[0].(*Conv1D)
+	if !ok {
+		return
+	}
+	if _, ok := b.stack[1].(*ReLU); !ok {
+		return
+	}
+	mp, ok := b.stack[2].(*MaxPool1D)
+	if !ok {
+		return
+	}
+	w := b.hi - b.lo
+	convT := s.window - conv.Kernel + 1
+	if conv.InCh != w || convT < 1 {
+		return
+	}
+	b.conv = conv
+	b.kernel = conv.Kernel
+	b.wgt = conv.Weight.W.Data()
+	b.bias = conv.Bias.W.Data()
+	b.pool = mp.Pool
+	b.convT = convT
+	b.fullPool = convT / mp.Pool
+	b.tailLo = b.fullPool * mp.Pool
+
+	rebased := false
+	for c := b.lo; c < b.hi; c++ {
+		rebased = rebased || rebase[c]
+	}
+	if rebased || s.step%mp.Pool != 0 {
+		b.fused = true
+		b.crow = make([]float64, conv.Filters)
+		b.crow2 = make([]float64, conv.Filters)
+		return
+	}
+	b.batch = false
+	b.pair = convT >= 2 && conv.Kernel*w < 32
+	b.bring = make([]float64, (s.window+conv.Kernel-1)*w)
+	if b.tailLo < convT {
+		b.convRing = make([]float64, convT*conv.Filters)
+	} else {
+		b.crow = make([]float64, conv.Filters)
+		b.crow2 = make([]float64, conv.Filters)
+	}
+	b.rmax = make([]float64, conv.Filters)
+	b.poolRing = make([]float64, b.fullPool*conv.Filters)
+}
+
+// Streaming reports whether any branch actually runs incrementally
+// (a Streamer whose branches all fall back to batch form is valid but
+// saves nothing).
+func (s *Streamer) Streaming() bool {
+	for _, b := range s.branches {
+		if !b.batch {
+			return true
+		}
+	}
+	return false
+}
+
+// Restart clears every cache and declares the next pushed row to be
+// absolute row base. Rebuilding a streamer to the exact state of one
+// that never stopped is Restart(count−n) followed by pushing the last
+// n = min(count, Window) rows oldest-first: pool emission runs on the
+// absolute grid, so the replay lands on the same ring slots and
+// running-max phases as the original. The first pool block after a
+// mid-stream Restart may begin before base; its rows are gone, so its
+// emission is suppressed — no complete window ever covers it (window
+// starts are ≥ base and grid-aligned).
+func (s *Streamer) Restart(base int) {
+	s.count = base
+	s.base = base
+	s.slot = base % s.window
+	for _, b := range s.branches {
+		if b.batch {
+			continue
+		}
+		b.awin = base % s.window
+		b.aslot = base % b.convT
+		b.phase = base % b.pool
+		b.pend = false
+		for i := range b.rmax {
+			b.rmax[i] = 0
+		}
+		if b.fullPool > 0 {
+			// First pool row emitted after base is ⌈base/pool⌉ — the
+			// first block wholly at or after base.
+			b.poolSlot = ((base + b.pool - 1) / b.pool) % b.fullPool
+		}
+	}
+}
+
+// Reset returns the streamer to its cold state.
+func (s *Streamer) Reset() { s.Restart(0) }
+
+// Push ingests one input row (len ≥ inCh; only the first inCh values
+// are read) and advances every streaming branch.
+//
+//fallvet:hotpath
+func (s *Streamer) Push(row []float64) {
+	slot := s.slot
+	// Row widths are single-digit; explicit loops beat memmove calls.
+	d := s.in[slot*s.inCh : (slot+1)*s.inCh]
+	for i := range d {
+		d[i] = row[i]
+	}
+	s.slot++
+	if s.slot == s.window {
+		s.slot = 0
+	}
+	s.count++
+	for _, b := range s.branches {
+		if b.batch {
+			continue
+		}
+		w := b.hi - b.lo
+		src := row[b.lo:b.hi]
+		p := b.bring[slot*w : slot*w+w]
+		for i := range p {
+			p[i] = src[i]
+		}
+		if slot < b.kernel-1 {
+			m := b.bring[(slot+s.window)*w : (slot+s.window)*w+w]
+			for i := range m {
+				m[i] = src[i]
+			}
+		}
+		if a := s.count - b.kernel; a >= s.base {
+			b.pushConv(s, a)
+		}
+	}
+}
+
+// pushConv handles absolute conv row a, newly uncovered by the latest
+// push. With a predecessor pending the two rows are computed together
+// through matVecBias2ReLU; otherwise the row is deferred for the next
+// push (or for Score's flush). Branches with pairing disabled compute
+// immediately — see the pair field comment.
+//
+//fallvet:hotpath
+func (b *branchStream) pushConv(s *Streamer, a int) {
+	if !b.pend {
+		if !b.pair {
+			b.convRow(s, a)
+			return
+		}
+		b.pend = true
+		b.pendA = a
+		return
+	}
+	b.pend = false
+	w := b.hi - b.lo
+	kc := b.kernel * w
+	xa := b.bring[b.awin*w : b.awin*w+kc]
+	aw2 := b.awin + 1
+	if aw2 == s.window {
+		aw2 = 0
+	}
+	xb := b.bring[aw2*w : aw2*w+kc]
+	b.awin = aw2 + 1
+	if b.awin == s.window {
+		b.awin = 0
+	}
+	F := b.conv.Filters
+	da, db := b.crow, b.crow2
+	if b.convRing != nil {
+		da = b.convRing[b.aslot*F : b.aslot*F+F]
+		b.aslot++
+		if b.aslot == b.convT {
+			b.aslot = 0
+		}
+		db = b.convRing[b.aslot*F : b.aslot*F+F]
+		b.aslot++
+		if b.aslot == b.convT {
+			b.aslot = 0
+		}
+	}
+	matVecBias2ReLU(da, db, xa, xb, b.wgt, b.bias, F, kc)
+	b.absorb(s, da, a-1)
+	b.absorb(s, db, a)
+}
+
+// convRow computes one conv row on its own (pair flush, or a branch
+// with pairing disabled).
+//
+//fallvet:hotpath
+func (b *branchStream) convRow(s *Streamer, a int) {
+	w := b.hi - b.lo
+	kc := b.kernel * w
+	win := b.bring[b.awin*w : b.awin*w+kc]
+	b.awin++
+	if b.awin == s.window {
+		b.awin = 0
+	}
+	F := b.conv.Filters
+	orow := b.crow
+	if b.convRing != nil {
+		orow = b.convRing[b.aslot*F : b.aslot*F+F]
+		b.aslot++
+		if b.aslot == b.convT {
+			b.aslot = 0
+		}
+	}
+	matVecBiasReLU(orow, win, b.wgt, b.bias, F, kc)
+	b.absorb(s, orow, a)
+}
+
+// flush computes a deferred conv row so every row the current window
+// covers is materialised before a gather.
+//
+//fallvet:hotpath
+func (b *branchStream) flush(s *Streamer) {
+	if b.pend {
+		b.pend = false
+		b.convRow(s, b.pendA)
+	}
+}
+
+// absorb folds a conv row (already clamped by the ReLU-fused kernel)
+// into the running pool max and emits a pooled row when it completes a
+// pool block (suppressed for the partial block straddling a mid-stream
+// Restart).
+//
+//fallvet:hotpath
+func (b *branchStream) absorb(s *Streamer, orow []float64, a int) {
+	if b.fullPool == 0 {
+		return
+	}
+	rmax := b.rmax
+	if b.phase == 0 {
+		copy(rmax, orow)
+	} else {
+		for f, v := range orow {
+			if v > rmax[f] {
+				rmax[f] = v
+			}
+		}
+	}
+	b.phase++
+	if b.phase == b.pool {
+		b.phase = 0
+		if a+1-b.pool >= s.base {
+			F := b.conv.Filters
+			p := b.poolSlot * F
+			copy(b.poolRing[p:p+F], rmax)
+			b.poolSlot++
+			if b.poolSlot == b.fullPool {
+				b.poolSlot = 0
+			}
+		}
+	}
+}
+
+// Ready reports whether Score may run: a full window of history
+// exists and its start row sits on every streaming branch's pooling
+// grid. Detector strides keep the start aligned (Step is a multiple
+// of Pool); off-stride callers simply see false and score in batch.
+func (s *Streamer) Ready() bool {
+	if s.count < s.window {
+		return false
+	}
+	start := s.count - s.window
+	for _, b := range s.branches {
+		if !b.batch && start%b.pool != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Score evaluates the network over the current window, reusing every
+// cached conv/pool row the slide kept and recomputing only re-based
+// branches and the dense head. Callers must check Ready first.
+//
+//fallvet:hotpath
+func (s *Streamer) Score() float64 {
+	start := s.count - s.window
+	cd := s.cat.Data()
+	off := 0
+	for _, b := range s.branches {
+		if b.batch {
+			s.runBatchBranch(b, cd[off:off+b.flat], start)
+		} else {
+			b.flush(s)
+			b.gather(cd[off:off+b.flat], start)
+		}
+		off += b.flat
+	}
+	cur := cd
+	for i := range s.head {
+		st := &s.head[i]
+		if d := st.dense; d != nil {
+			if st.relu {
+				matVecBiasReLU(st.buf, cur, d.Weight.W.Data(), d.Bias.W.Data(), d.Out, d.In)
+			} else {
+				matVecBias(st.buf, cur, d.Weight.W.Data(), d.Bias.W.Data(), d.Out, d.In)
+			}
+			cur = st.buf
+			continue
+		}
+		copy(st.lin.Data(), cur)
+		cur = st.layer.Forward(st.lin, false).Data()
+	}
+	return cur[0]
+}
+
+// gather copies the window's pooled rows (plus the partial tail, if
+// the conv length is not a pool multiple) into dst. The divisions
+// here run once per decision, not per sample.
+//
+//fallvet:hotpath
+func (b *branchStream) gather(dst []float64, start int) {
+	F := b.conv.Filters
+	slot := (start / b.pool) % b.fullPool
+	n := 0
+	for q := 0; q < b.fullPool; q++ {
+		p := slot * F
+		copy(dst[n:n+F], b.poolRing[p:p+F])
+		n += F
+		slot++
+		if slot == b.fullPool {
+			slot = 0
+		}
+	}
+	if b.tailLo < b.convT {
+		cs := (start + b.tailLo) % b.convT
+		copy(dst[n:n+F], b.convRing[cs*F:cs*F+F])
+		for q := b.tailLo + 1; q < b.convT; q++ {
+			cs++
+			if cs == b.convT {
+				cs = 0
+			}
+			row := b.convRing[cs*F : cs*F+F]
+			for f, v := range row {
+				if v > dst[n+f] {
+					dst[n+f] = v
+				}
+			}
+		}
+	}
+}
+
+// runBatchBranch assembles the branch's input columns from the ring,
+// applies the per-window re-basing the detector applies (subtracting
+// each re-based column's first value), and runs the model's own layer
+// stack — the same values through the same code as the batch path.
+//
+//fallvet:hotpath
+func (s *Streamer) runBatchBranch(b *branchStream, dst []float64, start int) {
+	w := b.hi - b.lo
+	in := tensor.Reuse(b.in, s.window, w)
+	b.in = in
+	ind := in.Data()
+	slot := start % s.window
+	for i := 0; i < s.window; i++ {
+		src := s.in[slot*s.inCh+b.lo : slot*s.inCh+b.hi]
+		row := ind[i*w : i*w+w]
+		for j := range row {
+			row[j] = src[j]
+		}
+		slot++
+		if slot == s.window {
+			slot = 0
+		}
+	}
+	for c := 0; c < w; c++ {
+		if !s.rebase[b.lo+c] {
+			continue
+		}
+		v0 := ind[c]
+		for i := 0; i < s.window; i++ {
+			ind[i*w+c] -= v0
+		}
+	}
+	if b.fused {
+		b.fusedConvPool(dst, ind)
+		return
+	}
+	h := in
+	for _, l := range b.stack {
+		h = l.Forward(h, false)
+	}
+	copy(dst, h.Data())
+}
+
+// fusedConvPool evaluates a canonical Conv→ReLU→MaxPool stack over the
+// assembled window row-wise, writing pooled rows (and the trailing
+// partial block) straight into dst. It produces bit-identical values
+// to the layer objects — each conv row goes through the same
+// matVecBias call on the same contiguous input slice, ReLU is the same
+// v ≤ 0 clamp, pooling the same strict-`>` running max — while
+// skipping every intermediate tensor.
+//
+//fallvet:hotpath
+func (b *branchStream) fusedConvPool(dst, ind []float64) {
+	w := b.hi - b.lo
+	kc := b.kernel * w
+	F := b.conv.Filters
+	phase, n := 0, 0
+	t := 0
+	if kc < 32 {
+		for ; t+2 <= b.convT; t += 2 {
+			matVecBias2ReLU(b.crow, b.crow2, ind[t*w:t*w+kc], ind[(t+1)*w:(t+1)*w+kc], b.wgt, b.bias, F, kc)
+			phase, n = b.fusedAbsorb(dst, b.crow, phase, n)
+			phase, n = b.fusedAbsorb(dst, b.crow2, phase, n)
+		}
+	}
+	for ; t < b.convT; t++ {
+		matVecBiasReLU(b.crow, ind[t*w:t*w+kc], b.wgt, b.bias, F, kc)
+		phase, n = b.fusedAbsorb(dst, b.crow, phase, n)
+	}
+}
+
+// fusedAbsorb folds one fused conv row (pre-clamped by the ReLU-fused
+// kernel) into the pooled output at block offset n, returning the
+// advanced (phase, n).
+//
+//fallvet:hotpath
+func (b *branchStream) fusedAbsorb(dst, crow []float64, phase, n int) (int, int) {
+	F := b.conv.Filters
+	seg := dst[n : n+F]
+	if phase == 0 {
+		copy(seg, crow)
+	} else {
+		for f, v := range crow {
+			if v > seg[f] {
+				seg[f] = v
+			}
+		}
+	}
+	phase++
+	if phase == b.pool {
+		phase = 0
+		n += F
+	}
+	return phase, n
+}

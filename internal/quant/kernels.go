@@ -1,0 +1,41 @@
+package quant
+
+// matVecRequant is the int8 twin of nn's matVecBias: four int32
+// accumulators advance together over one streamed read of x, breaking
+// the add-latency chain that serialises the one-accumulator form, then
+// each lane is requantized to the output scale. Integer adds are
+// exact, so blocking cannot change results — the order is kept
+// identical to the scalar loop anyway so the two forms are literally
+// the same computation per output.
+//
+//fallvet:hotpath
+func matVecRequant(dst []int8, x, w []int8, bias []int32, rows, cols int, m float64) {
+	xv := x[:cols]
+	o := 0
+	for ; o+4 <= rows; o += 4 {
+		r0 := w[(o+0)*cols : (o+1)*cols]
+		r1 := w[(o+1)*cols : (o+2)*cols]
+		r2 := w[(o+2)*cols : (o+3)*cols]
+		r3 := w[(o+3)*cols : (o+4)*cols]
+		a0, a1, a2, a3 := bias[o], bias[o+1], bias[o+2], bias[o+3]
+		for i, v := range xv {
+			xi := int32(v)
+			a0 += int32(r0[i]) * xi
+			a1 += int32(r1[i]) * xi
+			a2 += int32(r2[i]) * xi
+			a3 += int32(r3[i]) * xi
+		}
+		dst[o] = requant(a0, m)
+		dst[o+1] = requant(a1, m)
+		dst[o+2] = requant(a2, m)
+		dst[o+3] = requant(a3, m)
+	}
+	for ; o < rows; o++ {
+		row := w[o*cols : (o+1)*cols]
+		acc := bias[o]
+		for i, v := range xv {
+			acc += int32(row[i]) * int32(v)
+		}
+		dst[o] = requant(acc, m)
+	}
+}

@@ -97,14 +97,7 @@ func (q *qdense) flashBytes() int { return len(q.w) + 4*len(q.bias) + 4 /* multi
 func (q *qdense) forward(x *qtensor) *qtensor {
 	out := reuseQ(q.scratch, q.outScale, q.out)
 	q.scratch = out
-	for o := 0; o < q.out; o++ {
-		acc := q.bias[o]
-		row := q.w[o*q.in : (o+1)*q.in]
-		for i, xv := range x.data {
-			acc += int32(row[i]) * int32(xv)
-		}
-		out.data[o] = requant(acc, q.m)
-	}
+	matVecRequant(out.data, x.data, q.w, q.bias, q.out, q.in, q.m)
 	return out
 }
 
@@ -149,14 +142,8 @@ func (q *qconv1d) forward(x *qtensor) *qtensor {
 	kc := q.kernel * q.inCh
 	for t := 0; t < outT; t++ {
 		window := x.data[t*q.inCh : t*q.inCh+kc]
-		for f := 0; f < q.filters; f++ {
-			acc := q.bias[f]
-			w := q.w[f*kc : (f+1)*kc]
-			for i, xv := range window {
-				acc += int32(w[i]) * int32(xv)
-			}
-			out.data[t*q.filters+f] = requant(acc, q.m)
-		}
+		orow := out.data[t*q.filters : (t+1)*q.filters]
+		matVecRequant(orow, window, q.w, q.bias, q.filters, kc, q.m)
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/cascade"
@@ -202,4 +203,86 @@ func BenchmarkSessionPushSnapshot(b *testing.B) {
 	s.Quiesce()
 	b.StopTimer()
 	rt.Close()
+}
+
+// newServeCNNCascade is the deployment shape: real three-branch CNN
+// primary and accel-only CNN fallback, both carrying incremental
+// scoring caches. Seeded weights make repeated calls bit-identical.
+func newServeCNNCascade(t testing.TB) *cascade.Cascade {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	primary, err := model.New(model.KindCNN, model.Config{WindowSamples: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback, err := model.New(model.KindCNNAccel, model.Config{WindowSamples: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cascade.New(primary, fallback, cascade.Config{WindowMS: 400, Overlap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestServeKillMidMotionCNNStreams is the serve-level crash-replay
+// guarantee for the incremental inference engine: a session whose
+// pipeline answers from nn.Streamer caches is killed mid-motion
+// (between a snapshot and the next stride), restored from the last
+// snapshot and replayed — the served decision stream must be
+// bit-identical to a bare cascade that never crashed. The streaming
+// caches are rebuilt from the restored ring, so any cache/ring drift
+// surfaces as a probability divergence here.
+func TestServeKillMidMotionCNNStreams(t *testing.T) {
+	const total = 400
+	ref := newServeCNNCascade(t)
+	var refDs []cascade.Decision
+	for i := 0; i < total; i++ {
+		acc, gyro := streamSample(i)
+		d := ref.Push(acc, gyro)
+		if d.Evaluated {
+			refDs = append(refDs, d)
+		}
+	}
+	if len(refDs) == 0 {
+		t.Fatal("fixture broken: reference produced no evaluated decisions")
+	}
+
+	leak := StartLeakCheck()
+	fired := false
+	rt := New(Config{
+		QueueLen:      512,
+		OutboxLen:     64,
+		SnapshotEvery: 100,
+		PushHook: func(session int, pos uint64) {
+			if pos == 310 && !fired {
+				fired = true
+				panic("killed mid-motion")
+			}
+		},
+	})
+	s := rt.Open(newServeCNNCascade(t))
+	for i := 0; i < total; i++ {
+		acc, gyro := streamSample(i)
+		s.Push(acc, gyro)
+	}
+	rt.Quiesce()
+	ds := s.DrainDecisions(nil)
+	if len(ds) != len(refDs) {
+		t.Fatalf("session produced %d decisions, reference %d", len(ds), len(refDs))
+	}
+	for j := range refDs {
+		if ds[j] != refDs[j] {
+			t.Fatalf("decision %d diverged:\n ref %+v\n got %+v", j, refDs[j], ds[j])
+		}
+	}
+	if !fired {
+		t.Fatal("kill hook never fired")
+	}
+	if c := s.Counters(); c.Panics != 1 || c.Restarts != 1 {
+		t.Fatalf("Panics/Restarts = %d/%d, want 1/1", c.Panics, c.Restarts)
+	}
+	rt.Close()
+	checkLeak(t, leak)
 }

@@ -60,8 +60,11 @@ type Pipeline interface {
 	// PushMissing accounts n samples the stream failed to deliver
 	// (true sensor gaps and load-shed samples alike).
 	PushMissing(n int) cascade.Decision
-	// SnapshotBytes serialises the complete pipeline state.
-	SnapshotBytes() ([]byte, error)
+	// AppendSnapshot appends the complete serialised pipeline state
+	// to dst and returns the extended slice. Sessions checkpoint on a
+	// cadence and pass a reused buffer, so implementations must not
+	// retain dst; at steady state the call should not allocate.
+	AppendSnapshot(dst []byte) ([]byte, error)
 	// RestoreFresh resets and then applies a snapshot; on error the
 	// pipeline is cold but coherent.
 	RestoreFresh(r io.Reader) error

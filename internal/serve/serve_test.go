@@ -63,9 +63,9 @@ func (f *fakePipe) PushMissing(n int) cascade.Decision {
 	return f.decision()
 }
 
-func (f *fakePipe) SnapshotBytes() ([]byte, error) {
+func (f *fakePipe) AppendSnapshot(dst []byte) ([]byte, error) {
 	f.ops = append(f.ops, fmt.Sprintf("snap:%d", f.raw))
-	return []byte(strconv.Itoa(f.raw)), nil
+	return strconv.AppendInt(dst, int64(f.raw), 10), nil
 }
 
 func (f *fakePipe) RestoreFresh(r io.Reader) error {

@@ -43,6 +43,7 @@ type Session struct {
 
 	// Replay state, owned by the worker goroutine (never locked).
 	snapImg   []byte // last good snapshot (nil before the first)
+	snapSpare []byte // retired snapshot buffer, reused for the next
 	snapPos   uint64 // pos at which snapImg was captured
 	replayLog []entry
 	sinceSnap int
@@ -338,14 +339,18 @@ func (s *Session) emit(d cascade.Decision) {
 }
 
 func (s *Session) takeSnapshot() {
-	img, err := s.p.SnapshotBytes()
+	// Two buffers ping-pong: the pipeline serialises into the retired
+	// one while the last good image stays intact in case it fails
+	// mid-way, then the roles swap. Steady state allocates nothing —
+	// this was the last per-checkpoint allocation on the push path.
+	img, err := s.p.AppendSnapshot(s.snapSpare[:0])
 	if err != nil {
 		// Keep the previous snapshot and the (growing) log; the next
 		// cadence point retries.
 		s.logf("session %d: snapshot failed: %v", s.ID, err)
 		return
 	}
-	s.snapImg = img
+	s.snapImg, s.snapSpare = img, s.snapImg
 	s.snapPos = s.pos.Load()
 	s.replayLog = s.replayLog[:0]
 	s.sinceSnap = 0

@@ -8,15 +8,26 @@
 #   sh scripts/bench.sh          # full run (2s per benchmark), rewrites the baseline
 #   sh scripts/bench.sh -short   # CI gate (0.2s per benchmark), gate only
 #
-# The script fails when a benchmark that must be allocation-free at
-# steady state (streaming push, quantized predict) reports a non-zero
-# allocs/op — that is the regression this baseline exists to catch.
-# Short mode enforces that gate but leaves BENCH_baseline.json alone:
+# The script fails when:
+#   - a benchmark that must be allocation-free at steady state
+#     (streaming push, quantized predict, cascade/serve push) reports a
+#     non-zero allocs/op OR a non-zero B/op — bytes without allocs
+#     means an amortised allocation is hiding in the averaging;
+#   - the incremental streaming path loses its headline win: the
+#     Benchmark_Edge_StreamingPushCNN speedup over the pre-engine seed
+#     drops below 3x;
+#   - (short mode only) any benchmark regresses more than 15% in ns/op
+#     against the committed BENCH_baseline.json. The Parallel_Fit
+#     benchmarks are excluded from that gate: multi-worker fits are
+#     dominated by scheduler noise at CI benchtimes.
+# Short mode enforces the gates but leaves BENCH_baseline.json alone:
 # the committed baseline is always a full-benchtime measurement. The
 # full run repeats each benchmark -count 3 and records the fastest
 # repetition — shared-container CPU steal makes single runs noisy, and
 # min-of-N is the noise-resistant estimator for a regression baseline.
 # allocs/op is taken as the max across repetitions (it must not vary).
+# Short mode uses min-of-2 for the same reason: one cold repetition
+# must not trip the 15% gate.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -28,7 +39,7 @@ if [ "$1" = "-short" ]; then
     BENCHTIME=0.2s
     MODE=short
     OUT=/dev/null
-    COUNT=1
+    COUNT=2
 fi
 
 PATTERN='Benchmark_Table3_Inference_|Benchmark_Edge_FloatInference|Benchmark_Edge_QuantizedInference|Benchmark_Edge_StreamingPush|Benchmark_Parallel_Fit_|Benchmark_Cascade_Push|Benchmark_Serve_SessionPush'
@@ -52,6 +63,15 @@ BEGIN {
     seed_ns["Benchmark_Table3_Inference_CNNBiGRU_400ms"] = 286256
     seed_ns["Benchmark_Edge_QuantizedInference"] = 73318
     seed_ns["Benchmark_Edge_StreamingPush"] = 232.3
+    # Batch-rescore numbers captured immediately before the incremental
+    # inference engine (DESIGN 12) landed: every stride re-ran the full
+    # CNN over the assembled window, and snapshots allocated per image.
+    seed_ns["Benchmark_Edge_StreamingPushCNN"] = 4519
+    seed_ns["Benchmark_Cascade_PushPrimary"] = 4526
+    seed_ns["Benchmark_Cascade_PushFallback"] = 1636
+    seed_ns["Benchmark_Cascade_PushThreshold"] = 107.2
+    seed_ns["Benchmark_Serve_SessionPush"] = 829.2
+    seed_ns["Benchmark_Serve_SessionPushSnapshot"] = 876.7
     seed_allocs["Benchmark_Table3_Inference_CNN_400ms"] = 87
     seed_allocs["Benchmark_Table3_Inference_CNN_300ms"] = 87
     seed_allocs["Benchmark_Table3_Inference_CNN_200ms"] = 87
@@ -61,7 +81,17 @@ BEGIN {
     seed_allocs["Benchmark_Table3_Inference_CNNBiGRU_400ms"] = 43
     seed_allocs["Benchmark_Edge_QuantizedInference"] = 59
     seed_allocs["Benchmark_Edge_StreamingPush"] = 0
-    # Benchmarks whose steady state must never touch the allocator.
+    seed_allocs["Benchmark_Edge_StreamingPushCNN"] = 0
+    seed_allocs["Benchmark_Cascade_PushPrimary"] = 0
+    seed_allocs["Benchmark_Cascade_PushFallback"] = 0
+    seed_allocs["Benchmark_Cascade_PushThreshold"] = 0
+    seed_allocs["Benchmark_Serve_SessionPush"] = 0
+    seed_allocs["Benchmark_Serve_SessionPushSnapshot"] = 0
+    # Benchmarks whose steady state must never touch the allocator:
+    # both allocs/op AND B/op must be exactly zero. A benchmark can
+    # show 0 allocs/op with non-zero B/op when a periodic allocation
+    # is amortised below 0.5 allocs/op by the averaging window — the
+    # byte count is the sensitive detector for that leak.
     zero["Benchmark_Edge_StreamingPush"] = 1
     zero["Benchmark_Edge_StreamingPushCNN"] = 1
     zero["Benchmark_Edge_QuantizedInference"] = 1
@@ -69,10 +99,17 @@ BEGIN {
     zero["Benchmark_Cascade_PushFallback"] = 1
     zero["Benchmark_Cascade_PushThreshold"] = 1
     # The serving runtime adds ingress + worker + outbox around the
-    # cascade; its steady-state path must not allocate either. The
-    # Snapshot variant is excluded: periodic snapshots amortise a
-    # bounded byte cost but allocs/op still rounds to 0 in practice.
+    # cascade; its steady-state path must not allocate either. Since
+    # the envelope writer went append-based and the session ping-pongs
+    # two snapshot buffers, that includes the Snapshot variant: a warm
+    # checkpoint reuses its buffers end to end.
     zero["Benchmark_Serve_SessionPush"] = 1
+    zero["Benchmark_Serve_SessionPushSnapshot"] = 1
+    # Headline gates: optimisations the engine must not silently lose.
+    # The incremental conv/pool rings bought >4x over batch rescoring;
+    # fail if the margin erodes below 3x even while ns/op stays within
+    # the 15% regression gate of a drifting baseline.
+    min_speedup["Benchmark_Edge_StreamingPushCNN"] = 3.0
     n = 0
     bad = 0
 }
@@ -96,6 +133,10 @@ BEGIN {
         printf "bench: FAIL %s allocates %s objects/op, want 0\n", name, allocs > "/dev/stderr"
         bad = 1
     }
+    if ((name in zero) && bytes + 0 != 0) {
+        printf "bench: FAIL %s reports %s B/op, want 0 (amortised allocation on a must-be-zero path)\n", name, bytes > "/dev/stderr"
+        bad = 1
+    }
 }
 END {
     printf "{\n" > out
@@ -113,6 +154,21 @@ END {
         printf "}%s\n", (i < n - 1 ? "," : "") >> out
     }
     printf "  ]\n}\n" >> out
+    for (name in min_speedup) {
+        if (!(name in idx)) {
+            printf "bench: FAIL %s gated at %.1fx vs seed but never ran\n", name, min_speedup[name] > "/dev/stderr"
+            bad = 1
+            continue
+        }
+        sp = seed_ns[name] / (nss[idx[name]] + 0)
+        if (sp < min_speedup[name]) {
+            printf "bench: FAIL %s is %.2fx vs the %s ns/op seed, gate requires >= %.1fx\n", \
+                name, sp, seed_ns[name], min_speedup[name] > "/dev/stderr"
+            bad = 1
+        } else {
+            printf "== bench: %s holds %.2fx vs seed (gate %.1fx)\n", name, sp, min_speedup[name]
+        }
+    }
     if (bad) exit 1
 }
 ' "$RAW"
@@ -120,5 +176,48 @@ END {
 if [ "$MODE" = full ]; then
     echo "== bench: wrote BENCH_baseline.json"
 else
-    echo "== bench: gate passed (short mode leaves BENCH_baseline.json untouched)"
+    # Regression gate: every benchmark present in the committed
+    # full-benchtime baseline must stay within 15% of its recorded
+    # ns/op. min-of-2 above absorbs one cold repetition; 15% absorbs
+    # the residual shared-container jitter. Parallel_Fit is excluded —
+    # multi-worker training runs are scheduler-noise-dominated at
+    # 0.2s benchtime and would make the gate flaky without making it
+    # more sensitive on the paths this repo optimises.
+    awk '
+    FNR == NR {
+        if (match($0, /"name": "[^"]*"/)) {
+            nm = substr($0, RSTART + 9, RLENGTH - 10)
+            if (match($0, /"ns_per_op": [0-9.]+/))
+                base[nm] = substr($0, RSTART + 13, RLENGTH - 13) + 0
+        }
+        next
+    }
+    /^Benchmark/ && /ns\/op/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = $3 + 0
+        if (!(name in cur) || ns < cur[name]) cur[name] = ns
+    }
+    END {
+        bad = 0
+        checked = 0
+        for (name in cur) {
+            if (name ~ /^Benchmark_Parallel_Fit_/) continue
+            if (!(name in base)) continue # new benchmark: no baseline until the next full run
+            checked++
+            if (cur[name] > base[name] * 1.15) {
+                printf "bench: FAIL %s at %.4g ns/op regressed >15%% vs the committed baseline %.4g ns/op\n", \
+                    name, cur[name], base[name] > "/dev/stderr"
+                bad = 1
+            }
+        }
+        if (checked == 0) {
+            print "bench: FAIL regression gate matched zero benchmarks against BENCH_baseline.json" > "/dev/stderr"
+            bad = 1
+        }
+        if (bad) exit 1
+        printf "== bench: regression gate passed: %d benchmarks within 15%% of BENCH_baseline.json\n", checked
+    }
+    ' BENCH_baseline.json "$RAW"
+    echo "== bench: gates passed (short mode leaves BENCH_baseline.json untouched)"
 fi

@@ -17,9 +17,13 @@
 #   6. fuzz smoke            — 10 s each on the hostile-input fuzz
 #      targets: FuzzQuantLoad (model-image loader must never panic or
 #      over-allocate on arbitrary bytes), FuzzDetectorPush (the
-#      streaming pipeline must survive arbitrary sensor input) and
+#      streaming pipeline must survive arbitrary sensor input),
 #      FuzzCascadePush (the cascade's decision guarantee — a decision
-#      every stride, one-step tier moves — under arbitrary faults)
+#      every stride, one-step tier moves — under arbitrary faults) and
+#      FuzzIncrementalScore (the incremental inference engine must be
+#      bit-identical to full-window batch rescoring on arbitrary
+#      streams of wear, faults and gaps — the DESIGN §12 equivalence
+#      oracle)
 #   7. cascade determinism   — the fault sweep over the cascade must be
 #      bit-identical on 1 worker and 4 (run redundantly from the suite,
 #      but cheap and load-bearing enough to gate by name)
@@ -32,9 +36,14 @@
 #   9. bench gate            — scripts/bench.sh -short: the hot-path
 #      benchmarks run briefly with -benchmem; the gate fails when a
 #      steady-state path that must be allocation-free (streaming push,
-#      quantized predict) reports allocs/op > 0. The committed
-#      BENCH_baseline.json comes from a full `sh scripts/bench.sh` run
-#      and is left untouched here.
+#      quantized predict, cascade/serve push, warm snapshots) reports
+#      allocs/op > 0 OR B/op > 0, when the streaming CNN push drops
+#      below 3x its pre-engine seed, or when any benchmark regresses
+#      more than 15% in ns/op against the committed baseline
+#      (Parallel_Fit excluded as scheduler-noise-dominated). The
+#      comparison summary lands in results_ci.txt via the tee below.
+#      The committed BENCH_baseline.json comes from a full
+#      `sh scripts/bench.sh` run and is left untouched here.
 #
 # Append the run to results_ci.txt with:
 #
@@ -57,6 +66,8 @@ echo "== fuzz smoke: FuzzDetectorPush (10s)"
 go test ./internal/edge -run='^$' -fuzz='^FuzzDetectorPush$' -fuzztime=10s
 echo "== fuzz smoke: FuzzCascadePush (10s)"
 go test ./internal/cascade -run='^$' -fuzz='^FuzzCascadePush$' -fuzztime=10s
+echo "== fuzz smoke: FuzzIncrementalScore (10s)"
+go test ./internal/edge -run='^$' -fuzz='^FuzzIncrementalScore$' -fuzztime=10s
 echo "== cascade determinism: fault sweep, workers 1 vs 4"
 go test ./internal/eval -count=1 -run='^TestEvaluateCascadeRobustnessWorkerCountInvariance$' -v
 echo "== soak smoke: fallserve -sessions 16 -panics 2 -check"
