@@ -3,21 +3,32 @@
 //
 //	fallvet ./...
 //	fallvet -json ./internal/nn ./internal/quant
+//	fallvet -baseline fallvet_baseline.json -diff ./...
+//	fallvet -baseline fallvet_baseline.json -write ./...
 //
 // It enforces the contracts the tests can only observe after the fact:
 // deterministic packages must not read clocks, draw from the global
 // math/rand source, or iterate maps; //fallvet:hotpath functions must
-// not contain allocating or boxing constructs; Close/Sync/Write/Rename
-// errors must be checked; goroutines and channels are confined to the
-// sanctioned concurrency packages (internal/par, internal/serve,
-// internal/guard). See DESIGN.md §9 for the rule catalogue and the
+// not contain allocating or boxing constructs, and every function they
+// transitively reach must be provably alloc-free (hottrans); Close/
+// Sync/Write/Rename errors must be checked; goroutines and channels
+// are confined to the sanctioned concurrency packages; snapshot
+// writers must cover every struct field not marked //fallvet:derived;
+// switches over repo enums must be exhaustive; deterministic packages
+// must not compare floats with raw ==/!= or accumulate them under map
+// iteration. See DESIGN.md §9 and §13 for the rule catalogue and the
 // //fallvet:ignore directive grammar.
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+// -json wraps the diagnostics in a versioned report envelope
+// (lint.SchemaVersion). -baseline names a committed debt ledger:
+// -write (re)generates it from the current findings, -diff fails only
+// on findings not already in it.
+//
+// Exit status: 0 clean, 1 diagnostics reported (new ones only under
+// -diff), 2 operational error.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,12 +38,21 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit a versioned JSON report instead of plain lines")
+	baseline := flag.String("baseline", "", "baseline `file` for -diff and -write")
+	diff := flag.Bool("diff", false, "fail only on findings not in the -baseline file")
+	write := flag.Bool("write", false, "write the current findings to the -baseline file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fallvet [-json] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: fallvet [-json] [-baseline file [-diff|-write]] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if (*diff || *write) && *baseline == "" {
+		fatal(fmt.Errorf("-diff and -write need -baseline <file>"))
+	}
+	if *diff && *write {
+		fatal(fmt.Errorf("-diff and -write are mutually exclusive"))
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -47,22 +67,45 @@ func main() {
 		fatal(err)
 	}
 
-	// Relativize paths for display (and for stable -json output in CI
-	// logs); keep the absolute path if it escapes the working tree.
+	// Relativize paths for display, for stable -json output in CI logs,
+	// and so baselines written on one checkout match diffs run on
+	// another; keep the absolute path if it escapes the working tree.
 	for i := range diags {
 		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil &&
 			!filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
-			diags[i].File = rel
+			diags[i].File = filepath.ToSlash(rel)
 		}
 	}
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
+	if *write {
+		data, err := lint.NewBaseline(diags).Encode()
+		if err != nil {
+			fatal(err)
 		}
-		if err := enc.Encode(diags); err != nil {
+		if err := os.WriteFile(*baseline, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fallvet %s: wrote %s (%d findings)\n", lint.Stamp(), *baseline, len(diags))
+		return
+	}
+
+	stale := 0
+	if *diff {
+		base, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var staleEntries []lint.BaselineEntry
+		diags, staleEntries = base.Diff(diags)
+		stale = len(staleEntries)
+	}
+
+	if *jsonOut {
+		data, err := lint.NewReport(diags, npkgs).Encode()
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := os.Stdout.Write(data); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -72,6 +115,10 @@ func main() {
 		if len(diags) == 0 {
 			fmt.Printf("fallvet %s: %d packages, 0 diagnostics\n", lint.Stamp(), npkgs)
 		}
+	}
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "fallvet: %d baseline entries no longer fire; refresh with -baseline %s -write\n",
+			stale, *baseline)
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

@@ -89,7 +89,7 @@ func replay(det *edge.Detector, trial *dataset.Trial, name string, inj fault.Inj
 			case fault.Repeat:
 				det.Push(cs.Acc, cs.Gyro)
 				r = det.Push(cs.Acc, cs.Gyro)
-			default:
+			case fault.Pass:
 				r = det.Push(cs.Acc, cs.Gyro)
 			}
 		}

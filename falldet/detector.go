@@ -81,16 +81,14 @@ func Train(d *Dataset, kind Kind, cfg Config) (*Detector, error) {
 }
 
 func buildModel(kind Kind, winSamples, pos, total int, rng *rand.Rand) (model.Trainable, error) {
-	switch kind {
-	case KindThresholdAcc, KindThresholdGyro:
+	if kind == KindThresholdAcc || kind == KindThresholdGyro {
 		return model.NewThreshold(kind)
-	default:
-		return model.New(kind, model.Config{
-			WindowSamples: winSamples,
-			PosCount:      pos,
-			TotalCount:    total,
-		}, rng)
 	}
+	return model.New(kind, model.Config{
+		WindowSamples: winSamples,
+		PosCount:      pos,
+		TotalCount:    total,
+	}, rng)
 }
 
 // Kind returns the detector's model family.

@@ -94,7 +94,8 @@ type Config struct {
 
 // Cascade is the supervised three-tier detector.
 type Cascade struct {
-	det       *edge.Detector
+	det *edge.Detector
+	//fallvet:derived immutable tier-0 model reference, bound at construction; snapshots carry detector and cascade state, not weights
 	primary   model.Classifier
 	fallback  model.Classifier
 	threshold float64
@@ -113,8 +114,10 @@ type Cascade struct {
 	samples   int // pushes seen (real + missing)
 	sinceEval int // pushes since the last emitted decision
 
-	perSample [NumTiers]float64 // modeled worst-case cycles per sample
-	budget    float64           // cycles available per sample period
+	//fallvet:derived modeled worst-case cycles per sample, fixed by New from the device model and classifier costs
+	perSample [NumTiers]float64
+	//fallvet:derived cycles available per sample period, fixed by New from the device model
+	budget    float64
 	tierEvals [NumTiers]int
 
 	// snapScratch stages the snapshot payload between checkpoints so
@@ -369,7 +372,7 @@ func (c *Cascade) decide(r edge.Result, p2 float64) Decision {
 		p, ok = c.det.ScoreWindow(c.primary)
 	case TierFallback:
 		p, ok = c.det.ScoreWindow(c.fallback)
-	default:
+	case TierThreshold:
 		p = p2
 	}
 	d.Evaluated = true
@@ -398,9 +401,10 @@ func (c *Cascade) tierScorable(t Tier, overall edge.Health, g edge.GroupHealth) 
 	case TierFallback:
 		return c.fallback != nil && c.det.WindowFresh() &&
 			(g.Acc != edge.HealthFaulted || overall != edge.HealthFaulted)
-	default:
+	case TierThreshold:
 		return true
 	}
+	return true // tiers are clamped to [TierPrimary, TierThreshold]
 }
 
 // tier2Cycles is the modeled per-sample cost of the threshold floor: a
@@ -421,8 +425,11 @@ func inferenceCycles(dev edge.Device, c edge.Cost) float64 {
 // accelerometer sample before filters or normalisation — it must keep
 // working when the ring buffer cannot be trusted at all.
 type tier2 struct {
-	lowG      float64
-	minRun    int
+	//fallvet:derived threshold-floor parameter, fixed at construction (model.NewThreshold nominal); only run/vel are stream state
+	lowG float64
+	//fallvet:derived threshold-floor parameter, fixed at construction (model.NewThreshold nominal); only run/vel are stream state
+	minRun int
+	//fallvet:derived threshold-floor parameter, fixed at construction (model.NewThreshold nominal); only run/vel are stream state
 	velThresh float64
 
 	run int     // consecutive sub-lowG samples so far
@@ -534,7 +541,7 @@ func (c *Cascade) SimulateFaulty(t *dataset.Trial, inj fault.Injector) TrialSim 
 			case fault.Repeat:
 				c.Push(cs.Acc, cs.Gyro)
 				d = c.Push(cs.Acc, cs.Gyro)
-			default:
+			case fault.Pass:
 				d = c.Push(cs.Acc, cs.Gyro)
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/artifact"
 )
@@ -100,7 +101,8 @@ func (c *Cascade) Restore(rd io.Reader) error {
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("cascade: %w", err)
 	}
-	if thr != c.threshold || minTier != c.sup.minTier || hold != c.sup.promoteHold ||
+	if math.Float64bits(thr) != math.Float64bits(c.threshold) ||
+		minTier != c.sup.minTier || hold != c.sup.promoteHold ||
 		hasFallback != (c.fallback != nil) {
 		return fmt.Errorf("cascade: snapshot from a differently-configured cascade "+
 			"(threshold %g/%g, min tier %v/%v, hold %d/%d, fallback %v/%v)",

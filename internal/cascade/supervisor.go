@@ -83,9 +83,10 @@ func stayOK(t Tier, overall edge.Health, g edge.GroupHealth) bool {
 		return overall != edge.HealthFaulted && g.Gyro != edge.HealthFaulted
 	case TierFallback:
 		return g.Acc != edge.HealthFaulted || overall != edge.HealthFaulted
-	default:
+	case TierThreshold:
 		return true
 	}
+	return true // tiers are clamped to [TierPrimary, TierThreshold]
 }
 
 // enterOK is the requirement to be promoted into a tier: every channel
@@ -99,7 +100,8 @@ func enterOK(t Tier, overall edge.Health, g edge.GroupHealth) bool {
 		return overall == edge.HealthHealthy && g.Worst() == edge.HealthHealthy
 	case TierFallback:
 		return g.Acc == edge.HealthHealthy
-	default:
+	case TierThreshold:
 		return true
 	}
+	return true // tiers are clamped to [TierPrimary, TierThreshold]
 }

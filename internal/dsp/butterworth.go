@@ -16,9 +16,11 @@ import (
 //
 // with a0 normalised to 1.
 type Biquad struct {
+	//fallvet:derived filter design coefficients, fixed by the designer; AppendState serialises only the z1/z2 state
 	B0, B1, B2 float64
-	A1, A2     float64
-	z1, z2     float64 // DF2T state
+	//fallvet:derived filter design coefficients, fixed by the designer; AppendState serialises only the z1/z2 state
+	A1, A2 float64
+	z1, z2 float64 // DF2T state
 }
 
 // Process filters one sample and advances the section's state.

@@ -40,9 +40,11 @@ func qMul(a, b int64) int64 { return (a * b) >> qShift }
 
 // fixedBiquad is one direct-form-II-transposed section in Q16.16.
 type fixedBiquad struct {
+	//fallvet:derived quantised design coefficients, fixed by NewFixedFilter; AppendState serialises only the z1/z2 state
 	b0, b1, b2 int64
-	a1, a2     int64
-	z1, z2     int64
+	//fallvet:derived quantised design coefficients, fixed by NewFixedFilter; AppendState serialises only the z1/z2 state
+	a1, a2 int64
+	z1, z2 int64
 }
 
 // FixedFilter is a biquad cascade in Q16.16 arithmetic.

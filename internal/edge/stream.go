@@ -31,25 +31,29 @@ type Detector struct {
 	Window, Step int
 	Threshold    float64
 
+	//fallvet:derived immutable classifier reference, bound at construction; snapshots carry pipeline state, not weights
 	clf     model.Classifier
 	filters [imu.NumChannels]streamFilter
 	fusion  *imu.Fusion
 
-	ring  []float64      // Window × 9, circular by row
-	count int            // samples ingested
-	slot  int            // count % Window, kept incrementally
-	win   *tensor.Tensor // preallocated classifier input (Window × 9)
+	ring  []float64 // Window × 9, circular by row
+	count int       // samples ingested
+	//fallvet:derived count % Window, recomputed from count on Reset/ReadState
+	slot int
+	//fallvet:derived preallocated classifier input scratch (Window × 9), refilled from the ring before every classification
+	win *tensor.Tensor
 
 	// strideCtr counts down to the next stride boundary and atStride
 	// latches whether count currently sits on one — together they are
 	// the divide-free form of (count-Window)%Step == 0, maintained by
 	// ingest and recomputed from count on Reset/ReadState.
-	strideCtr int
-	atStride  bool
+	strideCtr int  //fallvet:derived recomputed from count by syncStride on Reset/ReadState
+	atStride  bool //fallvet:derived recomputed from count by syncStride on Reset/ReadState
 
 	// floatFl mirrors filters with their concrete type when the float
 	// cascade is selected, so ingest can skip interface dispatch on
 	// its nine per-sample filter calls. Nil entries mean fixed-point.
+	//fallvet:derived concrete-type mirror of filters, re-established at construction; ReadState restores through the filters entries
 	floatFl [imu.NumChannels]*dsp.Filter
 
 	// streams holds incremental scorers attached to classifiers
@@ -58,10 +62,11 @@ type Detector struct {
 	// the network over the full window. Attachment is best-effort —
 	// a classifier the nn.Streamer cannot cache simply scores in
 	// batch form, bit-identically.
+	//fallvet:derived incremental-scorer cache, rebuilt row by row via rebuildStream after ReadState
 	streams []attachedStream
 
-	fullScaleG   float64
-	fullScaleDPS float64
+	fullScaleG   float64 //fallvet:derived immutable clamp configuration, fixed at construction
+	fullScaleDPS float64 //fallvet:derived immutable clamp configuration, fixed at construction
 
 	reprime     bool // filters must re-prime on the next real sample
 	gapRun      int  // consecutive missing/quarantined samples so far
@@ -772,7 +777,7 @@ func (d *Detector) SimulateFaulty(t *dataset.Trial, inj fault.Injector) TrialSim
 			case fault.Repeat:
 				d.Push(cs.Acc, cs.Gyro)
 				r = d.Push(cs.Acc, cs.Gyro)
-			default:
+			case fault.Pass:
 				r = d.Push(cs.Acc, cs.Gyro)
 			}
 		}

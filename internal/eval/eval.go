@@ -128,16 +128,14 @@ func (r *Result) AllScored() []ScoredSegment {
 
 // buildTrainable constructs a fresh model for a fold.
 func buildTrainable(kind model.Kind, winSamples, pos, total int, rng *rand.Rand) (model.Trainable, error) {
-	switch kind {
-	case model.KindThresholdAcc, model.KindThresholdGyro:
+	if kind == model.KindThresholdAcc || kind == model.KindThresholdGyro {
 		return model.NewThreshold(kind)
-	default:
-		return model.New(kind, model.Config{
-			WindowSamples: winSamples,
-			PosCount:      pos,
-			TotalCount:    total,
-		}, rng)
 	}
+	return model.New(kind, model.Config{
+		WindowSamples: winSamples,
+		PosCount:      pos,
+		TotalCount:    total,
+	}, rng)
 }
 
 func toExamples(segs []dataset.Segment) []nn.Example {

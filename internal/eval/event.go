@@ -137,8 +137,14 @@ func EventAnalysis(scored []ScoredSegment, thr float64) EventStats {
 	}
 	sortStats := func(s []TaskEventStats) {
 		sort.Slice(s, func(i, j int) bool {
-			if s[i].MissPct != s[j].MissPct {
-				return s[i].MissPct > s[j].MissPct
+			// Ordering comparisons, not equality: the percentages are
+			// finite by construction and ties fall through to the task
+			// number, so the order is total and deterministic.
+			if s[i].MissPct > s[j].MissPct {
+				return true
+			}
+			if s[i].MissPct < s[j].MissPct {
+				return false
 			}
 			return s[i].Task < s[j].Task
 		})

@@ -550,7 +550,9 @@ func ApplyTrial(t *dataset.Trial, inj Injector) *dataset.Trial {
 			if haveLast {
 				out.Samples[i] = last
 			} // else: zero sample, the driver's power-on default
-		default:
+		case Pass, Repeat:
+			// A batch rewrite cannot lengthen the trial, so a Repeat
+			// keeps the single original sample.
 			out.Samples[i] = cs
 			last, haveLast = cs, true
 		}

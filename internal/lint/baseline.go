@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SchemaVersion is the version stamp carried by every JSON document
+// fallvet emits (reports and baselines). Consumers must reject
+// documents with a different schema rather than guess at field
+// meanings; bump it whenever a field changes shape.
+const SchemaVersion = 2
+
+// Report is the -json output document: the full diagnostic list plus
+// enough metadata to interpret it without the producing binary.
+type Report struct {
+	Schema      int          `json:"schema"`
+	Fallvet     string       `json:"fallvet"` // Stamp() of the producing binary
+	Packages    int          `json:"packages"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// NewReport wraps a lint run's results in the versioned envelope.
+func NewReport(diags []Diagnostic, packages int) *Report {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return &Report{
+		Schema:      SchemaVersion,
+		Fallvet:     Stamp(),
+		Packages:    packages,
+		Diagnostics: diags,
+	}
+}
+
+// Encode renders the report as indented JSON with a trailing newline,
+// the exact bytes cmd/fallvet -json writes to stdout.
+func (r *Report) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// BaselineEntry is one accepted finding class: Count identical
+// (file, analyzer, message) diagnostics are tolerated. Line and column
+// are deliberately absent — unrelated edits move findings around a
+// file, and a baseline that churns on every edit gets deleted, not
+// maintained.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the committed debt ledger for -diff runs: findings
+// listed here are pre-existing and do not fail the build; anything
+// else does.
+type Baseline struct {
+	Schema   int             `json:"schema"`
+	Fallvet  string          `json:"fallvet"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// baselineKey collapses a diagnostic to its baseline identity.
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// NewBaseline aggregates a diagnostic list into a baseline, merging
+// identical findings into counted entries sorted by file, analyzer,
+// message.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{d.File, d.Analyzer, d.Message}]++
+	}
+	findings := make([]BaselineEntry, 0, len(counts))
+	for k, n := range counts {
+		findings = append(findings, BaselineEntry{File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return &Baseline{Schema: SchemaVersion, Fallvet: Stamp(), Findings: findings}
+}
+
+// Encode renders the baseline as indented JSON with a trailing
+// newline, ready to commit.
+func (b *Baseline) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// LoadBaseline reads and validates a committed baseline file. A schema
+// mismatch is an error, not a guess: regenerate the file with the
+// current binary instead of reinterpreting old fields.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Schema != SchemaVersion {
+		return nil, fmt.Errorf("baseline %s has schema %d, this binary reads %d: regenerate it with -baseline %s -write",
+			path, b.Schema, SchemaVersion, path)
+	}
+	return &b, nil
+}
+
+// Diff splits a run's diagnostics against a baseline: diagnostics
+// beyond an entry's tolerated count are new (in source order), and
+// baseline entries the run no longer produces are stale (in baseline
+// order, with the unused residual count). A clean -diff run is one
+// with no new findings; stale entries are advisory — refresh the file
+// with -write when they accumulate.
+func (b *Baseline) Diff(diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey{e.File, e.Analyzer, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.File, d.Analyzer, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Findings {
+		k := baselineKey{e.File, e.Analyzer, e.Message}
+		if budget[k] > 0 {
+			stale = append(stale, BaselineEntry{File: e.File, Analyzer: e.Analyzer, Message: e.Message, Count: budget[k]})
+			budget[k] = 0
+		}
+	}
+	return fresh, stale
+}

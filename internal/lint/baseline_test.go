@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{File: "internal/nn/dense.go", Line: 10, Col: 2, Analyzer: "hotpath", Message: "make allocates"},
+		{File: "internal/nn/dense.go", Line: 40, Col: 2, Analyzer: "hotpath", Message: "make allocates"},
+		{File: "internal/eval/eval.go", Line: 7, Col: 9, Analyzer: "floatdet", Message: "raw float == in a deterministic package"},
+	}
+}
+
+// TestBaselineRoundTrip: NewBaseline aggregates identical findings
+// into counted entries, Encode/LoadBaseline round-trips losslessly.
+func TestBaselineRoundTrip(t *testing.T) {
+	b := NewBaseline(sampleDiags())
+	if b.Schema != SchemaVersion || b.Fallvet != Stamp() {
+		t.Fatalf("baseline header %d/%q, want %d/%q", b.Schema, b.Fallvet, SchemaVersion, Stamp())
+	}
+	want := []BaselineEntry{
+		{File: "internal/eval/eval.go", Analyzer: "floatdet", Message: "raw float == in a deterministic package", Count: 1},
+		{File: "internal/nn/dense.go", Analyzer: "hotpath", Message: "make allocates", Count: 2},
+	}
+	if !reflect.DeepEqual(b.Findings, want) {
+		t.Fatalf("findings:\n got %+v\nwant %+v", b.Findings, want)
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, b) {
+		t.Errorf("round trip changed the baseline:\n got %+v\nwant %+v", back, b)
+	}
+}
+
+// TestBaselineDiff: per-entry counts are a budget — findings within it
+// are absorbed, findings beyond it are fresh, unused budget is stale.
+func TestBaselineDiff(t *testing.T) {
+	b := NewBaseline(sampleDiags())
+
+	// Identical run: nothing fresh, nothing stale.
+	fresh, stale := b.Diff(sampleDiags())
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("self-diff: %d fresh, %d stale, want 0/0", len(fresh), len(stale))
+	}
+
+	// One extra duplicate of a baselined finding and one brand-new
+	// finding are both fresh; the fixed floatdet entry is stale.
+	run := []Diagnostic{
+		{File: "internal/nn/dense.go", Line: 10, Col: 2, Analyzer: "hotpath", Message: "make allocates"},
+		{File: "internal/nn/dense.go", Line: 40, Col: 2, Analyzer: "hotpath", Message: "make allocates"},
+		{File: "internal/nn/dense.go", Line: 77, Col: 2, Analyzer: "hotpath", Message: "make allocates"},
+		{File: "internal/dsp/window.go", Line: 3, Col: 1, Analyzer: "exhaustive", Message: "switch over dsp.Mode is missing ModeHann"},
+	}
+	fresh, stale = b.Diff(run)
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %+v, want the third duplicate and the exhaustive finding", fresh)
+	}
+	if fresh[0].Line != 77 || fresh[1].Analyzer != "exhaustive" {
+		t.Errorf("fresh order/content wrong: %+v", fresh)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "floatdet" || stale[0].Count != 1 {
+		t.Errorf("stale = %+v, want the floatdet entry with residual 1", stale)
+	}
+}
+
+// TestLoadBaselineSchemaMismatch: an old-schema baseline is rejected
+// with a message that says how to regenerate it.
+func TestLoadBaselineSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"schema":1,"fallvet":"v1/4-rules","findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadBaseline(path)
+	if err == nil || !strings.Contains(err.Error(), "schema 1") || !strings.Contains(err.Error(), "-write") {
+		t.Errorf("LoadBaseline = %v, want a schema-mismatch error naming the fix", err)
+	}
+}
+
+// TestReportGolden pins the exact bytes of cmd/fallvet -json: the
+// versioned envelope, field names, indentation and ordering. If this
+// test breaks, SchemaVersion must be bumped, not the golden file
+// silently refreshed.
+func TestReportGolden(t *testing.T) {
+	report := NewReport(sampleDiags(), 3)
+	got, err := report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("-json output drifted from %s:\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+
+	// The empty report still carries the envelope and an explicit
+	// empty array (not null), so consumers never special-case clean runs.
+	empty, err := NewReport(nil, 35).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(empty), `"diagnostics": []`) {
+		t.Errorf("empty report renders diagnostics as %s, want []", empty)
+	}
+}

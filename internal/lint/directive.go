@@ -5,16 +5,30 @@ import (
 	"strings"
 )
 
-// The directive grammar (DESIGN.md §9):
+// The directive grammar (DESIGN.md §9, §13):
 //
 //	//fallvet:hotpath
 //	    In a function's doc comment: the function promises steady-state
-//	    zero allocation and the hotpath analyzer checks its body.
+//	    zero allocation. The hotpath analyzer checks its body directly;
+//	    the hottrans analyzer proves its whole reachable call chain.
+//
+//	//fallvet:cold <reason...>
+//	    In a function's doc comment: the function is off the steady
+//	    state (panic guards, warm-up, error paths) and is pruned from
+//	    transitive hot-path reachability. The reason is mandatory.
+//
+//	//fallvet:derived <reason...>
+//	    On a struct field: the field is rebuilt, not serialized — the
+//	    snapshot analyzer exempts it from coverage. The reason is
+//	    mandatory and should name the rebuild mechanism.
 //
 //	//fallvet:ignore <rule> <reason...>
 //	    Suppress diagnostics of <rule> on the directive's own line and
 //	    on the next line. The reason is mandatory — a suppression
-//	    without a written justification is itself a diagnostic.
+//	    without a written justification is itself a diagnostic. For the
+//	    transitive rules (hottrans, hotpath) an ignored line also stops
+//	    contributing allocation effects, so the justification cuts the
+//	    call-graph edge instead of re-surfacing at every caller.
 //
 // Directives are machine comments: they start exactly at "//fallvet:"
 // with no space, like //go: directives. Anything else that looks like
@@ -25,6 +39,10 @@ import (
 type directives struct {
 	// hotpath lists the marked functions in source order.
 	hotpath []*ast.FuncDecl
+	// cold maps pruned functions to their justification.
+	cold map[*ast.FuncDecl]string
+	// derived maps exempted struct fields to their justification.
+	derived map[*ast.Field]string
 	// ignores maps file -> line -> set of rule names suppressed there.
 	ignores map[string]map[int]map[string]bool
 }
@@ -40,10 +58,15 @@ func (d *directives) ignored(file string, line int, rule string) bool {
 }
 
 func collectDirectives(p *pass) *directives {
-	d := &directives{ignores: map[string]map[int]map[string]bool{}}
+	d := &directives{
+		cold:    map[*ast.FuncDecl]string{},
+		derived: map[*ast.Field]string{},
+		ignores: map[string]map[int]map[string]bool{},
+	}
 	for _, f := range p.pkg.Files {
-		// Map doc comments to their function so //fallvet:hotpath can
-		// verify placement.
+		// Map doc comments to their function so //fallvet:hotpath and
+		// //fallvet:cold can verify placement, and field comments to
+		// their struct field for //fallvet:derived.
 		docOwner := map[*ast.Comment]*ast.FuncDecl{}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -54,16 +77,41 @@ func collectDirectives(p *pass) *directives {
 				docOwner[c] = fd
 			}
 		}
+		fieldOwner := map[*ast.Comment]*ast.Field{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+					if cg == nil {
+						continue
+					}
+					for _, c := range cg.List {
+						fieldOwner[c] = fld
+					}
+				}
+			}
+			return true
+		})
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				d.parseComment(p, f, c, docOwner)
+				d.parseComment(p, c, docOwner, fieldOwner)
 			}
+		}
+	}
+	// A function cannot be both the steady state and off it.
+	for _, fd := range d.hotpath {
+		if _, ok := d.cold[fd]; ok {
+			p.report("directive", fd.Pos(),
+				"%s is marked both //fallvet:hotpath and //fallvet:cold: pick one", funcDisplayName(fd))
 		}
 	}
 	return d
 }
 
-func (d *directives) parseComment(p *pass, f *ast.File, c *ast.Comment, docOwner map[*ast.Comment]*ast.FuncDecl) {
+func (d *directives) parseComment(p *pass, c *ast.Comment, docOwner map[*ast.Comment]*ast.FuncDecl, fieldOwner map[*ast.Comment]*ast.Field) {
 	if !strings.HasPrefix(c.Text, "//") {
 		return // block comments are never directives
 	}
@@ -92,6 +140,32 @@ func (d *directives) parseComment(p *pass, f *ast.File, c *ast.Comment, docOwner
 			return
 		}
 		d.hotpath = append(d.hotpath, fd)
+	case "fallvet:cold":
+		fd, ok := docOwner[c]
+		if !ok {
+			p.report("directive", c.Pos(),
+				"misplaced //fallvet:cold: must sit in a function's doc comment")
+			return
+		}
+		if len(fields) < 2 {
+			p.report("directive", c.Pos(),
+				"malformed %q: usage //fallvet:cold <reason...>", fields[0])
+			return
+		}
+		d.cold[fd] = strings.Join(fields[1:], " ")
+	case "fallvet:derived":
+		fld, ok := fieldOwner[c]
+		if !ok {
+			p.report("directive", c.Pos(),
+				"misplaced //fallvet:derived: must sit on a struct field")
+			return
+		}
+		if len(fields) < 2 {
+			p.report("directive", c.Pos(),
+				"malformed %q: usage //fallvet:derived <reason...>", fields[0])
+			return
+		}
+		d.derived[fld] = strings.Join(fields[1:], " ")
 	case "fallvet:ignore":
 		if len(fields) < 3 {
 			p.report("directive", c.Pos(),

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// exhaustive checks switches over the repo's enum-like constant sets
+// (edge.Health, cascade.Tier, fault.Kind, serve.State, ...): every
+// declared constant of the switched type must appear in a case. A
+// default clause does not satisfy the rule — defaults are for invalid
+// values, and an enum member silently falling into one is exactly the
+// bug this catches (a new cascade tier that no supervisor arm
+// handles). Intentional partial switches carry
+// //fallvet:ignore exhaustive <reason>.
+//
+// A type counts as an enum when it is a named integer type declared in
+// one of the analyzed packages with at least two package-scope
+// constants of exactly that type. Constants whose name starts with
+// "Num"/"num" are sentinels (NumTiers) and are not required.
+
+var exhaustiveAnalyzer = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over repo enum constant sets must name every declared constant",
+	run:  runExhaustive,
+}
+
+func runExhaustive(p *pass) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if ok && sw.Tag != nil {
+				checkExhaustive(p, sw)
+			}
+			return true
+		})
+	}
+}
+
+// enumMember is one declared constant of the switched type.
+type enumMember struct {
+	name string
+	val  int64
+}
+
+func checkExhaustive(p *pass, sw *ast.SwitchStmt) {
+	tagType := p.pkg.Info.TypeOf(sw.Tag)
+	named, ok := tagType.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !p.prog.paths[named.Obj().Pkg().Path()] {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := map[int64]bool{}
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := p.pkg.Info.Types[expr]
+			if !ok || tv.Value == nil {
+				return // dynamic comparison: not an enum dispatch
+			}
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []enumMember
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	names := make([]string, len(missing))
+	for i, m := range missing {
+		names[i] = m.name
+	}
+	label := fmt.Sprintf("%s.%s", named.Obj().Pkg().Name(), named.Obj().Name())
+	msg := fmt.Sprintf("switch over %s is missing %s", label, strings.Join(names, ", "))
+	if hasDefault {
+		msg += " (a default clause does not make an enum switch exhaustive)"
+	}
+	p.report("exhaustive", sw.Pos(), "%s; add the cases or justify with //fallvet:ignore exhaustive", msg)
+}
+
+// enumMembers lists the package-scope constants of exactly type named,
+// minus "Num"/"num" sentinels, sorted by value then name.
+func enumMembers(named *types.Named) []enumMember {
+	scope := named.Obj().Pkg().Scope()
+	var out []enumMember
+	for _, name := range scope.Names() {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok || cn.Type() != named {
+			continue
+		}
+		if strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num") {
+			continue
+		}
+		if v, exact := constant.Int64Val(constant.ToInt(cn.Val())); exact {
+			out = append(out, enumMember{name: name, val: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].val != out[j].val {
+			return out[i].val < out[j].val
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatdet guards the bit-identical-results contract at its weakest
+// point: float comparison and float accumulation order. In the
+// deterministic packages:
+//
+//   - raw == / != between two non-constant float expressions is
+//     forbidden. Bitwise identity checks must go through
+//     math.Float64bits (uint64 compare — which this rule therefore
+//     does not flag), and tolerance checks through an explicit
+//     epsilon. Comparisons against compile-time constants (x == 0,
+//     x != prevSentinel) stay legal: they are exact-representation
+//     sentinel tests, not accumulated-value equality.
+//
+//   - compound float accumulation (+=, -=, *=, /=) inside a
+//     range-over-map body is flagged: map order is randomized per run,
+//     so the reduction's rounding depends on iteration order. (The
+//     determinism analyzer already bans map range in these packages
+//     outright; this rule names the precise hazard so the pair of
+//     diagnostics explains both the what and the why.)
+
+var floatDetAnalyzer = &Analyzer{
+	Name: "floatdet",
+	Doc:  "no raw float ==/!= and no float accumulation under map iteration in deterministic packages",
+	run:  runFloatDet,
+}
+
+func runFloatDet(p *pass) {
+	if !p.cfg.Deterministic(p.pkg.Path) {
+		return
+	}
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkFloatCompare(p, n)
+				}
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						checkMapAccumulation(p, n)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFloatCompare(p *pass, b *ast.BinaryExpr) {
+	info := p.pkg.Info
+	xv, yv := info.Types[b.X], info.Types[b.Y]
+	// A constant operand makes this a sentinel test, not a comparison
+	// of two computed values.
+	if xv.Value != nil || yv.Value != nil {
+		return
+	}
+	if isFloatType(xv.Type) || isFloatType(yv.Type) {
+		op := "=="
+		if b.Op == token.NEQ {
+			op = "!="
+		}
+		p.report("floatdet", b.OpPos,
+			"raw float %s in a deterministic package: compare math.Float64bits values for identity or use an explicit tolerance", op)
+	}
+}
+
+func checkMapAccumulation(p *pass, rng *ast.RangeStmt) {
+	info := p.pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		if len(as.Lhs) == 1 && isFloatType(info.TypeOf(as.Lhs[0])) {
+			p.report("floatdet", as.Pos(),
+				"float accumulation inside map iteration: the reduction order (and so the rounding) is randomized per run")
+		}
+		return true
+	})
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -6,8 +6,10 @@ import (
 	"go/token"
 	"io/fs"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -231,6 +233,114 @@ func TestHotpathAnnotationsMatchManifest(t *testing.T) {
 	}
 	if len(annotated) == 0 {
 		t.Fatal("found no //fallvet:hotpath annotations in the repo")
+	}
+}
+
+// loadRepoPasses loads and analyzes the whole module once per test
+// binary — the source importer type-checks every dependency, so this
+// is the expensive step — and shares the passes between the
+// whole-program audit tests below.
+var (
+	repoPassesOnce sync.Once
+	repoPasses     []*pass
+	repoPassesErr  error
+)
+
+func loadRepoPasses(t *testing.T) []*pass {
+	t.Helper()
+	repoPassesOnce.Do(func() {
+		root, modPath, err := moduleRoot(".")
+		if err != nil {
+			repoPassesErr = err
+			return
+		}
+		targets, err := expand(root, root, modPath, []string{"./..."})
+		if err != nil {
+			repoPassesErr = err
+			return
+		}
+		l := newLoader()
+		var pkgs []*Package
+		for _, tg := range targets {
+			pkg, err := l.load(tg[0], tg[1])
+			if err != nil {
+				repoPassesErr = err
+				return
+			}
+			if pkg != nil {
+				pkgs = append(pkgs, pkg)
+			}
+		}
+		repoPasses, _ = buildPasses(pkgs, DefaultConfig())
+	})
+	if repoPassesErr != nil {
+		t.Fatal(repoPassesErr)
+	}
+	return repoPasses
+}
+
+// TestTransitiveProofMatchesAllocGates is the two-way contract between
+// the static whole-program proof and the dynamic AllocsPerRun gates:
+//
+//   - every function the manifest backs with a dynamic gate (or a
+//     documented static-only note) must be transitively PROVEN
+//     alloc-free by hottrans — an unproven hot function means the
+//     static guarantee silently regressed even if the gate still
+//     passes (gates measure one input shape; the proof covers all);
+//   - every function hottrans proves must be listed in the manifest,
+//     so a proof without a stated runtime witness cannot appear.
+//
+// Manifest keys are module-relative ("internal/nn.Network.Predict");
+// proveHotpaths keys carry the module path ("repro/internal/nn....").
+func TestTransitiveProofMatchesAllocGates(t *testing.T) {
+	passes := loadRepoPasses(t)
+	proven := proveHotpaths(passes)
+
+	for name, gate := range hotpathCoverage {
+		diags, ok := proven["repro/"+name]
+		if !ok {
+			t.Errorf("%s is in the manifest (gate: %s) but the call-graph proof never saw it", name, gate)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s is gated by %q but NOT transitively alloc-free: %s", name, gate, d)
+		}
+	}
+	for key := range proven {
+		name := strings.TrimPrefix(key, "repro/")
+		if _, ok := hotpathCoverage[name]; !ok {
+			t.Errorf("%s is proven hot but has no manifest entry: state which dynamic test backs it", name)
+		}
+	}
+	if len(proven) == 0 {
+		t.Fatal("proveHotpaths found no hot functions in the repo")
+	}
+}
+
+// TestSnapshotPairSet pins which types the snapshot analyzer actually
+// audits. A pair silently dropping out of this set (renamed writer,
+// changed receiver type) would turn off its completeness checking
+// without failing any other test.
+//
+// Two subsystems the crash-safety story depends on are deliberately
+// absent: internal/artifact serializes through free functions
+// (AppendEnvelope / StateReader), not a method pair, and nn.Streamer
+// is never serialized at all — edge.Detector rebuilds it row by row
+// after ReadState, which is exactly what its //fallvet:derived streams
+// tag records. Their state is audited through the pairs that own it
+// (edge.Detector, serve.Session), not as pairs of their own.
+func TestSnapshotPairSet(t *testing.T) {
+	got := collectSnapshotTypes(loadRepoPasses(t))
+	want := []string{
+		"repro/internal/cascade.Cascade",
+		"repro/internal/dsp.Filter",
+		"repro/internal/edge.Detector",
+		"repro/internal/edge.FixedFilter",
+		"repro/internal/nn.Network",
+		"repro/internal/serve.Session",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot pair set changed:\n got  %v\n want %v", got, want)
 	}
 }
 

@@ -1,0 +1,92 @@
+package lint
+
+// hottrans closes the gap the v1 hotpath analyzer documents: hotpath
+// checks only the constructs a //fallvet:hotpath body contains
+// directly, so an annotated function that calls an allocating helper
+// passed silently. hottrans walks the whole-program call graph built
+// in program.go and reports, at each call site inside a hot function,
+// every callee that is not provably alloc-free — with the concrete
+// witness chain down to the allocating construct — and every call the
+// graph cannot resolve (function values, external packages, interface
+// calls with no analyzed implementation).
+//
+// Own-body allocating constructs are NOT re-reported here; the hotpath
+// analyzer already owns those, and double-reporting would force every
+// justified //fallvet:ignore hotpath to be written twice.
+//
+// Escape hatches, in order of preference: fix the callee; mark a
+// genuinely-off-steady-state callee //fallvet:cold <reason> (prunes it
+// from reachability program-wide); or justify the specific call site
+// with //fallvet:ignore hottrans <reason> (cuts that one edge).
+
+var hotTransAnalyzer = &Analyzer{
+	Name: "hottrans",
+	Doc:  "prove //fallvet:hotpath functions alloc-free through their entire call chain",
+	run:  runHotTrans,
+}
+
+func runHotTrans(p *pass) {
+	for _, fd := range p.dirs.hotpath {
+		fi := p.prog.byDecl[fd]
+		if fi == nil {
+			continue // no body or no type info; hotpath already reported
+		}
+		for i := range fi.sites {
+			s := &fi.sites[i]
+			if s.unresolved != "" {
+				p.report("hottrans", s.pos, "in hot path %s: %s", fi.name(), s.unresolved)
+				continue
+			}
+			for _, t := range s.targets {
+				if t.cold || !t.dirty {
+					continue
+				}
+				p.report("hottrans", s.pos,
+					"in hot path %s: call to %s is not provably alloc-free: %s; fix the chain, mark the callee //fallvet:cold, or justify with //fallvet:ignore hottrans",
+					fi.name(), t.name(), chain(t))
+			}
+		}
+	}
+}
+
+// proveHotpaths returns, for every //fallvet:hotpath function across
+// the passes, the unsuppressed hottrans diagnostics its call chain
+// produces — empty slice means transitively proven. Keys are
+// "importPath.DisplayName" to match the audit manifest. Used by
+// hotpath_audit_test to cross-check the static proof against the
+// AllocsPerRun gates.
+func proveHotpaths(passes []*pass) map[string][]Diagnostic {
+	out := map[string][]Diagnostic{}
+	for _, p := range passes {
+		for _, fd := range p.dirs.hotpath {
+			fi := p.prog.byDecl[fd]
+			if fi == nil {
+				continue
+			}
+			before := len(p.diags)
+			saved := p.diags
+			p.diags = nil
+			for i := range fi.sites {
+				s := &fi.sites[i]
+				if s.unresolved != "" {
+					p.report("hottrans", s.pos, "in hot path %s: %s", fi.name(), s.unresolved)
+					continue
+				}
+				for _, t := range s.targets {
+					if !t.cold && t.dirty {
+						p.report("hottrans", s.pos, "in hot path %s: call to %s: %s", fi.name(), t.name(), chain(t))
+					}
+				}
+			}
+			var kept []Diagnostic
+			for _, d := range p.diags {
+				if !p.dirs.ignored(d.File, d.Line, d.Analyzer) {
+					kept = append(kept, d)
+				}
+			}
+			p.diags = saved[:before]
+			out[fi.key()] = kept
+		}
+	}
+	return out
+}

@@ -5,17 +5,26 @@
 // rules, so the verify gate rejects a violating change before any test
 // runs (DESIGN.md §9).
 //
-// Four analyzers ship by default:
+// Eight analyzers ship by default:
 //
 //	determinism  no wall-clock reads, no global math/rand, no map
 //	             iteration in the deterministic packages
 //	hotpath      no allocating or boxing constructs in functions
-//	             marked //fallvet:hotpath
+//	             marked //fallvet:hotpath (direct body check)
+//	hottrans     whole-program proof that every //fallvet:hotpath
+//	             function is alloc-free through its entire reachable
+//	             call chain (DESIGN.md §13)
 //	checkedio    error returns from Close/Sync/Flush/Write/Rename
 //	             must not be discarded
 //	redorder     goroutines and channels only inside the sanctioned
 //	             concurrency packages (internal/par, internal/serve,
 //	             internal/guard), repo-wide
+//	snapshot     every field of a type with snapshot/restore methods
+//	             is serialized or marked //fallvet:derived
+//	exhaustive   switches over repo enum constant sets name every
+//	             declared constant
+//	floatdet     no raw ==/!= on floats and no float accumulation
+//	             under map iteration in the deterministic packages
 //
 // The package uses only go/parser, go/ast and go/types with the
 // standard source importer — the module stays dependency-free.
@@ -34,7 +43,9 @@ import (
 // files stamped with Stamp() state which invariant set produced them.
 // v2: redorder went repo-wide (previously deterministic packages only)
 // with internal/serve and internal/guard joining internal/par on the
-// concurrency allowlist.
+// concurrency allowlist; the whole-program call graph added hottrans,
+// snapshot, exhaustive and floatdet on the same version (the rule count
+// in Stamp distinguishes the two states).
 const Version = "2"
 
 // Stamp is the short fingerprint recorded in results headers (see
@@ -71,8 +82,12 @@ type Analyzer struct {
 var analyzers = []*Analyzer{
 	determinismAnalyzer,
 	hotpathAnalyzer,
+	hotTransAnalyzer,
 	checkedIOAnalyzer,
 	redOrderAnalyzer,
+	snapshotAnalyzer,
+	exhaustiveAnalyzer,
+	floatDetAnalyzer,
 }
 
 // Analyzers returns the active rule set for documentation and tests.
@@ -130,11 +145,15 @@ var parSuffixes = []string{
 
 // DefaultConfig is the repo's scoping: the seven deterministic packages
 // for the determinism analyzer, and the three sanctioned concurrency
-// packages for redorder.
+// packages for redorder. Both suffix lists are deduplicated first so a
+// package accidentally listed twice cannot double-count in either
+// allowlist check.
 func DefaultConfig() Config {
+	det := dedupeSuffixes(deterministicSuffixes)
+	par := dedupeSuffixes(parSuffixes)
 	return Config{
 		Deterministic: func(path string) bool {
-			for _, s := range deterministicSuffixes {
+			for _, s := range det {
 				if path == s || hasPathSuffix(path, s) {
 					return true
 				}
@@ -142,7 +161,7 @@ func DefaultConfig() Config {
 			return false
 		},
 		Par: func(path string) bool {
-			for _, s := range parSuffixes {
+			for _, s := range par {
 				if path == s || hasPathSuffix(path, s) {
 					return true
 				}
@@ -150,6 +169,20 @@ func DefaultConfig() Config {
 			return false
 		},
 	}
+}
+
+// dedupeSuffixes returns the list with duplicates removed, preserving
+// first-occurrence order.
+func dedupeSuffixes(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // hasPathSuffix reports whether path ends in "/"+suffix on an import
@@ -160,11 +193,16 @@ func hasPathSuffix(path, suffix string) bool {
 	return n > 0 && path[n-1] == '/' && path[n:] == suffix
 }
 
-// pass is the per-package state handed to each analyzer.
+// pass is the per-package state handed to each analyzer. prog is the
+// whole-program index shared by every pass of one run — the transitive
+// analyzers (hottrans, snapshot) look across package boundaries
+// through it.
 type pass struct {
 	pkg    *Package
 	cfg    Config
 	dirs   *directives
+	prog   *program
+	diags  []Diagnostic
 	report func(analyzer string, pos token.Pos, format string, args ...any)
 }
 
@@ -172,6 +210,23 @@ type pass struct {
 // surviving diagnostics, sorted by position. Diagnostics on lines
 // covered by a //fallvet:ignore directive for their rule are dropped.
 func Run(pkgs []*Package, cfg Config) []Diagnostic {
+	passes, _ := buildPasses(pkgs, cfg)
+	var all []Diagnostic
+	for _, p := range passes {
+		for _, a := range analyzers {
+			a.run(p)
+		}
+		all = append(all, p.finish()...)
+	}
+	sortDiagnostics(all)
+	return all
+}
+
+// buildPasses runs the shared front half of an analysis: directive
+// collection for every package, then the whole-program index with its
+// allocation-effect fixed point. The audit tests call it directly to
+// cross-check the transitive proof against the runtime alloc gates.
+func buildPasses(pkgs []*Package, cfg Config) ([]*pass, *program) {
 	if cfg.Deterministic == nil || cfg.Par == nil {
 		def := DefaultConfig()
 		if cfg.Deterministic == nil {
@@ -181,35 +236,35 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 			cfg.Par = def.Par
 		}
 	}
-	var all []Diagnostic
+	passes := make([]*pass, 0, len(pkgs))
 	for _, pkg := range pkgs {
-		all = append(all, runPackage(pkg, cfg)...)
+		p := &pass{pkg: pkg, cfg: cfg}
+		p.report = func(analyzer string, pos token.Pos, format string, args ...any) {
+			ps := p.pkg.Fset.Position(pos)
+			p.diags = append(p.diags, Diagnostic{
+				File:     ps.Filename,
+				Line:     ps.Line,
+				Col:      ps.Column,
+				Analyzer: analyzer,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		p.dirs = collectDirectives(p)
+		passes = append(passes, p)
 	}
-	sortDiagnostics(all)
-	return all
+	prog := buildProgram(passes)
+	for _, p := range passes {
+		p.prog = prog
+	}
+	return passes, prog
 }
 
-func runPackage(pkg *Package, cfg Config) []Diagnostic {
-	var raw []Diagnostic
-	p := &pass{pkg: pkg, cfg: cfg}
-	p.report = func(analyzer string, pos token.Pos, format string, args ...any) {
-		ps := pkg.Fset.Position(pos)
-		raw = append(raw, Diagnostic{
-			File:     ps.Filename,
-			Line:     ps.Line,
-			Col:      ps.Column,
-			Analyzer: analyzer,
-			Message:  fmt.Sprintf(format, args...),
-		})
-	}
-	p.dirs = collectDirectives(p)
-	for _, a := range analyzers {
-		a.run(p)
-	}
-	// Apply //fallvet:ignore suppression. Directive diagnostics
-	// themselves are never suppressible.
-	kept := raw[:0]
-	for _, d := range raw {
+// finish applies //fallvet:ignore suppression to the pass's collected
+// diagnostics. Directive diagnostics themselves are never
+// suppressible.
+func (p *pass) finish() []Diagnostic {
+	kept := p.diags[:0]
+	for _, d := range p.diags {
 		if d.Analyzer != "directive" && p.dirs.ignored(d.File, d.Line, d.Analyzer) {
 			continue
 		}

@@ -132,6 +132,15 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"redorder/good", false, false},
 		{"redorder/serve", false, false},
 		{"suppress", true, false},
+		{"hottrans/bad", false, false},
+		{"hottrans/good", false, false},
+		{"snapshot/bad", false, false},
+		{"snapshot/good", false, false},
+		{"exhaustive/bad", false, false},
+		{"exhaustive/good", false, false},
+		// floatdet is scoped like determinism: deterministic packages only.
+		{"floatdet/bad", true, false},
+		{"floatdet/good", true, false},
 	} {
 		t.Run(strings.ReplaceAll(tc.rel, "/", "_"), func(t *testing.T) {
 			checkFixture(t, tc.rel, fixtureConfig(tc.det, tc.par))
@@ -174,30 +183,48 @@ func TestRedorderServeAllowlist(t *testing.T) {
 }
 
 // TestDirectiveDiagnostics: malformed //fallvet: comments are reported
-// by the unsuppressible "directive" pseudo-analyzer, in source order.
+// by the unsuppressible "directive" pseudo-analyzer, in source order,
+// each at the directive's own file:line:col — not at the enclosing
+// declaration. (The conflict diagnostic is the one exception: it is
+// about the function, so it anchors at the function.)
 func TestDirectiveDiagnostics(t *testing.T) {
 	pkg := loadFixture(t, "directives")
 	diags := Run([]*Package{pkg}, fixtureConfig(false, false))
-	wantSubstrings := []string{
-		"misplaced //fallvet:hotpath",
-		"unknown fallvet directive",
-		"no space allowed",
-		"usage //fallvet:ignore <rule> <reason...>",
-		`unknown rule "nosuchrule"`,
-		"has no body",
+	want := []struct {
+		line, col int
+		substr    string
+	}{
+		{9, 1, "misplaced //fallvet:hotpath"},
+		{12, 1, "unknown fallvet directive"},
+		{15, 1, "no space allowed"},
+		{18, 1, "usage //fallvet:ignore <rule> <reason...>"},
+		{21, 1, `unknown rule "nosuchrule"`},
+		{24, 1, "has no body"},
+		{27, 1, "usage //fallvet:cold <reason...>"},
+		{30, 1, "misplaced //fallvet:cold: must sit in a function's doc comment"},
+		{33, 1, "misplaced //fallvet:derived: must sit on a struct field"},
+		{37, 2, "usage //fallvet:derived <reason...>"},
+		{46, 1, "conflicted is marked both //fallvet:hotpath and //fallvet:cold"},
 	}
-	if len(diags) != len(wantSubstrings) {
+	if len(diags) != len(want) {
 		for _, d := range diags {
 			t.Log(d)
 		}
-		t.Fatalf("got %d directive diagnostics, want %d", len(diags), len(wantSubstrings))
+		t.Fatalf("got %d directive diagnostics, want %d", len(diags), len(want))
 	}
 	for i, d := range diags {
 		if d.Analyzer != "directive" {
 			t.Errorf("diagnostic %d: analyzer %q, want directive", i, d.Analyzer)
 		}
-		if !strings.Contains(d.Message, wantSubstrings[i]) {
-			t.Errorf("diagnostic %d: %q does not mention %q", i, d.Message, wantSubstrings[i])
+		if filepath.Base(d.File) != "directives.go" {
+			t.Errorf("diagnostic %d: file %q, want directives.go", i, d.File)
+		}
+		if d.Line != want[i].line || d.Col != want[i].col {
+			t.Errorf("diagnostic %d (%q): at %d:%d, want %d:%d",
+				i, d.Message, d.Line, d.Col, want[i].line, want[i].col)
+		}
+		if !strings.Contains(d.Message, want[i].substr) {
+			t.Errorf("diagnostic %d: %q does not mention %q", i, d.Message, want[i].substr)
 		}
 	}
 }
@@ -282,15 +309,31 @@ func TestDefaultConfigScoping(t *testing.T) {
 }
 
 func TestStamp(t *testing.T) {
-	if got, want := Stamp(), "v2/4-rules"; got != want {
+	if got, want := Stamp(), "v2/8-rules"; got != want {
 		t.Errorf("Stamp() = %q, want %q", got, want)
 	}
 	names := make([]string, 0, len(Analyzers()))
 	for _, a := range Analyzers() {
 		names = append(names, a.Name)
 	}
-	wantNames := []string{"determinism", "hotpath", "checkedio", "redorder"}
+	wantNames := []string{"determinism", "hotpath", "hottrans", "checkedio",
+		"redorder", "snapshot", "exhaustive", "floatdet"}
 	if !reflect.DeepEqual(names, wantNames) {
 		t.Errorf("analyzer set %v, want %v", names, wantNames)
+	}
+}
+
+// TestDedupeSuffixes: listing a package twice in an allowlist must not
+// change matching, and the dedupe preserves first-occurrence order —
+// a double-listed suffix cannot be double-counted by any future logic
+// that iterates the list.
+func TestDedupeSuffixes(t *testing.T) {
+	got := dedupeSuffixes([]string{"internal/par", "internal/nn", "internal/par", "internal/serve", "internal/nn"})
+	want := []string{"internal/par", "internal/nn", "internal/serve"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dedupeSuffixes = %v, want %v", got, want)
+	}
+	if out := dedupeSuffixes(nil); len(out) != 0 {
+		t.Errorf("dedupeSuffixes(nil) = %v, want empty", out)
 	}
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -12,6 +13,23 @@ import (
 	"sort"
 	"strings"
 )
+
+// LoadError is a structured package-loading failure: which package,
+// where on disk, and the parse or type-check error underneath. Callers
+// that fan out over many packages can unwrap it to decide whether the
+// failure is theirs (a broken fixture) or the target's (code that does
+// not compile).
+type LoadError struct {
+	ImportPath string
+	Dir        string
+	Err        error
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("loading %s (%s): %v", e.ImportPath, e.Dir, e.Err)
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
 
 // Package is one parsed and type-checked package, ready for analysis.
 type Package struct {
@@ -39,17 +57,38 @@ func newLoader() *loader {
 }
 
 // load parses the non-test .go files of dir and type-checks them as
-// importPath. Returns nil (no error) for directories with no Go files.
+// importPath. Files excluded by build constraints (//go:build lines,
+// GOOS/GOARCH filename suffixes) are skipped the way the go tool
+// skips them. Returns nil (no error) for directories with no Go files
+// in the build — including test-only packages, whose _test.go files
+// the linter never analyzes. Failures come back as *LoadError, never
+// a panic: a package that does not parse or type-check is a result,
+// not a crash.
 func (l *loader) load(dir, importPath string) (*Package, error) {
+	fail := func(err error) (*Package, error) {
+		return nil, &LoadError{ImportPath: importPath, Dir: dir, Err: err}
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
+	ctxt := build.Default
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		// MatchFile reads the file header and applies the same build
+		// constraint logic as the go tool, so a file tagged out of the
+		// build cannot poison the type check with symbols (or syntax)
+		// that the real build never sees.
+		match, err := ctxt.MatchFile(dir, name)
+		if err != nil {
+			return fail(fmt.Errorf("reading build constraints of %s: %w", name, err))
+		}
+		if !match {
 			continue
 		}
 		names = append(names, name)
@@ -62,7 +101,7 @@ func (l *loader) load(dir, importPath string) (*Package, error) {
 	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		files = append(files, f)
 	}
@@ -75,7 +114,7 @@ func (l *loader) load(dir, importPath string) (*Package, error) {
 	conf := types.Config{Importer: l.imp}
 	tpkg, err := conf.Check(importPath, l.fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+		return fail(fmt.Errorf("type-checking: %w", err))
 	}
 	return &Package{
 		Path:  importPath,

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadBuildTags: a file excluded by a //go:build constraint must
+// not reach the type checker. The excluded fixture file references an
+// undefined symbol, so mere success proves the exclusion.
+func TestLoadBuildTags(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "load", "buildtags")
+	pkg, err := newLoader().load(dir, "fixture/load/buildtags")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if pkg == nil {
+		t.Fatal("load returned no package")
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (excluded.go is tagged out of the build)", len(pkg.Files))
+	}
+	if pkg.Types.Scope().Lookup("Kept") == nil {
+		t.Error("Kept is missing from the package scope")
+	}
+	if pkg.Types.Scope().Lookup("Excluded") != nil {
+		t.Error("Excluded leaked into the package scope despite its build tag")
+	}
+}
+
+// TestLoadTestOnly: a directory whose only Go files are _test.go files
+// is not a package for the linter — nil result, nil error.
+func TestLoadTestOnly(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "load", "testonly")
+	pkg, err := newLoader().load(dir, "fixture/load/testonly")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if pkg != nil {
+		t.Fatalf("test-only directory produced a package with %d files", len(pkg.Files))
+	}
+}
+
+// TestLoadTypeError: a package that parses but does not type-check
+// must come back as a structured *LoadError naming the package and
+// directory, with the type error underneath.
+func TestLoadTypeError(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "load", "typeerr")
+	pkg, err := newLoader().load(dir, "fixture/load/typeerr")
+	if err == nil {
+		t.Fatalf("load succeeded (%v), want a type-check error", pkg)
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is %T, want *LoadError: %v", err, err)
+	}
+	if le.ImportPath != "fixture/load/typeerr" {
+		t.Errorf("LoadError.ImportPath = %q", le.ImportPath)
+	}
+	if le.Dir != dir {
+		t.Errorf("LoadError.Dir = %q, want %q", le.Dir, dir)
+	}
+	if le.Unwrap() == nil {
+		t.Error("LoadError.Unwrap() = nil, want the underlying type error")
+	}
+	if !strings.Contains(err.Error(), "notDeclaredAnywhere") {
+		t.Errorf("error %q does not name the undefined symbol", err)
+	}
+}
+
+// TestLoadMissingDir: an unreadable directory is a *LoadError too.
+func TestLoadMissingDir(t *testing.T) {
+	_, err := newLoader().load(filepath.Join("testdata", "src", "load", "nosuchdir"), "fixture/load/nosuchdir")
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is %T, want *LoadError: %v", err, err)
+	}
+}

@@ -34,7 +34,7 @@ func Shuffle(xs []int) {
 func Sum(m map[string]float64) float64 {
 	s := 0.0
 	for _, v := range m { // want `determinism: range over map`
-		s += v
+		s += v // want `floatdet: float accumulation inside map iteration`
 	}
 	return s
 }

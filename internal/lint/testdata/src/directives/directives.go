@@ -1,7 +1,9 @@
 // Package directives is the malformed-directive fixture. The expected
 // "directive" diagnostics are asserted explicitly in lint_test.go
 // (not via want comments, since several malformed forms cannot carry a
-// trailing comment without changing their meaning).
+// trailing comment without changing their meaning), including their
+// exact file:line:col — a malformed directive must be reported where
+// the directive sits, not at its enclosing declaration.
 package directives
 
 //fallvet:hotpath
@@ -22,8 +24,32 @@ func unknownRule() { _ = unknownRule }
 //fallvet:hotpath
 func bodyless()
 
+//fallvet:cold
+func coldNoReason() { _ = coldNoReason }
+
+//fallvet:cold guards a panic path
+var coldOnVar = 2
+
+//fallvet:derived rebuilt on restore
+func derivedOnFunc() { _ = derivedOnFunc }
+
+type snapshotted struct {
+	//fallvet:derived
+	rebuilt int
+	ok      int
+}
+
+// conflicted carries both markers.
+//
+//fallvet:hotpath
+//fallvet:cold but also cold
+func conflicted() { _ = conflicted }
+
 func use() {
 	_ = notAFunc
-	_ = spaced
+	_ = coldOnVar
+	_ = snapshotted{}.rebuilt
+	_ = snapshotted{}.ok
+	spaced()
 	bodyless()
 }

@@ -1,0 +1,33 @@
+// Package bad exercises enum-exhaustiveness violations: switches over
+// a repo enum that skip members, with and without a default clause.
+package bad
+
+// Health is a repo enum: a named integer type with a package-scope
+// constant set. NumHealth is a count sentinel, not a member.
+type Health int
+
+const (
+	Healthy Health = iota
+	Degraded
+	Faulted
+	NumHealth
+)
+
+func Describe(h Health) string {
+	switch h { // want `exhaustive: switch over bad.Health is missing Faulted \(a default clause does not make an enum switch exhaustive\)`
+	case Healthy:
+		return "ok"
+	case Degraded:
+		return "degraded"
+	default:
+		return "?"
+	}
+}
+
+func TwoMissing(h Health) int {
+	switch h { // want `exhaustive: switch over bad.Health is missing Degraded, Faulted`
+	case Healthy:
+		return 1
+	}
+	return 0
+}

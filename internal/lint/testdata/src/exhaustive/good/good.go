@@ -1,0 +1,63 @@
+// Package good is the negative space of enum exhaustiveness: every
+// member named (singly or in multi-value cases), dynamic switches
+// skipped, justified partial switches, and non-enum switches ignored.
+package good
+
+type Health int
+
+const (
+	Healthy Health = iota
+	Degraded
+	Faulted
+	NumHealth // count sentinel: never required in a switch
+)
+
+func Describe(h Health) string {
+	switch h {
+	case Healthy:
+		return "ok"
+	case Degraded:
+		return "degraded"
+	case Faulted:
+		return "faulted"
+	}
+	return "?"
+}
+
+func Worst(h Health) bool {
+	switch h {
+	case Degraded, Faulted:
+		return true
+	case Healthy:
+		return false
+	}
+	return false
+}
+
+// Dynamic case expressions make coverage undecidable: skipped.
+func Dynamic(h, other Health) bool {
+	switch h {
+	case other:
+		return true
+	}
+	return false
+}
+
+// Justified partial switch.
+func FastPath(h Health) bool {
+	//fallvet:ignore exhaustive only the healthy fast path matters here; everything else falls through
+	switch h {
+	case Healthy:
+		return true
+	}
+	return false
+}
+
+// Plain integer switches are not enum switches.
+func Plain(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

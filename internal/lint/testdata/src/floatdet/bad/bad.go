@@ -1,0 +1,32 @@
+// Package bad exercises float-determinism violations in a
+// deterministic package: raw equality on floats and float accumulation
+// under randomized map iteration order.
+package bad
+
+func Eq(a, b float64) bool {
+	return a == b // want `floatdet: raw float == in a deterministic package`
+}
+
+func Neq(a, b float32) bool {
+	return a != b // want `floatdet: raw float != in a deterministic package`
+}
+
+func MixedEq(a float64, b int) bool {
+	return a == float64(b) // want `floatdet: raw float == in a deterministic package`
+}
+
+func SumMap(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `determinism: range over map`
+		s += v // want `floatdet: float accumulation inside map iteration`
+	}
+	return s
+}
+
+func ScaleMap(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m { // want `determinism: range over map`
+		p *= v // want `floatdet: float accumulation inside map iteration`
+	}
+	return p
+}

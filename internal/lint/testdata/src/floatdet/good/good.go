@@ -1,0 +1,47 @@
+// Package good is the negative space of float determinism: bit-level
+// identity, explicit tolerances, constant sentinels, order-stable
+// slice reductions and integer map reductions all stay silent.
+package good
+
+import "math"
+
+// Identity through bit patterns: the sanctioned exact comparison.
+func Same(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Tolerance comparison: ordering operators are deterministic.
+func Close(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// Comparing against a compile-time constant is the repo's sentinel
+// idiom (zero probes, -1 markers) and is exact by construction.
+func IsZero(a float64) bool {
+	return a == 0
+}
+
+const sentinel = -1.0
+
+func IsSentinel(a float64) bool {
+	return a != sentinel
+}
+
+// Slice iteration order is fixed: the reduction is reproducible.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Integer accumulation commutes exactly; only the (separately
+// reported) map range itself is a determinism concern.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `determinism: range over map`
+		n += v
+	}
+	return n
+}

@@ -51,7 +51,7 @@ func Accumulate(parts []string) string {
 //fallvet:hotpath
 func Closure(n int) int {
 	f := func() int { return n } // want `hotpath: Closure: closure literal`
-	return f()
+	return f() // want `hottrans: in hot path bad.Closure: call through a function value`
 }
 
 // Box stores a concrete int into an interface variable.

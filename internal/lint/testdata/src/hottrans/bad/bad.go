@@ -1,0 +1,37 @@
+// Package bad exercises the transitive hot-path proof: every function
+// here passes the v1 hotpath analyzer (no allocating construct sits in
+// a hot body directly) and still breaks the zero-alloc promise one or
+// more calls down.
+package bad
+
+import "strings"
+
+//fallvet:hotpath
+func Hot(xs []float64) float64 {
+	return helper(xs) // want `hottrans: in hot path bad.Hot: call to bad.helper is not provably alloc-free`
+}
+
+// helper looks innocent but allocates two levels down.
+func helper(xs []float64) float64 {
+	return deep(xs)
+}
+
+func deep(xs []float64) float64 {
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	return c[0]
+}
+
+type scorer interface {
+	score(x float64) float64
+}
+
+//fallvet:hotpath
+func HotIface(s scorer, x float64) float64 {
+	return s.score(x) // want `hottrans: in hot path bad.HotIface: interface call bad.scorer.score has no implementation in the analyzed packages`
+}
+
+//fallvet:hotpath
+func HotExternal(s string, n int) string {
+	return strings.Repeat(s, n) // want `hottrans: in hot path bad.HotExternal: call to strings.Repeat is outside the analyzed packages`
+}

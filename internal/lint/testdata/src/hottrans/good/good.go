@@ -1,0 +1,63 @@
+// Package good is the negative space of the transitive hot-path
+// proof: clean call chains, cold-pruned guards, justified edge cuts,
+// panic-terminal formatting and the math allowlist all stay silent.
+package good
+
+import (
+	"fmt"
+	"math"
+)
+
+//fallvet:hotpath
+func Hot(xs []float64) float64 {
+	return math.Sqrt(sum(xs)) // math is allocation-free by contract
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+var scratch []float64
+
+//fallvet:hotpath
+func HotCold(xs []float64) float64 {
+	if scratch == nil {
+		grow(len(xs)) // cold callee: pruned from reachability
+	}
+	return sum(scratch)
+}
+
+//fallvet:cold one-time lazy initialisation: runs once before the steady state
+func grow(n int) {
+	scratch = make([]float64, n)
+}
+
+//fallvet:hotpath
+func HotIgnored(xs []float64) []float64 {
+	//fallvet:ignore hottrans cache-miss path: the fresh slice is built once, every later call reuses it
+	return clone(xs)
+}
+
+func clone(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out
+}
+
+//fallvet:hotpath
+func HotChecked(n int) int {
+	checkPositive(n)
+	return n * 2
+}
+
+// checkPositive allocates only to format the failing report: a panic
+// argument is terminal, so its Sprintf never runs on the steady state.
+func checkPositive(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+}

@@ -1,0 +1,8 @@
+//go:build neverbuildme
+
+package buildtags
+
+// Excluded references an undefined symbol: if the loader parses this
+// file despite the build tag, the package fails to type-check and the
+// fixture test catches it.
+var Excluded = definitelyNotDefined

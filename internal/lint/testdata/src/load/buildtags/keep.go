@@ -1,0 +1,8 @@
+// Package buildtags pins that the loader applies build constraints:
+// excluded.go is tagged out of every real build and references an
+// undefined symbol, so this package type-checks only if the loader
+// skips it the way the go tool does.
+package buildtags
+
+// Kept is the only symbol the build should see.
+const Kept = 1

@@ -1,0 +1,8 @@
+// Package testonly has no non-test Go files: the loader must report
+// "no package here" (nil, nil), not an error, because the linter never
+// analyzes _test.go files.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

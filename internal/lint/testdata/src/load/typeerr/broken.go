@@ -1,0 +1,7 @@
+// Package typeerr parses but does not type-check: the loader must
+// surface a structured *LoadError, not panic and not succeed.
+package typeerr
+
+func Broken() int {
+	return notDeclaredAnywhere
+}

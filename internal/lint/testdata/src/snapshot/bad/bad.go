@@ -1,0 +1,38 @@
+// Package bad exercises snapshot-completeness violations: a forgotten
+// field on the pair type, a forgotten field on a struct reached
+// through it, a redundant //fallvet:derived on a field the writer does
+// serialize, and a stale //fallvet:derived on a struct nothing checks.
+package bad
+
+// Box has an AppendState/ReadState pair, so every field must be
+// serialized or justified.
+type Box struct {
+	a int
+	b float64 // want `snapshot: field Box.b is not serialized by bad.Box's snapshot writer AppendState`
+	//fallvet:derived but the writer still touches it
+	d int // want `snapshot: redundant //fallvet:derived on Box.d`
+	r ring
+}
+
+// ring is reached through Box.r, so it is held to the same standard.
+type ring struct {
+	buf []byte
+	pos int // want `snapshot: field ring.pos is not serialized by bad.Box's snapshot writer AppendState`
+}
+
+func (b *Box) AppendState(dst []byte) []byte {
+	dst = append(dst, byte(b.a), byte(b.d))
+	dst = append(dst, b.r.buf...)
+	return dst
+}
+
+func (b *Box) ReadState(src []byte) {
+	b.a = int(src[0])
+}
+
+// unrelated is not part of any snapshot pair, so its justification is
+// dead weight.
+type unrelated struct {
+	//fallvet:derived nothing checks this struct
+	x int // want `snapshot: stale //fallvet:derived`
+}

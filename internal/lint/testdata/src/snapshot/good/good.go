@@ -1,0 +1,39 @@
+// Package good is the negative space of snapshot-completeness:
+// fields serialized through a helper the writer calls, a derived field
+// pruning the recursion into its scratch struct, and unserializable
+// fields (mutexes, channels, funcs) skipped without ceremony.
+package good
+
+import "sync"
+
+type Box struct {
+	a int
+	e int
+	//fallvet:derived scratch ring, rebuilt lazily on first use
+	scratch ring
+	mu      sync.Mutex
+	wake    chan struct{}
+	log     func(string)
+}
+
+// ring would fail the check (pos is never serialized) — but it is only
+// reachable through the derived scratch field, so it is never walked.
+type ring struct {
+	buf []byte
+	pos int
+}
+
+func (b *Box) AppendState(dst []byte) []byte {
+	return b.appendTail(append(dst, byte(b.a)))
+}
+
+// appendTail is part of the writer's same-package call closure, so the
+// fields it references count as serialized.
+func (b *Box) appendTail(dst []byte) []byte {
+	return append(dst, byte(b.e))
+}
+
+func (b *Box) ReadState(src []byte) {
+	b.a = int(src[0])
+	b.e = int(src[1])
+}

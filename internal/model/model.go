@@ -171,6 +171,8 @@ func New(kind Kind, cfg Config, rng *rand.Rand) (*NetModel, error) {
 		net = buildDistilledCNN(T, rng)
 	case KindCNNAccel:
 		net = buildAccelCNN(T, rng)
+	case KindThresholdAcc, KindThresholdGyro:
+		return nil, fmt.Errorf("model: %v is built by NewThreshold, not New", kind)
 	default:
 		return nil, fmt.Errorf("model: %v is not a network model", kind)
 	}

@@ -44,6 +44,7 @@ type Threshold struct {
 // NewThreshold returns a threshold detector of the given kind with
 // the literature's nominal parameters.
 func NewThreshold(kind Kind) (*Threshold, error) {
+	//fallvet:ignore exhaustive deliberately partial constructor: every network kind is rejected below with a descriptive error
 	switch kind {
 	case KindThresholdAcc:
 		return &Threshold{kind: kind, LowG: 0.6, MinRun: 3, VelThresh: 0.7}, nil
@@ -102,12 +103,10 @@ func (th *Threshold) features(x *tensor.Tensor) (run int, vel, gyro float64) {
 func (th *Threshold) Score(x *tensor.Tensor) float64 {
 	run, vel, gyro := th.features(x)
 	freefall := float64(run-th.MinRun) + 0.5 // ≥ 0.5 when run ≥ MinRun
-	var second float64
-	switch th.kind {
-	case KindThresholdAcc:
+	// th.kind is constructor-limited to the two threshold kinds.
+	second := (gyro - th.GyroThresh) / 40
+	if th.kind == KindThresholdAcc {
 		second = (vel - th.VelThresh) * 4
-	default:
-		second = (gyro - th.GyroThresh) / 40
 	}
 	// Both conditions must hold; take the weaker margin.
 	margin := math.Min(freefall, second)

@@ -235,6 +235,8 @@ func (d *Dropout) Params() []*Param { return nil }
 func (d *Dropout) OutShape(in []int) ([]int, error) { return in, nil }
 
 // Forward implements Layer.
+//
+//fallvet:cold training-only regularisation layer: allocates its mask by design and is identity at inference
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.Rate == 0 {
 		return x
@@ -255,6 +257,8 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:cold training-only regularisation layer: clones the gradient by design
 func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.keep == nil {
 		return grad

@@ -99,6 +99,8 @@ func sliceInto(dst, x *tensor.Tensor, lo, hi int) *tensor.Tensor {
 }
 
 // ensureScratch sizes the per-branch scratch slices once.
+//
+//fallvet:cold one-time lazy scratch initialisation (guarded by b.ins); the alloc gates prove the steady state allocates nothing
 func (b *Branch) ensureScratch() {
 	if b.ins != nil {
 		return

@@ -65,6 +65,7 @@ func (c *Conv1D) badShort(T int) {
 	panic(fmt.Sprintf("nn: %s input length %d shorter than kernel %d", c.Name(), T, c.Kernel))
 }
 
+//fallvet:cold panic-guard: allocates only to format the failing-shape report
 func (c *Conv1D) badGrad(grad *tensor.Tensor, outT int) {
 	checkShape(c.Name()+" grad", grad.Shape(), []int{outT, c.Filters})
 }

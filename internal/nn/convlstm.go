@@ -96,6 +96,8 @@ func (l *ConvLSTM) gates(xt []float64, h []float64, z []float64) {
 }
 
 // Forward implements Layer.
+//
+//fallvet:cold recurrent baseline layer (paper comparison): allocates per step by design, never part of the zero-alloc CNN deployment
 func (l *ConvLSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() != 2 || x.Dim(1) != l.Ch {
 		panic(fmt.Sprintf("nn: %s got shape %v", l.Name(), x.Shape()))
@@ -151,6 +153,8 @@ func (l *ConvLSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:cold recurrent baseline layer (paper comparison): allocates per step by design, never part of the zero-alloc CNN deployment
 func (l *ConvLSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	P, F, K := l.Ch, l.Filters, l.Kernel
 	checkShape(l.Name()+" grad", grad.Shape(), []int{P * F})

@@ -45,10 +45,13 @@ func (d *Dense) OutShape(in []int) ([]int, error) {
 
 // badInput and badGrad keep checkShape's argument allocations (Sprintf
 // name, shape literal) off the fast paths.
+//
+//fallvet:cold panic-guard: allocates only to format the failing-shape report
 func (d *Dense) badInput(x *tensor.Tensor) {
 	checkShape(d.Name(), x.Shape(), []int{d.In})
 }
 
+//fallvet:cold panic-guard: allocates only to format the failing-shape report
 func (d *Dense) badGrad(grad *tensor.Tensor) {
 	checkShape(d.Name()+" grad", grad.Shape(), []int{d.Out})
 }

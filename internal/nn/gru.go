@@ -86,6 +86,8 @@ func (g *GRU) step(t, T int) int {
 }
 
 // Forward implements Layer.
+//
+//fallvet:cold recurrent baseline layer (paper comparison): allocates per step by design, never part of the zero-alloc CNN deployment
 func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() != 2 || x.Dim(1) != g.InCh {
 		panic(fmt.Sprintf("nn: %s got shape %v", g.Name(), x.Shape()))
@@ -155,6 +157,8 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:cold recurrent baseline layer (paper comparison): allocates per step by design, never part of the zero-alloc CNN deployment
 func (g *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	H := g.Hidden
 	checkShape(g.Name()+" grad", grad.Shape(), []int{H})

@@ -24,9 +24,11 @@ import (
 
 // Param is one learnable tensor with its accumulated gradient.
 type Param struct {
+	//fallvet:derived immutable identifier assigned by newParam; snapshot geometry is positional
 	Name string
 	W    *tensor.Tensor
-	G    *tensor.Tensor
+	//fallvet:derived training-only gradient accumulator, zeroed by ZeroGrad rather than restored
+	G *tensor.Tensor
 }
 
 // newParam allocates a parameter and matching zero gradient.

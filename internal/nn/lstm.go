@@ -63,6 +63,8 @@ func (l *LSTM) OutShape(in []int) ([]int, error) {
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
 // Forward implements Layer.
+//
+//fallvet:cold recurrent baseline layer (paper comparison): allocates per step by design, never part of the zero-alloc CNN deployment
 func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() != 2 || x.Dim(1) != l.InCh {
 		panic(fmt.Sprintf("nn: %s got shape %v", l.Name(), x.Shape()))
@@ -126,6 +128,8 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:cold recurrent baseline layer (paper comparison): allocates per step by design, never part of the zero-alloc CNN deployment
 func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	H := l.Hidden
 	checkShape(l.Name()+" grad", grad.Shape(), []int{H})

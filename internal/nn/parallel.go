@@ -53,6 +53,8 @@ func (p *Parallel) OutShape(in []int) ([]int, error) {
 }
 
 // Forward implements Layer.
+//
+//fallvet:cold baseline-composition layer: concatenates into fresh tensors by design, absent from the deployed CNN configurations
 func (p *Parallel) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		p.inShape = append([]int(nil), x.Shape()...)
@@ -71,6 +73,8 @@ func (p *Parallel) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fallvet:cold baseline-composition layer: concatenates into fresh tensors by design, absent from the deployed CNN configurations
 func (p *Parallel) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dx := tensor.New(p.inShape...)
 	off := 0

@@ -9,16 +9,20 @@ import (
 // entry is one ingress ring slot: a single data sample or a run of
 // missing samples, plus the shed debt accumulated in front of it.
 type entry struct {
+	//fallvet:derived replay-log entry held in memory between snapshots and replayed live; never serialised
 	acc, gyro imu.Vec3
 	// missing, when > 0, makes this a gap entry of that many raw
 	// samples; acc/gyro are unused.
+	//fallvet:derived replay-log entry held in memory between snapshots and replayed live; never serialised
 	missing int
 	// shedBefore is how many raw samples were shed from the ring
 	// immediately before this entry. The worker converts the debt to
 	// PushMissing(shedBefore) at drain, so the pipeline sees shed
 	// load exactly as a sensor dropout of the same length.
+	//fallvet:derived replay-log entry held in memory between snapshots and replayed live; never serialised
 	shedBefore int
 	// deadline is when this entry's decision is due.
+	//fallvet:derived replay-log entry held in memory between snapshots and replayed live; never serialised
 	deadline time.Time
 }
 

@@ -80,44 +80,44 @@ type Pipeline interface {
 type Config struct {
 	// QueueLen is the per-session ingress ring capacity in entries.
 	// Default 64.
-	QueueLen int
+	QueueLen int //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
 	// OutboxLen is how many evaluated decisions a session retains for
 	// consumers; older ones are dropped (triggers are latched
 	// separately and never lost). Default 32.
-	OutboxLen int
+	OutboxLen int //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
 	// SnapshotEvery is the snapshot cadence in samples. It bounds the
 	// replay log and the warm-up lost to a crash. 0 disables
 	// snapshots: a restart then falls back to replaying the session's
 	// full history only if none has been discarded, otherwise the
 	// pipeline restarts cold. 0 is the default — serving deployments
 	// should set a cadence (the harnesses use 64–256).
-	SnapshotEvery int
+	SnapshotEvery int //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
 	// MaxRestarts is how many consecutive restore-and-replay attempts
 	// a single failure may consume before the session is shed.
 	// Default 3.
-	MaxRestarts int
+	MaxRestarts int //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
 	// RestartBackoff and RestartMaxDelay shape the exponential
 	// backoff between restart attempts (guard.Config.BaseDelay and
 	// MaxDelay). Defaults 1ms and 50ms.
-	RestartBackoff  time.Duration
-	RestartMaxDelay time.Duration
+	RestartBackoff  time.Duration //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
+	RestartMaxDelay time.Duration //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
 	// Deadline is the per-sample decision budget: a sample enqueued
 	// at T whose decision lands after T+Deadline counts as a missed
 	// deadline, and the latency breaker trips relative to it.
 	// Default 150ms — the pre-impact airbag budget.
-	Deadline time.Duration
+	Deadline time.Duration //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
 	// BreakerWindow is how many decision latencies the p99 estimate
 	// is computed over. Default 64.
-	BreakerWindow int
+	BreakerWindow int //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
 	// BreakerTrip and BreakerClear are fractions of Deadline: p99
 	// above Trip×Deadline raises the tier ceiling one level, p99
 	// below Clear×Deadline for BreakerHold consecutive decisions
 	// lowers it one level. Defaults 0.8 and 0.4.
-	BreakerTrip  float64
-	BreakerClear float64
+	BreakerTrip  float64 //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
+	BreakerClear float64 //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
 	// BreakerHold is the promote hysteresis in decisions. Default:
 	// BreakerWindow.
-	BreakerHold int
+	BreakerHold int //fallvet:derived immutable runtime configuration, fixed by New; never part of a session snapshot
 	// Now is the clock. Default time.Now; tests and the deterministic
 	// soak harness inject a VirtualClock.
 	Now func() time.Time

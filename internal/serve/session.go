@@ -27,12 +27,13 @@ type Session struct {
 	cfg Config
 	p   Pipeline
 
-	mu      sync.Mutex
-	idle    *sync.Cond // broadcast on enqueue and on idle/exit transitions
+	mu   sync.Mutex
+	idle *sync.Cond // broadcast on enqueue and on idle/exit transitions
+	//fallvet:derived in-memory ingress ring: a restore replays the log and the ring drains live, in-process
 	q       ring
-	closing bool
-	busy    bool
-	done    bool // worker exited
+	closing bool //fallvet:derived worker lifecycle flag, meaningless across a restore
+	busy    bool //fallvet:derived worker lifecycle flag, meaningless across a restore
+	done    bool //fallvet:derived worker lifecycle flag (worker exited), meaningless across a restore
 
 	state atomic.Int32
 	level atomic.Int32 // breaker level, mirrored for lock-free reads
@@ -47,11 +48,15 @@ type Session struct {
 	snapPos   uint64 // pos at which snapImg was captured
 	replayLog []entry
 	sinceSnap int
-	brk       breaker
+	//fallvet:derived host-local latency history, rebuilt from live decision timings after a restore
+	brk breaker
 
-	outMu   sync.Mutex
-	out     []cascade.Decision
-	trig    cascade.Decision
+	outMu sync.Mutex
+	//fallvet:derived outbox of already-delivered decisions; replay regenerates or deliberately drops them
+	out []cascade.Decision
+	//fallvet:derived latched trigger is re-latched by replay if it recurs; delivery state is host-local
+	trig cascade.Decision
+	//fallvet:derived latched trigger is re-latched by replay if it recurs; delivery state is host-local
 	trigSet bool
 
 	enqueued, shedN, deadlineMissed, decisions, triggers atomic.Int64

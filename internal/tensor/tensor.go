@@ -344,7 +344,8 @@ func Reuse(t *Tensor, shape ...int) *Tensor {
 		n *= d
 	}
 	if t == nil || len(t.data) != n || len(t.shape) != len(shape) {
-		return New(shape...) // cold: only until the caller's shapes stabilise
+		//fallvet:ignore hottrans cold branch: taken only until the caller's shapes stabilise; the AllocsPerRun gates prove steady-state reuse
+		return New(shape...)
 	}
 	copy(t.shape, shape)
 	return t
@@ -363,6 +364,7 @@ func ViewInto(cache **Tensor, src *Tensor, shape ...int) *Tensor {
 		copy(c.shape, shape)
 		return c
 	}
+	//fallvet:ignore hottrans cache miss: the fresh view header is built once, then every later call hits the cache (alloc gates)
 	v := src.Reshape(shape...)
 	*cache = v
 	return v

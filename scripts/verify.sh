@@ -7,9 +7,15 @@
 #   1. go build ./...        — everything compiles
 #   2. go vet ./...          — static analysis clean
 #   3. fallvet ./...         — the repo's own invariant linter
-#      (DESIGN.md §9): determinism, hotpath, checkedio, redorder.
-#      Runs before the tests because it is cheaper than the suite and
-#      a violation explains itself better than a flaky alloc count.
+#      (DESIGN.md §9 + §13): determinism, hotpath, hottrans,
+#      checkedio, redorder, snapshot, exhaustive, floatdet. Built
+#      once into bin/fallvet (cheaper than go run resolving the
+#      source importer twice) and run in -diff mode against the
+#      committed fallvet_baseline.json, so the gate is "no NEW
+#      findings and the ledger is honest" — stale ledger entries
+#      fail too. Runs before the tests because it is cheaper than
+#      the suite and a violation explains itself better than a
+#      flaky alloc count.
 #   4. go test ./...         — full unit suite
 #   5. go test -race ./...   — same suite under the race detector
 #      (the streaming Detector is single-goroutine by contract, but
@@ -54,8 +60,9 @@ echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
 go vet ./...
-echo "== fallvet ./..."
-go run ./cmd/fallvet ./...
+echo "== fallvet -diff ./..."
+go build -o bin/fallvet ./cmd/fallvet
+./bin/fallvet -baseline fallvet_baseline.json -diff ./...
 echo "== go test ./..."
 go test ./...
 echo "== go test -race ./..."
