@@ -304,6 +304,27 @@ func Benchmark_Edge_StreamingPushCNN(b *testing.B) {
 	}
 }
 
+func Benchmark_Edge_StreamingPushCNN_F32(b *testing.B) {
+	// The same deployment-shaped push lowered to the float32 inference
+	// width. Must also hold 0 allocs/op, and bench.sh gates its
+	// speedup over the float64 row: single-precision halves the
+	// ring/cache footprint, so losing the win means the lowered
+	// kernels regressed.
+	m, _ := edgeFixtures(b)
+	det, err := edge.NewDetectorOf[float32](m, edge.DetectorConfig{WindowMS: 400, Overlap: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3*det.Window; i++ {
+		det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+	}
+}
+
 func Benchmark_Edge_Quantization(b *testing.B) {
 	rng := rand.New(rand.NewSource(22))
 	m, err := model.New(model.KindCNN, model.Config{WindowSamples: 40}, rng)
@@ -376,6 +397,41 @@ func Benchmark_Cascade_PushPrimary(b *testing.B) {
 	benchCascadePush(b, cascade.TierPrimary, func(c *cascade.Cascade, i int) cascade.Decision {
 		return c.Push(imu.Vec3{Z: 1 + 0.01*float64(i%7)}, imu.Vec3{X: float64(i % 5)})
 	})
+}
+
+func Benchmark_Cascade_PushPrimary_F32(b *testing.B) {
+	// The healthy-tier push with both CNN tiers lowered to float32 —
+	// the width a deployed cascade runs at. Same 0 allocs/op contract.
+	rng := rand.New(rand.NewSource(51))
+	primary, err := model.New(model.KindCNN, model.Config{WindowSamples: 40}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fallback, err := model.New(model.KindCNNAccel, model.Config{WindowSamples: 40}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cascade.NewOf[float32](primary, fallback, cascade.Config{WindowMS: 400, Overlap: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	push := func(i int) cascade.Decision {
+		return c.Push(imu.Vec3{Z: 1 + 0.01*float64(i%7)}, imu.Vec3{X: float64(i % 5)})
+	}
+	n := 0
+	for i := 0; i < 7*c.Window(); i++ {
+		push(n)
+		n++
+	}
+	if got := c.SupervisorTier(); got != cascade.TierPrimary {
+		b.Fatalf("supervisor settled at %v, want %v", got, cascade.TierPrimary)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		push(n)
+		n++
+	}
 }
 
 func Benchmark_Cascade_PushFallback(b *testing.B) {
@@ -543,3 +599,37 @@ func benchServePush(b *testing.B, snapshotEvery int) {
 func Benchmark_Serve_SessionPush(b *testing.B) { benchServePush(b, 0) }
 
 func Benchmark_Serve_SessionPushSnapshot(b *testing.B) { benchServePush(b, 256) }
+
+func Benchmark_Serve_SessionPush_F32(b *testing.B) {
+	// The served push with a float32-lowered cascade behind the same
+	// runtime: Pipeline is an interface, so the session machinery is
+	// width-blind — this row isolates the runtime overhead at the
+	// deployment width and holds the same 0 allocs/op contract.
+	primary, err := model.NewThreshold(model.KindThresholdAcc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fallback, err := model.NewThreshold(model.KindThresholdAcc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cascade.NewOf[float32](primary, fallback, cascade.Config{WindowMS: 400, Overlap: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := serve.New(serve.Config{QueueLen: 1024})
+	s := rt.Open(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ph := float64(i) * 0.13
+		s.Push(imu.Vec3{X: 0.05 * math.Sin(ph), Z: 1 + 0.02*math.Cos(ph)},
+			imu.Vec3{X: 3 * math.Sin(ph), Y: 2 * math.Cos(ph)})
+		if i%512 == 0 {
+			s.Quiesce()
+		}
+	}
+	s.Quiesce()
+	b.StopTimer()
+	rt.Close()
+}

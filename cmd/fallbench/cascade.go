@@ -41,6 +41,7 @@ func expCascade(data *falldet.Dataset, sc scale, seed int64) error {
 		Severities: []float64{0.25, 0.5},
 		Seed:       seed,
 		Workers:    sc.workers,
+		Precision:  sc.precision,
 	}
 	fmt.Println("sweeping faults through the plain pipeline...")
 	plain, err := cd.Primary().EvaluateRobustness(data, rcfg)
@@ -56,14 +57,15 @@ func expCascade(data *falldet.Dataset, sc scale, seed int64) error {
 		return fmt.Errorf("cascade: sweep shapes diverged: %d vs %d points", len(plain.Points), len(casc.Points))
 	}
 
-	f, err := os.Create("results_cascade.txt")
+	out := sc.resultsName("results_cascade")
+	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	w := io.MultiWriter(os.Stdout, f)
 
 	fmt.Fprintf(w, "Detector cascade under sensor faults — CNN + accel-CNN + threshold floor\n")
-	fmt.Fprintf(w, "400 ms / 75 %% stride, scale=%s seed=%d workers=%d fallvet=%s\n", sc.name, seed, sc.workers, lint.Stamp())
+	fmt.Fprintf(w, "400 ms / 75 %% stride, scale=%s seed=%d workers=%d precision=%s fallvet=%s\n", sc.name, seed, sc.workers, sc.precision, lint.Stamp())
 	fmt.Fprintf(w, "%d fall trials, %d ADL trials; plain and cascade see sample-identical fault streams\n\n",
 		casc.Clean.FallTrials, casc.Clean.ADLTrials)
 
@@ -130,12 +132,12 @@ func expCascade(data *falldet.Dataset, sc scale, seed int64) error {
 		fmt.Fprintf(w, "  tier %d (%v): %.0f cycles/sample\n", tier, tier, stream.PerSampleCycles(tier))
 	}
 
-	fmt.Fprintln(os.Stderr, "cascade: wrote results_cascade.txt")
+	fmt.Fprintln(os.Stderr, "cascade: wrote "+out)
 	if !missOK || !fpOK {
 		if cerr := f.Close(); cerr != nil {
 			return cerr
 		}
-		return fmt.Errorf("cascade: acceptance criteria violated (see results_cascade.txt)")
+		return fmt.Errorf("cascade: acceptance criteria violated (see %s)", out)
 	}
 	return f.Close()
 }

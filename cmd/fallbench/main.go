@@ -56,6 +56,17 @@ type scale struct {
 	maxTrainNeg      int
 	verbose          bool
 	workers          int
+	precision        falldet.Precision
+}
+
+// resultsName suffixes a results file with the non-default precision,
+// so f32 refreshes sit next to the f64 reference instead of
+// overwriting it: results_robustness.txt vs results_robustness_f32.txt.
+func (s scale) resultsName(base string) string {
+	if s.precision == falldet.PrecisionF64 {
+		return base + ".txt"
+	}
+	return fmt.Sprintf("%s_%s.txt", base, s.precision)
 }
 
 func presets(name string) (scale, error) {
@@ -122,6 +133,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per experiment attempt (0 = off)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"data-parallel workers for training, folds and sweeps (results are bit-identical for any value)")
+	precisionName := flag.String("precision", "f64",
+		"streaming-pipeline scalar width for the robustness/cascade sweeps and the soak (f64 or f32); training always runs f64")
 	flag.Parse()
 
 	sc, err := presets(*scaleName)
@@ -130,6 +143,9 @@ func main() {
 	}
 	sc.verbose = *verbose
 	sc.workers = *workers
+	if sc.precision, err = falldet.ParsePrecision(*precisionName); err != nil {
+		log.Fatal(err)
+	}
 	if sc.workers < 1 {
 		sc.workers = 1
 	}
@@ -155,7 +171,7 @@ func main() {
 		want[name] = true
 	}
 
-	fmt.Printf("== fallbench scale=%s seed=%d workers=%d fallvet=%s ==\n", sc.name, *seed, sc.workers, lint.Stamp())
+	fmt.Printf("== fallbench scale=%s seed=%d workers=%d precision=%s fallvet=%s ==\n", sc.name, *seed, sc.workers, sc.precision, lint.Stamp())
 	fmt.Printf("synthesising %d worksite + %d kfall subjects...\n\n", sc.wsSubjects, sc.kfSubjects)
 	data, err := falldet.Synthesize(sc.synth(*seed))
 	if err != nil {

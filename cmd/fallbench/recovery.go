@@ -40,7 +40,9 @@ func expRecovery(data *falldet.Dataset, sc scale, seed int64) (retErr error) {
 		}
 	}()
 	w := io.MultiWriter(os.Stdout, f)
-	fmt.Fprintf(w, "Recovery & crash-safety evidence — scale=%s seed=%d workers=%d fallvet=%s\n\n", sc.name, seed, sc.workers, lint.Stamp())
+	// Recovery exercises the training path, which always runs float64
+	// (DESIGN.md §14), so the stamp is the constant width, not the flag.
+	fmt.Fprintf(w, "Recovery & crash-safety evidence — scale=%s seed=%d workers=%d precision=f64 fallvet=%s\n\n", sc.name, seed, sc.workers, lint.Stamp())
 	tb := &report.Table{Headers: []string{"Check", "Outcome", "Detail"}}
 
 	segs, err := falldet.ExtractSegments(data, falldet.Config{WindowMS: 200, Overlap: 0.5})

@@ -30,18 +30,20 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 		Severities: []float64{0.1, 0.25, 0.5},
 		Seed:       seed,
 		Workers:    sc.workers,
+		Precision:  sc.precision,
 	})
 	if err != nil {
 		return err
 	}
 
-	f, err := os.Create("results_robustness.txt")
+	out := sc.resultsName("results_robustness")
+	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	w := io.MultiWriter(os.Stdout, f)
 
-	fmt.Fprintf(w, "Robustness sweep — CNN, 400 ms / 75 %% stride, scale=%s seed=%d workers=%d fallvet=%s\n", sc.name, seed, sc.workers, lint.Stamp())
+	fmt.Fprintf(w, "Robustness sweep — CNN, 400 ms / 75 %% stride, scale=%s seed=%d workers=%d precision=%s fallvet=%s\n", sc.name, seed, sc.workers, sc.precision, lint.Stamp())
 	fmt.Fprintf(w, "%d fall trials, %d ADL trials; deltas vs clean baseline\n\n",
 		rep.Clean.FallTrials, rep.Clean.ADLTrials)
 
@@ -76,7 +78,7 @@ func expRobustness(data *falldet.Dataset, sc scale, seed int64) error {
 	fmt.Fprintln(w, "full-window warm-up, NaN/Inf quarantined, >25 % anomalous window → Faulted;")
 	fmt.Fprintln(w, "Stuck/Drift count per-channel health detections (axis latches, baseline drift)")
 	fmt.Fprintln(w, "that quarantine a channel group so a cascade can fail over (results_cascade.txt)")
-	fmt.Fprintln(os.Stderr, "robustness: wrote results_robustness.txt")
+	fmt.Fprintln(os.Stderr, "robustness: wrote "+out)
 	// Close error is the last chance to hear about a truncated results
 	// file — it fails the experiment rather than pass silently.
 	return f.Close()

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 
+	"repro/falldet"
 	"repro/internal/cascade"
 	"repro/internal/lint"
 	"repro/internal/model"
@@ -42,26 +43,31 @@ func expSoak(sc scale, seed int64) error {
 			if err != nil {
 				return nil, err
 			}
-			return cascade.New(primary, fallback, cascade.Config{WindowMS: 400, Overlap: 0.5})
+			ccfg := cascade.Config{WindowMS: 400, Overlap: 0.5}
+			if sc.precision == falldet.PrecisionF32 {
+				return cascade.NewOf[float32](primary, fallback, ccfg)
+			}
+			return cascade.New(primary, fallback, ccfg)
 		},
 	})
 	if err != nil {
 		return err
 	}
 
-	f, err := os.Create("results_soak.txt")
+	out := sc.resultsName("results_soak")
+	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	w := io.MultiWriter(os.Stdout, f)
-	fmt.Fprintf(w, "Serving-runtime chaos soak, scale=%s seed=%d workers=%d fallvet=%s\n\n",
-		sc.name, seed, sc.workers, lint.Stamp())
+	fmt.Fprintf(w, "Serving-runtime chaos soak, scale=%s seed=%d workers=%d precision=%s fallvet=%s\n\n",
+		sc.name, seed, sc.workers, sc.precision, lint.Stamp())
 	rep.WriteTable(w)
 	if cerr := f.Close(); cerr != nil {
 		return cerr
 	}
 	if errs := rep.Check(); len(errs) > 0 {
-		return fmt.Errorf("soak: %d acceptance criteria failed (see results_soak.txt)", len(errs))
+		return fmt.Errorf("soak: %d acceptance criteria failed (see %s)", len(errs), out)
 	}
 	return nil
 }

@@ -24,9 +24,13 @@ import (
 	"repro/internal/cascade"
 	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
-func newPipeline() (serve.Pipeline, error) {
+// newPipeline builds one session's cascade at the requested compiled
+// width. serve.Pipeline is width-agnostic, so sessions of different
+// precisions can share one runtime.
+func newPipeline[S tensor.Scalar]() (serve.Pipeline, error) {
 	primary, err := model.NewThreshold(model.KindThresholdAcc)
 	if err != nil {
 		return nil, err
@@ -35,7 +39,7 @@ func newPipeline() (serve.Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cascade.New(primary, fallback, cascade.Config{WindowMS: 400, Overlap: 0.5})
+	return cascade.NewOf[S](primary, fallback, cascade.Config{WindowMS: 400, Overlap: 0.5})
 }
 
 func main() {
@@ -47,14 +51,24 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed for stream phases and jitter")
 	check := flag.Bool("check", false, "exit non-zero if any acceptance criterion fails")
 	verbose := flag.Bool("v", false, "log restart and shed events")
+	precision := flag.String("precision", "f64", "compiled scalar width of the session pipelines (f64 or f32)")
 	flag.Parse()
+
+	factory := newPipeline[float64]
+	switch *precision {
+	case "f64", "float64":
+	case "f32", "float32":
+		factory = newPipeline[float32]
+	default:
+		log.Fatalf("unknown -precision %q (want f64 or f32)", *precision)
+	}
 
 	cfg := serve.SoakConfig{
 		Sessions:    *sessions,
 		Samples:     *samples,
 		Panics:      *panics,
 		Seed:        *seed,
-		NewPipeline: newPipeline,
+		NewPipeline: factory,
 		Background:  serve.SynthBackground(*seed, *samples),
 	}
 	if *verbose {

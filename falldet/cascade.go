@@ -7,10 +7,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/cascade"
-	"repro/internal/dataset"
 	"repro/internal/edge"
-	"repro/internal/eval"
-	"repro/internal/imu"
 	"repro/internal/model"
 )
 
@@ -101,33 +98,7 @@ func (cd *CascadeDetector) Stream() (*StreamCascade, error) {
 // hook that gives each robustness-sweep worker its own pipeline over
 // cloned models.
 func (cd *CascadeDetector) streamWith(primary, fallback model.Classifier) (*StreamCascade, error) {
-	winSamples := cd.primary.cfg.WindowMS * dataset.SampleRate / 1000
-	shape := []int{winSamples, imu.NumChannels}
-	cfg := cascade.Config{
-		WindowMS: cd.primary.cfg.WindowMS,
-		Overlap:  cd.primary.cfg.Overlap,
-	}
-	// det.cfg went through withDefaults, so Threshold is resolved and a
-	// literal 0 means "trigger always" — spell it in sentinel form.
-	cfg.Threshold = cd.primary.cfg.Threshold
-	if cfg.Threshold == 0 {
-		cfg.Threshold = edge.ThresholdAlways
-	}
-	if nm, ok := cd.primary.model.(*model.NetModel); ok {
-		cost, err := edge.ModelCost(nm.Net, shape)
-		if err != nil {
-			return nil, err
-		}
-		cfg.PrimaryCost = cost
-	}
-	if nm, ok := cd.fallback.model.(*model.NetModel); ok {
-		cost, err := edge.ModelCost(nm.Net, shape)
-		if err != nil {
-			return nil, err
-		}
-		cfg.FallbackCost = cost
-	}
-	return cascade.New(primary, fallback, cfg)
+	return cascadeStreamAt[float64](cd, primary, fallback)
 }
 
 // EvaluateRobustness is the cascade counterpart of
@@ -137,32 +108,14 @@ func (cd *CascadeDetector) streamWith(primary, fallback model.Classifier) (*Stre
 // what the cascade buys under each fault — the per-point TierEvals and
 // TierTriggers show which tier did the work.
 func (cd *CascadeDetector) EvaluateRobustness(d *Dataset, cfg RobustnessConfig) (*RobustnessReport, error) {
-	w := cfg.Workers
-	if w < 1 {
-		w = 1
+	// Worker 0 reuses the detectors' own networks; the others score on
+	// weight-identical clones (the streaming pipeline and the
+	// activation scratch are single-goroutine). See
+	// evalCascadeRobustnessAt.
+	if cfg.Precision == PrecisionF32 {
+		return evalCascadeRobustnessAt[float32](cd, d, cfg)
 	}
-	cs := make([]*StreamCascade, w)
-	for i := range cs {
-		primary := model.Classifier(cd.primary.model)
-		fallback := model.Classifier(cd.fallback.model)
-		if i > 0 {
-			// Worker 0 reuses the detectors' own networks; the others
-			// score on weight-identical clones (the streaming pipeline
-			// and the activation scratch are single-goroutine).
-			if nm, ok := cd.primary.model.(*model.NetModel); ok {
-				primary = nm.Clone()
-			}
-			if nm, ok := cd.fallback.model.(*model.NetModel); ok {
-				fallback = nm.Clone()
-			}
-		}
-		c, err := cd.streamWith(primary, fallback)
-		if err != nil {
-			return nil, err
-		}
-		cs[i] = c
-	}
-	return eval.EvaluateCascadeRobustnessParallel(cs, d.Trials, cfg.Kinds, cfg.Severities, cfg.Seed), nil
+	return evalCascadeRobustnessAt[float64](cd, d, cfg)
 }
 
 // Bundle entry names: each entry is a complete falldet-detector

@@ -116,17 +116,9 @@ func (det *Detector) Stream() (*StreamDetector, error) {
 // each worker its own pipeline over a cloned model.
 func (det *Detector) streamWith(clf model.Classifier) (*StreamDetector, error) {
 	// det.cfg went through withDefaults, so Threshold is the resolved
-	// value and a literal 0 is intentional — spell it in the sentinel
-	// form edge expects (its own zero value means "unset").
-	thr := det.cfg.Threshold
-	if thr == 0 {
-		thr = edge.ThresholdAlways
-	}
-	return edge.NewDetector(clf, edge.DetectorConfig{
-		WindowMS:  det.cfg.WindowMS,
-		Overlap:   det.cfg.Overlap,
-		Threshold: thr,
-	})
+	// value and a literal 0 is intentional — streamAt spells it in the
+	// sentinel form edge expects (its own zero value means "unset").
+	return streamAt[float64](det, clf)
 }
 
 // Deployment is the §IV-C on-edge report for a quantized detector.

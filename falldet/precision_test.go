@@ -1,0 +1,215 @@
+package falldet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+func TestPrecisionStringParse(t *testing.T) {
+	for _, p := range []Precision{PrecisionF64, PrecisionF32} {
+		got, err := ParsePrecision(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePrecision(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if got, err := ParsePrecision("float32"); err != nil || got != PrecisionF32 {
+		t.Fatalf("alias float32: %v, %v", got, err)
+	}
+	if _, err := ParsePrecision("f16"); err == nil {
+		t.Fatal("f16 accepted")
+	}
+}
+
+// v1Envelope reframes an envelope's decoded parts in the pre-dtype
+// version-1 layout: magic | version=1 | kind | shape | payload | digest.
+func v1Envelope(kind string, shape []int, payload []byte) []byte {
+	le := binary.LittleEndian
+	raw := []byte(artifact.Magic)
+	raw = le.AppendUint32(raw, 1)
+	raw = le.AppendUint16(raw, uint16(len(kind)))
+	raw = append(raw, kind...)
+	raw = le.AppendUint16(raw, uint16(len(shape)))
+	for _, d := range shape {
+		raw = le.AppendUint32(raw, uint32(d))
+	}
+	raw = le.AppendUint32(raw, uint32(len(payload)))
+	raw = append(raw, payload...)
+	sum := sha256.Sum256(raw)
+	return append(raw, sum[:]...)
+}
+
+// downgradeV1 rewrites a current envelope image in version-1 framing.
+func downgradeV1(t *testing.T, img []byte) []byte {
+	t.Helper()
+	h, payload, err := artifact.Read(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v1Envelope(h.Kind, h.Shape, payload)
+}
+
+// TestPreBumpDetectorLoads proves forward compatibility at the
+// deployment surface: a detector image written before the dtype field
+// existed — version-1 framing on the outer envelope AND on the nested
+// network envelope — still loads, as float64, with bit-identical
+// scores. Sampled truncations and bit flips of the legacy image must
+// still fail with a structured error, never a misdecoded detector.
+func TestPreBumpDetectorLoads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short")
+	}
+	d := tinyData(t)
+	cfg := tinyConfig()
+	cfg.Epochs = 2
+	det, err := Train(d, KindMLP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the image as a pre-bump writer would have produced it:
+	// downgrade the nested network envelope inside the gob payload,
+	// then the outer detector envelope.
+	h, payload, err := artifact.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s savedDetector
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	s.Net = downgradeV1(t, s.Net)
+	var repacked bytes.Buffer
+	if err := gob.NewEncoder(&repacked).Encode(&s); err != nil {
+		t.Fatal(err)
+	}
+	legacy := v1Envelope(h.Kind, h.Shape, repacked.Bytes())
+
+	loaded, err := LoadSaved(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("pre-bump image rejected: %v", err)
+	}
+	segs, _ := ExtractSegments(d, cfg)
+	for i := 0; i < 20; i++ {
+		if math.Abs(det.Score(segs[i].X)-loaded.Score(segs[i].X)) > 1e-12 {
+			t.Fatal("pre-bump detector scores differ")
+		}
+	}
+
+	// Chaos over the legacy image (sampled — the full product is the
+	// artifact package's own exhaustive sweep).
+	for n := 0; n < len(legacy); n += 37 {
+		if _, err := LoadSaved(bytes.NewReader(legacy[:n])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(legacy))
+		}
+	}
+	for i := 0; i < len(legacy); i += 101 {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), legacy...)
+			mut[i] ^= 1 << bit
+			if _, err := LoadSaved(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+}
+
+// agreeTol bounds how far any aggregate decision metric may drift
+// between the float32 deployment sweep and the float64 reference sweep.
+// Both sweeps replay identical fault streams (same seeds), so the only
+// source of divergence is a probability crossing the trigger threshold
+// inside the single-precision rounding band.
+const agreeTol = 0.1
+
+func pointsAgree(t *testing.T, tag string, p64, p32 RobustnessPoint) {
+	t.Helper()
+	if p64.Fault != p32.Fault || p64.Severity != p32.Severity {
+		t.Fatalf("%s: sweep points misaligned: f64 %s/%.2f vs f32 %s/%.2f",
+			tag, p64.Fault, p64.Severity, p32.Fault, p32.Severity)
+	}
+	if p32.BadScores != 0 || p64.BadScores != 0 {
+		t.Fatalf("%s %s/%.2f: non-finite scores (f64 %d, f32 %d)",
+			tag, p64.Fault, p64.Severity, p64.BadScores, p32.BadScores)
+	}
+	// Health, quarantine and gap accounting run float64 at every
+	// compiled width by design — they must match exactly.
+	if p64.Quarantined != p32.Quarantined || p64.Missing != p32.Missing ||
+		p64.Stuck != p32.Stuck || p64.Drift != p32.Drift {
+		t.Fatalf("%s %s/%.2f: width-independent counters diverge:\n f64 %+v\n f32 %+v",
+			tag, p64.Fault, p64.Severity, p64, p32)
+	}
+	if d := math.Abs(p64.Recall - p32.Recall); d > agreeTol {
+		t.Fatalf("%s %s/%.2f: recall gap %.3f (f64 %.3f, f32 %.3f)",
+			tag, p64.Fault, p64.Severity, d, p64.Recall, p32.Recall)
+	}
+	if d := math.Abs(p64.InTime - p32.InTime); d > agreeTol {
+		t.Fatalf("%s %s/%.2f: in-time gap %.3f", tag, p64.Fault, p64.Severity, d)
+	}
+	if d := math.Abs(p64.FalseAlarmRate - p32.FalseAlarmRate); d > agreeTol {
+		t.Fatalf("%s %s/%.2f: false-alarm-rate gap %.3f", tag, p64.Fault, p64.Severity, d)
+	}
+}
+
+// TestPrecisionDecisionAgreement runs the full fault-type × severity
+// robustness sweep twice — once per compiled width — and compares the
+// reports point for point: exact equality on everything that runs
+// float64 at both widths (health, quarantine, gap counters), agreement
+// within agreeTol on every decision metric, zero non-finite scores at
+// either width. This is the acceptance harness for the lowered
+// deployment pipeline.
+func TestPrecisionDecisionAgreement(t *testing.T) {
+	d := tinyData(t)
+	det := rawDetector(t, KindCNN, tinyConfig())
+	base := RobustnessConfig{Seed: 11, Workers: 4}
+	rep64, err := det.EvaluateRobustness(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg32 := base
+	cfg32.Precision = PrecisionF32
+	rep32, err := det.EvaluateRobustness(d, cfg32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep64.Points) != len(rep32.Points) || len(rep64.Points) == 0 {
+		t.Fatalf("point counts differ: f64 %d, f32 %d", len(rep64.Points), len(rep32.Points))
+	}
+	pointsAgree(t, "clean", rep64.Clean, rep32.Clean)
+	for i := range rep64.Points {
+		pointsAgree(t, "fault", rep64.Points[i], rep32.Points[i])
+	}
+}
+
+// TestCascadePrecisionDecisionAgreement is the supervised-cascade
+// counterpart: the full sweep with tier accounting, again at both
+// widths.
+func TestCascadePrecisionDecisionAgreement(t *testing.T) {
+	d := tinyData(t)
+	cd := rawCascade(t, tinyConfig())
+	base := RobustnessConfig{Seed: 11, Workers: 4}
+	rep64, err := cd.EvaluateRobustness(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg32 := base
+	cfg32.Precision = PrecisionF32
+	rep32, err := cd.EvaluateRobustness(d, cfg32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep64.Points) != len(rep32.Points) || len(rep64.Points) == 0 {
+		t.Fatalf("point counts differ: f64 %d, f32 %d", len(rep64.Points), len(rep32.Points))
+	}
+	pointsAgree(t, "cascade-clean", rep64.Clean, rep32.Clean)
+	for i := range rep64.Points {
+		pointsAgree(t, "cascade", rep64.Points[i], rep32.Points[i])
+	}
+}

@@ -1,10 +1,8 @@
 package falldet
 
 import (
-	"repro/internal/edge"
 	"repro/internal/eval"
 	"repro/internal/fault"
-	"repro/internal/model"
 )
 
 // Fault-injection surface, re-exported so robustness studies can stay
@@ -57,6 +55,12 @@ type RobustnessConfig struct {
 	// scratch are single-goroutine — so the report is identical for
 	// any worker count.
 	Workers int
+	// Precision selects the compiled scalar width of the sweep's
+	// streaming pipelines. The zero value is PrecisionF64, the
+	// reference width; PrecisionF32 sweeps the lowered deployment
+	// pipelines instead (the decision-agreement harness compares the
+	// two reports point for point).
+	Precision Precision
 }
 
 // EvaluateRobustness replays every trial of the dataset through the
@@ -67,24 +71,11 @@ type RobustnessConfig struct {
 // passing sweep also certifies zero NaN probabilities under NaN-burst
 // and dropout faults.
 func (det *Detector) EvaluateRobustness(d *Dataset, cfg RobustnessConfig) (*RobustnessReport, error) {
-	w := cfg.Workers
-	if w < 1 {
-		w = 1
+	// Worker 0 reuses the detector's own network; the others score on
+	// weight-identical clones (threshold models are stateless at
+	// scoring time and can be shared). See evalRobustnessAt.
+	if cfg.Precision == PrecisionF32 {
+		return evalRobustnessAt[float32](det, d, cfg)
 	}
-	dets := make([]*edge.Detector, w)
-	for i := range dets {
-		clf := model.Classifier(det.model)
-		if nm, ok := det.model.(*model.NetModel); ok && i > 0 {
-			// Worker 0 reuses the detector's own network; the others
-			// score on weight-identical clones (threshold models are
-			// stateless at scoring time and can be shared).
-			clf = nm.Clone()
-		}
-		s, err := det.streamWith(clf)
-		if err != nil {
-			return nil, err
-		}
-		dets[i] = s
-	}
-	return eval.EvaluateRobustnessParallel(dets, d.Trials, cfg.Kinds, cfg.Severities, cfg.Seed), nil
+	return evalRobustnessAt[float64](det, d, cfg)
 }

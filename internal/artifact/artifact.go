@@ -22,9 +22,17 @@ import (
 )
 
 // Magic opens every envelope; Version is the current format revision.
+//
+// Version history:
+//
+//	1 — magic | version | kind | shape | payload | sha256. Everything a
+//	    version-1 writer produced held float64 state, so readers treat
+//	    these as DTypeF64.
+//	2 — a dtype byte follows the version, naming the scalar width of
+//	    the payload's numeric state. Version-1 envelopes still load.
 const (
 	Magic   = "FDMA" // Fall-Detection Model Artifact
-	Version = 1
+	Version = 2
 )
 
 // Limits keep a corrupt or hostile length field from driving a huge
@@ -46,6 +54,10 @@ const (
 // Header identifies a decoded envelope.
 type Header struct {
 	Version uint32
+	// DType is the scalar width of the payload's numeric state.
+	// Version-1 envelopes predate the field and always decode as
+	// DTypeF64.
+	DType DType
 	// Kind tags the payload codec/family, e.g. "qnet-int8" or
 	// "nn-float64".
 	Kind string
@@ -60,12 +72,19 @@ const digestSize = sha256.Size
 // Write frames payload in a verified envelope. Layout (all integers
 // little-endian):
 //
-//	magic[4] | version u32 | kindLen u16 | kind | shapeLen u16 |
-//	dims i32... | payloadLen u32 | payload | sha256[32]
+//	magic[4] | version u32 | dtype u8 | kindLen u16 | kind |
+//	shapeLen u16 | dims i32... | payloadLen u32 | payload | sha256[32]
 //
-// The digest covers every byte before it.
+// The digest covers every byte before it. Write stamps DTypeF64 — the
+// width of every envelope this repository wrote before the field
+// existed; use WriteDType for lowered payloads.
 func Write(w io.Writer, kind string, shape []int, payload []byte) error {
-	env, err := AppendEnvelope(nil, kind, shape, payload)
+	return WriteDType(w, kind, shape, DTypeF64, payload)
+}
+
+// WriteDType is Write with an explicit payload scalar width.
+func WriteDType(w io.Writer, kind string, shape []int, dt DType, payload []byte) error {
+	env, err := AppendEnvelopeDType(nil, kind, shape, dt, payload)
 	if err != nil {
 		return err
 	}
@@ -77,8 +96,18 @@ func Write(w io.Writer, kind string, shape []int, payload []byte) error {
 // extended slice — the allocation-free form of Write for callers that
 // snapshot periodically and reuse a buffer (serve sessions checkpoint
 // every stride; a fresh ~3 KiB envelope per checkpoint was the last
-// steady-state allocation on that path). dst may be nil.
+// steady-state allocation on that path). dst may be nil. The envelope
+// is stamped DTypeF64; see AppendEnvelopeDType.
 func AppendEnvelope(dst []byte, kind string, shape []int, payload []byte) ([]byte, error) {
+	return AppendEnvelopeDType(dst, kind, shape, DTypeF64, payload)
+}
+
+// AppendEnvelopeDType is AppendEnvelope with an explicit payload
+// scalar width in the header.
+func AppendEnvelopeDType(dst []byte, kind string, shape []int, dt DType, payload []byte) ([]byte, error) {
+	if !dt.Valid() {
+		return dst, fmt.Errorf("artifact: cannot write %s envelope", dt)
+	}
 	if len(kind) == 0 || len(kind) > MaxKindLen {
 		return dst, fmt.Errorf("artifact: kind length %d outside (0, %d]", len(kind), MaxKindLen)
 	}
@@ -90,7 +119,7 @@ func AppendEnvelope(dst []byte, kind string, shape []int, payload []byte) ([]byt
 			return dst, fmt.Errorf("artifact: shape dimension %d outside (0, %d]", d, MaxShapeDim)
 		}
 	}
-	need := len(Magic) + 4 + 2 + len(kind) + 2 + 4*len(shape) + 4 + len(payload) + digestSize
+	need := len(Magic) + 4 + 1 + 2 + len(kind) + 2 + 4*len(shape) + 4 + len(payload) + digestSize
 	if need > MaxBytes {
 		return dst, fmt.Errorf("artifact: envelope of %d bytes exceeds MaxBytes %d", need, MaxBytes)
 	}
@@ -98,6 +127,7 @@ func AppendEnvelope(dst []byte, kind string, shape []int, payload []byte) ([]byt
 	le := binary.LittleEndian
 	dst = append(dst, Magic...)
 	dst = le.AppendUint32(dst, Version)
+	dst = append(dst, byte(dt))
 	dst = le.AppendUint16(dst, uint16(len(kind)))
 	dst = append(dst, kind...)
 	dst = le.AppendUint16(dst, uint16(len(shape)))
@@ -145,6 +175,17 @@ func Read(r io.Reader) (Header, []byte, error) {
 	pos += 4
 	if h.Version == 0 || h.Version > Version {
 		return h, nil, fmt.Errorf("artifact: unsupported format version %d (this build reads ≤ %d)", h.Version, Version)
+	}
+	h.DType = DTypeF64
+	if h.Version >= 2 {
+		if err := need(1, "dtype"); err != nil {
+			return h, nil, err
+		}
+		h.DType = DType(raw[pos])
+		pos++
+		if !h.DType.Valid() {
+			return h, nil, fmt.Errorf("artifact: unknown payload %s", h.DType)
+		}
 	}
 	if err := need(2, "kind length"); err != nil {
 		return h, nil, err

@@ -1,0 +1,42 @@
+package artifact
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// DType identifies the scalar width of an envelope payload or a
+// pipeline state image. Version-1 envelopes predate the field; readers
+// treat them as DTypeF64, which is what every pre-generic writer
+// produced.
+type DType uint8
+
+const (
+	// DTypeF64 is the float64 training/reference width.
+	DTypeF64 DType = 0
+	// DTypeF32 is the lowered float32 inference width.
+	DTypeF32 DType = 1
+)
+
+// String names the width for error messages and results headers.
+func (d DType) String() string {
+	switch d {
+	case DTypeF64:
+		return "f64"
+	case DTypeF32:
+		return "f32"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// Valid reports whether d is a width this build understands.
+func (d DType) Valid() bool { return d == DTypeF64 || d == DTypeF32 }
+
+// DTypeOf returns the DType tag for scalar type S.
+func DTypeOf[S tensor.Scalar]() DType {
+	if tensor.Is64[S]() {
+		return DTypeF64
+	}
+	return DTypeF32
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/imu"
 	"repro/internal/model"
+	"repro/internal/tensor"
 )
 
 // Tier identifies one cascade level; lower is more capable.
@@ -92,9 +93,14 @@ type Config struct {
 	PromoteHoldSamples int
 }
 
-// Cascade is the supervised three-tier detector.
-type Cascade struct {
-	det *edge.Detector
+// CascadeOf is the supervised three-tier detector at scalar width S.
+// Only the streaming pipeline and its attached scorers run at S; the
+// supervisor state machine, the cycle-budget model and the threshold
+// floor are width-independent (the floor integrates raw float64
+// samples — it must not inherit the model tier's rounding). Cascade
+// (= CascadeOf[float64]) is the reference instantiation.
+type CascadeOf[S tensor.Scalar] struct {
+	det *edge.DetectorOf[S]
 	//fallvet:derived immutable tier-0 model reference, bound at construction; snapshots carry detector and cascade state, not weights
 	primary   model.Classifier
 	fallback  model.Classifier
@@ -125,13 +131,27 @@ type Cascade struct {
 	snapScratch []byte
 }
 
+// Cascade is the float64 reference cascade — the exact pre-generic
+// behaviour, and the width all evaluation and training tooling uses.
+type Cascade = CascadeOf[float64]
+
 // New builds a cascade around the primary classifier. fallback may be
 // nil, in which case tier 1 falls through to the threshold floor.
 func New(primary, fallback model.Classifier, cfg Config) (*Cascade, error) {
+	return NewOf[float64](primary, fallback, cfg)
+}
+
+// NewOf builds the cascade at scalar width S; see DESIGN.md §14 for
+// the precision model. The float32 instantiation requires both CNN
+// tiers to be streamable (edge.NewDetectorOf lowers their weights at
+// attach time); a fallback the float32 streamer cannot compile keeps
+// scoring in batch form through an exact widening, like any other
+// unattached classifier.
+func NewOf[S tensor.Scalar](primary, fallback model.Classifier, cfg Config) (*CascadeOf[S], error) {
 	if primary == nil {
 		return nil, fmt.Errorf("cascade: nil primary classifier")
 	}
-	det, err := edge.NewDetector(primary, edge.DetectorConfig{
+	det, err := edge.NewDetectorOf[S](primary, edge.DetectorConfig{
 		WindowMS:     cfg.WindowMS,
 		Overlap:      cfg.Overlap,
 		Threshold:    cfg.Threshold,
@@ -153,7 +173,7 @@ func New(primary, fallback model.Classifier, cfg Config) (*Cascade, error) {
 	if dev.Name == "" {
 		dev = edge.STM32F722()
 	}
-	c := &Cascade{
+	c := &CascadeOf[S]{
 		det:       det,
 		primary:   primary,
 		fallback:  fallback,
@@ -192,7 +212,7 @@ func New(primary, fallback model.Classifier, cfg Config) (*Cascade, error) {
 // Reset clears all cascade state: the pipeline, the threshold floor,
 // the supervisor and the tier counters. The tier ceiling survives — it
 // is operator input about the host, not stream state.
-func (c *Cascade) Reset() {
+func (c *CascadeOf[S]) Reset() {
 	c.det.Reset()
 	c.t2.reset()
 	c.sup.reset()
@@ -206,16 +226,16 @@ func (c *Cascade) Reset() {
 // Detector exposes the underlying streaming pipeline (health, stats,
 // window geometry). The cascade owns its ingestion — do not Push into
 // the returned detector directly.
-func (c *Cascade) Detector() *edge.Detector { return c.det }
+func (c *CascadeOf[S]) Detector() *edge.DetectorOf[S] { return c.det }
 
 // SupervisorTier reports the tier the supervisor currently selects,
 // before the ceiling clamp.
-func (c *Cascade) SupervisorTier() Tier { return c.sup.tier }
+func (c *CascadeOf[S]) SupervisorTier() Tier { return c.sup.tier }
 
 // SetTierCeiling caps how capable a tier the cascade may decide with:
 // decisions use max(supervisor tier, ceiling). Out-of-range values are
 // clamped. SetTierCeiling(TierPrimary) removes the cap.
-func (c *Cascade) SetTierCeiling(t Tier) {
+func (c *CascadeOf[S]) SetTierCeiling(t Tier) {
 	if t < TierPrimary {
 		t = TierPrimary
 	}
@@ -226,22 +246,22 @@ func (c *Cascade) SetTierCeiling(t Tier) {
 }
 
 // TierCeiling reports the current externally-imposed tier cap.
-func (c *Cascade) TierCeiling() Tier { return c.ceiling }
+func (c *CascadeOf[S]) TierCeiling() Tier { return c.ceiling }
 
 // MinTier reports the most capable tier the cycle budget permits.
-func (c *Cascade) MinTier() Tier { return c.sup.minTier }
+func (c *CascadeOf[S]) MinTier() Tier { return c.sup.minTier }
 
 // TierEvals reports how many decisions each tier has produced since
 // the last Reset.
-func (c *Cascade) TierEvals() [NumTiers]int { return c.tierEvals }
+func (c *CascadeOf[S]) TierEvals() [NumTiers]int { return c.tierEvals }
 
 // BudgetCycles is the cycle budget of one sample period on the
 // configured device.
-func (c *Cascade) BudgetCycles() float64 { return c.budget }
+func (c *CascadeOf[S]) BudgetCycles() float64 { return c.budget }
 
 // PerSampleCycles is the modeled worst-case per-sample cost (fusion +
 // inference) of running the given tier.
-func (c *Cascade) PerSampleCycles(t Tier) float64 {
+func (c *CascadeOf[S]) PerSampleCycles(t Tier) float64 {
 	if t < 0 || t >= NumTiers {
 		return 0
 	}
@@ -251,7 +271,7 @@ func (c *Cascade) PerSampleCycles(t Tier) float64 {
 // WorstCaseCycles is the modeled worst-case per-sample cost over every
 // tier the supervisor can select — the number that must stay under
 // BudgetCycles for the 10 ms sample period to hold.
-func (c *Cascade) WorstCaseCycles() float64 {
+func (c *CascadeOf[S]) WorstCaseCycles() float64 {
 	worst := 0.0
 	for t := c.sup.minTier; t < NumTiers; t++ {
 		if c.perSample[t] > worst {
@@ -298,7 +318,7 @@ type Decision struct {
 // the supervisor's choice produces the decision.
 //
 //fallvet:hotpath
-func (c *Cascade) Push(acc, gyro imu.Vec3) Decision {
+func (c *CascadeOf[S]) Push(acc, gyro imu.Vec3) Decision {
 	p2 := c.t2.push(acc)
 	r := c.det.Ingest(acc, gyro)
 	return c.decide(r, p2)
@@ -308,7 +328,7 @@ func (c *Cascade) Push(acc, gyro imu.Vec3) Decision {
 // The returned Decision reflects the last missing sample.
 //
 //fallvet:hotpath
-func (c *Cascade) PushMissing(n int) Decision {
+func (c *CascadeOf[S]) PushMissing(n int) Decision {
 	var d Decision
 	d.Health = c.det.Health()
 	d.Groups = c.det.GroupHealth()
@@ -329,7 +349,7 @@ func (c *Cascade) PushMissing(n int) Decision {
 // computed every sample, so it is always live, window or no window.
 //
 //fallvet:hotpath
-func (c *Cascade) decide(r edge.Result, p2 float64) Decision {
+func (c *CascadeOf[S]) decide(r edge.Result, p2 float64) Decision {
 	c.samples++
 	c.sinceEval++
 	g := c.det.GroupHealth()
@@ -393,7 +413,7 @@ func (c *Cascade) decide(r edge.Result, p2 float64) Decision {
 // real data loss (overall ring faulted) unscores both model tiers.
 //
 //fallvet:hotpath
-func (c *Cascade) tierScorable(t Tier, overall edge.Health, g edge.GroupHealth) bool {
+func (c *CascadeOf[S]) tierScorable(t Tier, overall edge.Health, g edge.GroupHealth) bool {
 	switch t {
 	case TierPrimary:
 		return c.det.WindowFresh() && overall != edge.HealthFaulted &&
@@ -514,7 +534,7 @@ type TrialSim struct {
 }
 
 // Simulate replays a clean trial; see SimulateFaulty.
-func (c *Cascade) Simulate(t *dataset.Trial) TrialSim {
+func (c *CascadeOf[S]) Simulate(t *dataset.Trial) TrialSim {
 	return c.SimulateFaulty(t, nil)
 }
 
@@ -523,7 +543,7 @@ func (c *Cascade) Simulate(t *dataset.Trial) TrialSim {
 // edge.Detector.SimulateFaulty does: drops become missing samples,
 // repeats are pushed twice, corruption is pushed as-is. The replay
 // stops at the first trigger.
-func (c *Cascade) SimulateFaulty(t *dataset.Trial, inj fault.Injector) TrialSim {
+func (c *CascadeOf[S]) SimulateFaulty(t *dataset.Trial, inj fault.Injector) TrialSim {
 	c.Reset()
 	if inj != nil {
 		inj.Reset()
@@ -564,7 +584,7 @@ func (c *Cascade) SimulateFaulty(t *dataset.Trial, inj fault.Injector) TrialSim 
 }
 
 // Step exposes the decision cadence in samples.
-func (c *Cascade) Step() int { return c.det.Step }
+func (c *CascadeOf[S]) Step() int { return c.det.Step }
 
 // Window exposes the window length in samples.
-func (c *Cascade) Window() int { return c.det.Window }
+func (c *CascadeOf[S]) Window() int { return c.det.Window }

@@ -30,9 +30,10 @@ const cascadeStateVersion = 1
 // streaming geometry ([Window, Step]); the payload additionally carries
 // a configuration fingerprint (threshold, budget tiers, hysteresis) so
 // Restore refuses a snapshot from a differently-built cascade.
-func (c *Cascade) Snapshot(w io.Writer) error {
+func (c *CascadeOf[S]) Snapshot(w io.Writer) error {
 	c.snapScratch = c.appendStatePayload(c.snapScratch[:0])
-	return artifact.Write(w, StateKind, []int{c.det.Window, c.det.Step}, c.snapScratch)
+	return artifact.WriteDType(w, StateKind, []int{c.det.Window, c.det.Step},
+		artifact.DTypeOf[S](), c.snapScratch)
 }
 
 // AppendSnapshot appends the snapshot envelope to dst and returns the
@@ -40,19 +41,20 @@ func (c *Cascade) Snapshot(w io.Writer) error {
 // is staged in a scratch buffer the cascade owns and reuses, so a
 // serving session checkpointing every stride allocates nothing at
 // steady state once dst and the scratch have grown to size.
-func (c *Cascade) AppendSnapshot(dst []byte) ([]byte, error) {
+func (c *CascadeOf[S]) AppendSnapshot(dst []byte) ([]byte, error) {
 	c.snapScratch = c.appendStatePayload(c.snapScratch[:0])
-	return artifact.AppendEnvelope(dst, StateKind, []int{c.det.Window, c.det.Step}, c.snapScratch)
+	return artifact.AppendEnvelopeDType(dst, StateKind, []int{c.det.Window, c.det.Step},
+		artifact.DTypeOf[S](), c.snapScratch)
 }
 
 // SnapshotBytes is Snapshot into a fresh buffer.
-func (c *Cascade) SnapshotBytes() ([]byte, error) {
+func (c *CascadeOf[S]) SnapshotBytes() ([]byte, error) {
 	return c.AppendSnapshot(nil)
 }
 
 // appendStatePayload appends the envelope payload — every mutable
 // field plus the configuration fingerprint — to dst.
-func (c *Cascade) appendStatePayload(dst []byte) []byte {
+func (c *CascadeOf[S]) appendStatePayload(dst []byte) []byte {
 	dst = artifact.AppendUint64(dst, cascadeStateVersion)
 	dst = artifact.AppendFloat(dst, c.threshold)
 	dst = artifact.AppendInt(dst, int(c.sup.minTier))
@@ -78,7 +80,7 @@ func (c *Cascade) appendStatePayload(dst []byte) []byte {
 // snapshot; any mismatch — or any corruption, which the envelope digest
 // catches first — yields an error. On error the cascade's state is
 // unspecified: Reset it (or discard it) before pushing again.
-func (c *Cascade) Restore(rd io.Reader) error {
+func (c *CascadeOf[S]) Restore(rd io.Reader) error {
 	h, payload, err := artifact.Read(rd)
 	if err != nil {
 		return fmt.Errorf("cascade: %w", err)
@@ -89,6 +91,12 @@ func (c *Cascade) Restore(rd io.Reader) error {
 	if len(h.Shape) != 2 || h.Shape[0] != c.det.Window || h.Shape[1] != c.det.Step {
 		return fmt.Errorf("cascade: snapshot geometry %v, cascade is [%d %d]",
 			h.Shape, c.det.Window, c.det.Step)
+	}
+	if want := artifact.DTypeOf[S](); h.DType != want {
+		// The envelope-level check catches a width mismatch before any
+		// payload decoding; the detector state carries (and re-checks)
+		// its own dtype word.
+		return fmt.Errorf("cascade: snapshot is %s state, cascade runs %s", h.DType, want)
 	}
 	r := artifact.NewStateReader(payload)
 	if v := r.Uint64(); r.Err() == nil && v != cascadeStateVersion {
@@ -143,7 +151,7 @@ func (c *Cascade) Restore(rd io.Reader) error {
 // RestoreFresh reads a snapshot into the cascade, resetting first so a
 // failed restore cannot leave half-applied state behind: on error the
 // cascade is cold but coherent, exactly as after Reset.
-func (c *Cascade) RestoreFresh(rd io.Reader) error {
+func (c *CascadeOf[S]) RestoreFresh(rd io.Reader) error {
 	c.Reset()
 	if err := c.Restore(rd); err != nil {
 		ceiling := c.ceiling

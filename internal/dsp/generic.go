@@ -1,0 +1,40 @@
+package dsp
+
+import "repro/internal/tensor"
+
+// FilterOf adapts a Filter to a sample stream of scalar type S while
+// keeping every accumulator at float64. IIR feedback state is the one
+// place reduced precision genuinely compounds: a biquad's z1/z2 feed
+// back into themselves every sample, so rounding them to float32 would
+// accumulate error over an unbounded stream instead of per-operation.
+// The deployment-width pipeline therefore converts samples at the
+// boundary — S in, S out — and runs the recurrence itself in double
+// precision, exactly as fixed-point firmware keeps a wider accumulator
+// than its sample format. At S=float64 both conversions are identities
+// and Process is bit-identical to calling the wrapped Filter directly.
+type FilterOf[S tensor.Scalar] struct {
+	// F is the wrapped float64 cascade; snapshot codecs reach through
+	// it for AppendState/StateLen/SetState, which stay float64 (the
+	// accumulators are float64 regardless of S).
+	F *Filter
+}
+
+// WrapFilter adapts f to sample width S. The wrapper shares f's state:
+// processing through the wrapper and the filter interleave per-sample.
+func WrapFilter[S tensor.Scalar](f *Filter) *FilterOf[S] {
+	return &FilterOf[S]{F: f}
+}
+
+// Process filters one sample at width S through the float64 cascade.
+//
+//fallvet:hotpath
+func (w *FilterOf[S]) Process(x S) S { return S(w.F.Process(float64(x))) }
+
+// Prime initialises the cascade to the steady-state response for a
+// constant input at width S.
+//
+//fallvet:hotpath
+func (w *FilterOf[S]) Prime(x0 S) { w.F.Prime(float64(x0)) }
+
+// Reset clears the cascade state.
+func (w *FilterOf[S]) Reset() { w.F.Reset() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dsp"
+	"repro/internal/tensor"
 )
 
 // Fixed-point filtering: the STM32F722 has an FPU, but many fielded
@@ -114,6 +115,22 @@ func (ff *FixedFilter) Process(x float64) float64 {
 	}
 	return fromQ(q)
 }
+
+// fixedOf adapts the Q16.16 FixedFilter to the scalar-parameterized
+// streamFilterOf interface the detector uses. Like dsp.FilterOf, the
+// accumulator domain (here Q16.16 integers over float64 conversion)
+// is wider than a float32 sample, so only the boundary narrows.
+type fixedOf[S tensor.Scalar] struct {
+	f *FixedFilter
+}
+
+//fallvet:hotpath
+func (w *fixedOf[S]) Process(x S) S { return S(w.f.Process(float64(x))) }
+
+//fallvet:hotpath
+func (w *fixedOf[S]) Prime(x0 S) { w.f.Prime(float64(x0)) }
+
+func (w *fixedOf[S]) Reset() { w.f.Reset() }
 
 // Prime initialises the state to the steady-state response for a
 // constant input, mirroring dsp.Filter.Prime.

@@ -1,0 +1,140 @@
+package edge
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/imu"
+	"repro/internal/model"
+)
+
+// probTol bounds |p32 − p64| for the CNN used below. Inputs are
+// hardened (clamped to sensor full scale) before they reach the ring,
+// so activations are bounded and the single-precision rounding error
+// through two conv stacks and the head stays orders of magnitude under
+// this.
+const probTol = 1e-3
+
+// FuzzPrecisionScore is the cross-width oracle: a float32 pipeline and
+// the float64 reference pipeline around the same checkpoint must agree
+// on every width-independent field (health, quarantine, clamping,
+// stride phase — all of which run float64 at both widths by design) and
+// on the fall probability to within probTol, over arbitrary streams of
+// quiet wear, violent motion, clamped readings, non-finite garbage and
+// sensor gaps. Trigger decisions may differ only when the probability
+// sits within probTol of the threshold — the regime the
+// decision-agreement sweep quantifies statistically.
+func FuzzPrecisionScore(f *testing.F) {
+	f.Add(int64(1), uint16(120))
+	f.Add(int64(2), uint16(300))
+	f.Add(int64(-77), uint16(64))
+	f.Add(int64(987654), uint16(513))
+
+	m, err := model.New(model.KindCNN, model.Config{WindowSamples: 40}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := DetectorConfig{WindowMS: 400, Overlap: 0.5}
+	det64, err := NewDetectorOf[float64](m, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	det32, err := NewDetectorOf[float32](m, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(det32.streams) == 0 {
+		f.Fatal("float32 CNN detector did not attach an incremental scorer")
+	}
+
+	f.Fuzz(func(t *testing.T, seed int64, n uint16) {
+		steps := int(n)%512 + 64
+		det64.Reset()
+		det32.Reset()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < steps; i++ {
+			var ra, rb Result
+			switch op := rng.Intn(100); {
+			case op < 4:
+				k := 1 + rng.Intn(8)
+				ra = det64.PushMissing(k)
+				rb = det32.PushMissing(k)
+			case op < 7: // quarantine path
+				acc := imu.Vec3{X: math.NaN(), Z: 1}
+				ra = det64.Push(acc, imu.Vec3{})
+				rb = det32.Push(acc, imu.Vec3{})
+			case op < 10: // gyro hold path
+				acc := imu.Vec3{Z: 1}
+				gyro := imu.Vec3{Y: math.Inf(1)}
+				ra = det64.Push(acc, gyro)
+				rb = det32.Push(acc, gyro)
+			case op < 14: // clamp path
+				acc := imu.Vec3{Z: 20 + rng.Float64()}
+				gyro := imu.Vec3{X: 3000 * rng.NormFloat64()}
+				ra = det64.Push(acc, gyro)
+				rb = det32.Push(acc, gyro)
+			default:
+				amp := rng.Float64() * 4
+				acc := imu.Vec3{X: amp * rng.NormFloat64(), Y: amp * rng.NormFloat64(), Z: 1 + amp*rng.NormFloat64()}
+				gyro := imu.Vec3{X: 90 * rng.NormFloat64(), Y: 90 * rng.NormFloat64(), Z: 90 * rng.NormFloat64()}
+				ra = det64.Push(acc, gyro)
+				rb = det32.Push(acc, gyro)
+			}
+			if ra.Evaluated != rb.Evaluated || ra.Health != rb.Health ||
+				ra.Quarantined != rb.Quarantined || ra.Clamped != rb.Clamped {
+				t.Fatalf("seed=%d step %d: width-independent fields diverge:\n f64 %+v\n f32 %+v", seed, i, ra, rb)
+			}
+			if math.IsNaN(rb.Probability) || rb.Probability < 0 || rb.Probability > 1 {
+				t.Fatalf("seed=%d step %d: f32 probability %g outside [0,1]", seed, i, rb.Probability)
+			}
+			d := math.Abs(ra.Probability - rb.Probability)
+			if d > probTol {
+				t.Fatalf("seed=%d step %d: |p32−p64| = %g exceeds %g (f64 %g, f32 %g)",
+					seed, i, d, probTol, ra.Probability, rb.Probability)
+			}
+			if ra.Triggered != rb.Triggered && math.Abs(ra.Probability-DefaultThreshold) > probTol {
+				t.Fatalf("seed=%d step %d: trigger decisions diverge away from the threshold:\n f64 %+v\n f32 %+v",
+					seed, i, ra, rb)
+			}
+		}
+	})
+}
+
+// TestDetectorStateWidthMismatch: the detector state codec stamps its
+// compiled width; restoring across widths must fail with an error that
+// names both, at the state layer itself (the cascade envelope check is
+// tested separately).
+func TestDetectorStateWidthMismatch(t *testing.T) {
+	clf, err := model.NewThreshold(model.KindThresholdAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DetectorConfig{WindowMS: 200, Overlap: 0.5}
+	d64, err := NewDetectorOf[float64](clf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d32, err := NewDetectorOf[float32](clf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d64.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+		d32.Push(imu.Vec3{Z: 1}, imu.Vec3{})
+	}
+	img := d64.AppendState(nil)
+	err = d32.ReadState(artifact.NewStateReader(img))
+	if err == nil {
+		t.Fatal("f32 detector read f64 state")
+	}
+	if !strings.Contains(err.Error(), "f64") || !strings.Contains(err.Error(), "f32") {
+		t.Fatalf("width-mismatch error does not name both widths: %v", err)
+	}
+	img32 := d32.AppendState(nil)
+	if err := d64.ReadState(artifact.NewStateReader(img32)); err == nil {
+		t.Fatal("f64 detector read f32 state")
+	}
+}

@@ -24,7 +24,14 @@ import (
 
 // detectorStateVersion guards the field layout below. Bump it whenever
 // a mutable Detector field is added, removed or reordered.
-const detectorStateVersion = 1
+//
+// Version history:
+//
+//	1 — float64-only pipeline, no dtype tag.
+//	2 — scalar-generic pipeline; a dtype word follows the version.
+//	    Version-1 images are still read, as float64 (the only width a
+//	    version-1 writer could produce).
+const detectorStateVersion = 2
 
 // Filter-kind tags in the encoded state.
 const (
@@ -36,13 +43,14 @@ const (
 // returns the extended slice. The geometry (window, step, filter
 // arithmetic) is encoded first and verified on restore, so a snapshot
 // can never be applied to a differently-shaped pipeline.
-func (d *Detector) AppendState(dst []byte) []byte {
+func (d *DetectorOf[S]) AppendState(dst []byte) []byte {
 	dst = artifact.AppendUint64(dst, detectorStateVersion)
+	dst = artifact.AppendUint64(dst, uint64(artifact.DTypeOf[S]()))
 	dst = artifact.AppendInt(dst, d.Window)
 	dst = artifact.AppendInt(dst, d.Step)
 	dst = artifact.AppendFloat(dst, d.Threshold)
 	switch d.filters[0].(type) {
-	case *FixedFilter:
+	case *fixedOf[S]:
 		dst = artifact.AppendUint64(dst, filterKindFixed)
 	default:
 		dst = artifact.AppendUint64(dst, filterKindFloat)
@@ -58,7 +66,9 @@ func (d *Detector) AppendState(dst []byte) []byte {
 	}
 	dst = appendVec(dst, d.heldGyro)
 	for _, v := range d.ring {
-		dst = artifact.AppendFloat(dst, v)
+		// Widening to the codec's float64 word is exact at both widths,
+		// so a float32 ring round-trips bit-for-bit.
+		dst = artifact.AppendFloat(dst, float64(v))
 	}
 
 	dst = appendHealthRing(dst, d.health)
@@ -94,15 +104,15 @@ func (d *Detector) AppendState(dst []byte) []byte {
 
 	for c := range d.filters {
 		switch fl := d.filters[c].(type) {
-		case *dsp.Filter:
-			st := fl.AppendState(d.snapF[:0])
+		case *dsp.FilterOf[S]:
+			st := fl.F.AppendState(d.snapF[:0])
 			d.snapF = st
 			dst = artifact.AppendInt(dst, len(st))
 			for _, v := range st {
 				dst = artifact.AppendFloat(dst, v)
 			}
-		case *FixedFilter:
-			st := fl.appendState(d.snapI[:0])
+		case *fixedOf[S]:
+			st := fl.f.appendState(d.snapI[:0])
 			d.snapI = st
 			dst = artifact.AppendInt(dst, len(st))
 			for _, v := range st {
@@ -129,9 +139,22 @@ func (d *Detector) AppendState(dst []byte) []byte {
 // receiver exactly. On error the detector's state is unspecified — the
 // caller must Reset (or discard) the pipeline; it must not keep
 // pushing into a half-restored detector.
-func (d *Detector) ReadState(r *artifact.StateReader) error {
-	if v := r.Uint64(); r.Err() == nil && v != detectorStateVersion {
-		return fmt.Errorf("edge: detector state version %d, this build reads %d", v, detectorStateVersion)
+func (d *DetectorOf[S]) ReadState(r *artifact.StateReader) error {
+	v := r.Uint64()
+	if r.Err() == nil && v != 1 && v != detectorStateVersion {
+		return fmt.Errorf("edge: detector state version %d, this build reads 1..%d", v, detectorStateVersion)
+	}
+	// Version 1 predates the dtype word; everything it could hold is
+	// float64 state.
+	dt := artifact.DTypeF64
+	if v >= 2 {
+		dt = artifact.DType(r.Uint64())
+		if r.Err() == nil && !dt.Valid() {
+			return fmt.Errorf("edge: detector state dtype %s", dt)
+		}
+	}
+	if want := artifact.DTypeOf[S](); r.Err() == nil && dt != want {
+		return fmt.Errorf("edge: snapshot is %s state, detector runs %s", dt, want)
 	}
 	win, step := r.Int(), r.Int()
 	thr := r.Float()
@@ -143,7 +166,7 @@ func (d *Detector) ReadState(r *artifact.StateReader) error {
 		return fmt.Errorf("edge: snapshot geometry %d/%d/%g, detector is %d/%d/%g",
 			win, step, thr, d.Window, d.Step, d.Threshold)
 	}
-	_, fixed := d.filters[0].(*FixedFilter)
+	_, fixed := d.filters[0].(*fixedOf[S])
 	if (kind == filterKindFixed) != fixed {
 		return fmt.Errorf("edge: snapshot filter arithmetic does not match the detector's")
 	}
@@ -159,7 +182,9 @@ func (d *Detector) ReadState(r *artifact.StateReader) error {
 	}
 	d.heldGyro = readVec(r)
 	for i := range d.ring {
-		d.ring[i] = r.Float()
+		// The dtype check above guarantees the stored words were widened
+		// from S, so narrowing back is exact.
+		d.ring[i] = S(r.Float())
 	}
 
 	if err := readHealthRing(r, d.health); err != nil {
@@ -203,9 +228,9 @@ func (d *Detector) ReadState(r *artifact.StateReader) error {
 			return err
 		}
 		switch fl := d.filters[c].(type) {
-		case *dsp.Filter:
-			if n != fl.StateLen() {
-				return fmt.Errorf("edge: filter %d state holds %d values, want %d", c, n, fl.StateLen())
+		case *dsp.FilterOf[S]:
+			if n != fl.F.StateLen() {
+				return fmt.Errorf("edge: filter %d state holds %d values, want %d", c, n, fl.F.StateLen())
 			}
 			st := make([]float64, n)
 			for i := range st {
@@ -214,12 +239,12 @@ func (d *Detector) ReadState(r *artifact.StateReader) error {
 			if err := r.Err(); err != nil {
 				return err
 			}
-			if err := fl.SetState(st); err != nil {
+			if err := fl.F.SetState(st); err != nil {
 				return err
 			}
-		case *FixedFilter:
-			if n != fl.stateLen() {
-				return fmt.Errorf("edge: filter %d state holds %d words, want %d", c, n, fl.stateLen())
+		case *fixedOf[S]:
+			if n != fl.f.stateLen() {
+				return fmt.Errorf("edge: filter %d state holds %d words, want %d", c, n, fl.f.stateLen())
 			}
 			st := make([]int64, n)
 			for i := range st {
@@ -228,7 +253,7 @@ func (d *Detector) ReadState(r *artifact.StateReader) error {
 			if err := r.Err(); err != nil {
 				return err
 			}
-			if err := fl.setState(st); err != nil {
+			if err := fl.f.setState(st); err != nil {
 				return err
 			}
 		default:

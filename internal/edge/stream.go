@@ -27,21 +27,39 @@ import (
 // buffer that is half stale is how a fall gets missed or an airbag
 // fires on garbage. The resulting Healthy/Degraded/Faulted state is
 // surfaced on every Result.
-type Detector struct {
+//
+// The scalar parameter S selects the compiled inference width: the
+// ring buffer, the filtered samples and the attached incremental
+// scorers all run at S. Raw sensor readings, the attitude fusion, the
+// filter accumulators and every health/fault observer stay float64 at
+// both widths — quarantine and stuck/drift detection must judge the
+// sensor's actual values, not their rounded shadows, and IIR state
+// compounds rounding (see dsp.FilterOf). DetectorOf[float64] is the
+// reference pipeline, bit-identical to the pre-generic implementation;
+// DetectorOf[float32] is the deployment width, scoring through lowered
+// model snapshots.
+type DetectorOf[S tensor.Scalar] struct {
 	Window, Step int
 	Threshold    float64
 
 	//fallvet:derived immutable classifier reference, bound at construction; snapshots carry pipeline state, not weights
 	clf     model.Classifier
-	filters [imu.NumChannels]streamFilter
+	filters [imu.NumChannels]streamFilterOf[S]
 	fusion  *imu.Fusion
 
-	ring  []float64 // Window × 9, circular by row
-	count int       // samples ingested
+	ring  []S // Window × 9, circular by row
+	count int // samples ingested
 	//fallvet:derived count % Window, recomputed from count on Reset/ReadState
 	slot int
 	//fallvet:derived preallocated classifier input scratch (Window × 9), refilled from the ring before every classification
-	win *tensor.Tensor
+	win *tensor.Of[S]
+	// win64 is the float64 face of win for batch classifiers, which
+	// score float64 tensors at every width. At S=float64 it aliases
+	// win's storage (same buffer, zero cost); at S=float32 it is a
+	// separate scratch that ScoreWindow widens the assembled window
+	// into — exact, since float32→float64 loses nothing.
+	//fallvet:derived float64 alias/widening scratch for win, established at construction
+	win64 *tensor.Tensor
 
 	// strideCtr counts down to the next stride boundary and atStride
 	// latches whether count currently sits on one — together they are
@@ -54,7 +72,7 @@ type Detector struct {
 	// cascade is selected, so ingest can skip interface dispatch on
 	// its nine per-sample filter calls. Nil entries mean fixed-point.
 	//fallvet:derived concrete-type mirror of filters, re-established at construction; ReadState restores through the filters entries
-	floatFl [imu.NumChannels]*dsp.Filter
+	floatFl [imu.NumChannels]*dsp.FilterOf[S]
 
 	// streams holds incremental scorers attached to classifiers
 	// (DESIGN.md §12): every ingested row feeds them, and ScoreWindow
@@ -63,7 +81,7 @@ type Detector struct {
 	// a classifier the nn.Streamer cannot cache simply scores in
 	// batch form, bit-identically.
 	//fallvet:derived incremental-scorer cache, rebuilt row by row via rebuildStream after ReadState
-	streams []attachedStream
+	streams []attachedStreamOf[S]
 
 	fullScaleG   float64 //fallvet:derived immutable clamp configuration, fixed at construction
 	fullScaleDPS float64 //fallvet:derived immutable clamp configuration, fixed at construction
@@ -89,17 +107,23 @@ type Detector struct {
 	snapI []int64
 }
 
-// attachedStream pairs a classifier with its incremental scorer.
-type attachedStream struct {
+// Detector is the float64 reference detector — the exact pre-generic
+// pipeline, and the width every training and evaluation path uses.
+type Detector = DetectorOf[float64]
+
+// attachedStreamOf pairs a classifier with its incremental scorer.
+type attachedStreamOf[S tensor.Scalar] struct {
 	clf model.Classifier
-	st  *nn.Streamer
+	st  *nn.StreamerOf[S]
 }
 
-// streamFilter is the causal per-channel pre-filter; satisfied by
-// both the float dsp.Filter and the Q16.16 FixedFilter.
-type streamFilter interface {
-	Process(x float64) float64
-	Prime(x0 float64)
+// streamFilterOf is the causal per-channel pre-filter at sample width
+// S; satisfied by the float dsp.FilterOf wrapper and the Q16.16
+// fixedOf wrapper. Both keep their accumulators wider than S — the
+// interface fixes only the sample boundary.
+type streamFilterOf[S tensor.Scalar] interface {
+	Process(x S) S
+	Prime(x0 S)
 	Reset()
 }
 
@@ -139,8 +163,18 @@ type DetectorConfig struct {
 	FullScaleDPS float64
 }
 
-// NewDetector builds the pipeline around a trained classifier.
+// NewDetector builds the float64 reference pipeline around a trained
+// classifier.
 func NewDetector(clf model.Classifier, cfg DetectorConfig) (*Detector, error) {
+	return NewDetectorOf[float64](clf, cfg)
+}
+
+// NewDetectorOf builds the pipeline at scalar width S. At float32 the
+// classifier's network weights are lowered once at attach time (see
+// AttachStream); classifiers without an attachable incremental scorer
+// fall back to batch scoring through an exact float64 widening of the
+// assembled window.
+func NewDetectorOf[S tensor.Scalar](clf model.Classifier, cfg DetectorConfig) (*DetectorOf[S], error) {
 	win := cfg.WindowMS * dataset.SampleRate / 1000
 	if win < 2 {
 		return nil, fmt.Errorf("edge: window %d ms too short", cfg.WindowMS)
@@ -166,18 +200,23 @@ func NewDetector(clf model.Classifier, cfg DetectorConfig) (*Detector, error) {
 	if fsG < 0 || fsDPS < 0 {
 		return nil, fmt.Errorf("edge: negative full-scale range (%g g, %g dps)", fsG, fsDPS)
 	}
-	d := &Detector{
+	d := &DetectorOf[S]{
 		Window:       win,
 		Step:         dsp.Step(win, cfg.Overlap),
 		Threshold:    thr,
 		clf:          clf,
 		fusion:       imu.MustNewFusion(dataset.SampleRate, 0.5),
-		ring:         make([]float64, win*imu.NumChannels),
-		win:          tensor.New(win, imu.NumChannels),
+		ring:         make([]S, win*imu.NumChannels),
+		win:          tensor.NewOf[S](win, imu.NumChannels),
 		fullScaleG:   fsG,
 		fullScaleDPS: fsDPS,
 		reprime:      true,
 		health:       newHealthRing(win),
+	}
+	if t, ok := any(d.win).(*tensor.Tensor); ok {
+		d.win64 = t // float64: the same storage, no widening ever needed
+	} else {
+		d.win64 = tensor.New(win, imu.NumChannels)
 	}
 	for g := range d.groups {
 		d.groups[g] = newHealthRing(win)
@@ -189,10 +228,11 @@ func NewDetector(clf model.Classifier, cfg DetectorConfig) (*Detector, error) {
 			if err != nil {
 				return nil, err
 			}
-			d.filters[c] = ff
+			d.filters[c] = &fixedOf[S]{f: ff}
 		} else {
-			d.filters[c] = fl
-			d.floatFl[c] = fl
+			w := dsp.WrapFilter[S](fl)
+			d.filters[c] = w
+			d.floatFl[c] = w
 		}
 	}
 	d.syncStride()
@@ -207,7 +247,7 @@ func NewDetector(clf model.Classifier, cfg DetectorConfig) (*Detector, error) {
 // classifier keeps scoring in batch form — when clf is not a network
 // model or its topology cannot be cached (MLP, recurrent, misaligned
 // pooling). Attaching the same classifier twice is a no-op.
-func (d *Detector) AttachStream(clf model.Classifier) bool {
+func (d *DetectorOf[S]) AttachStream(clf model.Classifier) bool {
 	for i := range d.streams {
 		if d.streams[i].clf == clf {
 			return true
@@ -217,7 +257,7 @@ func (d *Detector) AttachStream(clf model.Classifier) bool {
 	if !ok {
 		return false
 	}
-	st, err := nn.NewStreamer(nm.Net, nn.StreamConfig{
+	st, err := nn.NewStreamerOf[S](nm.Net, nn.StreamConfig{
 		InCh:   imu.NumChannels,
 		Window: d.Window,
 		Step:   d.Step,
@@ -228,7 +268,7 @@ func (d *Detector) AttachStream(clf model.Classifier) bool {
 	if err != nil || !st.Streaming() {
 		return false
 	}
-	d.streams = append(d.streams, attachedStream{clf: clf, st: st})
+	d.streams = append(d.streams, attachedStreamOf[S]{clf: clf, st: st})
 	d.rebuildStream(len(d.streams) - 1)
 	return true
 }
@@ -236,7 +276,7 @@ func (d *Detector) AttachStream(clf model.Classifier) bool {
 // rebuildStream replays the ring into stream i so its caches reach
 // the exact state of a streamer that saw every row — the invariant
 // nn.Streamer.Restart documents. Used at attach and state restore.
-func (d *Detector) rebuildStream(i int) {
+func (d *DetectorOf[S]) rebuildStream(i int) {
 	st := d.streams[i].st
 	n := d.count
 	if n > d.Window {
@@ -252,7 +292,7 @@ func (d *Detector) rebuildStream(i int) {
 
 // Reset clears all pipeline state, including health and fault
 // counters.
-func (d *Detector) Reset() {
+func (d *DetectorOf[S]) Reset() {
 	d.count = 0
 	d.syncStride()
 	d.fusion.Reset()
@@ -285,7 +325,7 @@ func (d *Detector) Reset() {
 }
 
 // Health reports the pipeline's current degradation state.
-func (d *Detector) Health() Health { return d.health.health() }
+func (d *DetectorOf[S]) Health() Health { return d.health.health() }
 
 // GroupHealth reports the per-channel-group degradation state. Unlike
 // the overall Health it does not gate the base detector's evaluation;
@@ -294,7 +334,7 @@ func (d *Detector) Health() Health { return d.health.health() }
 // Euler branches, but the accelerometer columns stay trustworthy).
 //
 //fallvet:hotpath
-func (d *Detector) GroupHealth() GroupHealth {
+func (d *DetectorOf[S]) GroupHealth() GroupHealth {
 	return GroupHealth{
 		Acc:   d.groups[GroupAcc].health(),
 		Gyro:  d.groups[GroupGyro].health(),
@@ -303,7 +343,7 @@ func (d *Detector) GroupHealth() GroupHealth {
 }
 
 // Stats returns the fault counters accumulated since the last Reset.
-func (d *Detector) Stats() FaultStats { return d.stats }
+func (d *DetectorOf[S]) Stats() FaultStats { return d.stats }
 
 // Result is one Push outcome.
 type Result struct {
@@ -368,7 +408,7 @@ func clampFull(v imu.Vec3, lim float64, clipped *bool) imu.Vec3 {
 // can keep classifying on the branch that still has real data.
 //
 //fallvet:hotpath
-func (d *Detector) Push(acc, gyro imu.Vec3) Result {
+func (d *DetectorOf[S]) Push(acc, gyro imu.Vec3) Result {
 	return d.push(acc, gyro, true)
 }
 
@@ -379,12 +419,12 @@ func (d *Detector) Push(acc, gyro imu.Vec3) Result {
 // model tier (if any) to score the window with via ScoreWindow.
 //
 //fallvet:hotpath
-func (d *Detector) Ingest(acc, gyro imu.Vec3) Result {
+func (d *DetectorOf[S]) Ingest(acc, gyro imu.Vec3) Result {
 	return d.push(acc, gyro, false)
 }
 
 //fallvet:hotpath
-func (d *Detector) push(acc, gyro imu.Vec3, eval bool) Result {
+func (d *DetectorOf[S]) push(acc, gyro imu.Vec3, eval bool) Result {
 	if !finiteVec(acc) {
 		d.stats.Quarantined++
 		r := d.absorbMissing(eval)
@@ -491,7 +531,7 @@ func (d *Detector) push(acc, gyro imu.Vec3, eval bool) Result {
 // after the last missing sample.
 //
 //fallvet:hotpath
-func (d *Detector) PushMissing(n int) Result {
+func (d *DetectorOf[S]) PushMissing(n int) Result {
 	return d.pushMissing(n, true)
 }
 
@@ -499,12 +539,12 @@ func (d *Detector) PushMissing(n int) Result {
 // Ingest for gap accounting under a supervising cascade.
 //
 //fallvet:hotpath
-func (d *Detector) IngestMissing(n int) Result {
+func (d *DetectorOf[S]) IngestMissing(n int) Result {
 	return d.pushMissing(n, false)
 }
 
 //fallvet:hotpath
-func (d *Detector) pushMissing(n int, eval bool) Result {
+func (d *DetectorOf[S]) pushMissing(n int, eval bool) Result {
 	var r Result
 	r.Health = d.health.health()
 	for i := 0; i < n; i++ {
@@ -517,7 +557,7 @@ func (d *Detector) pushMissing(n int, eval bool) Result {
 // absorbMissing handles one missing (or quarantined) sample.
 //
 //fallvet:hotpath
-func (d *Detector) absorbMissing(eval bool) Result {
+func (d *DetectorOf[S]) absorbMissing(eval bool) Result {
 	d.gapRun++
 	d.health.observe(true)
 	d.groups[GroupAcc].observe(true)
@@ -552,13 +592,13 @@ func (d *Detector) absorbMissing(eval bool) Result {
 // ingest filters one raw 9-channel row into the ring buffer.
 //
 //fallvet:hotpath
-func (d *Detector) ingest(row [imu.NumChannels]float64) {
+func (d *DetectorOf[S]) ingest(row [imu.NumChannels]float64) {
 	if d.reprime {
 		// Prime the causal filters so their startup transient (a ramp
 		// up from zero) is not mistaken for free fall — on the very
 		// first reading and again after any long gap.
 		for c := 0; c < imu.NumChannels; c++ {
-			d.filters[c].Prime(row[c])
+			d.filters[c].Prime(S(row[c]))
 		}
 		d.reprime = false
 	}
@@ -571,17 +611,17 @@ func (d *Detector) ingest(row [imu.NumChannels]float64) {
 			// normalisation the training segments use. Unit scales skip
 			// the divide (x/1.0 is the identity, bit for bit) — three
 			// of the nine divsd per sample do nothing.
-			v := d.floatFl[c].Process(row[c])
+			v := d.floatFl[c].Process(S(row[c]))
 			if s := imu.ChannelScale(c); s != 1 {
-				v /= s
+				v /= S(s)
 			}
 			d.ring[slot*imu.NumChannels+c] = v
 		}
 	} else {
 		for c := 0; c < imu.NumChannels; c++ {
-			v := d.filters[c].Process(row[c])
+			v := d.filters[c].Process(S(row[c]))
 			if s := imu.ChannelScale(c); s != 1 {
-				v /= s
+				v /= S(s)
 			}
 			d.ring[slot*imu.NumChannels+c] = v
 		}
@@ -611,7 +651,7 @@ func (d *Detector) ingest(row [imu.NumChannels]float64) {
 // the absolute sample count — the slow, obviously-correct form ingest
 // maintains incrementally. Called whenever count is set directly
 // (construction, Reset, state restore).
-func (d *Detector) syncStride() {
+func (d *DetectorOf[S]) syncStride() {
 	d.slot = d.count % d.Window
 	if d.count < d.Window {
 		d.strideCtr = d.Window - d.count
@@ -629,7 +669,7 @@ func (d *Detector) syncStride() {
 // contents are trustworthy — see WindowFresh and Health for that.
 //
 //fallvet:hotpath
-func (d *Detector) StrideReady() bool {
+func (d *DetectorOf[S]) StrideReady() bool {
 	return d.atStride
 }
 
@@ -638,7 +678,7 @@ func (d *Detector) StrideReady() bool {
 // fresh-sample quota is still unpaid.
 //
 //fallvet:hotpath
-func (d *Detector) WindowFresh() bool {
+func (d *DetectorOf[S]) WindowFresh() bool {
 	return d.count >= d.Window && d.freshNeeded == 0
 }
 
@@ -647,7 +687,7 @@ func (d *Detector) WindowFresh() bool {
 // does. The push path must not allocate at steady state.
 //
 //fallvet:hotpath
-func (d *Detector) assembleWindow() *tensor.Tensor {
+func (d *DetectorOf[S]) assembleWindow() *tensor.Of[S] {
 	x := d.win
 	xd := x.Data()
 	start := d.count % d.Window // oldest row slot
@@ -678,7 +718,7 @@ func (d *Detector) assembleWindow() *tensor.Tensor {
 // full ring.
 //
 //fallvet:hotpath
-func (d *Detector) ScoreWindow(clf model.Classifier) (float64, bool) {
+func (d *DetectorOf[S]) ScoreWindow(clf model.Classifier) (float64, bool) {
 	p := math.NaN()
 	scored := false
 	for i := range d.streams {
@@ -691,7 +731,12 @@ func (d *Detector) ScoreWindow(clf model.Classifier) (float64, bool) {
 		}
 	}
 	if !scored {
-		p = clf.Score(d.assembleWindow())
+		w := d.assembleWindow()
+		x := d.win64 // float64: w's own storage, already filled
+		if !tensor.Is64[S]() {
+			x = tensor.Widen(d.win64, w)
+		}
+		p = clf.Score(x)
 	}
 	if math.IsNaN(p) || math.IsInf(p, 0) {
 		// The input guards should make this unreachable; sanitise
@@ -707,7 +752,7 @@ func (d *Detector) ScoreWindow(clf model.Classifier) (float64, bool) {
 // the pipeline is in a state it trusts.
 //
 //fallvet:hotpath
-func (d *Detector) maybeEvaluate() Result {
+func (d *DetectorOf[S]) maybeEvaluate() Result {
 	h := d.health.health()
 	r := Result{Health: h}
 	if !d.StrideReady() {
@@ -749,7 +794,7 @@ type TrialSim struct {
 // Simulate replays a trial sample by sample and evaluates the airbag
 // deadline: for falls, the detector must fire at least
 // AirbagInflationMS before the annotated impact.
-func (d *Detector) Simulate(t *dataset.Trial) TrialSim {
+func (d *DetectorOf[S]) Simulate(t *dataset.Trial) TrialSim {
 	return d.SimulateFaulty(t, nil)
 }
 
@@ -759,7 +804,7 @@ func (d *Detector) Simulate(t *dataset.Trial) TrialSim {
 // pushed twice, everything else is pushed as (possibly corrupted)
 // data. A nil injector replays the clean trial. The injector is Reset
 // first, so replays are deterministic.
-func (d *Detector) SimulateFaulty(t *dataset.Trial, inj fault.Injector) TrialSim {
+func (d *DetectorOf[S]) SimulateFaulty(t *dataset.Trial, inj fault.Injector) TrialSim {
 	d.Reset()
 	if inj != nil {
 		inj.Reset()

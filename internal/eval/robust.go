@@ -8,6 +8,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/fault"
 	"repro/internal/par"
+	"repro/internal/tensor"
 )
 
 // RobustnessPoint is the streaming detector's performance under one
@@ -78,9 +79,9 @@ type RobustnessReport struct {
 // rate survives each sensor-fault condition. Fault randomness is
 // derived from seed and the injector is reset per trial, so the sweep
 // is reproducible sample for sample.
-func EvaluateRobustness(det *edge.Detector, trials []dataset.Trial,
+func EvaluateRobustness[S tensor.Scalar](det *edge.DetectorOf[S], trials []dataset.Trial,
 	kinds []fault.Kind, severities []float64, seed int64) *RobustnessReport {
-	return EvaluateRobustnessParallel([]*edge.Detector{det}, trials, kinds, severities, seed)
+	return EvaluateRobustnessParallel([]*edge.DetectorOf[S]{det}, trials, kinds, severities, seed)
 }
 
 // EvaluateRobustnessParallel is EvaluateRobustness with the fault
@@ -90,7 +91,7 @@ func EvaluateRobustness(det *edge.Detector, trials []dataset.Trial,
 // dets[w], every condition's injector is seeded from the sweep seed
 // and the condition alone, and SimulateFaulty resets the detector per
 // trial — so the report is identical for any detector count.
-func EvaluateRobustnessParallel(dets []*edge.Detector, trials []dataset.Trial,
+func EvaluateRobustnessParallel[S tensor.Scalar](dets []*edge.DetectorOf[S], trials []dataset.Trial,
 	kinds []fault.Kind, severities []float64, seed int64) *RobustnessReport {
 	return sweepConditions(len(dets), kinds, severities, func(w int, inj fault.Injector) RobustnessPoint {
 		return simulateAll(dets[w], trials, inj)
@@ -104,16 +105,16 @@ func EvaluateRobustnessParallel(dets []*edge.Detector, trials []dataset.Trial,
 // plain and a cascade sweep over the same trials, kinds, severities
 // and seed see sample-identical fault streams — the pairing the
 // with/without-cascade comparison depends on.
-func EvaluateCascadeRobustness(c *cascade.Cascade, trials []dataset.Trial,
+func EvaluateCascadeRobustness[S tensor.Scalar](c *cascade.CascadeOf[S], trials []dataset.Trial,
 	kinds []fault.Kind, severities []float64, seed int64) *RobustnessReport {
-	return EvaluateCascadeRobustnessParallel([]*cascade.Cascade{c}, trials, kinds, severities, seed)
+	return EvaluateCascadeRobustnessParallel([]*cascade.CascadeOf[S]{c}, trials, kinds, severities, seed)
 }
 
 // EvaluateCascadeRobustnessParallel fans the fault conditions out
 // across len(cs) workers. Each cascade must be an independent instance
 // over its own cloned classifiers; the report is identical for any
 // worker count.
-func EvaluateCascadeRobustnessParallel(cs []*cascade.Cascade, trials []dataset.Trial,
+func EvaluateCascadeRobustnessParallel[S tensor.Scalar](cs []*cascade.CascadeOf[S], trials []dataset.Trial,
 	kinds []fault.Kind, severities []float64, seed int64) *RobustnessReport {
 	return sweepConditions(len(cs), kinds, severities, func(w int, inj fault.Injector) RobustnessPoint {
 		return simulateAllCascade(cs[w], trials, inj)
@@ -162,7 +163,7 @@ func sweepConditions(workers int, kinds []fault.Kind, severities []float64,
 }
 
 // simulateAll replays every trial under one fault condition.
-func simulateAll(det *edge.Detector, trials []dataset.Trial, inj fault.Injector) RobustnessPoint {
+func simulateAll[S tensor.Scalar](det *edge.DetectorOf[S], trials []dataset.Trial, inj fault.Injector) RobustnessPoint {
 	var p RobustnessPoint
 	detected, inTime := 0, 0
 	leadSum := 0.0
@@ -200,7 +201,7 @@ func simulateAll(det *edge.Detector, trials []dataset.Trial, inj fault.Injector)
 
 // simulateAllCascade replays every trial through the cascade under one
 // fault condition, accumulating the per-tier accounting.
-func simulateAllCascade(c *cascade.Cascade, trials []dataset.Trial, inj fault.Injector) RobustnessPoint {
+func simulateAllCascade[S tensor.Scalar](c *cascade.CascadeOf[S], trials []dataset.Trial, inj fault.Injector) RobustnessPoint {
 	var p RobustnessPoint
 	detected, inTime := 0, 0
 	leadSum := 0.0

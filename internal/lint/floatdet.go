@@ -69,7 +69,42 @@ func checkFloatCompare(p *pass, b *ast.BinaryExpr) {
 			op = "!="
 		}
 		p.report("floatdet", b.OpPos,
-			"raw float %s in a deterministic package: compare math.Float64bits values for identity or use an explicit tolerance", op)
+			"raw float %s in a deterministic package: compare %s values for identity or use an explicit tolerance",
+			op, bitsIdiom(xv.Type, yv.Type))
+	}
+}
+
+// bitsIdiom names the math bit-cast matching the compared width:
+// Float32bits for float32 operands (the lowered inference width),
+// Float64bits otherwise. A comparison on a width-generic type
+// parameter names both, since the right cast depends on the
+// instantiation.
+func bitsIdiom(x, y types.Type) string {
+	has32, generic := false, false
+	for _, t := range []types.Type{x, y} {
+		if t == nil {
+			continue
+		}
+		if tp, ok := t.(*types.TypeParam); ok {
+			switch h64, h32 := floatTypeSet(tp); {
+			case h64 && h32:
+				generic = true
+			case h32:
+				has32 = true
+			}
+			continue
+		}
+		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.Float32 {
+			has32 = true
+		}
+	}
+	switch {
+	case generic:
+		return "math.Float64bits/math.Float32bits (per instantiated width)"
+	case has32:
+		return "math.Float32bits"
+	default:
+		return "math.Float64bits"
 	}
 }
 
@@ -93,10 +128,56 @@ func checkMapAccumulation(p *pass, rng *ast.RangeStmt) {
 	})
 }
 
+// isFloatType reports whether t is a floating-point type, or a type
+// parameter whose constraint admits one — a comparison involving such
+// a parameter is a float comparison at every floating instantiation
+// (tensor.Scalar is the repo's canonical case), so the hazard is real
+// regardless of what the other members of the type set are.
 func isFloatType(t types.Type) bool {
 	if t == nil {
 		return false
 	}
+	if tp, ok := t.(*types.TypeParam); ok {
+		has64, has32 := floatTypeSet(tp)
+		return has64 || has32
+	}
 	basic, ok := t.Underlying().(*types.Basic)
 	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// floatTypeSet reports which float widths a type parameter's
+// constraint type set admits (float32 counts as has32, every other
+// floating kind as has64). A constraint with no type terms
+// (method-only, comparable, any) admits neither — nothing is provable
+// about its instantiations.
+func floatTypeSet(tp *types.TypeParam) (has64, has32 bool) {
+	return constraintFloats(tp.Constraint())
+}
+
+func constraintFloats(c types.Type) (has64, has32 bool) {
+	iface, ok := c.Underlying().(*types.Interface)
+	if !ok {
+		return false, false
+	}
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		switch e := iface.EmbeddedType(i).(type) {
+		case *types.Union:
+			for j := 0; j < e.Len(); j++ {
+				basic, ok := e.Term(j).Type().Underlying().(*types.Basic)
+				if !ok || basic.Info()&types.IsFloat == 0 {
+					continue
+				}
+				if basic.Kind() == types.Float32 {
+					has32 = true
+				} else {
+					has64 = true
+				}
+			}
+		default:
+			h64, h32 := constraintFloats(e)
+			has64 = has64 || h64
+			has32 = has32 || h32
+		}
+	}
+	return has64, has32
 }

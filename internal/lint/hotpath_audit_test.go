@@ -64,64 +64,69 @@ var hotpathCoverage = map[string]string{
 	"internal/nn.WeightedBCE.GradValue": trainOnly,
 
 	// Streaming pipeline: everything Detector.Push touches per sample.
-	"internal/edge.Detector.Push":          edgeAlloc,
-	"internal/edge.Detector.ingest":        edgeAlloc,
-	"internal/edge.Detector.maybeEvaluate": edgeAlloc,
-	"internal/edge.clamp1":                 edgeAlloc,
-	"internal/edge.clampFull":              edgeAlloc,
-	"internal/edge.finiteVec":              edgeAlloc,
-	"internal/edge.healthRing.observe":     edgeAlloc,
-	"internal/edge.healthRing.health":      edgeAlloc,
-	"internal/imu.Fusion.Update":           edgeAlloc,
-	"internal/imu.accAngles":               edgeAlloc,
-	"internal/imu.finite":                  edgeAlloc,
-	"internal/imu.wrap180":                 edgeAlloc,
-	"internal/imu.ChannelScale":            edgeAlloc,
-	"internal/dsp.Biquad.Process":          edgeAlloc,
-	"internal/dsp.Filter.Process":          edgeAlloc,
-	"internal/dsp.Filter.Prime":            coldPrime,
+	"internal/edge.DetectorOf.Push":          edgeAlloc,
+	"internal/edge.DetectorOf.ingest":        edgeAlloc,
+	"internal/edge.DetectorOf.maybeEvaluate": edgeAlloc,
+	"internal/edge.clamp1":                   edgeAlloc,
+	"internal/edge.clampFull":                edgeAlloc,
+	"internal/edge.finiteVec":                edgeAlloc,
+	"internal/edge.healthRing.observe":       edgeAlloc,
+	"internal/edge.healthRing.health":        edgeAlloc,
+	"internal/imu.Fusion.Update":             edgeAlloc,
+	"internal/imu.accAngles":                 edgeAlloc,
+	"internal/imu.finite":                    edgeAlloc,
+	"internal/imu.wrap180":                   edgeAlloc,
+	"internal/imu.ChannelScale":              edgeAlloc,
+	"internal/dsp.Biquad.Process":            edgeAlloc,
+	"internal/dsp.Filter.Process":            edgeAlloc,
+	"internal/dsp.Filter.Prime":              coldPrime,
+	"internal/dsp.FilterOf.Process":          edgeAlloc,
+	"internal/dsp.FilterOf.Prime":            coldPrime,
 
 	// Ingest/evaluate split and per-group health, driven per sample by
 	// both Detector.Push and the cascade Push alloc gates.
-	"internal/edge.Detector.push":           edgeAlloc,
-	"internal/edge.Detector.Ingest":         cascadeAlloc,
-	"internal/edge.Detector.StrideReady":    cascadeAlloc,
-	"internal/edge.Detector.WindowFresh":    cascadeAlloc,
-	"internal/edge.Detector.ScoreWindow":    cascadeAlloc,
-	"internal/edge.Detector.assembleWindow": edgeAlloc,
-	"internal/edge.Detector.GroupHealth":    cascadeAlloc,
-	"internal/edge.GroupHealth.Worst":       cascadeAlloc,
-	"internal/edge.stuckRun.observe":        edgeAlloc,
-	"internal/edge.axisRun.observe":         edgeAlloc,
-	"internal/edge.driftTrack.observeAcc":   edgeAlloc,
-	"internal/edge.driftTrack.observeGyro":  edgeAlloc,
+	"internal/edge.DetectorOf.push":           edgeAlloc,
+	"internal/edge.DetectorOf.Ingest":         cascadeAlloc,
+	"internal/edge.DetectorOf.StrideReady":    cascadeAlloc,
+	"internal/edge.DetectorOf.WindowFresh":    cascadeAlloc,
+	"internal/edge.DetectorOf.ScoreWindow":    cascadeAlloc,
+	"internal/edge.DetectorOf.assembleWindow": edgeAlloc,
+	"internal/edge.DetectorOf.GroupHealth":    cascadeAlloc,
+	"internal/edge.GroupHealth.Worst":         cascadeAlloc,
+	"internal/edge.stuckRun.observe":          edgeAlloc,
+	"internal/edge.axisRun.observe":           edgeAlloc,
+	"internal/edge.driftTrack.observeAcc":     edgeAlloc,
+	"internal/edge.driftTrack.observeGyro":    edgeAlloc,
 
 	// Degradation and fixed-point variants of the streaming pipeline.
-	"internal/edge.Detector.PushMissing":   degrade,
-	"internal/edge.Detector.IngestMissing": degrade,
-	"internal/edge.Detector.pushMissing":   degrade,
-	"internal/edge.Detector.absorbMissing": degrade,
-	"internal/edge.FixedFilter.Process":    fixedOnly,
-	"internal/edge.FixedFilter.Prime":      coldPrime,
-	"internal/edge.toQ":                    fixedOnly,
-	"internal/edge.fromQ":                  fixedOnly,
+	"internal/edge.DetectorOf.PushMissing":   degrade,
+	"internal/edge.DetectorOf.IngestMissing": degrade,
+	"internal/edge.DetectorOf.pushMissing":   degrade,
+	"internal/edge.DetectorOf.absorbMissing": degrade,
+	"internal/edge.FixedFilter.Process":      fixedOnly,
+	"internal/edge.FixedFilter.Prime":        coldPrime,
+	"internal/edge.fixedOf.Process":          fixedOnly,
+	"internal/edge.fixedOf.Prime":            coldPrime,
+	"internal/edge.toQ":                      fixedOnly,
+	"internal/edge.fromQ":                    fixedOnly,
 
 	// Detector cascade: supervisor, threshold floor and decision path,
 	// all inside cascade.Push at every tier.
-	"internal/cascade.Cascade.Push":         cascadeAlloc,
-	"internal/cascade.Cascade.PushMissing":  cascadeAlloc,
-	"internal/cascade.Cascade.decide":       cascadeAlloc,
-	"internal/cascade.Cascade.tierScorable": cascadeAlloc,
-	"internal/cascade.supervisor.step":      cascadeAlloc,
-	"internal/cascade.stayOK":               cascadeAlloc,
-	"internal/cascade.enterOK":              cascadeAlloc,
-	"internal/cascade.finiteAcc":            cascadeAlloc,
-	"internal/cascade.tier2.push":           cascadeAlloc,
-	"internal/cascade.tier2.missing":        cascadeAlloc,
-	"internal/cascade.tier2.score":          cascadeAlloc,
+	"internal/cascade.CascadeOf.Push":         cascadeAlloc,
+	"internal/cascade.CascadeOf.PushMissing":  cascadeAlloc,
+	"internal/cascade.CascadeOf.decide":       cascadeAlloc,
+	"internal/cascade.CascadeOf.tierScorable": cascadeAlloc,
+	"internal/cascade.supervisor.step":        cascadeAlloc,
+	"internal/cascade.stayOK":                 cascadeAlloc,
+	"internal/cascade.enterOK":                cascadeAlloc,
+	"internal/cascade.finiteAcc":              cascadeAlloc,
+	"internal/cascade.tier2.push":             cascadeAlloc,
+	"internal/cascade.tier2.missing":          cascadeAlloc,
+	"internal/cascade.tier2.score":            cascadeAlloc,
 
 	// Quantized inference path.
 	"internal/quant.QNetwork.Predict": quantAlloc,
+	"internal/quant.PredictOf":        quantAlloc,
 	"internal/quant.reuseQ":           quantAlloc,
 	"internal/quant.requant":          quantAlloc,
 	"internal/quant.quantizeTo":       quantAlloc,
@@ -137,6 +142,9 @@ var hotpathCoverage = map[string]string{
 	// Blocked matrix-vector kernels (DESIGN §12): every float
 	// inference MAC — batch and streaming — funnels through these.
 	"internal/nn.matVecBias":       nnAlloc,
+	"internal/nn.reluInto":         nnAlloc,
+	"internal/nn.sigmoidInto":      nnAlloc,
+	"internal/nn.tanhInto":         nnAlloc,
 	"internal/nn.matVecBias2":      streamAlloc,
 	"internal/nn.matVecBiasReLU":   streamAlloc,
 	"internal/nn.matVecBias2ReLU":  streamAlloc,
@@ -145,16 +153,18 @@ var hotpathCoverage = map[string]string{
 
 	// Incremental inference engine: the per-sample push path and the
 	// per-stride scoring path of nn.Streamer.
-	"internal/nn.Streamer.Push":              streamAlloc,
-	"internal/nn.Streamer.Score":             streamAlloc,
-	"internal/nn.Streamer.runBatchBranch":    streamAlloc,
-	"internal/nn.branchStream.pushConv":      streamAlloc,
-	"internal/nn.branchStream.convRow":       streamAlloc,
-	"internal/nn.branchStream.flush":         streamAlloc,
-	"internal/nn.branchStream.absorb":        streamAlloc,
-	"internal/nn.branchStream.gather":        streamAlloc,
-	"internal/nn.branchStream.fusedConvPool": streamAlloc,
-	"internal/nn.branchStream.fusedAbsorb":   streamAlloc,
+	"internal/nn.StreamerOf.Push":              streamAlloc,
+	"internal/nn.StreamerOf.Score":             streamAlloc,
+	"internal/nn.StreamerOf.BatchScore":        streamAlloc,
+	"internal/nn.StreamerOf.runHead":           streamAlloc,
+	"internal/nn.StreamerOf.runBatchBranch":    streamAlloc,
+	"internal/nn.branchStreamOf.pushConv":      streamAlloc,
+	"internal/nn.branchStreamOf.convRow":       streamAlloc,
+	"internal/nn.branchStreamOf.flush":         streamAlloc,
+	"internal/nn.branchStreamOf.absorb":        streamAlloc,
+	"internal/nn.branchStreamOf.gather":        streamAlloc,
+	"internal/nn.branchStreamOf.fusedConvPool": streamAlloc,
+	"internal/nn.branchStreamOf.fusedAbsorb":   streamAlloc,
 }
 
 // annotatedFunctions parses every non-test Go file in the module
@@ -332,9 +342,9 @@ func TestTransitiveProofMatchesAllocGates(t *testing.T) {
 func TestSnapshotPairSet(t *testing.T) {
 	got := collectSnapshotTypes(loadRepoPasses(t))
 	want := []string{
-		"repro/internal/cascade.Cascade",
+		"repro/internal/cascade.CascadeOf",
 		"repro/internal/dsp.Filter",
-		"repro/internal/edge.Detector",
+		"repro/internal/edge.DetectorOf",
 		"repro/internal/edge.FixedFilter",
 		"repro/internal/nn.Network",
 		"repro/internal/serve.Session",
@@ -351,7 +361,7 @@ func TestSnapshotPairSet(t *testing.T) {
 func TestHotpathAllocGateFunctionsAnnotated(t *testing.T) {
 	annotated := annotatedFunctions(t)
 	for _, entry := range []string{
-		"internal/edge.Detector.Push",     // edge alloc gate
+		"internal/edge.DetectorOf.Push",   // edge alloc gate
 		"internal/quant.QNetwork.Predict", // quant alloc gate
 		"internal/nn.Network.Predict",     // nn alloc gate
 	} {

@@ -307,24 +307,44 @@ func unparen(e ast.Expr) ast.Expr {
 // calleeFunc resolves the called function or method, or nil for
 // builtins, conversions, and calls of function-typed values.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := unparen(call.Fun).(type) {
+	fun := unparen(call.Fun)
+	// Explicit instantiation f[T](...) / m[T1, T2](...): the callee
+	// identity is under the index expression.
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = unparen(idx.X)
+	}
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		if fn, ok := info.Uses[fun].(*types.Func); ok {
-			return fn
+			return fn.Origin()
 		}
 	case *ast.SelectorExpr:
 		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
-			return fn
+			// A method used through an instantiated receiver (or an
+			// inferred generic call) resolves to the instantiation;
+			// Origin maps it back to the declaration the program index
+			// is keyed by. Identity for non-generic functions.
+			return fn.Origin()
 		}
 	}
 	return nil
 }
 
 // builtinName returns the name of the builtin being called ("make",
-// "append", ...) or "".
+// "append", "Sizeof", ...) or "". Qualified builtins — the unsafe
+// pseudo-package's Sizeof/Alignof/Offsetof, which evaluate to
+// compile-time constants — resolve through the selector.
 func builtinName(info *types.Info, call *ast.CallExpr) string {
-	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
-		if b, ok := info.Uses[id].(*types.Builtin); ok {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			return b.Name()
+		}
+	case *ast.SelectorExpr:
+		if b, ok := info.Uses[fun.Sel].(*types.Builtin); ok {
 			return b.Name()
 		}
 	}
@@ -333,6 +353,12 @@ func builtinName(info *types.Info, call *ast.CallExpr) string {
 
 func isInterface(t types.Type) bool {
 	if t == nil {
+		return false
+	}
+	// A type parameter's underlying type is its constraint interface,
+	// but values of the parameter are concrete at every instantiation:
+	// converting or assigning to one never boxes.
+	if _, ok := t.(*types.TypeParam); ok {
 		return false
 	}
 	_, ok := t.Underlying().(*types.Interface)
@@ -350,6 +376,14 @@ func funcDisplayName(fd *ast.FuncDecl) string {
 	t := fd.Recv.List[0].Type
 	if st, ok := t.(*ast.StarExpr); ok {
 		t = st.X
+	}
+	// A generic receiver (*DetectorOf[S], ring[K, V]) names the type
+	// under the index expression.
+	switch idx := t.(type) {
+	case *ast.IndexExpr:
+		t = idx.X
+	case *ast.IndexListExpr:
+		t = idx.X
 	}
 	if id, ok := t.(*ast.Ident); ok {
 		return id.Name + "." + name

@@ -141,6 +141,15 @@ func TestAnalyzerFixtures(t *testing.T) {
 		// floatdet is scoped like determinism: deterministic packages only.
 		{"floatdet/bad", true, false},
 		{"floatdet/good", true, false},
+		// Generic instantiation coverage: the same three whole-program
+		// analyzers again, this time with every function, method and
+		// pair type behind a scalar type parameter.
+		{"floatdet/genericbad", true, false},
+		{"floatdet/genericgood", true, false},
+		{"hottrans/genericbad", false, false},
+		{"hottrans/genericgood", false, false},
+		{"snapshot/genericbad", false, false},
+		{"snapshot/genericgood", false, false},
 	} {
 		t.Run(strings.ReplaceAll(tc.rel, "/", "_"), func(t *testing.T) {
 			checkFixture(t, tc.rel, fixtureConfig(tc.det, tc.par))

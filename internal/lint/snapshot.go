@@ -106,6 +106,13 @@ func recvNamed(fn *types.Func) *types.Named {
 		t = ptr.Elem()
 	}
 	named, _ := t.(*types.Named)
+	if named != nil {
+		// Each method of a generic type carries its own receiver
+		// instantiation (DetectorOf[S] with a per-method S); Origin
+		// joins them back onto the one declared type so writer and
+		// reader pair up. Identity for non-generic types.
+		named = named.Origin()
+	}
 	return named
 }
 
@@ -231,7 +238,10 @@ func writerFieldUses(p *pass, writers []*funcInfo) map[*types.Var]bool {
 				return true
 			}
 			if v, ok := p.pkg.Info.Uses[id].(*types.Var); ok && v.IsField() {
-				covered[v] = true
+				// Field objects seen through a generic receiver are
+				// per-instantiation; Origin maps them to the declared
+				// field the struct walk below iterates over.
+				covered[v.Origin()] = true
 			}
 			return true
 		})
@@ -261,7 +271,9 @@ func fieldStruct(p *pass, t types.Type) *types.Named {
 			if _, ok := named.Underlying().(*types.Struct); !ok {
 				return nil
 			}
-			return named
+			// Same-package generic helpers appear as per-use
+			// instantiations; walk the declared type once.
+			return named.Origin()
 		}
 	}
 }

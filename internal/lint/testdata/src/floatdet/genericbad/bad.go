@@ -1,0 +1,44 @@
+// Package genericbad exercises float-determinism violations through
+// type parameters: a comparison on a width-generic scalar is a float
+// comparison at every floating instantiation, and the diagnostic names
+// the bit-cast idiom matching the compared width (Float32bits for the
+// lowered inference width).
+package genericbad
+
+type scalar interface{ float32 | float64 }
+
+type anyFloat interface{ ~float32 | ~float64 }
+
+type partly interface{ float64 | int64 }
+
+// Eq compares width-generic scalars: flagged, naming both bit casts
+// because the instantiation decides the width.
+func Eq[S scalar](a, b S) bool {
+	return a == b // want `floatdet: raw float == in a deterministic package: compare math\.Float64bits/math\.Float32bits \(per instantiated width\) values`
+}
+
+// NeqTilde: approximation terms (~float32) are in the type set too.
+func NeqTilde[S anyFloat](a, b S) bool {
+	return a != b // want `floatdet: raw float != in a deterministic package: compare math\.Float64bits/math\.Float32bits`
+}
+
+// EqPartly: a set that merely admits a float is already hazardous —
+// the float64 instantiation compares accumulated values raw.
+func EqPartly[S partly](a, b S) bool {
+	return a == b // want `floatdet: raw float == in a deterministic package: compare math\.Float64bits values`
+}
+
+// Eq32: concrete float32 operands get the Float32bits idiom.
+func Eq32(a, b float32) bool {
+	return a == b // want `floatdet: raw float == in a deterministic package: compare math\.Float32bits values`
+}
+
+// SumGeneric: float accumulation under randomized map order is the
+// same hazard when the accumulator is a type parameter.
+func SumGeneric[S scalar](m map[string]S) S {
+	var s S
+	for _, v := range m { // want `determinism: range over map`
+		s += v // want `floatdet: float accumulation inside map iteration`
+	}
+	return s
+}

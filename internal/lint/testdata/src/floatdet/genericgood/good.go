@@ -1,0 +1,36 @@
+// Package genericgood holds generic float code the floatdet analyzer
+// must stay quiet on: constant sentinel tests, ordered comparisons,
+// and type sets with no floating member at all.
+package genericgood
+
+type scalar interface{ float32 | float64 }
+
+type integer interface{ int32 | int64 }
+
+// Sentinel compares against a compile-time constant: an
+// exact-representation test, legal at every width.
+func Sentinel[S scalar](a S) bool {
+	return a == 0
+}
+
+// Ordered comparisons are not identity checks; the rule only guards
+// ==/!=.
+func Ordered[S scalar](a, b S) bool {
+	return a < b
+}
+
+// IntEq: an all-integer type set is exact arithmetic — no float
+// instantiation exists.
+func IntEq[N integer](a, b N) bool {
+	return a == b
+}
+
+// SumSlice: deterministic-order accumulation over a slice is the
+// sanctioned reduction shape, generic or not.
+func SumSlice[S scalar](xs []S) S {
+	var s S
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,44 @@
+// Package genericbad exercises the transitive hot-path proof across
+// generic instantiations: the call graph must join every per-width
+// instantiation of a function or method back onto its one declaration,
+// so an allocation two generic hops down still reaches the annotated
+// root, whether the call infers its type arguments or spells them out.
+package genericbad
+
+type scalar interface{ float32 | float64 }
+
+//fallvet:hotpath
+func Hot[S scalar](xs []S) S {
+	return helper(xs) // want `hottrans: in hot path genericbad.Hot: call to genericbad.helper is not provably alloc-free`
+}
+
+// helper is clean itself; the allocation is one more generic hop down.
+func helper[S scalar](xs []S) S {
+	return grow(xs)
+}
+
+func grow[S scalar](xs []S) S {
+	c := make([]S, len(xs)+1)
+	copy(c, xs)
+	return c[0]
+}
+
+//fallvet:hotpath
+func HotExplicit(xs []float32) float32 {
+	return helper[float32](xs) // want `hottrans: in hot path genericbad.HotExplicit: call to genericbad.helper is not provably alloc-free`
+}
+
+// ring is a generic receiver: each method carries its own receiver
+// instantiation, which the graph must fold together.
+type ring[S scalar] struct {
+	buf []S
+}
+
+func (r *ring[S]) push(v S) {
+	r.buf = append(r.buf, v) // the allocating construct under test
+}
+
+//fallvet:hotpath
+func HotMethod(r *ring[float64], v float64) {
+	r.push(v) // want `hottrans: in hot path genericbad.HotMethod: call to genericbad.ring.push is not provably alloc-free`
+}

@@ -1,0 +1,60 @@
+// Package genericgood holds generic hot-path code the transitive proof
+// must accept: conversions to a type parameter (concrete at every
+// instantiation, never boxing), unsafe.Sizeof width dispatch (a
+// compile-time constant), and clean generic call chains through
+// methods on generic receivers — at inferred and explicit
+// instantiations.
+package genericgood
+
+import "unsafe"
+
+type scalar interface{ float32 | float64 }
+
+//fallvet:hotpath
+func Hot[S scalar](xs []S, bias float64) float64 {
+	return float64(scale(xs, S(bias)))
+}
+
+// scale converts through the type parameter in both directions; with
+// the constraint's interface underlying, a naive boxing check would
+// misread S(...) as an interface conversion.
+func scale[S scalar](xs []S, b S) S {
+	var s S
+	for _, v := range xs {
+		s += v * b
+	}
+	return s
+}
+
+// is64 is the width-dispatch idiom: unsafe.Sizeof folds to a
+// per-instantiation constant, so branching on it is free.
+func is64[S scalar]() bool {
+	var z S
+	return unsafe.Sizeof(z) == 8
+}
+
+//fallvet:hotpath
+func HotWidth[S scalar](x S) float64 {
+	if is64[S]() {
+		return float64(x)
+	}
+	return float64(float32(x))
+}
+
+type ring[S scalar] struct {
+	buf []S
+	pos int
+}
+
+func (r *ring[S]) push(v S) {
+	r.buf[r.pos] = v
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+	}
+}
+
+//fallvet:hotpath
+func HotMethod(r *ring[float32], v float32) {
+	r.push(v)
+}

@@ -1,5 +1,10 @@
 package nn
 
+import (
+	"repro/internal/nn/simd"
+	"repro/internal/tensor"
+)
+
 // Register-blocked micro-kernels shared by the batch forward path and
 // the incremental streaming path (DESIGN.md §12). Go's scalar code on
 // the inference hot loops is latency-bound, not throughput-bound: a
@@ -19,6 +24,13 @@ package nn
 // and the stream equivalence tests), because a conv row computed alone
 // at a stride goes through exactly the arithmetic a full batch pass
 // applies to it.
+//
+// The float32 instantiation never reaches the scalar bodies below:
+// every entry kernel dispatches it to the SIMD path, whose
+// (different, SIMD-lane) summation order is defined and documented in
+// internal/nn/simd. The same contract holds there — each output a
+// fixed function of (weight row, x, bias), order a pure function of
+// cols — so batch/stream bit-identity is preserved per width.
 
 // matVecBias computes dst[o] = b[o] + Σ_i w[o·cols+i]·x[i] for
 // o < rows. It is the whole inner loop of Dense.Forward (rows=Out,
@@ -31,7 +43,12 @@ package nn
 // ascending order.
 //
 //fallvet:hotpath
-func matVecBias(dst, x, w, b []float64, rows, cols int) {
+func matVecBias[S tensor.Scalar](dst, x, w, b []S, rows, cols int) {
+	if !tensor.Is64[S]() {
+		//fallvet:ignore hottrans simd.MatVecBiasF32 is a NOSPLIT assembly leaf with no body to analyze; it allocates nothing
+		simd.MatVecBiasF32(f32s(dst), f32s(x), f32s(w), f32s(b), rows, cols)
+		return
+	}
 	if cols >= 32 {
 		matVecBiasWide(dst, x, w, b, rows, cols)
 		return
@@ -88,7 +105,12 @@ func matVecBias(dst, x, w, b []float64, rows, cols int) {
 // only use it when cols < 32, where matVecBias takes the narrow path.
 //
 //fallvet:hotpath
-func matVecBias2(da, db, xa, xb, w, b []float64, rows, cols int) {
+func matVecBias2[S tensor.Scalar](da, db, xa, xb, w, b []S, rows, cols int) {
+	if !tensor.Is64[S]() {
+		//fallvet:ignore hottrans simd.MatVecBias2F32 is a NOSPLIT assembly leaf with no body to analyze; it allocates nothing
+		simd.MatVecBias2F32(f32s(da), f32s(db), f32s(xa), f32s(xb), f32s(w), f32s(b), rows, cols)
+		return
+	}
 	o := 0
 	for ; o+4 <= rows; o += 4 {
 		r0 := w[(o+0)*cols : (o+1)*cols]
@@ -154,7 +176,14 @@ func matVecBias2(da, db, xa, xb, w, b []float64, rows, cols int) {
 // re-reading the output row.
 //
 //fallvet:hotpath
-func matVecBiasReLU(dst, x, w, b []float64, rows, cols int) {
+func matVecBiasReLU[S tensor.Scalar](dst, x, w, b []S, rows, cols int) {
+	if !tensor.Is64[S]() {
+		d := f32s(dst)
+		//fallvet:ignore hottrans simd.MatVecBiasF32 is a NOSPLIT assembly leaf with no body to analyze; it allocates nothing
+		simd.MatVecBiasF32(d, f32s(x), f32s(w), f32s(b), rows, cols)
+		reluF32(d[:rows])
+		return
+	}
 	if cols >= 32 {
 		matVecBiasWide(dst, x, w, b, rows, cols)
 		for o, v := range dst[:rows] {
@@ -222,7 +251,15 @@ func matVecBiasReLU(dst, x, w, b []float64, rows, cols int) {
 // for cols < 32 (the narrow summation order).
 //
 //fallvet:hotpath
-func matVecBias2ReLU(da, db, xa, xb, w, b []float64, rows, cols int) {
+func matVecBias2ReLU[S tensor.Scalar](da, db, xa, xb, w, b []S, rows, cols int) {
+	if !tensor.Is64[S]() {
+		fa, fb := f32s(da), f32s(db)
+		//fallvet:ignore hottrans simd.MatVecBias2F32 is a NOSPLIT assembly leaf with no body to analyze; it allocates nothing
+		simd.MatVecBias2F32(fa, fb, f32s(xa), f32s(xb), f32s(w), f32s(b), rows, cols)
+		reluF32(fa[:rows])
+		reluF32(fb[:rows])
+		return
+	}
 	o := 0
 	for ; o+4 <= rows; o += 4 {
 		r0 := w[(o+0)*cols : (o+1)*cols]
@@ -333,7 +370,7 @@ const maxSparseCols = 1152
 // initialised model here) are unaffected.
 //
 //fallvet:hotpath
-func matVecBiasWide(dst, x, w, b []float64, rows, cols int) {
+func matVecBiasWide[S tensor.Scalar](dst, x, w, b []S, rows, cols int) {
 	if cols <= maxSparseCols {
 		var nz [maxSparseCols]int32
 		n := 0
@@ -394,7 +431,7 @@ func matVecBiasWide(dst, x, w, b []float64, rows, cols int) {
 // independent of rows or lane, preserving lane uniformity.
 //
 //fallvet:hotpath
-func matVecBiasSparse(dst, x, w, b []float64, rows, cols int, nz []int32) {
+func matVecBiasSparse[S tensor.Scalar](dst, x, w, b []S, rows, cols int, nz []int32) {
 	o := 0
 	for ; o+8 <= rows; o += 8 {
 		r0 := w[(o+0)*cols : (o+1)*cols]

@@ -1,0 +1,238 @@
+// SSE f32 kernels. The summation order is specified by the Ref
+// functions in ref.go; every instruction sequence here is the
+// literal SIMD transcription of that order, so asm and reference are
+// bit-identical. MULPS/ADDPS only — no FMA (the reference cannot fuse
+// either), no MAXPS for ReLU (the clamp stays in Go to keep the NaN
+// rule). Leaf functions, no stack frame, nothing escapes.
+
+#include "textflag.h"
+
+// func MatVecBiasF32(dst, x, w, b []float32, rows, cols int)
+//
+// Per row: wide inputs first drain 16-column superblocks into four
+// round-robin quad accumulators X0..X3, combined as (X0+X2)+(X1+X3);
+// the leftover full 4-column blocks accumulate into the combined quad
+// (narrow rows start there with a zero quad); lanes fold as
+// (l0+l2)+(l1+l3); add bias; scalar remainder ascending.
+TEXT ·MatVecBiasF32(SB), NOSPLIT, $0-112
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ w_base+48(FP), DX
+	MOVQ b_base+72(FP), BX
+	MOVQ rows+96(FP), R8
+	MOVQ cols+104(FP), R9
+
+	MOVQ R9, R12
+	ANDQ $-16, R12 // R12 = cols &^ 15: superblock limit
+	MOVQ R9, R13
+	ANDQ $-4, R13  // R13 = cols &^ 3: quad limit
+
+	TESTQ R8, R8
+	JLE  mvb_done
+
+mvb_row:
+	XORPS X0, X0
+	XORQ  R11, R11 // i = 0
+	CMPQ  R9, $32
+	JLT  mvb_quad  // narrow: single quad accumulator only
+
+	CMPB ·useAVX(SB), $0
+	JNE  mvb_wide_avx
+
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+mvb_wide16:
+	CMPQ   R11, R12
+	JGE    mvb_combine
+	MOVUPS (DX)(R11*4), X4
+	MOVUPS (SI)(R11*4), X5
+	MULPS  X5, X4
+	ADDPS  X4, X0
+	MOVUPS 16(DX)(R11*4), X5
+	MOVUPS 16(SI)(R11*4), X6
+	MULPS  X6, X5
+	ADDPS  X5, X1
+	MOVUPS 32(DX)(R11*4), X6
+	MOVUPS 32(SI)(R11*4), X7
+	MULPS  X7, X6
+	ADDPS  X6, X2
+	MOVUPS 48(DX)(R11*4), X7
+	MOVUPS 48(SI)(R11*4), X8
+	MULPS  X8, X7
+	ADDPS  X7, X3
+	ADDQ   $16, R11
+	JMP    mvb_wide16
+
+mvb_combine:
+	ADDPS X2, X0 // V0+V2
+	ADDPS X3, X1 // V1+V3
+	ADDPS X1, X0 // (V0+V2)+(V1+V3)
+	JMP   mvb_quad
+
+	// 8-wide superblock drain: Y0 = [V0|V1], Y1 = [V2|V3]. Each lane
+	// sees one VMULPS rounding and one VADDPS rounding per superblock —
+	// the same scalar operation sequence as the SSE quads above.
+mvb_wide_avx:
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+mvb_wide32:
+	CMPQ    R11, R12
+	JGE     mvb_combine_avx
+	VMOVUPS (DX)(R11*4), Y4
+	VMULPS  (SI)(R11*4), Y4, Y4
+	VADDPS  Y4, Y0, Y0
+	VMOVUPS 32(DX)(R11*4), Y5
+	VMULPS  32(SI)(R11*4), Y5, Y5
+	VADDPS  Y5, Y1, Y1
+	ADDQ    $16, R11
+	JMP     mvb_wide32
+
+mvb_combine_avx:
+	VADDPS       Y1, Y0, Y0   // [V0+V2 | V1+V3]
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0   // (V0+V2)+(V1+V3)
+	VZEROUPPER
+
+mvb_quad:
+	CMPQ   R11, R13
+	JGE    mvb_fold
+	MOVUPS (DX)(R11*4), X4
+	MOVUPS (SI)(R11*4), X5
+	MULPS  X5, X4
+	ADDPS  X4, X0
+	ADDQ   $4, R11
+	JMP    mvb_quad
+
+mvb_fold:
+	MOVAPS  X0, X1
+	MOVHLPS X0, X1       // X1 low = [l2, l3]
+	ADDPS   X0, X1       // X1 = [l0+l2, l1+l3, ...]
+	MOVAPS  X1, X2
+	SHUFPS  $0x01, X1, X2 // X2 lane0 = l1+l3
+	ADDSS   X2, X1       // (l0+l2)+(l1+l3)
+	ADDSS   (BX), X1     // + b[o]
+
+mvb_rem:
+	CMPQ  R11, R9
+	JGE   mvb_store
+	MOVSS (DX)(R11*4), X4
+	MULSS (SI)(R11*4), X4
+	ADDSS X4, X1
+	INCQ  R11
+	JMP   mvb_rem
+
+mvb_store:
+	MOVSS X1, (DI)
+	ADDQ  $4, DI
+	ADDQ  $4, BX
+	LEAQ  (DX)(R9*4), DX // next weight row
+	DECQ  R8
+	JNZ   mvb_row
+
+mvb_done:
+	RET
+
+// func MatVecBias2F32(da, db, xa, xb, w, b []float32, rows, cols int)
+//
+// Pair kernel, cols < 32 only (matVecBias2's contract): each window
+// runs the narrow single order exactly — one quad accumulator per
+// window, each weight block loaded once and applied to both.
+TEXT ·MatVecBias2F32(SB), NOSPLIT, $0-160
+	MOVQ da_base+0(FP), DI
+	MOVQ db_base+24(FP), R10
+	MOVQ xa_base+48(FP), SI
+	MOVQ xb_base+72(FP), R12
+	MOVQ w_base+96(FP), DX
+	MOVQ b_base+120(FP), BX
+	MOVQ rows+144(FP), R8
+	MOVQ cols+152(FP), R9
+
+	MOVQ R9, R13
+	ANDQ $-4, R13 // quad limit
+
+	TESTQ R8, R8
+	JLE  mvb2_done
+
+mvb2_row:
+	XORPS X0, X0 // window a quad
+	XORPS X1, X1 // window b quad
+	XORQ  R11, R11
+
+mvb2_quad:
+	CMPQ   R11, R13
+	JGE    mvb2_fold
+	MOVUPS (DX)(R11*4), X4  // weight block, loaded once
+	MOVUPS (SI)(R11*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	MOVUPS (R12)(R11*4), X6
+	MULPS  X4, X6
+	ADDPS  X6, X1
+	ADDQ   $4, R11
+	JMP    mvb2_quad
+
+mvb2_fold:
+	MOVAPS  X0, X2
+	MOVHLPS X0, X2
+	ADDPS   X0, X2
+	MOVAPS  X2, X4
+	SHUFPS  $0x01, X2, X4
+	ADDSS   X4, X2       // sa = (l0+l2)+(l1+l3)
+	MOVAPS  X1, X3
+	MOVHLPS X1, X3
+	ADDPS   X1, X3
+	MOVAPS  X3, X5
+	SHUFPS  $0x01, X3, X5
+	ADDSS   X5, X3       // sb = (l0+l2)+(l1+l3)
+	MOVSS   (BX), X6
+	ADDSS   X6, X2       // + b[o]
+	ADDSS   X6, X3
+
+mvb2_rem:
+	CMPQ   R11, R9
+	JGE    mvb2_store
+	MOVSS  (DX)(R11*4), X4
+	MOVAPS X4, X5
+	MULSS  (SI)(R11*4), X4
+	ADDSS  X4, X2
+	MULSS  (R12)(R11*4), X5
+	ADDSS  X5, X3
+	INCQ   R11
+	JMP    mvb2_rem
+
+mvb2_store:
+	MOVSS X2, (DI)
+	MOVSS X3, (R10)
+	ADDQ  $4, DI
+	ADDQ  $4, R10
+	ADDQ  $4, BX
+	LEAQ  (DX)(R9*4), DX
+	DECQ  R8
+	JNZ   mvb2_row
+
+mvb2_done:
+	RET
+
+// func cpuHasAVX() bool
+//
+// CPUID leaf 1: ECX bit 28 = AVX, bit 27 = OSXSAVE; then XGETBV must
+// show the OS preserving XMM+YMM state (XCR0 bits 1 and 2).
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL  $1, AX
+	XORL  CX, CX
+	CPUID
+	ANDL  $0x18000000, CX
+	CMPL  CX, $0x18000000
+	JNE   avx_no
+	XORL  CX, CX
+	XGETBV
+	ANDL  $6, AX
+	CMPL  AX, $6
+	JNE   avx_no
+	MOVB  $1, ret+0(FP)
+	RET
+
+avx_no:
+	MOVB  $0, ret+0(FP)
+	RET

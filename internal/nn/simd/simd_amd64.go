@@ -1,0 +1,28 @@
+package simd
+
+// SSE/AVX implementations (kernels_amd64.s). Both follow the
+// summation order defined by the Ref functions exactly, so asm and
+// reference are bit-identical. SSE2 is part of the amd64 baseline, so
+// no feature detection is needed for the base path. Both are NOSPLIT
+// leaves that allocate nothing.
+
+// MatVecBiasF32 computes dst[o] = b[o] + Σ_i w[o·cols+i]·x[i] in the
+// package-documented f32 order.
+//
+//go:noescape
+func MatVecBiasF32(dst, x, w, b []float32, rows, cols int)
+
+// MatVecBias2F32 runs two input windows against a shared weight
+// matrix, each in the narrow single order. cols must be < 32.
+//
+//go:noescape
+func MatVecBias2F32(da, db, xa, xb, w, b []float32, rows, cols int)
+
+func cpuHasAVX() bool
+
+// useAVX selects the 8-wide variant of the wide loop inside
+// MatVecBiasF32. The results are bit-identical either way (and to the
+// reference), so the CPU gate selects speed, never values.
+// VMULPS/VADDPS only: FMA would skip the product rounding the
+// reference pins.
+var useAVX = cpuHasAVX()

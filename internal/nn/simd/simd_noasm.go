@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package simd
+
+// Portable fallback: the reference implementations are the
+// implementation, so f32 results are identical across platforms.
+
+// MatVecBiasF32 computes dst[o] = b[o] + Σ_i w[o·cols+i]·x[i] in the
+// package-documented f32 order.
+func MatVecBiasF32(dst, x, w, b []float32, rows, cols int) {
+	MatVecBiasF32Ref(dst, x, w, b, rows, cols)
+}
+
+// MatVecBias2F32 runs two input windows against a shared weight
+// matrix, each in the narrow single order. cols must be < 32.
+func MatVecBias2F32(da, db, xa, xb, w, b []float32, rows, cols int) {
+	MatVecBias2F32Ref(da, db, xa, xb, w, b, rows, cols)
+}

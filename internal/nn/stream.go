@@ -6,11 +6,12 @@ import (
 	"repro/internal/tensor"
 )
 
-// Streamer is the incremental sliding-window forward path (DESIGN.md
-// §12). A batch scorer re-runs the whole network over the full
-// [Window × C] matrix every stride even though consecutive windows
-// share all but Step rows. The Streamer instead ingests one row at a
-// time and caches each layer's output in a ring:
+// StreamerOf is the incremental sliding-window forward path (DESIGN.md
+// §12), parameterized by the inference scalar S. A batch scorer re-runs
+// the whole network over the full [Window × C] matrix every stride even
+// though consecutive windows share all but Step rows. The Streamer
+// instead ingests one row at a time and caches each layer's output in a
+// ring:
 //
 //   - every new input row uncovers exactly one new Conv1D output row
 //     per branch (once Kernel rows of history exist), computed with
@@ -26,22 +27,28 @@ import (
 //     it costing ~30% of the push path for zero benefit here, since
 //     the paper's pooling never overlaps.)
 //   - at a decision the pooled rings are gathered into the concat
-//     vector and only the Dense head runs.
+//     vector and only the compiled dense head runs.
 //
 // Per decision that is O(Step·Kernel·C) conv work plus the head,
 // instead of O(Window·Kernel·C) plus the head — and because every
 // floating-point sum is produced by the same kernel in the same
 // order over the same values, the result is bit-identical to
-// Network.Predict on the assembled window, not merely close.
+// Network.Predict on the assembled window at S=float64, not merely
+// close. At S=float32 the model's float64 checkpoint is lowered
+// (round-to-nearest-even per weight) once at construction and every
+// kernel runs at single precision; the same order contract then makes
+// the f32 streaming and f32 batch paths bit-identical to each other,
+// with the f64 oracle agreement proven statistically by the precision
+// harness rather than bit-for-bit.
 //
 // Branches whose input columns the caller re-bases per window (the
 // detector subtracts the window-initial yaw from the Euler channels)
 // see different input *values* at every stride, so their conv outputs
 // cannot be cached across strides; those branches are recomputed in
-// batch form at each decision through the model's own layers. For the
-// paper's 9-channel CNN that still streams the accelerometer and
-// gyroscope branches — two thirds of the conv work — and the accel-only
-// fallback CNN streams entirely.
+// fused batch form at each decision. For the paper's 9-channel CNN
+// that still streams the accelerometer and gyroscope branches — two
+// thirds of the conv work — and the accel-only fallback CNN streams
+// entirely.
 //
 // Cache invariants (relied on by Restart/rebuild and the snapshot
 // tests):
@@ -63,54 +70,73 @@ import (
 // a conditional wrap — no integer division or modulo anywhere per
 // sample (a div by a non-constant costs ~20–40 cycles on the target
 // core, which profiling showed dominating the original deque).
-type Streamer struct {
+type StreamerOf[S tensor.Scalar] struct {
 	inCh, window, step int
 
-	in     []float64 // input ring, [window × inCh]; absolute row r at slot r%window
-	slot   int       // next write slot in `in` (== count mod window)
-	count  int       // absolute rows ingested since the stream epoch
-	base   int       // absolute row the ring history starts at (0 unless Restart-ed mid-stream)
-	rebase []bool    // per input column: re-based per window by the caller
+	in     []S    // input ring, [window × inCh]; absolute row r at slot r%window
+	slot   int    // next write slot in `in` (== count mod window)
+	count  int    // absolute rows ingested since the stream epoch
+	base   int    // absolute row the ring history starts at (0 unless Restart-ed mid-stream)
+	rebase []bool // per input column: re-based per window by the caller
 
-	branches []*branchStream
-	head     []headStep     // precompiled dense head (see buildHead)
-	cat      *tensor.Tensor // concat vector fed to the head
+	branches []*branchStreamOf[S]
+	head     []headStepOf[S] // precompiled dense head (see buildHead)
+	cat      *tensor.Of[S]   // concat vector fed to the head
 }
 
-// headStep is one precompiled step of the dense head. Dense layers
+// Streamer is the float64 instantiation — the reference width every
+// pre-generic call site uses.
+type Streamer = StreamerOf[float64]
+
+// headOp selects what a compiled head step computes.
+type headOp uint8
+
+const (
+	headDense   headOp = iota // y = W·x + b, optionally with the following ReLU folded in
+	headReLU                  // a lone ReLU (not directly after a Dense)
+	headSigmoid               // logistic transfer
+	headTanh                  // hyperbolic tangent
+)
+
+// headStepOf is one precompiled step of the dense head. Dense layers
 // (optionally with their following ReLU folded in) run straight
-// through the micro-kernels into a streamer-owned buffer; anything
-// else (Sigmoid, Tanh, a lone ReLU, Flatten) runs through the model's
-// own layer object. Both produce bit-identical values to the layer
-// stack — a fused Dense+ReLU is matVecBias plus ReLU.Forward's exact
-// clamp — while skipping per-layer tensor bookkeeping on the decision
-// path.
-type headStep struct {
-	dense *Dense
-	relu  bool // fold the following ReLU into the dense kernel
-	buf   []float64
-
-	layer Layer
-	lin   *tensor.Tensor
+// through the micro-kernels into a streamer-owned buffer; lone
+// activations run through the generic element-wise helpers, which at
+// float64 evaluate exactly the layer objects' expressions. Flatten is
+// the identity on the 1-D head and compiles to no step at all. Every
+// step therefore produces bit-identical values to the layer stack at
+// S=float64 while skipping per-layer tensor bookkeeping on the
+// decision path — and gives float32 a complete head with no float64
+// layer objects in the loop.
+type headStepOf[S tensor.Scalar] struct {
+	op      headOp
+	relu    bool // headDense: fold the following ReLU into the kernel's stores
+	out, in int  // headDense dimensions
+	w, b    []S  // headDense parameters (aliased at f64, lowered copies at f32)
+	buf     []S  // step output
 }
 
-// branchStream is one Branch column range: either streamed through
+// branchStreamOf is one Branch column range: either streamed through
 // ring caches (Conv→ReLU→MaxPool stacks on non-rebased columns) or
-// recomputed in batch form per decision.
-type branchStream struct {
+// recomputed in fused batch form per decision; non-canonical stacks
+// fall back to the model's own float64 layer objects (and are rejected
+// at float32, where no layer objects exist to fall back to).
+type branchStreamOf[S tensor.Scalar] struct {
 	lo, hi int
 	flat   int     // flattened output length
-	stack  []Layer // the model's own layers (used by the batch form)
+	stack  []Layer // the model's own layers (float64 layer-object fallback)
 
-	batch bool
-	fused bool           // batch form with a canonical Conv→ReLU→Pool stack: evaluated row-wise, no layer objects
-	in    *tensor.Tensor // batch form: assembled [window × hi−lo] input
+	canon bool           // stack is exactly Conv1D→ReLU→MaxPool1D with matching width
+	batch bool           // recomputed per decision instead of streamed
+	fused bool           // batch && canon: evaluated row-wise, no layer objects
+	in    *tensor.Of[S]  // batch form: assembled [window × hi−lo] input
+	in64  *tensor.Tensor // non-canon fallback: `in` seen at float64 (nil at f32)
 
-	// Conv/pool geometry, set whenever the stack is canonical (both
-	// the streaming and the fused batch form use it).
-	conv      *Conv1D
-	kernel    int       // conv.Kernel
-	wgt, bias []float64 // conv parameter data (aliases the model's tensors)
+	// Conv/pool geometry, set whenever the stack is canonical (the
+	// streaming, fused-batch and BatchScore forms all use it).
+	filters   int
+	kernel    int
+	wgt, bias []S // conv parameters (aliased at f64, lowered copies at f32)
 	pool      int
 	convT     int // conv rows per window = window−Kernel+1
 	fullPool  int // complete pool rows per window = convT/pool
@@ -120,7 +146,7 @@ type branchStream struct {
 	// lives at slot r mod window; rows landing in slots < kernel−1 are
 	// mirrored to slot+window, so the conv window of any row is the
 	// contiguous slice bring[awin·w : awin·w+kernel·w] — no gather.
-	bring []float64
+	bring []S
 	awin  int // bring slot of the next conv row's window start (wraps at window)
 
 	// Conv output storage. When the window's conv length is an exact
@@ -128,9 +154,9 @@ type branchStream struct {
 	// are one-row scratches; with a partial pool tail the gather must
 	// re-read the newest conv rows, so a full [convT × Filters] ring is
 	// kept.
-	crow     []float64
-	crow2    []float64
-	convRing []float64
+	crow     []S
+	crow2    []S
+	convRing []S
 	aslot    int // convRing slot of the next conv row (wraps at convT)
 
 	// Conv rows are computed in pairs through matVecBias2, which loads
@@ -150,10 +176,10 @@ type branchStream struct {
 	// into the block (== a mod pool); at phase pool−1 the block is
 	// complete and rmax is emitted to poolRing — unless the block
 	// started before the stream epoch (partial after Restart).
-	rmax     []float64
+	rmax     []S
 	phase    int
-	poolRing []float64 // [fullPool × Filters]; absolute pool row r at slot r%fullPool
-	poolSlot int       // poolRing slot of the next emitted pool row (wraps at fullPool)
+	poolRing []S  // [fullPool × Filters]; absolute pool row r at slot r%fullPool
+	poolSlot int  // poolRing slot of the next emitted pool row (wraps at fullPool)
 }
 
 // StreamConfig describes the stream a Streamer will consume.
@@ -168,16 +194,29 @@ type StreamConfig struct {
 	RebaseCols []int
 }
 
-// NewStreamer builds an incremental scorer for net, which must be a
-// Branch followed by a dense head (Dense/ReLU/Sigmoid/Tanh/Flatten
-// layers only) — the shape of every CNN this repo builds. Other
-// topologies (MLP, recurrent) return an error; callers fall back to
-// batch scoring.
-//
-// The Streamer shares net's parameters and head scratch: scoring
-// through it and through net.Predict interleave safely (outputs are
-// copied out of layer scratch), but neither may run concurrently.
+// NewStreamer builds a float64 incremental scorer for net — the
+// reference instantiation of NewStreamerOf.
 func NewStreamer(net *Network, cfg StreamConfig) (*Streamer, error) {
+	return NewStreamerOf[float64](net, cfg)
+}
+
+// NewStreamerOf builds an incremental scorer at scalar width S for
+// net, which must be a Branch followed by a dense head
+// (Dense/ReLU/Sigmoid/Tanh/Flatten layers only) — the shape of every
+// CNN this repo builds. Other topologies (MLP, recurrent) return an
+// error; callers fall back to batch scoring. At S=float32 every branch
+// stack must additionally be canonical Conv1D→ReLU→MaxPool1D: the
+// lowered path compiles the whole forward pass out of the float64
+// layer objects, so there is nothing for a non-canonical stack to fall
+// back to.
+//
+// At S=float64 the Streamer shares net's parameters and batch-fallback
+// layer scratch: scoring through it and through net.Predict interleave
+// safely (outputs are copied out of layer scratch), but neither may
+// run concurrently. At S=float32 the parameters are lowered copies
+// taken at construction — a frozen snapshot of the checkpoint, which
+// is how the deployment target consumes a model anyway.
+func NewStreamerOf[S tensor.Scalar](net *Network, cfg StreamConfig) (*StreamerOf[S], error) {
 	if net == nil || len(net.Layers) == 0 {
 		return nil, fmt.Errorf("nn: streamer needs a non-empty network")
 	}
@@ -195,13 +234,14 @@ func NewStreamer(net *Network, cfg StreamConfig) (*Streamer, error) {
 		}
 		rebase[c] = true
 	}
-	s := &Streamer{
+	s := &StreamerOf[S]{
 		inCh:   cfg.InCh,
 		window: cfg.Window,
 		step:   cfg.Step,
-		in:     make([]float64, cfg.Window*cfg.InCh),
+		in:     make([]S, cfg.Window*cfg.InCh),
 		rebase: rebase,
 	}
+	f64 := tensor.Is64[S]()
 	total := 0
 	for i, c := range br.Cols {
 		lo, hi := c[0], c[1]
@@ -220,8 +260,14 @@ func NewStreamer(net *Network, cfg StreamConfig) (*Streamer, error) {
 		for _, d := range shape {
 			flat *= d
 		}
-		b := &branchStream{lo: lo, hi: hi, flat: flat, stack: br.Stacks[i]}
+		b := &branchStreamOf[S]{lo: lo, hi: hi, flat: flat, stack: br.Stacks[i]}
 		s.configureBranch(b, rebase)
+		if !b.canon && !f64 {
+			return nil, fmt.Errorf("nn: float32 streamer branch %d needs a Conv→ReLU→MaxPool stack", i)
+		}
+		if !b.canon {
+			b.in64 = any(b.in).(*tensor.Tensor)
+		}
 		s.branches = append(s.branches, b)
 		total += flat
 	}
@@ -243,19 +289,25 @@ func NewStreamer(net *Network, cfg StreamConfig) (*Streamer, error) {
 		return nil, fmt.Errorf("nn: streamer head output shape %v, want [1]", hshape)
 	}
 	s.buildHead(layers, total)
-	s.cat = tensor.New(total)
+	s.cat = tensor.NewOf[S](total)
 	return s, nil
 }
 
 // buildHead precompiles the validated head layers into headSteps:
-// Dense layers run through the micro-kernels, a ReLU directly after a
-// Dense folds into its stores, everything else keeps its layer object
-// (fed through a streamer-owned tensor so layer scratch reuse works
-// exactly as in batch scoring).
-func (s *Streamer) buildHead(layers []Layer, width int) {
+// Dense layers run through the micro-kernels (a ReLU directly after a
+// Dense folds into its stores), lone activations through the generic
+// element-wise helpers, and Flatten — the identity on the 1-D head —
+// compiles away entirely.
+func (s *StreamerOf[S]) buildHead(layers []Layer, width int) {
 	for i := 0; i < len(layers); i++ {
-		if d, ok := layers[i].(*Dense); ok {
-			st := headStep{dense: d, buf: make([]float64, d.Out)}
+		switch l := layers[i].(type) {
+		case *Dense:
+			st := headStepOf[S]{
+				op: headDense, out: l.Out, in: l.In,
+				w:   lowerOrAlias[S](l.Weight.W.Data()),
+				b:   lowerOrAlias[S](l.Bias.W.Data()),
+				buf: make([]S, l.Out),
+			}
 			if i+1 < len(layers) {
 				if _, ok := layers[i+1].(*ReLU); ok {
 					st.relu = true
@@ -263,10 +315,16 @@ func (s *Streamer) buildHead(layers []Layer, width int) {
 				}
 			}
 			s.head = append(s.head, st)
-			width = d.Out
-			continue
+			width = l.Out
+		case *ReLU:
+			s.head = append(s.head, headStepOf[S]{op: headReLU, buf: make([]S, width)})
+		case *Sigmoid:
+			s.head = append(s.head, headStepOf[S]{op: headSigmoid, buf: make([]S, width)})
+		case *Tanh:
+			s.head = append(s.head, headStepOf[S]{op: headTanh, buf: make([]S, width)})
+		case *Flatten:
+			// identity on a 1-D head: no step
 		}
-		s.head = append(s.head, headStep{layer: layers[i], lin: tensor.New(width)})
 	}
 }
 
@@ -277,9 +335,13 @@ func (s *Streamer) buildHead(layers []Layer, width int) {
 // stream (re-based columns, misaligned stride) is recomputed per
 // decision but in fused row-wise form — same kernel, same values, no
 // intermediate layer tensors. Anything else goes through the model's
-// own layer objects.
-func (s *Streamer) configureBranch(b *branchStream, rebase []bool) {
+// own layer objects (float64 only).
+func (s *StreamerOf[S]) configureBranch(b *branchStreamOf[S], rebase []bool) {
 	b.batch = true
+	w := b.hi - b.lo
+	// Every batch form (including BatchScore on streaming branches)
+	// assembles the window here.
+	b.in = tensor.NewOf[S](s.window, w)
 	if len(b.stack) != 3 {
 		return
 	}
@@ -294,19 +356,21 @@ func (s *Streamer) configureBranch(b *branchStream, rebase []bool) {
 	if !ok {
 		return
 	}
-	w := b.hi - b.lo
 	convT := s.window - conv.Kernel + 1
 	if conv.InCh != w || convT < 1 {
 		return
 	}
-	b.conv = conv
+	b.canon = true
+	b.filters = conv.Filters
 	b.kernel = conv.Kernel
-	b.wgt = conv.Weight.W.Data()
-	b.bias = conv.Bias.W.Data()
+	b.wgt = lowerOrAlias[S](conv.Weight.W.Data())
+	b.bias = lowerOrAlias[S](conv.Bias.W.Data())
 	b.pool = mp.Pool
 	b.convT = convT
 	b.fullPool = convT / mp.Pool
 	b.tailLo = b.fullPool * mp.Pool
+	b.crow = make([]S, conv.Filters)
+	b.crow2 = make([]S, conv.Filters)
 
 	rebased := false
 	for c := b.lo; c < b.hi; c++ {
@@ -314,27 +378,22 @@ func (s *Streamer) configureBranch(b *branchStream, rebase []bool) {
 	}
 	if rebased || s.step%mp.Pool != 0 {
 		b.fused = true
-		b.crow = make([]float64, conv.Filters)
-		b.crow2 = make([]float64, conv.Filters)
 		return
 	}
 	b.batch = false
 	b.pair = convT >= 2 && conv.Kernel*w < 32
-	b.bring = make([]float64, (s.window+conv.Kernel-1)*w)
+	b.bring = make([]S, (s.window+conv.Kernel-1)*w)
 	if b.tailLo < convT {
-		b.convRing = make([]float64, convT*conv.Filters)
-	} else {
-		b.crow = make([]float64, conv.Filters)
-		b.crow2 = make([]float64, conv.Filters)
+		b.convRing = make([]S, convT*conv.Filters)
 	}
-	b.rmax = make([]float64, conv.Filters)
-	b.poolRing = make([]float64, b.fullPool*conv.Filters)
+	b.rmax = make([]S, conv.Filters)
+	b.poolRing = make([]S, b.fullPool*conv.Filters)
 }
 
 // Streaming reports whether any branch actually runs incrementally
 // (a Streamer whose branches all fall back to batch form is valid but
 // saves nothing).
-func (s *Streamer) Streaming() bool {
+func (s *StreamerOf[S]) Streaming() bool {
 	for _, b := range s.branches {
 		if !b.batch {
 			return true
@@ -352,7 +411,7 @@ func (s *Streamer) Streaming() bool {
 // mid-stream Restart may begin before base; its rows are gone, so its
 // emission is suppressed — no complete window ever covers it (window
 // starts are ≥ base and grid-aligned).
-func (s *Streamer) Restart(base int) {
+func (s *StreamerOf[S]) Restart(base int) {
 	s.count = base
 	s.base = base
 	s.slot = base % s.window
@@ -376,13 +435,13 @@ func (s *Streamer) Restart(base int) {
 }
 
 // Reset returns the streamer to its cold state.
-func (s *Streamer) Reset() { s.Restart(0) }
+func (s *StreamerOf[S]) Reset() { s.Restart(0) }
 
 // Push ingests one input row (len ≥ inCh; only the first inCh values
 // are read) and advances every streaming branch.
 //
 //fallvet:hotpath
-func (s *Streamer) Push(row []float64) {
+func (s *StreamerOf[S]) Push(row []S) {
 	slot := s.slot
 	// Row widths are single-digit; explicit loops beat memmove calls.
 	d := s.in[slot*s.inCh : (slot+1)*s.inCh]
@@ -423,7 +482,7 @@ func (s *Streamer) Push(row []float64) {
 // immediately — see the pair field comment.
 //
 //fallvet:hotpath
-func (b *branchStream) pushConv(s *Streamer, a int) {
+func (b *branchStreamOf[S]) pushConv(s *StreamerOf[S], a int) {
 	if !b.pend {
 		if !b.pair {
 			b.convRow(s, a)
@@ -446,7 +505,7 @@ func (b *branchStream) pushConv(s *Streamer, a int) {
 	if b.awin == s.window {
 		b.awin = 0
 	}
-	F := b.conv.Filters
+	F := b.filters
 	da, db := b.crow, b.crow2
 	if b.convRing != nil {
 		da = b.convRing[b.aslot*F : b.aslot*F+F]
@@ -469,7 +528,7 @@ func (b *branchStream) pushConv(s *Streamer, a int) {
 // with pairing disabled).
 //
 //fallvet:hotpath
-func (b *branchStream) convRow(s *Streamer, a int) {
+func (b *branchStreamOf[S]) convRow(s *StreamerOf[S], a int) {
 	w := b.hi - b.lo
 	kc := b.kernel * w
 	win := b.bring[b.awin*w : b.awin*w+kc]
@@ -477,7 +536,7 @@ func (b *branchStream) convRow(s *Streamer, a int) {
 	if b.awin == s.window {
 		b.awin = 0
 	}
-	F := b.conv.Filters
+	F := b.filters
 	orow := b.crow
 	if b.convRing != nil {
 		orow = b.convRing[b.aslot*F : b.aslot*F+F]
@@ -494,7 +553,7 @@ func (b *branchStream) convRow(s *Streamer, a int) {
 // covers is materialised before a gather.
 //
 //fallvet:hotpath
-func (b *branchStream) flush(s *Streamer) {
+func (b *branchStreamOf[S]) flush(s *StreamerOf[S]) {
 	if b.pend {
 		b.pend = false
 		b.convRow(s, b.pendA)
@@ -507,7 +566,7 @@ func (b *branchStream) flush(s *Streamer) {
 // Restart).
 //
 //fallvet:hotpath
-func (b *branchStream) absorb(s *Streamer, orow []float64, a int) {
+func (b *branchStreamOf[S]) absorb(s *StreamerOf[S], orow []S, a int) {
 	if b.fullPool == 0 {
 		return
 	}
@@ -525,7 +584,7 @@ func (b *branchStream) absorb(s *Streamer, orow []float64, a int) {
 	if b.phase == b.pool {
 		b.phase = 0
 		if a+1-b.pool >= s.base {
-			F := b.conv.Filters
+			F := b.filters
 			p := b.poolSlot * F
 			copy(b.poolRing[p:p+F], rmax)
 			b.poolSlot++
@@ -540,7 +599,7 @@ func (b *branchStream) absorb(s *Streamer, orow []float64, a int) {
 // exists and its start row sits on every streaming branch's pooling
 // grid. Detector strides keep the start aligned (Step is a multiple
 // of Pool); off-stride callers simply see false and score in batch.
-func (s *Streamer) Ready() bool {
+func (s *StreamerOf[S]) Ready() bool {
 	if s.count < s.window {
 		return false
 	}
@@ -558,7 +617,7 @@ func (s *Streamer) Ready() bool {
 // branches and the dense head. Callers must check Ready first.
 //
 //fallvet:hotpath
-func (s *Streamer) Score() float64 {
+func (s *StreamerOf[S]) Score() float64 {
 	start := s.count - s.window
 	cd := s.cat.Data()
 	off := 0
@@ -571,20 +630,53 @@ func (s *Streamer) Score() float64 {
 		}
 		off += b.flat
 	}
-	cur := cd
+	return float64(s.runHead(cd))
+}
+
+// BatchScore evaluates the network over the current window entirely in
+// batch form from the streamer's own input ring — every branch through
+// the fused row-wise kernels (or its float64 layer objects when not
+// canonical), then the compiled head. Unlike Score it does not require
+// the window start to sit on the pooling grid, so it is the compiled
+// path's full fallback for off-stride scoring; at S=float64 it is
+// bit-identical to Network.Predict on the assembled window by the
+// kernel order contract. A full window of history must exist
+// (count ≥ Window).
+//
+//fallvet:hotpath
+func (s *StreamerOf[S]) BatchScore() float64 {
+	start := s.count - s.window
+	cd := s.cat.Data()
+	off := 0
+	for _, b := range s.branches {
+		s.runBatchBranch(b, cd[off:off+b.flat], start)
+		off += b.flat
+	}
+	return float64(s.runHead(cd))
+}
+
+// runHead executes the precompiled head steps over the concat vector
+// and returns the (single) network output.
+//
+//fallvet:hotpath
+func (s *StreamerOf[S]) runHead(cur []S) S {
 	for i := range s.head {
 		st := &s.head[i]
-		if d := st.dense; d != nil {
+		switch st.op {
+		case headDense:
 			if st.relu {
-				matVecBiasReLU(st.buf, cur, d.Weight.W.Data(), d.Bias.W.Data(), d.Out, d.In)
+				matVecBiasReLU(st.buf, cur, st.w, st.b, st.out, st.in)
 			} else {
-				matVecBias(st.buf, cur, d.Weight.W.Data(), d.Bias.W.Data(), d.Out, d.In)
+				matVecBias(st.buf, cur, st.w, st.b, st.out, st.in)
 			}
-			cur = st.buf
-			continue
+		case headReLU:
+			reluInto(st.buf, cur)
+		case headSigmoid:
+			sigmoidInto(st.buf, cur)
+		case headTanh:
+			tanhInto(st.buf, cur)
 		}
-		copy(st.lin.Data(), cur)
-		cur = st.layer.Forward(st.lin, false).Data()
+		cur = st.buf
 	}
 	return cur[0]
 }
@@ -594,8 +686,8 @@ func (s *Streamer) Score() float64 {
 // here run once per decision, not per sample.
 //
 //fallvet:hotpath
-func (b *branchStream) gather(dst []float64, start int) {
-	F := b.conv.Filters
+func (b *branchStreamOf[S]) gather(dst []S, start int) {
+	F := b.filters
 	slot := (start / b.pool) % b.fullPool
 	n := 0
 	for q := 0; q < b.fullPool; q++ {
@@ -627,15 +719,14 @@ func (b *branchStream) gather(dst []float64, start int) {
 
 // runBatchBranch assembles the branch's input columns from the ring,
 // applies the per-window re-basing the detector applies (subtracting
-// each re-based column's first value), and runs the model's own layer
+// each re-based column's first value), and runs either the fused
+// row-wise kernels (canonical stacks) or the model's own float64 layer
 // stack — the same values through the same code as the batch path.
 //
 //fallvet:hotpath
-func (s *Streamer) runBatchBranch(b *branchStream, dst []float64, start int) {
+func (s *StreamerOf[S]) runBatchBranch(b *branchStreamOf[S], dst []S, start int) {
 	w := b.hi - b.lo
-	in := tensor.Reuse(b.in, s.window, w)
-	b.in = in
-	ind := in.Data()
+	ind := b.in.Data()
 	slot := start % s.window
 	for i := 0; i < s.window; i++ {
 		src := s.in[slot*s.inCh+b.lo : slot*s.inCh+b.hi]
@@ -657,15 +748,20 @@ func (s *Streamer) runBatchBranch(b *branchStream, dst []float64, start int) {
 			ind[i*w+c] -= v0
 		}
 	}
-	if b.fused {
+	if b.canon {
 		b.fusedConvPool(dst, ind)
 		return
 	}
-	h := in
+	// Non-canonical fallback: the model's own layers, float64 only
+	// (b.in64 is the same buffer seen at the concrete type; float32
+	// construction rejected this shape).
+	h := b.in64
 	for _, l := range b.stack {
 		h = l.Forward(h, false)
 	}
-	copy(dst, h.Data())
+	for i, v := range h.Data() {
+		dst[i] = S(v)
+	}
 }
 
 // fusedConvPool evaluates a canonical Conv→ReLU→MaxPool stack over the
@@ -677,10 +773,10 @@ func (s *Streamer) runBatchBranch(b *branchStream, dst []float64, start int) {
 // skipping every intermediate tensor.
 //
 //fallvet:hotpath
-func (b *branchStream) fusedConvPool(dst, ind []float64) {
+func (b *branchStreamOf[S]) fusedConvPool(dst, ind []S) {
 	w := b.hi - b.lo
 	kc := b.kernel * w
-	F := b.conv.Filters
+	F := b.filters
 	phase, n := 0, 0
 	t := 0
 	if kc < 32 {
@@ -701,8 +797,8 @@ func (b *branchStream) fusedConvPool(dst, ind []float64) {
 // advanced (phase, n).
 //
 //fallvet:hotpath
-func (b *branchStream) fusedAbsorb(dst, crow []float64, phase, n int) (int, int) {
-	F := b.conv.Filters
+func (b *branchStreamOf[S]) fusedAbsorb(dst, crow []S, phase, n int) (int, int) {
+	F := b.filters
 	seg := dst[n : n+F]
 	if phase == 0 {
 		copy(seg, crow)

@@ -132,6 +132,17 @@ func prod(s []int) int {
 //
 //fallvet:hotpath
 func (q *QNetwork) Predict(x *tensor.Tensor) float64 {
+	return PredictOf(q, x)
+}
+
+// PredictOf is Predict over a window at either scalar width: the input
+// quantizer reads S directly (no widen pass, no scratch), and from the
+// first int8 activation on the integer pipeline is width-free, so both
+// instantiations run the very same integer arithmetic. Methods cannot
+// be generic, hence the package-level spelling.
+//
+//fallvet:hotpath
+func PredictOf[S tensor.Scalar](q *QNetwork, x *tensor.Of[S]) float64 {
 	in := reuseQ(q.in, q.inScale, x.Shape()...)
 	q.in = in
 	quantizeTo(in.data, x.Data(), q.inScale)

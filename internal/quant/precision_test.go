@@ -1,0 +1,65 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// PredictOf at float64 must be the method bit for bit, and at float32
+// it must agree to within the int8 grid: a single-precision input can
+// shift a sample by at most one quantization code, never more.
+func TestPredictOfWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := model.New(model.KindMLP, model.Config{WindowSamples: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Calibrate(m.Net, randomWindows(50, 20, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := Build(m.Net, c, []int{20, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x32 := tensor.NewOf[float32](20, 9)
+	maxGap := 0.0
+	for _, x := range randomWindows(100, 20, rng) {
+		p := qn.Predict(x)
+		if got := PredictOf(qn, x); got != p {
+			t.Fatalf("PredictOf[float64] %v != Predict %v", got, p)
+		}
+		tensor.Lower(x32, x)
+		if d := math.Abs(PredictOf(qn, x32) - p); d > maxGap {
+			maxGap = d
+		}
+	}
+	if maxGap > 0.05 {
+		t.Fatalf("f32 vs f64 quantized probability gap %.4f too large", maxGap)
+	}
+}
+
+func TestDequantizeInto(t *testing.T) {
+	src := []int8{-128, -1, 0, 1, 127}
+	f64 := DequantizeInto[float64](nil, src, 0.5)
+	f32 := DequantizeInto[float32](nil, src, 0.5)
+	for i, v := range src {
+		want := float64(v) * 0.5
+		if f64[i] != want {
+			t.Fatalf("f64[%d] = %v, want %v", i, f64[i], want)
+		}
+		if f32[i] != float32(want) {
+			t.Fatalf("f32[%d] = %v, want %v", i, f32[i], float32(want))
+		}
+	}
+	// Reuse path: a big-enough dst is kept, not reallocated.
+	buf := make([]float64, 8)
+	out := DequantizeInto(buf, src, 2)
+	if &out[0] != &buf[0] || len(out) != len(src) {
+		t.Fatal("DequantizeInto did not reuse dst")
+	}
+}

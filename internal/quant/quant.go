@@ -31,12 +31,16 @@ func scaleFor(absmax float64) float64 {
 	return absmax / qmax
 }
 
-// quantizeTo maps a float slice to int8 at the given scale.
+// quantizeTo maps a float slice at either scalar width to int8 at the
+// given scale. Rounding always happens in float64 — float32 inputs are
+// widened exactly first — so the float64 instantiation is bit-identical
+// to the pre-generic code and the float32 one differs only by the
+// input's own rounding, never by the quantizer's.
 //
 //fallvet:hotpath
-func quantizeTo(dst []int8, src []float64, scale float64) {
+func quantizeTo[S tensor.Scalar](dst []int8, src []S, scale float64) {
 	for i, v := range src {
-		q := math.RoundToEven(v / scale)
+		q := math.RoundToEven(float64(v) / scale)
 		if q > qmax {
 			q = qmax
 		}
@@ -45,6 +49,21 @@ func quantizeTo(dst []int8, src []float64, scale float64) {
 		}
 		dst[i] = int8(q)
 	}
+}
+
+// DequantizeInto expands int8 values back to scalar width S at the
+// given scale, growing dst as needed and returning it. The product is
+// computed in float64 and rounded once to S, so both widths see the
+// nearest representable value of the same real quantity.
+func DequantizeInto[S tensor.Scalar](dst []S, src []int8, scale float64) []S {
+	if cap(dst) < len(src) {
+		dst = make([]S, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = S(float64(v) * scale)
+	}
+	return dst
 }
 
 // Calibration holds the ordered per-activation absolute maxima

@@ -1,28 +1,51 @@
 // Package tensor provides small dense numeric tensors used by the
 // neural-network and signal-processing substrates.
 //
-// Tensors are row-major float64 buffers with an explicit shape. The
-// package favours clarity and predictable allocation over raw speed:
-// the models in this repository are deliberately tiny (the paper's
-// whole point is fitting in 256 KiB of flash), so a straightforward
-// implementation is fast enough while remaining auditable.
+// Tensors are row-major scalar buffers with an explicit shape. The
+// scalar is a type parameter — Of[float64] carries training and the
+// reference inference path, Of[float32] carries the lowered edge
+// inference path — and Tensor is an alias for the float64
+// instantiation, so all pre-generic call sites compile unchanged and
+// the float64 arithmetic is bit-identical to the concrete
+// implementation it replaced. The package favours clarity and
+// predictable allocation over raw speed: the models in this repository
+// are deliberately tiny (the paper's whole point is fitting in 256 KiB
+// of flash), so a straightforward implementation is fast enough while
+// remaining auditable.
 package tensor
 
 import (
 	"fmt"
 	"math"
 	"strings"
+	"unsafe"
 )
 
-// Tensor is a dense row-major float64 tensor.
-type Tensor struct {
-	shape []int
-	data  []float64
+// Scalar is the numeric element type a tensor (and every kernel built
+// on one) can be instantiated at. float64 is the training and
+// reference width; float32 is the lowered inference width matching the
+// paper's single-precision-FPU deployment target.
+type Scalar interface {
+	float32 | float64
 }
 
-// New returns a zero tensor with the given shape.
+// Of is a dense row-major tensor over scalar type S.
+type Of[S Scalar] struct {
+	shape []int
+	data  []S
+}
+
+// Tensor is the float64 instantiation — the training and reference
+// width. The alias keeps every pre-generic call site source- and
+// bit-compatible.
+type Tensor = Of[float64]
+
+// New returns a zero float64 tensor with the given shape.
 // New() with no arguments returns a scalar-shaped tensor of one element.
-func New(shape ...int) *Tensor {
+func New(shape ...int) *Tensor { return NewOf[float64](shape...) }
+
+// NewOf returns a zero tensor of scalar type S with the given shape.
+func NewOf[S Scalar](shape ...int) *Of[S] {
 	// Copy before validating so the variadic slice never escapes — the
 	// panic message referencing `shape` directly would force every
 	// caller (including the scratch-reusing hot paths) to heap-allocate
@@ -36,12 +59,19 @@ func New(shape ...int) *Tensor {
 		}
 		n *= d
 	}
-	return &Tensor{shape: s, data: make([]float64, n)}
+	return &Of[S]{shape: s, data: make([]S, n)}
 }
 
-// FromSlice wraps data in a tensor of the given shape. The slice is
-// used directly (not copied); len(data) must equal the shape product.
+// FromSlice wraps float64 data in a tensor of the given shape. The
+// slice is used directly (not copied); len(data) must equal the shape
+// product.
 func FromSlice(data []float64, shape ...int) *Tensor {
+	return FromSliceOf(data, shape...)
+}
+
+// FromSliceOf wraps data in a tensor of the given shape. The slice is
+// used directly (not copied); len(data) must equal the shape product.
+func FromSliceOf[S Scalar](data []S, shape ...int) *Of[S] {
 	n := 1
 	for _, d := range shape {
 		n *= d
@@ -51,38 +81,38 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{shape: s, data: data}
+	return &Of[S]{shape: s, data: data}
 }
 
 // Shape returns the tensor's dimensions. The returned slice must not
 // be modified.
-func (t *Tensor) Shape() []int { return t.shape }
+func (t *Of[S]) Shape() []int { return t.shape }
 
 // Dims returns the number of dimensions.
-func (t *Tensor) Dims() int { return len(t.shape) }
+func (t *Of[S]) Dims() int { return len(t.shape) }
 
 // Dim returns the size of dimension i.
-func (t *Tensor) Dim(i int) int { return t.shape[i] }
+func (t *Of[S]) Dim(i int) int { return t.shape[i] }
 
 // Len returns the total number of elements.
-func (t *Tensor) Len() int { return len(t.data) }
+func (t *Of[S]) Len() int { return len(t.data) }
 
 // Data returns the underlying buffer. Mutations are visible to the
 // tensor; this is the intended way for hot loops to access storage.
-func (t *Tensor) Data() []float64 { return t.data }
+func (t *Of[S]) Data() []S { return t.data }
 
 // Clone returns a deep copy.
-func (t *Tensor) Clone() *Tensor {
-	d := make([]float64, len(t.data))
+func (t *Of[S]) Clone() *Of[S] {
+	d := make([]S, len(t.data))
 	copy(d, t.data)
 	s := make([]int, len(t.shape))
 	copy(s, t.shape)
-	return &Tensor{shape: s, data: d}
+	return &Of[S]{shape: s, data: d}
 }
 
 // Reshape returns a view of the same data with a new shape. The total
 // element count must be unchanged.
-func (t *Tensor) Reshape(shape ...int) *Tensor {
+func (t *Of[S]) Reshape(shape ...int) *Of[S] {
 	// Copy first so the variadic slice never escapes (see New).
 	s := make([]int, len(shape))
 	copy(s, shape)
@@ -94,11 +124,11 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
 			t.shape, len(t.data), s, n))
 	}
-	return &Tensor{shape: s, data: t.data}
+	return &Of[S]{shape: s, data: t.data}
 }
 
 // index computes the flat offset for the given multi-index.
-func (t *Tensor) index(idx ...int) int {
+func (t *Of[S]) index(idx ...int) int {
 	if len(idx) != len(t.shape) {
 		panic(fmt.Sprintf("tensor: %d indices for %d-d tensor", len(idx), len(t.shape)))
 	}
@@ -113,23 +143,23 @@ func (t *Tensor) index(idx ...int) int {
 }
 
 // At returns the element at the given multi-index.
-func (t *Tensor) At(idx ...int) float64 { return t.data[t.index(idx...)] }
+func (t *Of[S]) At(idx ...int) S { return t.data[t.index(idx...)] }
 
 // Set stores v at the given multi-index.
-func (t *Tensor) Set(v float64, idx ...int) { t.data[t.index(idx...)] = v }
+func (t *Of[S]) Set(v S, idx ...int) { t.data[t.index(idx...)] = v }
 
 // Fill sets every element to v.
-func (t *Tensor) Fill(v float64) {
+func (t *Of[S]) Fill(v S) {
 	for i := range t.data {
 		t.data[i] = v
 	}
 }
 
 // Zero sets every element to 0.
-func (t *Tensor) Zero() { t.Fill(0) }
+func (t *Of[S]) Zero() { t.Fill(0) }
 
 // Apply replaces each element x with f(x).
-func (t *Tensor) Apply(f func(float64) float64) {
+func (t *Of[S]) Apply(f func(S) S) {
 	for i, v := range t.data {
 		t.data[i] = f(v)
 	}
@@ -137,7 +167,7 @@ func (t *Tensor) Apply(f func(float64) float64) {
 
 // AddScaled adds alpha*o element-wise into t. Shapes must match in
 // element count.
-func (t *Tensor) AddScaled(alpha float64, o *Tensor) {
+func (t *Of[S]) AddScaled(alpha S, o *Of[S]) {
 	if len(t.data) != len(o.data) {
 		panic("tensor: AddScaled size mismatch")
 	}
@@ -147,15 +177,16 @@ func (t *Tensor) AddScaled(alpha float64, o *Tensor) {
 }
 
 // Scale multiplies every element by alpha.
-func (t *Tensor) Scale(alpha float64) {
+func (t *Of[S]) Scale(alpha S) {
 	for i := range t.data {
 		t.data[i] *= alpha
 	}
 }
 
-// Sum returns the sum of all elements.
-func (t *Tensor) Sum() float64 {
-	s := 0.0
+// Sum returns the sum of all elements, accumulated at the tensor's own
+// width.
+func (t *Of[S]) Sum() S {
+	var s S
 	for _, v := range t.data {
 		s += v
 	}
@@ -163,8 +194,8 @@ func (t *Tensor) Sum() float64 {
 }
 
 // Max returns the maximum element. It panics on an empty tensor.
-func (t *Tensor) Max() float64 {
-	m := math.Inf(-1)
+func (t *Of[S]) Max() S {
+	m := S(math.Inf(-1))
 	for _, v := range t.data {
 		if v > m {
 			m = v
@@ -174,8 +205,8 @@ func (t *Tensor) Max() float64 {
 }
 
 // Min returns the minimum element.
-func (t *Tensor) Min() float64 {
-	m := math.Inf(1)
+func (t *Of[S]) Min() S {
+	m := S(math.Inf(1))
 	for _, v := range t.data {
 		if v < m {
 			m = v
@@ -185,10 +216,14 @@ func (t *Tensor) Min() float64 {
 }
 
 // AbsMax returns max(|x|) over all elements (0 for empty data).
-func (t *Tensor) AbsMax() float64 {
-	m := 0.0
+func (t *Of[S]) AbsMax() S {
+	var m S
 	for _, v := range t.data {
-		if a := math.Abs(v); a > m {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
 			m = a
 		}
 	}
@@ -196,30 +231,30 @@ func (t *Tensor) AbsMax() float64 {
 }
 
 // Mean returns the arithmetic mean of all elements.
-func (t *Tensor) Mean() float64 {
+func (t *Of[S]) Mean() S {
 	if len(t.data) == 0 {
 		return 0
 	}
-	return t.Sum() / float64(len(t.data))
+	return t.Sum() / S(len(t.data))
 }
 
 // Std returns the population standard deviation.
-func (t *Tensor) Std() float64 {
+func (t *Of[S]) Std() S {
 	if len(t.data) == 0 {
 		return 0
 	}
 	mu := t.Mean()
-	s := 0.0
+	var s S
 	for _, v := range t.data {
 		d := v - mu
 		s += d * d
 	}
-	return math.Sqrt(s / float64(len(t.data)))
+	return S(math.Sqrt(float64(s) / float64(len(t.data))))
 }
 
 // Equal reports whether t and o have identical shapes and all elements
 // within eps of each other.
-func (t *Tensor) Equal(o *Tensor, eps float64) bool {
+func (t *Of[S]) Equal(o *Of[S], eps float64) bool {
 	if len(t.shape) != len(o.shape) {
 		return false
 	}
@@ -229,7 +264,7 @@ func (t *Tensor) Equal(o *Tensor, eps float64) bool {
 		}
 	}
 	for i := range t.data {
-		if math.Abs(t.data[i]-o.data[i]) > eps {
+		if math.Abs(float64(t.data[i]-o.data[i])) > eps {
 			return false
 		}
 	}
@@ -237,7 +272,7 @@ func (t *Tensor) Equal(o *Tensor, eps float64) bool {
 }
 
 // String renders small tensors for debugging.
-func (t *Tensor) String() string {
+func (t *Of[S]) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Tensor%v", t.shape)
 	if len(t.data) <= 16 {
@@ -250,7 +285,7 @@ func (t *Tensor) String() string {
 
 // MatMul computes C = A·B for 2-D tensors A[m×k], B[k×n] into a new
 // tensor C[m×n].
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul[S Scalar](a, b *Of[S]) *Of[S] {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic("tensor: MatMul needs 2-D operands")
 	}
@@ -259,7 +294,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
 	}
-	c := New(m, n)
+	c := NewOf[S](m, n)
 	ad, bd, cd := a.data, b.data, c.data
 	for i := 0; i < m; i++ {
 		arow := ad[i*k : (i+1)*k]
@@ -278,7 +313,7 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatVec computes y = A·x for A[m×n], x[n] into a new length-m tensor.
-func MatVec(a, x *Tensor) *Tensor {
+func MatVec[S Scalar](a, x *Of[S]) *Of[S] {
 	if a.Dims() != 2 || x.Dims() != 1 {
 		panic("tensor: MatVec needs 2-D matrix and 1-D vector")
 	}
@@ -286,10 +321,10 @@ func MatVec(a, x *Tensor) *Tensor {
 	if n != x.shape[0] {
 		panic(fmt.Sprintf("tensor: MatVec dims %d != %d", n, x.shape[0]))
 	}
-	y := New(m)
+	y := NewOf[S](m)
 	for i := 0; i < m; i++ {
 		row := a.data[i*n : (i+1)*n]
-		s := 0.0
+		var s S
 		for j, v := range row {
 			s += v * x.data[j]
 		}
@@ -299,11 +334,11 @@ func MatVec(a, x *Tensor) *Tensor {
 }
 
 // Dot returns the inner product of two 1-D tensors.
-func Dot(a, b *Tensor) float64 {
+func Dot[S Scalar](a, b *Of[S]) S {
 	if len(a.data) != len(b.data) {
 		panic("tensor: Dot size mismatch")
 	}
-	s := 0.0
+	var s S
 	for i, v := range a.data {
 		s += v * b.data[i]
 	}
@@ -311,12 +346,12 @@ func Dot(a, b *Tensor) float64 {
 }
 
 // Transpose returns a new 2-D tensor that is the transpose of a.
-func Transpose(a *Tensor) *Tensor {
+func Transpose[S Scalar](a *Of[S]) *Of[S] {
 	if a.Dims() != 2 {
 		panic("tensor: Transpose needs a 2-D tensor")
 	}
 	m, n := a.shape[0], a.shape[1]
-	t := New(n, m)
+	t := NewOf[S](n, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			t.data[j*m+i] = a.data[i*n+j]
@@ -338,14 +373,14 @@ func Transpose(a *Tensor) *Tensor {
 // buffer).
 //
 //fallvet:hotpath
-func Reuse(t *Tensor, shape ...int) *Tensor {
+func Reuse[S Scalar](t *Of[S], shape ...int) *Of[S] {
 	n := 1
 	for _, d := range shape {
 		n *= d
 	}
 	if t == nil || len(t.data) != n || len(t.shape) != len(shape) {
 		//fallvet:ignore hottrans cold branch: taken only until the caller's shapes stabilise; the AllocsPerRun gates prove steady-state reuse
-		return New(shape...)
+		return NewOf[S](shape...)
 	}
 	copy(t.shape, shape)
 	return t
@@ -357,7 +392,7 @@ func Reuse(t *Tensor, shape ...int) *Tensor {
 // src's. On a cache miss the fresh view is stored back into *cache.
 //
 //fallvet:hotpath
-func ViewInto(cache **Tensor, src *Tensor, shape ...int) *Tensor {
+func ViewInto[S Scalar](cache **Of[S], src *Of[S], shape ...int) *Of[S] {
 	c := *cache
 	if c != nil && len(c.data) == len(src.data) && len(src.data) > 0 &&
 		&c.data[0] == &src.data[0] && len(c.shape) == len(shape) {
@@ -371,16 +406,52 @@ func ViewInto(cache **Tensor, src *Tensor, shape ...int) *Tensor {
 }
 
 // Concat1D concatenates 1-D tensors into a single 1-D tensor.
-func Concat1D(parts ...*Tensor) *Tensor {
+func Concat1D[S Scalar](parts ...*Of[S]) *Of[S] {
 	n := 0
 	for _, p := range parts {
 		n += len(p.data)
 	}
-	out := New(n)
+	out := NewOf[S](n)
 	off := 0
 	for _, p := range parts {
 		copy(out.data[off:], p.data)
 		off += len(p.data)
+	}
+	return out
+}
+
+// Is64 reports whether S is float64. The width test is a size compare
+// the compiler folds to a per-instantiation constant — no boxing, no
+// allocation — so it is safe on push and score paths (the incremental
+// scorer's widen fallback branches on it every stride).
+func Is64[S Scalar]() bool {
+	var z S
+	return unsafe.Sizeof(z) == 8
+}
+
+// Widen copies src (any scalar width) into a float64 tensor, reusing
+// dst's buffer when its element count already matches. float32→float64
+// conversion is exact, so Widen(Lower(t)) at float32 loses exactly the
+// bits Lower dropped and nothing else.
+func Widen[S Scalar](dst *Tensor, src *Of[S]) *Tensor {
+	out := Reuse(dst, src.shape...)
+	od := out.data
+	for i, v := range src.data {
+		od[i] = float64(v)
+	}
+	return out
+}
+
+// Lower copies a float64 tensor into a tensor of scalar type S,
+// reusing dst's buffer when its element count already matches. At
+// S=float64 it is a plain copy; at S=float32 each element is rounded
+// to nearest-even single precision — the checkpoint-lowering primitive
+// behind the float32 inference path.
+func Lower[S Scalar](dst *Of[S], src *Tensor) *Of[S] {
+	out := Reuse(dst, src.shape...)
+	od := out.data
+	for i, v := range src.data {
+		od[i] = S(v)
 	}
 	return out
 }

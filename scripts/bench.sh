@@ -16,6 +16,9 @@
 #   - the incremental streaming path loses its headline win: the
 #     Benchmark_Edge_StreamingPushCNN speedup over the pre-engine seed
 #     drops below 3x;
+#   - the f32 streaming push (Benchmark_Edge_StreamingPushCNN_F32)
+#     runs less than 1.2x faster than the f64 row measured in the same
+#     run — the SSE/AVX f32 kernels must stay worth having;
 #   - (short mode only) any benchmark regresses more than 15% in ns/op
 #     against the committed BENCH_baseline.json. The Parallel_Fit
 #     benchmarks are excluded from that gate: multi-worker fits are
@@ -105,11 +108,21 @@ BEGIN {
     # checkpoint reuses its buffers end to end.
     zero["Benchmark_Serve_SessionPush"] = 1
     zero["Benchmark_Serve_SessionPushSnapshot"] = 1
+    # The float32 instantiations ride the same scratch buffers through
+    # generic code: width must never reintroduce an allocation.
+    zero["Benchmark_Edge_StreamingPushCNN_F32"] = 1
+    zero["Benchmark_Cascade_PushPrimary_F32"] = 1
+    zero["Benchmark_Serve_SessionPush_F32"] = 1
     # Headline gates: optimisations the engine must not silently lose.
     # The incremental conv/pool rings bought >4x over batch rescoring;
     # fail if the margin erodes below 3x even while ns/op stays within
     # the 15% regression gate of a drifting baseline.
     min_speedup["Benchmark_Edge_StreamingPushCNN"] = 3.0
+    # Paired-width gate: the f32 streaming path exists to be faster —
+    # the SSE/AVX kernels (internal/nn/simd) must keep it at
+    # least 1.2x over the f64 row measured in the same run, so the
+    # ratio is immune to absolute container drift.
+    f32_min["Benchmark_Edge_StreamingPushCNN"] = 1.2
     n = 0
     bad = 0
 }
@@ -167,6 +180,23 @@ END {
             bad = 1
         } else {
             printf "== bench: %s holds %.2fx vs seed (gate %.1fx)\n", name, sp, min_speedup[name]
+        }
+    }
+    for (name in f32_min) {
+        f32name = name "_F32"
+        if (!(name in idx) || !(f32name in idx)) {
+            printf "bench: FAIL %s/%s width pair gated at %.1fx but did not both run\n", \
+                name, f32name, f32_min[name] > "/dev/stderr"
+            bad = 1
+            continue
+        }
+        sp = (nss[idx[name]] + 0) / (nss[idx[f32name]] + 0)
+        if (sp < f32_min[name]) {
+            printf "bench: FAIL %s is %.2fx over the f64 row, gate requires >= %.1fx\n", \
+                f32name, sp, f32_min[name] > "/dev/stderr"
+            bad = 1
+        } else {
+            printf "== bench: %s holds %.2fx over f64 (gate %.1fx)\n", f32name, sp, f32_min[name]
         }
     }
     if (bad) exit 1

@@ -30,21 +30,28 @@
 #      bit-identical to full-window batch rescoring on arbitrary
 #      streams of wear, faults and gaps — the DESIGN §12 equivalence
 #      oracle)
-#   7. cascade determinism   — the fault sweep over the cascade must be
+#   7. precision agreement   — the float32 path must agree with the
+#      float64 path: the decision-agreement tests run the full
+#      fault-injection sweep at both widths by name, and
+#      FuzzPrecisionScore gets a 10 s smoke (arbitrary streams of
+#      wear, faults and gaps must keep the f32/f64 score gap inside
+#      the documented tolerance)
+#   8. cascade determinism   — the fault sweep over the cascade must be
 #      bit-identical on 1 worker and 4 (run redundantly from the suite,
 #      but cheap and load-bearing enough to gate by name)
-#   8. soak smoke            — the serving-runtime chaos soak at CI
+#   9. soak smoke            — the serving-runtime chaos soak at CI
 #      size (16 streams, 2 injected mid-fall panics, burst/stall/
 #      jitter profiles, one crash-loop) via fallserve -check: zero
 #      missed deadlines on healthy sessions, bit-identical
 #      post-restore decision streams, goroutine-leak check clean,
 #      heap growth bounded
-#   9. bench gate            — scripts/bench.sh -short: the hot-path
+#  10. bench gate            — scripts/bench.sh -short: the hot-path
 #      benchmarks run briefly with -benchmem; the gate fails when a
 #      steady-state path that must be allocation-free (streaming push,
 #      quantized predict, cascade/serve push, warm snapshots) reports
 #      allocs/op > 0 OR B/op > 0, when the streaming CNN push drops
-#      below 3x its pre-engine seed, or when any benchmark regresses
+#      below 3x its pre-engine seed, when the f32 streaming push is
+#      less than 1.2x over the f64 row, or when any benchmark regresses
 #      more than 15% in ns/op against the committed baseline
 #      (Parallel_Fit excluded as scheduler-noise-dominated). The
 #      comparison summary lands in results_ci.txt via the tee below.
@@ -75,6 +82,10 @@ echo "== fuzz smoke: FuzzCascadePush (10s)"
 go test ./internal/cascade -run='^$' -fuzz='^FuzzCascadePush$' -fuzztime=10s
 echo "== fuzz smoke: FuzzIncrementalScore (10s)"
 go test ./internal/edge -run='^$' -fuzz='^FuzzIncrementalScore$' -fuzztime=10s
+echo "== precision agreement: f32 vs f64 decision sweep"
+go test ./falldet -count=1 -run='^Test(Cascade)?PrecisionDecisionAgreement$' -v
+echo "== fuzz smoke: FuzzPrecisionScore (10s)"
+go test ./internal/edge -run='^$' -fuzz='^FuzzPrecisionScore$' -fuzztime=10s
 echo "== cascade determinism: fault sweep, workers 1 vs 4"
 go test ./internal/eval -count=1 -run='^TestEvaluateCascadeRobustnessWorkerCountInvariance$' -v
 echo "== soak smoke: fallserve -sessions 16 -panics 2 -check"
